@@ -1,0 +1,145 @@
+//! Criterion microbenches for the kit's hot paths (B1–B6 in DESIGN.md):
+//! codec encode/decode, network-simulator event throughput, LTS
+//! composition/refinement, trace conformance checking, middleware RPC
+//! round-trips and end-to-end solution runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use svckit::codec::{PduRegistry, PduSchema};
+use svckit::floorctl::{
+    floor_control_service, run_solution, RunParams, Solution,
+};
+use svckit::lts::LtsBuilder;
+use svckit::model::conformance::{check_trace, CheckOptions};
+use svckit::model::{Duration, PartId, Value, ValueType};
+use svckit::netsim::{Context, LinkConfig, Process, SimConfig, Simulator};
+
+/// B1: PDU encode + decode round-trip.
+fn bench_codec(c: &mut Criterion) {
+    let mut registry = PduRegistry::new();
+    registry
+        .register(
+            PduSchema::new(1, "request")
+                .field("subid", ValueType::Id)
+                .field("resid", ValueType::Id),
+        )
+        .unwrap();
+    registry
+        .register(
+            PduSchema::new(2, "pass").field("avail", ValueType::Set(Box::new(ValueType::Id))),
+        )
+        .unwrap();
+    let request_args = vec![Value::Id(42), Value::Id(7)];
+    let pass_args = vec![Value::id_set(1..=32)];
+
+    c.bench_function("codec/request_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = registry.encode("request", black_box(&request_args)).unwrap();
+            black_box(registry.decode(&bytes).unwrap())
+        })
+    });
+    c.bench_function("codec/pass32_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = registry.encode("pass", black_box(&pass_args)).unwrap();
+            black_box(registry.decode(&bytes).unwrap())
+        })
+    });
+}
+
+/// B2: simulator event throughput (two chattering nodes).
+fn bench_netsim(c: &mut Criterion) {
+    struct Echo {
+        peer: PartId,
+        remaining: u32,
+    }
+    impl Process for Echo {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if self.remaining > 0 {
+                ctx.send(self.peer, vec![0u8; 16]);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Vec<u8>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(from, payload);
+            }
+        }
+    }
+    c.bench_function("netsim/2000_message_pingpong", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(SimConfig::new(1).default_link(LinkConfig::lan()));
+                sim.add_process(PartId::new(1), Box::new(Echo { peer: PartId::new(2), remaining: 1000 }))
+                    .unwrap();
+                sim.add_process(PartId::new(2), Box::new(Echo { peer: PartId::new(1), remaining: 1000 }))
+                    .unwrap();
+                sim
+            },
+            |mut sim| black_box(sim.run_to_quiescence(Duration::from_secs(600)).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// B3: LTS composition + trace refinement.
+fn bench_lts(c: &mut Criterion) {
+    fn chain(n: usize, label: &'static str) -> svckit::lts::Lts<String> {
+        let mut b = LtsBuilder::new();
+        let states: Vec<_> = (0..n).map(|i| b.add_state(format!("s{i}"))).collect();
+        for i in 0..n {
+            b.add_transition(states[i], format!("{label}{}", i % 4), states[(i + 1) % n]);
+        }
+        b.build(states[0])
+    }
+    c.bench_function("lts/compose_interleave_20x20", |b| {
+        let x = chain(20, "a");
+        let y = chain(20, "b");
+        let sync = std::collections::BTreeSet::new();
+        b.iter(|| black_box(x.compose(&y, &sync)))
+    });
+    c.bench_function("lts/trace_refines_cycle40", |b| {
+        let spec = chain(40, "a");
+        let imp = chain(40, "a");
+        b.iter(|| black_box(imp.trace_refines(&spec).is_ok()))
+    });
+}
+
+/// B4: trace conformance checking on a real solution trace.
+fn bench_conformance(c: &mut Criterion) {
+    let service = floor_control_service();
+    let outcome = run_solution(
+        Solution::ProtoCallback,
+        &RunParams::default().subscribers(8).resources(2).rounds(5),
+    );
+    assert!(outcome.conformant);
+    c.bench_function("conformance/check_240_event_trace", |b| {
+        b.iter(|| {
+            black_box(check_trace(
+                &service,
+                black_box(&outcome.trace),
+                &CheckOptions::default(),
+            ))
+        })
+    });
+}
+
+/// B5/B6: end-to-end solution runs (one middleware, one protocol).
+fn bench_solutions(c: &mut Criterion) {
+    let params = RunParams::default().subscribers(4).resources(2).rounds(3);
+    for solution in [Solution::MwCallback, Solution::ProtoCallback] {
+        c.bench_function(&format!("solution/{solution}"), |b| {
+            b.iter(|| black_box(run_solution(solution, &params)))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_netsim,
+    bench_lts,
+    bench_conformance,
+    bench_solutions
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E9 (Figure 12): recursive application of the service concept — the cost
+//! and the payoff, measured (includes ablation A4: recursion versus direct
+//! transformation).
+
+use svckit::floorctl::RunParams;
+use svckit::mda::{catalog, realize, transform, TransformPolicy};
+use svckit_bench::{fmt_f, print_header, print_row};
+
+fn main() {
+    println!("E9 — recursive abstract-platform realization (Figure 12)\n");
+
+    // Part 1: executable adapter overhead. The token ring needs a oneway
+    // `pass`; a JavaRMI-like platform offers only request/response, so the
+    // recursion synthesizes oneway-over-rr — each hop gains a reply.
+    println!("executable recursion cost (token ring, N sweep):\n");
+    let widths = [5, 14, 14, 10, 12];
+    print_header(&["N", "native-msgs", "adapted-msgs", "factor", "conformant"], &widths);
+    for n in [2u64, 4, 8, 16] {
+        let params = RunParams::default()
+            .subscribers(n)
+            .resources(2)
+            .rounds(3)
+            .seed(300 + n)
+            .time_cap(svckit::model::Duration::from_secs(300));
+        let overhead = realize::adapter_overhead_experiment(&params);
+        print_row(
+            &[
+                n.to_string(),
+                overhead.native_messages.to_string(),
+                overhead.adapted_messages.to_string(),
+                format!("{:.2}x", overhead.overhead_factor()),
+                overhead.both_conformant.to_string(),
+            ],
+            &widths,
+        );
+        assert!(overhead.both_conformant);
+        assert!(overhead.adapted_messages > overhead.native_messages);
+    }
+    println!();
+    println!("Modelled adapter cost: oneway-over-rr = +1 message per interaction,");
+    println!("i.e. a factor approaching 2x — matching the measured rows above.\n");
+
+    // Part 2 (A4): recursion vs direct transformation — the portability
+    // ledger.
+    println!("A4 — recursion versus direct transformation (portability ledger):\n");
+    let pim = catalog::floor_control_pim();
+    let widths = [15, 22, 9, 10, 10, 10];
+    print_header(
+        &["platform", "policy", "adapters", "overhead", "portable", "specific"],
+        &widths,
+    );
+    for platform in catalog::all_platforms() {
+        for (policy, label) in [
+            (TransformPolicy::RecursiveServiceDesign, "recursive"),
+            (TransformPolicy::Direct, "direct"),
+        ] {
+            let psm = transform(&pim, &platform, policy).unwrap();
+            print_row(
+                &[
+                    platform.name().to_string(),
+                    label.to_string(),
+                    psm.adapter_count().to_string(),
+                    format!("+{}msg", psm.total_adapter_overhead()),
+                    psm.portable_artifacts().len().to_string(),
+                    psm.platform_specific_artifacts().len().to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!();
+    println!(
+        "scattering note: the adapter factor {} is paid at run time; the direct",
+        fmt_f(2.0)
+    );
+    println!("policy avoids it but strands the whole service logic on the platform");
+    println!("(portable artifacts drop to zero wherever a rewrite occurred).");
+}

@@ -1,0 +1,102 @@
+//! Codec error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while encoding or decoding PDUs and values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The input ended before a complete value was read.
+    UnexpectedEof,
+    /// Bytes remained after the outermost value was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// An unknown type tag was encountered.
+    InvalidTag {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A text value was not valid UTF-8.
+    InvalidUtf8,
+    /// A declared length exceeds the remaining input (corrupt or hostile
+    /// input).
+    LengthOutOfBounds {
+        /// The declared length.
+        declared: u64,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The PDU id is not present in the registry.
+    UnknownPduId {
+        /// The offending id.
+        id: u8,
+    },
+    /// The PDU name is not present in the registry.
+    UnknownPduName {
+        /// The offending name.
+        name: String,
+    },
+    /// A schema with a conflicting id or name is already registered.
+    DuplicateSchema {
+        /// The conflicting identification.
+        what: String,
+    },
+    /// Arguments did not match the schema on encode.
+    SchemaMismatch {
+        /// The PDU name.
+        pdu: String,
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing byte(s) after value")
+            }
+            CodecError::InvalidTag { tag } => write!(f, "invalid type tag 0x{tag:02x}"),
+            CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::InvalidUtf8 => write!(f, "text value is not valid utf-8"),
+            CodecError::LengthOutOfBounds {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining input ({remaining} byte(s))"
+            ),
+            CodecError::UnknownPduId { id } => write!(f, "unknown pdu id {id}"),
+            CodecError::UnknownPduName { name } => write!(f, "unknown pdu name `{name}`"),
+            CodecError::DuplicateSchema { what } => {
+                write!(f, "schema already registered for {what}")
+            }
+            CodecError::SchemaMismatch { pdu, detail } => {
+                write!(f, "arguments do not match schema of `{pdu}`: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+        assert_eq!(CodecError::UnexpectedEof.to_string(), "unexpected end of input");
+        assert!(CodecError::InvalidTag { tag: 0xff }
+            .to_string()
+            .contains("0xff"));
+    }
+}

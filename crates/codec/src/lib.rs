@@ -1,0 +1,53 @@
+//! # svckit-codec — PDU syntax
+//!
+//! "PDUs define the syntax and semantics for unambiguous understanding of
+//! the information exchanged between protocol entities." (Section 2.) This
+//! crate is that syntax: a compact, self-describing tag–length–value wire
+//! format for [`Value`](svckit_model::Value)s, and a schema-checked PDU
+//! layer on top of it.
+//!
+//! * [`encode_value`] / [`decode_value`] — the value wire format
+//!   (LEB128 varints, zig-zag integers, length-prefixed strings and
+//!   collections);
+//! * [`PduSchema`] and [`PduRegistry`] — named, numbered PDU types with
+//!   typed fields, as used by the floor-control protocols of Figure 6
+//!   (`request(subid, resid)`, `granted(resid)`, `is_available_req(resid)`,
+//!   `pass(set<resid>)` …);
+//! * [`Pdu`] — a decoded unit: schema name plus argument values.
+//!
+//! Both protocol entities (`svckit-protocol`) and the middleware marshaller
+//! (`svckit-middleware`) use this crate, reflecting the paper's observation
+//! that middleware "'transforms' the interactions into (implicit) protocols".
+//!
+//! # Example
+//!
+//! ```
+//! use svckit_codec::{PduRegistry, PduSchema};
+//! use svckit_model::{Value, ValueType};
+//!
+//! let mut registry = PduRegistry::new();
+//! registry.register(
+//!     PduSchema::new(1, "request")
+//!         .field("subid", ValueType::Id)
+//!         .field("resid", ValueType::Id),
+//! )?;
+//!
+//! let bytes = registry.encode("request", &[Value::Id(4), Value::Id(7)])?;
+//! let pdu = registry.decode(&bytes)?;
+//! assert_eq!(pdu.name(), "request");
+//! assert_eq!(pdu.args(), &[Value::Id(4), Value::Id(7)]);
+//! # Ok::<(), svckit_codec::CodecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod pdu;
+mod value_codec;
+mod varint;
+
+pub use error::CodecError;
+pub use pdu::{Pdu, PduRegistry, PduSchema};
+pub use value_codec::{decode_value, encode_value, encoded_len};
+pub use varint::{read_varint, write_varint};

@@ -1,0 +1,61 @@
+//! Property-based tests: every value survives an encode/decode roundtrip,
+//! and the decoder never panics on arbitrary bytes.
+
+use proptest::collection::{btree_set, vec};
+use proptest::prelude::*;
+
+use svckit_codec::{decode_value, encode_value, PduRegistry, PduSchema};
+use svckit_model::{Value, ValueType};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<u64>().prop_map(Value::Id),
+        ".{0,24}".prop_map(Value::Text),
+    ];
+    leaf.prop_recursive(3, 32, 8, |inner| {
+        prop_oneof![
+            btree_set(inner.clone(), 0..6).prop_map(Value::Set),
+            vec(inner, 0..6).prop_map(Value::List),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_roundtrips(value in arb_value()) {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &value);
+        let (back, used) = decode_value(&buf).unwrap();
+        prop_assert_eq!(back, value);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = decode_value(&bytes);
+        let mut registry = PduRegistry::new();
+        registry
+            .register(PduSchema::new(1, "p").field("x", ValueType::Id))
+            .unwrap();
+        let _ = registry.decode(&bytes);
+    }
+
+    #[test]
+    fn pdu_roundtrips_for_id_pairs(a in any::<u64>(), b in any::<u64>()) {
+        let mut registry = PduRegistry::new();
+        registry
+            .register(
+                PduSchema::new(1, "request")
+                    .field("subid", ValueType::Id)
+                    .field("resid", ValueType::Id),
+            )
+            .unwrap();
+        let args = vec![Value::Id(a), Value::Id(b)];
+        let bytes = registry.encode("request", &args).unwrap();
+        let pdu = registry.decode(&bytes).unwrap();
+        prop_assert_eq!(pdu.args(), &args[..]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # svckit — the service concept for model-driven distributed applications
+//!
+//! A working reproduction of Almeida, van Sinderen, Ferreira Pires and
+//! Quartel, *"The role of the service concept in model-driven applications
+//! development"* (MIDDLEWARE 2003), as a Rust workspace:
+//!
+//! | Crate | Paper section | What it provides |
+//! |---|---|---|
+//! | [`model`] | §2, §4.2, §5 | Service definitions, primitives, SAPs, local/remote constraints, traces, conformance checking |
+//! | [`lts`] | §7 (formal basis) | Labelled transition systems, composition, hiding, trace refinement, the service constraint automaton |
+//! | [`netsim`] | §2 (lower-level service) | Deterministic discrete-event network simulator with reliable/unreliable links |
+//! | [`codec`] | §2 (PDUs) | Tag–length–value wire format and schema-checked PDU registry |
+//! | [`protocol`] | §2 | Protocol entities, user parts, layering, reliability sub-layer, stack harness |
+//! | [`middleware`] | §3 | Component platform: remote invocation, oneway, queues, publish/subscribe, capability enforcement |
+//! | [`mda`] | §6 | PIM/PSM models, abstract platforms, transformation, recursive abstract-platform realization, trajectory milestones, the two system views |
+//! | [`floorctl`] | §4 | The floor-control running example: all six solutions of Figures 4 and 6 plus the Figure 10 queue-based PSM |
+//!
+//! # Quickstart
+//!
+//! Run the paper's running example both ways and check both against the
+//! same service definition:
+//!
+//! ```
+//! use svckit::floorctl::{run_solution, RunParams, Solution};
+//!
+//! let params = RunParams::default().subscribers(3).rounds(2);
+//! for solution in [Solution::MwCallback, Solution::ProtoCallback] {
+//!     let outcome = run_solution(solution, &params);
+//!     assert!(outcome.completed && outcome.conformant);
+//! }
+//! ```
+//!
+//! See the `examples/` directory for larger tours: `quickstart`,
+//! `floor_control_tour`, `mda_trajectory` and `chat_service`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use svckit_codec as codec;
+pub use svckit_floorctl as floorctl;
+pub use svckit_lts as lts;
+pub use svckit_mda as mda;
+pub use svckit_middleware as middleware;
+pub use svckit_model as model;
+pub use svckit_netsim as netsim;
+pub use svckit_protocol as protocol;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use svckit_floorctl::{run_solution, RunOutcome, RunParams, Solution};
+    pub use svckit_lts::{Lts, LtsBuilder};
+    pub use svckit_mda::{transform, Trajectory, TransformPolicy};
+    pub use svckit_model::conformance::{check_trace, CheckOptions};
+    pub use svckit_model::{
+        Constraint, ConstraintScope, Direction, Duration, Instant, PartId, PrimitiveEvent,
+        PrimitiveSpec, Sap, ServiceDefinition, Trace, Value, ValueType,
+    };
+    pub use svckit_netsim::{LinkConfig, SimConfig, Simulator};
+}

@@ -1,0 +1,51 @@
+//! The three middleware-centred solutions (Figure 4).
+//!
+//! All three run on the RPC platform of `svckit-middleware`
+//! (request/response + oneway — the patterns a CORBA-like component
+//! middleware offers). Note that each solution needs its *own* subscriber
+//! component: the interaction functionality (when to poll, what a token
+//! means, how a callback arrives) lives inside the application parts — the
+//! scattering that Figure 7 criticises.
+
+pub mod callback;
+pub mod polling;
+pub mod queue;
+pub mod token;
+
+use svckit_model::PartId;
+
+/// Component name of the (singleton) controller in the asymmetric
+/// solutions.
+pub const CONTROLLER: &str = "controller";
+
+/// Node hosting the controller.
+pub fn controller_part() -> PartId {
+    PartId::new(1000)
+}
+
+/// Component name of subscriber `k` (1-based).
+pub fn subscriber_name(k: u64) -> String {
+    format!("sub-{k}")
+}
+
+/// Node hosting subscriber `k`.
+pub fn subscriber_part(k: u64) -> PartId {
+    PartId::new(k)
+}
+
+/// Timer ids shared by the subscriber components.
+pub(crate) const THINK: svckit_netsim::TimerId = svckit_netsim::TimerId(1);
+pub(crate) const HOLD: svckit_netsim::TimerId = svckit_netsim::TimerId(2);
+pub(crate) const POLL: svckit_netsim::TimerId = svckit_netsim::TimerId(3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_parts_are_stable() {
+        assert_eq!(subscriber_name(3), "sub-3");
+        assert_eq!(subscriber_part(3), PartId::new(3));
+        assert_ne!(controller_part(), subscriber_part(1));
+    }
+}

@@ -1,0 +1,99 @@
+//! Grant-ordering policies for the asymmetric (controller-based) solutions.
+//!
+//! The paper's controller is implicitly first-come-first-served. This knob
+//! makes that design choice explicit and measurable (ablation A5 in
+//! DESIGN.md): under contention, the policy determines fairness across
+//! subscribers while leaving the service's *safety* untouched — mutual
+//! exclusion holds under every policy, only the liveness texture differs.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// How a controller picks the next waiter when a resource is freed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GrantPolicy {
+    /// First come, first served (the paper's implicit choice).
+    #[default]
+    Fifo,
+    /// Most recent requester first — starves early requesters under load.
+    Lifo,
+    /// Uniformly random waiter.
+    Random,
+}
+
+impl GrantPolicy {
+    /// Removes and returns the next waiter according to the policy.
+    /// `rand_below` supplies deterministic randomness for
+    /// [`GrantPolicy::Random`].
+    pub fn pick<T>(
+        self,
+        queue: &mut VecDeque<T>,
+        rand_below: impl FnOnce(u64) -> u64,
+    ) -> Option<T> {
+        if queue.is_empty() {
+            return None;
+        }
+        match self {
+            GrantPolicy::Fifo => queue.pop_front(),
+            GrantPolicy::Lifo => queue.pop_back(),
+            GrantPolicy::Random => {
+                let index = rand_below(queue.len() as u64) as usize;
+                queue.remove(index)
+            }
+        }
+    }
+}
+
+impl fmt::Display for GrantPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrantPolicy::Fifo => write!(f, "fifo"),
+            GrantPolicy::Lifo => write!(f, "lifo"),
+            GrantPolicy::Random => write!(f, "random"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue() -> VecDeque<u32> {
+        VecDeque::from([1, 2, 3, 4])
+    }
+
+    #[test]
+    fn fifo_pops_front() {
+        let mut q = queue();
+        assert_eq!(GrantPolicy::Fifo.pick(&mut q, |_| 0), Some(1));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn lifo_pops_back() {
+        let mut q = queue();
+        assert_eq!(GrantPolicy::Lifo.pick(&mut q, |_| 0), Some(4));
+    }
+
+    #[test]
+    fn random_uses_the_supplied_randomness() {
+        let mut q = queue();
+        assert_eq!(GrantPolicy::Random.pick(&mut q, |n| n - 2), Some(3));
+        assert_eq!(q, VecDeque::from([1, 2, 4]));
+    }
+
+    #[test]
+    fn empty_queue_yields_none() {
+        let mut q: VecDeque<u32> = VecDeque::new();
+        for policy in [GrantPolicy::Fifo, GrantPolicy::Lifo, GrantPolicy::Random] {
+            assert_eq!(policy.pick(&mut q, |_| 0), None);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GrantPolicy::default().to_string(), "fifo");
+        assert_eq!(GrantPolicy::Lifo.to_string(), "lifo");
+        assert_eq!(GrantPolicy::Random.to_string(), "random");
+    }
+}

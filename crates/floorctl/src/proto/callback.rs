@@ -1,0 +1,200 @@
+//! Figure 6 (a): the asymmetric callback-style protocol.
+//!
+//! PDUs: `request(subid, resid)`, `granted(resid)`, `free(resid)`.
+//! Subscriber protocol entities forward user requests to a controller
+//! entity, which queues them FIFO and sends `granted` PDUs; the subscriber
+//! entity turns those into `granted` indications at the access point. The
+//! key contrast with the middleware polling solution (Section 5): here *the
+//! service provider* does the waiting, not the application.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use svckit_codec::{Pdu, PduRegistry, PduSchema};
+use svckit_model::{PartId, Value, ValueType};
+use svckit_protocol::{EntityCtx, ProtocolEntity, Stack, StackBuilder};
+
+use crate::params::RunParams;
+use crate::service::subscriber_sap;
+
+use super::{controller_part, subscriber_part, ScriptedSubscriber};
+
+/// The PDU set of Figure 6 (a).
+pub fn registry() -> PduRegistry {
+    let mut r = PduRegistry::new();
+    r.register(
+        PduSchema::new(1, "request")
+            .field("subid", ValueType::Id)
+            .field("resid", ValueType::Id),
+    )
+    .expect("static schema");
+    r.register(PduSchema::new(2, "granted").field("resid", ValueType::Id))
+        .expect("static schema");
+    r.register(PduSchema::new(3, "free").field("resid", ValueType::Id))
+        .expect("static schema");
+    r
+}
+
+/// The subscriber-side protocol entity.
+#[derive(Debug)]
+pub struct SubscriberEntity {
+    controller: PartId,
+}
+
+impl SubscriberEntity {
+    /// Creates an entity that talks to the controller at `controller`.
+    pub fn new(controller: PartId) -> Self {
+        SubscriberEntity { controller }
+    }
+}
+
+impl ProtocolEntity for SubscriberEntity {
+    fn on_user_primitive(&mut self, ctx: &mut EntityCtx<'_, '_>, primitive: &str, args: Vec<Value>) {
+        match primitive {
+            "request" => {
+                let pdu_args = vec![Value::Id(ctx.id().raw()), args[0].clone()];
+                ctx.send_pdu(self.controller, "request", &pdu_args)
+                    .expect("request pdu matches schema");
+            }
+            "free" => {
+                ctx.send_pdu(self.controller, "free", &args)
+                    .expect("free pdu matches schema");
+            }
+            other => panic!("unexpected user primitive {other}"),
+        }
+    }
+
+    fn on_pdu(&mut self, ctx: &mut EntityCtx<'_, '_>, _from: PartId, pdu: Pdu) {
+        assert_eq!(pdu.name(), "granted");
+        ctx.deliver_to_user("granted", pdu.into_args());
+    }
+}
+
+/// The controller protocol entity: per-resource holder plus FIFO queue.
+#[derive(Debug, Default)]
+pub struct ControllerEntity {
+    held: BTreeMap<u64, PartId>,
+    waiting: BTreeMap<u64, VecDeque<PartId>>,
+}
+
+impl ControllerEntity {
+    /// Creates an idle controller entity.
+    pub fn new() -> Self {
+        ControllerEntity::default()
+    }
+
+    fn grant(&mut self, ctx: &mut EntityCtx<'_, '_>, to: PartId, resid: u64) {
+        self.held.insert(resid, to);
+        ctx.send_pdu(to, "granted", &[Value::Id(resid)])
+            .expect("granted pdu matches schema");
+    }
+}
+
+impl ProtocolEntity for ControllerEntity {
+    fn on_user_primitive(&mut self, _: &mut EntityCtx<'_, '_>, primitive: &str, _: Vec<Value>) {
+        panic!("the controller entity serves no user part, got {primitive}");
+    }
+
+    fn on_pdu(&mut self, ctx: &mut EntityCtx<'_, '_>, from: PartId, pdu: Pdu) {
+        match pdu.name() {
+            "request" => {
+                let requester = PartId::new(pdu.args()[0].as_id().expect("schema-checked"));
+                let resid = pdu.args()[1].as_id().expect("schema-checked");
+                if self.held.contains_key(&resid) {
+                    self.waiting.entry(resid).or_default().push_back(requester);
+                } else {
+                    self.grant(ctx, requester, resid);
+                }
+            }
+            "free" => {
+                let resid = pdu.args()[0].as_id().expect("schema-checked");
+                if self.held.get(&resid) == Some(&from) {
+                    self.held.remove(&resid);
+                    let next = self.waiting.get_mut(&resid).and_then(VecDeque::pop_front);
+                    if let Some(next) = next {
+                        self.grant(ctx, next, resid);
+                    }
+                }
+            }
+            other => panic!("unexpected pdu {other}"),
+        }
+    }
+}
+
+/// A user part that never interacts — for the controller node, which serves
+/// no access point.
+#[derive(Debug)]
+pub struct NoUser;
+
+impl svckit_protocol::UserPart for NoUser {
+    fn on_indication(&mut self, _: &mut svckit_protocol::UserCtx<'_, '_>, _: &str, _: Vec<Value>) {}
+}
+
+/// Assembles the callback protocol stack for the given parameters.
+pub fn deploy(params: &RunParams) -> Stack {
+    deploy_with_reliability(params, None)
+}
+
+/// Assembles the callback protocol stack with an optional stop-and-wait
+/// reliability sub-layer between the entities and the lower-level service —
+/// required when [`RunParams::link`](RunParams) configures a lossy datagram
+/// service (ablation A3).
+pub fn deploy_with_reliability(
+    params: &RunParams,
+    reliability: Option<svckit_protocol::ReliabilityConfig>,
+) -> Stack {
+    let mut builder = StackBuilder::new(registry())
+        .seed(params.seed_value())
+        .link(params.link_config().clone());
+    if let Some(config) = reliability {
+        builder = builder.reliability(config);
+    }
+    builder = builder
+        .node(
+            controller_part(),
+            svckit_model::Sap::new("provider", controller_part()),
+            Box::new(NoUser),
+            Box::new(ControllerEntity::new()),
+        );
+    for k in 1..=params.subscriber_count() {
+        builder = builder.node(
+            subscriber_part(k),
+            subscriber_sap(subscriber_part(k)),
+            Box::new(ScriptedSubscriber::new(params)),
+            Box::new(SubscriberEntity::new(controller_part())),
+        );
+    }
+    builder.build().expect("node ids are distinct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svckit_model::conformance::{check_trace, CheckOptions};
+
+    #[test]
+    fn callback_protocol_completes_and_conforms() {
+        let params = RunParams::default().subscribers(3).resources(1).rounds(2);
+        let mut stack = deploy(&params);
+        let report = stack.run_to_quiescence(params.cap()).unwrap();
+        assert!(report.is_quiescent());
+        assert_eq!(report.trace().count_of("granted"), 6);
+        assert_eq!(report.trace().count_of("free"), 6);
+        let check = check_trace(
+            &crate::service::floor_control_service(),
+            report.trace(),
+            &CheckOptions::default(),
+        );
+        assert!(check.is_conformant(), "{check}");
+    }
+
+    #[test]
+    fn pdu_traffic_is_three_per_uncontended_round() {
+        let params = RunParams::default().subscribers(2).resources(4).rounds(5).seed(9);
+        let mut stack = deploy(&params);
+        let report = stack.run_to_quiescence(params.cap()).unwrap();
+        assert!(report.is_quiescent());
+        // request + granted + free per round per subscriber.
+        let expected = 3 * 5 * 2;
+        assert_eq!(stack.total_counters().pdus_sent, expected);
+    }
+}

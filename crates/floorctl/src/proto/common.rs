@@ -1,0 +1,68 @@
+//! The shared user part of all three protocol solutions.
+
+use svckit_model::{Duration, Value};
+use svckit_netsim::TimerId;
+use svckit_protocol::{UserCtx, UserPart};
+
+use crate::params::RunParams;
+
+const THINK: TimerId = TimerId(1);
+const HOLD: TimerId = TimerId(2);
+
+/// The floor-control user part: think, `request`, await `granted`, hold,
+/// `free`, repeat.
+///
+/// This single behaviour drives the callback, polling *and* token protocols
+/// unchanged — the service boundary shields it completely from the protocol
+/// choice. Compare with the three distinct subscriber components the
+/// middleware solutions need ([`crate::mw`]).
+#[derive(Debug)]
+pub struct ScriptedSubscriber {
+    resources: u64,
+    rounds_left: u32,
+    hold: Duration,
+    think: Duration,
+    holding: Option<u64>,
+}
+
+impl ScriptedSubscriber {
+    /// Creates the user part for the given workload parameters.
+    pub fn new(params: &RunParams) -> Self {
+        ScriptedSubscriber {
+            resources: params.resource_count(),
+            rounds_left: params.round_count(),
+            hold: params.hold_time(),
+            think: params.think_time(),
+            holding: None,
+        }
+    }
+}
+
+impl UserPart for ScriptedSubscriber {
+    fn on_start(&mut self, ctx: &mut UserCtx<'_, '_>) {
+        if self.rounds_left > 0 {
+            ctx.set_timer(self.think, THINK);
+        }
+    }
+
+    fn on_indication(&mut self, ctx: &mut UserCtx<'_, '_>, primitive: &str, args: Vec<Value>) {
+        assert_eq!(primitive, "granted", "the service only indicates grants");
+        let resid = args[0].as_id().expect("granted carries a resource id");
+        self.holding = Some(resid);
+        ctx.set_timer(self.hold, HOLD);
+    }
+
+    fn on_timer(&mut self, ctx: &mut UserCtx<'_, '_>, timer: TimerId) {
+        if timer == THINK {
+            let resid = ctx.rand_below(self.resources) + 1;
+            ctx.invoke("request", vec![Value::Id(resid)]);
+        } else if timer == HOLD {
+            let resid = self.holding.take().expect("hold timer only while holding");
+            ctx.invoke("free", vec![Value::Id(resid)]);
+            self.rounds_left -= 1;
+            if self.rounds_left > 0 {
+                ctx.set_timer(self.think, THINK);
+            }
+        }
+    }
+}

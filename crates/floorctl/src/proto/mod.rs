@@ -1,0 +1,28 @@
+//! The three protocol-centred solutions (Figure 6).
+//!
+//! All three implement the floor-control service of Figure 5 on top of a
+//! lower-level datagram service. Crucially they share **one** user part,
+//! [`ScriptedSubscriber`]: "the design of the application is not influenced
+//! by the choice of a protocol solution (the presented protocol solutions
+//! provide the same service)".
+
+pub mod callback;
+pub mod polling;
+pub mod token;
+pub mod token_dynamic;
+
+mod common;
+
+pub use common::ScriptedSubscriber;
+
+use svckit_model::PartId;
+
+/// Node hosting the controller protocol entity in the asymmetric protocols.
+pub fn controller_part() -> PartId {
+    PartId::new(1000)
+}
+
+/// Node hosting subscriber `k` (1-based).
+pub fn subscriber_part(k: u64) -> PartId {
+    PartId::new(k)
+}

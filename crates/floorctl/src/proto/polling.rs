@@ -1,0 +1,197 @@
+//! Figure 6 (b): the asymmetric polling-style protocol.
+//!
+//! PDUs: `is_available_req(resid)`, `is_available_resp(avail)`,
+//! `free(resid)`. The polling loop lives inside the *subscriber protocol
+//! entity*: "the subscriber requests the resource and the service is
+//! responsible for 'polling'". The user part is the same
+//! [`ScriptedSubscriber`] as in the other two protocols.
+//!
+//! As in the figure, `is_available_resp` carries only the boolean, so each
+//! entity keeps at most one poll outstanding (stop-and-wait polling) —
+//! sufficient because the floor-control user requests one resource at a
+//! time.
+
+use std::collections::BTreeMap;
+
+use svckit_codec::{Pdu, PduRegistry, PduSchema};
+use svckit_model::{Duration, PartId, Value, ValueType};
+use svckit_netsim::TimerId;
+use svckit_protocol::{EntityCtx, ProtocolEntity, Stack, StackBuilder};
+
+use crate::params::RunParams;
+use crate::service::subscriber_sap;
+
+use super::callback::NoUser;
+use super::{controller_part, subscriber_part, ScriptedSubscriber};
+
+const POLL: TimerId = TimerId(1);
+
+/// The PDU set of Figure 6 (b).
+pub fn registry() -> PduRegistry {
+    let mut r = PduRegistry::new();
+    r.register(PduSchema::new(1, "is_available_req").field("resid", ValueType::Id))
+        .expect("static schema");
+    r.register(PduSchema::new(2, "is_available_resp").field("avail", ValueType::Bool))
+        .expect("static schema");
+    r.register(PduSchema::new(3, "free").field("resid", ValueType::Id))
+        .expect("static schema");
+    r
+}
+
+/// The subscriber-side protocol entity, owner of the polling loop.
+#[derive(Debug)]
+pub struct SubscriberEntity {
+    controller: PartId,
+    poll_interval: Duration,
+    pending: Option<u64>,
+}
+
+impl SubscriberEntity {
+    /// Creates an entity polling `controller` every `poll_interval`.
+    pub fn new(controller: PartId, poll_interval: Duration) -> Self {
+        SubscriberEntity {
+            controller,
+            poll_interval,
+            pending: None,
+        }
+    }
+
+    fn poll(&self, ctx: &mut EntityCtx<'_, '_>) {
+        let resid = self.pending.expect("poll only while pending");
+        ctx.send_pdu(self.controller, "is_available_req", &[Value::Id(resid)])
+            .expect("poll pdu matches schema");
+    }
+}
+
+impl ProtocolEntity for SubscriberEntity {
+    fn on_user_primitive(&mut self, ctx: &mut EntityCtx<'_, '_>, primitive: &str, args: Vec<Value>) {
+        match primitive {
+            "request" => {
+                assert!(
+                    self.pending.is_none(),
+                    "floor-control user requests one resource at a time"
+                );
+                self.pending = Some(args[0].as_id().expect("request carries a resource id"));
+                self.poll(ctx);
+            }
+            "free" => {
+                ctx.send_pdu(self.controller, "free", &args)
+                    .expect("free pdu matches schema");
+            }
+            other => panic!("unexpected user primitive {other}"),
+        }
+    }
+
+    fn on_pdu(&mut self, ctx: &mut EntityCtx<'_, '_>, _from: PartId, pdu: Pdu) {
+        assert_eq!(pdu.name(), "is_available_resp");
+        let available = pdu.args()[0].as_bool().expect("schema-checked");
+        if available {
+            let resid = self.pending.take().expect("response only while pending");
+            ctx.deliver_to_user("granted", vec![Value::Id(resid)]);
+        } else {
+            ctx.set_timer(self.poll_interval, POLL);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut EntityCtx<'_, '_>, timer: TimerId) {
+        assert_eq!(timer, POLL);
+        if self.pending.is_some() {
+            self.poll(ctx);
+        }
+    }
+}
+
+/// The controller protocol entity: check-and-acquire holder bookkeeping.
+#[derive(Debug, Default)]
+pub struct ControllerEntity {
+    held: BTreeMap<u64, PartId>,
+}
+
+impl ControllerEntity {
+    /// Creates an idle controller entity.
+    pub fn new() -> Self {
+        ControllerEntity::default()
+    }
+}
+
+impl ProtocolEntity for ControllerEntity {
+    fn on_user_primitive(&mut self, _: &mut EntityCtx<'_, '_>, primitive: &str, _: Vec<Value>) {
+        panic!("the controller entity serves no user part, got {primitive}");
+    }
+
+    fn on_pdu(&mut self, ctx: &mut EntityCtx<'_, '_>, from: PartId, pdu: Pdu) {
+        match pdu.name() {
+            "is_available_req" => {
+                let resid = pdu.args()[0].as_id().expect("schema-checked");
+                let available = !self.held.contains_key(&resid);
+                if available {
+                    self.held.insert(resid, from);
+                }
+                ctx.send_pdu(from, "is_available_resp", &[Value::Bool(available)])
+                    .expect("response pdu matches schema");
+            }
+            "free" => {
+                let resid = pdu.args()[0].as_id().expect("schema-checked");
+                if self.held.get(&resid) == Some(&from) {
+                    self.held.remove(&resid);
+                }
+            }
+            other => panic!("unexpected pdu {other}"),
+        }
+    }
+}
+
+/// Assembles the polling protocol stack for the given parameters.
+pub fn deploy(params: &RunParams) -> Stack {
+    let mut builder = StackBuilder::new(registry())
+        .seed(params.seed_value())
+        .link(params.link_config().clone())
+        .node(
+            controller_part(),
+            svckit_model::Sap::new("provider", controller_part()),
+            Box::new(NoUser),
+            Box::new(ControllerEntity::new()),
+        );
+    for k in 1..=params.subscriber_count() {
+        builder = builder.node(
+            subscriber_part(k),
+            subscriber_sap(subscriber_part(k)),
+            Box::new(ScriptedSubscriber::new(params)),
+            Box::new(SubscriberEntity::new(controller_part(), params.poll_time())),
+        );
+    }
+    builder.build().expect("node ids are distinct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svckit_model::conformance::{check_trace, CheckOptions};
+
+    #[test]
+    fn polling_protocol_completes_and_conforms() {
+        let params = RunParams::default().subscribers(3).resources(1).rounds(2);
+        let mut stack = deploy(&params);
+        let report = stack.run_to_quiescence(params.cap()).unwrap();
+        assert!(report.is_quiescent());
+        assert_eq!(report.trace().count_of("granted"), 6);
+        let check = check_trace(
+            &crate::service::floor_control_service(),
+            report.trace(),
+            &CheckOptions::default(),
+        );
+        assert!(check.is_conformant(), "{check}");
+    }
+
+    #[test]
+    fn contention_multiplies_pdus_not_user_actions() {
+        let params = RunParams::default().subscribers(4).resources(1).rounds(2).seed(3);
+        let mut stack = deploy(&params);
+        let report = stack.run_to_quiescence(params.cap()).unwrap();
+        assert!(report.is_quiescent());
+        // Users still act 3 times per round (request, granted, free)…
+        assert_eq!(report.trace().count_of("request"), 8);
+        // …but the provider exchanged far more PDUs while polling.
+        assert!(stack.total_counters().pdus_sent > 3 * 8);
+    }
+}

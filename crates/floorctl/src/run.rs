@@ -1,0 +1,227 @@
+//! The unified run harness for all six solutions.
+
+use svckit_middleware::MwSystem;
+use svckit_model::conformance::{check_trace, CheckOptions};
+use svckit_model::{Duration, Instant, Trace};
+use svckit_netsim::SimReport;
+use svckit_protocol::Stack;
+
+use crate::metrics::FloorMetrics;
+use crate::params::{RunParams, Solution};
+use crate::service::floor_control_service;
+use crate::{mw, proto};
+
+/// Everything measured about one solution run: completion, conformance,
+/// service-level metrics and transport-level costs.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Which solution ran.
+    pub solution: Solution,
+    /// Whether the workload completed (every round granted and freed)
+    /// within the time cap.
+    pub completed: bool,
+    /// Whether the recorded trace conforms to the floor-control service
+    /// definition.
+    pub conformant: bool,
+    /// Number of conformance violations (0 when `conformant`).
+    pub violations: usize,
+    /// Service-level metrics (grants, latencies, fairness).
+    pub floor: FloorMetrics,
+    /// The recorded service-primitive trace.
+    pub trace: Trace,
+    /// Simulated time when the run stopped.
+    pub end_time: Instant,
+    /// Transport-level messages sent (including middleware-internal and
+    /// token-circulation traffic).
+    pub transport_messages: u64,
+    /// Transport-level payload bytes sent.
+    pub transport_bytes: u64,
+    /// Coordination events handled by *application parts* (component
+    /// dispatches/replies/deliveries in the middleware paradigm; `granted`
+    /// indications in the protocol paradigm). Numerator of the Figure 7
+    /// scattering metric.
+    pub app_events: u64,
+    /// Coordination events handled inside the *interaction system*
+    /// (broker deliveries; PDUs processed by protocol entities).
+    pub infra_events: u64,
+}
+
+impl RunOutcome {
+    /// Fraction of coordination events handled by application parts —
+    /// 1.0 means all interaction functionality is scattered across the
+    /// application (Figure 7's middleware picture); small values mean the
+    /// service provider absorbs it.
+    pub fn scattering(&self) -> f64 {
+        let total = self.app_events + self.infra_events;
+        if total == 0 {
+            return 0.0;
+        }
+        self.app_events as f64 / total as f64
+    }
+
+    /// Transport messages per grant, or 0 when nothing was granted.
+    pub fn messages_per_grant(&self) -> f64 {
+        if self.floor.grants() == 0 {
+            return 0.0;
+        }
+        self.transport_messages as f64 / self.floor.grants() as f64
+    }
+}
+
+enum Deployment {
+    Middleware(MwSystem),
+    Protocol(Stack),
+}
+
+impl Deployment {
+    fn run_slice(&mut self, slice: Duration) -> SimReport {
+        match self {
+            Deployment::Middleware(system) => system
+                .run_to_quiescence(slice)
+                .expect("deployments always have nodes"),
+            Deployment::Protocol(stack) => stack
+                .run_to_quiescence(slice)
+                .expect("deployments always have nodes"),
+        }
+    }
+}
+
+/// Runs one solution under the given parameters until its workload
+/// completes, the system quiesces, or the simulated-time cap is reached.
+pub fn run_solution(solution: Solution, params: &RunParams) -> RunOutcome {
+    let deployment = match solution {
+        Solution::MwCallback => Deployment::Middleware(mw::callback::deploy(params)),
+        Solution::MwPolling => Deployment::Middleware(mw::polling::deploy(params)),
+        Solution::MwToken => Deployment::Middleware(mw::token::deploy(params)),
+        Solution::MwQueue => Deployment::Middleware(mw::queue::deploy(params)),
+        Solution::ProtoCallback => Deployment::Protocol(proto::callback::deploy(params)),
+        Solution::ProtoPolling => Deployment::Protocol(proto::polling::deploy(params)),
+        Solution::ProtoToken => Deployment::Protocol(proto::token::deploy(params)),
+    };
+    run_deployment(deployment, solution, params)
+}
+
+/// Runs an already-assembled middleware deployment (e.g. an MDA-derived
+/// platform-specific implementation) under the standard floor-control
+/// harness. The `label` identifies which solution family the deployment
+/// realizes, for reporting.
+pub fn run_middleware_deployment(
+    system: MwSystem,
+    label: Solution,
+    params: &RunParams,
+) -> RunOutcome {
+    run_deployment(Deployment::Middleware(system), label, params)
+}
+
+fn run_deployment(mut deployment: Deployment, solution: Solution, params: &RunParams) -> RunOutcome {
+    let expected_frees = params.expected_grants();
+    let slice = Duration::from_millis(250);
+    let mut elapsed = Duration::ZERO;
+    let mut report;
+    loop {
+        report = deployment.run_slice(slice);
+        elapsed += slice;
+        let frees = report.trace().count_of("free") as u64;
+        if frees >= expected_frees || report.is_quiescent() || elapsed >= params.cap() {
+            break;
+        }
+    }
+
+    let completed = report.trace().count_of("free") as u64 >= expected_frees;
+    let options = CheckOptions {
+        // Incomplete runs were cut off mid-flight; outstanding requests are
+        // pending, not wrong.
+        allow_pending_liveness: !completed,
+        ..CheckOptions::default()
+    };
+    let service = floor_control_service();
+    let check = check_trace(&service, report.trace(), &options);
+
+    let (app_events, infra_events) = match &deployment {
+        Deployment::Middleware(system) => {
+            let totals = system.total_counters();
+            let broker = system.broker_counters().unwrap_or_default();
+            let app = totals.dispatches + totals.replies + totals.deliveries - broker.deliveries;
+            (app, broker.deliveries)
+        }
+        Deployment::Protocol(stack) => {
+            let app = report.trace().count_of("granted") as u64;
+            (app, stack.total_counters().pdus_received)
+        }
+    };
+
+    RunOutcome {
+        solution,
+        completed,
+        conformant: check.is_conformant(),
+        violations: check.violations().len(),
+        floor: FloorMetrics::from_trace(report.trace()),
+        trace: report.trace().clone(),
+        end_time: report.end_time(),
+        transport_messages: report.metrics().messages_sent(),
+        transport_bytes: report.metrics().bytes_sent(),
+        app_events,
+        infra_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RunParams {
+        RunParams::default().subscribers(3).resources(2).rounds(2)
+    }
+
+    #[test]
+    fn all_six_solutions_complete_and_conform() {
+        for solution in Solution::ALL {
+            let outcome = run_solution(solution, &small());
+            assert!(outcome.completed, "{solution} did not complete");
+            assert!(
+                outcome.conformant,
+                "{solution} violated the service ({} violations)",
+                outcome.violations
+            );
+            assert_eq!(outcome.floor.grants(), 6, "{solution}");
+            assert_eq!(outcome.floor.frees(), 6, "{solution}");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_outcome() {
+        let a = run_solution(Solution::MwCallback, &small());
+        let b = run_solution(Solution::MwCallback, &small());
+        assert_eq!(a.transport_messages, b.transport_messages);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn middleware_scatters_interaction_functionality_protocol_does_not() {
+        let mw = run_solution(Solution::MwPolling, &small());
+        let proto = run_solution(Solution::ProtoPolling, &small());
+        assert!(
+            mw.scattering() > 0.9,
+            "middleware scattering {}",
+            mw.scattering()
+        );
+        assert!(
+            proto.scattering() < 0.5,
+            "protocol scattering {}",
+            proto.scattering()
+        );
+    }
+
+    #[test]
+    fn token_solutions_cost_more_transport_than_callback() {
+        let params = small();
+        let callback = run_solution(Solution::ProtoCallback, &params);
+        let token = run_solution(Solution::ProtoToken, &params);
+        assert!(
+            token.transport_messages > callback.transport_messages,
+            "token {} vs callback {}",
+            token.transport_messages,
+            callback.transport_messages
+        );
+    }
+}

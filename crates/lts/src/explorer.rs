@@ -1,0 +1,701 @@
+//! The constraint automaton of a service definition.
+//!
+//! A [`svckit_model::ServiceDefinition`] denotes a (generally infinite)
+//! prefix-closed set of allowed traces. Over a *finite universe* of access
+//! points and abstract events, and with a bound on outstanding liveness
+//! obligations, that set becomes the language of a finite automaton — the
+//! [`ServiceExplorer`]. The explorer supports:
+//!
+//! * stepping a constraint state by one event ([`ServiceExplorer::step`]),
+//! * enumerating which events of the universe are allowed next
+//!   ([`ServiceExplorer::allowed`]),
+//! * unfolding the automaton into an explicit [`Lts`]
+//!   ([`ServiceExplorer::to_lts`]), and
+//! * verifying an implementation LTS against the service
+//!   ([`ServiceExplorer::verify_lts`]) — the state-space generalisation of
+//!   single-trace conformance checking.
+//!
+//! Verification here covers the *safety* part of the constraints (nothing
+//! disallowed ever happens, on any path). Liveness on infinite behaviours is
+//! out of scope for trace semantics; the trace-level checker in
+//! `svckit-model` reports unanswered obligations on finite executions
+//! instead.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use svckit_model::{
+    Constraint, ConstraintKind, ConstraintScope, Sap, ServiceDefinition, Value,
+};
+
+use crate::lts::{Lts, LtsBuilder, StateId};
+
+/// An abstract event of the universe: a primitive with concrete arguments at
+/// a concrete access point (time-abstracted).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AbstractEvent {
+    /// The access point.
+    pub sap: Sap,
+    /// The primitive name.
+    pub primitive: String,
+    /// The concrete argument values.
+    pub args: Vec<Value>,
+}
+
+impl AbstractEvent {
+    /// Creates an abstract event.
+    pub fn new(sap: Sap, primitive: impl Into<String>, args: Vec<Value>) -> Self {
+        AbstractEvent {
+            sap,
+            primitive: primitive.into(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for AbstractEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}!{}(", self.sap, self.primitive)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+type Instance = (Option<Sap>, Vec<Value>);
+
+/// Per-constraint bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum CState {
+    /// Balance counters per instance (Precedes, EventuallyFollows,
+    /// AtMostOutstanding).
+    Counters(BTreeMap<Instance, u32>),
+    /// Current holder per key (MutualExclusion).
+    Holders(BTreeMap<Vec<Value>, Sap>),
+}
+
+/// A state of the constraint automaton. Opaque; obtain the initial state
+/// from [`ServiceExplorer::initial_state`] and evolve it with
+/// [`ServiceExplorer::step`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExplorerState(Vec<CState>);
+
+impl ExplorerState {
+    /// Total number of outstanding liveness obligations in this state.
+    pub fn outstanding_obligations(&self, explorer: &ServiceExplorer<'_>) -> usize {
+        self.0
+            .iter()
+            .zip(explorer.service.constraints())
+            .filter(|(_, c)| {
+                matches!(c.kind(), ConstraintKind::EventuallyFollows { .. })
+            })
+            .map(|(cs, _)| match cs {
+                CState::Counters(m) => m.values().map(|v| *v as usize).sum(),
+                CState::Holders(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Whether no obligations are outstanding and nothing is held — the
+    /// quiescent states, marked terminal in [`ServiceExplorer::to_lts`].
+    /// Enablement markers of [`ConstraintKind::After`] constraints do not
+    /// count: having joined is not an obligation.
+    pub fn is_quiescent(&self, explorer: &ServiceExplorer<'_>) -> bool {
+        self.0
+            .iter()
+            .zip(explorer.service.constraints())
+            .all(|(cs, constraint)| match cs {
+                CState::Counters(m) => {
+                    matches!(constraint.kind(), ConstraintKind::After { .. })
+                        || m.values().all(|v| *v == 0)
+                }
+                CState::Holders(h) => h.is_empty(),
+            })
+    }
+}
+
+/// Why an event is not allowed in a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepViolation {
+    constraint: String,
+    message: String,
+}
+
+impl StepViolation {
+    /// The violated constraint, rendered.
+    pub fn constraint(&self) -> &str {
+        &self.constraint
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for StepViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (violates {})", self.message, self.constraint)
+    }
+}
+
+impl Error for StepViolation {}
+
+/// Counterexample produced by [`ServiceExplorer::verify_lts`]: the shortest
+/// event sequence the implementation can perform that the service forbids.
+#[derive(Debug, Clone)]
+pub struct SafetyCounterexample {
+    trace: Vec<AbstractEvent>,
+    violation: StepViolation,
+}
+
+impl SafetyCounterexample {
+    /// The offending event sequence (the last event is the forbidden one).
+    pub fn trace(&self) -> &[AbstractEvent] {
+        &self.trace
+    }
+
+    /// The constraint violation triggered by the last event.
+    pub fn violation(&self) -> &StepViolation {
+        &self.violation
+    }
+}
+
+impl fmt::Display for SafetyCounterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "after <")?;
+        for (i, e) in self.trace.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ">: {}", self.violation)
+    }
+}
+
+impl Error for SafetyCounterexample {}
+
+/// The constraint automaton of a service over a finite event universe.
+#[derive(Debug, Clone)]
+pub struct ServiceExplorer<'a> {
+    service: &'a ServiceDefinition,
+    universe: Vec<AbstractEvent>,
+    max_outstanding: u32,
+}
+
+impl<'a> ServiceExplorer<'a> {
+    /// Creates an explorer for `service` over the given event universe.
+    ///
+    /// `max_outstanding` bounds, per constraint instance, how many liveness
+    /// obligations (and precedence credits) may accumulate; events that
+    /// would exceed the bound are treated as disallowed so that the state
+    /// space stays finite.
+    pub fn new(
+        service: &'a ServiceDefinition,
+        universe: Vec<AbstractEvent>,
+        max_outstanding: u32,
+    ) -> Self {
+        ServiceExplorer {
+            service,
+            universe,
+            max_outstanding,
+        }
+    }
+
+    /// The event universe.
+    pub fn universe(&self) -> &[AbstractEvent] {
+        &self.universe
+    }
+
+    /// The initial (empty) constraint state.
+    pub fn initial_state(&self) -> ExplorerState {
+        ExplorerState(
+            self.service
+                .constraints()
+                .iter()
+                .map(|c| match c.kind() {
+                    ConstraintKind::MutualExclusion { .. } => CState::Holders(BTreeMap::new()),
+                    _ => CState::Counters(BTreeMap::new()),
+                })
+                .collect(),
+        )
+    }
+
+    fn instance(scope: ConstraintScope, event: &AbstractEvent, key: &[usize]) -> Instance {
+        let sap = match scope {
+            ConstraintScope::SameSap => Some(event.sap.clone()),
+            ConstraintScope::Global => None,
+        };
+        let k = key
+            .iter()
+            .map(|&i| event.args.get(i).cloned().unwrap_or(Value::Unit))
+            .collect();
+        (sap, k)
+    }
+
+    fn step_constraint(
+        &self,
+        constraint: &Constraint,
+        cstate: &CState,
+        event: &AbstractEvent,
+    ) -> Result<CState, StepViolation> {
+        let key = constraint.key();
+        let violation = |message: String| StepViolation {
+            constraint: constraint.to_string(),
+            message,
+        };
+        match (constraint.kind(), cstate) {
+            (
+                ConstraintKind::Precedes {
+                    earlier,
+                    later,
+                    scope,
+                },
+                CState::Counters(map),
+            ) => {
+                let mut map = map.clone();
+                if event.primitive == *earlier {
+                    let inst = Self::instance(*scope, event, key);
+                    let e = map.entry(inst).or_insert(0);
+                    if *e >= self.max_outstanding {
+                        return Err(violation(format!(
+                            "more than {} unmatched `{earlier}` (state-space bound)",
+                            self.max_outstanding
+                        )));
+                    }
+                    *e += 1;
+                } else if event.primitive == *later {
+                    let inst = Self::instance(*scope, event, key);
+                    match map.get_mut(&inst) {
+                        Some(e) if *e > 0 => {
+                            *e -= 1;
+                            if *e == 0 {
+                                map.remove(&inst);
+                            }
+                        }
+                        _ => {
+                            return Err(violation(format!(
+                                "`{later}` without a preceding unmatched `{earlier}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(CState::Counters(map))
+            }
+            (
+                ConstraintKind::After {
+                    enabler,
+                    then,
+                    scope,
+                },
+                CState::Counters(map),
+            ) => {
+                let mut map = map.clone();
+                if event.primitive == *enabler {
+                    // A saturated counter marks "enabled forever".
+                    map.insert(Self::instance(*scope, event, key), 1);
+                } else if event.primitive == *then
+                    && !map.contains_key(&Self::instance(*scope, event, key))
+                {
+                    return Err(violation(format!(
+                        "`{then}` before any `{enabler}`"
+                    )));
+                }
+                Ok(CState::Counters(map))
+            }
+            (
+                ConstraintKind::EventuallyFollows {
+                    trigger,
+                    response,
+                    scope,
+                },
+                CState::Counters(map),
+            ) => {
+                let mut map = map.clone();
+                if event.primitive == *trigger {
+                    let inst = Self::instance(*scope, event, key);
+                    let e = map.entry(inst).or_insert(0);
+                    if *e >= self.max_outstanding {
+                        return Err(violation(format!(
+                            "more than {} outstanding `{trigger}` (state-space bound)",
+                            self.max_outstanding
+                        )));
+                    }
+                    *e += 1;
+                } else if event.primitive == *response {
+                    let inst = Self::instance(*scope, event, key);
+                    if let Some(e) = map.get_mut(&inst) {
+                        *e = e.saturating_sub(1);
+                        if *e == 0 {
+                            map.remove(&inst);
+                        }
+                    }
+                }
+                Ok(CState::Counters(map))
+            }
+            (
+                ConstraintKind::AtMostOutstanding {
+                    trigger,
+                    response,
+                    limit,
+                    scope,
+                },
+                CState::Counters(map),
+            ) => {
+                let mut map = map.clone();
+                if event.primitive == *trigger {
+                    let inst = Self::instance(*scope, event, key);
+                    let e = map.entry(inst).or_insert(0);
+                    if (*e as usize) >= *limit {
+                        return Err(violation(format!(
+                            "more than {limit} outstanding `{trigger}`"
+                        )));
+                    }
+                    *e += 1;
+                } else if event.primitive == *response {
+                    let inst = Self::instance(*scope, event, key);
+                    if let Some(e) = map.get_mut(&inst) {
+                        *e = e.saturating_sub(1);
+                        if *e == 0 {
+                            map.remove(&inst);
+                        }
+                    }
+                }
+                Ok(CState::Counters(map))
+            }
+            (ConstraintKind::MutualExclusion { acquire, release }, CState::Holders(map)) => {
+                let mut map = map.clone();
+                let k: Vec<Value> = key
+                    .iter()
+                    .map(|&i| event.args.get(i).cloned().unwrap_or(Value::Unit))
+                    .collect();
+                if event.primitive == *acquire {
+                    if let Some(holder) = map.get(&k) {
+                        return Err(violation(format!(
+                            "`{acquire}` at {} while held by {holder}",
+                            event.sap
+                        )));
+                    }
+                    map.insert(k, event.sap.clone());
+                } else if event.primitive == *release {
+                    match map.get(&k) {
+                        Some(holder) if *holder == event.sap => {
+                            map.remove(&k);
+                        }
+                        Some(holder) => {
+                            return Err(violation(format!(
+                                "`{release}` at {} but holder is {holder}",
+                                event.sap
+                            )))
+                        }
+                        None => {
+                            return Err(violation(format!(
+                                "`{release}` at {} but nothing is held",
+                                event.sap
+                            )))
+                        }
+                    }
+                }
+                Ok(CState::Holders(map))
+            }
+            // State shape always matches the constraint it was built for.
+            _ => unreachable!("constraint state shape mismatch"),
+        }
+    }
+
+    /// Advances the state by one event.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint violation when the event is not allowed
+    /// in `state`.
+    pub fn step(
+        &self,
+        state: &ExplorerState,
+        event: &AbstractEvent,
+    ) -> Result<ExplorerState, StepViolation> {
+        let mut next = Vec::with_capacity(state.0.len());
+        for (constraint, cstate) in self.service.constraints().iter().zip(&state.0) {
+            next.push(self.step_constraint(constraint, cstate, event)?);
+        }
+        Ok(ExplorerState(next))
+    }
+
+    /// The events of the universe allowed in `state`.
+    pub fn allowed(&self, state: &ExplorerState) -> Vec<&AbstractEvent> {
+        self.universe
+            .iter()
+            .filter(|e| self.step(state, e).is_ok())
+            .collect()
+    }
+
+    /// Unfolds the automaton into an explicit LTS over the universe.
+    ///
+    /// Quiescent states (no outstanding obligations, nothing held) are
+    /// marked terminal. The construction is bounded by `max_states`; when the
+    /// bound is hit, the LTS is truncated (remaining frontier states keep
+    /// their discovered transitions only).
+    pub fn to_lts(&self, max_states: usize) -> Lts<AbstractEvent> {
+        let mut builder = LtsBuilder::new();
+        let mut index: HashMap<ExplorerState, StateId> = HashMap::new();
+        let init = self.initial_state();
+        let id0 = builder.add_state("init");
+        if init.is_quiescent(self) {
+            builder.mark_terminal(id0);
+        }
+        index.insert(init.clone(), id0);
+        let mut queue = VecDeque::from([init]);
+        let mut edges: Vec<(StateId, AbstractEvent, ExplorerState)> = Vec::new();
+        while let Some(state) = queue.pop_front() {
+            let from = index[&state];
+            for event in &self.universe {
+                if let Ok(next) = self.step(&state, event) {
+                    if !index.contains_key(&next) {
+                        if index.len() >= max_states {
+                            continue;
+                        }
+                        let id = builder.add_state(format!("q{}", index.len()));
+                        if next.is_quiescent(self) {
+                            builder.mark_terminal(id);
+                        }
+                        index.insert(next.clone(), id);
+                        queue.push_back(next.clone());
+                    }
+                    edges.push((from, event.clone(), next));
+                }
+            }
+        }
+        for (from, event, next) in edges {
+            if let Some(&to) = index.get(&next) {
+                builder.add_transition(from, event, to);
+            }
+        }
+        builder.build(id0)
+    }
+
+    /// Verifies that every event sequence the implementation LTS can perform
+    /// is allowed by the service (safety).
+    ///
+    /// # Errors
+    ///
+    /// Returns the shortest [`SafetyCounterexample`] on failure.
+    pub fn verify_lts(
+        &self,
+        implementation: &Lts<AbstractEvent>,
+    ) -> Result<(), SafetyCounterexample> {
+        let start = (implementation.initial(), self.initial_state());
+        let mut seen: HashMap<(StateId, ExplorerState), ()> = HashMap::new();
+        seen.insert(start.clone(), ());
+        let mut queue: VecDeque<((StateId, ExplorerState), Vec<AbstractEvent>)> =
+            VecDeque::from([(start, Vec::new())]);
+        while let Some(((is, cs), trace)) = queue.pop_front() {
+            for (act, t) in implementation.outgoing(is) {
+                match act.visible() {
+                    None => {
+                        let key = (*t, cs.clone());
+                        if seen.insert(key.clone(), ()).is_none() {
+                            queue.push_back((key, trace.clone()));
+                        }
+                    }
+                    Some(event) => match self.step(&cs, event) {
+                        Ok(next) => {
+                            let mut new_trace = trace.clone();
+                            new_trace.push(event.clone());
+                            let key = (*t, next);
+                            if seen.insert(key.clone(), ()).is_none() {
+                                queue.push_back((key, new_trace));
+                            }
+                        }
+                        Err(violation) => {
+                            let mut new_trace = trace.clone();
+                            new_trace.push(event.clone());
+                            return Err(SafetyCounterexample {
+                                trace: new_trace,
+                                violation,
+                            });
+                        }
+                    },
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svckit_model::{Direction, PartId, PrimitiveSpec};
+
+    fn floor_control() -> ServiceDefinition {
+        ServiceDefinition::builder("floor-control")
+            .role("subscriber", 2, usize::MAX)
+            .primitive(PrimitiveSpec::new("request", Direction::FromUser).param_id("resid"))
+            .primitive(PrimitiveSpec::new("granted", Direction::ToUser).param_id("resid"))
+            .primitive(PrimitiveSpec::new("free", Direction::FromUser).param_id("resid"))
+            .constraint(
+                Constraint::eventually_follows("request", "granted", ConstraintScope::SameSap)
+                    .keyed(&[0]),
+            )
+            .constraint(
+                Constraint::precedes("request", "granted", ConstraintScope::SameSap).keyed(&[0]),
+            )
+            .constraint(
+                Constraint::precedes("granted", "free", ConstraintScope::SameSap).keyed(&[0]),
+            )
+            .constraint(Constraint::mutual_exclusion("granted", "free").keyed(&[0]))
+            .build()
+            .unwrap()
+    }
+
+    fn universe(saps: u64, resources: u64) -> Vec<AbstractEvent> {
+        let mut events = Vec::new();
+        for s in 1..=saps {
+            for r in 1..=resources {
+                let sap = Sap::new("subscriber", PartId::new(s));
+                for prim in ["request", "granted", "free"] {
+                    events.push(AbstractEvent::new(sap.clone(), prim, vec![Value::Id(r)]));
+                }
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn initial_state_allows_requests_only() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(2, 1), 1);
+        let state = explorer.initial_state();
+        assert!(state.is_quiescent(&explorer));
+        let allowed = explorer.allowed(&state);
+        assert_eq!(allowed.len(), 2); // request at each of the two SAPs
+        assert!(allowed.iter().all(|e| e.primitive == "request"));
+    }
+
+    #[test]
+    fn step_tracks_grant_and_exclusion() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(2, 1), 1);
+        let s1 = Sap::new("subscriber", PartId::new(1));
+        let s2 = Sap::new("subscriber", PartId::new(2));
+        let req1 = AbstractEvent::new(s1.clone(), "request", vec![Value::Id(1)]);
+        let req2 = AbstractEvent::new(s2.clone(), "request", vec![Value::Id(1)]);
+        let grant1 = AbstractEvent::new(s1.clone(), "granted", vec![Value::Id(1)]);
+        let grant2 = AbstractEvent::new(s2.clone(), "granted", vec![Value::Id(1)]);
+        let free1 = AbstractEvent::new(s1, "free", vec![Value::Id(1)]);
+
+        let st = explorer.initial_state();
+        let st = explorer.step(&st, &req1).unwrap();
+        let st = explorer.step(&st, &req2).unwrap();
+        let st = explorer.step(&st, &grant1).unwrap();
+        // second grant while held is forbidden
+        let err = explorer.step(&st, &grant2).unwrap_err();
+        assert!(err.message().contains("while held"), "{err}");
+        // after free, the other subscriber may be granted
+        let st = explorer.step(&st, &free1).unwrap();
+        let st = explorer.step(&st, &grant2).unwrap();
+        assert!(!st.is_quiescent(&explorer)); // subscriber 2 still holds resource 1
+    }
+
+    #[test]
+    fn to_lts_is_finite_and_has_terminal_initial() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(2, 1), 1);
+        let lts = explorer.to_lts(10_000);
+        assert!(lts.state_count() > 1);
+        assert!(lts.is_terminal(lts.initial()));
+        // The service language never deadlocks: requests are always possible
+        // in quiescent states.
+        assert!(lts.deadlocks().is_empty());
+    }
+
+    #[test]
+    fn verify_lts_accepts_legal_implementation() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(1, 1), 1);
+        let sap = Sap::new("subscriber", PartId::new(1));
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state("idle");
+        let s1 = b.add_state("requested");
+        let s2 = b.add_state("held");
+        b.add_transition(
+            s0,
+            AbstractEvent::new(sap.clone(), "request", vec![Value::Id(1)]),
+            s1,
+        );
+        b.add_transition(
+            s1,
+            AbstractEvent::new(sap.clone(), "granted", vec![Value::Id(1)]),
+            s2,
+        );
+        b.add_transition(
+            s2,
+            AbstractEvent::new(sap, "free", vec![Value::Id(1)]),
+            s0,
+        );
+        let imp = b.build(s0);
+        assert!(explorer.verify_lts(&imp).is_ok());
+    }
+
+    #[test]
+    fn verify_lts_finds_shortest_violation() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(1, 1), 1);
+        let sap = Sap::new("subscriber", PartId::new(1));
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state("idle");
+        let s1 = b.add_state("bad");
+        // grant without request
+        b.add_transition(
+            s0,
+            AbstractEvent::new(sap, "granted", vec![Value::Id(1)]),
+            s1,
+        );
+        let imp = b.build(s0);
+        let err = explorer.verify_lts(&imp).unwrap_err();
+        assert_eq!(err.trace().len(), 1);
+        assert!(err.to_string().contains("granted"), "{err}");
+    }
+
+    #[test]
+    fn bound_limits_outstanding_requests() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(1, 1), 1);
+        let sap = Sap::new("subscriber", PartId::new(1));
+        let req = AbstractEvent::new(sap, "request", vec![Value::Id(1)]);
+        let st = explorer.initial_state();
+        let st = explorer.step(&st, &req).unwrap();
+        let err = explorer.step(&st, &req).unwrap_err();
+        assert!(err.message().contains("state-space bound"), "{err}");
+    }
+
+    #[test]
+    fn outstanding_obligations_counts_liveness_only() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(1, 1), 2);
+        let sap = Sap::new("subscriber", PartId::new(1));
+        let req = AbstractEvent::new(sap, "request", vec![Value::Id(1)]);
+        let st = explorer.initial_state();
+        assert_eq!(st.outstanding_obligations(&explorer), 0);
+        let st = explorer.step(&st, &req).unwrap();
+        assert_eq!(st.outstanding_obligations(&explorer), 1);
+        let st = explorer.step(&st, &req).unwrap();
+        assert_eq!(st.outstanding_obligations(&explorer), 2);
+    }
+
+    #[test]
+    fn abstract_event_display_is_readable() {
+        let e = AbstractEvent::new(
+            Sap::new("subscriber", PartId::new(1)),
+            "request",
+            vec![Value::Id(7)],
+        );
+        assert_eq!(e.to_string(), "subscriber@part-1!request(#7)");
+    }
+}

@@ -1,0 +1,58 @@
+//! # svckit-lts — labelled transition systems for service designs
+//!
+//! The paper closes by calling for a modelling language with "a formal basis
+//! to develop techniques for testing or proving the correctness of service
+//! designs" (Section 7). This crate supplies that basis:
+//!
+//! * [`Lts`] — finite labelled transition systems with internal (τ) moves,
+//!   built with [`LtsBuilder`];
+//! * CSP-style **parallel composition** with synchronisation sets
+//!   ([`Lts::compose`]), **hiding** ([`Lts::hide`]) and **renaming**
+//!   ([`Lts::rename`]), the operators needed to express "protocol entities
+//!   composed with a lower-level service" as one system;
+//! * analyses: reachability, deadlock detection, bounded trace enumeration,
+//!   determinisation, and **trace inclusion** ([`Lts::trace_refines`]) with
+//!   counterexample extraction — the formal reading of the paper's "the
+//!   protocol has to be a correct implementation of the service";
+//! * [`explorer::ServiceExplorer`] — the constraint automaton of a
+//!   `svckit-model` [`ServiceDefinition`](svckit_model::ServiceDefinition)
+//!   over a finite universe of access points and keys, used to verify whole
+//!   implementation LTSs (not just single traces) against a service.
+//!
+//! # Example
+//!
+//! An implementation with an internal hop still trace-refines its
+//! specification — τ moves are unobservable:
+//!
+//! ```
+//! use svckit_lts::LtsBuilder;
+//!
+//! // Specification: alternate `send` / `deliver` forever.
+//! let mut spec = LtsBuilder::new();
+//! let s0 = spec.add_state("idle");
+//! let s1 = spec.add_state("busy");
+//! spec.add_transition(s0, "send", s1);
+//! spec.add_transition(s1, "deliver", s0);
+//! let spec = spec.build(s0);
+//!
+//! // Implementation with an internal hop.
+//! let mut imp = LtsBuilder::new();
+//! let i0 = imp.add_state("idle");
+//! let i1 = imp.add_state("in-flight");
+//! let i2 = imp.add_state("arrived");
+//! imp.add_transition(i0, "send", i1);
+//! imp.add_tau(i1, i2);
+//! imp.add_transition(i2, "deliver", i0);
+//! let imp = imp.build(i0);
+//!
+//! assert!(imp.trace_refines(&spec).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explorer;
+mod lts;
+
+pub use lts::{Act, Lts, LtsBuilder, StateId, TraceRefinementError};
+

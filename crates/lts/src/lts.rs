@@ -1,0 +1,994 @@
+//! Generic finite labelled transition systems.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::hash::Hash;
+
+/// Index of a state within an [`Lts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(usize);
+
+impl StateId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A transition action: either the internal action τ or a visible label.
+/// τ orders before every visible label.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Act<L> {
+    /// The internal, unobservable action.
+    Tau,
+    /// A visible action.
+    Vis(L),
+}
+
+impl<L> Act<L> {
+    /// Whether this is the internal action.
+    pub fn is_tau(&self) -> bool {
+        matches!(self, Act::Tau)
+    }
+
+    /// The visible label, if any.
+    pub fn visible(&self) -> Option<&L> {
+        match self {
+            Act::Tau => None,
+            Act::Vis(l) => Some(l),
+        }
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for Act<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Act::Tau => write!(f, "τ"),
+            Act::Vis(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// Builder for [`Lts`].
+#[derive(Debug, Clone)]
+pub struct LtsBuilder<L> {
+    names: Vec<String>,
+    transitions: Vec<Vec<(Act<L>, StateId)>>,
+    terminal: HashSet<StateId>,
+}
+
+impl<L> Default for LtsBuilder<L> {
+    fn default() -> Self {
+        LtsBuilder {
+            names: Vec::new(),
+            transitions: Vec::new(),
+            terminal: HashSet::new(),
+        }
+    }
+}
+
+impl<L> LtsBuilder<L> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a state with a diagnostic name and returns its id.
+    pub fn add_state(&mut self, name: impl Into<String>) -> StateId {
+        self.names.push(name.into());
+        self.transitions.push(Vec::new());
+        StateId(self.names.len() - 1)
+    }
+
+    /// Adds a visible transition `from --label--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state id was not produced by this builder.
+    pub fn add_transition(&mut self, from: StateId, label: L, to: StateId) {
+        assert!(from.0 < self.names.len(), "unknown source state");
+        assert!(to.0 < self.names.len(), "unknown target state");
+        self.transitions[from.0].push((Act::Vis(label), to));
+    }
+
+    /// Adds an internal transition `from --τ--> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state id was not produced by this builder.
+    pub fn add_tau(&mut self, from: StateId, to: StateId) {
+        assert!(from.0 < self.names.len(), "unknown source state");
+        assert!(to.0 < self.names.len(), "unknown target state");
+        self.transitions[from.0].push((Act::Tau, to));
+    }
+
+    /// Marks a state as terminal (successful termination rather than
+    /// deadlock).
+    pub fn mark_terminal(&mut self, state: StateId) {
+        self.terminal.insert(state);
+    }
+
+    /// Finalises the system with `initial` as the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` was not produced by this builder.
+    pub fn build(self, initial: StateId) -> Lts<L> {
+        assert!(initial.0 < self.names.len(), "unknown initial state");
+        Lts {
+            names: self.names,
+            transitions: self.transitions,
+            terminal: self.terminal,
+            initial,
+        }
+    }
+}
+
+/// A finite labelled transition system with τ moves.
+#[derive(Debug, Clone)]
+pub struct Lts<L> {
+    names: Vec<String>,
+    transitions: Vec<Vec<(Act<L>, StateId)>>,
+    terminal: HashSet<StateId>,
+    initial: StateId,
+}
+
+/// Failure of a trace-refinement check, carrying the shortest offending
+/// trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRefinementError<L> {
+    counterexample: Vec<L>,
+}
+
+impl<L> TraceRefinementError<L> {
+    /// The shortest visible trace the implementation can perform but the
+    /// specification cannot.
+    pub fn counterexample(&self) -> &[L] {
+        &self.counterexample
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for TraceRefinementError<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "implementation performs trace <")?;
+        for (i, l) in self.counterexample.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "> which the specification does not allow")
+    }
+}
+
+impl<L: fmt::Display + fmt::Debug> Error for TraceRefinementError<L> {}
+
+impl<L> Lts<L> {
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Total number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// Diagnostic name of a state.
+    pub fn state_name(&self, state: StateId) -> &str {
+        &self.names[state.0]
+    }
+
+    /// Outgoing transitions of a state.
+    pub fn outgoing(&self, state: StateId) -> &[(Act<L>, StateId)] {
+        &self.transitions[state.0]
+    }
+
+    /// Whether a state is marked as successful termination.
+    pub fn is_terminal(&self, state: StateId) -> bool {
+        self.terminal.contains(&state)
+    }
+
+    /// All states reachable from the initial state.
+    pub fn reachable(&self) -> Vec<StateId> {
+        let mut seen = vec![false; self.names.len()];
+        let mut queue = VecDeque::from([self.initial]);
+        seen[self.initial.0] = true;
+        let mut order = Vec::new();
+        while let Some(s) = queue.pop_front() {
+            order.push(s);
+            for (_, t) in &self.transitions[s.0] {
+                if !seen[t.0] {
+                    seen[t.0] = true;
+                    queue.push_back(*t);
+                }
+            }
+        }
+        order
+    }
+
+    /// Renders the reachable part of the system in Graphviz DOT syntax.
+    pub fn to_dot(&self, name: &str) -> String
+    where
+        L: fmt::Display,
+    {
+        let mut out = format!("digraph \"{name}\" {{\n  rankdir=LR;\n");
+        for s in self.reachable() {
+            let shape = if self.is_terminal(s) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let style = if s == self.initial {
+                ", style=bold"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  {} [label=\"{}\", shape={shape}{style}];\n",
+                s.index(),
+                self.state_name(s)
+            ));
+            for (a, t) in self.outgoing(s) {
+                out.push_str(&format!(
+                    "  {} -> {} [label=\"{a}\"];\n",
+                    s.index(),
+                    t.index()
+                ));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Reachable states with no outgoing transitions that are not marked
+    /// terminal — i.e. genuine deadlocks.
+    pub fn deadlocks(&self) -> Vec<StateId> {
+        self.reachable()
+            .into_iter()
+            .filter(|s| self.transitions[s.0].is_empty() && !self.terminal.contains(s))
+            .collect()
+    }
+}
+
+impl<L: Clone + Eq + Hash + Ord> Lts<L> {
+    /// The τ-closure of a set of states.
+    fn tau_closure(&self, states: &BTreeSet<StateId>) -> BTreeSet<StateId> {
+        let mut closure = states.clone();
+        let mut stack: Vec<StateId> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for (act, t) in &self.transitions[s.0] {
+                if act.is_tau() && closure.insert(*t) {
+                    stack.push(*t);
+                }
+            }
+        }
+        closure
+    }
+
+    /// Visible successors of a state set under a given label, before
+    /// τ-closure.
+    fn step(&self, states: &BTreeSet<StateId>, label: &L) -> BTreeSet<StateId> {
+        let mut out = BTreeSet::new();
+        for s in states {
+            for (act, t) in &self.transitions[s.0] {
+                if act.visible() == Some(label) {
+                    out.insert(*t);
+                }
+            }
+        }
+        out
+    }
+
+    /// All distinct visible labels.
+    pub fn alphabet(&self) -> BTreeSet<L> {
+        let mut set = BTreeSet::new();
+        for row in &self.transitions {
+            for (act, _) in row {
+                if let Act::Vis(l) = act {
+                    set.insert(l.clone());
+                }
+            }
+        }
+        set
+    }
+
+    /// CSP-style parallel composition.
+    ///
+    /// Labels in `sync` must be performed by both systems simultaneously;
+    /// all other actions (including τ) interleave. Only states reachable
+    /// from the joint initial state are constructed. A composite state is
+    /// terminal when both components are terminal.
+    pub fn compose(&self, other: &Lts<L>, sync: &BTreeSet<L>) -> Lts<L>
+    where
+        L: fmt::Debug,
+    {
+        let mut builder = LtsBuilder::new();
+        let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+        let mut queue = VecDeque::new();
+
+        let start = (self.initial, other.initial);
+        let sid = builder.add_state(format!(
+            "({},{})",
+            self.state_name(self.initial),
+            other.state_name(other.initial)
+        ));
+        index.insert(start, sid);
+        queue.push_back(start);
+
+        // First pass: discover states; collect transitions to add later so
+        // we can allocate target ids on demand.
+        let mut pending: Vec<(StateId, Act<L>, (StateId, StateId))> = Vec::new();
+        while let Some((a, b)) = queue.pop_front() {
+            let from = index[&(a, b)];
+            let mut targets: Vec<(Act<L>, (StateId, StateId))> = Vec::new();
+            for (act, ta) in self.outgoing(a) {
+                match act {
+                    Act::Vis(l) if sync.contains(l) => {
+                        for (act_b, tb) in other.outgoing(b) {
+                            if act_b.visible() == Some(l) {
+                                targets.push((Act::Vis(l.clone()), (*ta, *tb)));
+                            }
+                        }
+                    }
+                    _ => targets.push((act.clone(), (*ta, b))),
+                }
+            }
+            for (act, tb) in other.outgoing(b) {
+                match act {
+                    Act::Vis(l) if sync.contains(l) => {} // handled above
+                    _ => targets.push((act.clone(), (a, *tb))),
+                }
+            }
+            for (act, tgt) in targets {
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(tgt) {
+                    let name = format!(
+                        "({},{})",
+                        self.state_name(tgt.0),
+                        other.state_name(tgt.1)
+                    );
+                    let id = builder.add_state(name);
+                    e.insert(id);
+                    queue.push_back(tgt);
+                }
+                pending.push((from, act, tgt));
+            }
+        }
+        for (from, act, tgt) in pending {
+            let to = index[&tgt];
+            match act {
+                Act::Tau => builder.add_tau(from, to),
+                Act::Vis(l) => builder.add_transition(from, l, to),
+            }
+        }
+        for ((a, b), id) in &index {
+            if self.is_terminal(*a) && other.is_terminal(*b) {
+                builder.mark_terminal(*id);
+            }
+        }
+        builder.build(sid)
+    }
+
+    /// Hides the given labels, turning them into τ.
+    pub fn hide(&self, labels: &BTreeSet<L>) -> Lts<L> {
+        let mut out = self.clone();
+        for row in &mut out.transitions {
+            for (act, _) in row {
+                if let Act::Vis(l) = act {
+                    if labels.contains(l) {
+                        *act = Act::Tau;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renames visible labels with `f` (labels mapped to `None` become τ).
+    pub fn rename<M, F>(&self, mut f: F) -> Lts<M>
+    where
+        F: FnMut(&L) -> Option<M>,
+    {
+        Lts {
+            names: self.names.clone(),
+            transitions: self
+                .transitions
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|(act, t)| {
+                            let act = match act {
+                                Act::Tau => Act::Tau,
+                                Act::Vis(l) => match f(l) {
+                                    Some(m) => Act::Vis(m),
+                                    None => Act::Tau,
+                                },
+                            };
+                            (act, *t)
+                        })
+                        .collect()
+                })
+                .collect(),
+            terminal: self.terminal.clone(),
+            initial: self.initial,
+        }
+    }
+
+    /// Enumerates all visible traces of length at most `depth`
+    /// (deduplicated, sorted). Exponential in `depth`; intended for small
+    /// systems and tests.
+    pub fn traces_up_to(&self, depth: usize) -> BTreeSet<Vec<L>> {
+        let mut out = BTreeSet::new();
+        let init = self.tau_closure(&BTreeSet::from([self.initial]));
+        let mut frontier: Vec<(BTreeSet<StateId>, Vec<L>)> = vec![(init, Vec::new())];
+        out.insert(Vec::new());
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for (states, trace) in &frontier {
+                let mut labels = BTreeSet::new();
+                for s in states {
+                    for (act, _) in self.outgoing(*s) {
+                        if let Act::Vis(l) = act {
+                            labels.insert(l.clone());
+                        }
+                    }
+                }
+                for l in labels {
+                    let stepped = self.step(states, &l);
+                    if stepped.is_empty() {
+                        continue;
+                    }
+                    let closure = self.tau_closure(&stepped);
+                    let mut t = trace.clone();
+                    t.push(l);
+                    out.insert(t.clone());
+                    next.push((closure, t));
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// Checks that `self` and `other` have exactly the same visible traces
+    /// (mutual trace refinement).
+    ///
+    /// # Errors
+    ///
+    /// Returns the shortest trace one system has and the other lacks.
+    pub fn trace_equivalent(&self, other: &Lts<L>) -> Result<(), TraceRefinementError<L>> {
+        self.trace_refines(other)?;
+        other.trace_refines(self)
+    }
+
+    /// Determinizes the system with respect to its *visible* traces: the
+    /// classic subset construction over τ-closures. The result is τ-free,
+    /// has at most one successor per (state, label), and accepts exactly
+    /// the same visible traces. A subset state is terminal when it contains
+    /// a terminal state of the original.
+    ///
+    /// Worst-case exponential in the number of states; intended for the
+    /// small specification automata this kit works with.
+    pub fn determinize(&self) -> Lts<L> {
+        let initial = self.tau_closure(&BTreeSet::from([self.initial]));
+        let mut builder = LtsBuilder::new();
+        let mut index: HashMap<BTreeSet<StateId>, StateId> = HashMap::new();
+        let name_of = |subset: &BTreeSet<StateId>| {
+            let names: Vec<&str> = subset.iter().map(|s| self.state_name(*s)).collect();
+            format!("{{{}}}", names.join(","))
+        };
+        let id0 = builder.add_state(name_of(&initial));
+        if initial.iter().any(|s| self.is_terminal(*s)) {
+            builder.mark_terminal(id0);
+        }
+        index.insert(initial.clone(), id0);
+        let mut queue = VecDeque::from([initial]);
+        while let Some(subset) = queue.pop_front() {
+            let from = index[&subset];
+            let mut labels = BTreeSet::new();
+            for s in &subset {
+                for (act, _) in self.outgoing(*s) {
+                    if let Act::Vis(l) = act {
+                        labels.insert(l.clone());
+                    }
+                }
+            }
+            for label in labels {
+                let stepped = self.step(&subset, &label);
+                if stepped.is_empty() {
+                    continue;
+                }
+                let closure = self.tau_closure(&stepped);
+                let to = match index.get(&closure) {
+                    Some(&id) => id,
+                    None => {
+                        let id = builder.add_state(name_of(&closure));
+                        if closure.iter().any(|s| self.is_terminal(*s)) {
+                            builder.mark_terminal(id);
+                        }
+                        index.insert(closure.clone(), id);
+                        queue.push_back(closure);
+                        id
+                    }
+                };
+                builder.add_transition(from, label, to);
+            }
+        }
+        builder.build(id0)
+    }
+
+    /// Quotients the reachable part of the system by strong bisimilarity
+    /// (τ treated as an ordinary action), via partition refinement.
+    ///
+    /// The result has the same traces, deadlocks and terminal states, with
+    /// equivalent states merged — useful before displaying or composing
+    /// large systems.
+    pub fn minimize(&self) -> Lts<L> {
+        let reachable = self.reachable();
+        if reachable.is_empty() {
+            return self.clone();
+        }
+        let index_of: HashMap<StateId, usize> =
+            reachable.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+
+        // Initial partition: terminal vs non-terminal.
+        let mut block_of: Vec<usize> = reachable
+            .iter()
+            .map(|s| usize::from(self.is_terminal(*s)))
+            .collect();
+        loop {
+            // Signature: the set of (action, target block) pairs, restricted
+            // to reachable targets.
+            type Signature<L> = (usize, BTreeSet<(Act<L>, usize)>);
+            let mut sig_to_block: HashMap<Signature<L>, usize> = HashMap::new();
+            let mut next: Vec<usize> = Vec::with_capacity(reachable.len());
+            for (i, s) in reachable.iter().enumerate() {
+                let sig: BTreeSet<(Act<L>, usize)> = self
+                    .outgoing(*s)
+                    .iter()
+                    .filter_map(|(a, t)| index_of.get(t).map(|&j| (a.clone(), block_of[j])))
+                    .collect();
+                let key = (block_of[i], sig);
+                let fresh = sig_to_block.len();
+                next.push(*sig_to_block.entry(key).or_insert(fresh));
+            }
+            if next == block_of {
+                break;
+            }
+            block_of = next;
+        }
+
+        let block_count = block_of.iter().max().copied().unwrap_or(0) + 1;
+        let mut builder = LtsBuilder::new();
+        let mut block_state = Vec::with_capacity(block_count);
+        for b in 0..block_count {
+            let representative = reachable[block_of.iter().position(|&x| x == b).unwrap()];
+            let id = builder.add_state(format!("[{}]", self.state_name(representative)));
+            block_state.push(id);
+        }
+        let mut added: HashSet<(usize, Act<L>, usize)> = HashSet::new();
+        for (i, s) in reachable.iter().enumerate() {
+            for (a, t) in self.outgoing(*s) {
+                if let Some(&j) = index_of.get(t) {
+                    let edge = (block_of[i], a.clone(), block_of[j]);
+                    if added.insert(edge) {
+                        match a {
+                            Act::Tau => builder.add_tau(block_state[block_of[i]], block_state[block_of[j]]),
+                            Act::Vis(l) => builder.add_transition(
+                                block_state[block_of[i]],
+                                l.clone(),
+                                block_state[block_of[j]],
+                            ),
+                        }
+                    }
+                }
+            }
+            if self.is_terminal(*s) {
+                builder.mark_terminal(block_state[block_of[i]]);
+            }
+        }
+        builder.build(block_state[block_of[index_of[&self.initial]]])
+    }
+
+    /// Checks that every visible trace of `self` is also a trace of `spec`
+    /// (trace refinement, `self ⊑tr spec`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the shortest counterexample trace when refinement fails.
+    pub fn trace_refines(&self, spec: &Lts<L>) -> Result<(), TraceRefinementError<L>> {
+        // BFS over (impl state, τ-closed spec state-set).
+        type Key = (StateId, BTreeSet<StateId>);
+        let spec_init = spec.tau_closure(&BTreeSet::from([spec.initial]));
+        let start: Key = (self.initial, spec_init);
+        let mut seen: HashSet<(StateId, Vec<StateId>)> = HashSet::new();
+        let keyed = |k: &Key| (k.0, k.1.iter().copied().collect::<Vec<_>>());
+        seen.insert(keyed(&start));
+        let mut queue: VecDeque<(Key, Vec<L>)> = VecDeque::from([(start, Vec::new())]);
+        while let Some(((is, subset), trace)) = queue.pop_front() {
+            for (act, t) in self.outgoing(is) {
+                match act {
+                    Act::Tau => {
+                        let key = (*t, subset.clone());
+                        if seen.insert(keyed(&key)) {
+                            queue.push_back((key, trace.clone()));
+                        }
+                    }
+                    Act::Vis(l) => {
+                        let stepped = spec.step(&subset, l);
+                        let mut new_trace = trace.clone();
+                        new_trace.push(l.clone());
+                        if stepped.is_empty() {
+                            return Err(TraceRefinementError {
+                                counterexample: new_trace,
+                            });
+                        }
+                        let closure = spec.tau_closure(&stepped);
+                        let key = (*t, closure);
+                        if seen.insert(keyed(&key)) {
+                            queue.push_back((key, new_trace));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a → b → (back to start)
+    fn cycle(labels: &[&'static str]) -> Lts<&'static str> {
+        let mut b = LtsBuilder::new();
+        let states: Vec<StateId> = (0..labels.len()).map(|i| b.add_state(format!("s{i}"))).collect();
+        for (i, l) in labels.iter().enumerate() {
+            let to = states[(i + 1) % states.len()];
+            b.add_transition(states[i], *l, to);
+        }
+        b.build(states[0])
+    }
+
+    #[test]
+    fn reachability_ignores_unreachable_states() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let _orphan = b.add_state("orphan");
+        b.add_transition(s0, "a", s1);
+        let lts = b.build(s0);
+        assert_eq!(lts.reachable().len(), 2);
+        assert_eq!(lts.state_count(), 3);
+    }
+
+    #[test]
+    fn deadlock_detection_excludes_terminal_states() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state("s0");
+        let stuck = b.add_state("stuck");
+        let done = b.add_state("done");
+        b.add_transition(s0, "a", stuck);
+        b.add_transition(s0, "b", done);
+        b.mark_terminal(done);
+        let lts = b.build(s0);
+        assert_eq!(lts.deadlocks(), vec![stuck]);
+    }
+
+    #[test]
+    fn traces_up_to_enumerates_prefix_closed_language() {
+        let lts = cycle(&["a", "b"]);
+        let traces = lts.traces_up_to(3);
+        assert!(traces.contains(&vec![]));
+        assert!(traces.contains(&vec!["a"]));
+        assert!(traces.contains(&vec!["a", "b"]));
+        assert!(traces.contains(&vec!["a", "b", "a"]));
+        assert!(!traces.contains(&vec!["b"]));
+        assert_eq!(traces.len(), 4);
+    }
+
+    #[test]
+    fn tau_moves_are_invisible_in_traces() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("s2");
+        b.add_tau(s0, s1);
+        b.add_transition(s1, "a", s2);
+        let lts = b.build(s0);
+        let traces = lts.traces_up_to(2);
+        assert!(traces.contains(&vec!["a"]));
+        assert_eq!(traces.len(), 2); // <> and <a>
+    }
+
+    #[test]
+    fn refinement_accepts_equal_systems() {
+        let a = cycle(&["x", "y"]);
+        let b = cycle(&["x", "y"]);
+        assert!(a.trace_refines(&b).is_ok());
+    }
+
+    #[test]
+    fn refinement_rejects_extra_behaviour_with_shortest_counterexample() {
+        let spec = cycle(&["a", "b"]);
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s0, "b", s1); // spec cannot start with b
+        let imp = b.build(s0);
+        let err = imp.trace_refines(&spec).unwrap_err();
+        assert_eq!(err.counterexample(), &["b"]);
+        assert!(err.to_string().contains("does not allow"));
+    }
+
+    #[test]
+    fn refinement_handles_nondeterministic_spec() {
+        // Spec: a then (b or c), nondeterministically split on a.
+        let mut s = LtsBuilder::new();
+        let s0 = s.add_state("s0");
+        let s1 = s.add_state("s1");
+        let s2 = s.add_state("s2");
+        let s3 = s.add_state("s3");
+        s.add_transition(s0, "a", s1);
+        s.add_transition(s0, "a", s2);
+        s.add_transition(s1, "b", s3);
+        s.add_transition(s2, "c", s3);
+        let spec = s.build(s0);
+
+        // Impl: a then c — allowed because some a-branch allows c.
+        let mut i = LtsBuilder::new();
+        let i0 = i.add_state("i0");
+        let i1 = i.add_state("i1");
+        let i2 = i.add_state("i2");
+        i.add_transition(i0, "a", i1);
+        i.add_transition(i1, "c", i2);
+        i.mark_terminal(i2);
+        let imp = i.build(i0);
+        assert!(imp.trace_refines(&spec).is_ok());
+
+        // Impl2: a then d — not allowed.
+        let mut j = LtsBuilder::new();
+        let j0 = j.add_state("j0");
+        let j1 = j.add_state("j1");
+        let j2 = j.add_state("j2");
+        j.add_transition(j0, "a", j1);
+        j.add_transition(j1, "d", j2);
+        let imp2 = j.build(j0);
+        assert_eq!(
+            imp2.trace_refines(&spec).unwrap_err().counterexample(),
+            &["a", "d"]
+        );
+    }
+
+    #[test]
+    fn compose_synchronises_on_shared_labels() {
+        // Sender: snd . mid ; Receiver: mid . rcv — sync on mid.
+        let mut s = LtsBuilder::new();
+        let s0 = s.add_state("s0");
+        let s1 = s.add_state("s1");
+        let s2 = s.add_state("s2");
+        s.add_transition(s0, "snd", s1);
+        s.add_transition(s1, "mid", s2);
+        s.mark_terminal(s2);
+        let sender = s.build(s0);
+
+        let mut r = LtsBuilder::new();
+        let r0 = r.add_state("r0");
+        let r1 = r.add_state("r1");
+        let r2 = r.add_state("r2");
+        r.add_transition(r0, "mid", r1);
+        r.add_transition(r1, "rcv", r2);
+        r.mark_terminal(r2);
+        let receiver = r.build(r0);
+
+        let sync = BTreeSet::from(["mid"]);
+        let composed = sender.compose(&receiver, &sync);
+        let traces = composed.traces_up_to(3);
+        assert!(traces.contains(&vec!["snd", "mid", "rcv"]));
+        // mid cannot happen before snd: receiver must wait for sender.
+        assert!(!traces.contains(&vec!["mid"]));
+        // terminal state reached at the end
+        assert!(composed
+            .reachable()
+            .iter()
+            .any(|st| composed.is_terminal(*st)));
+        assert!(composed.deadlocks().is_empty());
+    }
+
+    #[test]
+    fn compose_interleaves_unshared_labels() {
+        let a = cycle(&["a"]);
+        let b = cycle(&["b"]);
+        let composed = a.compose(&b, &BTreeSet::new());
+        let traces = composed.traces_up_to(2);
+        assert!(traces.contains(&vec!["a", "b"]));
+        assert!(traces.contains(&vec!["b", "a"]));
+        assert!(traces.contains(&vec!["a", "a"]));
+    }
+
+    #[test]
+    fn hide_turns_labels_into_tau() {
+        let lts = cycle(&["a", "b"]);
+        let hidden = lts.hide(&BTreeSet::from(["a"]));
+        let traces = hidden.traces_up_to(2);
+        assert!(traces.contains(&vec!["b"]));
+        assert!(!traces.iter().any(|t| t.contains(&"a")));
+    }
+
+    #[test]
+    fn rename_maps_labels_and_none_becomes_tau() {
+        let lts = cycle(&["a", "b"]);
+        let renamed: Lts<String> = lts.rename(|l| {
+            if *l == "a" {
+                Some("alpha".to_owned())
+            } else {
+                None
+            }
+        });
+        let traces = renamed.traces_up_to(2);
+        assert!(traces.contains(&vec!["alpha".to_owned()]));
+        assert!(traces.contains(&vec!["alpha".to_owned(), "alpha".to_owned()]));
+    }
+
+    #[test]
+    fn alphabet_collects_visible_labels() {
+        let lts = cycle(&["a", "b"]);
+        assert_eq!(lts.alphabet(), BTreeSet::from(["a", "b"]));
+    }
+
+    #[test]
+    fn composition_of_protocol_with_channel_refines_service() {
+        // The paper's structure in miniature: service spec = req.resp cycle;
+        // protocol = requester + replier synchronised over channel labels,
+        // with channel labels hidden.
+        let service = cycle(&["req", "resp"]);
+
+        let mut p = LtsBuilder::new();
+        let p0 = p.add_state("p0");
+        let p1 = p.add_state("p1");
+        let p2 = p.add_state("p2");
+        p.add_transition(p0, "req", p1); // accept user request
+        p.add_transition(p1, "pdu_req", p2); // send PDU
+        p.add_transition(p2, "resp", p0); // deliver response… after pdu_resp? simplified
+        let requester = p.build(p0);
+
+        let mut q = LtsBuilder::new();
+        let q0 = q.add_state("q0");
+        let q1 = q.add_state("q1");
+        q.add_transition(q0, "pdu_req", q1);
+        q.add_transition(q1, "pdu_resp", q0);
+        let replier = q.build(q0);
+
+        let sync = BTreeSet::from(["pdu_req", "pdu_resp"]);
+        let composed = requester.compose(&replier, &sync);
+        let protocol = composed.hide(&sync);
+        assert!(protocol.trace_refines(&service).is_ok());
+    }
+
+    #[test]
+    fn determinize_removes_tau_and_nondeterminism() {
+        // Nondeterministic split on `a`, with a τ hop.
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state("s0");
+        let s1 = b.add_state("s1");
+        let s2 = b.add_state("s2");
+        let s3 = b.add_state("s3");
+        b.add_transition(s0, "a", s1);
+        b.add_transition(s0, "a", s2);
+        b.add_tau(s1, s3);
+        b.add_transition(s3, "b", s0);
+        b.add_transition(s2, "c", s0);
+        b.mark_terminal(s2);
+        let lts = b.build(s0);
+
+        let det = lts.determinize();
+        // Same visible language…
+        assert!(lts.trace_equivalent(&det).is_ok());
+        // …but deterministic and τ-free.
+        for state in det.reachable() {
+            let mut seen = BTreeSet::new();
+            for (act, _) in det.outgoing(state) {
+                let label = act.visible().expect("no tau after determinization");
+                assert!(seen.insert(label.to_owned()), "duplicate label {label}");
+            }
+        }
+        // The subset reached by `a` contains terminal s2 → terminal.
+        assert!(det
+            .reachable()
+            .iter()
+            .any(|s| det.is_terminal(*s)));
+    }
+
+    #[test]
+    fn minimize_collapses_duplicate_states() {
+        // Two parallel, identical branches collapse into one.
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state("s0");
+        let l1 = b.add_state("l1");
+        let r1 = b.add_state("r1");
+        let end = b.add_state("end");
+        b.add_transition(s0, "a", l1);
+        b.add_transition(s0, "a", r1);
+        b.add_transition(l1, "b", end);
+        b.add_transition(r1, "b", end);
+        b.mark_terminal(end);
+        let lts = b.build(s0);
+        let minimized = lts.minimize();
+        assert_eq!(minimized.state_count(), 3);
+        assert!(lts.trace_equivalent(&minimized).is_ok());
+        assert!(minimized
+            .reachable()
+            .iter()
+            .any(|s| minimized.is_terminal(*s)));
+    }
+
+    #[test]
+    fn minimize_preserves_traces_and_deadlocks() {
+        let lts = cycle(&["a", "b", "a", "b"]); // 4 states, bisimilar to 2
+        let minimized = lts.minimize();
+        assert_eq!(minimized.state_count(), 2);
+        assert!(lts.trace_equivalent(&minimized).is_ok());
+        assert!(minimized.deadlocks().is_empty());
+    }
+
+    #[test]
+    fn minimize_keeps_distinct_states_distinct() {
+        let lts = cycle(&["a", "b", "c"]);
+        let minimized = lts.minimize();
+        assert_eq!(minimized.state_count(), 3);
+        assert!(lts.trace_equivalent(&minimized).is_ok());
+    }
+
+    #[test]
+    fn trace_equivalence_is_mutual_refinement() {
+        let a = cycle(&["x", "y"]);
+        let b = cycle(&["x", "y"]);
+        assert!(a.trace_equivalent(&b).is_ok());
+        // A prefix-only system refines but is not equivalent.
+        let mut p = LtsBuilder::new();
+        let p0 = p.add_state("p0");
+        let p1 = p.add_state("p1");
+        p.add_transition(p0, "x", p1);
+        p.mark_terminal(p1);
+        let prefix = p.build(p0);
+        assert!(prefix.trace_refines(&a).is_ok());
+        let err = prefix.trace_equivalent(&a).unwrap_err();
+        assert_eq!(err.counterexample(), &["x", "y"]);
+    }
+
+    #[test]
+    fn dot_export_mentions_states_and_edges() {
+        let lts = cycle(&["go"]);
+        let dot = lts.to_dot("demo");
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("label=\"go\""));
+        assert!(dot.contains("style=bold"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn state_names_and_counts_are_exposed() {
+        let lts = cycle(&["a"]);
+        assert_eq!(lts.state_count(), 1);
+        assert_eq!(lts.transition_count(), 1);
+        assert_eq!(lts.state_name(lts.initial()), "s0");
+        assert_eq!(lts.initial().to_string(), "s0");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests on the LTS algebra: refinement is reflexive,
+//! minimization preserves the trace language, hiding removes labels, and
+//! interleaving composition contains each component's traces.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use svckit_lts::{Lts, LtsBuilder};
+
+/// A random small LTS over the alphabet {a, b, c} with occasional τ moves.
+fn arb_lts() -> impl Strategy<Value = Lts<&'static str>> {
+    let labels = ["a", "b", "c"];
+    (2usize..6, proptest::collection::vec((0usize..6, 0usize..4, 0usize..6), 1..14)).prop_map(
+        move |(states, edges)| {
+            let mut b = LtsBuilder::new();
+            let ids: Vec<_> = (0..states).map(|i| b.add_state(format!("s{i}"))).collect();
+            for (from, label, to) in edges {
+                let from = ids[from % states];
+                let to = ids[to % states];
+                if label == 3 {
+                    b.add_tau(from, to);
+                } else {
+                    b.add_transition(from, labels[label], to);
+                }
+            }
+            b.build(ids[0])
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn refinement_is_reflexive(lts in arb_lts()) {
+        prop_assert!(lts.trace_refines(&lts).is_ok());
+    }
+
+    #[test]
+    fn minimize_preserves_bounded_traces(lts in arb_lts()) {
+        let minimized = lts.minimize();
+        prop_assert!(minimized.state_count() <= lts.reachable().len().max(1));
+        prop_assert_eq!(lts.traces_up_to(4), minimized.traces_up_to(4));
+        prop_assert!(lts.trace_equivalent(&minimized).is_ok());
+    }
+
+    #[test]
+    fn determinize_preserves_traces_and_is_deterministic(lts in arb_lts()) {
+        let det = lts.determinize();
+        prop_assert_eq!(lts.traces_up_to(4), det.traces_up_to(4));
+        for state in det.reachable() {
+            let mut seen = std::collections::BTreeSet::new();
+            for (act, _) in det.outgoing(state) {
+                let label = act.visible().expect("determinize output is tau-free");
+                prop_assert!(seen.insert(*label));
+            }
+        }
+    }
+
+    #[test]
+    fn hiding_removes_labels_from_all_traces(lts in arb_lts()) {
+        let hidden = lts.hide(&BTreeSet::from(["a"]));
+        for trace in hidden.traces_up_to(4) {
+            prop_assert!(!trace.contains(&"a"), "{trace:?}");
+        }
+    }
+
+    #[test]
+    fn interleaving_contains_component_traces(a in arb_lts(), b in arb_lts()) {
+        let composed = a.compose(&b, &BTreeSet::new());
+        let composed_traces = composed.traces_up_to(3);
+        for trace in a.traces_up_to(3) {
+            prop_assert!(composed_traces.contains(&trace), "{trace:?} missing");
+        }
+    }
+
+    #[test]
+    fn composing_with_an_inert_system_is_identity(a in arb_lts()) {
+        // A single-state system with no behaviour is the unit of
+        // interleaving composition (up to trace equivalence).
+        let mut unit = LtsBuilder::new();
+        let u0 = unit.add_state("unit");
+        unit.mark_terminal(u0);
+        let unit = unit.build(u0);
+        let composed = a.compose(&unit, &BTreeSet::new());
+        prop_assert!(a.trace_equivalent(&composed).is_ok());
+    }
+
+    #[test]
+    fn full_sync_on_whole_alphabet_refines_both_components(a in arb_lts(), b in arb_lts()) {
+        // When every visible label is synchronised, the composition can do
+        // only what BOTH components allow — it trace-refines each.
+        let alphabet: BTreeSet<&'static str> = ["a", "b", "c"].into();
+        let synced = a.compose(&b, &alphabet);
+        prop_assert!(synced.trace_refines(&a).is_ok());
+        prop_assert!(synced.trace_refines(&b).is_ok());
+    }
+
+    #[test]
+    fn deadlocks_are_reachable_and_stuck(lts in arb_lts()) {
+        for state in lts.deadlocks() {
+            prop_assert!(lts.outgoing(state).is_empty());
+            prop_assert!(!lts.is_terminal(state));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Ready-made designs and platform descriptors.
+//!
+//! The four concrete platforms are the leaves of Figure 10's trajectory:
+//! CORBA and JavaRMI under the RPC-based class, JMS and MQSeries under the
+//! asynchronous-messaging class. Their concept sets are deliberately
+//! asymmetric — JavaRMI lacks oneway invocation and MQSeries lacks
+//! publish/subscribe — which is what makes the recursion of Figure 12
+//! necessary in practice.
+
+use svckit_floorctl::floor_control_service;
+use svckit_model::InteractionPattern;
+
+use crate::pim::{Connector, LogicComponent, PlatformIndependentDesign};
+use crate::platform::{AbstractPlatform, ConcretePlatform, PlatformClass};
+
+/// A CORBA-like platform: remote invocation plus oneway invocation.
+pub fn corba_like() -> ConcretePlatform {
+    ConcretePlatform::new(
+        "corba-like",
+        PlatformClass::RpcBased,
+        [InteractionPattern::RequestResponse, InteractionPattern::Oneway],
+    )
+}
+
+/// A JavaRMI-like platform: remote invocation only (no oneway).
+pub fn java_rmi_like() -> ConcretePlatform {
+    ConcretePlatform::new(
+        "javarmi-like",
+        PlatformClass::RpcBased,
+        [InteractionPattern::RequestResponse],
+    )
+}
+
+/// A JMS-like platform: queues and topics.
+pub fn jms_like() -> ConcretePlatform {
+    ConcretePlatform::new(
+        "jms-like",
+        PlatformClass::Messaging,
+        [
+            InteractionPattern::MessageQueue,
+            InteractionPattern::PublishSubscribe,
+        ],
+    )
+}
+
+/// An MQSeries-like platform: queues only (no publish/subscribe).
+pub fn mq_series_like() -> ConcretePlatform {
+    ConcretePlatform::new(
+        "mqseries-like",
+        PlatformClass::Messaging,
+        [InteractionPattern::MessageQueue],
+    )
+}
+
+/// The four concrete platforms of Figure 10, in its left-to-right order.
+pub fn all_platforms() -> Vec<ConcretePlatform> {
+    vec![corba_like(), java_rmi_like(), mq_series_like(), jms_like()]
+}
+
+/// The floor-control abstract platform: the service logic relies on
+/// request/response (acquire/release towards the coordinator) and oneway
+/// (the grant callback).
+pub fn floor_control_abstract_platform() -> AbstractPlatform {
+    AbstractPlatform::new(
+        "ap-floor-control",
+        [InteractionPattern::RequestResponse, InteractionPattern::Oneway],
+    )
+}
+
+/// The platform-independent service design of the floor-control service:
+/// a coordinator component plus one subscriber agent per access point,
+/// wired by three connectors.
+pub fn floor_control_pim() -> PlatformIndependentDesign {
+    PlatformIndependentDesign::new(
+        "floor-control-pim",
+        floor_control_service(),
+        vec![
+            LogicComponent::internal("coordinator"),
+            LogicComponent::for_role("subscriber-agent", "subscriber"),
+        ],
+        vec![
+            Connector::new(
+                "acquire",
+                InteractionPattern::RequestResponse,
+                "subscriber-agent",
+                "coordinator",
+            ),
+            Connector::new(
+                "grant",
+                InteractionPattern::Oneway,
+                "coordinator",
+                "subscriber-agent",
+            ),
+            Connector::new(
+                "release",
+                InteractionPattern::RequestResponse,
+                "subscriber-agent",
+                "coordinator",
+            ),
+        ],
+        floor_control_abstract_platform(),
+    )
+    .expect("the catalogued floor-control PIM is well-formed")
+}
+
+/// A highly abstract, pattern-neutral starting-point PIM (the top of
+/// Figure 10): the same logic over an abstract platform that assumes *all*
+/// interaction concepts, from which more committed abstract platforms are
+/// chosen per branch.
+pub fn floor_control_neutral_pim() -> PlatformIndependentDesign {
+    PlatformIndependentDesign::new(
+        "floor-control-neutral-pim",
+        floor_control_service(),
+        vec![
+            LogicComponent::internal("coordinator"),
+            LogicComponent::for_role("subscriber-agent", "subscriber"),
+        ],
+        vec![
+            Connector::new(
+                "acquire",
+                InteractionPattern::MessageQueue,
+                "subscriber-agent",
+                "coordinator",
+            ),
+            Connector::new(
+                "grant",
+                InteractionPattern::MessageQueue,
+                "coordinator",
+                "subscriber-agent",
+            ),
+            Connector::new(
+                "release",
+                InteractionPattern::MessageQueue,
+                "subscriber-agent",
+                "coordinator",
+            ),
+        ],
+        AbstractPlatform::new("ap-neutral", InteractionPattern::ALL),
+    )
+    .expect("the catalogued neutral PIM is well-formed")
+}
+
+/// A second domain: the chat-room service of the `chat_service` example,
+/// as a service definition usable in trajectories.
+pub fn chat_service() -> svckit_model::ServiceDefinition {
+    use svckit_model::{Constraint, ConstraintScope, Direction, PrimitiveSpec, ValueType};
+    svckit_model::ServiceDefinition::builder("chat")
+        .role("member", 2, usize::MAX)
+        .primitive(PrimitiveSpec::new("join", Direction::FromUser))
+        .primitive(PrimitiveSpec::new("leave", Direction::FromUser))
+        .primitive(
+            PrimitiveSpec::new("say", Direction::FromUser)
+                .param_id("msgid")
+                .param("text", ValueType::Text),
+        )
+        .primitive(
+            PrimitiveSpec::new("hear", Direction::ToUser)
+                .param_id("msgid")
+                .param("text", ValueType::Text),
+        )
+        .constraint(Constraint::after("join", "say", ConstraintScope::SameSap))
+        .constraint(Constraint::precedes("join", "leave", ConstraintScope::SameSap))
+        .constraint(
+            Constraint::eventually_follows("say", "hear", ConstraintScope::Global).keyed(&[0]),
+        )
+        .build()
+        .expect("the chat service definition is well-formed")
+}
+
+/// The chat PIM: fully symmetric member agents over a publish/subscribe
+/// abstract platform. On a JMS-like target the single connector binds
+/// directly; everywhere else the transformation must recurse (a fan-out
+/// distributor over queues, or a subscription registry over remote
+/// invocation) — the mirror image of the floor-control PIM's adapter
+/// profile.
+pub fn chat_pim() -> PlatformIndependentDesign {
+    PlatformIndependentDesign::new(
+        "chat-pim",
+        chat_service(),
+        vec![LogicComponent::for_role("member-agent", "member")],
+        vec![Connector::new(
+            "room",
+            InteractionPattern::PublishSubscribe,
+            "member-agent",
+            "member-agent",
+        )],
+        AbstractPlatform::new("ap-chat", [InteractionPattern::PublishSubscribe]),
+    )
+    .expect("the catalogued chat PIM is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{transform, TransformPolicy};
+
+    #[test]
+    fn platform_asymmetries_match_the_trajectory() {
+        assert!(corba_like().supports(InteractionPattern::Oneway));
+        assert!(!java_rmi_like().supports(InteractionPattern::Oneway));
+        assert!(jms_like().supports(InteractionPattern::PublishSubscribe));
+        assert!(!mq_series_like().supports(InteractionPattern::PublishSubscribe));
+        assert_eq!(all_platforms().len(), 4);
+    }
+
+    #[test]
+    fn pims_are_well_formed() {
+        assert_eq!(floor_control_pim().connectors().len(), 3);
+        assert_eq!(floor_control_neutral_pim().connectors().len(), 3);
+    }
+
+    #[test]
+    fn chat_pim_has_the_mirror_adapter_profile() {
+        let pim = chat_pim();
+        // JMS offers pub/sub natively; every other platform recurses.
+        let jms = transform(&pim, &jms_like(), TransformPolicy::RecursiveServiceDesign).unwrap();
+        assert_eq!(jms.adapter_count(), 0);
+        let mq =
+            transform(&pim, &mq_series_like(), TransformPolicy::RecursiveServiceDesign).unwrap();
+        assert_eq!(mq.adapter_count(), 1);
+        assert!(mq
+            .bindings()
+            .iter()
+            .any(|b| b.realization().adapter().map(|a| a.name()) == Some("pubsub-over-queues")));
+        let corba =
+            transform(&pim, &corba_like(), TransformPolicy::RecursiveServiceDesign).unwrap();
+        assert_eq!(corba.adapter_count(), 1);
+        assert!(corba
+            .bindings()
+            .iter()
+            .any(|b| b.realization().adapter().map(|a| a.name()) == Some("pubsub-over-rr")));
+    }
+
+    #[test]
+    fn chat_service_is_well_formed() {
+        let svc = chat_service();
+        assert_eq!(svc.primitives().len(), 4);
+        assert_eq!(svc.constraints().len(), 3);
+    }
+
+    #[test]
+    fn only_corba_conforms_directly_to_the_floor_abstract_platform() {
+        let ap = floor_control_abstract_platform();
+        assert!(corba_like().conforms_to(&ap));
+        assert!(!java_rmi_like().conforms_to(&ap));
+        assert!(!jms_like().conforms_to(&ap));
+        assert!(!mq_series_like().conforms_to(&ap));
+    }
+}

@@ -1,0 +1,77 @@
+//! MDA error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised along the model-driven design trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MdaError {
+    /// The platform-independent design is inconsistent.
+    InvalidDesign {
+        /// Explanation.
+        detail: String,
+    },
+    /// A connector requires an interaction concept the abstract platform
+    /// does not declare — the PIM relies on something outside its own
+    /// abstract-platform definition.
+    ConceptNotInAbstractPlatform {
+        /// The offending connector.
+        connector: String,
+        /// The missing concept.
+        concept: String,
+    },
+    /// No realization (direct or adapted) exists for an abstract concept on
+    /// the chosen concrete platform.
+    NoRealization {
+        /// The abstract concept.
+        concept: String,
+        /// The concrete platform.
+        platform: String,
+    },
+    /// A platform-specific execution failed or did not conform to the
+    /// service definition.
+    RealizationFailed {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdaError::InvalidDesign { detail } => {
+                write!(f, "invalid platform-independent design: {detail}")
+            }
+            MdaError::ConceptNotInAbstractPlatform { connector, concept } => write!(
+                f,
+                "connector `{connector}` needs `{concept}` which the abstract platform does not define"
+            ),
+            MdaError::NoRealization { concept, platform } => write!(
+                f,
+                "no realization of `{concept}` on platform `{platform}`"
+            ),
+            MdaError::RealizationFailed { detail } => {
+                write!(f, "platform-specific realization failed: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for MdaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MdaError>();
+        let e = MdaError::NoRealization {
+            concept: "publish/subscribe".into(),
+            platform: "mq-like".into(),
+        };
+        assert!(e.to_string().contains("publish/subscribe"));
+    }
+}

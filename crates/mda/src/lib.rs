@@ -1,0 +1,68 @@
+//! # svckit-mda — the model-driven design trajectory
+//!
+//! This crate is the paper's core contribution (Section 6): the combined
+//! use of the protocol-centred and middleware-centred paradigms in a
+//! model-driven design trajectory, with the *service concept* providing
+//! "stable reference points in the development process".
+//!
+//! The milestones of Figure 11, as types:
+//!
+//! 1. **Service definition** — a
+//!    [`ServiceDefinition`](svckit_model::ServiceDefinition), specified "at
+//!    a level of abstraction in which the supporting infrastructure is not
+//!    considered";
+//! 2. **Platform-independent service design**
+//!    ([`PlatformIndependentDesign`]) — the *service logic*, structured in
+//!    terms of service components ([`LogicComponent`]) and
+//!    [`Connector`]s, against an explicit [`AbstractPlatform`] definition;
+//! 3. **Abstract-platform realization** ([`transform`]) — matching the
+//!    abstract platform against a [`ConcretePlatform`]. When a concept
+//!    matches directly, the binding is [`Realization::Direct`]; when it
+//!    does not, the engine performs the **recursive application of the
+//!    service concept** (Figure 12): it synthesizes *abstract-platform
+//!    service logic* — an [`AdapterSpec`] — on top of the concrete
+//!    platform's concepts. Alternatively, [`TransformPolicy::Direct`]
+//!    rewrites the logic onto native concepts "with no preservation of the
+//!    border between abstract platform and service logic", trading
+//!    portability for overhead;
+//! 4. **Platform-specific implementation** ([`realize`]) — executable
+//!    deployments of the resulting [`Psm`]s on the simulated platforms,
+//!    checked against the original service definition.
+//!
+//! The two views of Figures 8 and 9 are provided by [`views`].
+//!
+//! # Example: one PIM, four platforms (Figure 10)
+//!
+//! ```
+//! use svckit_mda::{catalog, transform, TransformPolicy};
+//!
+//! let pim = catalog::floor_control_pim();
+//! for platform in catalog::all_platforms() {
+//!     let psm = transform(&pim, &platform, TransformPolicy::RecursiveServiceDesign)
+//!         .expect("every catalogued platform can realize the floor-control PIM");
+//!     println!("{}: {} adapter(s)", platform.name(), psm.adapter_count());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod qos;
+pub mod realize;
+pub mod views;
+
+mod error;
+mod pim;
+mod platform;
+mod psm;
+mod trajectory;
+mod transform;
+
+pub use error::MdaError;
+pub use pim::{Connector, LogicComponent, PlatformIndependentDesign};
+pub use platform::{AbstractPlatform, ConcretePlatform, PlatformClass};
+pub use psm::{AdapterSpec, Binding, Psm, Realization};
+pub use trajectory::{Milestone, MilestoneRecord, Trajectory, TrajectoryOutcome};
+pub use qos::{select_platform, CandidateReport, PlatformSelection, QosSpec};
+pub use transform::{transform, TransformPolicy};

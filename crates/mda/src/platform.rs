@@ -1,0 +1,179 @@
+//! Abstract and concrete platform definitions.
+//!
+//! "The term platform is used to refer to technological and engineering
+//! details that are irrelevant to the fundamental functionality of a system
+//! (part). … one must define which technological and engineering details
+//! are irrelevant in a particular context." (Section 6.1.) An
+//! [`AbstractPlatform`] is exactly that definition: the set of interaction
+//! concepts the service logic is allowed to rely on. A
+//! [`ConcretePlatform`] describes an actual middleware technology in the
+//! same vocabulary, so the two can be matched mechanically.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use svckit_model::InteractionPattern;
+
+/// The two platform classes of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformClass {
+    /// RPC-based (object-based) platforms: CORBA, JavaRMI.
+    RpcBased,
+    /// Asynchronous-messaging (message-oriented) platforms: JMS, MQSeries.
+    Messaging,
+}
+
+impl fmt::Display for PlatformClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformClass::RpcBased => write!(f, "RPC-based"),
+            PlatformClass::Messaging => write!(f, "asynchronous-messaging"),
+        }
+    }
+}
+
+/// An abstract-platform definition: the interaction concepts the
+/// platform-independent service logic may rely on.
+///
+/// "The choice of abstract platform definition must consider the
+/// portability requirements since it will define the characteristics of
+/// the platform upon which service components may rely."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractPlatform {
+    name: String,
+    concepts: BTreeSet<InteractionPattern>,
+}
+
+impl AbstractPlatform {
+    /// Creates an abstract platform offering the given concepts.
+    pub fn new<I>(name: impl Into<String>, concepts: I) -> Self
+    where
+        I: IntoIterator<Item = InteractionPattern>,
+    {
+        AbstractPlatform {
+            name: name.into(),
+            concepts: concepts.into_iter().collect(),
+        }
+    }
+
+    /// The platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The offered concepts.
+    pub fn concepts(&self) -> &BTreeSet<InteractionPattern> {
+        &self.concepts
+    }
+
+    /// Whether the platform offers `concept`.
+    pub fn offers(&self, concept: InteractionPattern) -> bool {
+        self.concepts.contains(&concept)
+    }
+}
+
+impl fmt::Display for AbstractPlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "abstract platform {} {{", self.name)?;
+        for (i, c) in self.concepts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, " {c}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// A concrete middleware platform described in the abstract vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcretePlatform {
+    name: String,
+    class: PlatformClass,
+    concepts: BTreeSet<InteractionPattern>,
+}
+
+impl ConcretePlatform {
+    /// Creates a concrete-platform descriptor.
+    pub fn new<I>(name: impl Into<String>, class: PlatformClass, concepts: I) -> Self
+    where
+        I: IntoIterator<Item = InteractionPattern>,
+    {
+        ConcretePlatform {
+            name: name.into(),
+            class,
+            concepts: concepts.into_iter().collect(),
+        }
+    }
+
+    /// The platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The Figure 10 class.
+    pub fn class(&self) -> PlatformClass {
+        self.class
+    }
+
+    /// The natively supported concepts.
+    pub fn concepts(&self) -> &BTreeSet<InteractionPattern> {
+        &self.concepts
+    }
+
+    /// Whether the platform natively supports `concept`.
+    pub fn supports(&self, concept: InteractionPattern) -> bool {
+        self.concepts.contains(&concept)
+    }
+
+    /// Whether every concept of `abstract_platform` is supported directly —
+    /// "this may be straightforward when the selected platform conforms
+    /// (directly) to the abstract platform definition".
+    pub fn conforms_to(&self, abstract_platform: &AbstractPlatform) -> bool {
+        abstract_platform
+            .concepts()
+            .iter()
+            .all(|c| self.supports(*c))
+    }
+}
+
+impl fmt::Display for ConcretePlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_is_concept_subset() {
+        let abstract_p = AbstractPlatform::new(
+            "ap",
+            [InteractionPattern::RequestResponse, InteractionPattern::Oneway],
+        );
+        let corba = ConcretePlatform::new(
+            "corba-like",
+            PlatformClass::RpcBased,
+            [InteractionPattern::RequestResponse, InteractionPattern::Oneway],
+        );
+        let rmi = ConcretePlatform::new(
+            "javarmi-like",
+            PlatformClass::RpcBased,
+            [InteractionPattern::RequestResponse],
+        );
+        assert!(corba.conforms_to(&abstract_p));
+        assert!(!rmi.conforms_to(&abstract_p));
+        assert!(rmi.supports(InteractionPattern::RequestResponse));
+        assert!(!rmi.supports(InteractionPattern::Oneway));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = AbstractPlatform::new("ap", [InteractionPattern::MessageQueue]);
+        assert!(p.to_string().contains("message-queue"));
+        let c = ConcretePlatform::new("jms-like", PlatformClass::Messaging, []);
+        assert_eq!(c.to_string(), "jms-like (asynchronous-messaging)");
+    }
+}

@@ -1,0 +1,349 @@
+//! Platform-specific models.
+
+use std::fmt;
+
+use crate::platform::ConcretePlatform;
+
+/// The abstract-platform service logic synthesized when a concept must be
+/// realized recursively (Figure 12): an adapter layer defined "in terms of
+/// the concrete platform".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdapterSpec {
+    name: String,
+    description: String,
+    extra_messages_per_interaction: u32,
+    artifacts: Vec<String>,
+}
+
+impl AdapterSpec {
+    /// Creates an adapter specification.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        extra_messages_per_interaction: u32,
+        artifacts: Vec<String>,
+    ) -> Self {
+        AdapterSpec {
+            name: name.into(),
+            description: description.into(),
+            extra_messages_per_interaction,
+            artifacts,
+        }
+    }
+
+    /// The adapter name (e.g. `oneway-over-rr`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What the adapter does.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Messages added per interaction relative to a native realization —
+    /// the modelled cost of the recursion, validated executably by the
+    /// Figure 12 experiment.
+    pub fn extra_messages_per_interaction(&self) -> u32 {
+        self.extra_messages_per_interaction
+    }
+
+    /// The platform-specific artifacts the adapter introduces.
+    pub fn artifacts(&self) -> &[String] {
+        &self.artifacts
+    }
+}
+
+/// How one connector is realized on the concrete platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Realization {
+    /// The abstract concept matches a native platform concept directly.
+    Direct {
+        /// The native construct used (e.g. `remote invocation`).
+        construct: String,
+    },
+    /// The concept is realized by recursive application of the service
+    /// concept: adapter logic over native constructs, preserving the
+    /// border between service logic and abstract platform.
+    Adapted {
+        /// The native construct beneath the adapter.
+        construct: String,
+        /// The synthesized abstract-platform service logic.
+        adapter: AdapterSpec,
+    },
+    /// The connector was rewritten onto a native concept with "no
+    /// preservation of the border between abstract platform and service
+    /// logic": the service logic itself became platform-specific.
+    Rewritten {
+        /// The native construct the logic now uses directly.
+        construct: String,
+    },
+}
+
+impl Realization {
+    /// The native construct underneath, whichever way it is reached.
+    pub fn construct(&self) -> &str {
+        match self {
+            Realization::Direct { construct }
+            | Realization::Adapted { construct, .. }
+            | Realization::Rewritten { construct } => construct,
+        }
+    }
+
+    /// The adapter, when the realization is recursive.
+    pub fn adapter(&self) -> Option<&AdapterSpec> {
+        match self {
+            Realization::Adapted { adapter, .. } => Some(adapter),
+            _ => None,
+        }
+    }
+}
+
+/// The realization of one connector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    connector: String,
+    realization: Realization,
+}
+
+impl Binding {
+    /// Creates a binding.
+    pub fn new(connector: impl Into<String>, realization: Realization) -> Self {
+        Binding {
+            connector: connector.into(),
+            realization,
+        }
+    }
+
+    /// The connector name.
+    pub fn connector(&self) -> &str {
+        &self.connector
+    }
+
+    /// How it is realized.
+    pub fn realization(&self) -> &Realization {
+        &self.realization
+    }
+}
+
+/// A platform-specific model: the PIM's connectors bound to concrete
+/// platform constructs, possibly through synthesized adapter layers.
+#[derive(Debug, Clone)]
+pub struct Psm {
+    name: String,
+    platform: ConcretePlatform,
+    bindings: Vec<Binding>,
+    border_preserved: bool,
+    logic_components: Vec<String>,
+}
+
+impl Psm {
+    pub(crate) fn new(
+        name: impl Into<String>,
+        platform: ConcretePlatform,
+        bindings: Vec<Binding>,
+        border_preserved: bool,
+        logic_components: Vec<String>,
+    ) -> Self {
+        Psm {
+            name: name.into(),
+            platform,
+            bindings,
+            border_preserved,
+            logic_components,
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The target platform.
+    pub fn platform(&self) -> &ConcretePlatform {
+        &self.platform
+    }
+
+    /// The connector bindings.
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// Whether the border between service logic and (abstract) platform
+    /// survived the transformation. `true` under
+    /// [`TransformPolicy::RecursiveServiceDesign`](crate::TransformPolicy),
+    /// `false` under direct transformation when any rewrite occurred.
+    pub fn border_preserved(&self) -> bool {
+        self.border_preserved
+    }
+
+    /// Number of adapter layers synthesized.
+    pub fn adapter_count(&self) -> usize {
+        self.bindings
+            .iter()
+            .filter(|b| b.realization().adapter().is_some())
+            .count()
+    }
+
+    /// Modelled extra messages per interaction, summed over all adapters.
+    pub fn total_adapter_overhead(&self) -> u32 {
+        self.bindings
+            .iter()
+            .filter_map(|b| b.realization().adapter())
+            .map(AdapterSpec::extra_messages_per_interaction)
+            .sum()
+    }
+
+    /// Artifacts that survive a platform switch: when the border is
+    /// preserved, all service-logic components are portable; when it is
+    /// not, the rewritten logic is platform-specific.
+    pub fn portable_artifacts(&self) -> Vec<&str> {
+        if self.border_preserved {
+            self.logic_components.iter().map(String::as_str).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Artifacts tied to this platform: adapter artifacts, plus the whole
+    /// logic when the border was not preserved.
+    pub fn platform_specific_artifacts(&self) -> Vec<String> {
+        let mut artifacts: Vec<String> = self
+            .bindings
+            .iter()
+            .filter_map(|b| b.realization().adapter())
+            .flat_map(|a| a.artifacts().iter().cloned())
+            .collect();
+        if !self.border_preserved {
+            artifacts.extend(self.logic_components.iter().cloned());
+        }
+        artifacts
+    }
+
+    /// Emits a human-readable deployment descriptor — the textual face of
+    /// the platform-specific implementation.
+    pub fn emit_descriptor(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("// {} on {}\n", self.name, self.platform));
+        out.push_str(&format!(
+            "// border between service logic and platform: {}\n",
+            if self.border_preserved { "preserved" } else { "collapsed" }
+        ));
+        for component in &self.logic_components {
+            out.push_str(&format!("component {component};\n"));
+        }
+        for binding in &self.bindings {
+            match binding.realization() {
+                Realization::Direct { construct } => {
+                    out.push_str(&format!("bind {} -> {construct};\n", binding.connector()));
+                }
+                Realization::Adapted { construct, adapter } => {
+                    out.push_str(&format!(
+                        "bind {} -> {} via adapter {} (+{} msg/interaction) {{\n",
+                        binding.connector(),
+                        construct,
+                        adapter.name(),
+                        adapter.extra_messages_per_interaction()
+                    ));
+                    for artifact in adapter.artifacts() {
+                        out.push_str(&format!("  artifact {artifact};\n"));
+                    }
+                    out.push_str("}\n");
+                }
+                Realization::Rewritten { construct } => {
+                    out.push_str(&format!(
+                        "rewrite {} onto {construct}; // border not preserved\n",
+                        binding.connector()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Psm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} ({} binding(s), {} adapter(s))",
+            self.name,
+            self.platform.name(),
+            self.bindings.len(),
+            self.adapter_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformClass;
+    use svckit_model::InteractionPattern;
+
+    fn sample() -> Psm {
+        let platform = ConcretePlatform::new(
+            "javarmi-like",
+            PlatformClass::RpcBased,
+            [InteractionPattern::RequestResponse],
+        );
+        Psm::new(
+            "floor-psm",
+            platform,
+            vec![
+                Binding::new(
+                    "acquire",
+                    Realization::Direct {
+                        construct: "remote invocation".into(),
+                    },
+                ),
+                Binding::new(
+                    "grant",
+                    Realization::Adapted {
+                        construct: "remote invocation".into(),
+                        adapter: AdapterSpec::new(
+                            "oneway-over-rr",
+                            "void invocation with discarded reply",
+                            1,
+                            vec!["void stub wrapper".into()],
+                        ),
+                    },
+                ),
+            ],
+            true,
+            vec!["coordinator".into(), "subscriber-agent".into()],
+        )
+    }
+
+    #[test]
+    fn adapter_accounting() {
+        let psm = sample();
+        assert_eq!(psm.adapter_count(), 1);
+        assert_eq!(psm.total_adapter_overhead(), 1);
+        assert_eq!(psm.portable_artifacts().len(), 2);
+        assert_eq!(psm.platform_specific_artifacts(), vec!["void stub wrapper".to_owned()]);
+    }
+
+    #[test]
+    fn collapsed_border_makes_logic_platform_specific() {
+        let mut psm = sample();
+        psm.border_preserved = false;
+        assert!(psm.portable_artifacts().is_empty());
+        assert!(psm
+            .platform_specific_artifacts()
+            .contains(&"coordinator".to_owned()));
+    }
+
+    #[test]
+    fn descriptor_mentions_adapters() {
+        let text = sample().emit_descriptor();
+        assert!(text.contains("via adapter oneway-over-rr"), "{text}");
+        assert!(text.contains("component coordinator;"), "{text}");
+        assert!(text.contains("border between service logic and platform: preserved"));
+    }
+
+    #[test]
+    fn display_counts() {
+        assert!(sample().to_string().contains("2 binding(s), 1 adapter(s)"));
+    }
+}

@@ -1,0 +1,353 @@
+//! QoS-aware platform selection.
+//!
+//! Two threads of the paper meet here. Section 5: "The design of the
+//! interaction system implies explicit attention to design choices that
+//! concern the effectiveness and efficiency of interactions. For example,
+//! QoS aspects that are influenced by distribution aspects are better
+//! addressed separately." And Figure 10 opens with a *platform selection*
+//! step. [`QosSpec`] makes the interaction-efficiency requirements a
+//! separate, machine-checkable object of design, and [`select_platform`]
+//! performs the selection step by *measuring* each candidate platform's
+//! realization against the spec.
+
+use std::fmt;
+
+use svckit_floorctl::{RunOutcome, RunParams};
+use svckit_model::Duration;
+
+use crate::error::MdaError;
+use crate::pim::PlatformIndependentDesign;
+use crate::platform::ConcretePlatform;
+use crate::realize;
+use crate::transform::{transform, TransformPolicy};
+
+/// Quality-of-service requirements on the realized interaction system.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QosSpec {
+    max_mean_grant_latency: Option<Duration>,
+    max_messages_per_grant: Option<f64>,
+    min_fairness: Option<f64>,
+}
+
+impl QosSpec {
+    /// No requirements: every conformant realization passes.
+    pub fn new() -> Self {
+        QosSpec::default()
+    }
+
+    /// Bounds the mean grant latency (builder-style).
+    #[must_use]
+    pub fn max_mean_grant_latency(mut self, bound: Duration) -> Self {
+        self.max_mean_grant_latency = Some(bound);
+        self
+    }
+
+    /// Bounds the transport messages spent per grant (builder-style).
+    #[must_use]
+    pub fn max_messages_per_grant(mut self, bound: f64) -> Self {
+        self.max_messages_per_grant = Some(bound);
+        self
+    }
+
+    /// Requires at least this Jain fairness index (builder-style).
+    #[must_use]
+    pub fn min_fairness(mut self, bound: f64) -> Self {
+        self.min_fairness = Some(bound);
+        self
+    }
+
+    /// Checks a measured run against the spec; the returned list is empty
+    /// when all requirements hold.
+    pub fn check(&self, outcome: &RunOutcome) -> Vec<String> {
+        let mut violations = Vec::new();
+        if let Some(bound) = self.max_mean_grant_latency {
+            let measured = outcome.floor.mean_latency();
+            if measured > bound {
+                violations.push(format!("mean grant latency {measured} exceeds {bound}"));
+            }
+        }
+        if let Some(bound) = self.max_messages_per_grant {
+            let measured = outcome.messages_per_grant();
+            if measured > bound {
+                violations.push(format!(
+                    "messages per grant {measured:.1} exceeds {bound:.1}"
+                ));
+            }
+        }
+        if let Some(bound) = self.min_fairness {
+            let measured = outcome.floor.fairness();
+            if measured < bound {
+                violations.push(format!("fairness {measured:.3} below {bound:.3}"));
+            }
+        }
+        violations
+    }
+}
+
+impl fmt::Display for QosSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qos {{")?;
+        if let Some(b) = self.max_mean_grant_latency {
+            write!(f, " mean-latency<={b}")?;
+        }
+        if let Some(b) = self.max_messages_per_grant {
+            write!(f, " msgs/grant<={b:.1}")?;
+        }
+        if let Some(b) = self.min_fairness {
+            write!(f, " fairness>={b:.2}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// One candidate's measured results during platform selection.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    platform: String,
+    adapters: usize,
+    mean_latency: Duration,
+    messages_per_grant: f64,
+    fairness: f64,
+    qos_violations: Vec<String>,
+    failure: Option<String>,
+}
+
+impl CandidateReport {
+    /// The candidate platform's name.
+    pub fn platform(&self) -> &str {
+        &self.platform
+    }
+
+    /// Number of adapter layers the transformation needed.
+    pub fn adapters(&self) -> usize {
+        self.adapters
+    }
+
+    /// Measured mean grant latency.
+    pub fn mean_latency(&self) -> Duration {
+        self.mean_latency
+    }
+
+    /// Measured transport messages per grant.
+    pub fn messages_per_grant(&self) -> f64 {
+        self.messages_per_grant
+    }
+
+    /// Measured Jain fairness index.
+    pub fn fairness(&self) -> f64 {
+        self.fairness
+    }
+
+    /// QoS requirements the candidate missed.
+    pub fn qos_violations(&self) -> &[String] {
+        &self.qos_violations
+    }
+
+    /// Why transformation/realization failed entirely, if it did.
+    pub fn failure(&self) -> Option<&str> {
+        self.failure.as_deref()
+    }
+
+    /// Whether the candidate realized the design and met the QoS spec.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none() && self.qos_violations.is_empty()
+    }
+}
+
+/// The outcome of the platform-selection step.
+#[derive(Debug, Clone)]
+pub struct PlatformSelection {
+    winner: String,
+    candidates: Vec<CandidateReport>,
+}
+
+impl PlatformSelection {
+    /// The selected platform's name.
+    pub fn winner(&self) -> &str {
+        &self.winner
+    }
+
+    /// All candidates, in evaluation order.
+    pub fn candidates(&self) -> &[CandidateReport] {
+        &self.candidates
+    }
+}
+
+/// Evaluates `pim` on every candidate platform — transform, execute,
+/// measure — and selects the passing candidate with the fewest transport
+/// messages per grant (ties broken by fewer adapters).
+///
+/// # Errors
+///
+/// Returns [`MdaError::RealizationFailed`] when no candidate both realizes
+/// the design and meets the QoS spec; the error detail lists every
+/// candidate's shortfall.
+pub fn select_platform(
+    pim: &PlatformIndependentDesign,
+    candidates: &[ConcretePlatform],
+    qos: &QosSpec,
+    params: &RunParams,
+) -> Result<PlatformSelection, MdaError> {
+    let mut reports = Vec::with_capacity(candidates.len());
+    for platform in candidates {
+        let report = match transform(pim, platform, TransformPolicy::RecursiveServiceDesign) {
+            Err(e) => CandidateReport {
+                platform: platform.name().to_owned(),
+                adapters: 0,
+                mean_latency: Duration::ZERO,
+                messages_per_grant: 0.0,
+                fairness: 0.0,
+                qos_violations: Vec::new(),
+                failure: Some(e.to_string()),
+            },
+            Ok(psm) => match realize::realize(&psm, params) {
+                Err(e) => CandidateReport {
+                    platform: platform.name().to_owned(),
+                    adapters: psm.adapter_count(),
+                    mean_latency: Duration::ZERO,
+                    messages_per_grant: 0.0,
+                    fairness: 0.0,
+                    qos_violations: Vec::new(),
+                    failure: Some(e.to_string()),
+                },
+                Ok(realization) => {
+                    let outcome = realization.outcome();
+                    CandidateReport {
+                        platform: platform.name().to_owned(),
+                        adapters: psm.adapter_count(),
+                        mean_latency: outcome.floor.mean_latency(),
+                        messages_per_grant: outcome.messages_per_grant(),
+                        fairness: outcome.floor.fairness(),
+                        qos_violations: qos.check(outcome),
+                        failure: None,
+                    }
+                }
+            },
+        };
+        reports.push(report);
+    }
+
+    let winner = reports
+        .iter()
+        .filter(|r| r.passed())
+        .min_by(|a, b| {
+            a.messages_per_grant
+                .total_cmp(&b.messages_per_grant)
+                .then_with(|| a.adapters.cmp(&b.adapters))
+        })
+        .map(|r| r.platform.clone());
+
+    match winner {
+        Some(winner) => Ok(PlatformSelection {
+            winner,
+            candidates: reports,
+        }),
+        None => {
+            let detail = reports
+                .iter()
+                .map(|r| {
+                    let why = r
+                        .failure()
+                        .map(str::to_owned)
+                        .unwrap_or_else(|| r.qos_violations().join("; "));
+                    format!("{}: {why}", r.platform())
+                })
+                .collect::<Vec<_>>()
+                .join(" | ");
+            Err(MdaError::RealizationFailed {
+                detail: format!("no candidate platform satisfies {qos}: {detail}"),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn params() -> RunParams {
+        RunParams::default().subscribers(3).resources(2).rounds(2)
+    }
+
+    #[test]
+    fn unconstrained_selection_picks_cheapest_platform() {
+        let selection = select_platform(
+            &catalog::floor_control_pim(),
+            &catalog::all_platforms(),
+            &QosSpec::new(),
+            &params(),
+        )
+        .unwrap();
+        assert_eq!(selection.candidates().len(), 4);
+        assert!(selection.candidates().iter().all(CandidateReport::passed));
+        // RPC platforms need no broker hop, so one of them wins on
+        // messages per grant.
+        assert!(
+            selection.winner() == "corba-like" || selection.winner() == "javarmi-like",
+            "winner {}",
+            selection.winner()
+        );
+    }
+
+    #[test]
+    fn latency_budget_excludes_broker_platforms() {
+        // Message counts tie (the broker hop replaces the RPC reply), but
+        // the indirection costs latency: a tight latency budget rules the
+        // messaging platforms out — the "QoS aspects influenced by
+        // distribution aspects" of Section 5, measured.
+        let tight = select_platform(
+            &catalog::floor_control_pim(),
+            &catalog::all_platforms(),
+            &QosSpec::new().max_mean_grant_latency(Duration::from_micros(3_500)),
+            &params(),
+        )
+        .unwrap();
+        for candidate in tight.candidates() {
+            let is_messaging =
+                candidate.platform() == "jms-like" || candidate.platform() == "mqseries-like";
+            assert_eq!(
+                candidate.qos_violations().is_empty(),
+                !is_messaging,
+                "{}: {:?}",
+                candidate.platform(),
+                candidate.qos_violations()
+            );
+        }
+        assert!(
+            tight.winner() == "corba-like" || tight.winner() == "javarmi-like",
+            "winner {}",
+            tight.winner()
+        );
+    }
+
+    #[test]
+    fn impossible_qos_reports_every_candidate() {
+        let err = select_platform(
+            &catalog::floor_control_pim(),
+            &catalog::all_platforms(),
+            &QosSpec::new().max_mean_grant_latency(Duration::from_micros(1)),
+            &params(),
+        )
+        .unwrap_err();
+        let text = err.to_string();
+        for platform in ["corba-like", "javarmi-like", "jms-like", "mqseries-like"] {
+            assert!(text.contains(platform), "{text}");
+        }
+    }
+
+    #[test]
+    fn qos_spec_checks_each_dimension() {
+        let outcome = svckit_floorctl::run_solution(
+            svckit_floorctl::Solution::MwCallback,
+            &params(),
+        );
+        assert!(QosSpec::new().check(&outcome).is_empty());
+        let strict = QosSpec::new()
+            .max_mean_grant_latency(Duration::from_micros(1))
+            .max_messages_per_grant(0.1)
+            .min_fairness(1.1);
+        assert_eq!(strict.check(&outcome).len(), 3);
+        assert!(strict.to_string().contains("mean-latency<="));
+    }
+}

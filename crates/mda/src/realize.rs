@@ -1,0 +1,203 @@
+//! Executable platform-specific implementations.
+//!
+//! The trajectory's final milestone made runnable: a [`Psm`] of the
+//! floor-control design is deployed on the corresponding simulated
+//! middleware platform, driven by the standard workload, and its trace is
+//! checked against the original service definition — closing the loop the
+//! paper asks for ("service specifications provide stable reference points
+//! in the development process").
+
+use svckit_floorctl::{
+    mw, run_middleware_deployment, RunOutcome, RunParams, Solution,
+};
+use svckit_middleware::PlatformCaps;
+use svckit_model::InteractionPattern;
+
+use crate::error::MdaError;
+use crate::platform::PlatformClass;
+use crate::psm::Psm;
+
+/// The result of executing a platform-specific implementation.
+#[derive(Debug, Clone)]
+pub struct RealizationReport {
+    platform: String,
+    solution: Solution,
+    outcome: RunOutcome,
+}
+
+impl RealizationReport {
+    /// The concrete platform name.
+    pub fn platform(&self) -> &str {
+        &self.platform
+    }
+
+    /// Which executable solution family realized the PSM.
+    pub fn solution(&self) -> Solution {
+        self.solution
+    }
+
+    /// The measured run.
+    pub fn outcome(&self) -> &RunOutcome {
+        &self.outcome
+    }
+}
+
+/// Deploys and runs the floor-control PSM on its platform.
+///
+/// RPC-based platforms execute the callback solution (request/response
+/// only, so it runs unchanged on both the CORBA-like and the JavaRMI-like
+/// platform); messaging platforms execute the queue-based solution.
+///
+/// # Errors
+///
+/// Returns [`MdaError::RealizationFailed`] when the run does not complete
+/// or the trace violates the floor-control service.
+pub fn realize(psm: &Psm, params: &RunParams) -> Result<RealizationReport, MdaError> {
+    let (system, solution) = match psm.platform().class() {
+        PlatformClass::RpcBased => (mw::callback::deploy(params), Solution::MwCallback),
+        PlatformClass::Messaging => (
+            mw::queue::deploy_on(params, psm.platform().name()),
+            Solution::MwQueue,
+        ),
+    };
+    let outcome = run_middleware_deployment(system, solution, params);
+    if !outcome.completed {
+        return Err(MdaError::RealizationFailed {
+            detail: format!("workload did not complete on {}", psm.platform().name()),
+        });
+    }
+    if !outcome.conformant {
+        return Err(MdaError::RealizationFailed {
+            detail: format!(
+                "{} violation(s) of the service definition on {}",
+                outcome.violations,
+                psm.platform().name()
+            ),
+        });
+    }
+    Ok(RealizationReport {
+        platform: psm.platform().name().to_owned(),
+        solution,
+        outcome,
+    })
+}
+
+/// Measured overhead of realizing a oneway concept recursively on a
+/// request/response-only platform (the executable Figure 12 experiment).
+#[derive(Debug, Clone)]
+pub struct AdapterOverhead {
+    /// Transport messages of the native (oneway) deployment.
+    pub native_messages: u64,
+    /// Transport messages of the adapted (request/response) deployment.
+    pub adapted_messages: u64,
+    /// Grants completed (identical in both runs when both complete).
+    pub grants: u64,
+    /// Whether both runs conformed to the service definition.
+    pub both_conformant: bool,
+}
+
+impl AdapterOverhead {
+    /// The measured multiplicative overhead of the adapter.
+    pub fn overhead_factor(&self) -> f64 {
+        if self.native_messages == 0 {
+            return 0.0;
+        }
+        self.adapted_messages as f64 / self.native_messages as f64
+    }
+}
+
+/// Runs the token solution twice — natively (oneway `pass` on a
+/// CORBA-like platform) and through the oneway-over-rr adapter
+/// (request/response `pass` on a JavaRMI-like platform) — and reports the
+/// transport cost of the recursion. The service-level behaviour is
+/// identical: both runs are checked against the same service definition.
+pub fn adapter_overhead_experiment(params: &RunParams) -> AdapterOverhead {
+    use mw::token::{deploy_with_style, PassStyle};
+
+    let native = run_middleware_deployment(
+        deploy_with_style(params, PassStyle::Oneway, PlatformCaps::rpc("corba-like")),
+        Solution::MwToken,
+        params,
+    );
+    let adapted = run_middleware_deployment(
+        deploy_with_style(
+            params,
+            PassStyle::RequestResponse,
+            PlatformCaps::new("javarmi-like", [InteractionPattern::RequestResponse]),
+        ),
+        Solution::MwToken,
+        params,
+    );
+    AdapterOverhead {
+        native_messages: native.transport_messages,
+        adapted_messages: adapted.transport_messages,
+        grants: native.floor.grants().min(adapted.floor.grants()),
+        both_conformant: native.conformant && adapted.conformant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::transform::{transform, TransformPolicy};
+
+    fn params() -> RunParams {
+        RunParams::default().subscribers(3).resources(2).rounds(2)
+    }
+
+    #[test]
+    fn all_four_platforms_yield_running_conformant_implementations() {
+        let pim = catalog::floor_control_pim();
+        for platform in catalog::all_platforms() {
+            let psm =
+                transform(&pim, &platform, TransformPolicy::RecursiveServiceDesign).unwrap();
+            let report = realize(&psm, &params())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", platform.name()));
+            assert!(report.outcome().completed);
+            assert!(report.outcome().conformant);
+            assert_eq!(report.outcome().floor.grants(), 6);
+        }
+    }
+
+    #[test]
+    fn messaging_platforms_cost_more_transport_than_rpc() {
+        let pim = catalog::floor_control_pim();
+        let p = params();
+        let rpc = realize(
+            &transform(&pim, &catalog::corba_like(), TransformPolicy::RecursiveServiceDesign)
+                .unwrap(),
+            &p,
+        )
+        .unwrap();
+        let mom = realize(
+            &transform(&pim, &catalog::jms_like(), TransformPolicy::RecursiveServiceDesign)
+                .unwrap(),
+            &p,
+        )
+        .unwrap();
+        // Broker indirection: every queue interaction is two hops.
+        assert!(
+            mom.outcome().transport_messages > rpc.outcome().transport_messages / 2,
+            "mom {} rpc {}",
+            mom.outcome().transport_messages,
+            rpc.outcome().transport_messages
+        );
+    }
+
+    #[test]
+    fn adapter_overhead_is_real_and_bounded() {
+        let overhead = adapter_overhead_experiment(&params());
+        assert!(overhead.both_conformant);
+        assert!(
+            overhead.adapted_messages > overhead.native_messages,
+            "adapted {} native {}",
+            overhead.adapted_messages,
+            overhead.native_messages
+        );
+        // oneway-over-rr doubles each hop (reply added), so the factor is
+        // at most ~2 plus workload noise.
+        let factor = overhead.overhead_factor();
+        assert!(factor > 1.2 && factor < 2.5, "factor {factor}");
+    }
+}

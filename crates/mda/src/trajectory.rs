@@ -1,0 +1,281 @@
+//! The milestones of the design trajectory (Figure 11).
+
+use std::fmt;
+
+use svckit_model::ServiceDefinition;
+
+use crate::error::MdaError;
+use crate::pim::PlatformIndependentDesign;
+use crate::platform::ConcretePlatform;
+use crate::psm::Psm;
+use crate::transform::{transform, TransformPolicy};
+
+/// The milestones defined "along the design trajectory" in Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Milestone {
+    /// The service definition: the boundary of the interaction system,
+    /// middleware-platform-independent and paradigm-independent.
+    ServiceDefinition,
+    /// Service logic structured into components plus an abstract-platform
+    /// definition.
+    PlatformIndependentServiceDesign,
+    /// The abstract platform matched (directly or recursively) with a
+    /// concrete platform.
+    AbstractPlatformRealization,
+    /// The executable result on the concrete platform.
+    PlatformSpecificImplementation,
+}
+
+impl fmt::Display for Milestone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Milestone::ServiceDefinition => write!(f, "service definition"),
+            Milestone::PlatformIndependentServiceDesign => {
+                write!(f, "platform-independent service design")
+            }
+            Milestone::AbstractPlatformRealization => write!(f, "abstract-platform realization"),
+            Milestone::PlatformSpecificImplementation => {
+                write!(f, "platform-specific implementation")
+            }
+        }
+    }
+}
+
+/// What was produced and checked at one milestone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MilestoneRecord {
+    milestone: Milestone,
+    artifact: String,
+    summary: String,
+}
+
+impl MilestoneRecord {
+    fn new(milestone: Milestone, artifact: impl Into<String>, summary: impl Into<String>) -> Self {
+        MilestoneRecord {
+            milestone,
+            artifact: artifact.into(),
+            summary: summary.into(),
+        }
+    }
+
+    /// Which milestone this record belongs to.
+    pub fn milestone(&self) -> Milestone {
+        self.milestone
+    }
+
+    /// The artifact name.
+    pub fn artifact(&self) -> &str {
+        &self.artifact
+    }
+
+    /// A one-line description of what was established.
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+}
+
+impl fmt::Display for MilestoneRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} — {}", self.milestone, self.artifact, self.summary)
+    }
+}
+
+/// A design trajectory in progress: milestone 1 reached.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    service: ServiceDefinition,
+    records: Vec<MilestoneRecord>,
+}
+
+impl Trajectory {
+    /// Starts a trajectory from a service definition (milestone 1).
+    pub fn start(service: ServiceDefinition) -> Self {
+        let record = MilestoneRecord::new(
+            Milestone::ServiceDefinition,
+            service.name().to_owned(),
+            format!(
+                "{} primitive(s), {} constraint(s), {} role(s)",
+                service.primitives().len(),
+                service.constraints().len(),
+                service.roles().len()
+            ),
+        );
+        Trajectory {
+            service,
+            records: vec![record],
+        }
+    }
+
+    /// The service definition anchoring the trajectory.
+    pub fn service(&self) -> &ServiceDefinition {
+        &self.service
+    }
+
+    /// Attaches the platform-independent service design (milestone 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdaError::InvalidDesign`] when the design implements a
+    /// different service than the trajectory's.
+    pub fn with_design(
+        mut self,
+        design: PlatformIndependentDesign,
+    ) -> Result<DesignedTrajectory, MdaError> {
+        if design.service().name() != self.service.name() {
+            return Err(MdaError::InvalidDesign {
+                detail: format!(
+                    "design implements `{}` but the trajectory's service is `{}`",
+                    design.service().name(),
+                    self.service.name()
+                ),
+            });
+        }
+        self.records.push(MilestoneRecord::new(
+            Milestone::PlatformIndependentServiceDesign,
+            design.name().to_owned(),
+            format!(
+                "{} component(s), {} connector(s), abstract platform `{}`",
+                design.components().len(),
+                design.connectors().len(),
+                design.abstract_platform().name()
+            ),
+        ));
+        Ok(DesignedTrajectory {
+            design,
+            records: self.records,
+        })
+    }
+}
+
+/// A trajectory with milestones 1 and 2 reached.
+#[derive(Debug, Clone)]
+pub struct DesignedTrajectory {
+    design: PlatformIndependentDesign,
+    records: Vec<MilestoneRecord>,
+}
+
+impl DesignedTrajectory {
+    /// The platform-independent design.
+    pub fn design(&self) -> &PlatformIndependentDesign {
+        &self.design
+    }
+
+    /// Performs the abstract-platform realization against `platform`
+    /// (milestone 3) and records the resulting platform-specific model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MdaError::NoRealization`] from the transformation.
+    pub fn realize(
+        &self,
+        platform: &ConcretePlatform,
+        policy: TransformPolicy,
+    ) -> Result<TrajectoryOutcome, MdaError> {
+        let psm = transform(&self.design, platform, policy)?;
+        let mut records = self.records.clone();
+        let direct = platform.conforms_to(self.design.abstract_platform());
+        records.push(MilestoneRecord::new(
+            Milestone::AbstractPlatformRealization,
+            psm.name().to_owned(),
+            if direct {
+                format!("platform `{}` conforms directly", platform.name())
+            } else {
+                format!(
+                    "recursion on {} concept(s): {} adapter(s), +{} msg/interaction",
+                    psm.adapter_count(),
+                    psm.adapter_count(),
+                    psm.total_adapter_overhead()
+                )
+            },
+        ));
+        records.push(MilestoneRecord::new(
+            Milestone::PlatformSpecificImplementation,
+            psm.name().to_owned(),
+            format!(
+                "border {}; {} portable / {} platform-specific artifact(s)",
+                if psm.border_preserved() { "preserved" } else { "collapsed" },
+                psm.portable_artifacts().len(),
+                psm.platform_specific_artifacts().len()
+            ),
+        ));
+        Ok(TrajectoryOutcome { psm, records })
+    }
+}
+
+/// The completed trajectory: the PSM plus the full milestone log.
+#[derive(Debug, Clone)]
+pub struct TrajectoryOutcome {
+    psm: Psm,
+    records: Vec<MilestoneRecord>,
+}
+
+impl TrajectoryOutcome {
+    /// The platform-specific model.
+    pub fn psm(&self) -> &Psm {
+        &self.psm
+    }
+
+    /// The milestone log, in order.
+    pub fn records(&self) -> &[MilestoneRecord] {
+        &self.records
+    }
+}
+
+impl fmt::Display for TrajectoryOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for record in &self.records {
+            writeln!(f, "{record}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use svckit_floorctl::floor_control_service;
+
+    #[test]
+    fn full_trajectory_records_all_four_milestones() {
+        let outcome = Trajectory::start(floor_control_service())
+            .with_design(catalog::floor_control_pim())
+            .unwrap()
+            .realize(&catalog::java_rmi_like(), TransformPolicy::RecursiveServiceDesign)
+            .unwrap();
+        let milestones: Vec<Milestone> =
+            outcome.records().iter().map(MilestoneRecord::milestone).collect();
+        assert_eq!(
+            milestones,
+            vec![
+                Milestone::ServiceDefinition,
+                Milestone::PlatformIndependentServiceDesign,
+                Milestone::AbstractPlatformRealization,
+                Milestone::PlatformSpecificImplementation,
+            ]
+        );
+        assert!(outcome.to_string().contains("recursion"), "{outcome}");
+    }
+
+    #[test]
+    fn direct_conformance_is_recorded_as_such() {
+        let outcome = Trajectory::start(floor_control_service())
+            .with_design(catalog::floor_control_pim())
+            .unwrap()
+            .realize(&catalog::corba_like(), TransformPolicy::RecursiveServiceDesign)
+            .unwrap();
+        assert!(outcome.to_string().contains("conforms directly"), "{outcome}");
+    }
+
+    #[test]
+    fn mismatched_service_is_rejected() {
+        let other = svckit_model::ServiceDefinition::builder("other")
+            .role("x", 1, 1)
+            .build()
+            .unwrap();
+        let err = Trajectory::start(other)
+            .with_design(catalog::floor_control_pim())
+            .unwrap_err();
+        assert!(matches!(err, MdaError::InvalidDesign { .. }));
+    }
+}

@@ -1,0 +1,297 @@
+//! PIM → PSM transformation: abstract-platform realization.
+//!
+//! "For each concept represented in a platform-independent model, there
+//! should be a corresponding concept or a corresponding combination of
+//! concepts in the target platform. When this is not the case, recursion of
+//! the application of the service design step may be necessary, with the
+//! abstract-platform definition functioning as service definition for the
+//! recursion." (Section 6.)
+
+use svckit_model::InteractionPattern;
+
+use crate::error::MdaError;
+use crate::pim::PlatformIndependentDesign;
+use crate::platform::ConcretePlatform;
+use crate::psm::{AdapterSpec, Binding, Psm, Realization};
+
+/// How to bridge abstract concepts the platform lacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformPolicy {
+    /// Recursive application of the service concept (Figure 12):
+    /// synthesize abstract-platform service logic on top of native
+    /// constructs, preserving the border between service logic and
+    /// platform.
+    RecursiveServiceDesign,
+    /// Direct transformation "with no preservation of the border between
+    /// abstract platform and service logic": rewrite the service logic
+    /// onto native concepts. Cheaper at run time (no adapter layer), but
+    /// the logic becomes platform-specific.
+    Direct,
+}
+
+/// The native construct name for a directly supported concept.
+fn native_construct(concept: InteractionPattern) -> &'static str {
+    match concept {
+        InteractionPattern::RequestResponse => "remote invocation",
+        InteractionPattern::Oneway => "oneway invocation",
+        InteractionPattern::MessageQueue => "point-to-point queue",
+        InteractionPattern::PublishSubscribe => "topic publication",
+        // `InteractionPattern` is non-exhaustive upstream.
+        _ => "unknown construct",
+    }
+}
+
+/// The known adapters: how to realize `needed` using `base`, with the
+/// modelled per-interaction message overhead and the artifacts introduced.
+/// Bases are tried in the listed order of preference.
+fn adapter_for(
+    needed: InteractionPattern,
+    platform: &ConcretePlatform,
+) -> Option<(InteractionPattern, AdapterSpec)> {
+    use InteractionPattern::*;
+    type Candidates = &'static [(InteractionPattern, fn() -> AdapterSpec)];
+    let candidates: Candidates = match needed {
+        Oneway => &[
+            (RequestResponse, || {
+                AdapterSpec::new(
+                    "oneway-over-rr",
+                    "void request/response invocation with the reply discarded by a stub wrapper",
+                    1,
+                    vec!["void stub wrapper".into(), "reply sink".into()],
+                )
+            }),
+            (MessageQueue, || {
+                AdapterSpec::new(
+                    "oneway-over-queue",
+                    "one message enqueued per interaction, consumed by the target",
+                    1,
+                    vec!["per-target queue".into()],
+                )
+            }),
+        ],
+        RequestResponse => &[
+            (MessageQueue, || {
+                AdapterSpec::new(
+                    "rr-over-queues",
+                    "request and reply messages over paired queues, correlated by id",
+                    2,
+                    vec![
+                        "request queue".into(),
+                        "reply queue".into(),
+                        "correlation table".into(),
+                    ],
+                )
+            }),
+            (PublishSubscribe, || {
+                AdapterSpec::new(
+                    "rr-over-topics",
+                    "request and reply topics with correlation ids and subscriber filtering",
+                    2,
+                    vec!["request topic".into(), "reply topic".into(), "correlation table".into()],
+                )
+            }),
+        ],
+        MessageQueue => &[
+            (RequestResponse, || {
+                AdapterSpec::new(
+                    "queue-over-rr",
+                    "queue-manager component providing put/get operations via remote invocation",
+                    1,
+                    vec!["queue-manager component".into(), "put operation".into(), "get operation".into()],
+                )
+            }),
+            (PublishSubscribe, || {
+                AdapterSpec::new(
+                    "queue-over-topics",
+                    "single-consumer topic with a claim protocol emulating queue semantics",
+                    2,
+                    vec!["claim topic".into(), "claim arbiter".into()],
+                )
+            }),
+        ],
+        PublishSubscribe => &[
+            (MessageQueue, || {
+                AdapterSpec::new(
+                    "pubsub-over-queues",
+                    "distributor component fanning each publication out to per-subscriber queues",
+                    1,
+                    vec!["distributor component".into(), "per-subscriber queues".into()],
+                )
+            }),
+            (RequestResponse, || {
+                AdapterSpec::new(
+                    "pubsub-over-rr",
+                    "subscription registry plus fan-out invoker calling each subscriber",
+                    1,
+                    vec!["subscription registry".into(), "fan-out invoker".into()],
+                )
+            }),
+        ],
+        // `InteractionPattern` is non-exhaustive upstream; unknown future
+        // concepts have no adapters.
+        _ => &[],
+    };
+    candidates
+        .iter()
+        .find(|(base, _)| platform.supports(*base))
+        .map(|(base, make)| (*base, make()))
+}
+
+/// Transforms a platform-independent design into a platform-specific model
+/// for `platform`.
+///
+/// Every connector concept that the platform supports natively binds
+/// [`Realization::Direct`]; every missing concept is bridged according to
+/// `policy`.
+///
+/// # Errors
+///
+/// Returns [`MdaError::NoRealization`] when a concept can be neither
+/// matched nor adapted on the platform.
+pub fn transform(
+    pim: &PlatformIndependentDesign,
+    platform: &ConcretePlatform,
+    policy: TransformPolicy,
+) -> Result<Psm, MdaError> {
+    let mut bindings = Vec::with_capacity(pim.connectors().len());
+    let mut border_preserved = true;
+    for connector in pim.connectors() {
+        let concept = connector.concept();
+        let realization = if platform.supports(concept) {
+            Realization::Direct {
+                construct: native_construct(concept).to_owned(),
+            }
+        } else {
+            let (base, adapter) =
+                adapter_for(concept, platform).ok_or_else(|| MdaError::NoRealization {
+                    concept: concept.to_string(),
+                    platform: platform.name().to_owned(),
+                })?;
+            match policy {
+                TransformPolicy::RecursiveServiceDesign => Realization::Adapted {
+                    construct: native_construct(base).to_owned(),
+                    adapter,
+                },
+                TransformPolicy::Direct => {
+                    border_preserved = false;
+                    Realization::Rewritten {
+                        construct: native_construct(base).to_owned(),
+                    }
+                }
+            }
+        };
+        bindings.push(Binding::new(connector.name(), realization));
+    }
+    Ok(Psm::new(
+        format!("{}@{}", pim.name(), platform.name()),
+        platform.clone(),
+        bindings,
+        border_preserved,
+        pim.components().iter().map(|c| c.name().to_owned()).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::platform::PlatformClass;
+
+    #[test]
+    fn conforming_platform_binds_everything_directly() {
+        let pim = catalog::floor_control_pim();
+        let psm = transform(&pim, &catalog::corba_like(), TransformPolicy::RecursiveServiceDesign)
+            .unwrap();
+        assert_eq!(psm.adapter_count(), 0);
+        assert!(psm.border_preserved());
+        assert_eq!(psm.total_adapter_overhead(), 0);
+    }
+
+    #[test]
+    fn missing_oneway_triggers_recursion_on_javarmi() {
+        let pim = catalog::floor_control_pim();
+        let psm = transform(
+            &pim,
+            &catalog::java_rmi_like(),
+            TransformPolicy::RecursiveServiceDesign,
+        )
+        .unwrap();
+        assert!(psm.adapter_count() > 0);
+        assert!(psm.border_preserved());
+        let adapters: Vec<&str> = psm
+            .bindings()
+            .iter()
+            .filter_map(|b| b.realization().adapter())
+            .map(AdapterSpec::name)
+            .collect();
+        assert!(adapters.contains(&"oneway-over-rr"), "{adapters:?}");
+    }
+
+    #[test]
+    fn messaging_platforms_adapt_rpc_concepts() {
+        let pim = catalog::floor_control_pim();
+        for platform in [catalog::jms_like(), catalog::mq_series_like()] {
+            let psm =
+                transform(&pim, &platform, TransformPolicy::RecursiveServiceDesign).unwrap();
+            assert_eq!(
+                psm.adapter_count(),
+                pim.connectors().len(),
+                "every connector needs an adapter on {}",
+                platform.name()
+            );
+            assert!(psm.border_preserved());
+        }
+    }
+
+    #[test]
+    fn direct_policy_collapses_the_border() {
+        let pim = catalog::floor_control_pim();
+        let psm = transform(&pim, &catalog::jms_like(), TransformPolicy::Direct).unwrap();
+        assert_eq!(psm.adapter_count(), 0);
+        assert!(!psm.border_preserved());
+        assert!(psm.portable_artifacts().is_empty());
+        assert!(!psm.platform_specific_artifacts().is_empty());
+    }
+
+    #[test]
+    fn direct_policy_on_conforming_platform_keeps_border() {
+        let pim = catalog::floor_control_pim();
+        let psm = transform(&pim, &catalog::corba_like(), TransformPolicy::Direct).unwrap();
+        assert!(psm.border_preserved());
+    }
+
+    #[test]
+    fn unrealizable_concept_errors() {
+        // A platform with no concepts at all.
+        let empty = ConcretePlatform::new("paper-cups", PlatformClass::RpcBased, []);
+        let pim = catalog::floor_control_pim();
+        let err = transform(&pim, &empty, TransformPolicy::RecursiveServiceDesign).unwrap_err();
+        assert!(matches!(err, MdaError::NoRealization { .. }));
+    }
+
+    #[test]
+    fn adapter_table_covers_all_pattern_pairs_with_some_base() {
+        use svckit_model::InteractionPattern as P;
+        for needed in P::ALL {
+            for base in P::ALL {
+                if needed == base {
+                    continue;
+                }
+                let platform =
+                    ConcretePlatform::new("one-trick", PlatformClass::RpcBased, [base]);
+                // Not every base can host every concept, but at least one
+                // adapter exists for each needed concept given *some* base.
+                let _ = adapter_for(needed, &platform);
+            }
+            let rich = ConcretePlatform::new(
+                "rich",
+                PlatformClass::RpcBased,
+                P::ALL.into_iter().filter(|p| *p != needed),
+            );
+            assert!(
+                adapter_for(needed, &rich).is_some(),
+                "no adapter for {needed} on an otherwise-full platform"
+            );
+        }
+    }
+}

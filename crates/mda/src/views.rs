@@ -1,0 +1,226 @@
+//! The two views on a distributed system (Figures 8 and 9).
+//!
+//! "We distinguish two alternative views on a distributed system, namely, a
+//! view in which the interaction systems provided by the middleware
+//! platform are recognized as separate objects of design (Figure 8) and a
+//! view in which the application-dependent interaction systems between
+//! application parts are recognized as separate objects of design
+//! (Figure 9)."
+
+use std::fmt;
+
+/// What a system element contributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementKind {
+    /// Behaviour the end user cares about (the floor-control workload).
+    UserFacingPart,
+    /// Application-dependent coordination behaviour (controllers, token
+    /// logic, polling loops).
+    CoordinationLogic,
+    /// The middleware platform and brokers.
+    PlatformInfrastructure,
+}
+
+/// A named element of a deployed system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    name: String,
+    kind: ElementKind,
+}
+
+impl Element {
+    /// Creates an element.
+    pub fn new(name: impl Into<String>, kind: ElementKind) -> Self {
+        Element {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The element name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The element kind.
+    pub fn kind(&self) -> ElementKind {
+        self.kind
+    }
+}
+
+/// A deployed system, enumerated for view extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemDescription {
+    name: String,
+    elements: Vec<Element>,
+}
+
+impl SystemDescription {
+    /// Creates a description.
+    pub fn new(name: impl Into<String>, elements: Vec<Element>) -> Self {
+        SystemDescription {
+            name: name.into(),
+            elements,
+        }
+    }
+
+    /// The system name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The elements.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+}
+
+/// Which boundary to draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewKind {
+    /// Figure 8: only the middleware platform is a separate object of
+    /// design; coordination logic counts as application.
+    MiddlewareInteractionSystems,
+    /// Figure 9: the application-dependent interaction system (coordination
+    /// logic *plus* platform) is a separate object of design.
+    ApplicationInteractionSystems,
+}
+
+/// A partition of the system's elements into application parts and the
+/// interaction system, under one of the two views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemView {
+    kind: ViewKind,
+    application_parts: Vec<String>,
+    interaction_system: Vec<String>,
+}
+
+impl SystemView {
+    /// The view kind.
+    pub fn kind(&self) -> ViewKind {
+        self.kind
+    }
+
+    /// Element names on the application side of the boundary.
+    pub fn application_parts(&self) -> &[String] {
+        &self.application_parts
+    }
+
+    /// Element names inside the interaction system.
+    pub fn interaction_system(&self) -> &[String] {
+        &self.interaction_system
+    }
+}
+
+impl fmt::Display for SystemView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self.kind {
+            ViewKind::MiddlewareInteractionSystems => "figure-8 view",
+            ViewKind::ApplicationInteractionSystems => "figure-9 view",
+        };
+        write!(
+            f,
+            "{label}: app parts = {:?}; interaction system = {:?}",
+            self.application_parts, self.interaction_system
+        )
+    }
+}
+
+/// Extracts one of the two views from a system description. The result is
+/// always an exact partition of the description's elements.
+pub fn view_of(description: &SystemDescription, kind: ViewKind) -> SystemView {
+    let in_interaction_system = |element: &Element| match kind {
+        ViewKind::MiddlewareInteractionSystems => {
+            element.kind() == ElementKind::PlatformInfrastructure
+        }
+        ViewKind::ApplicationInteractionSystems => matches!(
+            element.kind(),
+            ElementKind::PlatformInfrastructure | ElementKind::CoordinationLogic
+        ),
+    };
+    let mut application_parts = Vec::new();
+    let mut interaction_system = Vec::new();
+    for element in description.elements() {
+        if in_interaction_system(element) {
+            interaction_system.push(element.name().to_owned());
+        } else {
+            application_parts.push(element.name().to_owned());
+        }
+    }
+    SystemView {
+        kind,
+        application_parts,
+        interaction_system,
+    }
+}
+
+/// The element inventory of an asymmetric floor-control deployment with
+/// `subscribers` subscriber parts: user-facing subscribers, a coordinating
+/// controller, and the middleware platform.
+pub fn floor_control_description(subscribers: u64) -> SystemDescription {
+    let mut elements = vec![
+        Element::new("controller", ElementKind::CoordinationLogic),
+        Element::new("middleware-platform", ElementKind::PlatformInfrastructure),
+    ];
+    for k in 1..=subscribers {
+        elements.push(Element::new(format!("sub-{k}"), ElementKind::UserFacingPart));
+    }
+    SystemDescription::new("floor-control", elements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_views_partition_the_same_elements() {
+        let description = floor_control_description(3);
+        for kind in [
+            ViewKind::MiddlewareInteractionSystems,
+            ViewKind::ApplicationInteractionSystems,
+        ] {
+            let view = view_of(&description, kind);
+            assert_eq!(
+                view.application_parts().len() + view.interaction_system().len(),
+                description.elements().len()
+            );
+        }
+    }
+
+    #[test]
+    fn figure_9_boundary_strictly_contains_figure_8() {
+        let description = floor_control_description(3);
+        let fig8 = view_of(&description, ViewKind::MiddlewareInteractionSystems);
+        let fig9 = view_of(&description, ViewKind::ApplicationInteractionSystems);
+        assert!(fig9.interaction_system().len() > fig8.interaction_system().len());
+        for element in fig8.interaction_system() {
+            assert!(fig9.interaction_system().contains(element));
+        }
+        // In the figure-8 view the controller is an application part; in
+        // the figure-9 view it is part of the interaction system.
+        assert!(fig8.application_parts().contains(&"controller".to_owned()));
+        assert!(fig9.interaction_system().contains(&"controller".to_owned()));
+    }
+
+    #[test]
+    fn user_parts_stay_application_parts_in_both_views() {
+        let description = floor_control_description(2);
+        for kind in [
+            ViewKind::MiddlewareInteractionSystems,
+            ViewKind::ApplicationInteractionSystems,
+        ] {
+            let view = view_of(&description, kind);
+            assert!(view.application_parts().contains(&"sub-1".to_owned()));
+            assert!(view.application_parts().contains(&"sub-2".to_owned()));
+        }
+    }
+
+    #[test]
+    fn display_labels_the_figure() {
+        let view = view_of(
+            &floor_control_description(2),
+            ViewKind::MiddlewareInteractionSystems,
+        );
+        assert!(view.to_string().starts_with("figure-8 view"));
+    }
+}

@@ -1,0 +1,104 @@
+//! The message broker node for queue and topic routing.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use svckit_codec::PduRegistry;
+use svckit_model::{PartId, Value};
+use svckit_netsim::{Context, Process};
+
+use crate::counters::MwCounters;
+use crate::plan::DeploymentPlan;
+use crate::wire;
+
+/// Routes `mw_enqueue` to one consumer (round-robin) and `mw_publish` to
+/// every subscriber, as `mw_deliver` frames.
+pub(crate) struct Broker {
+    plan: Rc<DeploymentPlan>,
+    registry: Rc<PduRegistry>,
+    counters: Rc<RefCell<MwCounters>>,
+    round_robin: HashMap<String, usize>,
+}
+
+impl Broker {
+    pub(crate) fn new(plan: Rc<DeploymentPlan>, registry: Rc<PduRegistry>) -> Self {
+        Broker {
+            plan,
+            registry,
+            counters: Rc::new(RefCell::new(MwCounters::default())),
+            round_robin: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn counters(&self) -> Rc<RefCell<MwCounters>> {
+        Rc::clone(&self.counters)
+    }
+
+    fn deliver(&self, net: &mut Context<'_>, component: &str, source: &str, payload: Vec<Value>) {
+        let Some(entry) = self.plan.component(component) else {
+            self.counters.borrow_mut().dispatch_errors += 1;
+            return;
+        };
+        let bytes = self
+            .registry
+            .encode(
+                wire::PDU_DELIVER,
+                &[Value::Text(source.to_owned()), wire::wrap_list(payload)],
+            )
+            .expect("wire schema is static");
+        let mut c = self.counters.borrow_mut();
+        c.deliveries += 1;
+        c.marshalled_bytes += bytes.len() as u64;
+        drop(c);
+        net.send(entry.part(), bytes);
+    }
+}
+
+impl Process for Broker {
+    fn on_message(&mut self, net: &mut Context<'_>, _from: PartId, payload: Vec<u8>) {
+        let pdu = match self.registry.decode(&payload) {
+            Ok(pdu) => pdu,
+            Err(_) => {
+                self.counters.borrow_mut().dispatch_errors += 1;
+                return;
+            }
+        };
+        let name = pdu.name().to_owned();
+        let mut args = pdu.into_args();
+        match name.as_str() {
+            wire::PDU_ENQUEUE => {
+                let body = wire::unwrap_list(args.pop().expect("schema has 2 fields"));
+                let queue = args.pop().and_then(|v| v.as_text().map(str::to_owned));
+                let Some(queue) = queue else { return };
+                let Some(consumers) = self.plan.queue_consumers(&queue) else {
+                    self.counters.borrow_mut().dispatch_errors += 1;
+                    return;
+                };
+                if consumers.is_empty() {
+                    return;
+                }
+                let consumers = consumers.to_vec();
+                let idx = self.round_robin.entry(queue.clone()).or_insert(0);
+                let target = consumers[*idx % consumers.len()].clone();
+                *idx += 1;
+                self.deliver(net, &target, &queue, body);
+            }
+            wire::PDU_PUBLISH => {
+                let body = wire::unwrap_list(args.pop().expect("schema has 2 fields"));
+                let topic = args.pop().and_then(|v| v.as_text().map(str::to_owned));
+                let Some(topic) = topic else { return };
+                let Some(subscribers) = self.plan.topic_subscribers(&topic) else {
+                    self.counters.borrow_mut().dispatch_errors += 1;
+                    return;
+                };
+                for subscriber in subscribers {
+                    self.deliver(net, subscriber, &topic, body.clone());
+                }
+            }
+            _ => {
+                self.counters.borrow_mut().dispatch_errors += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Components and their middleware context.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use svckit_codec::PduRegistry;
+use svckit_model::{Duration, InteractionPattern, Instant, PartId, Sap, Value};
+use svckit_netsim::{Context, TimerId};
+
+use crate::counters::MwCounters;
+use crate::error::MwError;
+use crate::plan::DeploymentPlan;
+use crate::wire;
+
+/// Timer-id namespace reserved for invocation timeouts
+/// (timer id = base + call id).
+pub(crate) const CALL_TIMEOUT_BASE: u64 = 1 << 63;
+
+/// An application part in the middleware-centred paradigm.
+///
+/// A component interacts with the rest of the system *only* through the
+/// interaction patterns its platform offers, via [`MwCtx`]. Which patterns
+/// those are is decided by the deployment plan's
+/// [`PlatformCaps`](crate::PlatformCaps) — illustrating the paper's point
+/// that platform choice "directly influence\[s\] the design of the application
+/// parts".
+pub trait Component {
+    /// Called once when the system starts.
+    fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
+        let _ = ctx;
+    }
+
+    /// Dispatches an operation invoked on one of this component's provided
+    /// interfaces. The returned value is marshalled back to the caller
+    /// (ignored for oneway operations).
+    fn handle_operation(
+        &mut self,
+        ctx: &mut MwCtx<'_, '_>,
+        iface: &str,
+        op: &str,
+        args: Vec<Value>,
+    ) -> Value;
+
+    /// Receives the result of an earlier [`MwCtx::invoke`], correlated by
+    /// the caller-chosen token.
+    fn on_reply(&mut self, ctx: &mut MwCtx<'_, '_>, token: u64, result: Value) {
+        let _ = (ctx, token, result);
+    }
+
+    /// Called when an invocation issued with
+    /// [`MwCtx::invoke_with_timeout`] receives no reply in time. The call
+    /// is abandoned: a late reply will be ignored.
+    fn on_timeout(&mut self, ctx: &mut MwCtx<'_, '_>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Receives a message from a queue or topic this component consumes.
+    fn on_delivery(&mut self, ctx: &mut MwCtx<'_, '_>, source: &str, payload: Vec<Value>) {
+        let _ = (ctx, source, payload);
+    }
+
+    /// Called when a timer set via [`MwCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut MwCtx<'_, '_>, timer: TimerId) {
+        let _ = (ctx, timer);
+    }
+}
+
+/// The capabilities the middleware platform exposes to a component handler.
+#[derive(Debug)]
+pub struct MwCtx<'a, 'b> {
+    pub(crate) net: &'a mut Context<'b>,
+    pub(crate) name: &'a str,
+    pub(crate) plan: &'a DeploymentPlan,
+    pub(crate) registry: &'a PduRegistry,
+    pub(crate) counters: &'a Rc<RefCell<MwCounters>>,
+    pub(crate) call_seq: &'a mut u64,
+    pub(crate) pending: &'a mut HashMap<u64, u64>,
+}
+
+impl MwCtx<'_, '_> {
+    /// The current simulated time.
+    pub fn now(&self) -> Instant {
+        self.net.now()
+    }
+
+    /// This component's name in the deployment plan.
+    pub fn name(&self) -> &str {
+        self.name
+    }
+
+    /// This component's node identity.
+    pub fn id(&self) -> PartId {
+        self.net.id()
+    }
+
+    /// The deployment plan (read-only).
+    pub fn plan(&self) -> &DeploymentPlan {
+        self.plan
+    }
+
+    fn resolve(
+        &self,
+        target: &str,
+        iface: &str,
+        op: &str,
+        args: &[Value],
+        expect_oneway: bool,
+    ) -> Result<PartId, MwError> {
+        let entry = self
+            .plan
+            .component(target)
+            .ok_or_else(|| MwError::UnknownComponent {
+                name: target.to_owned(),
+            })?;
+        let has_iface = entry.provides().iter().any(|i| i.name() == iface);
+        if !has_iface {
+            return Err(MwError::UnknownInterface {
+                component: target.to_owned(),
+                interface: iface.to_owned(),
+            });
+        }
+        let sig = entry
+            .find_operation(iface, op)
+            .ok_or_else(|| MwError::UnknownOperation {
+                interface: iface.to_owned(),
+                operation: op.to_owned(),
+            })?;
+        if sig.is_oneway() != expect_oneway {
+            return Err(MwError::WrongInvocationStyle {
+                operation: op.to_owned(),
+                detail: if expect_oneway {
+                    "operation is request/response; use invoke".to_owned()
+                } else {
+                    "operation is oneway; use oneway".to_owned()
+                },
+            });
+        }
+        sig.validate_args(args).map_err(|e| MwError::BadArguments {
+            operation: op.to_owned(),
+            detail: e.to_string(),
+        })?;
+        Ok(entry.part())
+    }
+
+    /// Invokes a request/response operation on `target`. The result arrives
+    /// later via [`Component::on_reply`] with the given correlation `token`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the platform lacks the request/response pattern, the
+    /// target/interface/operation is unknown, the operation is oneway, or
+    /// the arguments do not match the signature. Nothing is sent on error.
+    pub fn invoke(
+        &mut self,
+        target: &str,
+        iface: &str,
+        op: &str,
+        args: Vec<Value>,
+        token: u64,
+    ) -> Result<(), MwError> {
+        self.invoke_inner(target, iface, op, args, token, None)
+    }
+
+    /// Like [`MwCtx::invoke`], but if no reply arrives within `timeout`,
+    /// the call is abandoned and [`Component::on_timeout`] fires with the
+    /// token instead (a late reply is then ignored).
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly as [`MwCtx::invoke`] does.
+    pub fn invoke_with_timeout(
+        &mut self,
+        target: &str,
+        iface: &str,
+        op: &str,
+        args: Vec<Value>,
+        token: u64,
+        timeout: Duration,
+    ) -> Result<(), MwError> {
+        self.invoke_inner(target, iface, op, args, token, Some(timeout))
+    }
+
+    fn invoke_inner(
+        &mut self,
+        target: &str,
+        iface: &str,
+        op: &str,
+        args: Vec<Value>,
+        token: u64,
+        timeout: Option<Duration>,
+    ) -> Result<(), MwError> {
+        self.plan
+            .platform()
+            .require(InteractionPattern::RequestResponse)?;
+        let part = self.resolve(target, iface, op, &args, false)?;
+        let call_id = *self.call_seq;
+        *self.call_seq += 1;
+        self.pending.insert(call_id, token);
+        let bytes = self
+            .registry
+            .encode(
+                wire::PDU_REQUEST,
+                &[
+                    Value::Id(call_id),
+                    Value::Text(iface.to_owned()),
+                    Value::Text(op.to_owned()),
+                    wire::wrap_list(args),
+                ],
+            )
+            .expect("wire schema is static");
+        {
+            let mut c = self.counters.borrow_mut();
+            c.invocations += 1;
+            c.marshalled_bytes += bytes.len() as u64;
+        }
+        self.net.send(part, bytes);
+        if let Some(timeout) = timeout {
+            self.net
+                .set_timer(timeout, TimerId(CALL_TIMEOUT_BASE + call_id));
+        }
+        Ok(())
+    }
+
+    /// Invokes a oneway (fire-and-forget) operation on `target`.
+    ///
+    /// # Errors
+    ///
+    /// Fails as [`MwCtx::invoke`] does, requiring the oneway pattern and a
+    /// oneway operation.
+    pub fn oneway(
+        &mut self,
+        target: &str,
+        iface: &str,
+        op: &str,
+        args: Vec<Value>,
+    ) -> Result<(), MwError> {
+        self.plan.platform().require(InteractionPattern::Oneway)?;
+        let part = self.resolve(target, iface, op, &args, true)?;
+        let bytes = self
+            .registry
+            .encode(
+                wire::PDU_ONEWAY,
+                &[
+                    Value::Text(iface.to_owned()),
+                    Value::Text(op.to_owned()),
+                    wire::wrap_list(args),
+                ],
+            )
+            .expect("wire schema is static");
+        {
+            let mut c = self.counters.borrow_mut();
+            c.oneways += 1;
+            c.marshalled_bytes += bytes.len() as u64;
+        }
+        self.net.send(part, bytes);
+        Ok(())
+    }
+
+    /// Puts a message onto a declared queue; the broker delivers it to one
+    /// consumer (round-robin).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the platform lacks the message-queue pattern or the queue
+    /// is not declared in the plan.
+    pub fn enqueue(&mut self, queue: &str, payload: Vec<Value>) -> Result<(), MwError> {
+        self.plan
+            .platform()
+            .require(InteractionPattern::MessageQueue)?;
+        if self.plan.queue_consumers(queue).is_none() {
+            return Err(MwError::UnknownQueue {
+                name: queue.to_owned(),
+            });
+        }
+        let broker = self.plan.broker().expect("plan validation placed a broker");
+        let bytes = self
+            .registry
+            .encode(
+                wire::PDU_ENQUEUE,
+                &[Value::Text(queue.to_owned()), wire::wrap_list(payload)],
+            )
+            .expect("wire schema is static");
+        {
+            let mut c = self.counters.borrow_mut();
+            c.enqueues += 1;
+            c.marshalled_bytes += bytes.len() as u64;
+        }
+        self.net.send(broker, bytes);
+        Ok(())
+    }
+
+    /// Publishes a message to a declared topic; the broker delivers it to
+    /// every subscriber.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the platform lacks the publish/subscribe pattern or the
+    /// topic is not declared in the plan.
+    pub fn publish(&mut self, topic: &str, payload: Vec<Value>) -> Result<(), MwError> {
+        self.plan
+            .platform()
+            .require(InteractionPattern::PublishSubscribe)?;
+        if self.plan.topic_subscribers(topic).is_none() {
+            return Err(MwError::UnknownTopic {
+                name: topic.to_owned(),
+            });
+        }
+        let broker = self.plan.broker().expect("plan validation placed a broker");
+        let bytes = self
+            .registry
+            .encode(
+                wire::PDU_PUBLISH,
+                &[Value::Text(topic.to_owned()), wire::wrap_list(payload)],
+            )
+            .expect("wire schema is static");
+        {
+            let mut c = self.counters.borrow_mut();
+            c.publishes += 1;
+            c.marshalled_bytes += bytes.len() as u64;
+        }
+        self.net.send(broker, bytes);
+        Ok(())
+    }
+
+    /// Schedules (or reschedules) a timer.
+    pub fn set_timer(&mut self, delay: Duration, id: TimerId) {
+        self.net.set_timer(delay, id);
+    }
+
+    /// Cancels a pending timer.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.net.cancel_timer(id);
+    }
+
+    /// Records the occurrence of a service primitive at `sap` in the
+    /// simulation trace — used by application parts to expose their
+    /// service-level behaviour for conformance checking.
+    pub fn record_primitive(&mut self, sap: Sap, primitive: impl Into<String>, args: Vec<Value>) {
+        self.net.record_primitive(sap, primitive, args);
+    }
+
+    /// Deterministic random value in `[0, bound)`.
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        self.net.rand_below(bound)
+    }
+}

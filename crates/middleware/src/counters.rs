@@ -1,0 +1,95 @@
+//! Per-node middleware counters.
+
+use std::fmt;
+
+/// Counters kept by each middleware node, observable from the system after
+/// a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MwCounters {
+    /// Request/response invocations issued.
+    pub invocations: u64,
+    /// Oneway invocations issued.
+    pub oneways: u64,
+    /// Replies received.
+    pub replies: u64,
+    /// Operations dispatched on this node's component.
+    pub dispatches: u64,
+    /// Messages put onto queues.
+    pub enqueues: u64,
+    /// Messages published to topics.
+    pub publishes: u64,
+    /// Queue/topic messages delivered to this node's component.
+    pub deliveries: u64,
+    /// Failed dispatches (unknown op on the wire, bad result type …).
+    pub dispatch_errors: u64,
+    /// Invocations abandoned because no reply arrived in time.
+    pub timeouts: u64,
+    /// Bytes marshalled onto the wire by this node.
+    pub marshalled_bytes: u64,
+}
+
+impl MwCounters {
+    /// Adds another node's counters to this one.
+    pub fn absorb(&mut self, other: &MwCounters) {
+        self.invocations += other.invocations;
+        self.oneways += other.oneways;
+        self.replies += other.replies;
+        self.dispatches += other.dispatches;
+        self.enqueues += other.enqueues;
+        self.publishes += other.publishes;
+        self.deliveries += other.deliveries;
+        self.dispatch_errors += other.dispatch_errors;
+        self.timeouts += other.timeouts;
+        self.marshalled_bytes += other.marshalled_bytes;
+    }
+}
+
+impl fmt::Display for MwCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invocations={} oneways={} replies={} dispatches={} enqueues={} publishes={} deliveries={} dispatch_errors={} timeouts={} bytes={}",
+            self.invocations,
+            self.oneways,
+            self.replies,
+            self.dispatches,
+            self.enqueues,
+            self.publishes,
+            self.deliveries,
+            self.dispatch_errors,
+            self.timeouts,
+            self.marshalled_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums() {
+        let mut a = MwCounters {
+            invocations: 1,
+            oneways: 2,
+            replies: 3,
+            dispatches: 4,
+            enqueues: 5,
+            publishes: 6,
+            deliveries: 7,
+            dispatch_errors: 8,
+            timeouts: 1,
+            marshalled_bytes: 9,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.invocations, 2);
+        assert_eq!(a.marshalled_bytes, 18);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let s = MwCounters::default().to_string();
+        assert!(s.contains("invocations=0"));
+        assert!(s.contains("deliveries=0"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Middleware error type.
+
+use std::error::Error;
+use std::fmt;
+
+use svckit_model::InteractionPattern;
+
+/// Errors raised by the middleware platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MwError {
+    /// The platform does not offer the interaction pattern required by the
+    /// attempted construct — the paper's central constraint on
+    /// middleware-centred design.
+    PatternUnsupported {
+        /// The pattern the caller needed.
+        needed: InteractionPattern,
+        /// The platform's name.
+        platform: String,
+    },
+    /// The target component name is not in the deployment plan.
+    UnknownComponent {
+        /// The missing name.
+        name: String,
+    },
+    /// The target component does not provide the named interface.
+    UnknownInterface {
+        /// The component.
+        component: String,
+        /// The missing interface.
+        interface: String,
+    },
+    /// The interface does not declare the named operation.
+    UnknownOperation {
+        /// The interface.
+        interface: String,
+        /// The missing operation.
+        operation: String,
+    },
+    /// The operation exists but the invocation style does not match
+    /// (e.g. `invoke` on a oneway operation).
+    WrongInvocationStyle {
+        /// The operation.
+        operation: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// Arguments did not match the operation signature.
+    BadArguments {
+        /// The operation.
+        operation: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// The named queue is not declared in the plan.
+    UnknownQueue {
+        /// The missing queue.
+        name: String,
+    },
+    /// The named topic is not declared in the plan.
+    UnknownTopic {
+        /// The missing topic.
+        name: String,
+    },
+    /// The plan is inconsistent (reported at build time).
+    InvalidPlan {
+        /// Explanation.
+        detail: String,
+    },
+    /// A component declared in the plan was not supplied an implementation,
+    /// or an implementation was supplied for an undeclared component.
+    MissingImplementation {
+        /// The component name.
+        name: String,
+    },
+    /// The underlying simulator rejected the configuration.
+    Sim(String),
+}
+
+impl fmt::Display for MwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MwError::PatternUnsupported { needed, platform } => {
+                write!(f, "platform `{platform}` does not support {needed}")
+            }
+            MwError::UnknownComponent { name } => write!(f, "unknown component `{name}`"),
+            MwError::UnknownInterface {
+                component,
+                interface,
+            } => write!(f, "component `{component}` does not provide `{interface}`"),
+            MwError::UnknownOperation {
+                interface,
+                operation,
+            } => write!(f, "interface `{interface}` has no operation `{operation}`"),
+            MwError::WrongInvocationStyle { operation, detail } => {
+                write!(f, "wrong invocation style for `{operation}`: {detail}")
+            }
+            MwError::BadArguments { operation, detail } => {
+                write!(f, "bad arguments for `{operation}`: {detail}")
+            }
+            MwError::UnknownQueue { name } => write!(f, "unknown queue `{name}`"),
+            MwError::UnknownTopic { name } => write!(f, "unknown topic `{name}`"),
+            MwError::InvalidPlan { detail } => write!(f, "invalid deployment plan: {detail}"),
+            MwError::MissingImplementation { name } => {
+                write!(f, "no implementation bound for component `{name}`")
+            }
+            MwError::Sim(detail) => write!(f, "simulator error: {detail}"),
+        }
+    }
+}
+
+impl Error for MwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_pattern() {
+        let e = MwError::PatternUnsupported {
+            needed: InteractionPattern::PublishSubscribe,
+            platform: "corba-like".into(),
+        };
+        assert!(e.to_string().contains("publish/subscribe"));
+        assert!(e.to_string().contains("corba-like"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MwError>();
+    }
+}

@@ -1,0 +1,421 @@
+//! Deployment plans and platform capabilities.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use svckit_model::{InteractionPattern, InterfaceDef, OperationSig, PartId};
+
+use crate::error::MwError;
+
+/// The interaction patterns a middleware platform offers, by name.
+///
+/// This is the run-time face of the paper's "platform": attempting a
+/// construct outside the capability set fails with
+/// [`MwError::PatternUnsupported`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformCaps {
+    name: String,
+    patterns: BTreeSet<InteractionPattern>,
+}
+
+impl PlatformCaps {
+    /// Creates a capability set.
+    pub fn new<I>(name: impl Into<String>, patterns: I) -> Self
+    where
+        I: IntoIterator<Item = InteractionPattern>,
+    {
+        PlatformCaps {
+            name: name.into(),
+            patterns: patterns.into_iter().collect(),
+        }
+    }
+
+    /// An RPC-style platform: request/response and oneway invocation.
+    pub fn rpc(name: impl Into<String>) -> Self {
+        PlatformCaps::new(
+            name,
+            [
+                InteractionPattern::RequestResponse,
+                InteractionPattern::Oneway,
+            ],
+        )
+    }
+
+    /// A message-oriented platform: queues and publish/subscribe.
+    pub fn messaging(name: impl Into<String>) -> Self {
+        PlatformCaps::new(
+            name,
+            [
+                InteractionPattern::MessageQueue,
+                InteractionPattern::PublishSubscribe,
+            ],
+        )
+    }
+
+    /// The platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The supported patterns.
+    pub fn patterns(&self) -> &BTreeSet<InteractionPattern> {
+        &self.patterns
+    }
+
+    /// Whether the platform supports `pattern`.
+    pub fn supports(&self, pattern: InteractionPattern) -> bool {
+        self.patterns.contains(&pattern)
+    }
+
+    /// Checks support, as an error for the caller to propagate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MwError::PatternUnsupported`] when the pattern is missing.
+    pub fn require(&self, pattern: InteractionPattern) -> Result<(), MwError> {
+        if self.supports(pattern) {
+            Ok(())
+        } else {
+            Err(MwError::PatternUnsupported {
+                needed: pattern,
+                platform: self.name.clone(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for PlatformCaps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {{", self.name)?;
+        for (i, p) in self.patterns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, " {p}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// Placement and contract of one component.
+#[derive(Debug, Clone)]
+pub struct ComponentEntry {
+    part: PartId,
+    provides: Vec<InterfaceDef>,
+}
+
+impl ComponentEntry {
+    /// The node the component is placed on.
+    pub fn part(&self) -> PartId {
+        self.part
+    }
+
+    /// The interfaces the component provides.
+    pub fn provides(&self) -> &[InterfaceDef] {
+        &self.provides
+    }
+
+    /// Finds an operation across the provided interfaces.
+    pub fn find_operation(&self, iface: &str, op: &str) -> Option<&OperationSig> {
+        self.provides
+            .iter()
+            .find(|i| i.name() == iface)
+            .and_then(|i| i.find(op))
+    }
+}
+
+/// A validated deployment plan: platform capabilities, component placement,
+/// interfaces, queues and topics.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlan {
+    platform: PlatformCaps,
+    components: BTreeMap<String, ComponentEntry>,
+    queues: BTreeMap<String, Vec<String>>,
+    topics: BTreeMap<String, Vec<String>>,
+    broker: Option<PartId>,
+}
+
+impl DeploymentPlan {
+    /// Starts building a plan on a platform with the given capabilities.
+    pub fn builder(platform: PlatformCaps) -> DeploymentPlanBuilder {
+        DeploymentPlanBuilder {
+            platform,
+            components: BTreeMap::new(),
+            queues: BTreeMap::new(),
+            topics: BTreeMap::new(),
+            broker: None,
+            error: None,
+        }
+    }
+
+    /// The platform capabilities.
+    pub fn platform(&self) -> &PlatformCaps {
+        &self.platform
+    }
+
+    /// Looks up a component entry.
+    pub fn component(&self, name: &str) -> Option<&ComponentEntry> {
+        self.components.get(name)
+    }
+
+    /// All component names, sorted.
+    pub fn component_names(&self) -> Vec<&str> {
+        self.components.keys().map(String::as_str).collect()
+    }
+
+    /// The consumers of a queue.
+    pub fn queue_consumers(&self, queue: &str) -> Option<&[String]> {
+        self.queues.get(queue).map(Vec::as_slice)
+    }
+
+    /// The subscribers of a topic.
+    pub fn topic_subscribers(&self, topic: &str) -> Option<&[String]> {
+        self.topics.get(topic).map(Vec::as_slice)
+    }
+
+    /// The broker node, when queues or topics are in use.
+    pub fn broker(&self) -> Option<PartId> {
+        self.broker
+    }
+}
+
+/// Builder for [`DeploymentPlan`]. Errors are latched and reported by
+/// [`DeploymentPlanBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct DeploymentPlanBuilder {
+    platform: PlatformCaps,
+    components: BTreeMap<String, ComponentEntry>,
+    queues: BTreeMap<String, Vec<String>>,
+    topics: BTreeMap<String, Vec<String>>,
+    broker: Option<PartId>,
+    error: Option<MwError>,
+}
+
+impl DeploymentPlanBuilder {
+    fn latch(&mut self, error: MwError) {
+        if self.error.is_none() {
+            self.error = Some(error);
+        }
+    }
+
+    /// Places component `name` on node `part`, providing `provides`.
+    #[must_use]
+    pub fn component(
+        mut self,
+        name: impl Into<String>,
+        part: PartId,
+        provides: Vec<InterfaceDef>,
+    ) -> Self {
+        let name = name.into();
+        if self.components.contains_key(&name) {
+            self.latch(MwError::InvalidPlan {
+                detail: format!("component `{name}` declared twice"),
+            });
+            return self;
+        }
+        if self.components.values().any(|c| c.part == part) {
+            self.latch(MwError::InvalidPlan {
+                detail: format!("node {part} hosts two components"),
+            });
+            return self;
+        }
+        self.components
+            .insert(name, ComponentEntry { part, provides });
+        self
+    }
+
+    /// Declares a point-to-point queue with the given consumer components.
+    #[must_use]
+    pub fn queue<I, S>(mut self, name: impl Into<String>, consumers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.queues
+            .insert(name.into(), consumers.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Declares a topic with the given subscriber components.
+    #[must_use]
+    pub fn topic<I, S>(mut self, name: impl Into<String>, subscribers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.topics
+            .insert(name.into(), subscribers.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Places the broker on node `part` (required when queues or topics are
+    /// declared).
+    #[must_use]
+    pub fn broker(mut self, part: PartId) -> Self {
+        self.broker = Some(part);
+        self
+    }
+
+    /// Validates and builds the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MwError::InvalidPlan`] for structural problems: duplicate
+    /// names or placements, queue/topic members that are not declared
+    /// components, messaging constructs without a broker or without the
+    /// matching platform capability, or a broker node that collides with a
+    /// component node.
+    pub fn build(self) -> Result<DeploymentPlan, MwError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        let members = |m: &BTreeMap<String, Vec<String>>| -> Vec<String> {
+            m.values().flatten().cloned().collect()
+        };
+        for member in members(&self.queues).iter().chain(members(&self.topics).iter()) {
+            if !self.components.contains_key(member) {
+                return Err(MwError::InvalidPlan {
+                    detail: format!("queue/topic member `{member}` is not a component"),
+                });
+            }
+        }
+        if !self.queues.is_empty() || !self.topics.is_empty() {
+            let broker = self.broker.ok_or_else(|| MwError::InvalidPlan {
+                detail: "queues/topics declared but no broker placed".to_owned(),
+            })?;
+            if self.components.values().any(|c| c.part == broker) {
+                return Err(MwError::InvalidPlan {
+                    detail: format!("broker node {broker} collides with a component"),
+                });
+            }
+            if !self.queues.is_empty() {
+                self.platform
+                    .require(InteractionPattern::MessageQueue)
+                    .map_err(|e| MwError::InvalidPlan {
+                        detail: e.to_string(),
+                    })?;
+            }
+            if !self.topics.is_empty() {
+                self.platform
+                    .require(InteractionPattern::PublishSubscribe)
+                    .map_err(|e| MwError::InvalidPlan {
+                        detail: e.to_string(),
+                    })?;
+            }
+        }
+        Ok(DeploymentPlan {
+            platform: self.platform,
+            components: self.components,
+            queues: self.queues,
+            topics: self.topics,
+            broker: self.broker,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svckit_model::ValueType;
+
+    fn iface() -> InterfaceDef {
+        InterfaceDef::new("Controller")
+            .operation(OperationSig::void("request_permission").param("resid", ValueType::Id))
+    }
+
+    #[test]
+    fn rpc_caps_support_invocation_only() {
+        let caps = PlatformCaps::rpc("corba-like");
+        assert!(caps.supports(InteractionPattern::RequestResponse));
+        assert!(caps.supports(InteractionPattern::Oneway));
+        assert!(caps.require(InteractionPattern::MessageQueue).is_err());
+        assert!(caps.to_string().contains("request/response"));
+    }
+
+    #[test]
+    fn plan_resolves_operations() {
+        let plan = DeploymentPlan::builder(PlatformCaps::rpc("p"))
+            .component("ctrl", PartId::new(1), vec![iface()])
+            .component("sub", PartId::new(2), vec![])
+            .build()
+            .unwrap();
+        let entry = plan.component("ctrl").unwrap();
+        assert_eq!(entry.part(), PartId::new(1));
+        assert!(entry.find_operation("Controller", "request_permission").is_some());
+        assert!(entry.find_operation("Controller", "nope").is_none());
+        assert!(entry.find_operation("Nope", "request_permission").is_none());
+        assert_eq!(plan.component_names(), vec!["ctrl", "sub"]);
+    }
+
+    #[test]
+    fn duplicate_component_name_rejected() {
+        let err = DeploymentPlan::builder(PlatformCaps::rpc("p"))
+            .component("a", PartId::new(1), vec![])
+            .component("a", PartId::new(2), vec![])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MwError::InvalidPlan { .. }));
+    }
+
+    #[test]
+    fn shared_node_rejected() {
+        let err = DeploymentPlan::builder(PlatformCaps::rpc("p"))
+            .component("a", PartId::new(1), vec![])
+            .component("b", PartId::new(1), vec![])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MwError::InvalidPlan { .. }));
+    }
+
+    #[test]
+    fn queue_needs_broker_and_capability() {
+        let err = DeploymentPlan::builder(PlatformCaps::messaging("jms-like"))
+            .component("a", PartId::new(1), vec![])
+            .queue("q", ["a"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MwError::InvalidPlan { .. }), "{err}");
+
+        let plan = DeploymentPlan::builder(PlatformCaps::messaging("jms-like"))
+            .component("a", PartId::new(1), vec![])
+            .queue("q", ["a"])
+            .broker(PartId::new(100))
+            .build()
+            .unwrap();
+        assert_eq!(plan.queue_consumers("q").unwrap(), ["a".to_owned()]);
+        assert_eq!(plan.broker(), Some(PartId::new(100)));
+    }
+
+    #[test]
+    fn queue_on_rpc_platform_rejected() {
+        let err = DeploymentPlan::builder(PlatformCaps::rpc("corba-like"))
+            .component("a", PartId::new(1), vec![])
+            .queue("q", ["a"])
+            .broker(PartId::new(100))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("message-queue"), "{err}");
+    }
+
+    #[test]
+    fn unknown_queue_member_rejected() {
+        let err = DeploymentPlan::builder(PlatformCaps::messaging("m"))
+            .component("a", PartId::new(1), vec![])
+            .queue("q", ["ghost"])
+            .broker(PartId::new(100))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn broker_collision_rejected() {
+        let err = DeploymentPlan::builder(PlatformCaps::messaging("m"))
+            .component("a", PartId::new(1), vec![])
+            .topic("t", ["a"])
+            .broker(PartId::new(1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MwError::InvalidPlan { .. }));
+    }
+}

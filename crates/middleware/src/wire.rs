@@ -1,0 +1,126 @@
+//! The middleware's implicit protocol.
+//!
+//! The paper observes that the middleware-centred paradigm "is somehow
+//! dependent on the protocol-centred paradigm: interactions between
+//! application parts are supported by the middleware, which 'transforms' the
+//! interactions into (implicit) protocols". This module is that implicit
+//! protocol: the PDU schemas the platform engine itself uses on the wire.
+
+use svckit_codec::{PduRegistry, PduSchema};
+use svckit_model::{Value, ValueType};
+
+pub(crate) const PDU_REQUEST: &str = "mw_request";
+pub(crate) const PDU_REPLY: &str = "mw_reply";
+pub(crate) const PDU_ONEWAY: &str = "mw_oneway";
+pub(crate) const PDU_ENQUEUE: &str = "mw_enqueue";
+pub(crate) const PDU_PUBLISH: &str = "mw_publish";
+pub(crate) const PDU_DELIVER: &str = "mw_deliver";
+
+/// Builds the middleware's internal PDU registry.
+pub(crate) fn wire_registry() -> PduRegistry {
+    let any_list = || ValueType::List(Box::new(ValueType::Any));
+    let mut r = PduRegistry::new();
+    r.register(
+        PduSchema::new(1, PDU_REQUEST)
+            .field("call", ValueType::Id)
+            .field("iface", ValueType::Text)
+            .field("op", ValueType::Text)
+            .field("args", any_list()),
+    )
+    .expect("static schema");
+    r.register(
+        PduSchema::new(2, PDU_REPLY)
+            .field("call", ValueType::Id)
+            .field("result", any_list()),
+    )
+    .expect("static schema");
+    r.register(
+        PduSchema::new(3, PDU_ONEWAY)
+            .field("iface", ValueType::Text)
+            .field("op", ValueType::Text)
+            .field("args", any_list()),
+    )
+    .expect("static schema");
+    r.register(
+        PduSchema::new(4, PDU_ENQUEUE)
+            .field("queue", ValueType::Text)
+            .field("payload", any_list()),
+    )
+    .expect("static schema");
+    r.register(
+        PduSchema::new(5, PDU_PUBLISH)
+            .field("topic", ValueType::Text)
+            .field("payload", any_list()),
+    )
+    .expect("static schema");
+    r.register(
+        PduSchema::new(6, PDU_DELIVER)
+            .field("source", ValueType::Text)
+            .field("payload", any_list()),
+    )
+    .expect("static schema");
+    r
+}
+
+/// Wraps argument values as the wire's `list<any>`.
+pub(crate) fn wrap_list(args: Vec<Value>) -> Value {
+    Value::List(args)
+}
+
+/// Unwraps a wire `list<any>` back into argument values.
+pub(crate) fn unwrap_list(value: Value) -> Vec<Value> {
+    match value {
+        Value::List(items) => items,
+        other => vec![other],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_schemas() {
+        let r = wire_registry();
+        for name in [
+            PDU_REQUEST,
+            PDU_REPLY,
+            PDU_ONEWAY,
+            PDU_ENQUEUE,
+            PDU_PUBLISH,
+            PDU_DELIVER,
+        ] {
+            assert!(r.schema(name).is_some(), "{name} missing");
+        }
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn request_roundtrips_with_heterogeneous_args() {
+        let r = wire_registry();
+        let args = wrap_list(vec![Value::Id(1), Value::Bool(true), Value::Text("x".into())]);
+        let bytes = r
+            .encode(
+                PDU_REQUEST,
+                &[
+                    Value::Id(42),
+                    Value::Text("Controller".into()),
+                    Value::Text("request_permission".into()),
+                    args.clone(),
+                ],
+            )
+            .unwrap();
+        let pdu = r.decode(&bytes).unwrap();
+        assert_eq!(pdu.name(), PDU_REQUEST);
+        assert_eq!(pdu.args()[3], args);
+    }
+
+    #[test]
+    fn unwrap_list_is_total() {
+        assert_eq!(
+            unwrap_list(Value::List(vec![Value::Id(1)])),
+            vec![Value::Id(1)]
+        );
+        assert_eq!(unwrap_list(Value::Id(7)), vec![Value::Id(7)]);
+    }
+}

@@ -1,0 +1,420 @@
+//! End-to-end tests of the middleware platform: remote invocation,
+//! oneway, queues, publish/subscribe, and pattern enforcement.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use svckit_middleware::{
+    Component, DeploymentPlan, MwCtx, MwError, MwSystemBuilder, PlatformCaps,
+};
+use svckit_model::{
+    Duration, InteractionPattern, InterfaceDef, OperationSig, PartId, Value, ValueType,
+};
+use svckit_netsim::{LinkConfig, TimerId};
+
+/// A calculator server: `add(a, b) -> int`, plus a oneway `log(msg)`.
+struct Calculator {
+    logged: Rc<RefCell<Vec<String>>>,
+}
+
+impl Component for Calculator {
+    fn handle_operation(
+        &mut self,
+        _ctx: &mut MwCtx<'_, '_>,
+        iface: &str,
+        op: &str,
+        args: Vec<Value>,
+    ) -> Value {
+        assert_eq!(iface, "Calc");
+        match op {
+            "add" => Value::Int(args[0].as_int().unwrap() + args[1].as_int().unwrap()),
+            "log" => {
+                self.logged
+                    .borrow_mut()
+                    .push(args[0].as_text().unwrap().to_owned());
+                Value::Unit
+            }
+            other => panic!("unexpected op {other}"),
+        }
+    }
+}
+
+/// A client: calls add(2, 3) at activation, records the reply.
+struct Client {
+    result: Rc<RefCell<Option<i64>>>,
+}
+
+impl Component for Client {
+    fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
+        ctx.invoke(
+            "calc",
+            "Calc",
+            "add",
+            vec![Value::Int(2), Value::Int(3)],
+            77,
+        )
+        .unwrap();
+        ctx.oneway("calc", "Calc", "log", vec![Value::from("hello")])
+            .unwrap();
+    }
+
+    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+        Value::Unit
+    }
+
+    fn on_reply(&mut self, _ctx: &mut MwCtx<'_, '_>, token: u64, result: Value) {
+        assert_eq!(token, 77);
+        *self.result.borrow_mut() = result.as_int();
+    }
+}
+
+fn calc_iface() -> InterfaceDef {
+    InterfaceDef::new("Calc")
+        .operation(
+            OperationSig::returning("add", ValueType::Int)
+                .param("a", ValueType::Int)
+                .param("b", ValueType::Int),
+        )
+        .operation(OperationSig::oneway("log").param("msg", ValueType::Text))
+}
+
+#[test]
+fn remote_invocation_round_trip() {
+    let plan = DeploymentPlan::builder(PlatformCaps::rpc("rpc"))
+        .component("calc", PartId::new(1), vec![calc_iface()])
+        .component("client", PartId::new(2), vec![])
+        .build()
+        .unwrap();
+    let result = Rc::new(RefCell::new(None));
+    let logged = Rc::new(RefCell::new(Vec::new()));
+    let mut system = MwSystemBuilder::new(plan)
+        .seed(3)
+        .link(LinkConfig::lan())
+        .component("calc", Box::new(Calculator { logged: Rc::clone(&logged) }))
+        .component(
+            "client",
+            Box::new(Client {
+                result: Rc::clone(&result),
+            }),
+        )
+        .build()
+        .unwrap();
+    let report = system.run_to_quiescence(Duration::from_secs(1)).unwrap();
+    assert!(report.is_quiescent());
+    assert_eq!(*result.borrow(), Some(5));
+    assert_eq!(logged.borrow().as_slice(), ["hello".to_owned()]);
+    let client = system.component_counters("client").unwrap();
+    assert_eq!(client.invocations, 1);
+    assert_eq!(client.oneways, 1);
+    assert_eq!(client.replies, 1);
+    let calc = system.component_counters("calc").unwrap();
+    assert_eq!(calc.dispatches, 2);
+    assert_eq!(system.total_counters().dispatch_errors, 0);
+}
+
+/// Pattern enforcement: queue operations on an RPC-only platform fail.
+struct QueueAbuser {
+    error: Rc<RefCell<Option<MwError>>>,
+}
+
+impl Component for QueueAbuser {
+    fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
+        let err = ctx.enqueue("jobs", vec![Value::Id(1)]).unwrap_err();
+        *self.error.borrow_mut() = Some(err);
+    }
+    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+        Value::Unit
+    }
+}
+
+#[test]
+fn rpc_platform_rejects_queue_pattern() {
+    let plan = DeploymentPlan::builder(PlatformCaps::rpc("corba-like"))
+        .component("abuser", PartId::new(1), vec![])
+        .build()
+        .unwrap();
+    let error = Rc::new(RefCell::new(None));
+    let mut system = MwSystemBuilder::new(plan)
+        .component(
+            "abuser",
+            Box::new(QueueAbuser {
+                error: Rc::clone(&error),
+            }),
+        )
+        .build()
+        .unwrap();
+    system.run_to_quiescence(Duration::from_secs(1)).unwrap();
+    let taken = error.borrow_mut().take();
+    match taken {
+        Some(MwError::PatternUnsupported { needed, .. }) => {
+            assert_eq!(needed, InteractionPattern::MessageQueue);
+        }
+        other => panic!("expected PatternUnsupported, got {other:?}"),
+    }
+}
+
+/// Messaging: producer enqueues onto a queue with two consumers
+/// (round-robin) and publishes to a topic with two subscribers (fan-out).
+struct Producer;
+impl Component for Producer {
+    fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
+        for i in 0..4 {
+            ctx.enqueue("jobs", vec![Value::Int(i)]).unwrap();
+        }
+        ctx.publish("news", vec![Value::from("flash")]).unwrap();
+    }
+    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+        Value::Unit
+    }
+}
+
+struct Consumer {
+    seen: Rc<RefCell<Vec<(String, Value)>>>,
+}
+impl Component for Consumer {
+    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+        Value::Unit
+    }
+    fn on_delivery(&mut self, _ctx: &mut MwCtx<'_, '_>, source: &str, payload: Vec<Value>) {
+        self.seen
+            .borrow_mut()
+            .push((source.to_owned(), payload[0].clone()));
+    }
+}
+
+#[test]
+fn queues_round_robin_and_topics_fan_out() {
+    let plan = DeploymentPlan::builder(PlatformCaps::messaging("jms-like"))
+        .component("producer", PartId::new(1), vec![])
+        .component("worker-a", PartId::new(2), vec![])
+        .component("worker-b", PartId::new(3), vec![])
+        .queue("jobs", ["worker-a", "worker-b"])
+        .topic("news", ["worker-a", "worker-b"])
+        .broker(PartId::new(50))
+        .build()
+        .unwrap();
+    let seen_a = Rc::new(RefCell::new(Vec::new()));
+    let seen_b = Rc::new(RefCell::new(Vec::new()));
+    let mut system = MwSystemBuilder::new(plan)
+        .seed(5)
+        .component("producer", Box::new(Producer))
+        .component("worker-a", Box::new(Consumer { seen: Rc::clone(&seen_a) }))
+        .component("worker-b", Box::new(Consumer { seen: Rc::clone(&seen_b) }))
+        .build()
+        .unwrap();
+    let report = system.run_to_quiescence(Duration::from_secs(1)).unwrap();
+    assert!(report.is_quiescent());
+
+    let jobs =
+        |v: &Vec<(String, Value)>| v.iter().filter(|(s, _)| s == "jobs").count();
+    let news =
+        |v: &Vec<(String, Value)>| v.iter().filter(|(s, _)| s == "news").count();
+    // Round-robin: 4 jobs split 2/2.
+    assert_eq!(jobs(&seen_a.borrow()), 2);
+    assert_eq!(jobs(&seen_b.borrow()), 2);
+    // Fan-out: each subscriber got the flash.
+    assert_eq!(news(&seen_a.borrow()), 1);
+    assert_eq!(news(&seen_b.borrow()), 1);
+    assert_eq!(system.broker_counters().unwrap().deliveries, 6);
+}
+
+/// Local validation errors: unknown targets, interfaces, operations, bad
+/// arguments and wrong invocation style are rejected before anything hits
+/// the wire.
+struct Validator {
+    checked: Rc<RefCell<bool>>,
+}
+impl Component for Validator {
+    fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
+        assert!(matches!(
+            ctx.invoke("ghost", "Calc", "add", vec![], 0),
+            Err(MwError::UnknownComponent { .. })
+        ));
+        assert!(matches!(
+            ctx.invoke("calc", "Ghost", "add", vec![], 0),
+            Err(MwError::UnknownInterface { .. })
+        ));
+        assert!(matches!(
+            ctx.invoke("calc", "Calc", "ghost", vec![], 0),
+            Err(MwError::UnknownOperation { .. })
+        ));
+        assert!(matches!(
+            ctx.invoke("calc", "Calc", "add", vec![Value::Int(1)], 0),
+            Err(MwError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            ctx.invoke("calc", "Calc", "log", vec![Value::from("x")], 0),
+            Err(MwError::WrongInvocationStyle { .. })
+        ));
+        assert!(matches!(
+            ctx.oneway("calc", "Calc", "add", vec![Value::Int(1), Value::Int(2)]),
+            Err(MwError::WrongInvocationStyle { .. })
+        ));
+        assert!(matches!(
+            ctx.enqueue("nope", vec![]),
+            Err(MwError::PatternUnsupported { .. })
+        ));
+        *self.checked.borrow_mut() = true;
+    }
+    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+        Value::Unit
+    }
+}
+
+#[test]
+fn invocation_validation_catches_misuse_locally() {
+    let plan = DeploymentPlan::builder(PlatformCaps::rpc("rpc"))
+        .component("calc", PartId::new(1), vec![calc_iface()])
+        .component("validator", PartId::new(2), vec![])
+        .build()
+        .unwrap();
+    let checked = Rc::new(RefCell::new(false));
+    let logged = Rc::new(RefCell::new(Vec::new()));
+    let mut system = MwSystemBuilder::new(plan)
+        .component("calc", Box::new(Calculator { logged }))
+        .component(
+            "validator",
+            Box::new(Validator {
+                checked: Rc::clone(&checked),
+            }),
+        )
+        .build()
+        .unwrap();
+    let report = system.run_to_quiescence(Duration::from_secs(1)).unwrap();
+    assert!(*checked.borrow());
+    // Nothing valid was ever sent.
+    assert_eq!(report.metrics().messages_sent(), 0);
+}
+
+#[test]
+fn missing_implementation_is_a_build_error() {
+    let plan = DeploymentPlan::builder(PlatformCaps::rpc("rpc"))
+        .component("calc", PartId::new(1), vec![calc_iface()])
+        .build()
+        .unwrap();
+    assert!(matches!(
+        MwSystemBuilder::new(plan.clone()).build(),
+        Err(MwError::MissingImplementation { .. })
+    ));
+    // Extraneous implementation is also rejected.
+    let logged = Rc::new(RefCell::new(Vec::new()));
+    let err = MwSystemBuilder::new(plan)
+        .component("calc", Box::new(Calculator { logged: Rc::clone(&logged) }))
+        .component("ghost", Box::new(Producer))
+        .build();
+    assert!(matches!(err, Err(MwError::MissingImplementation { name }) if name == "ghost"));
+}
+
+/// Invocation timeouts: calls into a partitioned server are abandoned and
+/// reported, and late replies are ignored; retried calls succeed after heal.
+struct TimeoutClient {
+    log: Rc<RefCell<Vec<String>>>,
+}
+impl Component for TimeoutClient {
+    fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
+        ctx.invoke_with_timeout(
+            "calc",
+            "Calc",
+            "add",
+            vec![Value::Int(1), Value::Int(2)],
+            1,
+            Duration::from_millis(5),
+        )
+        .unwrap();
+    }
+    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+        Value::Unit
+    }
+    fn on_reply(&mut self, _ctx: &mut MwCtx<'_, '_>, token: u64, result: Value) {
+        self.log
+            .borrow_mut()
+            .push(format!("reply token={token} result={result}"));
+    }
+    fn on_timeout(&mut self, ctx: &mut MwCtx<'_, '_>, token: u64) {
+        self.log.borrow_mut().push(format!("timeout token={token}"));
+        // Retry: by the time this fires in the second phase of the test the
+        // partition is healed, so the retry succeeds.
+        ctx.invoke_with_timeout(
+            "calc",
+            "Calc",
+            "add",
+            vec![Value::Int(1), Value::Int(2)],
+            2,
+            Duration::from_millis(50),
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn invocation_timeouts_fire_and_retries_succeed_after_heal() {
+    let plan = DeploymentPlan::builder(PlatformCaps::rpc("rpc"))
+        .component("calc", PartId::new(1), vec![calc_iface()])
+        .component("client", PartId::new(2), vec![])
+        .build()
+        .unwrap();
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let logged = Rc::new(RefCell::new(Vec::new()));
+    let mut system = MwSystemBuilder::new(plan)
+        .seed(9)
+        .component("calc", Box::new(Calculator { logged }))
+        .component("client", Box::new(TimeoutClient { log: Rc::clone(&log) }))
+        .build()
+        .unwrap();
+    // Partition before anything flows: the first call must time out.
+    system.partition(PartId::new(1), PartId::new(2));
+    system
+        .run_to_quiescence(Duration::from_millis(10))
+        .unwrap();
+    assert_eq!(log.borrow().as_slice(), ["timeout token=1".to_owned()]);
+    // Heal. The first retry was issued *during* the partition (on_timeout
+    // fires immediately), so it too is lost and times out; the retry after
+    // that goes through the healed link and completes.
+    system.heal(PartId::new(1), PartId::new(2));
+    let report = system.run_to_quiescence(Duration::from_secs(1)).unwrap();
+    assert!(report.is_quiescent());
+    assert_eq!(
+        log.borrow().as_slice(),
+        [
+            "timeout token=1".to_owned(),
+            "timeout token=2".to_owned(),
+            "reply token=2 result=3".to_owned()
+        ]
+    );
+    assert_eq!(system.component_counters("client").unwrap().timeouts, 2);
+}
+
+/// Timers reach components.
+struct Ticker {
+    ticks: Rc<RefCell<u32>>,
+}
+impl Component for Ticker {
+    fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
+        ctx.set_timer(Duration::from_millis(1), TimerId(1));
+    }
+    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+        Value::Unit
+    }
+    fn on_timer(&mut self, ctx: &mut MwCtx<'_, '_>, _timer: TimerId) {
+        let mut t = self.ticks.borrow_mut();
+        *t += 1;
+        if *t < 3 {
+            ctx.set_timer(Duration::from_millis(1), TimerId(1));
+        }
+    }
+}
+
+#[test]
+fn component_timers_fire() {
+    let plan = DeploymentPlan::builder(PlatformCaps::rpc("rpc"))
+        .component("ticker", PartId::new(1), vec![])
+        .build()
+        .unwrap();
+    let ticks = Rc::new(RefCell::new(0));
+    let mut system = MwSystemBuilder::new(plan)
+        .component("ticker", Box::new(Ticker { ticks: Rc::clone(&ticks) }))
+        .build()
+        .unwrap();
+    system.run_to_quiescence(Duration::from_secs(1)).unwrap();
+    assert_eq!(*ticks.borrow(), 3);
+}

@@ -1,0 +1,121 @@
+//! Error types for the metamodel.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or validating models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A primitive name was declared more than once in a service definition.
+    DuplicatePrimitive {
+        /// The offending primitive name.
+        name: String,
+    },
+    /// A role name was declared more than once in a service definition.
+    DuplicateRole {
+        /// The offending role name.
+        name: String,
+    },
+    /// A constraint references a primitive that is not declared.
+    UnknownPrimitive {
+        /// The undeclared primitive name.
+        name: String,
+        /// Where the reference occurred (e.g. the constraint description).
+        context: String,
+    },
+    /// A constraint key index exceeds the arity of a referenced primitive.
+    KeyIndexOutOfRange {
+        /// The referenced primitive.
+        primitive: String,
+        /// The out-of-range index.
+        index: usize,
+        /// The primitive arity.
+        arity: usize,
+    },
+    /// A service definition declares no roles.
+    NoRoles,
+    /// An event carried the wrong number of arguments for its primitive.
+    ArityMismatch {
+        /// The primitive name.
+        primitive: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        actual: usize,
+    },
+    /// An event argument did not inhabit the declared parameter type.
+    TypeMismatch {
+        /// The primitive name.
+        primitive: String,
+        /// The parameter name.
+        param: String,
+        /// The declared type.
+        expected: String,
+        /// The supplied value's type.
+        actual: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicatePrimitive { name } => {
+                write!(f, "primitive `{name}` declared more than once")
+            }
+            ModelError::DuplicateRole { name } => {
+                write!(f, "role `{name}` declared more than once")
+            }
+            ModelError::UnknownPrimitive { name, context } => {
+                write!(f, "unknown primitive `{name}` referenced by {context}")
+            }
+            ModelError::KeyIndexOutOfRange {
+                primitive,
+                index,
+                arity,
+            } => write!(
+                f,
+                "constraint key index {index} out of range for `{primitive}` (arity {arity})"
+            ),
+            ModelError::NoRoles => write!(f, "service definition declares no roles"),
+            ModelError::ArityMismatch {
+                primitive,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "`{primitive}` expects {expected} argument(s), got {actual}"
+            ),
+            ModelError::TypeMismatch {
+                primitive,
+                param,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "`{primitive}` parameter `{param}` expects {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = ModelError::NoRoles;
+        let s = e.to_string();
+        assert!(s.starts_with(char::is_lowercase));
+        assert!(!s.ends_with('.'));
+    }
+}

@@ -1,0 +1,335 @@
+//! Middleware-centred modelling vocabulary.
+//!
+//! In the middleware-centred paradigm (Section 3), "design methods … consist
+//! of partitioning the application into application parts and defining the
+//! interconnection aspects by defining interfaces between parts", where "the
+//! available constructs to build interfaces are constrained by the
+//! interaction patterns supported by the targeted platform".
+//!
+//! [`InterfaceDef`] models such an interface, and [`InteractionPattern`]
+//! enumerates the pattern classes the paper names (request/response, message
+//! passing, message queues) plus publish/subscribe, which the messaging-based
+//! branch of Figure 10 (JMS) requires.
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::primitive::{ParamSpec, ValueType};
+use crate::value::Value;
+
+/// A class of interaction pattern offered by a middleware platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum InteractionPattern {
+    /// Synchronous operation invocation with a result (RPC/remote
+    /// invocation — the paper's "request/response").
+    RequestResponse,
+    /// Fire-and-forget operation invocation ("message passing").
+    Oneway,
+    /// Point-to-point message queues.
+    MessageQueue,
+    /// Topic-based publish/subscribe.
+    PublishSubscribe,
+}
+
+impl InteractionPattern {
+    /// All pattern classes, in a stable order.
+    pub const ALL: [InteractionPattern; 4] = [
+        InteractionPattern::RequestResponse,
+        InteractionPattern::Oneway,
+        InteractionPattern::MessageQueue,
+        InteractionPattern::PublishSubscribe,
+    ];
+}
+
+impl fmt::Display for InteractionPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InteractionPattern::RequestResponse => write!(f, "request/response"),
+            InteractionPattern::Oneway => write!(f, "oneway"),
+            InteractionPattern::MessageQueue => write!(f, "message-queue"),
+            InteractionPattern::PublishSubscribe => write!(f, "publish/subscribe"),
+        }
+    }
+}
+
+/// Signature of an operation on a component interface.
+///
+/// # Example
+///
+/// The callback-based floor-control controller (Figure 4 (a)):
+///
+/// ```
+/// use svckit_model::{OperationSig, ValueType, InterfaceDef};
+///
+/// let controller = InterfaceDef::new("Controller")
+///     .operation(
+///         OperationSig::oneway("request_permission")
+///             .param("subid", ValueType::Id)
+///             .param("resid", ValueType::Id),
+///     )
+///     .operation(OperationSig::oneway("free").param("subid", ValueType::Id));
+/// assert_eq!(controller.operations().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationSig {
+    name: String,
+    params: Vec<ParamSpec>,
+    returns: ValueType,
+    oneway: bool,
+}
+
+impl OperationSig {
+    /// Creates a request/response operation returning `returns`.
+    pub fn returning(name: impl Into<String>, returns: ValueType) -> Self {
+        OperationSig {
+            name: name.into(),
+            params: Vec::new(),
+            returns,
+            oneway: false,
+        }
+    }
+
+    /// Creates a void request/response operation (invocation still blocks
+    /// until the operation completes, as with a CORBA `void` operation).
+    pub fn void(name: impl Into<String>) -> Self {
+        Self::returning(name, ValueType::Unit)
+    }
+
+    /// Creates a oneway (fire-and-forget) operation.
+    pub fn oneway(name: impl Into<String>) -> Self {
+        OperationSig {
+            name: name.into(),
+            params: Vec::new(),
+            returns: ValueType::Unit,
+            oneway: true,
+        }
+    }
+
+    /// Adds a parameter (builder-style).
+    #[must_use]
+    pub fn param(mut self, name: impl Into<String>, ty: ValueType) -> Self {
+        self.params.push(ParamSpec::new(name, ty));
+        self
+    }
+
+    /// The operation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameters, positionally.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// The result type ([`ValueType::Unit`] for void and oneway operations).
+    pub fn returns(&self) -> &ValueType {
+        &self.returns
+    }
+
+    /// Whether the operation is fire-and-forget.
+    pub fn is_oneway(&self) -> bool {
+        self.oneway
+    }
+
+    /// The interaction pattern this operation requires from a platform.
+    pub fn required_pattern(&self) -> InteractionPattern {
+        if self.oneway {
+            InteractionPattern::Oneway
+        } else {
+            InteractionPattern::RequestResponse
+        }
+    }
+
+    /// Validates an argument vector against the parameter schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] or [`ModelError::TypeMismatch`]
+    /// exactly as [`crate::PrimitiveSpec::validate_args`] does.
+    pub fn validate_args(&self, args: &[Value]) -> Result<(), ModelError> {
+        if args.len() != self.params.len() {
+            return Err(ModelError::ArityMismatch {
+                primitive: self.name.clone(),
+                expected: self.params.len(),
+                actual: args.len(),
+            });
+        }
+        for (param, value) in self.params.iter().zip(args) {
+            if !param.ty().admits(value) {
+                return Err(ModelError::TypeMismatch {
+                    primitive: self.name.clone(),
+                    param: param.name().to_owned(),
+                    expected: param.ty().to_string(),
+                    actual: value.type_name().to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a result value against the declared return type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TypeMismatch`] when the value does not inhabit
+    /// the return type.
+    pub fn validate_result(&self, value: &Value) -> Result<(), ModelError> {
+        if self.returns.admits(value) {
+            Ok(())
+        } else {
+            Err(ModelError::TypeMismatch {
+                primitive: self.name.clone(),
+                param: "<result>".to_owned(),
+                expected: self.returns.to_string(),
+                actual: value.type_name().to_owned(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for OperationSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.oneway {
+            write!(f, "oneway ")?;
+        }
+        write!(f, "{} {}(", self.returns, self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A named component interface: a set of operations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InterfaceDef {
+    name: String,
+    operations: Vec<OperationSig>,
+}
+
+impl InterfaceDef {
+    /// Creates an empty interface.
+    pub fn new(name: impl Into<String>) -> Self {
+        InterfaceDef {
+            name: name.into(),
+            operations: Vec::new(),
+        }
+    }
+
+    /// Adds an operation (builder-style).
+    #[must_use]
+    pub fn operation(mut self, op: OperationSig) -> Self {
+        self.operations.push(op);
+        self
+    }
+
+    /// The interface name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operations.
+    pub fn operations(&self) -> &[OperationSig] {
+        &self.operations
+    }
+
+    /// Looks up an operation by name.
+    pub fn find(&self, name: &str) -> Option<&OperationSig> {
+        self.operations.iter().find(|o| o.name() == name)
+    }
+
+    /// The set of interaction patterns this interface requires from a
+    /// platform (deduplicated, stable order).
+    pub fn required_patterns(&self) -> Vec<InteractionPattern> {
+        let mut patterns: Vec<InteractionPattern> = self
+            .operations
+            .iter()
+            .map(OperationSig::required_pattern)
+            .collect();
+        patterns.sort_unstable();
+        patterns.dedup();
+        patterns
+    }
+}
+
+impl fmt::Display for InterfaceDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "interface {} {{", self.name)?;
+        for op in &self.operations {
+            writeln!(f, "  {op};")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> InterfaceDef {
+        InterfaceDef::new("Controller")
+            .operation(
+                OperationSig::void("request_permission")
+                    .param("subid", ValueType::Id)
+                    .param("resid", ValueType::Id),
+            )
+            .operation(
+                OperationSig::returning("is_available", ValueType::Bool)
+                    .param("resid", ValueType::Id),
+            )
+            .operation(OperationSig::oneway("free").param("subid", ValueType::Id))
+    }
+
+    #[test]
+    fn find_locates_operations() {
+        let iface = controller();
+        assert!(iface.find("is_available").is_some());
+        assert!(iface.find("grant").is_none());
+    }
+
+    #[test]
+    fn required_patterns_deduplicate() {
+        let iface = controller();
+        assert_eq!(
+            iface.required_patterns(),
+            vec![InteractionPattern::RequestResponse, InteractionPattern::Oneway]
+        );
+    }
+
+    #[test]
+    fn validate_args_and_result() {
+        let op = controller().find("is_available").unwrap().clone();
+        assert!(op.validate_args(&[Value::Id(1)]).is_ok());
+        assert!(op.validate_args(&[]).is_err());
+        assert!(op.validate_result(&Value::Bool(true)).is_ok());
+        assert!(op.validate_result(&Value::Id(1)).is_err());
+    }
+
+    #[test]
+    fn oneway_operations_return_unit_and_report_pattern() {
+        let op = OperationSig::oneway("pass").param("avail", ValueType::Set(Box::new(ValueType::Id)));
+        assert!(op.is_oneway());
+        assert_eq!(op.returns(), &ValueType::Unit);
+        assert_eq!(op.required_pattern(), InteractionPattern::Oneway);
+    }
+
+    #[test]
+    fn display_renders_idl_like_text() {
+        let s = controller().to_string();
+        assert!(s.starts_with("interface Controller {"), "{s}");
+        assert!(s.contains("bool is_available(resid: id);"), "{s}");
+        assert!(s.contains("oneway unit free(subid: id);"), "{s}");
+    }
+
+    #[test]
+    fn all_patterns_listed_once() {
+        let mut all = InteractionPattern::ALL.to_vec();
+        all.dedup();
+        assert_eq!(all.len(), 4);
+    }
+}

@@ -1,0 +1,292 @@
+//! Service primitives.
+//!
+//! "A systematic design method based on the protocol-centred paradigm consists
+//! of defining (i) the service to be supported in terms of the service
+//! primitives that occur at service access points …" (Section 2). A
+//! [`PrimitiveSpec`] is the *schema* of such a primitive: its name, the
+//! direction in which it crosses the service boundary, and its typed
+//! parameters.
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::value::Value;
+
+/// The direction in which a primitive crosses the service boundary.
+///
+/// In classical service terminology, a `FromUser` primitive is a *request*
+/// issued by the service user to the provider, and a `ToUser` primitive is an
+/// *indication* delivered by the provider to the user. The floor-control
+/// service's `request` and `free` are `FromUser`; `granted` is `ToUser`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Issued by the service user to the service provider (request).
+    FromUser,
+    /// Delivered by the service provider to the service user (indication).
+    ToUser,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::FromUser => write!(f, "from-user"),
+            Direction::ToUser => write!(f, "to-user"),
+        }
+    }
+}
+
+/// The type of a primitive or operation parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// Any value (used for generic containers such as middleware argument
+    /// lists, which are heterogeneous).
+    Any,
+    /// No payload.
+    Unit,
+    /// Boolean.
+    Bool,
+    /// Signed integer.
+    Int,
+    /// Text string.
+    Text,
+    /// Opaque identifier.
+    Id,
+    /// Set of values of the element type.
+    Set(Box<ValueType>),
+    /// Sequence of values of the element type.
+    List(Box<ValueType>),
+}
+
+impl ValueType {
+    /// Checks whether `value` inhabits this type.
+    pub fn admits(&self, value: &Value) -> bool {
+        match (self, value) {
+            (ValueType::Any, _) => true,
+            (ValueType::Unit, Value::Unit) => true,
+            (ValueType::Bool, Value::Bool(_)) => true,
+            (ValueType::Int, Value::Int(_)) => true,
+            (ValueType::Text, Value::Text(_)) => true,
+            (ValueType::Id, Value::Id(_)) => true,
+            (ValueType::Set(elem), Value::Set(items)) => items.iter().all(|v| elem.admits(v)),
+            (ValueType::List(elem), Value::List(items)) => items.iter().all(|v| elem.admits(v)),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Any => write!(f, "any"),
+            ValueType::Unit => write!(f, "unit"),
+            ValueType::Bool => write!(f, "bool"),
+            ValueType::Int => write!(f, "int"),
+            ValueType::Text => write!(f, "text"),
+            ValueType::Id => write!(f, "id"),
+            ValueType::Set(e) => write!(f, "set<{e}>"),
+            ValueType::List(e) => write!(f, "list<{e}>"),
+        }
+    }
+}
+
+/// A named, typed parameter of a service primitive or operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParamSpec {
+    name: String,
+    ty: ValueType,
+}
+
+impl ParamSpec {
+    /// Creates a parameter specification.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        ParamSpec {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// The parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter type.
+    pub fn ty(&self) -> &ValueType {
+        &self.ty
+    }
+}
+
+impl fmt::Display for ParamSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)
+    }
+}
+
+/// Schema of a service primitive.
+///
+/// # Example
+///
+/// ```
+/// use svckit_model::{PrimitiveSpec, Direction, ValueType, Value};
+///
+/// let spec = PrimitiveSpec::new("request", Direction::FromUser).param_id("resid");
+/// assert_eq!(spec.name(), "request");
+/// assert!(spec.validate_args(&[Value::Id(1)]).is_ok());
+/// assert!(spec.validate_args(&[Value::Bool(true)]).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimitiveSpec {
+    name: String,
+    direction: Direction,
+    params: Vec<ParamSpec>,
+}
+
+impl PrimitiveSpec {
+    /// Creates a primitive schema with no parameters.
+    pub fn new(name: impl Into<String>, direction: Direction) -> Self {
+        PrimitiveSpec {
+            name: name.into(),
+            direction,
+            params: Vec::new(),
+        }
+    }
+
+    /// Adds a parameter (builder-style).
+    #[must_use]
+    pub fn param(mut self, name: impl Into<String>, ty: ValueType) -> Self {
+        self.params.push(ParamSpec::new(name, ty));
+        self
+    }
+
+    /// Adds an identifier-typed parameter; the most common shape in the
+    /// running example.
+    #[must_use]
+    pub fn param_id(self, name: impl Into<String>) -> Self {
+        self.param(name, ValueType::Id)
+    }
+
+    /// The primitive name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The boundary-crossing direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The parameter schemas, in positional order.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// Number of parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Validates an argument vector against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ArityMismatch`] when the count differs and
+    /// [`ModelError::TypeMismatch`] when a value does not inhabit the declared
+    /// parameter type.
+    pub fn validate_args(&self, args: &[Value]) -> Result<(), ModelError> {
+        if args.len() != self.params.len() {
+            return Err(ModelError::ArityMismatch {
+                primitive: self.name.clone(),
+                expected: self.params.len(),
+                actual: args.len(),
+            });
+        }
+        for (param, value) in self.params.iter().zip(args) {
+            if !param.ty.admits(value) {
+                return Err(ModelError::TypeMismatch {
+                    primitive: self.name.clone(),
+                    param: param.name.clone(),
+                    expected: param.ty.to_string(),
+                    actual: value.type_name().to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PrimitiveSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}(", self.direction, self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn any_admits_everything() {
+        for v in [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Id(1),
+            Value::id_set([1]),
+            Value::List(vec![Value::Bool(true), Value::Id(1)]),
+        ] {
+            assert!(ValueType::Any.admits(&v));
+        }
+        assert!(
+            ValueType::List(Box::new(ValueType::Any))
+                .admits(&Value::List(vec![Value::Bool(true), Value::Id(1)])),
+            "heterogeneous list under list<any>"
+        );
+        assert_eq!(ValueType::Any.to_string(), "any");
+    }
+
+    #[test]
+    fn value_type_admits_matching_values() {
+        assert!(ValueType::Id.admits(&Value::Id(1)));
+        assert!(!ValueType::Id.admits(&Value::Int(1)));
+        assert!(ValueType::Set(Box::new(ValueType::Id)).admits(&Value::id_set([1, 2])));
+        let mixed: BTreeSet<Value> = [Value::Id(1), Value::Bool(true)].into_iter().collect();
+        assert!(!ValueType::Set(Box::new(ValueType::Id)).admits(&Value::Set(mixed)));
+        assert!(ValueType::List(Box::new(ValueType::Int))
+            .admits(&Value::List(vec![Value::Int(1), Value::Int(2)])));
+    }
+
+    #[test]
+    fn validate_args_checks_arity() {
+        let spec = PrimitiveSpec::new("request", Direction::FromUser).param_id("resid");
+        let err = spec.validate_args(&[]).unwrap_err();
+        assert!(matches!(err, ModelError::ArityMismatch { expected: 1, actual: 0, .. }));
+    }
+
+    #[test]
+    fn validate_args_checks_types() {
+        let spec = PrimitiveSpec::new("request", Direction::FromUser).param_id("resid");
+        let err = spec.validate_args(&[Value::Text("x".into())]).unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+        assert!(spec.validate_args(&[Value::Id(3)]).is_ok());
+    }
+
+    #[test]
+    fn display_renders_signature() {
+        let spec = PrimitiveSpec::new("pass", Direction::FromUser)
+            .param("available", ValueType::Set(Box::new(ValueType::Id)));
+        assert_eq!(spec.to_string(), "from-user pass(available: set<id>)");
+    }
+
+    #[test]
+    fn empty_set_admits_any_element_type() {
+        let ty = ValueType::Set(Box::new(ValueType::Id));
+        assert!(ty.admits(&Value::Set(BTreeSet::new())));
+    }
+}

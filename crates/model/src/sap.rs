@@ -1,0 +1,136 @@
+//! Service access points and roles.
+//!
+//! A service is observed only at its *service access points* (SAPs). In the
+//! paper's floor-control service, "the identification of the subscriber is
+//! implied by the identification of the access point where the service
+//! primitive is executed" — i.e. a SAP binds a *role* (subscriber) to a
+//! concrete application part.
+
+use std::fmt;
+
+use crate::id::PartId;
+
+/// A concrete service access point: a role instantiated at an application
+/// part.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sap {
+    role: String,
+    part: PartId,
+}
+
+impl Sap {
+    /// Creates an access point for `role` attached to application part
+    /// `part`.
+    pub fn new(role: impl Into<String>, part: PartId) -> Self {
+        Sap {
+            role: role.into(),
+            part,
+        }
+    }
+
+    /// The role this access point instantiates (e.g. `"subscriber"`).
+    pub fn role(&self) -> &str {
+        &self.role
+    }
+
+    /// The application part attached at this access point.
+    pub fn part(&self) -> PartId {
+        self.part
+    }
+}
+
+impl fmt::Display for Sap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.role, self.part)
+    }
+}
+
+/// A role in a service definition, with its allowed multiplicity.
+///
+/// The floor-control service has a single role, `subscriber`, with
+/// multiplicity `2..`. An asymmetric service (e.g. client/server) would
+/// declare two roles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleSpec {
+    name: String,
+    min: usize,
+    max: usize,
+}
+
+impl RoleSpec {
+    /// Creates a role with an inclusive multiplicity range.
+    ///
+    /// Use `usize::MAX` for an unbounded maximum.
+    pub fn new(name: impl Into<String>, min: usize, max: usize) -> Self {
+        RoleSpec {
+            name: name.into(),
+            min,
+            max,
+        }
+    }
+
+    /// The role name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Minimum number of access points instantiating this role.
+    pub fn min(&self) -> usize {
+        self.min
+    }
+
+    /// Maximum number of access points instantiating this role.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Whether `count` access points satisfy the multiplicity.
+    pub fn admits_count(&self, count: usize) -> bool {
+        count >= self.min && count <= self.max
+    }
+}
+
+impl fmt::Display for RoleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.max == usize::MAX {
+            write!(f, "{}[{}..]", self.name, self.min)
+        } else {
+            write!(f, "{}[{}..{}]", self.name, self.min, self.max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sap_identity_is_role_plus_part() {
+        let a = Sap::new("subscriber", PartId::new(1));
+        let b = Sap::new("subscriber", PartId::new(1));
+        let c = Sap::new("subscriber", PartId::new(2));
+        let d = Sap::new("controller", PartId::new(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a.to_string(), "subscriber@part-1");
+    }
+
+    #[test]
+    fn role_multiplicity_bounds_are_inclusive() {
+        let role = RoleSpec::new("subscriber", 2, 4);
+        assert!(!role.admits_count(1));
+        assert!(role.admits_count(2));
+        assert!(role.admits_count(4));
+        assert!(!role.admits_count(5));
+    }
+
+    #[test]
+    fn unbounded_role_displays_open_range() {
+        let role = RoleSpec::new("subscriber", 2, usize::MAX);
+        assert_eq!(role.to_string(), "subscriber[2..]");
+        assert!(role.admits_count(1_000_000));
+        let bounded = RoleSpec::new("controller", 1, 1);
+        assert_eq!(bounded.to_string(), "controller[1..1]");
+    }
+}

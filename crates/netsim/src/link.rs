@@ -1,0 +1,213 @@
+//! Link quality models.
+//!
+//! A [`LinkConfig`] describes the data-transfer characteristics between one
+//! ordered pair of nodes. The presets mirror the lower-level services named
+//! in the paper: a reliable octet-stream ("the data transfer service used
+//! internally by middleware platforms"), a reliable datagram service, and an
+//! unreliable "send and pray" service.
+
+use svckit_model::Duration;
+
+/// Transfer characteristics of a directed link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    latency: Duration,
+    jitter: Duration,
+    loss: f64,
+    duplicate: f64,
+    ordered: bool,
+    bandwidth: Option<u64>,
+}
+
+impl LinkConfig {
+    /// A perfect link: fixed latency, no jitter, no loss, ordered delivery.
+    pub fn perfect(latency: Duration) -> Self {
+        LinkConfig {
+            latency,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            duplicate: 0.0,
+            ordered: true,
+            bandwidth: None,
+        }
+    }
+
+    /// A LAN-like link: 500 µs latency, 100 µs jitter, lossless, ordered.
+    pub fn lan() -> Self {
+        LinkConfig::perfect(Duration::from_micros(500)).with_jitter(Duration::from_micros(100))
+    }
+
+    /// A WAN-like link: 20 ms latency, 5 ms jitter, lossless, ordered.
+    pub fn wan() -> Self {
+        LinkConfig::perfect(Duration::from_millis(20)).with_jitter(Duration::from_millis(5))
+    }
+
+    /// The reliable octet-stream service of the paper's Section 4.2:
+    /// lossless, in-order, fixed latency plus jitter.
+    pub fn reliable_stream(latency: Duration, jitter: Duration) -> Self {
+        LinkConfig::perfect(latency).with_jitter(jitter)
+    }
+
+    /// A reliable datagram service: lossless but unordered (messages may
+    /// overtake one another under jitter).
+    pub fn reliable_datagram(latency: Duration, jitter: Duration) -> Self {
+        let mut cfg = LinkConfig::perfect(latency).with_jitter(jitter);
+        cfg.ordered = false;
+        cfg
+    }
+
+    /// An unreliable, unordered, "send and pray" datagram service.
+    pub fn lossy(latency: Duration, jitter: Duration, loss: f64) -> Self {
+        let mut cfg = LinkConfig::reliable_datagram(latency, jitter);
+        cfg.loss = loss.clamp(0.0, 1.0);
+        cfg
+    }
+
+    /// Sets the jitter bound (builder-style). Actual per-message jitter is
+    /// uniform in `[0, jitter]`.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the loss probability (builder-style, clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the duplication probability (builder-style, clamped to
+    /// `[0, 1]`).
+    #[must_use]
+    pub fn with_duplication(mut self, duplicate: f64) -> Self {
+        self.duplicate = duplicate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets whether delivery preserves per-pair FIFO order (builder-style).
+    #[must_use]
+    pub fn with_ordering(mut self, ordered: bool) -> Self {
+        self.ordered = ordered;
+        self
+    }
+
+    /// Limits the link to `bytes_per_sec` (builder-style). Each message
+    /// then occupies the link for its serialization time, and back-to-back
+    /// sends queue at the sender — the classic transmission-delay model.
+    /// Unlimited by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    #[must_use]
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        self.bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Base one-way latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Jitter bound.
+    pub fn jitter(&self) -> Duration {
+        self.jitter
+    }
+
+    /// Loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Duplication probability.
+    pub fn duplicate(&self) -> f64 {
+        self.duplicate
+    }
+
+    /// Whether per-pair FIFO order is preserved.
+    pub fn is_ordered(&self) -> bool {
+        self.ordered
+    }
+
+    /// The bandwidth limit in bytes per second, if any.
+    pub fn bandwidth(&self) -> Option<u64> {
+        self.bandwidth
+    }
+
+    /// Serialization time of a `bytes`-sized message on this link
+    /// ([`Duration::ZERO`] when unlimited).
+    pub fn transmission_time(&self, bytes: usize) -> Duration {
+        match self.bandwidth {
+            None => Duration::ZERO,
+            Some(rate) => {
+                let micros = (bytes as u128 * 1_000_000).div_ceil(rate as u128);
+                Duration::from_micros(micros as u64)
+            }
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    /// The default link is [`LinkConfig::lan`].
+    fn default() -> Self {
+        LinkConfig::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_properties() {
+        assert!(LinkConfig::lan().is_ordered());
+        assert_eq!(LinkConfig::lan().loss(), 0.0);
+        assert!(!LinkConfig::reliable_datagram(Duration::from_millis(1), Duration::ZERO).is_ordered());
+        let lossy = LinkConfig::lossy(Duration::from_millis(1), Duration::ZERO, 0.25);
+        assert_eq!(lossy.loss(), 0.25);
+        assert!(!lossy.is_ordered());
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let cfg = LinkConfig::lan().with_loss(2.0).with_duplication(-1.0);
+        assert_eq!(cfg.loss(), 1.0);
+        assert_eq!(cfg.duplicate(), 0.0);
+    }
+
+    #[test]
+    fn default_is_lan() {
+        assert_eq!(LinkConfig::default(), LinkConfig::lan());
+    }
+
+    #[test]
+    fn bandwidth_yields_transmission_time() {
+        let link = LinkConfig::lan().with_bandwidth(1_000_000); // 1 MB/s
+        assert_eq!(link.bandwidth(), Some(1_000_000));
+        assert_eq!(link.transmission_time(1_000_000), Duration::from_secs(1));
+        assert_eq!(link.transmission_time(1_000), Duration::from_millis(1));
+        // Rounds up: even one byte takes a microsecond.
+        assert_eq!(link.transmission_time(1), Duration::from_micros(1));
+        assert_eq!(LinkConfig::lan().transmission_time(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_is_rejected() {
+        let _ = LinkConfig::lan().with_bandwidth(0);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = LinkConfig::perfect(Duration::from_millis(2))
+            .with_jitter(Duration::from_micros(50))
+            .with_ordering(false);
+        assert_eq!(cfg.latency(), Duration::from_millis(2));
+        assert_eq!(cfg.jitter(), Duration::from_micros(50));
+        assert!(!cfg.is_ordered());
+    }
+}

@@ -1,0 +1,77 @@
+//! Per-node protocol counters.
+
+use std::fmt;
+
+/// Counters kept by a [`crate::ProtocolNode`], observable from the harness
+/// after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtoCounters {
+    /// PDUs handed to the lower-level service.
+    pub pdus_sent: u64,
+    /// PDU payload bytes handed to the lower-level service (before any
+    /// reliability framing).
+    pub pdu_bytes_sent: u64,
+    /// PDUs successfully decoded and delivered to the entity.
+    pub pdus_received: u64,
+    /// Messages that failed PDU decoding.
+    pub decode_errors: u64,
+    /// Retransmissions performed by the reliability sub-layer.
+    pub retransmissions: u64,
+    /// Duplicate frames suppressed by the reliability sub-layer.
+    pub duplicates_suppressed: u64,
+}
+
+impl ProtoCounters {
+    /// Adds another node's counters to this one (for fleet-wide totals).
+    pub fn absorb(&mut self, other: &ProtoCounters) {
+        self.pdus_sent += other.pdus_sent;
+        self.pdu_bytes_sent += other.pdu_bytes_sent;
+        self.pdus_received += other.pdus_received;
+        self.decode_errors += other.decode_errors;
+        self.retransmissions += other.retransmissions;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+    }
+}
+
+impl fmt::Display for ProtoCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pdus_sent={} bytes={} pdus_received={} decode_errors={} retransmissions={} dups_suppressed={}",
+            self.pdus_sent,
+            self.pdu_bytes_sent,
+            self.pdus_received,
+            self.decode_errors,
+            self.retransmissions,
+            self.duplicates_suppressed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = ProtoCounters {
+            pdus_sent: 1,
+            pdu_bytes_sent: 10,
+            pdus_received: 2,
+            decode_errors: 3,
+            retransmissions: 4,
+            duplicates_suppressed: 5,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.pdus_sent, 2);
+        assert_eq!(a.pdu_bytes_sent, 20);
+        assert_eq!(a.duplicates_suppressed, 10);
+    }
+
+    #[test]
+    fn display_lists_all_counters() {
+        let s = ProtoCounters::default().to_string();
+        assert!(s.contains("pdus_sent=0"));
+        assert!(s.contains("retransmissions=0"));
+    }
+}

@@ -1,0 +1,556 @@
+//! User parts, protocol entities and the node that binds them.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use svckit_codec::{CodecError, Pdu, PduRegistry};
+use svckit_model::{Duration, Instant, PartId, Sap, Value};
+use svckit_netsim::{Context, Process, TimerId};
+
+use crate::counters::ProtoCounters;
+use crate::reliable::{ReliabilityConfig, ReliableLink};
+
+/// Timer ids at or above this value belong to the user part.
+const USER_TIMER_BASE: u64 = 1 << 62;
+/// Timer ids at or above this value belong to the reliability sub-layer.
+const RELIABLE_TIMER_BASE: u64 = 1 << 63;
+
+/// The application behaviour above the service boundary.
+///
+/// A user part can only invoke service primitives, receive indications and
+/// set timers; it has no access to the network. This enforces, in the type
+/// system, the paper's point that "the design of the application is not
+/// influenced by the choice of a protocol solution".
+pub trait UserPart {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut UserCtx<'_, '_>) {
+        let _ = ctx;
+    }
+
+    /// Called when the service delivers a primitive to this user
+    /// (a `ToUser` primitive, e.g. `granted`).
+    fn on_indication(&mut self, ctx: &mut UserCtx<'_, '_>, primitive: &str, args: Vec<Value>);
+
+    /// Called when a timer set via [`UserCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut UserCtx<'_, '_>, timer: TimerId) {
+        let _ = (ctx, timer);
+    }
+}
+
+/// The behaviour below the service boundary: one entity of the distributed
+/// service provider.
+pub trait ProtocolEntity {
+    /// Called once at simulation start (before the user part's `on_start`).
+    fn on_start(&mut self, ctx: &mut EntityCtx<'_, '_>) {
+        let _ = ctx;
+    }
+
+    /// Called when the local user part invokes a primitive
+    /// (a `FromUser` primitive, e.g. `request`).
+    fn on_user_primitive(&mut self, ctx: &mut EntityCtx<'_, '_>, primitive: &str, args: Vec<Value>);
+
+    /// Called when a PDU arrives from a peer entity.
+    fn on_pdu(&mut self, ctx: &mut EntityCtx<'_, '_>, from: PartId, pdu: Pdu);
+
+    /// Called when a timer set via [`EntityCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut EntityCtx<'_, '_>, timer: TimerId) {
+        let _ = (ctx, timer);
+    }
+}
+
+/// Capabilities of a [`UserPart`] handler: invoke primitives, set timers,
+/// read the clock. Nothing else.
+#[derive(Debug)]
+pub struct UserCtx<'a, 'b> {
+    net: &'a mut Context<'b>,
+    sap: &'a Sap,
+    to_entity: &'a mut VecDeque<(String, Vec<Value>)>,
+}
+
+impl UserCtx<'_, '_> {
+    /// The current simulated time.
+    pub fn now(&self) -> Instant {
+        self.net.now()
+    }
+
+    /// The access point at which this user part observes the service.
+    pub fn sap(&self) -> &Sap {
+        self.sap
+    }
+
+    /// Invokes a service primitive. The occurrence is recorded in the trace
+    /// and handed to the local protocol entity.
+    pub fn invoke(&mut self, primitive: impl Into<String>, args: Vec<Value>) {
+        let primitive = primitive.into();
+        self.net
+            .record_primitive(self.sap.clone(), primitive.clone(), args.clone());
+        self.to_entity.push_back((primitive, args));
+    }
+
+    /// Schedules (or reschedules) a user-part timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the timer id is outside `0..2^61`.
+    pub fn set_timer(&mut self, delay: Duration, id: TimerId) {
+        debug_assert!(id.0 < USER_TIMER_BASE, "user timer id too large");
+        self.net.set_timer(delay, TimerId(id.0 | USER_TIMER_BASE));
+    }
+
+    /// Cancels a pending user-part timer.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.net.cancel_timer(TimerId(id.0 | USER_TIMER_BASE));
+    }
+
+    /// Deterministic random value in `[0, bound)`.
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        self.net.rand_below(bound)
+    }
+}
+
+/// Capabilities of a [`ProtocolEntity`] handler: deliver indications to the
+/// local user, exchange PDUs with peers, set timers.
+#[derive(Debug)]
+pub struct EntityCtx<'a, 'b> {
+    net: &'a mut Context<'b>,
+    sap: &'a Sap,
+    registry: &'a PduRegistry,
+    to_user: &'a mut VecDeque<(String, Vec<Value>)>,
+    outgoing: &'a mut VecDeque<(PartId, Vec<u8>)>,
+    counters: &'a Rc<RefCell<ProtoCounters>>,
+}
+
+impl EntityCtx<'_, '_> {
+    /// The current simulated time.
+    pub fn now(&self) -> Instant {
+        self.net.now()
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> PartId {
+        self.net.id()
+    }
+
+    /// The access point served by this entity.
+    pub fn sap(&self) -> &Sap {
+        self.sap
+    }
+
+    /// The PDU registry in force on this stack.
+    pub fn registry(&self) -> &PduRegistry {
+        self.registry
+    }
+
+    /// Delivers a service primitive to the local user part. The occurrence
+    /// is recorded in the trace.
+    pub fn deliver_to_user(&mut self, primitive: impl Into<String>, args: Vec<Value>) {
+        let primitive = primitive.into();
+        self.net
+            .record_primitive(self.sap.clone(), primitive.clone(), args.clone());
+        self.to_user.push_back((primitive, args));
+    }
+
+    /// Encodes and sends a PDU to the peer entity at node `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the PDU name is unknown or the
+    /// arguments do not match its schema; nothing is sent in that case.
+    pub fn send_pdu(&mut self, to: PartId, name: &str, args: &[Value]) -> Result<(), CodecError> {
+        let bytes = self.registry.encode(name, args)?;
+        {
+            let mut c = self.counters.borrow_mut();
+            c.pdus_sent += 1;
+            c.pdu_bytes_sent += bytes.len() as u64;
+        }
+        self.outgoing.push_back((to, bytes));
+        Ok(())
+    }
+
+    /// Schedules (or reschedules) an entity timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the timer id is outside `0..2^61`.
+    pub fn set_timer(&mut self, delay: Duration, id: TimerId) {
+        debug_assert!(id.0 < USER_TIMER_BASE, "entity timer id too large");
+        self.net.set_timer(delay, id);
+    }
+
+    /// Cancels a pending entity timer.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.net.cancel_timer(id);
+    }
+
+    /// Deterministic random value in `[0, bound)`.
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        self.net.rand_below(bound)
+    }
+}
+
+/// One node of a protocol-centred deployment: the user part, its protocol
+/// entity, the shared PDU registry, and (optionally) a reliability
+/// sub-layer — implementing the [`Process`] interface of the network
+/// simulator.
+pub struct ProtocolNode {
+    sap: Sap,
+    user: Box<dyn UserPart>,
+    entity: Box<dyn ProtocolEntity>,
+    registry: Rc<PduRegistry>,
+    counters: Rc<RefCell<ProtoCounters>>,
+    reliable: Option<ReliableLink>,
+    to_entity: VecDeque<(String, Vec<Value>)>,
+    to_user: VecDeque<(String, Vec<Value>)>,
+    outgoing: VecDeque<(PartId, Vec<u8>)>,
+}
+
+impl std::fmt::Debug for ProtocolNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtocolNode")
+            .field("sap", &self.sap)
+            .field("reliable", &self.reliable.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProtocolNode {
+    /// Creates a node serving access point `sap`.
+    pub fn new(
+        sap: Sap,
+        user: Box<dyn UserPart>,
+        entity: Box<dyn ProtocolEntity>,
+        registry: Rc<PduRegistry>,
+    ) -> Self {
+        ProtocolNode {
+            sap,
+            user,
+            entity,
+            registry,
+            counters: Rc::new(RefCell::new(ProtoCounters::default())),
+            reliable: None,
+            to_entity: VecDeque::new(),
+            to_user: VecDeque::new(),
+            outgoing: VecDeque::new(),
+        }
+    }
+
+    /// Inserts a stop-and-wait reliability sub-layer between the entity and
+    /// the lower-level service (builder-style). Use this when the lower
+    /// service is an unreliable datagram service.
+    #[must_use]
+    pub fn with_reliability(mut self, config: ReliabilityConfig) -> Self {
+        self.reliable = Some(ReliableLink::new(config, RELIABLE_TIMER_BASE));
+        self
+    }
+
+    /// A handle onto this node's counters, valid after the node has been
+    /// moved into the simulator.
+    pub fn counters(&self) -> Rc<RefCell<ProtoCounters>> {
+        Rc::clone(&self.counters)
+    }
+
+    fn flush_outgoing(&mut self, net: &mut Context<'_>) {
+        while let Some((to, bytes)) = self.outgoing.pop_front() {
+            match &mut self.reliable {
+                Some(rel) => rel.send(net, to, bytes),
+                None => net.send(to, bytes),
+            }
+        }
+    }
+
+    /// Processes queued boundary crossings until the node is locally
+    /// quiescent.
+    fn pump(&mut self, net: &mut Context<'_>) {
+        loop {
+            self.flush_outgoing(net);
+            if let Some((name, args)) = self.to_entity.pop_front() {
+                let mut ctx = EntityCtx {
+                    net: &mut *net,
+                    sap: &self.sap,
+                    registry: &self.registry,
+                    to_user: &mut self.to_user,
+                    outgoing: &mut self.outgoing,
+                    counters: &self.counters,
+                };
+                self.entity.on_user_primitive(&mut ctx, &name, args);
+            } else if let Some((name, args)) = self.to_user.pop_front() {
+                let mut ctx = UserCtx {
+                    net: &mut *net,
+                    sap: &self.sap,
+                    to_entity: &mut self.to_entity,
+                };
+                self.user.on_indication(&mut ctx, &name, args);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Process for ProtocolNode {
+    fn on_start(&mut self, net: &mut Context<'_>) {
+        {
+            let mut ctx = EntityCtx {
+                net: &mut *net,
+                sap: &self.sap,
+                registry: &self.registry,
+                to_user: &mut self.to_user,
+                outgoing: &mut self.outgoing,
+                counters: &self.counters,
+            };
+            self.entity.on_start(&mut ctx);
+        }
+        {
+            let mut ctx = UserCtx {
+                net: &mut *net,
+                sap: &self.sap,
+                to_entity: &mut self.to_entity,
+            };
+            self.user.on_start(&mut ctx);
+        }
+        self.pump(net);
+    }
+
+    fn on_message(&mut self, net: &mut Context<'_>, from: PartId, payload: Vec<u8>) {
+        let delivered = match &mut self.reliable {
+            Some(rel) => {
+                let mut counters = self.counters.borrow_mut();
+                rel.on_raw(net, from, &payload, &mut counters)
+            }
+            None => Some(payload),
+        };
+        if let Some(bytes) = delivered {
+            match self.registry.decode(&bytes) {
+                Ok(pdu) => {
+                    self.counters.borrow_mut().pdus_received += 1;
+                    let mut ctx = EntityCtx {
+                        net: &mut *net,
+                        sap: &self.sap,
+                        registry: &self.registry,
+                        to_user: &mut self.to_user,
+                        outgoing: &mut self.outgoing,
+                        counters: &self.counters,
+                    };
+                    self.entity.on_pdu(&mut ctx, from, pdu);
+                }
+                Err(_) => {
+                    self.counters.borrow_mut().decode_errors += 1;
+                }
+            }
+        }
+        self.pump(net);
+    }
+
+    fn on_timer(&mut self, net: &mut Context<'_>, timer: TimerId) {
+        if timer.0 >= RELIABLE_TIMER_BASE {
+            if let Some(rel) = &mut self.reliable {
+                let mut counters = self.counters.borrow_mut();
+                rel.on_timer(net, timer, &mut counters);
+            }
+        } else if timer.0 >= USER_TIMER_BASE {
+            let mut ctx = UserCtx {
+                net: &mut *net,
+                sap: &self.sap,
+                to_entity: &mut self.to_entity,
+            };
+            self.user
+                .on_timer(&mut ctx, TimerId(timer.0 & !USER_TIMER_BASE));
+        } else {
+            let mut ctx = EntityCtx {
+                net: &mut *net,
+                sap: &self.sap,
+                registry: &self.registry,
+                to_user: &mut self.to_user,
+                outgoing: &mut self.outgoing,
+                counters: &self.counters,
+            };
+            self.entity.on_timer(&mut ctx, timer);
+        }
+        self.pump(net);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svckit_codec::PduSchema;
+    use svckit_model::{Duration, ValueType};
+    use svckit_netsim::{LinkConfig, SimConfig, Simulator};
+
+    /// User part that sends one `ping` primitive at start and counts
+    /// `pong` indications.
+    struct PingUser {
+        peer_sap_hits: Rc<RefCell<u32>>,
+    }
+    impl UserPart for PingUser {
+        fn on_start(&mut self, ctx: &mut UserCtx<'_, '_>) {
+            ctx.invoke("ping", vec![Value::Id(1)]);
+        }
+        fn on_indication(&mut self, _ctx: &mut UserCtx<'_, '_>, primitive: &str, _args: Vec<Value>) {
+            assert_eq!(primitive, "pong");
+            *self.peer_sap_hits.borrow_mut() += 1;
+        }
+    }
+
+    /// Passive user that never invokes anything.
+    struct SilentUser;
+    impl UserPart for SilentUser {
+        fn on_indication(&mut self, _: &mut UserCtx<'_, '_>, _: &str, _: Vec<Value>) {}
+    }
+
+    /// Entity: forwards `ping` as a PDU; answers an incoming ping PDU with a
+    /// pong PDU; delivers a `pong` primitive on receiving a pong PDU.
+    struct EchoEntity {
+        peer: PartId,
+    }
+    impl ProtocolEntity for EchoEntity {
+        fn on_user_primitive(&mut self, ctx: &mut EntityCtx<'_, '_>, primitive: &str, args: Vec<Value>) {
+            assert_eq!(primitive, "ping");
+            ctx.send_pdu(self.peer, "ping_pdu", &args).unwrap();
+        }
+        fn on_pdu(&mut self, ctx: &mut EntityCtx<'_, '_>, from: PartId, pdu: Pdu) {
+            match pdu.name() {
+                "ping_pdu" => ctx.send_pdu(from, "pong_pdu", pdu.args()).unwrap(),
+                "pong_pdu" => ctx.deliver_to_user("pong", pdu.into_args()),
+                other => panic!("unexpected pdu {other}"),
+            }
+        }
+    }
+
+    fn registry() -> Rc<PduRegistry> {
+        let mut r = PduRegistry::new();
+        r.register(PduSchema::new(1, "ping_pdu").field("x", ValueType::Id))
+            .unwrap();
+        r.register(PduSchema::new(2, "pong_pdu").field("x", ValueType::Id))
+            .unwrap();
+        Rc::new(r)
+    }
+
+    #[test]
+    fn ping_pong_crosses_the_boundary_and_records_trace() {
+        let reg = registry();
+        let hits = Rc::new(RefCell::new(0));
+        let a = ProtocolNode::new(
+            Sap::new("user", PartId::new(1)),
+            Box::new(PingUser {
+                peer_sap_hits: Rc::clone(&hits),
+            }),
+            Box::new(EchoEntity { peer: PartId::new(2) }),
+            Rc::clone(&reg),
+        );
+        let a_counters = a.counters();
+        let b = ProtocolNode::new(
+            Sap::new("user", PartId::new(2)),
+            Box::new(SilentUser),
+            Box::new(EchoEntity { peer: PartId::new(1) }),
+            reg,
+        );
+        let mut sim = Simulator::new(SimConfig::new(1).default_link(LinkConfig::lan()));
+        sim.add_process(PartId::new(1), Box::new(a)).unwrap();
+        sim.add_process(PartId::new(2), Box::new(b)).unwrap();
+        let report = sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
+        assert!(report.is_quiescent());
+        assert_eq!(*hits.borrow(), 1);
+        // Trace: ping (from-user at node 1) then pong (to-user at node 1).
+        assert_eq!(report.trace().primitive_names(), vec!["ping", "pong"]);
+        let c = a_counters.borrow();
+        assert_eq!(c.pdus_sent, 1);
+        assert_eq!(c.pdus_received, 1);
+        assert_eq!(c.decode_errors, 0);
+    }
+
+    #[test]
+    fn garbage_on_the_wire_is_counted_not_crashed() {
+        struct Garbage {
+            to: PartId,
+        }
+        impl Process for Garbage {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(self.to, vec![0xde, 0xad, 0xbe, 0xef]);
+            }
+            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Vec<u8>) {}
+        }
+        let reg = registry();
+        let node = ProtocolNode::new(
+            Sap::new("user", PartId::new(2)),
+            Box::new(SilentUser),
+            Box::new(EchoEntity { peer: PartId::new(1) }),
+            reg,
+        );
+        let counters = node.counters();
+        let mut sim = Simulator::new(SimConfig::new(1));
+        sim.add_process(PartId::new(1), Box::new(Garbage { to: PartId::new(2) }))
+            .unwrap();
+        sim.add_process(PartId::new(2), Box::new(node)).unwrap();
+        sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
+        assert_eq!(counters.borrow().decode_errors, 1);
+        assert_eq!(counters.borrow().pdus_received, 0);
+    }
+
+    #[test]
+    fn user_timers_are_routed_to_the_user_part() {
+        struct TimedUser {
+            fired: Rc<RefCell<bool>>,
+        }
+        impl UserPart for TimedUser {
+            fn on_start(&mut self, ctx: &mut UserCtx<'_, '_>) {
+                ctx.set_timer(Duration::from_millis(1), TimerId(5));
+            }
+            fn on_indication(&mut self, _: &mut UserCtx<'_, '_>, _: &str, _: Vec<Value>) {}
+            fn on_timer(&mut self, _ctx: &mut UserCtx<'_, '_>, timer: TimerId) {
+                assert_eq!(timer, TimerId(5));
+                *self.fired.borrow_mut() = true;
+            }
+        }
+        struct NullEntity;
+        impl ProtocolEntity for NullEntity {
+            fn on_user_primitive(&mut self, _: &mut EntityCtx<'_, '_>, _: &str, _: Vec<Value>) {}
+            fn on_pdu(&mut self, _: &mut EntityCtx<'_, '_>, _: PartId, _: Pdu) {}
+        }
+        let fired = Rc::new(RefCell::new(false));
+        let node = ProtocolNode::new(
+            Sap::new("user", PartId::new(1)),
+            Box::new(TimedUser {
+                fired: Rc::clone(&fired),
+            }),
+            Box::new(NullEntity),
+            registry(),
+        );
+        let mut sim = Simulator::new(SimConfig::new(1));
+        sim.add_process(PartId::new(1), Box::new(node)).unwrap();
+        sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
+        assert!(*fired.borrow());
+    }
+
+    #[test]
+    fn entity_timers_are_routed_to_the_entity() {
+        struct TimedEntity {
+            fired: Rc<RefCell<bool>>,
+        }
+        impl ProtocolEntity for TimedEntity {
+            fn on_start(&mut self, ctx: &mut EntityCtx<'_, '_>) {
+                ctx.set_timer(Duration::from_millis(2), TimerId(9));
+            }
+            fn on_user_primitive(&mut self, _: &mut EntityCtx<'_, '_>, _: &str, _: Vec<Value>) {}
+            fn on_pdu(&mut self, _: &mut EntityCtx<'_, '_>, _: PartId, _: Pdu) {}
+            fn on_timer(&mut self, _ctx: &mut EntityCtx<'_, '_>, timer: TimerId) {
+                assert_eq!(timer, TimerId(9));
+                *self.fired.borrow_mut() = true;
+            }
+        }
+        let fired = Rc::new(RefCell::new(false));
+        let node = ProtocolNode::new(
+            Sap::new("user", PartId::new(1)),
+            Box::new(SilentUser),
+            Box::new(TimedEntity {
+                fired: Rc::clone(&fired),
+            }),
+            registry(),
+        );
+        let mut sim = Simulator::new(SimConfig::new(1));
+        sim.add_process(PartId::new(1), Box::new(node)).unwrap();
+        sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
+        assert!(*fired.borrow());
+    }
+}

@@ -1,0 +1,44 @@
+//! # svckit-protocol — the protocol-centred paradigm
+//!
+//! "In the protocol-centred paradigm, user parts interact locally with a
+//! service (provider). A service is decomposed into protocol entities and a
+//! lower level service, which interact in order to provide the required
+//! service to user parts." (Section 2.)
+//!
+//! This crate is the runtime for that decomposition:
+//!
+//! * [`UserPart`] — the application behaviour above the service boundary; it
+//!   only ever *invokes service primitives* and *receives indications*
+//!   ([`UserCtx`]), never touches the network, and is therefore unaffected
+//!   by the choice of protocol — the property Section 5 argues for ("the
+//!   service shields the application from the way in which the service is
+//!   implemented").
+//! * [`ProtocolEntity`] — the behaviour below the boundary: it handles user
+//!   primitives, exchanges schema-checked PDUs with peer entities via
+//!   `svckit-codec`, and delivers indications back up ([`EntityCtx`]).
+//! * [`ProtocolNode`] — one node of the distributed service provider: a user
+//!   part, its protocol entity, and the PDU registry, wired onto a
+//!   `svckit-netsim` node. Every primitive crossing the service boundary is
+//!   recorded in the simulation trace, ready for conformance checking.
+//! * [`ReliableLink`] — an optional stop-and-wait retransmission sub-layer
+//!   that turns an unreliable lower-level service into a reliable in-order
+//!   one, demonstrating the layering principle (and exercised by ablation
+//!   A3 in DESIGN.md).
+//! * [`StackBuilder`] — a harness that assembles many protocol nodes over a
+//!   configured lower-level service and runs the whole stack to quiescence.
+//!
+//! See `svckit-floorctl` for the three floor-control protocols of Figure 6
+//! built on these traits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod entity;
+mod harness;
+mod reliable;
+
+pub use counters::ProtoCounters;
+pub use entity::{EntityCtx, ProtocolEntity, ProtocolNode, UserCtx, UserPart};
+pub use harness::{Stack, StackBuilder, StackError};
+pub use reliable::{ReliableLink, ReliabilityConfig};

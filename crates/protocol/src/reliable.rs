@@ -1,0 +1,397 @@
+//! Go-back-N reliability sub-layer.
+//!
+//! The paper's layering principle in action: a protocol that turns an
+//! unreliable datagram service into a reliable, in-order one, transparently
+//! to the protocol entities above. Per peer, a classic go-back-N scheme
+//! with cumulative acknowledgements:
+//!
+//! * outgoing payloads are framed as `DATA(seq, bytes)`; up to `window`
+//!   frames are in flight per peer, the rest queue;
+//! * the receiver delivers in-sequence frames, discards out-of-order ones,
+//!   and acknowledges cumulatively with `ACK(highest in-order seq)` —
+//!   duplicates are suppressed and re-acknowledged;
+//! * on timeout, every in-flight frame is retransmitted (go-back-N).
+//!
+//! A window of 1 degenerates to stop-and-wait; larger windows trade memory
+//! and retransmission volume for throughput on high-latency links (see the
+//! window ablation in the tests and EXPERIMENTS.md).
+
+use std::collections::{HashMap, VecDeque};
+
+use svckit_codec::{read_varint, write_varint};
+use svckit_model::{Duration, PartId};
+use svckit_netsim::{Context, TimerId};
+
+use crate::counters::ProtoCounters;
+
+const FRAME_DATA: u8 = 0;
+const FRAME_ACK: u8 = 1;
+
+/// Configuration of the reliability sub-layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    retransmit_timeout: Duration,
+    window: usize,
+}
+
+impl ReliabilityConfig {
+    /// Creates a stop-and-wait configuration (window 1) with the given
+    /// retransmission timeout.
+    pub fn new(retransmit_timeout: Duration) -> Self {
+        ReliabilityConfig {
+            retransmit_timeout,
+            window: 1,
+        }
+    }
+
+    /// Sets the go-back-N send window (builder-style; clamped to ≥ 1).
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// The retransmission timeout.
+    pub fn retransmit_timeout(&self) -> Duration {
+        self.retransmit_timeout
+    }
+
+    /// The send window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Default for ReliabilityConfig {
+    /// 50 ms timeout, window 1 — safe over the default LAN latency.
+    fn default() -> Self {
+        ReliabilityConfig::new(Duration::from_millis(50))
+    }
+}
+
+#[derive(Debug, Default)]
+struct PeerState {
+    /// Sequence number of the next *new* frame.
+    next_seq: u64,
+    /// In-flight frames, oldest first: (seq, payload).
+    inflight: VecDeque<(u64, Vec<u8>)>,
+    /// Payloads waiting for window space.
+    backlog: VecDeque<Vec<u8>>,
+    /// Next in-order sequence number expected from this peer.
+    expected: u64,
+}
+
+/// Per-node go-back-N reliability state over all peers.
+#[derive(Debug)]
+pub struct ReliableLink {
+    config: ReliabilityConfig,
+    timer_base: u64,
+    peers: HashMap<PartId, PeerState>,
+}
+
+impl ReliableLink {
+    /// Creates the sub-layer. `timer_base` is the start of the timer-id
+    /// namespace reserved for it (timer id = base + peer id).
+    pub fn new(config: ReliabilityConfig, timer_base: u64) -> Self {
+        ReliableLink {
+            config,
+            timer_base,
+            peers: HashMap::new(),
+        }
+    }
+
+    fn timer_for(&self, peer: PartId) -> TimerId {
+        TimerId(self.timer_base + peer.raw())
+    }
+
+    fn peer_for_timer(&self, timer: TimerId) -> Option<PartId> {
+        timer.0.checked_sub(self.timer_base).map(PartId::new)
+    }
+
+    fn frame_data(seq: u64, payload: &[u8]) -> Vec<u8> {
+        let mut frame = vec![FRAME_DATA];
+        write_varint(&mut frame, seq);
+        frame.extend_from_slice(payload);
+        frame
+    }
+
+    fn frame_ack(cumulative: u64) -> Vec<u8> {
+        let mut frame = vec![FRAME_ACK];
+        write_varint(&mut frame, cumulative);
+        frame
+    }
+
+    /// Sends `payload` reliably, in order, to `to`.
+    pub fn send(&mut self, net: &mut Context<'_>, to: PartId, payload: Vec<u8>) {
+        let timer = self.timer_for(to);
+        let timeout = self.config.retransmit_timeout;
+        let window = self.config.window;
+        let peer = self.peers.entry(to).or_default();
+        if peer.inflight.len() < window {
+            let seq = peer.next_seq;
+            peer.next_seq += 1;
+            net.send(to, Self::frame_data(seq, &payload));
+            peer.inflight.push_back((seq, payload));
+            if peer.inflight.len() == 1 {
+                net.set_timer(timeout, timer);
+            }
+        } else {
+            peer.backlog.push_back(payload);
+        }
+    }
+
+    /// Handles a raw frame from `from`. Returns the deframed payload when an
+    /// in-sequence data frame should be delivered upwards.
+    pub fn on_raw(
+        &mut self,
+        net: &mut Context<'_>,
+        from: PartId,
+        frame: &[u8],
+        counters: &mut ProtoCounters,
+    ) -> Option<Vec<u8>> {
+        let (&kind, rest) = frame.split_first()?;
+        let (seq, used) = read_varint(rest).ok()?;
+        let timer = self.timer_for(from);
+        let timeout = self.config.retransmit_timeout;
+        let window = self.config.window;
+        match kind {
+            FRAME_DATA => {
+                let peer = self.peers.entry(from).or_default();
+                if seq == peer.expected {
+                    peer.expected += 1;
+                    net.send(from, Self::frame_ack(seq));
+                    Some(rest[used..].to_vec())
+                } else {
+                    // Duplicate or out-of-order: suppress and re-acknowledge
+                    // the highest in-order frame so the sender can resync.
+                    if seq < peer.expected {
+                        counters.duplicates_suppressed += 1;
+                    }
+                    if peer.expected > 0 {
+                        net.send(from, Self::frame_ack(peer.expected - 1));
+                    }
+                    None
+                }
+            }
+            FRAME_ACK => {
+                let peer = self.peers.entry(from).or_default();
+                let before = peer.inflight.len();
+                while peer
+                    .inflight
+                    .front()
+                    .is_some_and(|(inflight_seq, _)| *inflight_seq <= seq)
+                {
+                    peer.inflight.pop_front();
+                }
+                let acked_something = peer.inflight.len() < before;
+                // Refill the window from the backlog.
+                while peer.inflight.len() < window {
+                    let Some(payload) = peer.backlog.pop_front() else {
+                        break;
+                    };
+                    let next = peer.next_seq;
+                    peer.next_seq += 1;
+                    net.send(from, Self::frame_data(next, &payload));
+                    peer.inflight.push_back((next, payload));
+                }
+                if peer.inflight.is_empty() {
+                    net.cancel_timer(timer);
+                } else if acked_something {
+                    // Progress was made: restart the timer for the new
+                    // oldest in-flight frame.
+                    net.set_timer(timeout, timer);
+                }
+                None
+            }
+            _ => None, // unknown frame kind: ignore
+        }
+    }
+
+    /// Handles a retransmission timer: go-back-N resends every in-flight
+    /// frame. Returns `true` when the timer belonged to this sub-layer.
+    pub fn on_timer(
+        &mut self,
+        net: &mut Context<'_>,
+        timer: TimerId,
+        counters: &mut ProtoCounters,
+    ) -> bool {
+        let Some(peer_id) = self.peer_for_timer(timer) else {
+            return false;
+        };
+        let timeout = self.config.retransmit_timeout;
+        let Some(peer) = self.peers.get_mut(&peer_id) else {
+            return false;
+        };
+        if !peer.inflight.is_empty() {
+            for (seq, payload) in &peer.inflight {
+                counters.retransmissions += 1;
+                net.send(peer_id, Self::frame_data(*seq, payload));
+            }
+            net.set_timer(timeout, timer);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use svckit_model::Instant;
+    use svckit_netsim::{LinkConfig, Process, SimConfig, Simulator};
+
+    /// Sends `n` numbered payloads reliably at start; collects deliveries.
+    struct ReliableSender {
+        to: PartId,
+        n: u8,
+        link: ReliableLink,
+        counters: ProtoCounters,
+    }
+    impl Process for ReliableSender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for i in 0..self.n {
+                self.link.send(ctx, self.to, vec![i]);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Vec<u8>) {
+            let _ = self.link.on_raw(ctx, from, &payload, &mut self.counters);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
+            assert!(self.link.on_timer(ctx, timer, &mut self.counters));
+        }
+    }
+
+    struct ReliableReceiver {
+        link: ReliableLink,
+        got: Rc<RefCell<Vec<u8>>>,
+        counters: ProtoCounters,
+    }
+    impl Process for ReliableReceiver {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Vec<u8>) {
+            if let Some(data) = self.link.on_raw(ctx, from, &payload, &mut self.counters) {
+                self.got.borrow_mut().push(data[0]);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
+            self.link.on_timer(ctx, timer, &mut self.counters);
+        }
+    }
+
+    fn run_over(link_cfg: LinkConfig, n: u8, seed: u64, window: usize) -> (Vec<u8>, Instant) {
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(SimConfig::new(seed).default_link(link_cfg));
+        let cfg = ReliabilityConfig::new(Duration::from_millis(10)).with_window(window);
+        sim.add_process(
+            PartId::new(1),
+            Box::new(ReliableSender {
+                to: PartId::new(2),
+                n,
+                link: ReliableLink::new(cfg, 1 << 63),
+                counters: ProtoCounters::default(),
+            }),
+        )
+        .unwrap();
+        sim.add_process(
+            PartId::new(2),
+            Box::new(ReliableReceiver {
+                link: ReliableLink::new(cfg, 1 << 63),
+                got: Rc::clone(&got),
+                counters: ProtoCounters::default(),
+            }),
+        )
+        .unwrap();
+        let report = sim.run_to_quiescence(Duration::from_secs(300)).unwrap();
+        assert!(report.is_quiescent());
+        let out = got.borrow().clone();
+        (out, report.end_time())
+    }
+
+    #[test]
+    fn delivers_in_order_over_perfect_link() {
+        for window in [1, 4, 16] {
+            let (got, _) = run_over(LinkConfig::perfect(Duration::from_millis(1)), 20, 1, window);
+            assert_eq!(got, (0..20).collect::<Vec<u8>>(), "window {window}");
+        }
+    }
+
+    #[test]
+    fn delivers_exactly_once_in_order_over_lossy_link() {
+        for window in [1, 4] {
+            for seed in 1..=5 {
+                let (got, _) = run_over(
+                    LinkConfig::lossy(Duration::from_millis(1), Duration::from_micros(200), 0.3),
+                    30,
+                    seed,
+                    window,
+                );
+                assert_eq!(got, (0..30).collect::<Vec<u8>>(), "seed {seed} window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn delivers_exactly_once_over_duplicating_link() {
+        let link = LinkConfig::reliable_datagram(Duration::from_millis(1), Duration::ZERO)
+            .with_duplication(0.5);
+        let (got, _) = run_over(link, 25, 7, 4);
+        assert_eq!(got, (0..25).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn survives_reordering_links() {
+        // Heavy jitter on an unordered link forces out-of-order arrivals;
+        // go-back-N must still deliver in order exactly once.
+        let link = LinkConfig::reliable_datagram(Duration::from_millis(1), Duration::from_millis(8));
+        for window in [1, 8] {
+            let (got, _) = run_over(link.clone(), 40, 3, window);
+            assert_eq!(got, (0..40).collect::<Vec<u8>>(), "window {window}");
+        }
+    }
+
+    #[test]
+    fn larger_window_completes_bursts_faster_on_long_links() {
+        // 20 ms one-way latency: stop-and-wait needs ~40 ms per frame;
+        // a window of 8 pipelines them.
+        let link = LinkConfig::perfect(Duration::from_millis(20));
+        let (_, t1) = run_over(link.clone(), 30, 5, 1);
+        let (_, t8) = run_over(link, 30, 5, 8);
+        assert!(
+            t8.as_micros() * 4 < t1.as_micros(),
+            "window 8 ({t8}) should be far faster than stop-and-wait ({t1})"
+        );
+    }
+
+    #[test]
+    fn loss_costs_time() {
+        let (_, t_perfect) = run_over(LinkConfig::perfect(Duration::from_millis(1)), 20, 3, 1);
+        let (_, t_lossy) = run_over(
+            LinkConfig::lossy(Duration::from_millis(1), Duration::ZERO, 0.4),
+            20,
+            3,
+            1,
+        );
+        assert!(
+            t_lossy > t_perfect,
+            "lossy {t_lossy} should exceed perfect {t_perfect}"
+        );
+    }
+
+    #[test]
+    fn frame_encoding_roundtrips() {
+        let data = ReliableLink::frame_data(300, b"xyz");
+        assert_eq!(data[0], FRAME_DATA);
+        let (seq, used) = read_varint(&data[1..]).unwrap();
+        assert_eq!(seq, 300);
+        assert_eq!(&data[1 + used..], b"xyz");
+        let ack = ReliableLink::frame_ack(7);
+        assert_eq!(ack, vec![FRAME_ACK, 7]);
+    }
+
+    #[test]
+    fn window_is_clamped_to_at_least_one() {
+        let cfg = ReliabilityConfig::new(Duration::from_millis(1)).with_window(0);
+        assert_eq!(cfg.window(), 1);
+        assert_eq!(ReliabilityConfig::default().window(), 1);
+    }
+}

@@ -1,0 +1,3 @@
+//! Integration-test crate for svckit; the tests live in the workspace-level
+//! `tests/` directory (wired through `[[test]]` entries in this crate's
+//! manifest).

@@ -1,0 +1,173 @@
+//! A second domain: a chat-room service designed with the service concept
+//! and implemented on the publish/subscribe pattern of a JMS-like platform.
+//!
+//! The service definition comes first ("the definition of services should
+//! precede … the specification of protocols"): members `join`, `say`,
+//! `hear` and `leave` at their access points, with machine-checked
+//! relations between the primitives. The implementation — components over
+//! a topic — is then validated against it.
+//!
+//! Run with: `cargo run --example chat_service`
+
+use svckit::middleware::{
+    Component, DeploymentPlan, MwCtx, MwSystemBuilder, PlatformCaps,
+};
+use svckit::model::conformance::{check_trace, CheckOptions};
+use svckit::model::{
+    Constraint, ConstraintScope, Direction, Duration, PartId, PrimitiveSpec, Sap,
+    ServiceDefinition, Value, ValueType,
+};
+use svckit::netsim::TimerId;
+
+const ROOM_TOPIC: &str = "room";
+const MEMBERS: u64 = 4;
+const MESSAGES_EACH: u64 = 3;
+
+/// The chat service definition: the paradigm-independent reference point.
+fn chat_service() -> ServiceDefinition {
+    ServiceDefinition::builder("chat")
+        .role("member", 2, usize::MAX)
+        .primitive(PrimitiveSpec::new("join", Direction::FromUser))
+        .primitive(PrimitiveSpec::new("leave", Direction::FromUser))
+        .primitive(
+            PrimitiveSpec::new("say", Direction::FromUser)
+                .param_id("msgid")
+                .param("text", ValueType::Text),
+        )
+        .primitive(
+            PrimitiveSpec::new("hear", Direction::ToUser)
+                .param_id("msgid")
+                .param("text", ValueType::Text),
+        )
+        // A member speaks only after joining (non-consuming: one join
+        // enables any number of utterances), and leaves only after joining.
+        .constraint(Constraint::after("join", "say", ConstraintScope::SameSap))
+        .constraint(Constraint::precedes("join", "leave", ConstraintScope::SameSap))
+        // No double join without leave.
+        .constraint(Constraint::at_most_outstanding(
+            "join",
+            "leave",
+            1,
+            ConstraintScope::SameSap,
+        ))
+        // Every utterance is eventually heard by someone (remote liveness,
+        // correlated by message id).
+        .constraint(
+            Constraint::eventually_follows("say", "hear", ConstraintScope::Global).keyed(&[0]),
+        )
+        .build()
+        .expect("the chat service definition is well-formed")
+}
+
+fn member_name(k: u64) -> String {
+    format!("member-{k}")
+}
+
+/// A chat member: publishes a few messages, hears everything on the topic.
+struct Member {
+    me: u64,
+    remaining: u64,
+    sent: u64,
+    heard: u64,
+}
+
+impl Member {
+    fn sap(&self) -> Sap {
+        Sap::new("member", PartId::new(self.me))
+    }
+
+    fn maybe_leave(&mut self, ctx: &mut MwCtx<'_, '_>) {
+        // Leave once all own messages are out and everyone's messages have
+        // been heard.
+        if self.remaining == 0 && self.heard >= MEMBERS * MESSAGES_EACH {
+            ctx.record_primitive(self.sap(), "leave", vec![]);
+            self.heard = u64::MAX; // never leave twice
+        }
+    }
+}
+
+impl Component for Member {
+    fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
+        ctx.record_primitive(self.sap(), "join", vec![]);
+        ctx.set_timer(Duration::from_millis(1 + self.me), TimerId(1));
+    }
+
+    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, op: &str, _: Vec<Value>) -> Value {
+        panic!("chat members provide no interface, got {op}");
+    }
+
+    fn on_timer(&mut self, ctx: &mut MwCtx<'_, '_>, _timer: TimerId) {
+        self.sent += 1;
+        self.remaining -= 1;
+        let msgid = self.me * 1000 + self.sent;
+        let text = format!("hello {} from member-{}", self.sent, self.me);
+        ctx.record_primitive(
+            self.sap(),
+            "say",
+            vec![Value::Id(msgid), Value::Text(text.clone())],
+        );
+        ctx.publish(ROOM_TOPIC, vec![Value::Id(msgid), Value::Text(text)])
+            .expect("room topic is in the plan");
+        if self.remaining > 0 {
+            ctx.set_timer(Duration::from_millis(2), TimerId(1));
+        }
+    }
+
+    fn on_delivery(&mut self, ctx: &mut MwCtx<'_, '_>, _source: &str, payload: Vec<Value>) {
+        self.heard += 1;
+        ctx.record_primitive(self.sap(), "hear", payload);
+        self.maybe_leave(ctx);
+    }
+}
+
+fn main() {
+    let service = chat_service();
+    println!("service `{}`:", service.name());
+    for constraint in service.constraints() {
+        println!("  {constraint}");
+    }
+    println!();
+
+    // Deploy on a JMS-like platform: one topic, every member subscribed.
+    let mut plan = DeploymentPlan::builder(PlatformCaps::messaging("jms-like"))
+        .broker(PartId::new(100))
+        .topic(ROOM_TOPIC, (1..=MEMBERS).map(member_name));
+    for k in 1..=MEMBERS {
+        plan = plan.component(member_name(k), PartId::new(k), vec![]);
+    }
+    let plan = plan.build().expect("chat plan is well-formed");
+
+    let mut builder = MwSystemBuilder::new(plan).seed(7);
+    for k in 1..=MEMBERS {
+        builder = builder.component(
+            member_name(k),
+            Box::new(Member {
+                me: k,
+                remaining: MESSAGES_EACH,
+                sent: 0,
+                heard: 0,
+            }),
+        );
+    }
+    let mut system = builder.build().expect("all members are bound");
+    let report = system
+        .run_to_quiescence(Duration::from_secs(10))
+        .expect("the chat system has nodes");
+
+    println!(
+        "ran to t={} ({} says, {} hears, {} transport messages)",
+        report.end_time(),
+        report.trace().count_of("say"),
+        report.trace().count_of("hear"),
+        report.metrics().messages_sent()
+    );
+
+    let check = check_trace(&service, report.trace(), &CheckOptions::default());
+    println!("conformance: {check}");
+    assert!(check.is_conformant());
+    assert_eq!(
+        report.trace().count_of("hear") as u64,
+        MEMBERS * MEMBERS * MESSAGES_EACH,
+        "every member hears every message (including its own)"
+    );
+}

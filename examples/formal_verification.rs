@@ -1,0 +1,117 @@
+//! The formal basis in action: proving (not just testing) that a service
+//! design is correct — "techniques for testing or proving the correctness
+//! of service designs" (Section 7).
+//!
+//! Run with: `cargo run --example formal_verification`
+
+use std::collections::BTreeSet;
+
+use svckit::floorctl::{floor_control_service, floor_event_universe};
+use svckit::lts::explorer::{AbstractEvent, ServiceExplorer};
+use svckit::lts::LtsBuilder;
+use svckit::model::{PartId, Sap, Value};
+
+fn sap(k: u64) -> Sap {
+    Sap::new("subscriber", PartId::new(k))
+}
+
+fn event(k: u64, primitive: &str, res: u64) -> AbstractEvent {
+    AbstractEvent::new(sap(k), primitive, vec![Value::Id(res)])
+}
+
+fn main() {
+    let service = floor_control_service();
+
+    // 1. Unfold the service's constraint automaton over a small universe
+    //    (2 subscribers, 1 resource) and analyse it exhaustively.
+    let explorer = ServiceExplorer::new(&service, floor_event_universe(2, 1), 1);
+    let service_lts = explorer.to_lts(100_000);
+    println!(
+        "service automaton: {} states, {} transitions, {} deadlock(s)",
+        service_lts.state_count(),
+        service_lts.transition_count(),
+        service_lts.deadlocks().len()
+    );
+    assert!(service_lts.deadlocks().is_empty());
+
+    let minimized = service_lts.minimize();
+    println!(
+        "minimized (strong bisimulation): {} states, {} transitions",
+        minimized.state_count(),
+        minimized.transition_count()
+    );
+    assert!(service_lts.trace_equivalent(&minimized).is_ok());
+
+    // 2. Model a *candidate provider design* as an LTS: a strict
+    //    lock-server loop per subscriber, interleaved.
+    let mut good = LtsBuilder::new();
+    // states: (sub1 phase, sub2 phase) with phases idle/req/held — build
+    // the product by hand for two subscribers and one resource, where the
+    // resource is granted to at most one requester at a time.
+    // 0: both idle, 1: s1 requested, 2: s1 held, 3: s2 requested,
+    // 4: s2 held, 5: both requested (s1 first), 6: both requested (s2 first),
+    // 7: s1 held + s2 requested, 8: s2 held + s1 requested.
+    let states: Vec<_> = (0..9).map(|i| good.add_state(format!("g{i}"))).collect();
+    good.mark_terminal(states[0]);
+    let req = |k| event(k, "request", 1);
+    let grant = |k| event(k, "granted", 1);
+    let free = |k| event(k, "free", 1);
+    good.add_transition(states[0], req(1), states[1]);
+    good.add_transition(states[0], req(2), states[3]);
+    good.add_transition(states[1], grant(1), states[2]);
+    good.add_transition(states[1], req(2), states[5]);
+    good.add_transition(states[2], free(1), states[0]);
+    good.add_transition(states[2], req(2), states[7]);
+    good.add_transition(states[3], grant(2), states[4]);
+    good.add_transition(states[3], req(1), states[6]);
+    good.add_transition(states[4], free(2), states[0]);
+    good.add_transition(states[4], req(1), states[8]);
+    good.add_transition(states[5], grant(1), states[7]);
+    good.add_transition(states[6], grant(2), states[8]);
+    good.add_transition(states[7], free(1), states[3]);
+    good.add_transition(states[8], free(2), states[1]);
+    let good = good.build(states[0]);
+
+    match explorer.verify_lts(&good) {
+        Ok(()) => println!("\ncandidate A: verified — every reachable behaviour is allowed"),
+        Err(cex) => panic!("candidate A should verify, got: {cex}"),
+    }
+
+    // 3. A buggy design: after a free, the provider re-grants the *old*
+    //    holder without a new request.
+    let mut bad = LtsBuilder::new();
+    let b0 = bad.add_state("b0");
+    let b1 = bad.add_state("b1");
+    let b2 = bad.add_state("b2");
+    let b3 = bad.add_state("b3");
+    bad.add_transition(b0, req(1), b1);
+    bad.add_transition(b1, grant(1), b2);
+    bad.add_transition(b2, free(1), b3);
+    bad.add_transition(b3, grant(1), b2); // grant without request!
+    let bad = bad.build(b0);
+
+    match explorer.verify_lts(&bad) {
+        Ok(()) => panic!("candidate B must be rejected"),
+        Err(cex) => {
+            println!("candidate B: rejected with shortest counterexample:");
+            println!("  {cex}");
+            assert_eq!(cex.trace().len(), 4);
+        }
+    }
+
+    // 4. Candidate A also trace-refines the full service automaton.
+    let refined = good.trace_refines(&service_lts);
+    println!(
+        "\ncandidate A trace-refines the service automaton: {}",
+        refined.is_ok()
+    );
+    assert!(refined.is_ok());
+
+    // 5. Export the minimized automaton for documentation.
+    let dot = minimized.to_dot("floor_control_service");
+    println!(
+        "\nGraphviz export: {} lines (render with `dot -Tsvg`)",
+        dot.lines().count()
+    );
+    let _ = BTreeSet::from([dot]); // silence unused in case of future edits
+}

@@ -1,0 +1,78 @@
+//! Integration: bandwidth-limited lower-level service. The paper abstracts
+//! bandwidth away; this ablation shows which solution designs are sensitive
+//! to it — the token's constant circulation consumes link capacity even
+//! when idle, while the callback protocol only pays per interaction.
+
+use svckit::floorctl::{run_solution, RunParams, Solution};
+use svckit::model::Duration;
+use svckit::netsim::LinkConfig;
+
+fn params_with(link: LinkConfig) -> RunParams {
+    RunParams::default()
+        .subscribers(4)
+        .resources(2)
+        .rounds(3)
+        .link(link)
+        .seed(71)
+        .time_cap(Duration::from_secs(300))
+}
+
+#[test]
+fn all_solutions_still_complete_on_a_narrow_link() {
+    // 5 KB/s: every PDU costs milliseconds of serialization.
+    let link = LinkConfig::perfect(Duration::from_millis(1)).with_bandwidth(5_000);
+    for solution in [
+        Solution::MwCallback,
+        Solution::ProtoCallback,
+        Solution::ProtoToken,
+        Solution::MwQueue,
+    ] {
+        let outcome = run_solution(solution, &params_with(link.clone()));
+        assert!(outcome.completed, "{solution} on narrow link");
+        assert!(outcome.conformant, "{solution} on narrow link");
+    }
+}
+
+#[test]
+fn bandwidth_hurts_the_token_more_than_the_callback() {
+    let narrow = LinkConfig::perfect(Duration::from_millis(1)).with_bandwidth(5_000);
+    let wide = LinkConfig::perfect(Duration::from_millis(1));
+
+    let callback_wide = run_solution(Solution::ProtoCallback, &params_with(wide.clone()));
+    let callback_narrow = run_solution(Solution::ProtoCallback, &params_with(narrow.clone()));
+    let token_wide = run_solution(Solution::ProtoToken, &params_with(wide));
+    let token_narrow = run_solution(Solution::ProtoToken, &params_with(narrow));
+    for outcome in [&callback_wide, &callback_narrow, &token_wide, &token_narrow] {
+        assert!(outcome.completed && outcome.conformant, "{}", outcome.solution);
+    }
+
+    // Serialization slows everyone, but the token — whose grants wait on a
+    // continuously circulating, byte-hungry PDU — degrades by a larger
+    // factor than the callback protocol.
+    let callback_slowdown = callback_narrow.floor.mean_latency().as_micros() as f64
+        / callback_wide.floor.mean_latency().as_micros().max(1) as f64;
+    let token_slowdown = token_narrow.floor.mean_latency().as_micros() as f64
+        / token_wide.floor.mean_latency().as_micros().max(1) as f64;
+    assert!(
+        token_slowdown > callback_slowdown,
+        "token slowdown {token_slowdown:.2} should exceed callback slowdown {callback_slowdown:.2}"
+    );
+}
+
+#[test]
+fn serialization_delay_is_visible_in_latency() {
+    let wide = run_solution(
+        Solution::ProtoCallback,
+        &params_with(LinkConfig::perfect(Duration::from_millis(1))),
+    );
+    let narrow = run_solution(
+        Solution::ProtoCallback,
+        &params_with(LinkConfig::perfect(Duration::from_millis(1)).with_bandwidth(2_000)),
+    );
+    assert!(
+        narrow.floor.mean_latency() > wide.floor.mean_latency(),
+        "narrow {} vs wide {}",
+        narrow.floor.mean_latency(),
+        wide.floor.mean_latency()
+    );
+}

@@ -1,0 +1,107 @@
+//! Integration: the paper's central comparison (Section 4) — six solutions,
+//! two paradigms, one service.
+
+use svckit::floorctl::{run_solution, RunParams, Solution};
+use svckit::model::Duration;
+use svckit::netsim::LinkConfig;
+
+fn params() -> RunParams {
+    RunParams::default().subscribers(4).resources(2).rounds(3).seed(11)
+}
+
+#[test]
+fn every_solution_implements_the_same_service() {
+    for solution in Solution::ALL {
+        let outcome = run_solution(solution, &params());
+        assert!(outcome.completed, "{solution} incomplete");
+        assert!(outcome.conformant, "{solution} non-conformant");
+        assert_eq!(outcome.floor.grants(), 12, "{solution}");
+        assert_eq!(outcome.floor.requests(), 12, "{solution}");
+        assert_eq!(outcome.floor.frees(), 12, "{solution}");
+    }
+}
+
+#[test]
+fn protocol_user_part_is_identical_across_protocols() {
+    // The same user workload produces the same *user-side* primitive
+    // sequence per subscriber for each protocol solution: what differs is
+    // only the timing of grants. Check that the multiset of (sap, request
+    // resource) pairs is identical across the three protocols — the user
+    // part's decisions do not depend on the protocol.
+    let reference = run_solution(Solution::ProtoCallback, &params());
+    let mut ref_requests: Vec<String> = reference
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.primitive() == "request")
+        .map(|e| format!("{}:{}", e.sap(), e.args()[0]))
+        .collect();
+    ref_requests.sort();
+    for solution in [Solution::ProtoPolling, Solution::ProtoToken] {
+        let outcome = run_solution(solution, &params());
+        let mut requests: Vec<String> = outcome
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.primitive() == "request")
+            .map(|e| format!("{}:{}", e.sap(), e.args()[0]))
+            .collect();
+        requests.sort();
+        assert_eq!(requests, ref_requests, "{solution}");
+    }
+}
+
+#[test]
+fn mutual_exclusion_holds_under_heavy_contention() {
+    // Many subscribers, one resource: the remote constraint is the story.
+    let p = RunParams::default()
+        .subscribers(8)
+        .resources(1)
+        .rounds(2)
+        .hold(Duration::from_millis(1))
+        .seed(23);
+    for solution in Solution::ALL {
+        let outcome = run_solution(solution, &p);
+        assert!(outcome.conformant, "{solution}: {} violations", outcome.violations);
+        assert!(outcome.completed, "{solution}");
+    }
+}
+
+#[test]
+fn solutions_survive_a_wan_link() {
+    let p = params().link(LinkConfig::wan()).time_cap(Duration::from_secs(300));
+    for solution in [Solution::MwCallback, Solution::ProtoCallback, Solution::ProtoToken] {
+        let outcome = run_solution(solution, &p);
+        assert!(outcome.completed, "{solution} over WAN");
+        assert!(outcome.conformant, "{solution} over WAN");
+        // Grant latency reflects the 20 ms link.
+        assert!(
+            outcome.floor.mean_latency() >= Duration::from_millis(20),
+            "{solution}: {}",
+            outcome.floor.mean_latency()
+        );
+    }
+}
+
+#[test]
+fn fairness_is_high_for_fifo_solutions() {
+    let p = RunParams::default().subscribers(6).resources(1).rounds(4).seed(31);
+    for solution in [Solution::MwCallback, Solution::ProtoCallback] {
+        let outcome = run_solution(solution, &p);
+        assert!(
+            outcome.floor.fairness() > 0.95,
+            "{solution} fairness {}",
+            outcome.floor.fairness()
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed_and_differ_across_seeds() {
+    let a = run_solution(Solution::ProtoPolling, &params());
+    let b = run_solution(Solution::ProtoPolling, &params());
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.transport_messages, b.transport_messages);
+    let c = run_solution(Solution::ProtoPolling, &params().seed(12));
+    assert_ne!(a.trace, c.trace);
+}

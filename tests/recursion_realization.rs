@@ -1,0 +1,78 @@
+//! Integration: recursive application of the service concept (Figure 12)
+//! versus direct transformation — both the model-level accounting and the
+//! executable message cost.
+
+use svckit::floorctl::RunParams;
+use svckit::mda::{catalog, realize, transform, TransformPolicy};
+
+#[test]
+fn recursion_preserves_the_border_direct_collapses_it() {
+    let pim = catalog::floor_control_pim();
+    let platform = catalog::jms_like();
+
+    let recursive = transform(&pim, &platform, TransformPolicy::RecursiveServiceDesign).unwrap();
+    assert!(recursive.border_preserved());
+    assert_eq!(recursive.adapter_count(), 3);
+    // With the border preserved, the service logic is portable.
+    assert_eq!(recursive.portable_artifacts().len(), pim.components().len());
+
+    let direct = transform(&pim, &platform, TransformPolicy::Direct).unwrap();
+    assert!(!direct.border_preserved());
+    assert_eq!(direct.adapter_count(), 0);
+    // With the border collapsed, everything is platform-specific.
+    assert!(direct.portable_artifacts().is_empty());
+    assert!(direct
+        .platform_specific_artifacts()
+        .contains(&"coordinator".to_owned()));
+}
+
+#[test]
+fn recursion_has_modelled_overhead_direct_has_none() {
+    let pim = catalog::floor_control_pim();
+    let recursive =
+        transform(&pim, &catalog::mq_series_like(), TransformPolicy::RecursiveServiceDesign)
+            .unwrap();
+    assert!(recursive.total_adapter_overhead() > 0);
+    let direct = transform(&pim, &catalog::mq_series_like(), TransformPolicy::Direct).unwrap();
+    assert_eq!(direct.total_adapter_overhead(), 0);
+}
+
+#[test]
+fn executable_adapter_overhead_matches_the_model() {
+    // The oneway-over-rr adapter models +1 message per interaction — i.e.
+    // each token hop gains a reply, roughly doubling transport messages.
+    let params = RunParams::default().subscribers(3).resources(2).rounds(2);
+    let overhead = realize::adapter_overhead_experiment(&params);
+    assert!(overhead.both_conformant);
+    let factor = overhead.overhead_factor();
+    assert!(
+        (1.4..=2.2).contains(&factor),
+        "expected roughly 2× messages, measured {factor:.2}×"
+    );
+}
+
+#[test]
+fn switching_platforms_preserves_portable_artifacts_only_under_recursion() {
+    // The portability claim behind "stable reference points": realize on
+    // JMS, then switch to MQSeries — under recursion the logic survives;
+    // under direct transformation nothing does.
+    let pim = catalog::floor_control_pim();
+    let jms = transform(&pim, &catalog::jms_like(), TransformPolicy::RecursiveServiceDesign)
+        .unwrap();
+    let mq = transform(&pim, &catalog::mq_series_like(), TransformPolicy::RecursiveServiceDesign)
+        .unwrap();
+    assert_eq!(jms.portable_artifacts(), mq.portable_artifacts());
+    assert!(!jms.portable_artifacts().is_empty());
+
+    let jms_direct = transform(&pim, &catalog::jms_like(), TransformPolicy::Direct).unwrap();
+    assert!(jms_direct.portable_artifacts().is_empty());
+}
+
+#[test]
+fn unrealizable_platform_fails_cleanly() {
+    use svckit::mda::{ConcretePlatform, MdaError, PlatformClass};
+    let pim = catalog::floor_control_pim();
+    let bare = ConcretePlatform::new("bare-metal", PlatformClass::RpcBased, []);
+    let err = transform(&pim, &bare, TransformPolicy::RecursiveServiceDesign).unwrap_err();
+    assert!(matches!(err, MdaError::NoRealization { .. }));
+}

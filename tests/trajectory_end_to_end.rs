@@ -1,0 +1,96 @@
+//! Integration: the full MDA trajectory (Figures 10 and 11) from service
+//! definition to running, conformance-checked implementations on all four
+//! concrete platforms.
+
+use svckit::floorctl::{floor_control_service, RunParams};
+use svckit::mda::{
+    catalog, realize, transform, Milestone, Trajectory, TransformPolicy,
+};
+use svckit::mda::views::{self, ViewKind};
+
+#[test]
+fn one_pim_four_platforms_four_running_systems() {
+    let designed = Trajectory::start(floor_control_service())
+        .with_design(catalog::floor_control_pim())
+        .unwrap();
+    let params = RunParams::default().subscribers(4).resources(2).rounds(2);
+
+    let mut adapter_counts = Vec::new();
+    for platform in catalog::all_platforms() {
+        let outcome = designed
+            .realize(&platform, TransformPolicy::RecursiveServiceDesign)
+            .unwrap();
+        assert_eq!(outcome.records().len(), 4);
+        assert_eq!(outcome.records()[0].milestone(), Milestone::ServiceDefinition);
+        assert_eq!(
+            outcome.records()[3].milestone(),
+            Milestone::PlatformSpecificImplementation
+        );
+        adapter_counts.push((platform.name().to_owned(), outcome.psm().adapter_count()));
+
+        let report = realize::realize(outcome.psm(), &params).unwrap();
+        assert!(report.outcome().completed, "{}", platform.name());
+        assert!(report.outcome().conformant, "{}", platform.name());
+        assert_eq!(report.outcome().floor.grants(), 8, "{}", platform.name());
+    }
+
+    // The paper's asymmetries: CORBA conforms directly; JavaRMI needs the
+    // oneway adapter; both messaging platforms adapt all three connectors.
+    let by_name: std::collections::BTreeMap<_, _> = adapter_counts.into_iter().collect();
+    assert_eq!(by_name["corba-like"], 0);
+    assert_eq!(by_name["javarmi-like"], 1);
+    assert_eq!(by_name["jms-like"], 3);
+    assert_eq!(by_name["mqseries-like"], 3);
+}
+
+#[test]
+fn service_definition_is_the_stable_reference_point() {
+    // The same service definition validates the implementations on every
+    // platform — nothing platform-specific leaks into milestone 1.
+    let pim = catalog::floor_control_pim();
+    assert_eq!(pim.service().name(), floor_control_service().name());
+    assert_eq!(
+        pim.service().primitives().len(),
+        floor_control_service().primitives().len()
+    );
+}
+
+#[test]
+fn neutral_pim_is_a_valid_trajectory_start() {
+    // The "highly abstract and neutral PIM … at the top of the trajectory":
+    // its queue-shaped connectors transform without adapters on messaging
+    // platforms and with adapters on RPC platforms — the mirror image of
+    // the committed PIM.
+    let neutral = catalog::floor_control_neutral_pim();
+    let jms = transform(&neutral, &catalog::jms_like(), TransformPolicy::RecursiveServiceDesign)
+        .unwrap();
+    assert_eq!(jms.adapter_count(), 0);
+    let corba =
+        transform(&neutral, &catalog::corba_like(), TransformPolicy::RecursiveServiceDesign)
+            .unwrap();
+    assert_eq!(corba.adapter_count(), 3);
+}
+
+#[test]
+fn descriptors_are_emitted_for_every_psm() {
+    let pim = catalog::floor_control_pim();
+    for platform in catalog::all_platforms() {
+        let psm = transform(&pim, &platform, TransformPolicy::RecursiveServiceDesign).unwrap();
+        let descriptor = psm.emit_descriptor();
+        assert!(descriptor.contains("component coordinator;"), "{descriptor}");
+        assert!(descriptor.contains("bind acquire"), "{descriptor}");
+    }
+}
+
+#[test]
+fn views_partition_consistently_for_the_deployed_system() {
+    let description = views::floor_control_description(4);
+    let fig8 = views::view_of(&description, ViewKind::MiddlewareInteractionSystems);
+    let fig9 = views::view_of(&description, ViewKind::ApplicationInteractionSystems);
+    // Same elements, different boundary.
+    assert_eq!(
+        fig8.application_parts().len() + fig8.interaction_system().len(),
+        fig9.application_parts().len() + fig9.interaction_system().len(),
+    );
+    assert!(fig8.application_parts().len() > fig9.application_parts().len());
+}
