@@ -1,0 +1,46 @@
+//! Criterion benches for the constraint-automaton explorer hot paths:
+//! LTS unfolding (`to_lts`), state-space verification (`verify_lts`) and
+//! interactive stepping (`allowed` + `step`), all over the floor-control
+//! service on a 4-subscriber × 2-resource universe with the tightest
+//! outstanding bound. Mirrors the scenarios in the `hotpath` binary so
+//! criterion statistics and `BENCH_hotpath.json` medians line up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use svckit::floorctl::{floor_control_service, floor_event_universe};
+use svckit::lts::explorer::ServiceExplorer;
+
+fn bench_explorer(c: &mut Criterion) {
+    let service = floor_control_service();
+    let universe = floor_event_universe(4, 2);
+    let explorer = ServiceExplorer::new(&service, universe, 1);
+
+    c.bench_function("explorer/to_lts_4x2_10k", |b| {
+        b.iter(|| black_box(explorer.to_lts(10_000)))
+    });
+
+    let service_lts = explorer.to_lts(10_000);
+    c.bench_function("explorer/verify_lts_4x2", |b| {
+        b.iter(|| black_box(explorer.verify_lts(&service_lts).is_ok()))
+    });
+
+    c.bench_function("explorer/allowed_walk_2k", |b| {
+        b.iter(|| {
+            // Deterministic walk: at each state take allowed()[k] round-robin.
+            let mut state = explorer.initial_state();
+            for k in 0..2_000usize {
+                let allowed = explorer.allowed(&state);
+                if allowed.is_empty() {
+                    break;
+                }
+                let event = allowed[k % allowed.len()].clone();
+                state = explorer.step(&state, &event).expect("allowed event steps");
+            }
+            black_box(state)
+        })
+    });
+}
+
+criterion_group!(benches, bench_explorer);
+criterion_main!(benches);

@@ -7,13 +7,11 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use svckit::codec::{PduRegistry, PduSchema};
-use svckit::floorctl::{
-    floor_control_service, run_solution, RunParams, Solution,
-};
+use svckit::floorctl::{floor_control_service, run_solution, RunParams, Solution};
 use svckit::lts::LtsBuilder;
 use svckit::model::conformance::{check_trace, CheckOptions};
 use svckit::model::{Duration, PartId, Value, ValueType};
-use svckit::netsim::{Context, LinkConfig, Process, SimConfig, Simulator};
+use svckit::netsim::{Context, LinkConfig, Payload, Process, SimConfig, Simulator};
 
 /// B1: PDU encode + decode round-trip.
 fn bench_codec(c: &mut Criterion) {
@@ -26,16 +24,16 @@ fn bench_codec(c: &mut Criterion) {
         )
         .unwrap();
     registry
-        .register(
-            PduSchema::new(2, "pass").field("avail", ValueType::Set(Box::new(ValueType::Id))),
-        )
+        .register(PduSchema::new(2, "pass").field("avail", ValueType::Set(Box::new(ValueType::Id))))
         .unwrap();
     let request_args = vec![Value::Id(42), Value::Id(7)];
     let pass_args = vec![Value::id_set(1..=32)];
 
     c.bench_function("codec/request_roundtrip", |b| {
         b.iter(|| {
-            let bytes = registry.encode("request", black_box(&request_args)).unwrap();
+            let bytes = registry
+                .encode("request", black_box(&request_args))
+                .unwrap();
             black_box(registry.decode(&bytes).unwrap())
         })
     });
@@ -59,7 +57,7 @@ fn bench_netsim(c: &mut Criterion) {
                 ctx.send(self.peer, vec![0u8; 16]);
             }
         }
-        fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Vec<u8>) {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Payload) {
             if self.remaining > 0 {
                 self.remaining -= 1;
                 ctx.send(from, payload);
@@ -70,13 +68,65 @@ fn bench_netsim(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut sim = Simulator::new(SimConfig::new(1).default_link(LinkConfig::lan()));
-                sim.add_process(PartId::new(1), Box::new(Echo { peer: PartId::new(2), remaining: 1000 }))
-                    .unwrap();
-                sim.add_process(PartId::new(2), Box::new(Echo { peer: PartId::new(1), remaining: 1000 }))
-                    .unwrap();
+                sim.add_process(
+                    PartId::new(1),
+                    Box::new(Echo {
+                        peer: PartId::new(2),
+                        remaining: 1000,
+                    }),
+                )
+                .unwrap();
+                sim.add_process(
+                    PartId::new(2),
+                    Box::new(Echo {
+                        peer: PartId::new(1),
+                        remaining: 1000,
+                    }),
+                )
+                .unwrap();
                 sim
             },
             |mut sim| black_box(sim.run_to_quiescence(Duration::from_secs(600)).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    // Burst delivery: 2000 × 256-byte payloads through a duplicating
+    // datagram link — stresses payload sharing across scheduled copies.
+    struct BurstSender {
+        peer: PartId,
+    }
+    impl Process for BurstSender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..2_000 {
+                ctx.send(self.peer, vec![0u8; 256]);
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
+    }
+    struct Sink;
+    impl Process for Sink {
+        fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
+    }
+    c.bench_function("netsim/2000x256B_burst_duplicating", |b| {
+        b.iter_batched(
+            || {
+                let link = LinkConfig::reliable_datagram(
+                    Duration::from_millis(1),
+                    Duration::from_micros(200),
+                )
+                .with_duplication(0.5);
+                let mut sim = Simulator::new(SimConfig::new(7).default_link(link));
+                sim.add_process(
+                    PartId::new(1),
+                    Box::new(BurstSender {
+                        peer: PartId::new(2),
+                    }),
+                )
+                .unwrap();
+                sim.add_process(PartId::new(2), Box::new(Sink)).unwrap();
+                sim
+            },
+            |mut sim| black_box(sim.run_to_quiescence(Duration::from_secs(60)).unwrap()),
             BatchSize::SmallInput,
         )
     });

@@ -11,10 +11,23 @@ fn main() {
     let pim = catalog::floor_control_pim();
     println!("PIM `{}` over {}\n", pim.name(), pim.abstract_platform());
 
-    let params = RunParams::default().subscribers(4).resources(2).rounds(3).seed(10);
+    let params = RunParams::default()
+        .subscribers(4)
+        .resources(2)
+        .rounds(3)
+        .seed(10);
     let widths = [15, 12, 9, 10, 9, 8, 11, 11];
     print_header(
-        &["platform", "class", "adapters", "overhead", "portable", "grants", "mean-lat", "transport"],
+        &[
+            "platform",
+            "class",
+            "adapters",
+            "overhead",
+            "portable",
+            "grants",
+            "mean-lat",
+            "transport",
+        ],
         &widths,
     );
     for platform in catalog::all_platforms() {

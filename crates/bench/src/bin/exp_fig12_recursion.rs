@@ -14,7 +14,10 @@ fn main() {
     // recursion synthesizes oneway-over-rr — each hop gains a reply.
     println!("executable recursion cost (token ring, N sweep):\n");
     let widths = [5, 14, 14, 10, 12];
-    print_header(&["N", "native-msgs", "adapted-msgs", "factor", "conformant"], &widths);
+    print_header(
+        &["N", "native-msgs", "adapted-msgs", "factor", "conformant"],
+        &widths,
+    );
     for n in [2u64, 4, 8, 16] {
         let params = RunParams::default()
             .subscribers(n)
@@ -46,7 +49,9 @@ fn main() {
     let pim = catalog::floor_control_pim();
     let widths = [15, 22, 9, 10, 10, 10];
     print_header(
-        &["platform", "policy", "adapters", "overhead", "portable", "specific"],
+        &[
+            "platform", "policy", "adapters", "overhead", "portable", "specific",
+        ],
         &widths,
     );
     for platform in catalog::all_platforms() {

@@ -14,7 +14,16 @@ fn main() {
     println!("E2 — middleware-centred solutions (Figure 4)\n");
     let widths = [13, 5, 5, 7, 11, 11, 10, 12];
     print_header(
-        &["solution", "N", "R", "grants", "mean-lat", "p99-lat", "msgs/grant", "fairness"],
+        &[
+            "solution",
+            "N",
+            "R",
+            "grants",
+            "mean-lat",
+            "p99-lat",
+            "msgs/grant",
+            "fairness",
+        ],
         &widths,
     );
     for n in [2u64, 4, 8, 16, 32] {
@@ -47,7 +56,10 @@ fn main() {
 
     println!("A1 — polling-interval ablation (N=8, one contended resource)\n");
     let widths = [14, 11, 11, 10];
-    print_header(&["poll-interval", "mean-lat", "p99-lat", "msgs/grant"], &widths);
+    print_header(
+        &["poll-interval", "mean-lat", "p99-lat", "msgs/grant"],
+        &widths,
+    );
     for interval_ms in [1u64, 2, 5, 10, 20] {
         let params = RunParams::default()
             .subscribers(8)
@@ -75,7 +87,12 @@ fn main() {
     use svckit::floorctl::{FloorMetrics, GrantPolicy};
     use svckit::model::conformance::{check_trace, CheckOptions};
     let widths = [8, 7, 11, 11, 11, 10];
-    print_header(&["policy", "grants", "mean-lat", "p99-lat", "max-lat", "conforms"], &widths);
+    print_header(
+        &[
+            "policy", "grants", "mean-lat", "p99-lat", "max-lat", "conforms",
+        ],
+        &widths,
+    );
     for policy in [GrantPolicy::Fifo, GrantPolicy::Lifo, GrantPolicy::Random] {
         let params = RunParams::default()
             .subscribers(8)

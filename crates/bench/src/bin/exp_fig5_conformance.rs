@@ -21,9 +21,16 @@ fn main() {
     }
     println!();
 
-    let params = RunParams::default().subscribers(6).resources(2).rounds(4).seed(5);
+    let params = RunParams::default()
+        .subscribers(6)
+        .resources(2)
+        .rounds(4)
+        .seed(5);
     let widths = [16, 9, 9, 12, 12];
-    print_header(&["solution", "events", "conforms", "violations", "check-time"], &widths);
+    print_header(
+        &["solution", "events", "conforms", "violations", "check-time"],
+        &widths,
+    );
     for solution in Solution::ALL {
         let outcome = run_solution(solution, &params);
         let t0 = WallInstant::now();
@@ -50,13 +57,27 @@ fn main() {
     let cases: Vec<(&str, Trace)> = vec![
         (
             "double grant",
-            [ev(1, 1, "request", 1), ev(2, 2, "request", 1), ev(3, 1, "granted", 1), ev(4, 2, "granted", 1)]
-                .into_iter()
-                .collect(),
+            [
+                ev(1, 1, "request", 1),
+                ev(2, 2, "request", 1),
+                ev(3, 1, "granted", 1),
+                ev(4, 2, "granted", 1),
+            ]
+            .into_iter()
+            .collect(),
         ),
-        ("free before grant", [ev(1, 1, "free", 1)].into_iter().collect()),
-        ("grant without request", [ev(1, 1, "granted", 1)].into_iter().collect()),
-        ("unanswered request", [ev(1, 1, "request", 1)].into_iter().collect()),
+        (
+            "free before grant",
+            [ev(1, 1, "free", 1)].into_iter().collect(),
+        ),
+        (
+            "grant without request",
+            [ev(1, 1, "granted", 1)].into_iter().collect(),
+        ),
+        (
+            "unanswered request",
+            [ev(1, 1, "request", 1)].into_iter().collect(),
+        ),
     ];
     for (name, trace) in cases {
         let report = check_trace(&service, &trace, &CheckOptions::default());

@@ -11,7 +11,15 @@ fn main() {
     println!("E4 — protocol-centred solutions (Figure 6)\n");
     let widths = [15, 5, 7, 11, 11, 10, 11];
     print_header(
-        &["solution", "N", "grants", "mean-lat", "p99-lat", "msgs/grant", "bytes/grant"],
+        &[
+            "solution",
+            "N",
+            "grants",
+            "mean-lat",
+            "p99-lat",
+            "msgs/grant",
+            "bytes/grant",
+        ],
         &widths,
     );
     for n in [2u64, 4, 8, 16, 32] {
@@ -51,7 +59,16 @@ fn main() {
     println!("services; a reliability sub-layer (stop-and-wait) is layered in between");
     println!("for the lossy rows — the layering principle, executably.\n");
     let widths = [26, 7, 11, 10, 14];
-    print_header(&["lower-level service", "grants", "mean-lat", "msgs", "retransmitted"], &widths);
+    print_header(
+        &[
+            "lower-level service",
+            "grants",
+            "mean-lat",
+            "msgs",
+            "retransmitted",
+        ],
+        &widths,
+    );
 
     use svckit::floorctl::proto::callback;
     use svckit::protocol::ReliabilityConfig;

@@ -11,10 +11,20 @@ use svckit_bench::{fmt_f, print_header, print_row};
 
 fn main() {
     println!("E5 — interaction-functionality scattering (Figure 7)\n");
-    let params = RunParams::default().subscribers(6).resources(2).rounds(4).seed(77);
+    let params = RunParams::default()
+        .subscribers(6)
+        .resources(2)
+        .rounds(4)
+        .seed(77);
     let widths = [16, 11, 12, 12, 11];
     print_header(
-        &["solution", "app-events", "infra-events", "scattering", "paradigm"],
+        &[
+            "solution",
+            "app-events",
+            "infra-events",
+            "scattering",
+            "paradigm",
+        ],
         &widths,
     );
     for solution in Solution::ALL {
@@ -26,7 +36,12 @@ fn main() {
                 outcome.app_events.to_string(),
                 outcome.infra_events.to_string(),
                 fmt_f(outcome.scattering()),
-                if solution.is_middleware() { "middleware" } else { "protocol" }.to_string(),
+                if solution.is_middleware() {
+                    "middleware"
+                } else {
+                    "protocol"
+                }
+                .to_string(),
             ],
             &widths,
         );

@@ -14,11 +14,22 @@ use svckit_bench::{fmt_f, print_header, print_row};
 
 fn main() {
     println!("E1 — paradigm structures (Figures 1-3)\n");
-    let params = RunParams::default().subscribers(4).resources(2).rounds(3).seed(1);
+    let params = RunParams::default()
+        .subscribers(4)
+        .resources(2)
+        .rounds(3)
+        .seed(1);
 
     let widths = [16, 10, 12, 12, 12, 12];
     print_header(
-        &["structure", "conforms", "user-events", "pdu/infra", "transport", "scattering"],
+        &[
+            "structure",
+            "conforms",
+            "user-events",
+            "pdu/infra",
+            "transport",
+            "scattering",
+        ],
         &widths,
     );
     for solution in [Solution::MwCallback, Solution::ProtoCallback] {

@@ -15,10 +15,22 @@ fn run_selection(label: &str, qos: &QosSpec, params: &RunParams) {
     println!("{label}: {qos}");
     let widths = [15, 9, 11, 11, 10, 7];
     print_header(
-        &["platform", "adapters", "mean-lat", "msgs/grant", "fairness", "passes"],
+        &[
+            "platform",
+            "adapters",
+            "mean-lat",
+            "msgs/grant",
+            "fairness",
+            "passes",
+        ],
         &widths,
     );
-    match select_platform(&catalog::floor_control_pim(), &catalog::all_platforms(), qos, params) {
+    match select_platform(
+        &catalog::floor_control_pim(),
+        &catalog::all_platforms(),
+        qos,
+        params,
+    ) {
         Ok(selection) => {
             for candidate in selection.candidates() {
                 print_row(
@@ -41,7 +53,11 @@ fn run_selection(label: &str, qos: &QosSpec, params: &RunParams) {
 
 fn main() {
     println!("E10 — QoS-driven platform selection (Figure 10, selection step)\n");
-    let params = RunParams::default().subscribers(4).resources(2).rounds(3).seed(55);
+    let params = RunParams::default()
+        .subscribers(4)
+        .resources(2)
+        .rounds(3)
+        .seed(55);
 
     run_selection("no requirements", &QosSpec::new(), &params);
     run_selection(

@@ -6,8 +6,8 @@
 //! below the service boundary; the floor-control service definition never
 //! changes.
 
-use svckit::floorctl::proto::token_dynamic::{deploy, DynamicRingConfig};
 use svckit::floorctl::proto::subscriber_part;
+use svckit::floorctl::proto::token_dynamic::{deploy, DynamicRingConfig};
 use svckit::floorctl::{floor_control_service, FloorMetrics, RunParams};
 use svckit::model::conformance::{check_trace, CheckOptions};
 use svckit::model::Duration;
@@ -17,7 +17,9 @@ fn main() {
     println!("E11 — token-ring membership management (extension of Figure 6 (c))\n");
     let widths = [9, 8, 8, 8, 11, 11];
     print_header(
-        &["founders", "joiners", "grants", "conforms", "mean-lat", "pdu-msgs"],
+        &[
+            "founders", "joiners", "grants", "conforms", "mean-lat", "pdu-msgs",
+        ],
         &widths,
     );
 

@@ -12,9 +12,7 @@
 
 use std::process::ExitCode;
 
-use svckit::floorctl::{
-    floor_control_service, run_solution, RunParams, Solution,
-};
+use svckit::floorctl::{floor_control_service, run_solution, RunParams, Solution};
 use svckit::model::conformance::{check_trace, CheckOptions};
 use svckit::model::Duration;
 use svckit::netsim::LinkConfig;
@@ -91,36 +89,52 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--solution" => solution = parse_solution(&value("--solution")?)?,
             "--subscribers" => {
                 params = params.subscribers(
-                    value("--subscribers")?.parse().map_err(|e| format!("--subscribers: {e}"))?,
+                    value("--subscribers")?
+                        .parse()
+                        .map_err(|e| format!("--subscribers: {e}"))?,
                 )
             }
             "--resources" => {
                 params = params.resources(
-                    value("--resources")?.parse().map_err(|e| format!("--resources: {e}"))?,
+                    value("--resources")?
+                        .parse()
+                        .map_err(|e| format!("--resources: {e}"))?,
                 )
             }
             "--rounds" => {
-                params = params
-                    .rounds(value("--rounds")?.parse().map_err(|e| format!("--rounds: {e}"))?)
+                params = params.rounds(
+                    value("--rounds")?
+                        .parse()
+                        .map_err(|e| format!("--rounds: {e}"))?,
+                )
             }
             "--hold" => {
                 params = params.hold(Duration::from_millis(
-                    value("--hold")?.parse().map_err(|e| format!("--hold: {e}"))?,
+                    value("--hold")?
+                        .parse()
+                        .map_err(|e| format!("--hold: {e}"))?,
                 ))
             }
             "--think" => {
                 params = params.think(Duration::from_millis(
-                    value("--think")?.parse().map_err(|e| format!("--think: {e}"))?,
+                    value("--think")?
+                        .parse()
+                        .map_err(|e| format!("--think: {e}"))?,
                 ))
             }
             "--poll" => {
                 params = params.poll_interval(Duration::from_millis(
-                    value("--poll")?.parse().map_err(|e| format!("--poll: {e}"))?,
+                    value("--poll")?
+                        .parse()
+                        .map_err(|e| format!("--poll: {e}"))?,
                 ))
             }
             "--seed" => {
-                params =
-                    params.seed(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+                params = params.seed(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
             }
             "--link" => params = params.link(parse_link(&value("--link")?)?),
             "--trace" => show_trace = true,

@@ -1,0 +1,267 @@
+//! Hot-path benchmark binary: times the two engines every experiment
+//! funnels through — the `svckit-lts` constraint-automaton explorer and the
+//! `svckit-netsim` discrete-event core — and emits machine-readable medians
+//! so the repo's perf trajectory is trackable across PRs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p svckit-bench --bin hotpath [-- <output.json>]
+//! ```
+//!
+//! Writes `BENCH_hotpath.json` (or the given path): a flat JSON object
+//! mapping bench name to median nanoseconds per iteration.
+
+use std::fmt::Write as _;
+use std::time::Instant as WallInstant;
+
+use svckit::floorctl::{
+    floor_control_service, floor_event_universe, run_solution, RunParams, Solution,
+};
+use svckit::lts::explorer::ServiceExplorer;
+use svckit::model::{Duration, PartId};
+use svckit::netsim::{Context, LinkConfig, Process, SimConfig, Simulator};
+
+use std::hint::black_box;
+
+/// Times `f` for `samples` runs after `warmup` runs; returns median ns.
+fn median_ns<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = WallInstant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// B2-style burst: one sender fires `n` copies of a `size`-byte payload at
+/// a sink, exercising send → schedule → deliver with payload duplication.
+fn netsim_burst(n: u32, size: usize) {
+    struct BurstSender {
+        peer: PartId,
+        n: u32,
+        size: usize,
+    }
+    impl Process for BurstSender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.n {
+                ctx.send(self.peer, vec![0u8; self.size]);
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: svckit::netsim::Payload) {}
+    }
+    struct Sink;
+    impl Process for Sink {
+        fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: svckit::netsim::Payload) {}
+    }
+    let link = LinkConfig::reliable_datagram(Duration::from_millis(1), Duration::from_micros(200))
+        .with_duplication(0.5);
+    let mut sim = Simulator::new(SimConfig::new(7).default_link(link));
+    sim.add_process(
+        PartId::new(1),
+        Box::new(BurstSender {
+            peer: PartId::new(2),
+            n,
+            size,
+        }),
+    )
+    .unwrap();
+    sim.add_process(PartId::new(2), Box::new(Sink)).unwrap();
+    black_box(sim.run_to_quiescence(Duration::from_secs(60)).unwrap());
+}
+
+/// Two chattering nodes ping-ponging 2×1000 messages.
+fn netsim_pingpong() {
+    struct Echo {
+        peer: PartId,
+        remaining: u32,
+    }
+    impl Process for Echo {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if self.remaining > 0 {
+                ctx.send(self.peer, vec![0u8; 16]);
+            }
+        }
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_>,
+            from: PartId,
+            payload: svckit::netsim::Payload,
+        ) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(from, payload);
+            }
+        }
+    }
+    let mut sim = Simulator::new(SimConfig::new(1).default_link(LinkConfig::lan()));
+    sim.add_process(
+        PartId::new(1),
+        Box::new(Echo {
+            peer: PartId::new(2),
+            remaining: 1000,
+        }),
+    )
+    .unwrap();
+    sim.add_process(
+        PartId::new(2),
+        Box::new(Echo {
+            peer: PartId::new(1),
+            remaining: 1000,
+        }),
+    )
+    .unwrap();
+    black_box(sim.run_to_quiescence(Duration::from_secs(600)).unwrap());
+}
+
+/// Multi-slice run: repeatedly extends the simulation, stressing the
+/// per-slice `SimReport` construction (trace snapshot cost).
+fn netsim_sliced_report() {
+    struct Ticker {
+        peer: PartId,
+        remaining: u32,
+    }
+    impl Process for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.send(self.peer, vec![1u8; 8]);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, _: svckit::netsim::Payload) {
+            ctx.record_primitive(
+                svckit::model::Sap::new("probe", ctx.id()),
+                "tick",
+                vec![svckit::model::Value::Id(self.remaining as u64)],
+            );
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(from, vec![1u8; 8]);
+            }
+        }
+    }
+    let mut sim = Simulator::new(SimConfig::new(3).default_link(LinkConfig::lan()));
+    sim.add_process(
+        PartId::new(1),
+        Box::new(Ticker {
+            peer: PartId::new(2),
+            remaining: 400,
+        }),
+    )
+    .unwrap();
+    sim.add_process(
+        PartId::new(2),
+        Box::new(Ticker {
+            peer: PartId::new(1),
+            remaining: 400,
+        }),
+    )
+    .unwrap();
+    for _ in 0..50 {
+        black_box(sim.run_to_quiescence(Duration::from_millis(20)).unwrap());
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_owned());
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    let mut record = |name: &'static str, ns: f64| {
+        println!("{name:<36} median {}", fmt_ns(ns));
+        results.push((name, ns));
+    };
+
+    // --- Explorer hot paths: floor control, 4 SAPs × 2 resources. -------
+    let service = floor_control_service();
+    let universe = floor_event_universe(4, 2);
+    let explorer = ServiceExplorer::new(&service, universe, 1);
+
+    record(
+        "explorer/to_lts_4x2",
+        median_ns(1, 7, || {
+            black_box(explorer.to_lts(10_000));
+        }),
+    );
+
+    let service_lts = explorer.to_lts(10_000);
+    println!(
+        "    (service LTS: {} states, {} transitions)",
+        service_lts.state_count(),
+        service_lts.transition_count()
+    );
+    record(
+        "explorer/verify_lts_4x2",
+        median_ns(1, 7, || {
+            black_box(explorer.verify_lts(&service_lts).is_ok());
+        }),
+    );
+
+    record(
+        "explorer/allowed_2k_steps",
+        median_ns(1, 7, || {
+            // Deterministic walk: at each state take allowed()[k] round-robin.
+            let mut state = explorer.initial_state();
+            for k in 0..2_000usize {
+                let allowed = explorer.allowed(&state);
+                if allowed.is_empty() {
+                    break;
+                }
+                let event = allowed[k % allowed.len()].clone();
+                state = explorer.step(&state, &event).expect("allowed event steps");
+            }
+            black_box(state);
+        }),
+    );
+
+    // --- Netsim hot paths. ----------------------------------------------
+    record(
+        "netsim/burst_2000x256B",
+        median_ns(1, 9, || netsim_burst(2_000, 256)),
+    );
+    record("netsim/pingpong_2000", median_ns(1, 9, netsim_pingpong));
+    record(
+        "netsim/sliced_report_50x",
+        median_ns(1, 9, netsim_sliced_report),
+    );
+
+    // --- End-to-end experiment proxy (exp_fig4 middleware path). --------
+    let params = RunParams::default().subscribers(8).resources(2).rounds(4);
+    record(
+        "solution/mw_callback_8x2x4",
+        median_ns(1, 7, || {
+            black_box(run_solution(Solution::MwCallback, &params));
+        }),
+    );
+    record(
+        "solution/proto_callback_8x2x4",
+        median_ns(1, 7, || {
+            black_box(run_solution(Solution::ProtoCallback, &params));
+        }),
+    );
+
+    // --- Machine-readable output. ---------------------------------------
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(json, "  \"{name}\": {ns:.1}{comma}");
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nwrote {out_path}");
+}

@@ -13,7 +13,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a header row followed by a rule.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
     println!("{}", "-".repeat(total));
 }

@@ -94,7 +94,10 @@ mod tests {
     fn error_is_send_sync_and_displays() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CodecError>();
-        assert_eq!(CodecError::UnexpectedEof.to_string(), "unexpected end of input");
+        assert_eq!(
+            CodecError::UnexpectedEof.to_string(),
+            "unexpected end of input"
+        );
         assert!(CodecError::InvalidTag { tag: 0xff }
             .to_string()
             .contains("0xff"));

@@ -201,10 +201,7 @@ impl PduRegistry {
     /// malformed input.
     pub fn decode(&self, bytes: &[u8]) -> Result<Pdu, CodecError> {
         let (&id, mut rest) = bytes.split_first().ok_or(CodecError::UnexpectedEof)?;
-        let schema = self
-            .by_id
-            .get(&id)
-            .ok_or(CodecError::UnknownPduId { id })?;
+        let schema = self.by_id.get(&id).ok_or(CodecError::UnknownPduId { id })?;
         let mut args = Vec::with_capacity(schema.fields().len());
         for field in schema.fields() {
             let (value, used) = decode_value(rest)?;

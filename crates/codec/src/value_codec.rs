@@ -99,8 +99,8 @@ pub fn decode_value(input: &[u8]) -> Result<(Value, usize), CodecError> {
                     remaining: body.len(),
                 });
             }
-            let text = std::str::from_utf8(&body[..len as usize])
-                .map_err(|_| CodecError::InvalidUtf8)?;
+            let text =
+                std::str::from_utf8(&body[..len as usize]).map_err(|_| CodecError::InvalidUtf8)?;
             Ok((Value::Text(text.to_owned()), 1 + used + len as usize))
         }
         TAG_ID => {

@@ -1,0 +1,356 @@
+//! A hermetic, dependency-free stand-in for the crates.io `criterion`
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no registry access, so the
+//! real criterion cannot be compiled. This crate implements the API subset
+//! the workspace's benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`criterion_group!`],
+//! [`criterion_main!`] — on top of `std::time::Instant`, with warm-up,
+//! multi-sample measurement and median/min/max reporting.
+//!
+//! Measurement model: after a short warm-up that also calibrates the
+//! per-sample iteration count, each sample times a fixed number of
+//! iterations and the per-iteration cost of a sample is `elapsed / iters`.
+//! The reported statistics are taken over the per-sample costs. Set
+//! `SVCKIT_BENCH_FAST=1` to cut warm-up and sample counts (useful in CI),
+//! and pass `--save-json <path>` (or set `SVCKIT_BENCH_JSON`) to append
+//! machine-readable results.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortises setup cost. The stand-in times
+/// every routine invocation individually, so the variants only bound how
+/// many setup values are materialised at once (they behave identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// One benchmark's collected statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Median per-iteration time across samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of samples measured.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Measurement configuration and result sink.
+pub struct Criterion {
+    warm_up: Duration,
+    target_sample: Duration,
+    samples: usize,
+    quick: bool,
+    results: Vec<(String, Stats)>,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = std::env::var("SVCKIT_BENCH_FAST").is_ok_and(|v| v != "0");
+        // `cargo test` may execute harness=false bench targets with
+        // `--test`; run a single quick iteration there so test runs stay
+        // fast while still exercising the bench bodies.
+        let quick = std::env::args().any(|a| a == "--test");
+        let json_path = std::env::var("SVCKIT_BENCH_JSON").ok().or_else(|| {
+            let mut args = std::env::args();
+            while let Some(a) = args.next() {
+                if a == "--save-json" {
+                    return args.next();
+                }
+            }
+            None
+        });
+        Criterion {
+            warm_up: if fast {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(300)
+            },
+            target_sample: if fast {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(25)
+            },
+            samples: if fast { 15 } else { 31 },
+            quick,
+            results: Vec::new(),
+            json_path,
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the number of measurement samples (builder-style).
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Runs one benchmark and prints its statistics.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: if self.quick {
+                Mode::Quick
+            } else {
+                Mode::Calibrate {
+                    warm_up: self.warm_up,
+                }
+            },
+            iters: 1,
+            per_sample: Vec::new(),
+        };
+        if self.quick {
+            f(&mut bencher);
+            println!("{id}: ok (quick mode, 1 iteration)");
+            return self;
+        }
+        // Warm-up + calibration pass: find an iteration count whose sample
+        // time is near the target, while warming caches and the allocator.
+        f(&mut bencher);
+        let calibrated = bencher.calibrated_iters(self.target_sample);
+        // Measurement passes.
+        bencher.mode = Mode::Measure;
+        bencher.iters = calibrated;
+        bencher.per_sample.clear();
+        while bencher.per_sample.len() < self.samples {
+            f(&mut bencher);
+        }
+        let mut costs: Vec<f64> = bencher.per_sample.clone();
+        costs.truncate(self.samples);
+        costs.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let stats = Stats {
+            median_ns: costs[costs.len() / 2],
+            min_ns: costs[0],
+            max_ns: costs[costs.len() - 1],
+            samples: costs.len(),
+            iters_per_sample: calibrated,
+        };
+        println!(
+            "{id:<44} time: [{} .. {} .. {}] ({} samples x {} iters)",
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.max_ns),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        self.results.push((id.to_owned(), stats));
+        self
+    }
+
+    /// All results collected so far.
+    pub fn results(&self) -> &[(String, Stats)] {
+        &self.results
+    }
+
+    /// Writes collected results as a JSON object `{bench: median_ns}` when a
+    /// sink was configured; called by [`criterion_main!`] at exit.
+    pub fn finalize(&self) {
+        let Some(path) = &self.json_path else { return };
+        let mut json = String::from("{\n");
+        for (i, (name, stats)) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(json, "  \"{name}\": {:.1}{comma}", stats.median_ns);
+        }
+        json.push('}');
+        json.push('\n');
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("warning: could not write bench JSON to {path}: {e}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+enum Mode {
+    Quick,
+    Calibrate { warm_up: Duration },
+    Measure,
+}
+
+/// Timing loop handle passed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    per_sample: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; the routine's return value is passed to
+    /// [`black_box`] so the optimiser cannot elide it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Quick => {
+                black_box(routine());
+            }
+            Mode::Calibrate { warm_up } => {
+                let deadline = Instant::now() + warm_up;
+                let mut iters: u64 = 0;
+                let started = Instant::now();
+                while Instant::now() < deadline {
+                    black_box(routine());
+                    iters += 1;
+                }
+                self.record_calibration(started.elapsed(), iters.max(1));
+            }
+            Mode::Measure => {
+                let started = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(routine());
+                }
+                let elapsed = started.elapsed();
+                self.per_sample
+                    .push(elapsed.as_nanos() as f64 / self.iters as f64);
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Quick => {
+                black_box(routine(setup()));
+            }
+            Mode::Calibrate { warm_up } => {
+                let deadline = Instant::now() + warm_up;
+                let mut iters: u64 = 0;
+                let mut timed = Duration::ZERO;
+                while Instant::now() < deadline {
+                    let input = setup();
+                    let started = Instant::now();
+                    black_box(routine(input));
+                    timed += started.elapsed();
+                    iters += 1;
+                }
+                self.record_calibration(timed, iters.max(1));
+            }
+            Mode::Measure => {
+                let mut timed = Duration::ZERO;
+                for _ in 0..self.iters {
+                    let input = setup();
+                    let started = Instant::now();
+                    black_box(routine(input));
+                    timed += started.elapsed();
+                }
+                self.per_sample
+                    .push(timed.as_nanos() as f64 / self.iters as f64);
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`], but hands the routine a mutable
+    /// reference to the input instead of ownership.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+
+    fn record_calibration(&mut self, elapsed: Duration, iters: u64) {
+        // Stash the observed per-iteration cost where calibrated_iters can
+        // derive a sample size from it.
+        self.per_sample
+            .push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+
+    fn calibrated_iters(&self, target: Duration) -> u64 {
+        let per_iter_ns = self.per_sample.last().copied().unwrap_or(1.0).max(1.0);
+        ((target.as_nanos() as f64 / per_iter_ns).round() as u64).clamp(1, 1_000_000)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        std::env::set_var("SVCKIT_BENCH_FAST", "1");
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("trivial/add", |b| b.iter(|| black_box(1u64) + 1));
+        let (name, stats) = &c.results()[0];
+        assert_eq!(name, "trivial/add");
+        assert!(stats.median_ns >= 0.0);
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        std::env::set_var("SVCKIT_BENCH_FAST", "1");
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("trivial/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert_eq!(c.results().len(), 1);
+    }
+
+    #[test]
+    fn formats_time_scales() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.3e9).ends_with('s'));
+    }
+}

@@ -39,9 +39,9 @@
 
 pub mod metrics;
 pub mod mw;
-pub mod proto;
 mod params;
 mod policy;
+pub mod proto;
 mod run;
 mod service;
 

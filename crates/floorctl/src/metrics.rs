@@ -33,9 +33,14 @@ impl FloorMetrics {
                 }
                 "granted" => {
                     metrics.grants += 1;
-                    *metrics.grants_per_sap.entry(event.sap().clone()).or_insert(0) += 1;
+                    *metrics
+                        .grants_per_sap
+                        .entry(event.sap().clone())
+                        .or_insert(0) += 1;
                     if let Some(started) = outstanding.entry(key).or_default().pop_front() {
-                        metrics.latencies.push(event.time().saturating_since(started));
+                        metrics
+                            .latencies
+                            .push(event.time().saturating_since(started));
                     }
                 }
                 "free" => {
@@ -165,7 +170,10 @@ mod tests {
         assert_eq!(m.requests(), 2);
         assert_eq!(m.grants(), 2);
         assert_eq!(m.frees(), 1);
-        assert_eq!(m.latencies(), &[Duration::from_micros(100), Duration::from_micros(200)]);
+        assert_eq!(
+            m.latencies(),
+            &[Duration::from_micros(100), Duration::from_micros(200)]
+        );
         assert_eq!(m.mean_latency(), Duration::from_micros(150));
         assert_eq!(m.median_latency(), Duration::from_micros(200));
     }

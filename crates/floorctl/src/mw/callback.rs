@@ -13,7 +13,9 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use svckit_middleware::{Component, DeploymentPlan, MwCtx, MwSystem, MwSystemBuilder, PlatformCaps};
+use svckit_middleware::{
+    Component, DeploymentPlan, MwCtx, MwSystem, MwSystemBuilder, PlatformCaps,
+};
 use svckit_model::{InterfaceDef, OperationSig, Value, ValueType};
 use svckit_netsim::TimerId;
 
@@ -210,16 +212,26 @@ pub fn deploy_with_policy(params: &RunParams, policy: GrantPolicy) -> MwSystem {
         vec![controller_interface()],
     );
     for k in 1..=params.subscriber_count() {
-        plan = plan.component(subscriber_name(k), subscriber_part(k), vec![subscriber_interface()]);
+        plan = plan.component(
+            subscriber_name(k),
+            subscriber_part(k),
+            vec![subscriber_interface()],
+        );
     }
     let plan = plan.build().expect("callback plan is well-formed");
 
     let mut builder = MwSystemBuilder::new(plan)
         .seed(params.seed_value())
         .link(params.link_config().clone())
-        .component(CONTROLLER, Box::new(CallbackController::with_policy(policy)));
+        .component(
+            CONTROLLER,
+            Box::new(CallbackController::with_policy(policy)),
+        );
     for k in 1..=params.subscriber_count() {
-        builder = builder.component(subscriber_name(k), Box::new(CallbackSubscriber::new(k, params)));
+        builder = builder.component(
+            subscriber_name(k),
+            Box::new(CallbackSubscriber::new(k, params)),
+        );
     }
     builder.build().expect("all components are bound")
 }
@@ -249,7 +261,11 @@ mod tests {
     fn lifo_policy_worsens_tail_latency_but_not_safety() {
         use crate::metrics::FloorMetrics;
         use svckit_model::conformance::{check_trace, CheckOptions};
-        let params = RunParams::default().subscribers(6).resources(1).rounds(4).seed(13);
+        let params = RunParams::default()
+            .subscribers(6)
+            .resources(1)
+            .rounds(4)
+            .seed(13);
         let run = |policy| {
             let mut system = deploy_with_policy(&params, policy);
             let report = system.run_to_quiescence(params.cap()).unwrap();
@@ -279,7 +295,11 @@ mod tests {
         // One resource, many subscribers: every grant must be preceded by a
         // free of the previous holder; conformance (mutual exclusion) is the
         // real assertion, plus everyone eventually finishes.
-        let params = RunParams::default().subscribers(5).resources(1).rounds(3).seed(7);
+        let params = RunParams::default()
+            .subscribers(5)
+            .resources(1)
+            .rounds(3)
+            .seed(7);
         let mut system = deploy(&params);
         let report = system.run_to_quiescence(params.cap()).unwrap();
         assert!(report.is_quiescent());

@@ -18,7 +18,9 @@
 
 use std::collections::BTreeMap;
 
-use svckit_middleware::{Component, DeploymentPlan, MwCtx, MwSystem, MwSystemBuilder, PlatformCaps};
+use svckit_middleware::{
+    Component, DeploymentPlan, MwCtx, MwSystem, MwSystemBuilder, PlatformCaps,
+};
 use svckit_model::{InterfaceDef, OperationSig, Value, ValueType};
 use svckit_netsim::TimerId;
 
@@ -136,7 +138,13 @@ impl Component for PollingSubscriber {
         }
     }
 
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, op: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        op: &str,
+        _: Vec<Value>,
+    ) -> Value {
         panic!("polling subscribers provide no interface, got {op}");
     }
 
@@ -200,7 +208,10 @@ pub fn deploy(params: &RunParams) -> MwSystem {
         .link(params.link_config().clone())
         .component(CONTROLLER, Box::new(PollingController::new()));
     for k in 1..=params.subscriber_count() {
-        builder = builder.component(subscriber_name(k), Box::new(PollingSubscriber::new(k, params)));
+        builder = builder.component(
+            subscriber_name(k),
+            Box::new(PollingSubscriber::new(k, params)),
+        );
     }
     builder.build().expect("all components are bound")
 }

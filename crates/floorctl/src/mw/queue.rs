@@ -13,7 +13,9 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use svckit_middleware::{Component, DeploymentPlan, MwCtx, MwSystem, MwSystemBuilder, PlatformCaps};
+use svckit_middleware::{
+    Component, DeploymentPlan, MwCtx, MwSystem, MwSystemBuilder, PlatformCaps,
+};
 use svckit_model::{PartId, Value};
 use svckit_netsim::TimerId;
 
@@ -62,7 +64,13 @@ impl QueueController {
 }
 
 impl Component for QueueController {
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, op: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        op: &str,
+        _: Vec<Value>,
+    ) -> Value {
         panic!("the queue controller provides no interface, got {op}");
     }
 
@@ -125,7 +133,13 @@ impl Component for QueueSubscriber {
         }
     }
 
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, op: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        op: &str,
+        _: Vec<Value>,
+    ) -> Value {
         panic!("queue subscribers provide no interface, got {op}");
     }
 
@@ -183,7 +197,10 @@ pub fn deploy_on(params: &RunParams, platform_name: &str) -> MwSystem {
         .link(params.link_config().clone())
         .component(CONTROLLER, Box::new(QueueController::new()));
     for k in 1..=params.subscriber_count() {
-        builder = builder.component(subscriber_name(k), Box::new(QueueSubscriber::new(k, params)));
+        builder = builder.component(
+            subscriber_name(k),
+            Box::new(QueueSubscriber::new(k, params)),
+        );
     }
     builder.build().expect("all components are bound")
 }
@@ -215,7 +232,11 @@ mod tests {
 
     #[test]
     fn every_interaction_costs_two_hops_via_the_broker() {
-        let params = RunParams::default().subscribers(2).resources(2).rounds(2).seed(5);
+        let params = RunParams::default()
+            .subscribers(2)
+            .resources(2)
+            .rounds(2)
+            .seed(5);
         let mut system = deploy(&params);
         let report = system.run_to_quiescence(params.cap()).unwrap();
         assert!(report.is_quiescent());

@@ -18,7 +18,9 @@
 
 use std::collections::BTreeSet;
 
-use svckit_middleware::{Component, DeploymentPlan, MwCtx, MwSystem, MwSystemBuilder, PlatformCaps};
+use svckit_middleware::{
+    Component, DeploymentPlan, MwCtx, MwSystem, MwSystemBuilder, PlatformCaps,
+};
 use svckit_model::{InterfaceDef, OperationSig, Value, ValueType};
 use svckit_netsim::TimerId;
 
@@ -169,7 +171,11 @@ impl Component for TokenSubscriber {
             }
         }
 
-        let laps = if changed || !self.is_done() { 0 } else { laps + 1 };
+        let laps = if changed || !self.is_done() {
+            0
+        } else {
+            laps + 1
+        };
         if (laps as u64) < 2 * self.ring_size {
             self.forward(ctx, available, laps);
         }
@@ -236,7 +242,10 @@ mod tests {
         let params = RunParams::default().subscribers(3).resources(2).rounds(2);
         let mut system = deploy(&params);
         let report = system.run_to_quiescence(params.cap()).unwrap();
-        assert!(report.is_quiescent(), "token should park after everyone is done");
+        assert!(
+            report.is_quiescent(),
+            "token should park after everyone is done"
+        );
         assert_eq!(report.trace().count_of("granted"), 6);
         assert_eq!(report.trace().count_of("free"), 6);
         let check = check_trace(

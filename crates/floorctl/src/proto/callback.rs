@@ -48,7 +48,12 @@ impl SubscriberEntity {
 }
 
 impl ProtocolEntity for SubscriberEntity {
-    fn on_user_primitive(&mut self, ctx: &mut EntityCtx<'_, '_>, primitive: &str, args: Vec<Value>) {
+    fn on_user_primitive(
+        &mut self,
+        ctx: &mut EntityCtx<'_, '_>,
+        primitive: &str,
+        args: Vec<Value>,
+    ) {
         match primitive {
             "request" => {
                 let pdu_args = vec![Value::Id(ctx.id().raw()), args[0].clone()];
@@ -148,13 +153,12 @@ pub fn deploy_with_reliability(
     if let Some(config) = reliability {
         builder = builder.reliability(config);
     }
-    builder = builder
-        .node(
-            controller_part(),
-            svckit_model::Sap::new("provider", controller_part()),
-            Box::new(NoUser),
-            Box::new(ControllerEntity::new()),
-        );
+    builder = builder.node(
+        controller_part(),
+        svckit_model::Sap::new("provider", controller_part()),
+        Box::new(NoUser),
+        Box::new(ControllerEntity::new()),
+    );
     for k in 1..=params.subscriber_count() {
         builder = builder.node(
             subscriber_part(k),
@@ -189,7 +193,11 @@ mod tests {
 
     #[test]
     fn pdu_traffic_is_three_per_uncontended_round() {
-        let params = RunParams::default().subscribers(2).resources(4).rounds(5).seed(9);
+        let params = RunParams::default()
+            .subscribers(2)
+            .resources(4)
+            .rounds(5)
+            .seed(9);
         let mut stack = deploy(&params);
         let report = stack.run_to_quiescence(params.cap()).unwrap();
         assert!(report.is_quiescent());

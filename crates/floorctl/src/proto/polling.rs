@@ -64,7 +64,12 @@ impl SubscriberEntity {
 }
 
 impl ProtocolEntity for SubscriberEntity {
-    fn on_user_primitive(&mut self, ctx: &mut EntityCtx<'_, '_>, primitive: &str, args: Vec<Value>) {
+    fn on_user_primitive(
+        &mut self,
+        ctx: &mut EntityCtx<'_, '_>,
+        primitive: &str,
+        args: Vec<Value>,
+    ) {
         match primitive {
             "request" => {
                 assert!(
@@ -185,7 +190,11 @@ mod tests {
 
     #[test]
     fn contention_multiplies_pdus_not_user_actions() {
-        let params = RunParams::default().subscribers(4).resources(1).rounds(2).seed(3);
+        let params = RunParams::default()
+            .subscribers(4)
+            .resources(1)
+            .rounds(2)
+            .seed(3);
         let mut stack = deploy(&params);
         let report = stack.run_to_quiescence(params.cap()).unwrap();
         assert!(report.is_quiescent());

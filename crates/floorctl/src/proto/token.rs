@@ -65,7 +65,12 @@ impl ProtocolEntity for TokenEntity {
         }
     }
 
-    fn on_user_primitive(&mut self, _ctx: &mut EntityCtx<'_, '_>, primitive: &str, args: Vec<Value>) {
+    fn on_user_primitive(
+        &mut self,
+        _ctx: &mut EntityCtx<'_, '_>,
+        primitive: &str,
+        args: Vec<Value>,
+    ) {
         match primitive {
             "request" => {
                 assert!(self.wanted.is_none(), "one request at a time");

@@ -183,7 +183,12 @@ impl ProtocolEntity for DynamicTokenEntity {
         }
     }
 
-    fn on_user_primitive(&mut self, _ctx: &mut EntityCtx<'_, '_>, primitive: &str, args: Vec<Value>) {
+    fn on_user_primitive(
+        &mut self,
+        _ctx: &mut EntityCtx<'_, '_>,
+        primitive: &str,
+        args: Vec<Value>,
+    ) {
         match primitive {
             "request" => {
                 assert!(self.wanted.is_none(), "one request at a time");
@@ -366,8 +371,17 @@ pub fn deploy(params: &RunParams, config: &DynamicRingConfig) -> Stack {
         builder = builder.node(
             subscriber_part(k),
             subscriber_sap(subscriber_part(k)),
-            Box::new(DelayedSubscriber::new(params, Duration::ZERO, params.round_count())),
-            Box::new(DynamicTokenEntity::founding(next, peers.clone(), initial, None)),
+            Box::new(DelayedSubscriber::new(
+                params,
+                Duration::ZERO,
+                params.round_count(),
+            )),
+            Box::new(DynamicTokenEntity::founding(
+                next,
+                peers.clone(),
+                initial,
+                None,
+            )),
         );
     }
     for j in 1..=config.joiners {
@@ -409,7 +423,11 @@ mod tests {
 
     #[test]
     fn joiners_get_served_and_leave_without_breaking_the_service() {
-        let params = RunParams::default().subscribers(2).resources(2).rounds(2).seed(17);
+        let params = RunParams::default()
+            .subscribers(2)
+            .resources(2)
+            .rounds(2)
+            .seed(17);
         let config = DynamicRingConfig {
             founders: 2,
             joiners: 2,
@@ -442,7 +460,11 @@ mod tests {
 
     #[test]
     fn ring_keeps_circulating_after_joiners_leave() {
-        let params = RunParams::default().subscribers(2).resources(1).rounds(1).seed(19);
+        let params = RunParams::default()
+            .subscribers(2)
+            .resources(1)
+            .rounds(1)
+            .seed(19);
         let config = DynamicRingConfig {
             founders: 2,
             joiners: 1,
@@ -461,7 +483,11 @@ mod tests {
 
     #[test]
     fn founders_alone_behave_like_the_static_ring() {
-        let params = RunParams::default().subscribers(3).resources(2).rounds(2).seed(23);
+        let params = RunParams::default()
+            .subscribers(3)
+            .resources(2)
+            .rounds(2)
+            .seed(23);
         let config = DynamicRingConfig {
             founders: 3,
             joiners: 0,

@@ -113,7 +113,11 @@ pub fn run_middleware_deployment(
     run_deployment(Deployment::Middleware(system), label, params)
 }
 
-fn run_deployment(mut deployment: Deployment, solution: Solution, params: &RunParams) -> RunOutcome {
+fn run_deployment(
+    mut deployment: Deployment,
+    solution: Solution,
+    params: &RunParams,
+) -> RunOutcome {
     let expected_frees = params.expected_grants();
     let slice = Duration::from_millis(250);
     let mut elapsed = Duration::ZERO;

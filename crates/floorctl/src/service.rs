@@ -33,7 +33,9 @@ pub fn floor_control_service() -> ServiceDefinition {
         .constraint(
             Constraint::eventually_follows("granted", "free", ConstraintScope::SameSap).keyed(&[0]),
         )
-        .constraint(Constraint::precedes("request", "granted", ConstraintScope::SameSap).keyed(&[0]))
+        .constraint(
+            Constraint::precedes("request", "granted", ConstraintScope::SameSap).keyed(&[0]),
+        )
         .constraint(Constraint::precedes("granted", "free", ConstraintScope::SameSap).keyed(&[0]))
         .constraint(Constraint::mutual_exclusion("granted", "free").keyed(&[0]))
         .build()
@@ -53,7 +55,11 @@ pub fn floor_event_universe(subscribers: u64, resources: u64) -> Vec<AbstractEve
         for r in 1..=resources {
             let sap = subscriber_sap(PartId::new(s));
             for primitive in ["request", "granted", "free"] {
-                universe.push(AbstractEvent::new(sap.clone(), primitive, vec![Value::Id(r)]));
+                universe.push(AbstractEvent::new(
+                    sap.clone(),
+                    primitive,
+                    vec![Value::Id(r)],
+                ));
             }
         }
     }
@@ -74,8 +80,14 @@ mod tests {
         assert_eq!(svc.primitives().len(), 3);
         assert_eq!(svc.roles().len(), 1);
         assert_eq!(svc.constraints().len(), 5);
-        assert_eq!(svc.primitive("request").unwrap().direction(), Direction::FromUser);
-        assert_eq!(svc.primitive("granted").unwrap().direction(), Direction::ToUser);
+        assert_eq!(
+            svc.primitive("request").unwrap().direction(),
+            Direction::FromUser
+        );
+        assert_eq!(
+            svc.primitive("granted").unwrap().direction(),
+            Direction::ToUser
+        );
     }
 
     #[test]

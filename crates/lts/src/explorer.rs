@@ -21,13 +21,12 @@
 //! `svckit-model` reports unanswered obligations on finite executions
 //! instead.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
-use svckit_model::{
-    Constraint, ConstraintKind, ConstraintScope, Sap, ServiceDefinition, Value,
-};
+use svckit_model::{Constraint, ConstraintKind, ConstraintScope, Sap, ServiceDefinition, Value};
 
 use crate::lts::{Lts, LtsBuilder, StateId};
 
@@ -82,8 +81,14 @@ enum CState {
 /// A state of the constraint automaton. Opaque; obtain the initial state
 /// from [`ServiceExplorer::initial_state`] and evolve it with
 /// [`ServiceExplorer::step`].
+///
+/// Per-constraint states sit behind [`Arc`]s: stepping a state only deep-
+/// copies the constraints the event is relevant to, and every untouched
+/// constraint is shared with the predecessor state (copy-on-write). `Arc`
+/// delegates `Hash`/`Eq`/`Ord` to the inner value, so sharing is invisible
+/// to state comparison and interning.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ExplorerState(Vec<CState>);
+pub struct ExplorerState(Vec<Arc<CState>>);
 
 impl ExplorerState {
     /// Total number of outstanding liveness obligations in this state.
@@ -91,10 +96,8 @@ impl ExplorerState {
         self.0
             .iter()
             .zip(explorer.service.constraints())
-            .filter(|(_, c)| {
-                matches!(c.kind(), ConstraintKind::EventuallyFollows { .. })
-            })
-            .map(|(cs, _)| match cs {
+            .filter(|(_, c)| matches!(c.kind(), ConstraintKind::EventuallyFollows { .. }))
+            .map(|(cs, _)| match cs.as_ref() {
                 CState::Counters(m) => m.values().map(|v| *v as usize).sum(),
                 CState::Holders(_) => 0,
             })
@@ -109,7 +112,7 @@ impl ExplorerState {
         self.0
             .iter()
             .zip(explorer.service.constraints())
-            .all(|(cs, constraint)| match cs {
+            .all(|(cs, constraint)| match cs.as_ref() {
                 CState::Counters(m) => {
                     matches!(constraint.kind(), ConstraintKind::After { .. })
                         || m.values().all(|v| *v == 0)
@@ -181,12 +184,39 @@ impl fmt::Display for SafetyCounterexample {
 
 impl Error for SafetyCounterexample {}
 
+/// The two primitive names a constraint kind reacts to, or `None` for
+/// variants this version cannot introspect (`ConstraintKind` is
+/// `#[non_exhaustive]`).
+fn constraint_primitives(kind: &ConstraintKind) -> Option<[&str; 2]> {
+    match kind {
+        ConstraintKind::Precedes { earlier, later, .. } => Some([earlier, later]),
+        ConstraintKind::After { enabler, then, .. } => Some([enabler, then]),
+        ConstraintKind::EventuallyFollows {
+            trigger, response, ..
+        } => Some([trigger, response]),
+        ConstraintKind::AtMostOutstanding {
+            trigger, response, ..
+        } => Some([trigger, response]),
+        ConstraintKind::MutualExclusion { acquire, release } => Some([acquire, release]),
+        _ => None,
+    }
+}
+
 /// The constraint automaton of a service over a finite event universe.
 #[derive(Debug, Clone)]
 pub struct ServiceExplorer<'a> {
     service: &'a ServiceDefinition,
     universe: Vec<AbstractEvent>,
     max_outstanding: u32,
+    /// Primitive name → (ascending) indices of the constraints that react
+    /// to it. Every current constraint kind mentions exactly two primitive
+    /// names and leaves its state untouched on any other event, so
+    /// [`ServiceExplorer::step`] only has to run (and deep-copy) the
+    /// constraints listed here.
+    relevance: HashMap<String, Vec<usize>>,
+    /// A constraint kind we could not introspect is present: fall back to
+    /// stepping every constraint on every event.
+    has_opaque_kinds: bool,
 }
 
 impl<'a> ServiceExplorer<'a> {
@@ -201,10 +231,29 @@ impl<'a> ServiceExplorer<'a> {
         universe: Vec<AbstractEvent>,
         max_outstanding: u32,
     ) -> Self {
+        let mut relevance: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut has_opaque_kinds = false;
+        for (i, constraint) in service.constraints().iter().enumerate() {
+            match constraint_primitives(constraint.kind()) {
+                Some(primitives) => {
+                    for name in primitives {
+                        let entry = relevance.entry(name.to_owned()).or_default();
+                        // A constraint naming the same primitive twice must
+                        // still be stepped once.
+                        if entry.last() != Some(&i) {
+                            entry.push(i);
+                        }
+                    }
+                }
+                None => has_opaque_kinds = true,
+            }
+        }
         ServiceExplorer {
             service,
             universe,
             max_outstanding,
+            relevance,
+            has_opaque_kinds,
         }
     }
 
@@ -219,9 +268,11 @@ impl<'a> ServiceExplorer<'a> {
             self.service
                 .constraints()
                 .iter()
-                .map(|c| match c.kind() {
-                    ConstraintKind::MutualExclusion { .. } => CState::Holders(BTreeMap::new()),
-                    _ => CState::Counters(BTreeMap::new()),
+                .map(|c| {
+                    Arc::new(match c.kind() {
+                        ConstraintKind::MutualExclusion { .. } => CState::Holders(BTreeMap::new()),
+                        _ => CState::Counters(BTreeMap::new()),
+                    })
                 })
                 .collect(),
         )
@@ -303,9 +354,7 @@ impl<'a> ServiceExplorer<'a> {
                 } else if event.primitive == *then
                     && !map.contains_key(&Self::instance(*scope, event, key))
                 {
-                    return Err(violation(format!(
-                        "`{then}` before any `{enabler}`"
-                    )));
+                    return Err(violation(format!("`{then}` before any `{enabler}`")));
                 }
                 Ok(CState::Counters(map))
             }
@@ -420,9 +469,26 @@ impl<'a> ServiceExplorer<'a> {
         state: &ExplorerState,
         event: &AbstractEvent,
     ) -> Result<ExplorerState, StepViolation> {
-        let mut next = Vec::with_capacity(state.0.len());
-        for (constraint, cstate) in self.service.constraints().iter().zip(&state.0) {
-            next.push(self.step_constraint(constraint, cstate, event)?);
+        let constraints = self.service.constraints();
+        if self.has_opaque_kinds {
+            // Conservative path: step every constraint.
+            let mut next = Vec::with_capacity(state.0.len());
+            for (constraint, cstate) in constraints.iter().zip(&state.0) {
+                next.push(Arc::new(self.step_constraint(constraint, cstate, event)?));
+            }
+            return Ok(ExplorerState(next));
+        }
+        // Start from a shallow copy (refcount bumps) and replace only the
+        // constraints the event is relevant to; constraints that step to an
+        // unchanged state keep sharing the predecessor's allocation.
+        let mut next = state.0.clone();
+        if let Some(relevant) = self.relevance.get(&event.primitive) {
+            for &i in relevant {
+                let stepped = self.step_constraint(&constraints[i], &state.0[i], event)?;
+                if *state.0[i] != stepped {
+                    next[i] = Arc::new(stepped);
+                }
+            }
         }
         Ok(ExplorerState(next))
     }
@@ -442,38 +508,41 @@ impl<'a> ServiceExplorer<'a> {
     /// bound is hit, the LTS is truncated (remaining frontier states keep
     /// their discovered transitions only).
     pub fn to_lts(&self, max_states: usize) -> Lts<AbstractEvent> {
+        // The automaton is a product of small per-constraint automata, so
+        // the unfolding runs on a `ProductEngine`: per-constraint states and
+        // events are interned as integers, per-constraint transitions are
+        // memoized, and the BFS works on integer tuples instead of cloning
+        // and hashing `BTreeMap`-backed states per edge.
+        let mut engine = ProductEngine::new(self);
+        let event_ids: Vec<u32> = self.universe.iter().map(|e| engine.event_id(e)).collect();
         let mut builder = LtsBuilder::new();
-        let mut index: HashMap<ExplorerState, StateId> = HashMap::new();
-        let init = self.initial_state();
+        let mut index: HashMap<Vec<u32>, StateId> = HashMap::new();
+        let init = engine.initial_key();
         let id0 = builder.add_state("init");
-        if init.is_quiescent(self) {
+        if engine.is_quiescent(&init) {
             builder.mark_terminal(id0);
         }
         index.insert(init.clone(), id0);
-        let mut queue = VecDeque::from([init]);
-        let mut edges: Vec<(StateId, AbstractEvent, ExplorerState)> = Vec::new();
-        while let Some(state) = queue.pop_front() {
-            let from = index[&state];
-            for event in &self.universe {
-                if let Ok(next) = self.step(&state, event) {
-                    if !index.contains_key(&next) {
-                        if index.len() >= max_states {
-                            continue;
+        let mut queue = VecDeque::from([(init, id0)]);
+        while let Some((key, from)) = queue.pop_front() {
+            for (event, &eid) in self.universe.iter().zip(&event_ids) {
+                if let Ok(next) = engine.step_key(&key, event, eid) {
+                    match index.get(&next) {
+                        Some(&to) => builder.add_transition(from, event.clone(), to),
+                        None => {
+                            if index.len() >= max_states {
+                                continue;
+                            }
+                            let to = builder.add_state(format!("q{}", index.len()));
+                            if engine.is_quiescent(&next) {
+                                builder.mark_terminal(to);
+                            }
+                            index.insert(next.clone(), to);
+                            builder.add_transition(from, event.clone(), to);
+                            queue.push_back((next, to));
                         }
-                        let id = builder.add_state(format!("q{}", index.len()));
-                        if next.is_quiescent(self) {
-                            builder.mark_terminal(id);
-                        }
-                        index.insert(next.clone(), id);
-                        queue.push_back(next.clone());
                     }
-                    edges.push((from, event.clone(), next));
                 }
-            }
-        }
-        for (from, event, next) in edges {
-            if let Some(&to) = index.get(&next) {
-                builder.add_transition(from, event, to);
             }
         }
         builder.build(id0)
@@ -489,42 +558,235 @@ impl<'a> ServiceExplorer<'a> {
         &self,
         implementation: &Lts<AbstractEvent>,
     ) -> Result<(), SafetyCounterexample> {
-        let start = (implementation.initial(), self.initial_state());
-        let mut seen: HashMap<(StateId, ExplorerState), ()> = HashMap::new();
-        seen.insert(start.clone(), ());
-        let mut queue: VecDeque<((StateId, ExplorerState), Vec<AbstractEvent>)> =
-            VecDeque::from([(start, Vec::new())]);
-        while let Some(((is, cs), trace)) = queue.pop_front() {
+        // Service states are product keys (integer tuples) interned behind
+        // integer ids, so the `seen` set keys are two integers instead of
+        // deep state clones, and the trace to each frontier node is a parent
+        // pointer into `nodes` instead of a cloned event vector — the
+        // counterexample is only materialised when a violation is found.
+        let mut engine = ProductEngine::new(self);
+        let mut pool: Vec<Vec<u32>> = Vec::new();
+        let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        fn intern(
+            key: Vec<u32>,
+            ids: &mut HashMap<Vec<u32>, u32>,
+            pool: &mut Vec<Vec<u32>>,
+        ) -> u32 {
+            if let Some(&id) = ids.get(&key) {
+                return id;
+            }
+            let id = u32::try_from(pool.len()).expect("fewer than 2^32 service states");
+            pool.push(key.clone());
+            ids.insert(key, id);
+            id
+        }
+        let cs0 = intern(engine.initial_key(), &mut ids, &mut pool);
+        // BFS search-tree nodes: (parent node, event taken to get here).
+        let mut nodes: Vec<(Option<usize>, Option<AbstractEvent>)> = vec![(None, None)];
+        let mut seen: HashSet<(StateId, u32)> = HashSet::new();
+        seen.insert((implementation.initial(), cs0));
+        let mut queue: VecDeque<(StateId, u32, usize)> =
+            VecDeque::from([(implementation.initial(), cs0, 0)]);
+        while let Some((is, csid, node)) = queue.pop_front() {
+            let key = pool[csid as usize].clone();
             for (act, t) in implementation.outgoing(is) {
                 match act.visible() {
                     None => {
-                        let key = (*t, cs.clone());
-                        if seen.insert(key.clone(), ()).is_none() {
-                            queue.push_back((key, trace.clone()));
+                        // Internal move: constraint state and trace are
+                        // unchanged.
+                        if seen.insert((*t, csid)) {
+                            queue.push_back((*t, csid, node));
                         }
                     }
-                    Some(event) => match self.step(&cs, event) {
-                        Ok(next) => {
-                            let mut new_trace = trace.clone();
-                            new_trace.push(event.clone());
-                            let key = (*t, next);
-                            if seen.insert(key.clone(), ()).is_none() {
-                                queue.push_back((key, new_trace));
+                    Some(event) => {
+                        let eid = engine.event_id(event);
+                        match engine.step_key(&key, event, eid) {
+                            Ok(next) => {
+                                let nid = intern(next, &mut ids, &mut pool);
+                                if seen.insert((*t, nid)) {
+                                    nodes.push((Some(node), Some(event.clone())));
+                                    queue.push_back((*t, nid, nodes.len() - 1));
+                                }
+                            }
+                            Err((ci, sid)) => {
+                                let violation = engine.violation(ci, sid, eid);
+                                let mut trace = vec![event.clone()];
+                                let mut cursor = node;
+                                loop {
+                                    let (parent, taken) = &nodes[cursor];
+                                    if let Some(taken) = taken {
+                                        trace.push(taken.clone());
+                                    }
+                                    match parent {
+                                        Some(p) => cursor = *p,
+                                        None => break,
+                                    }
+                                }
+                                trace.reverse();
+                                return Err(SafetyCounterexample { trace, violation });
                             }
                         }
-                        Err(violation) => {
-                            let mut new_trace = trace.clone();
-                            new_trace.push(event.clone());
-                            return Err(SafetyCounterexample {
-                                trace: new_trace,
-                                violation,
-                            });
-                        }
-                    },
+                    }
                 }
             }
         }
         Ok(())
+    }
+}
+
+/// Per-constraint bookkeeping of a [`ProductEngine`]: the constraint's
+/// reachable states interned as integers, their quiescence, and memoized
+/// transitions per (state, event) pair.
+struct ConstraintTable {
+    /// Interned per-constraint states, id → state.
+    states: Vec<Arc<CState>>,
+    /// Content-based reverse index of `states`.
+    ids: HashMap<Arc<CState>, u32>,
+    /// Whether `states[i]` is quiescent for this constraint.
+    quiescent: Vec<bool>,
+    /// Memoized `(state id, event id) → step result`.
+    trans: HashMap<(u32, u32), Result<u32, StepViolation>>,
+}
+
+impl ConstraintTable {
+    fn intern(&mut self, constraint: &Constraint, state: CState) -> u32 {
+        if let Some(&id) = self.ids.get(&state) {
+            return id;
+        }
+        let id = u32::try_from(self.states.len()).expect("fewer than 2^32 constraint states");
+        let state = Arc::new(state);
+        self.quiescent.push(cstate_quiescent(constraint, &state));
+        self.states.push(Arc::clone(&state));
+        self.ids.insert(state, id);
+        id
+    }
+}
+
+/// Whether `cs` is quiescent with respect to its constraint, mirroring
+/// [`ExplorerState::is_quiescent`] for one factor of the product.
+fn cstate_quiescent(constraint: &Constraint, cs: &CState) -> bool {
+    match cs {
+        CState::Counters(m) => {
+            matches!(constraint.kind(), ConstraintKind::After { .. }) || m.values().all(|v| *v == 0)
+        }
+        CState::Holders(h) => h.is_empty(),
+    }
+}
+
+/// The incremental exploration engine behind [`ServiceExplorer::to_lts`] and
+/// [`ServiceExplorer::verify_lts`].
+///
+/// The constraint automaton is a synchronous product of one small automaton
+/// per constraint. The engine interns each constraint's reachable states and
+/// the events it sees as integers and memoizes per-constraint transitions,
+/// so the surrounding search works on integer tuples: stepping a product
+/// state is a handful of hash-map probes on integer keys, and deep
+/// `BTreeMap` states are only cloned/hashed the first time a
+/// (constraint-state, event) pair is encountered.
+struct ProductEngine<'x, 'a> {
+    explorer: &'x ServiceExplorer<'a>,
+    /// Interned events (covers universe events and, during verification,
+    /// whatever alphabet the implementation uses).
+    event_ids: HashMap<AbstractEvent, u32>,
+    tables: Vec<ConstraintTable>,
+    /// All constraint indices, the relevance fallback when the service has
+    /// constraint kinds we cannot introspect.
+    all_indices: Vec<usize>,
+}
+
+impl<'x, 'a> ProductEngine<'x, 'a> {
+    fn new(explorer: &'x ServiceExplorer<'a>) -> Self {
+        let constraints = explorer.service.constraints();
+        let tables = constraints
+            .iter()
+            .map(|c| {
+                let mut table = ConstraintTable {
+                    states: Vec::new(),
+                    ids: HashMap::new(),
+                    quiescent: Vec::new(),
+                    trans: HashMap::new(),
+                };
+                table.intern(
+                    c,
+                    match c.kind() {
+                        ConstraintKind::MutualExclusion { .. } => CState::Holders(BTreeMap::new()),
+                        _ => CState::Counters(BTreeMap::new()),
+                    },
+                );
+                table
+            })
+            .collect();
+        ProductEngine {
+            explorer,
+            event_ids: HashMap::new(),
+            tables,
+            all_indices: (0..constraints.len()).collect(),
+        }
+    }
+
+    /// The product key of the initial state (every constraint in its
+    /// interned initial state, id 0).
+    fn initial_key(&self) -> Vec<u32> {
+        vec![0; self.tables.len()]
+    }
+
+    fn event_id(&mut self, event: &AbstractEvent) -> u32 {
+        if let Some(&id) = self.event_ids.get(event) {
+            return id;
+        }
+        let id = u32::try_from(self.event_ids.len()).expect("fewer than 2^32 events");
+        self.event_ids.insert(event.clone(), id);
+        id
+    }
+
+    fn is_quiescent(&self, key: &[u32]) -> bool {
+        key.iter()
+            .zip(&self.tables)
+            .all(|(&sid, table)| table.quiescent[sid as usize])
+    }
+
+    /// The memoized violation behind an `Err` from [`ProductEngine::step_key`].
+    fn violation(&self, constraint: usize, sid: u32, eid: u32) -> StepViolation {
+        match &self.tables[constraint].trans[&(sid, eid)] {
+            Err(violation) => violation.clone(),
+            Ok(_) => unreachable!("step_key reported a violation"),
+        }
+    }
+
+    /// Steps a product key by one event. `Err((constraint index, state id))`
+    /// identifies the first violated constraint; fetch the violation with
+    /// [`ProductEngine::violation`].
+    fn step_key(
+        &mut self,
+        key: &[u32],
+        event: &AbstractEvent,
+        eid: u32,
+    ) -> Result<Vec<u32>, (usize, u32)> {
+        let explorer = self.explorer;
+        let relevant: &[usize] = if explorer.has_opaque_kinds {
+            &self.all_indices
+        } else {
+            explorer
+                .relevance
+                .get(&event.primitive)
+                .map_or(&[], Vec::as_slice)
+        };
+        let mut next = key.to_vec();
+        for &i in relevant {
+            let sid = key[i];
+            if !self.tables[i].trans.contains_key(&(sid, eid)) {
+                let constraint = &explorer.service.constraints()[i];
+                let current = Arc::clone(&self.tables[i].states[sid as usize]);
+                let computed = explorer
+                    .step_constraint(constraint, &current, event)
+                    .map(|stepped| self.tables[i].intern(constraint, stepped));
+                self.tables[i].trans.insert((sid, eid), computed);
+            }
+            match &self.tables[i].trans[&(sid, eid)] {
+                Ok(nid) => next[i] = *nid,
+                Err(_) => return Err((i, sid)),
+            }
+        }
+        Ok(next)
     }
 }
 
@@ -634,11 +896,7 @@ mod tests {
             AbstractEvent::new(sap.clone(), "granted", vec![Value::Id(1)]),
             s2,
         );
-        b.add_transition(
-            s2,
-            AbstractEvent::new(sap, "free", vec![Value::Id(1)]),
-            s0,
-        );
+        b.add_transition(s2, AbstractEvent::new(sap, "free", vec![Value::Id(1)]), s0);
         let imp = b.build(s0);
         assert!(explorer.verify_lts(&imp).is_ok());
     }

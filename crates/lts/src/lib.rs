@@ -55,4 +55,3 @@ pub mod explorer;
 mod lts;
 
 pub use lts::{Act, Lts, LtsBuilder, StateId, TraceRefinementError};
-

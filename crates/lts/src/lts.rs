@@ -354,11 +354,7 @@ impl<L: Clone + Eq + Hash + Ord> Lts<L> {
             }
             for (act, tgt) in targets {
                 if let std::collections::hash_map::Entry::Vacant(e) = index.entry(tgt) {
-                    let name = format!(
-                        "({},{})",
-                        self.state_name(tgt.0),
-                        other.state_name(tgt.1)
-                    );
+                    let name = format!("({},{})", self.state_name(tgt.0), other.state_name(tgt.1));
                     let id = builder.add_state(name);
                     e.insert(id);
                     queue.push_back(tgt);
@@ -588,7 +584,9 @@ impl<L: Clone + Eq + Hash + Ord> Lts<L> {
                     let edge = (block_of[i], a.clone(), block_of[j]);
                     if added.insert(edge) {
                         match a {
-                            Act::Tau => builder.add_tau(block_state[block_of[i]], block_state[block_of[j]]),
+                            Act::Tau => {
+                                builder.add_tau(block_state[block_of[i]], block_state[block_of[j]])
+                            }
                             Act::Vis(l) => builder.add_transition(
                                 block_state[block_of[i]],
                                 l.clone(),
@@ -658,7 +656,9 @@ mod tests {
     /// a → b → (back to start)
     fn cycle(labels: &[&'static str]) -> Lts<&'static str> {
         let mut b = LtsBuilder::new();
-        let states: Vec<StateId> = (0..labels.len()).map(|i| b.add_state(format!("s{i}"))).collect();
+        let states: Vec<StateId> = (0..labels.len())
+            .map(|i| b.add_state(format!("s{i}")))
+            .collect();
         for (i, l) in labels.iter().enumerate() {
             let to = states[(i + 1) % states.len()];
             b.add_transition(states[i], *l, to);
@@ -910,10 +910,7 @@ mod tests {
             }
         }
         // The subset reached by `a` contains terminal s2 → terminal.
-        assert!(det
-            .reachable()
-            .iter()
-            .any(|s| det.is_terminal(*s)));
+        assert!(det.reachable().iter().any(|s| det.is_terminal(*s)));
     }
 
     #[test]

@@ -11,8 +11,11 @@ use svckit_lts::{Lts, LtsBuilder};
 /// A random small LTS over the alphabet {a, b, c} with occasional τ moves.
 fn arb_lts() -> impl Strategy<Value = Lts<&'static str>> {
     let labels = ["a", "b", "c"];
-    (2usize..6, proptest::collection::vec((0usize..6, 0usize..4, 0usize..6), 1..14)).prop_map(
-        move |(states, edges)| {
+    (
+        2usize..6,
+        proptest::collection::vec((0usize..6, 0usize..4, 0usize..6), 1..14),
+    )
+        .prop_map(move |(states, edges)| {
             let mut b = LtsBuilder::new();
             let ids: Vec<_> = (0..states).map(|i| b.add_state(format!("s{i}"))).collect();
             for (from, label, to) in edges {
@@ -25,8 +28,7 @@ fn arb_lts() -> impl Strategy<Value = Lts<&'static str>> {
                 }
             }
             b.build(ids[0])
-        },
-    )
+        })
 }
 
 proptest! {

@@ -18,7 +18,10 @@ pub fn corba_like() -> ConcretePlatform {
     ConcretePlatform::new(
         "corba-like",
         PlatformClass::RpcBased,
-        [InteractionPattern::RequestResponse, InteractionPattern::Oneway],
+        [
+            InteractionPattern::RequestResponse,
+            InteractionPattern::Oneway,
+        ],
     )
 }
 
@@ -63,7 +66,10 @@ pub fn all_platforms() -> Vec<ConcretePlatform> {
 pub fn floor_control_abstract_platform() -> AbstractPlatform {
     AbstractPlatform::new(
         "ap-floor-control",
-        [InteractionPattern::RequestResponse, InteractionPattern::Oneway],
+        [
+            InteractionPattern::RequestResponse,
+            InteractionPattern::Oneway,
+        ],
     )
 }
 
@@ -159,7 +165,11 @@ pub fn chat_service() -> svckit_model::ServiceDefinition {
                 .param("text", ValueType::Text),
         )
         .constraint(Constraint::after("join", "say", ConstraintScope::SameSap))
-        .constraint(Constraint::precedes("join", "leave", ConstraintScope::SameSap))
+        .constraint(Constraint::precedes(
+            "join",
+            "leave",
+            ConstraintScope::SameSap,
+        ))
         .constraint(
             Constraint::eventually_follows("say", "hear", ConstraintScope::Global).keyed(&[0]),
         )
@@ -215,8 +225,12 @@ mod tests {
         // JMS offers pub/sub natively; every other platform recurses.
         let jms = transform(&pim, &jms_like(), TransformPolicy::RecursiveServiceDesign).unwrap();
         assert_eq!(jms.adapter_count(), 0);
-        let mq =
-            transform(&pim, &mq_series_like(), TransformPolicy::RecursiveServiceDesign).unwrap();
+        let mq = transform(
+            &pim,
+            &mq_series_like(),
+            TransformPolicy::RecursiveServiceDesign,
+        )
+        .unwrap();
         assert_eq!(mq.adapter_count(), 1);
         assert!(mq
             .bindings()

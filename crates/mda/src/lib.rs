@@ -63,6 +63,6 @@ pub use error::MdaError;
 pub use pim::{Connector, LogicComponent, PlatformIndependentDesign};
 pub use platform::{AbstractPlatform, ConcretePlatform, PlatformClass};
 pub use psm::{AdapterSpec, Binding, Psm, Realization};
-pub use trajectory::{Milestone, MilestoneRecord, Trajectory, TrajectoryOutcome};
 pub use qos::{select_platform, CandidateReport, PlatformSelection, QosSpec};
+pub use trajectory::{Milestone, MilestoneRecord, Trajectory, TrajectoryOutcome};
 pub use transform::{transform, TransformPolicy};

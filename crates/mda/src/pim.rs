@@ -107,7 +107,11 @@ impl Connector {
 
 impl fmt::Display for Connector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} --{}--> {}", self.name, self.from, self.concept, self.to)
+        write!(
+            f,
+            "{}: {} --{}--> {}",
+            self.name, self.from, self.concept, self.to
+        )
     }
 }
 
@@ -166,7 +170,10 @@ impl PlatformIndependentDesign {
                     .any(|c| c.implements_role() == Some(role.name()))
             {
                 return Err(MdaError::InvalidDesign {
-                    detail: format!("service role `{}` has no implementing component", role.name()),
+                    detail: format!(
+                        "service role `{}` has no implementing component",
+                        role.name()
+                    ),
                 });
             }
         }
@@ -250,7 +257,10 @@ mod tests {
             ],
             AbstractPlatform::new(
                 "ap-floor",
-                [InteractionPattern::RequestResponse, InteractionPattern::Oneway],
+                [
+                    InteractionPattern::RequestResponse,
+                    InteractionPattern::Oneway,
+                ],
             ),
         )
     }
@@ -281,7 +291,10 @@ mod tests {
         ));
         let ap = AbstractPlatform::new(
             "ap-floor",
-            [InteractionPattern::RequestResponse, InteractionPattern::Oneway],
+            [
+                InteractionPattern::RequestResponse,
+                InteractionPattern::Oneway,
+            ],
         );
         let err = PlatformIndependentDesign::new(
             "floor-pim",

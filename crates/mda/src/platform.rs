@@ -151,12 +151,18 @@ mod tests {
     fn conformance_is_concept_subset() {
         let abstract_p = AbstractPlatform::new(
             "ap",
-            [InteractionPattern::RequestResponse, InteractionPattern::Oneway],
+            [
+                InteractionPattern::RequestResponse,
+                InteractionPattern::Oneway,
+            ],
         );
         let corba = ConcretePlatform::new(
             "corba-like",
             PlatformClass::RpcBased,
-            [InteractionPattern::RequestResponse, InteractionPattern::Oneway],
+            [
+                InteractionPattern::RequestResponse,
+                InteractionPattern::Oneway,
+            ],
         );
         let rmi = ConcretePlatform::new(
             "javarmi-like",

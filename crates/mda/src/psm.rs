@@ -227,7 +227,11 @@ impl Psm {
         out.push_str(&format!("// {} on {}\n", self.name, self.platform));
         out.push_str(&format!(
             "// border between service logic and platform: {}\n",
-            if self.border_preserved { "preserved" } else { "collapsed" }
+            if self.border_preserved {
+                "preserved"
+            } else {
+                "collapsed"
+            }
         ));
         for component in &self.logic_components {
             out.push_str(&format!("component {component};\n"));
@@ -321,7 +325,10 @@ mod tests {
         assert_eq!(psm.adapter_count(), 1);
         assert_eq!(psm.total_adapter_overhead(), 1);
         assert_eq!(psm.portable_artifacts().len(), 2);
-        assert_eq!(psm.platform_specific_artifacts(), vec!["void stub wrapper".to_owned()]);
+        assert_eq!(
+            psm.platform_specific_artifacts(),
+            vec!["void stub wrapper".to_owned()]
+        );
     }
 
     #[test]

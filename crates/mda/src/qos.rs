@@ -338,10 +338,8 @@ mod tests {
 
     #[test]
     fn qos_spec_checks_each_dimension() {
-        let outcome = svckit_floorctl::run_solution(
-            svckit_floorctl::Solution::MwCallback,
-            &params(),
-        );
+        let outcome =
+            svckit_floorctl::run_solution(svckit_floorctl::Solution::MwCallback, &params());
         assert!(QosSpec::new().check(&outcome).is_empty());
         let strict = QosSpec::new()
             .max_mean_grant_latency(Duration::from_micros(1))

@@ -7,9 +7,7 @@
 //! paper asks for ("service specifications provide stable reference points
 //! in the development process").
 
-use svckit_floorctl::{
-    mw, run_middleware_deployment, RunOutcome, RunParams, Solution,
-};
+use svckit_floorctl::{mw, run_middleware_deployment, RunOutcome, RunParams, Solution};
 use svckit_middleware::PlatformCaps;
 use svckit_model::InteractionPattern;
 
@@ -150,8 +148,7 @@ mod tests {
     fn all_four_platforms_yield_running_conformant_implementations() {
         let pim = catalog::floor_control_pim();
         for platform in catalog::all_platforms() {
-            let psm =
-                transform(&pim, &platform, TransformPolicy::RecursiveServiceDesign).unwrap();
+            let psm = transform(&pim, &platform, TransformPolicy::RecursiveServiceDesign).unwrap();
             let report = realize(&psm, &params())
                 .unwrap_or_else(|e| panic!("{} failed: {e}", platform.name()));
             assert!(report.outcome().completed);
@@ -165,14 +162,22 @@ mod tests {
         let pim = catalog::floor_control_pim();
         let p = params();
         let rpc = realize(
-            &transform(&pim, &catalog::corba_like(), TransformPolicy::RecursiveServiceDesign)
-                .unwrap(),
+            &transform(
+                &pim,
+                &catalog::corba_like(),
+                TransformPolicy::RecursiveServiceDesign,
+            )
+            .unwrap(),
             &p,
         )
         .unwrap();
         let mom = realize(
-            &transform(&pim, &catalog::jms_like(), TransformPolicy::RecursiveServiceDesign)
-                .unwrap(),
+            &transform(
+                &pim,
+                &catalog::jms_like(),
+                TransformPolicy::RecursiveServiceDesign,
+            )
+            .unwrap(),
             &p,
         )
         .unwrap();

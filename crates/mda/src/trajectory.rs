@@ -76,7 +76,11 @@ impl MilestoneRecord {
 
 impl fmt::Display for MilestoneRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} — {}", self.milestone, self.artifact, self.summary)
+        write!(
+            f,
+            "[{}] {} — {}",
+            self.milestone, self.artifact, self.summary
+        )
     }
 }
 
@@ -193,7 +197,11 @@ impl DesignedTrajectory {
             psm.name().to_owned(),
             format!(
                 "border {}; {} portable / {} platform-specific artifact(s)",
-                if psm.border_preserved() { "preserved" } else { "collapsed" },
+                if psm.border_preserved() {
+                    "preserved"
+                } else {
+                    "collapsed"
+                },
                 psm.portable_artifacts().len(),
                 psm.platform_specific_artifacts().len()
             ),
@@ -241,10 +249,16 @@ mod tests {
         let outcome = Trajectory::start(floor_control_service())
             .with_design(catalog::floor_control_pim())
             .unwrap()
-            .realize(&catalog::java_rmi_like(), TransformPolicy::RecursiveServiceDesign)
+            .realize(
+                &catalog::java_rmi_like(),
+                TransformPolicy::RecursiveServiceDesign,
+            )
             .unwrap();
-        let milestones: Vec<Milestone> =
-            outcome.records().iter().map(MilestoneRecord::milestone).collect();
+        let milestones: Vec<Milestone> = outcome
+            .records()
+            .iter()
+            .map(MilestoneRecord::milestone)
+            .collect();
         assert_eq!(
             milestones,
             vec![
@@ -262,9 +276,15 @@ mod tests {
         let outcome = Trajectory::start(floor_control_service())
             .with_design(catalog::floor_control_pim())
             .unwrap()
-            .realize(&catalog::corba_like(), TransformPolicy::RecursiveServiceDesign)
+            .realize(
+                &catalog::corba_like(),
+                TransformPolicy::RecursiveServiceDesign,
+            )
             .unwrap();
-        assert!(outcome.to_string().contains("conforms directly"), "{outcome}");
+        assert!(
+            outcome.to_string().contains("conforms directly"),
+            "{outcome}"
+        );
     }
 
     #[test]

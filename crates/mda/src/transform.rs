@@ -87,46 +87,54 @@ fn adapter_for(
                     "rr-over-topics",
                     "request and reply topics with correlation ids and subscriber filtering",
                     2,
-                    vec!["request topic".into(), "reply topic".into(), "correlation table".into()],
+                    vec![
+                        "request topic".into(),
+                        "reply topic".into(),
+                        "correlation table".into(),
+                    ],
                 )
             }),
         ],
-        MessageQueue => &[
-            (RequestResponse, || {
-                AdapterSpec::new(
+        MessageQueue => {
+            &[
+                (RequestResponse, || {
+                    AdapterSpec::new(
                     "queue-over-rr",
                     "queue-manager component providing put/get operations via remote invocation",
                     1,
                     vec!["queue-manager component".into(), "put operation".into(), "get operation".into()],
                 )
-            }),
-            (PublishSubscribe, || {
-                AdapterSpec::new(
-                    "queue-over-topics",
-                    "single-consumer topic with a claim protocol emulating queue semantics",
-                    2,
-                    vec!["claim topic".into(), "claim arbiter".into()],
-                )
-            }),
-        ],
-        PublishSubscribe => &[
-            (MessageQueue, || {
-                AdapterSpec::new(
+                }),
+                (PublishSubscribe, || {
+                    AdapterSpec::new(
+                        "queue-over-topics",
+                        "single-consumer topic with a claim protocol emulating queue semantics",
+                        2,
+                        vec!["claim topic".into(), "claim arbiter".into()],
+                    )
+                }),
+            ]
+        }
+        PublishSubscribe => {
+            &[
+                (MessageQueue, || {
+                    AdapterSpec::new(
                     "pubsub-over-queues",
                     "distributor component fanning each publication out to per-subscriber queues",
                     1,
                     vec!["distributor component".into(), "per-subscriber queues".into()],
                 )
-            }),
-            (RequestResponse, || {
-                AdapterSpec::new(
-                    "pubsub-over-rr",
-                    "subscription registry plus fan-out invoker calling each subscriber",
-                    1,
-                    vec!["subscription registry".into(), "fan-out invoker".into()],
-                )
-            }),
-        ],
+                }),
+                (RequestResponse, || {
+                    AdapterSpec::new(
+                        "pubsub-over-rr",
+                        "subscription registry plus fan-out invoker calling each subscriber",
+                        1,
+                        vec!["subscription registry".into(), "fan-out invoker".into()],
+                    )
+                }),
+            ]
+        }
         // `InteractionPattern` is non-exhaustive upstream; unknown future
         // concepts have no adapters.
         _ => &[],
@@ -187,7 +195,10 @@ pub fn transform(
         platform.clone(),
         bindings,
         border_preserved,
-        pim.components().iter().map(|c| c.name().to_owned()).collect(),
+        pim.components()
+            .iter()
+            .map(|c| c.name().to_owned())
+            .collect(),
     ))
 }
 
@@ -200,8 +211,12 @@ mod tests {
     #[test]
     fn conforming_platform_binds_everything_directly() {
         let pim = catalog::floor_control_pim();
-        let psm = transform(&pim, &catalog::corba_like(), TransformPolicy::RecursiveServiceDesign)
-            .unwrap();
+        let psm = transform(
+            &pim,
+            &catalog::corba_like(),
+            TransformPolicy::RecursiveServiceDesign,
+        )
+        .unwrap();
         assert_eq!(psm.adapter_count(), 0);
         assert!(psm.border_preserved());
         assert_eq!(psm.total_adapter_overhead(), 0);
@@ -231,8 +246,7 @@ mod tests {
     fn messaging_platforms_adapt_rpc_concepts() {
         let pim = catalog::floor_control_pim();
         for platform in [catalog::jms_like(), catalog::mq_series_like()] {
-            let psm =
-                transform(&pim, &platform, TransformPolicy::RecursiveServiceDesign).unwrap();
+            let psm = transform(&pim, &platform, TransformPolicy::RecursiveServiceDesign).unwrap();
             assert_eq!(
                 psm.adapter_count(),
                 pim.connectors().len(),
@@ -277,8 +291,7 @@ mod tests {
                 if needed == base {
                     continue;
                 }
-                let platform =
-                    ConcretePlatform::new("one-trick", PlatformClass::RpcBased, [base]);
+                let platform = ConcretePlatform::new("one-trick", PlatformClass::RpcBased, [base]);
                 // Not every base can host every concept, but at least one
                 // adapter exists for each needed concept given *some* base.
                 let _ = adapter_for(needed, &platform);

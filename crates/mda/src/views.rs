@@ -163,7 +163,10 @@ pub fn floor_control_description(subscribers: u64) -> SystemDescription {
         Element::new("middleware-platform", ElementKind::PlatformInfrastructure),
     ];
     for k in 1..=subscribers {
-        elements.push(Element::new(format!("sub-{k}"), ElementKind::UserFacingPart));
+        elements.push(Element::new(
+            format!("sub-{k}"),
+            ElementKind::UserFacingPart,
+        ));
     }
     SystemDescription::new("floor-control", elements)
 }

@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use svckit_codec::PduRegistry;
 use svckit_model::{PartId, Value};
-use svckit_netsim::{Context, Process};
+use svckit_netsim::{Context, Payload, Process};
 
 use crate::counters::MwCounters;
 use crate::plan::DeploymentPlan;
@@ -56,7 +56,7 @@ impl Broker {
 }
 
 impl Process for Broker {
-    fn on_message(&mut self, net: &mut Context<'_>, _from: PartId, payload: Vec<u8>) {
+    fn on_message(&mut self, net: &mut Context<'_>, _from: PartId, payload: Payload) {
         let pdu = match self.registry.decode(&payload) {
             Ok(pdu) => pdu,
             Err(_) => {

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use svckit_codec::PduRegistry;
-use svckit_model::{Duration, InteractionPattern, Instant, PartId, Sap, Value};
+use svckit_model::{Duration, Instant, InteractionPattern, PartId, Sap, Value};
 use svckit_netsim::{Context, TimerId};
 
 use crate::counters::MwCounters;

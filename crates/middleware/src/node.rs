@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use svckit_codec::PduRegistry;
 use svckit_model::{PartId, Value};
-use svckit_netsim::{Context, Process, TimerId};
+use svckit_netsim::{Context, Payload, Process, TimerId};
 
 use crate::component::{Component, MwCtx, CALL_TIMEOUT_BASE};
 use crate::counters::MwCounters;
@@ -117,7 +117,7 @@ impl Process for MwNode {
         self.component.on_activate(&mut ctx);
     }
 
-    fn on_message(&mut self, net: &mut Context<'_>, from: PartId, payload: Vec<u8>) {
+    fn on_message(&mut self, net: &mut Context<'_>, from: PartId, payload: Payload) {
         let pdu = match self.registry.decode(&payload) {
             Ok(pdu) => pdu,
             Err(_) => {

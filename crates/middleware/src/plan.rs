@@ -243,8 +243,10 @@ impl DeploymentPlanBuilder {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.topics
-            .insert(name.into(), subscribers.into_iter().map(Into::into).collect());
+        self.topics.insert(
+            name.into(),
+            subscribers.into_iter().map(Into::into).collect(),
+        );
         self
     }
 
@@ -272,7 +274,10 @@ impl DeploymentPlanBuilder {
         let members = |m: &BTreeMap<String, Vec<String>>| -> Vec<String> {
             m.values().flatten().cloned().collect()
         };
-        for member in members(&self.queues).iter().chain(members(&self.topics).iter()) {
+        for member in members(&self.queues)
+            .iter()
+            .chain(members(&self.topics).iter())
+        {
             if !self.components.contains_key(member) {
                 return Err(MwError::InvalidPlan {
                     detail: format!("queue/topic member `{member}` is not a component"),
@@ -341,7 +346,9 @@ mod tests {
             .unwrap();
         let entry = plan.component("ctrl").unwrap();
         assert_eq!(entry.part(), PartId::new(1));
-        assert!(entry.find_operation("Controller", "request_permission").is_some());
+        assert!(entry
+            .find_operation("Controller", "request_permission")
+            .is_some());
         assert!(entry.find_operation("Controller", "nope").is_none());
         assert!(entry.find_operation("Nope", "request_permission").is_none());
         assert_eq!(plan.component_names(), vec!["ctrl", "sub"]);

@@ -62,7 +62,11 @@ impl MwSystemBuilder {
     /// Binds an implementation to a declared component name
     /// (builder-style).
     #[must_use]
-    pub fn component(mut self, name: impl Into<String>, implementation: Box<dyn Component>) -> Self {
+    pub fn component(
+        mut self,
+        name: impl Into<String>,
+        implementation: Box<dyn Component>,
+    ) -> Self {
         self.implementations.insert(name.into(), implementation);
         self
     }
@@ -97,11 +101,20 @@ impl MwSystemBuilder {
         let registry = Rc::new(wire::wire_registry());
         let mut sim = Simulator::new(SimConfig::new(self.seed).default_link(self.link));
         let mut counters = BTreeMap::new();
-        let names: Vec<String> = plan.component_names().iter().map(|s| s.to_string()).collect();
+        let names: Vec<String> = plan
+            .component_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         for name in names {
             let part = plan.component(&name).expect("validated above").part();
             let implementation = self.implementations.remove(&name).expect("validated above");
-            let node = MwNode::new(name.clone(), implementation, Rc::clone(&plan), Rc::clone(&registry));
+            let node = MwNode::new(
+                name.clone(),
+                implementation,
+                Rc::clone(&plan),
+                Rc::clone(&registry),
+            );
             counters.insert(name, node.counters());
             sim.add_process(part, Box::new(node))
                 .map_err(|e| MwError::Sim(e.to_string()))?;

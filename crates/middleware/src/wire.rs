@@ -98,7 +98,11 @@ mod tests {
     #[test]
     fn request_roundtrips_with_heterogeneous_args() {
         let r = wire_registry();
-        let args = wrap_list(vec![Value::Id(1), Value::Bool(true), Value::Text("x".into())]);
+        let args = wrap_list(vec![
+            Value::Id(1),
+            Value::Bool(true),
+            Value::Text("x".into()),
+        ]);
         let bytes = r
             .encode(
                 PDU_REQUEST,

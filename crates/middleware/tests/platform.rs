@@ -4,9 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use svckit_middleware::{
-    Component, DeploymentPlan, MwCtx, MwError, MwSystemBuilder, PlatformCaps,
-};
+use svckit_middleware::{Component, DeploymentPlan, MwCtx, MwError, MwSystemBuilder, PlatformCaps};
 use svckit_model::{
     Duration, InteractionPattern, InterfaceDef, OperationSig, PartId, Value, ValueType,
 };
@@ -58,7 +56,13 @@ impl Component for Client {
             .unwrap();
     }
 
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        _: &str,
+        _: Vec<Value>,
+    ) -> Value {
         Value::Unit
     }
 
@@ -90,7 +94,12 @@ fn remote_invocation_round_trip() {
     let mut system = MwSystemBuilder::new(plan)
         .seed(3)
         .link(LinkConfig::lan())
-        .component("calc", Box::new(Calculator { logged: Rc::clone(&logged) }))
+        .component(
+            "calc",
+            Box::new(Calculator {
+                logged: Rc::clone(&logged),
+            }),
+        )
         .component(
             "client",
             Box::new(Client {
@@ -122,7 +131,13 @@ impl Component for QueueAbuser {
         let err = ctx.enqueue("jobs", vec![Value::Id(1)]).unwrap_err();
         *self.error.borrow_mut() = Some(err);
     }
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        _: &str,
+        _: Vec<Value>,
+    ) -> Value {
         Value::Unit
     }
 }
@@ -163,7 +178,13 @@ impl Component for Producer {
         }
         ctx.publish("news", vec![Value::from("flash")]).unwrap();
     }
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        _: &str,
+        _: Vec<Value>,
+    ) -> Value {
         Value::Unit
     }
 }
@@ -172,7 +193,13 @@ struct Consumer {
     seen: Rc<RefCell<Vec<(String, Value)>>>,
 }
 impl Component for Consumer {
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        _: &str,
+        _: Vec<Value>,
+    ) -> Value {
         Value::Unit
     }
     fn on_delivery(&mut self, _ctx: &mut MwCtx<'_, '_>, source: &str, payload: Vec<Value>) {
@@ -198,17 +225,25 @@ fn queues_round_robin_and_topics_fan_out() {
     let mut system = MwSystemBuilder::new(plan)
         .seed(5)
         .component("producer", Box::new(Producer))
-        .component("worker-a", Box::new(Consumer { seen: Rc::clone(&seen_a) }))
-        .component("worker-b", Box::new(Consumer { seen: Rc::clone(&seen_b) }))
+        .component(
+            "worker-a",
+            Box::new(Consumer {
+                seen: Rc::clone(&seen_a),
+            }),
+        )
+        .component(
+            "worker-b",
+            Box::new(Consumer {
+                seen: Rc::clone(&seen_b),
+            }),
+        )
         .build()
         .unwrap();
     let report = system.run_to_quiescence(Duration::from_secs(1)).unwrap();
     assert!(report.is_quiescent());
 
-    let jobs =
-        |v: &Vec<(String, Value)>| v.iter().filter(|(s, _)| s == "jobs").count();
-    let news =
-        |v: &Vec<(String, Value)>| v.iter().filter(|(s, _)| s == "news").count();
+    let jobs = |v: &Vec<(String, Value)>| v.iter().filter(|(s, _)| s == "jobs").count();
+    let news = |v: &Vec<(String, Value)>| v.iter().filter(|(s, _)| s == "news").count();
     // Round-robin: 4 jobs split 2/2.
     assert_eq!(jobs(&seen_a.borrow()), 2);
     assert_eq!(jobs(&seen_b.borrow()), 2);
@@ -256,7 +291,13 @@ impl Component for Validator {
         ));
         *self.checked.borrow_mut() = true;
     }
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        _: &str,
+        _: Vec<Value>,
+    ) -> Value {
         Value::Unit
     }
 }
@@ -299,7 +340,12 @@ fn missing_implementation_is_a_build_error() {
     // Extraneous implementation is also rejected.
     let logged = Rc::new(RefCell::new(Vec::new()));
     let err = MwSystemBuilder::new(plan)
-        .component("calc", Box::new(Calculator { logged: Rc::clone(&logged) }))
+        .component(
+            "calc",
+            Box::new(Calculator {
+                logged: Rc::clone(&logged),
+            }),
+        )
         .component("ghost", Box::new(Producer))
         .build();
     assert!(matches!(err, Err(MwError::MissingImplementation { name }) if name == "ghost"));
@@ -322,7 +368,13 @@ impl Component for TimeoutClient {
         )
         .unwrap();
     }
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        _: &str,
+        _: Vec<Value>,
+    ) -> Value {
         Value::Unit
     }
     fn on_reply(&mut self, _ctx: &mut MwCtx<'_, '_>, token: u64, result: Value) {
@@ -358,14 +410,17 @@ fn invocation_timeouts_fire_and_retries_succeed_after_heal() {
     let mut system = MwSystemBuilder::new(plan)
         .seed(9)
         .component("calc", Box::new(Calculator { logged }))
-        .component("client", Box::new(TimeoutClient { log: Rc::clone(&log) }))
+        .component(
+            "client",
+            Box::new(TimeoutClient {
+                log: Rc::clone(&log),
+            }),
+        )
         .build()
         .unwrap();
     // Partition before anything flows: the first call must time out.
     system.partition(PartId::new(1), PartId::new(2));
-    system
-        .run_to_quiescence(Duration::from_millis(10))
-        .unwrap();
+    system.run_to_quiescence(Duration::from_millis(10)).unwrap();
     assert_eq!(log.borrow().as_slice(), ["timeout token=1".to_owned()]);
     // Heal. The first retry was issued *during* the partition (on_timeout
     // fires immediately), so it too is lost and times out; the retry after
@@ -392,7 +447,13 @@ impl Component for Ticker {
     fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
         ctx.set_timer(Duration::from_millis(1), TimerId(1));
     }
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, _: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        _: &str,
+        _: Vec<Value>,
+    ) -> Value {
         Value::Unit
     }
     fn on_timer(&mut self, ctx: &mut MwCtx<'_, '_>, _timer: TimerId) {
@@ -412,7 +473,12 @@ fn component_timers_fire() {
         .unwrap();
     let ticks = Rc::new(RefCell::new(0));
     let mut system = MwSystemBuilder::new(plan)
-        .component("ticker", Box::new(Ticker { ticks: Rc::clone(&ticks) }))
+        .component(
+            "ticker",
+            Box::new(Ticker {
+                ticks: Rc::clone(&ticks),
+            }),
+        )
         .build()
         .unwrap();
     system.run_to_quiescence(Duration::from_secs(1)).unwrap();

@@ -482,9 +482,7 @@ mod tests {
         let trace: Trace = [ev(1, 1, "request", 7)].into_iter().collect();
         let report = check_trace(&floor_control(), &trace, &CheckOptions::default());
         assert!(!report.is_conformant());
-        assert!(report.violations()[0]
-            .message()
-            .contains("never followed"));
+        assert!(report.violations()[0].message().contains("never followed"));
     }
 
     #[test]
@@ -504,7 +502,9 @@ mod tests {
         let trace: Trace = [ev(1, 1, "steal", 7)].into_iter().collect();
         let report = check_trace(&floor_control(), &trace, &CheckOptions::default());
         assert!(!report.is_conformant());
-        assert!(report.violations()[0].message().contains("not part of service"));
+        assert!(report.violations()[0]
+            .message()
+            .contains("not part of service"));
         assert!(report.violations()[0].constraint().is_none());
     }
 

@@ -297,7 +297,10 @@ mod tests {
         let iface = controller();
         assert_eq!(
             iface.required_patterns(),
-            vec![InteractionPattern::RequestResponse, InteractionPattern::Oneway]
+            vec![
+                InteractionPattern::RequestResponse,
+                InteractionPattern::Oneway
+            ]
         );
     }
 
@@ -312,7 +315,8 @@ mod tests {
 
     #[test]
     fn oneway_operations_return_unit_and_report_pattern() {
-        let op = OperationSig::oneway("pass").param("avail", ValueType::Set(Box::new(ValueType::Id)));
+        let op =
+            OperationSig::oneway("pass").param("avail", ValueType::Set(Box::new(ValueType::Id)));
         assert!(op.is_oneway());
         assert_eq!(op.returns(), &ValueType::Unit);
         assert_eq!(op.required_pattern(), InteractionPattern::Oneway);

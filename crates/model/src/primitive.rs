@@ -266,7 +266,14 @@ mod tests {
     fn validate_args_checks_arity() {
         let spec = PrimitiveSpec::new("request", Direction::FromUser).param_id("resid");
         let err = spec.validate_args(&[]).unwrap_err();
-        assert!(matches!(err, ModelError::ArityMismatch { expected: 1, actual: 0, .. }));
+        assert!(matches!(
+            err,
+            ModelError::ArityMismatch {
+                expected: 1,
+                actual: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -253,7 +253,11 @@ mod tests {
     #[test]
     fn rejects_constraint_on_unknown_primitive() {
         let err = base()
-            .constraint(Constraint::precedes("granted", "free", ConstraintScope::SameSap))
+            .constraint(Constraint::precedes(
+                "granted",
+                "free",
+                ConstraintScope::SameSap,
+            ))
             .build()
             .unwrap_err();
         assert!(matches!(err, ModelError::UnknownPrimitive { name, .. } if name == "free"));
@@ -269,7 +273,11 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            ModelError::KeyIndexOutOfRange { index: 1, arity: 1, .. }
+            ModelError::KeyIndexOutOfRange {
+                index: 1,
+                arity: 1,
+                ..
+            }
         ));
     }
 }

@@ -25,12 +25,7 @@ pub struct PrimitiveEvent {
 
 impl PrimitiveEvent {
     /// Records that `primitive` occurred with `args` at `sap` at time `time`.
-    pub fn new(
-        time: Instant,
-        sap: Sap,
-        primitive: impl Into<String>,
-        args: Vec<Value>,
-    ) -> Self {
+    pub fn new(time: Instant, sap: Sap, primitive: impl Into<String>, args: Vec<Value>) -> Self {
         PrimitiveEvent {
             time,
             sap,
@@ -249,9 +244,13 @@ mod tests {
 
     #[test]
     fn count_of_counts_by_name() {
-        let t: Trace = [ev(1, 1, "request", 1), ev(2, 1, "granted", 1), ev(3, 1, "request", 2)]
-            .into_iter()
-            .collect();
+        let t: Trace = [
+            ev(1, 1, "request", 1),
+            ev(2, 1, "granted", 1),
+            ev(3, 1, "request", 2),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(t.count_of("request"), 2);
         assert_eq!(t.count_of("granted"), 1);
         assert_eq!(t.count_of("nope"), 0);

@@ -15,8 +15,7 @@ use std::fmt;
 /// models need: identifiers (`ResourceId`/`SubscriberId` travel as
 /// [`Value::Id`]), booleans (the polling solution's `is_available` result),
 /// sets (the token solution's `pass(set<ResourceId>)`), plus the basics.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Value {
     /// The unit value (an operation with no result).
     #[default]
@@ -103,7 +102,6 @@ impl Value {
         }
     }
 }
-
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -19,7 +19,9 @@ fn floor_control() -> ServiceDefinition {
             Constraint::eventually_follows("request", "granted", ConstraintScope::SameSap)
                 .keyed(&[0]),
         )
-        .constraint(Constraint::precedes("request", "granted", ConstraintScope::SameSap).keyed(&[0]))
+        .constraint(
+            Constraint::precedes("request", "granted", ConstraintScope::SameSap).keyed(&[0]),
+        )
         .constraint(Constraint::precedes("granted", "free", ConstraintScope::SameSap).keyed(&[0]))
         .constraint(Constraint::mutual_exclusion("granted", "free").keyed(&[0]))
         .build()
@@ -30,7 +32,12 @@ fn arb_event() -> impl Strategy<Value = PrimitiveEvent> {
     (
         0u64..10_000,
         1u64..5,
-        prop_oneof![Just("request"), Just("granted"), Just("free"), Just("bogus")],
+        prop_oneof![
+            Just("request"),
+            Just("granted"),
+            Just("free"),
+            Just("bogus")
+        ],
         1u64..4,
     )
         .prop_map(|(t, part, primitive, res)| {

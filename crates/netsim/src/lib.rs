@@ -27,7 +27,7 @@
 //!
 //! ```
 //! use svckit_model::{Duration, PartId};
-//! use svckit_netsim::{Context, LinkConfig, Process, SimConfig, Simulator};
+//! use svckit_netsim::{Context, LinkConfig, Payload, Process, SimConfig, Simulator};
 //!
 //! struct Ping;
 //! struct Pong;
@@ -36,12 +36,12 @@
 //!     fn on_start(&mut self, ctx: &mut Context<'_>) {
 //!         ctx.send(PartId::new(2), b"ping".to_vec());
 //!     }
-//!     fn on_message(&mut self, _ctx: &mut Context<'_>, _from: PartId, payload: Vec<u8>) {
-//!         assert_eq!(payload, b"pong");
+//!     fn on_message(&mut self, _ctx: &mut Context<'_>, _from: PartId, payload: Payload) {
+//!         assert_eq!(&payload[..], b"pong");
 //!     }
 //! }
 //! impl Process for Pong {
-//!     fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, _payload: Vec<u8>) {
+//!     fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, _payload: Payload) {
 //!         ctx.send(from, b"pong".to_vec());
 //!     }
 //! }
@@ -64,4 +64,4 @@ mod sim;
 pub use link::LinkConfig;
 pub use metrics::NetMetrics;
 pub use rng::DeterministicRng;
-pub use sim::{Context, Process, SimConfig, SimError, SimReport, Simulator, TimerId};
+pub use sim::{Context, Payload, Process, SimConfig, SimError, SimReport, Simulator, TimerId};

@@ -166,7 +166,9 @@ mod tests {
     fn presets_have_expected_properties() {
         assert!(LinkConfig::lan().is_ordered());
         assert_eq!(LinkConfig::lan().loss(), 0.0);
-        assert!(!LinkConfig::reliable_datagram(Duration::from_millis(1), Duration::ZERO).is_ordered());
+        assert!(
+            !LinkConfig::reliable_datagram(Duration::from_millis(1), Duration::ZERO).is_ordered()
+        );
         let lossy = LinkConfig::lossy(Duration::from_millis(1), Duration::ZERO, 0.25);
         assert_eq!(lossy.loss(), 0.25);
         assert!(!lossy.is_ordered());

@@ -4,12 +4,22 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use svckit_model::{Duration, Instant, PartId, PrimitiveEvent, Sap, Trace, Value};
 
 use crate::link::LinkConfig;
 use crate::metrics::NetMetrics;
 use crate::rng::DeterministicRng;
+
+/// A message payload as it travels through the simulator.
+///
+/// Payloads are reference-counted byte slices: a send, a duplicated
+/// delivery, and a handler re-forwarding the bytes it received all share
+/// one allocation. [`Context::send`] accepts anything `Into<Payload>`, so
+/// call sites keep passing `Vec<u8>` (one conversion at the edge) or an
+/// existing `Payload` (free).
+pub type Payload = Arc<[u8]>;
 
 /// Identifier a process chooses for one of its timers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -33,7 +43,7 @@ pub trait Process {
     }
 
     /// Called when a message addressed to this node arrives.
-    fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Vec<u8>);
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Payload);
 
     /// Called when a timer set via [`Context::set_timer`] fires (and was not
     /// cancelled or superseded).
@@ -45,7 +55,7 @@ pub trait Process {
 /// What a handler asked the simulator to do.
 #[derive(Debug)]
 enum Action {
-    Send { to: PartId, payload: Vec<u8> },
+    Send { to: PartId, payload: Payload },
     SetTimer { delay: Duration, id: TimerId },
     CancelTimer { id: TimerId },
 }
@@ -57,7 +67,7 @@ pub struct Context<'a> {
     id: PartId,
     actions: &'a mut Vec<Action>,
     rng: &'a mut DeterministicRng,
-    trace: &'a mut Trace,
+    trace: &'a mut TraceBuf,
 }
 
 impl Context<'_> {
@@ -72,8 +82,15 @@ impl Context<'_> {
     }
 
     /// Sends `payload` to node `to` over the configured link.
-    pub fn send(&mut self, to: PartId, payload: Vec<u8>) {
-        self.actions.push(Action::Send { to, payload });
+    ///
+    /// Accepts a `Vec<u8>`, a boxed or borrowed byte slice, or an existing
+    /// [`Payload`]; re-sending a received payload is a reference-count bump,
+    /// not a copy.
+    pub fn send(&mut self, to: PartId, payload: impl Into<Payload>) {
+        self.actions.push(Action::Send {
+            to,
+            payload: payload.into(),
+        });
     }
 
     /// Schedules (or reschedules) timer `id` to fire after `delay`.
@@ -104,6 +121,51 @@ impl Context<'_> {
     /// Deterministic random value in `[0, bound)`.
     pub fn rand_below(&mut self, bound: u64) -> u64 {
         self.rng.next_below(bound)
+    }
+}
+
+/// Copy-on-write accumulator for the merged service-primitive trace.
+///
+/// The simulator appends through [`Arc::make_mut`]; each [`SimReport`]
+/// shares the `Arc` instead of cloning the whole trace. Handlers record
+/// primitives at the simulator's nondecreasing clock, so insertion order is
+/// already time order — the watermark tracks that, and the sort in
+/// [`TraceBuf::snapshot`] only runs in the (never expected) out-of-order
+/// case.
+#[derive(Debug)]
+struct TraceBuf {
+    trace: Arc<Trace>,
+    high_water: Instant,
+    sorted: bool,
+}
+
+impl TraceBuf {
+    fn new() -> Self {
+        TraceBuf {
+            trace: Arc::new(Trace::new()),
+            high_water: Instant::ZERO,
+            sorted: true,
+        }
+    }
+
+    fn push(&mut self, event: PrimitiveEvent) {
+        if event.time() < self.high_water {
+            self.sorted = false;
+        } else {
+            self.high_water = event.time();
+        }
+        Arc::make_mut(&mut self.trace).push(event);
+    }
+
+    /// A time-sorted shared snapshot. The copy-on-write clone inside
+    /// `make_mut` only happens on the first append *after* a snapshot was
+    /// taken, and only if that snapshot is still alive.
+    fn snapshot(&mut self) -> Arc<Trace> {
+        if !self.sorted {
+            Arc::make_mut(&mut self.trace).sort_by_time();
+            self.sorted = true;
+        }
+        Arc::clone(&self.trace)
     }
 }
 
@@ -165,7 +227,7 @@ pub struct SimReport {
     end_time: Instant,
     quiescent: bool,
     metrics: NetMetrics,
-    trace: Trace,
+    trace: Arc<Trace>,
 }
 
 impl SimReport {
@@ -195,7 +257,7 @@ enum EventKind {
     Deliver {
         to: PartId,
         from: PartId,
-        payload: Vec<u8>,
+        payload: Payload,
     },
     Timer {
         node: PartId,
@@ -249,7 +311,10 @@ pub struct Simulator {
     node_rngs: HashMap<PartId, DeterministicRng>,
     timer_generation: HashMap<(PartId, TimerId), u64>,
     metrics: NetMetrics,
-    trace: Trace,
+    trace: TraceBuf,
+    /// Reused across dispatches so the hot path does not allocate a fresh
+    /// action vector per event.
+    action_buf: Vec<Action>,
 }
 
 impl fmt::Debug for Simulator {
@@ -281,7 +346,8 @@ impl Simulator {
             node_rngs: HashMap::new(),
             timer_generation: HashMap::new(),
             metrics: NetMetrics::new(),
-            trace: Trace::new(),
+            trace: TraceBuf::new(),
+            action_buf: Vec::new(),
         }
     }
 
@@ -290,11 +356,7 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`SimError::DuplicateNode`] when `id` is already taken.
-    pub fn add_process(
-        &mut self,
-        id: PartId,
-        process: Box<dyn Process>,
-    ) -> Result<(), SimError> {
+    pub fn add_process(&mut self, id: PartId, process: Box<dyn Process>) -> Result<(), SimError> {
         if self.procs.contains_key(&id) {
             return Err(SimError::DuplicateNode(id));
         }
@@ -328,10 +390,16 @@ impl Simulator {
     /// directions) is dropped until [`Simulator::heal`] is called.
     /// Messages already in flight still arrive. Call between
     /// [`Simulator::run_to_quiescence`] slices to inject failures mid-run.
+    /// Partitioning an already-partitioned pair is a no-op, so the saved
+    /// pre-partition configuration survives repeated calls.
     pub fn partition(&mut self, a: PartId, b: PartId) {
         let cut = |sim: &mut Simulator, from: PartId, to: PartId| {
+            if sim.healed.contains_key(&(from, to)) {
+                return;
+            }
             let base = sim.link_for(from, to).clone();
-            sim.healed.insert((from, to), sim.links.get(&(from, to)).cloned());
+            sim.healed
+                .insert((from, to), sim.links.get(&(from, to)).cloned());
             sim.links.insert((from, to), base.with_loss(1.0));
         };
         cut(self, a, b);
@@ -376,8 +444,8 @@ impl Simulator {
             .unwrap_or(&self.config.default_link)
     }
 
-    fn apply_actions(&mut self, node: PartId, actions: Vec<Action>) {
-        for action in actions {
+    fn apply_actions(&mut self, node: PartId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, payload } => {
                     self.metrics.record_send(node, payload.len());
@@ -385,12 +453,20 @@ impl Simulator {
                         self.metrics.record_undeliverable();
                         continue;
                     }
-                    let link = self.link_for(node, to).clone();
-                    if self.rng.coin(link.loss()) {
+                    // Copy the link's scalar parameters out instead of
+                    // cloning the whole `LinkConfig` per send.
+                    let link = self.link_for(node, to);
+                    let loss = link.loss();
+                    let duplicate_p = link.duplicate();
+                    let latency = link.latency();
+                    let jitter_bound = link.jitter().as_micros() + 1;
+                    let ordered = link.is_ordered();
+                    let transmission = link.transmission_time(payload.len());
+                    if self.rng.coin(loss) {
                         self.metrics.record_drop();
                         continue;
                     }
-                    let duplicate = self.rng.coin(link.duplicate());
+                    let duplicate = self.rng.coin(duplicate_p);
                     let copies = if duplicate { 2 } else { 1 };
                     if duplicate {
                         self.metrics.record_duplicate();
@@ -399,7 +475,6 @@ impl Simulator {
                     // for the message's transmission time; back-to-back
                     // sends queue behind it.
                     let mut depart = self.clock;
-                    let transmission = link.transmission_time(payload.len());
                     if transmission > Duration::ZERO {
                         let busy = self
                             .link_busy_until
@@ -412,14 +487,10 @@ impl Simulator {
                         *busy = depart;
                     }
                     for _ in 0..copies {
-                        let jitter =
-                            Duration::from_micros(self.rng.next_below(link.jitter().as_micros() + 1));
-                        let mut at = depart + link.latency() + jitter;
-                        if link.is_ordered() {
-                            let last = self
-                                .last_arrival
-                                .entry((node, to))
-                                .or_insert(Instant::ZERO);
+                        let jitter = Duration::from_micros(self.rng.next_below(jitter_bound));
+                        let mut at = depart + latency + jitter;
+                        if ordered {
+                            let last = self.last_arrival.entry((node, to)).or_insert(Instant::ZERO);
                             if at < *last {
                                 at = *last;
                             }
@@ -430,7 +501,7 @@ impl Simulator {
                             EventKind::Deliver {
                                 to,
                                 from: node,
-                                payload: payload.clone(),
+                                payload: Payload::clone(&payload),
                             },
                         );
                     }
@@ -466,7 +537,7 @@ impl Simulator {
     where
         F: FnOnce(&mut dyn Process, &mut Context<'_>),
     {
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.action_buf);
         if let Some(process) = self.procs.get_mut(&node) {
             let rng = self
                 .node_rngs
@@ -481,7 +552,10 @@ impl Simulator {
             };
             call(process.as_mut(), &mut ctx);
         }
-        self.apply_actions(node, actions);
+        self.apply_actions(node, &mut actions);
+        // Hand the (now empty) buffer back for the next dispatch, keeping
+        // its capacity.
+        self.action_buf = actions;
     }
 
     fn start_if_needed(&mut self) {
@@ -540,13 +614,11 @@ impl Simulator {
         } else {
             self.clock = deadline;
         }
-        let mut trace = self.trace.clone();
-        trace.sort_by_time();
         Ok(SimReport {
             end_time: self.clock,
             quiescent,
             metrics: self.metrics.clone(),
-            trace,
+            trace: self.trace.snapshot(),
         })
     }
 }
@@ -568,7 +640,7 @@ mod tests {
                 ctx.set_timer(Duration::from_millis(1), TimerId(1));
             }
         }
-        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: PartId, _payload: Vec<u8>) {
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: PartId, _payload: Payload) {
             self.received += 1;
         }
         fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: TimerId) {
@@ -662,7 +734,7 @@ mod tests {
         seen: Vec<u8>,
     }
     impl Process for Collector {
-        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: PartId, payload: Vec<u8>) {
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: PartId, payload: Payload) {
             self.seen.push(payload[0]);
         }
     }
@@ -677,7 +749,7 @@ mod tests {
                 ctx.send(self.peer, vec![i]);
             }
         }
-        fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Vec<u8>) {}
+        fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
     }
 
     fn burst_order(link: LinkConfig, seed: u64) -> Vec<u8> {
@@ -685,7 +757,7 @@ mod tests {
         // the trace of a probe primitive.
         struct RecordingCollector;
         impl Process for RecordingCollector {
-            fn on_message(&mut self, ctx: &mut Context<'_>, _from: PartId, payload: Vec<u8>) {
+            fn on_message(&mut self, ctx: &mut Context<'_>, _from: PartId, payload: Payload) {
                 ctx.record_primitive(
                     Sap::new("probe", ctx.id()),
                     "recv",
@@ -694,9 +766,16 @@ mod tests {
             }
         }
         let mut sim = Simulator::new(SimConfig::new(seed).default_link(link));
-        sim.add_process(PartId::new(1), Box::new(Burst { peer: PartId::new(2), n: 30 }))
+        sim.add_process(
+            PartId::new(1),
+            Box::new(Burst {
+                peer: PartId::new(2),
+                n: 30,
+            }),
+        )
+        .unwrap();
+        sim.add_process(PartId::new(2), Box::new(RecordingCollector))
             .unwrap();
-        sim.add_process(PartId::new(2), Box::new(RecordingCollector)).unwrap();
         let report = sim.run_to_quiescence(Duration::from_secs(10)).unwrap();
         report
             .trace()
@@ -756,10 +835,11 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
                 ctx.send(PartId::new(99), b"void".to_vec());
             }
-            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Vec<u8>) {}
+            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
         }
         let mut sim = Simulator::new(SimConfig::new(1));
-        sim.add_process(PartId::new(1), Box::new(SendsToNowhere)).unwrap();
+        sim.add_process(PartId::new(1), Box::new(SendsToNowhere))
+            .unwrap();
         let report = sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
         assert_eq!(report.metrics().undeliverable(), 1);
         assert_eq!(report.metrics().messages_delivered(), 0);
@@ -776,7 +856,7 @@ mod tests {
                 ctx.cancel_timer(TimerId(1));
                 ctx.set_timer(Duration::from_millis(10), TimerId(2));
             }
-            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Vec<u8>) {}
+            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
             fn on_timer(&mut self, _ctx: &mut Context<'_>, timer: TimerId) {
                 assert_eq!(timer, TimerId(2), "cancelled timer fired");
                 self.fired = true;
@@ -800,14 +880,15 @@ mod tests {
                 ctx.set_timer(Duration::from_millis(5), TimerId(1));
                 ctx.set_timer(Duration::from_millis(9), TimerId(1));
             }
-            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Vec<u8>) {}
+            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
             fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: TimerId) {
                 self.fires += 1;
                 assert_eq!(ctx.now(), Instant::from_micros(9_000));
             }
         }
         let mut sim = Simulator::new(SimConfig::new(1));
-        sim.add_process(PartId::new(1), Box::new(Resetter { fires: 0 })).unwrap();
+        sim.add_process(PartId::new(1), Box::new(Resetter { fires: 0 }))
+            .unwrap();
         let report = sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
         assert!(report.is_quiescent());
         assert_eq!(report.end_time(), Instant::from_micros(9_000));
@@ -827,7 +908,7 @@ mod tests {
                 ctx.set_timer(Duration::from_millis(1), TimerId(20));
                 ctx.set_timer(Duration::from_millis(1), TimerId(30));
             }
-            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Vec<u8>) {}
+            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
             fn on_timer(&mut self, _ctx: &mut Context<'_>, timer: TimerId) {
                 self.order.borrow_mut().push(timer.0);
             }
@@ -856,23 +937,28 @@ mod tests {
                     ctx.send(self.peer, vec![0u8; 10_000]); // 10 × 10 KB
                 }
             }
-            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Vec<u8>) {}
+            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
         }
         struct Sink;
         impl Process for Sink {
-            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Vec<u8>) {}
+            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
         }
         let run = |link: LinkConfig| {
             let mut sim = Simulator::new(SimConfig::new(1).default_link(link));
-            sim.add_process(PartId::new(1), Box::new(BigBurst { peer: PartId::new(2) }))
-                .unwrap();
+            sim.add_process(
+                PartId::new(1),
+                Box::new(BigBurst {
+                    peer: PartId::new(2),
+                }),
+            )
+            .unwrap();
             sim.add_process(PartId::new(2), Box::new(Sink)).unwrap();
-            sim.run_to_quiescence(Duration::from_secs(60)).unwrap().end_time()
+            sim.run_to_quiescence(Duration::from_secs(60))
+                .unwrap()
+                .end_time()
         };
         // 100 KB at 1 MB/s: ~100 ms serialization + 1 ms latency.
-        let limited = run(
-            LinkConfig::perfect(Duration::from_millis(1)).with_bandwidth(1_000_000),
-        );
+        let limited = run(LinkConfig::perfect(Duration::from_millis(1)).with_bandwidth(1_000_000));
         let unlimited = run(LinkConfig::perfect(Duration::from_millis(1)));
         assert_eq!(unlimited, Instant::from_micros(1_000));
         assert_eq!(limited, Instant::from_micros(101_000));
@@ -895,6 +981,30 @@ mod tests {
         let r3 = sim.run_to_quiescence(Duration::from_secs(10)).unwrap();
         assert!(r3.is_quiescent());
         assert!(r3.metrics().messages_delivered() > delivered_during);
+        assert_eq!(
+            r3.metrics().messages_delivered() + r3.metrics().messages_dropped(),
+            40
+        );
+    }
+
+    #[test]
+    fn partition_is_idempotent() {
+        // Regression: a second partition of the same pair used to overwrite
+        // the saved pre-partition link with the loss-1.0 config, so healing
+        // restored a dead link and deliveries never resumed.
+        let mut sim = two_node_sim(LinkConfig::perfect(Duration::from_millis(1)), 1, 40);
+        let _ = sim.run_to_quiescence(Duration::from_millis(10)).unwrap();
+        sim.partition(PartId::new(1), PartId::new(2));
+        sim.partition(PartId::new(1), PartId::new(2));
+        let r2 = sim.run_to_quiescence(Duration::from_millis(10)).unwrap();
+        let delivered_during = r2.metrics().messages_delivered();
+        sim.heal(PartId::new(1), PartId::new(2));
+        let r3 = sim.run_to_quiescence(Duration::from_secs(10)).unwrap();
+        assert!(r3.is_quiescent());
+        assert!(
+            r3.metrics().messages_delivered() > delivered_during,
+            "deliveries must resume after heal even when partition was called twice"
+        );
         assert_eq!(
             r3.metrics().messages_delivered() + r3.metrics().messages_dropped(),
             40

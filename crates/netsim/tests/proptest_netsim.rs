@@ -6,7 +6,7 @@ use std::rc::Rc;
 use proptest::prelude::*;
 
 use svckit_model::{Duration, PartId};
-use svckit_netsim::{Context, LinkConfig, Process, SimConfig, Simulator};
+use svckit_netsim::{Context, LinkConfig, Payload, Process, SimConfig, Simulator};
 
 /// Fires `n` numbered messages at start.
 struct Burst {
@@ -19,14 +19,14 @@ impl Process for Burst {
             ctx.send(self.peer, vec![i]);
         }
     }
-    fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Vec<u8>) {}
+    fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
 }
 
 struct Collector {
     seen: Rc<RefCell<Vec<u8>>>,
 }
 impl Process for Collector {
-    fn on_message(&mut self, _: &mut Context<'_>, _: PartId, payload: Vec<u8>) {
+    fn on_message(&mut self, _: &mut Context<'_>, _: PartId, payload: Payload) {
         self.seen.borrow_mut().push(payload[0]);
     }
 }
@@ -34,10 +34,21 @@ impl Process for Collector {
 fn run_burst(link: LinkConfig, n: u8, seed: u64) -> (Vec<u8>, u64, u64) {
     let seen = Rc::new(RefCell::new(Vec::new()));
     let mut sim = Simulator::new(SimConfig::new(seed).default_link(link));
-    sim.add_process(PartId::new(1), Box::new(Burst { peer: PartId::new(2), n }))
-        .unwrap();
-    sim.add_process(PartId::new(2), Box::new(Collector { seen: Rc::clone(&seen) }))
-        .unwrap();
+    sim.add_process(
+        PartId::new(1),
+        Box::new(Burst {
+            peer: PartId::new(2),
+            n,
+        }),
+    )
+    .unwrap();
+    sim.add_process(
+        PartId::new(2),
+        Box::new(Collector {
+            seen: Rc::clone(&seen),
+        }),
+    )
+    .unwrap();
     let report = sim.run_to_quiescence(Duration::from_secs(600)).unwrap();
     assert!(report.is_quiescent());
     let out = seen.borrow().clone();

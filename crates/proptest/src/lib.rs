@@ -1,0 +1,168 @@
+//! A hermetic, dependency-free stand-in for the crates.io `proptest`
+//! framework.
+//!
+//! The build environment for this workspace has no registry access, so the
+//! real proptest cannot be compiled. This crate implements the API subset
+//! the workspace's property tests use: the [`proptest!`] macro, the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_recursive`/`boxed`,
+//! range / tuple / [`strategy::Just`] / `any::<T>()` / string-pattern
+//! strategies, [`collection::vec`] and [`collection::btree_set`],
+//! [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from the real framework, by design:
+//!
+//! * no shrinking — a failing case panics with the generated inputs left to
+//!   the assertion message;
+//! * generation is deterministic: case `i` of every test derives its RNG
+//!   from `i` only, so failures reproduce exactly across runs;
+//! * string strategies support the `.{m,n}` pattern family (any printable
+//!   run of bounded length) rather than full regular expressions.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item expands to a `#[test]`-style function that runs `body` for
+/// `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Chooses uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = crate::collection::vec(0u64..100, 1..8);
+        let mut a = crate::test_runner::TestRng::for_case(7);
+        let mut b = crate::test_runner::TestRng::for_case(7);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case(0);
+        for _ in 0..1_000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let i = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let strat = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut rng = crate::test_runner::TestRng::for_case(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn string_pattern_bounds_length() {
+        let mut rng = crate::test_runner::TestRng::for_case(2);
+        for _ in 0..200 {
+            let s = ".{0,24}".generate(&mut rng);
+            assert!(s.chars().count() <= 24);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::test_runner::TestRng::for_case(3);
+        for _ in 0..100 {
+            let _ = strat.generate(&mut rng);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires arguments, config and body together.
+        #[test]
+        fn macro_generates_cases(x in 0u32..50, ys in crate::collection::vec(0u8..10, 0..5)) {
+            prop_assert!(x < 50);
+            prop_assert!(ys.len() < 5);
+            prop_assert!(ys.iter().all(|&y| y < 10));
+        }
+    }
+}

@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use svckit_codec::{CodecError, Pdu, PduRegistry};
 use svckit_model::{Duration, Instant, PartId, Sap, Value};
-use svckit_netsim::{Context, Process, TimerId};
+use svckit_netsim::{Context, Payload, Process, TimerId};
 
 use crate::counters::ProtoCounters;
 use crate::reliable::{ReliabilityConfig, ReliableLink};
@@ -312,7 +312,7 @@ impl Process for ProtocolNode {
         self.pump(net);
     }
 
-    fn on_message(&mut self, net: &mut Context<'_>, from: PartId, payload: Vec<u8>) {
+    fn on_message(&mut self, net: &mut Context<'_>, from: PartId, payload: Payload) {
         let delivered = match &mut self.reliable {
             Some(rel) => {
                 let mut counters = self.counters.borrow_mut();
@@ -387,7 +387,12 @@ mod tests {
         fn on_start(&mut self, ctx: &mut UserCtx<'_, '_>) {
             ctx.invoke("ping", vec![Value::Id(1)]);
         }
-        fn on_indication(&mut self, _ctx: &mut UserCtx<'_, '_>, primitive: &str, _args: Vec<Value>) {
+        fn on_indication(
+            &mut self,
+            _ctx: &mut UserCtx<'_, '_>,
+            primitive: &str,
+            _args: Vec<Value>,
+        ) {
             assert_eq!(primitive, "pong");
             *self.peer_sap_hits.borrow_mut() += 1;
         }
@@ -405,7 +410,12 @@ mod tests {
         peer: PartId,
     }
     impl ProtocolEntity for EchoEntity {
-        fn on_user_primitive(&mut self, ctx: &mut EntityCtx<'_, '_>, primitive: &str, args: Vec<Value>) {
+        fn on_user_primitive(
+            &mut self,
+            ctx: &mut EntityCtx<'_, '_>,
+            primitive: &str,
+            args: Vec<Value>,
+        ) {
             assert_eq!(primitive, "ping");
             ctx.send_pdu(self.peer, "ping_pdu", &args).unwrap();
         }
@@ -436,14 +446,18 @@ mod tests {
             Box::new(PingUser {
                 peer_sap_hits: Rc::clone(&hits),
             }),
-            Box::new(EchoEntity { peer: PartId::new(2) }),
+            Box::new(EchoEntity {
+                peer: PartId::new(2),
+            }),
             Rc::clone(&reg),
         );
         let a_counters = a.counters();
         let b = ProtocolNode::new(
             Sap::new("user", PartId::new(2)),
             Box::new(SilentUser),
-            Box::new(EchoEntity { peer: PartId::new(1) }),
+            Box::new(EchoEntity {
+                peer: PartId::new(1),
+            }),
             reg,
         );
         let mut sim = Simulator::new(SimConfig::new(1).default_link(LinkConfig::lan()));
@@ -469,13 +483,15 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
                 ctx.send(self.to, vec![0xde, 0xad, 0xbe, 0xef]);
             }
-            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Vec<u8>) {}
+            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
         }
         let reg = registry();
         let node = ProtocolNode::new(
             Sap::new("user", PartId::new(2)),
             Box::new(SilentUser),
-            Box::new(EchoEntity { peer: PartId::new(1) }),
+            Box::new(EchoEntity {
+                peer: PartId::new(1),
+            }),
             reg,
         );
         let counters = node.counters();

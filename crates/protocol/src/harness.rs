@@ -256,7 +256,10 @@ mod tests {
             builder = builder.node(
                 PartId::new(i),
                 Sap::new("talker", PartId::new(i)),
-                Box::new(Talker { rounds: 3, heard: 0 }),
+                Box::new(Talker {
+                    rounds: 3,
+                    heard: 0,
+                }),
                 Box::new(RelayEntity { peers }),
             );
         }
@@ -318,13 +321,19 @@ mod tests {
             .node(
                 PartId::new(1),
                 Sap::new("talker", PartId::new(1)),
-                Box::new(Talker { rounds: 0, heard: 0 }),
+                Box::new(Talker {
+                    rounds: 0,
+                    heard: 0,
+                }),
                 Box::new(RelayEntity { peers: vec![] }),
             )
             .node(
                 PartId::new(1),
                 Sap::new("talker", PartId::new(1)),
-                Box::new(Talker { rounds: 0, heard: 0 }),
+                Box::new(Talker {
+                    rounds: 0,
+                    heard: 0,
+                }),
                 Box::new(RelayEntity { peers: vec![] }),
             );
         assert!(matches!(

@@ -41,4 +41,4 @@ mod reliable;
 pub use counters::ProtoCounters;
 pub use entity::{EntityCtx, ProtocolEntity, ProtocolNode, UserCtx, UserPart};
 pub use harness::{Stack, StackBuilder, StackError};
-pub use reliable::{ReliableLink, ReliabilityConfig};
+pub use reliable::{ReliabilityConfig, ReliableLink};

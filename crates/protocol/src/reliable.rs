@@ -20,7 +20,7 @@ use std::collections::{HashMap, VecDeque};
 
 use svckit_codec::{read_varint, write_varint};
 use svckit_model::{Duration, PartId};
-use svckit_netsim::{Context, TimerId};
+use svckit_netsim::{Context, Payload, TimerId};
 
 use crate::counters::ProtoCounters;
 
@@ -148,7 +148,7 @@ impl ReliableLink {
         from: PartId,
         frame: &[u8],
         counters: &mut ProtoCounters,
-    ) -> Option<Vec<u8>> {
+    ) -> Option<Payload> {
         let (&kind, rest) = frame.split_first()?;
         let (seq, used) = read_varint(rest).ok()?;
         let timer = self.timer_for(from);
@@ -160,7 +160,7 @@ impl ReliableLink {
                 if seq == peer.expected {
                     peer.expected += 1;
                     net.send(from, Self::frame_ack(seq));
-                    Some(rest[used..].to_vec())
+                    Some(Payload::from(&rest[used..]))
                 } else {
                     // Duplicate or out-of-order: suppress and re-acknowledge
                     // the highest in-order frame so the sender can resync.
@@ -254,7 +254,7 @@ mod tests {
                 self.link.send(ctx, self.to, vec![i]);
             }
         }
-        fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Vec<u8>) {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Payload) {
             let _ = self.link.on_raw(ctx, from, &payload, &mut self.counters);
         }
         fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
@@ -268,7 +268,7 @@ mod tests {
         counters: ProtoCounters,
     }
     impl Process for ReliableReceiver {
-        fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Vec<u8>) {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Payload) {
             if let Some(data) = self.link.on_raw(ctx, from, &payload, &mut self.counters) {
                 self.got.borrow_mut().push(data[0]);
             }
@@ -325,7 +325,11 @@ mod tests {
                     seed,
                     window,
                 );
-                assert_eq!(got, (0..30).collect::<Vec<u8>>(), "seed {seed} window {window}");
+                assert_eq!(
+                    got,
+                    (0..30).collect::<Vec<u8>>(),
+                    "seed {seed} window {window}"
+                );
             }
         }
     }
@@ -342,7 +346,8 @@ mod tests {
     fn survives_reordering_links() {
         // Heavy jitter on an unordered link forces out-of-order arrivals;
         // go-back-N must still deliver in order exactly once.
-        let link = LinkConfig::reliable_datagram(Duration::from_millis(1), Duration::from_millis(8));
+        let link =
+            LinkConfig::reliable_datagram(Duration::from_millis(1), Duration::from_millis(8));
         for window in [1, 8] {
             let (got, _) = run_over(link.clone(), 40, 3, window);
             assert_eq!(got, (0..40).collect::<Vec<u8>>(), "window {window}");

@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --example chat_service`
 
-use svckit::middleware::{
-    Component, DeploymentPlan, MwCtx, MwSystemBuilder, PlatformCaps,
-};
+use svckit::middleware::{Component, DeploymentPlan, MwCtx, MwSystemBuilder, PlatformCaps};
 use svckit::model::conformance::{check_trace, CheckOptions};
 use svckit::model::{
     Constraint, ConstraintScope, Direction, Duration, PartId, PrimitiveSpec, Sap,
@@ -42,7 +40,11 @@ fn chat_service() -> ServiceDefinition {
         // A member speaks only after joining (non-consuming: one join
         // enables any number of utterances), and leaves only after joining.
         .constraint(Constraint::after("join", "say", ConstraintScope::SameSap))
-        .constraint(Constraint::precedes("join", "leave", ConstraintScope::SameSap))
+        .constraint(Constraint::precedes(
+            "join",
+            "leave",
+            ConstraintScope::SameSap,
+        ))
         // No double join without leave.
         .constraint(Constraint::at_most_outstanding(
             "join",
@@ -92,7 +94,13 @@ impl Component for Member {
         ctx.set_timer(Duration::from_millis(1 + self.me), TimerId(1));
     }
 
-    fn handle_operation(&mut self, _: &mut MwCtx<'_, '_>, _: &str, op: &str, _: Vec<Value>) -> Value {
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        op: &str,
+        _: Vec<Value>,
+    ) -> Value {
         panic!("chat members provide no interface, got {op}");
     }
 

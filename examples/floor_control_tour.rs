@@ -20,7 +20,15 @@ fn main() {
     );
     println!(
         "{:<16} {:>5} {:>5} {:>7} {:>10} {:>10} {:>9} {:>10} {:>10}",
-        "solution", "done", "conf", "grants", "mean-lat", "p99-lat", "fairness", "msgs", "msgs/grant"
+        "solution",
+        "done",
+        "conf",
+        "grants",
+        "mean-lat",
+        "p99-lat",
+        "fairness",
+        "msgs",
+        "msgs/grant"
     );
     println!("{}", "-".repeat(93));
 

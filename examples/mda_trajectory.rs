@@ -34,8 +34,8 @@ fn main() {
         for line in outcome.psm().emit_descriptor().lines() {
             println!("  {line}");
         }
-        let report = realize::realize(outcome.psm(), &params)
-            .expect("every PSI must run and conform");
+        let report =
+            realize::realize(outcome.psm(), &params).expect("every PSI must run and conform");
         let run = report.outcome();
         println!(
             "  executed as {}: grants={} mean-latency={} transport-msgs={} conformant={}",

@@ -43,7 +43,11 @@ fn bandwidth_hurts_the_token_more_than_the_callback() {
     let token_wide = run_solution(Solution::ProtoToken, &params_with(wide));
     let token_narrow = run_solution(Solution::ProtoToken, &params_with(narrow));
     for outcome in [&callback_wide, &callback_narrow, &token_wide, &token_narrow] {
-        assert!(outcome.completed && outcome.conformant, "{}", outcome.solution);
+        assert!(
+            outcome.completed && outcome.conformant,
+            "{}",
+            outcome.solution
+        );
     }
 
     // Serialization slows everyone, but the token — whose grants wait on a

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use svckit::floorctl::{floor_control_service, floor_event_universe, run_solution, RunParams, Solution};
+use svckit::floorctl::{
+    floor_control_service, floor_event_universe, run_solution, RunParams, Solution,
+};
 use svckit::lts::explorer::{AbstractEvent, ServiceExplorer};
 use svckit::lts::LtsBuilder;
 use svckit::model::conformance::{check_trace, CheckOptions};
@@ -15,7 +17,12 @@ fn sap(k: u64) -> Sap {
 }
 
 fn ev(t: u64, k: u64, primitive: &str, res: u64) -> PrimitiveEvent {
-    PrimitiveEvent::new(Instant::from_micros(t), sap(k), primitive, vec![Value::Id(res)])
+    PrimitiveEvent::new(
+        Instant::from_micros(t),
+        sap(k),
+        primitive,
+        vec![Value::Id(res)],
+    )
 }
 
 #[test]
@@ -35,7 +42,11 @@ fn mutating_a_real_trace_breaks_conformance() {
         sabotaged.push(event.clone());
         if !injected && event.primitive() == "granted" {
             // Duplicate grant at a different access point.
-            let other = if event.sap().part() == PartId::new(1) { 2 } else { 1 };
+            let other = if event.sap().part() == PartId::new(1) {
+                2
+            } else {
+                1
+            };
             sabotaged.push(PrimitiveEvent::new(
                 event.time(),
                 sap(other),
@@ -71,7 +82,8 @@ fn dropping_a_free_is_caught_as_unfulfilled_liveness() {
                 && outcome
                     .trace
                     .events()
-                    .iter().rfind(|x| x.primitive() == "free")
+                    .iter()
+                    .rfind(|x| x.primitive() == "free")
                     .map(|last| last == *e)
                     .unwrap_or(false))
         })

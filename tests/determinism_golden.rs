@@ -1,0 +1,136 @@
+//! Determinism goldens: a fixed seed must reproduce a byte-identical
+//! `SimReport` (trace, metrics, end time) across runs, for the raw
+//! simulator and for one solution of each paradigm (middleware and
+//! protocol). A hardcoded digest per scenario guards against silent
+//! behavioural drift in the event core: if one of these assertions fails
+//! after an intentional semantic change to the simulator, re-capture the
+//! digest and say so in the changelog.
+
+use svckit::floorctl::{run_solution, RunParams, Solution};
+use svckit::model::{Duration, PartId, Sap, Value};
+use svckit::netsim::{Context, LinkConfig, Payload, Process, SimConfig, Simulator, TimerId};
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A chatter that exercises loss, duplication, jitter, timers and trace
+/// recording in one run.
+struct Chatter {
+    peer: PartId,
+    remaining: u32,
+}
+
+impl Process for Chatter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.remaining > 0 {
+            ctx.set_timer(Duration::from_millis(1), TimerId(1));
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Payload) {
+        ctx.record_primitive(
+            Sap::new("probe", ctx.id()),
+            "recv",
+            vec![Value::Id(payload.len() as u64), Value::Id(from.raw())],
+        );
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: TimerId) {
+        ctx.send(self.peer, vec![0u8; 1 + (self.remaining as usize % 7)]);
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            ctx.set_timer(Duration::from_millis(1), TimerId(1));
+        }
+    }
+}
+
+fn netsim_digest(seed: u64) -> u64 {
+    let link = LinkConfig::lossy(Duration::from_millis(2), Duration::from_millis(1), 0.2)
+        .with_duplication(0.1);
+    let mut sim = Simulator::new(SimConfig::new(seed).default_link(link));
+    sim.add_process(
+        PartId::new(1),
+        Box::new(Chatter {
+            peer: PartId::new(2),
+            remaining: 60,
+        }),
+    )
+    .unwrap();
+    sim.add_process(
+        PartId::new(2),
+        Box::new(Chatter {
+            peer: PartId::new(1),
+            remaining: 30,
+        }),
+    )
+    .unwrap();
+    let report = sim.run_to_quiescence(Duration::from_secs(60)).unwrap();
+    assert!(report.is_quiescent());
+    fnv1a(format!("{report:?}").as_bytes())
+}
+
+fn solution_digest(solution: Solution, seed: u64) -> u64 {
+    let params = RunParams::default()
+        .subscribers(4)
+        .resources(2)
+        .rounds(3)
+        .seed(seed);
+    let outcome = run_solution(solution, &params);
+    assert!(outcome.completed, "{solution:?} workload must complete");
+    assert!(outcome.conformant, "{solution:?} trace must conform");
+    fnv1a(format!("{outcome:?}").as_bytes())
+}
+
+#[test]
+fn netsim_report_is_bit_identical_per_seed() {
+    assert_eq!(netsim_digest(42), netsim_digest(42));
+    assert_ne!(netsim_digest(42), netsim_digest(43));
+}
+
+#[test]
+fn netsim_report_matches_golden_digest() {
+    // Captured from the zero-copy event core; must only change with a
+    // deliberate, documented change to simulation semantics.
+    assert_eq!(netsim_digest(42), GOLDEN_NETSIM_SEED42);
+}
+
+#[test]
+fn middleware_solution_is_bit_identical_per_seed() {
+    assert_eq!(
+        solution_digest(Solution::MwCallback, 7),
+        solution_digest(Solution::MwCallback, 7)
+    );
+}
+
+#[test]
+fn middleware_solution_matches_golden_digest() {
+    assert_eq!(
+        solution_digest(Solution::MwCallback, 7),
+        GOLDEN_MW_CALLBACK_SEED7
+    );
+}
+
+#[test]
+fn protocol_solution_is_bit_identical_per_seed() {
+    assert_eq!(
+        solution_digest(Solution::ProtoCallback, 7),
+        solution_digest(Solution::ProtoCallback, 7)
+    );
+}
+
+#[test]
+fn protocol_solution_matches_golden_digest() {
+    assert_eq!(
+        solution_digest(Solution::ProtoCallback, 7),
+        GOLDEN_PROTO_CALLBACK_SEED7
+    );
+}
+
+const GOLDEN_NETSIM_SEED42: u64 = 13_274_634_582_242_808_967;
+const GOLDEN_MW_CALLBACK_SEED7: u64 = 15_744_882_272_829_378_977;
+const GOLDEN_PROTO_CALLBACK_SEED7: u64 = 1_271_651_805_458_933_051;

@@ -6,7 +6,11 @@ use svckit::model::Duration;
 use svckit::netsim::LinkConfig;
 
 fn params() -> RunParams {
-    RunParams::default().subscribers(4).resources(2).rounds(3).seed(11)
+    RunParams::default()
+        .subscribers(4)
+        .resources(2)
+        .rounds(3)
+        .seed(11)
 }
 
 #[test]
@@ -62,15 +66,25 @@ fn mutual_exclusion_holds_under_heavy_contention() {
         .seed(23);
     for solution in Solution::ALL {
         let outcome = run_solution(solution, &p);
-        assert!(outcome.conformant, "{solution}: {} violations", outcome.violations);
+        assert!(
+            outcome.conformant,
+            "{solution}: {} violations",
+            outcome.violations
+        );
         assert!(outcome.completed, "{solution}");
     }
 }
 
 #[test]
 fn solutions_survive_a_wan_link() {
-    let p = params().link(LinkConfig::wan()).time_cap(Duration::from_secs(300));
-    for solution in [Solution::MwCallback, Solution::ProtoCallback, Solution::ProtoToken] {
+    let p = params()
+        .link(LinkConfig::wan())
+        .time_cap(Duration::from_secs(300));
+    for solution in [
+        Solution::MwCallback,
+        Solution::ProtoCallback,
+        Solution::ProtoToken,
+    ] {
         let outcome = run_solution(solution, &p);
         assert!(outcome.completed, "{solution} over WAN");
         assert!(outcome.conformant, "{solution} over WAN");
@@ -85,7 +99,11 @@ fn solutions_survive_a_wan_link() {
 
 #[test]
 fn fairness_is_high_for_fifo_solutions() {
-    let p = RunParams::default().subscribers(6).resources(1).rounds(4).seed(31);
+    let p = RunParams::default()
+        .subscribers(6)
+        .resources(1)
+        .rounds(4)
+        .seed(31);
     for solution in [Solution::MwCallback, Solution::ProtoCallback] {
         let outcome = run_solution(solution, &p);
         assert!(

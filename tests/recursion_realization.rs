@@ -29,9 +29,12 @@ fn recursion_preserves_the_border_direct_collapses_it() {
 #[test]
 fn recursion_has_modelled_overhead_direct_has_none() {
     let pim = catalog::floor_control_pim();
-    let recursive =
-        transform(&pim, &catalog::mq_series_like(), TransformPolicy::RecursiveServiceDesign)
-            .unwrap();
+    let recursive = transform(
+        &pim,
+        &catalog::mq_series_like(),
+        TransformPolicy::RecursiveServiceDesign,
+    )
+    .unwrap();
     assert!(recursive.total_adapter_overhead() > 0);
     let direct = transform(&pim, &catalog::mq_series_like(), TransformPolicy::Direct).unwrap();
     assert_eq!(direct.total_adapter_overhead(), 0);
@@ -57,10 +60,18 @@ fn switching_platforms_preserves_portable_artifacts_only_under_recursion() {
     // JMS, then switch to MQSeries — under recursion the logic survives;
     // under direct transformation nothing does.
     let pim = catalog::floor_control_pim();
-    let jms = transform(&pim, &catalog::jms_like(), TransformPolicy::RecursiveServiceDesign)
-        .unwrap();
-    let mq = transform(&pim, &catalog::mq_series_like(), TransformPolicy::RecursiveServiceDesign)
-        .unwrap();
+    let jms = transform(
+        &pim,
+        &catalog::jms_like(),
+        TransformPolicy::RecursiveServiceDesign,
+    )
+    .unwrap();
+    let mq = transform(
+        &pim,
+        &catalog::mq_series_like(),
+        TransformPolicy::RecursiveServiceDesign,
+    )
+    .unwrap();
     assert_eq!(jms.portable_artifacts(), mq.portable_artifacts());
     assert!(!jms.portable_artifacts().is_empty());
 

@@ -3,10 +3,8 @@
 //! concrete platforms.
 
 use svckit::floorctl::{floor_control_service, RunParams};
-use svckit::mda::{
-    catalog, realize, transform, Milestone, Trajectory, TransformPolicy,
-};
 use svckit::mda::views::{self, ViewKind};
+use svckit::mda::{catalog, realize, transform, Milestone, Trajectory, TransformPolicy};
 
 #[test]
 fn one_pim_four_platforms_four_running_systems() {
@@ -21,7 +19,10 @@ fn one_pim_four_platforms_four_running_systems() {
             .realize(&platform, TransformPolicy::RecursiveServiceDesign)
             .unwrap();
         assert_eq!(outcome.records().len(), 4);
-        assert_eq!(outcome.records()[0].milestone(), Milestone::ServiceDefinition);
+        assert_eq!(
+            outcome.records()[0].milestone(),
+            Milestone::ServiceDefinition
+        );
         assert_eq!(
             outcome.records()[3].milestone(),
             Milestone::PlatformSpecificImplementation
@@ -62,12 +63,19 @@ fn neutral_pim_is_a_valid_trajectory_start() {
     // platforms and with adapters on RPC platforms — the mirror image of
     // the committed PIM.
     let neutral = catalog::floor_control_neutral_pim();
-    let jms = transform(&neutral, &catalog::jms_like(), TransformPolicy::RecursiveServiceDesign)
-        .unwrap();
+    let jms = transform(
+        &neutral,
+        &catalog::jms_like(),
+        TransformPolicy::RecursiveServiceDesign,
+    )
+    .unwrap();
     assert_eq!(jms.adapter_count(), 0);
-    let corba =
-        transform(&neutral, &catalog::corba_like(), TransformPolicy::RecursiveServiceDesign)
-            .unwrap();
+    let corba = transform(
+        &neutral,
+        &catalog::corba_like(),
+        TransformPolicy::RecursiveServiceDesign,
+    )
+    .unwrap();
     assert_eq!(corba.adapter_count(), 3);
 }
 
@@ -77,7 +85,10 @@ fn descriptors_are_emitted_for_every_psm() {
     for platform in catalog::all_platforms() {
         let psm = transform(&pim, &platform, TransformPolicy::RecursiveServiceDesign).unwrap();
         let descriptor = psm.emit_descriptor();
-        assert!(descriptor.contains("component coordinator;"), "{descriptor}");
+        assert!(
+            descriptor.contains("component coordinator;"),
+            "{descriptor}"
+        );
         assert!(descriptor.contains("bind acquire"), "{descriptor}");
     }
 }
