@@ -5,13 +5,42 @@
 //! measures what each trades: messages per grant, grant latency, and how
 //! the costs scale with the number of subscribers (ablation A1 sweeps the
 //! polling interval; A2 is visible in the token rows' growth with N).
+//!
+//! The N-grid and the A1 ablation run through the `svckit-sweep` harness
+//! (`--threads <n>` parallelizes the cells; the emitted
+//! `SWEEP_fig4_middleware.json` is byte-identical for any thread count).
+//! A5 drives the grant-policy knob directly — it deploys with a
+//! non-default controller policy, which is not a sweep-spec dimension.
 
-use svckit::floorctl::{run_solution, RunParams, Solution};
+use svckit::floorctl::{RunParams, Solution};
 use svckit::model::Duration;
 use svckit_bench::{fmt_f, print_header, print_row};
+use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, SweepSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = flag_usize(&args, "threads", default_threads());
+    let out = flag_value(&args, "out").unwrap_or_else(|| "SWEEP_fig4_middleware.json".to_owned());
+
     println!("E2 — middleware-centred solutions (Figure 4)\n");
+    let mut spec = SweepSpec::new("fig4_middleware").solutions([
+        Solution::MwCallback,
+        Solution::MwPolling,
+        Solution::MwToken,
+    ]);
+    for n in [2u64, 4, 8, 16, 32] {
+        spec = spec.variation(
+            format!("N={n}"),
+            RunParams::default()
+                .subscribers(n)
+                .resources(2)
+                .rounds(4)
+                .seed(100 + n)
+                .time_cap(Duration::from_secs(300)),
+        );
+    }
+    let report = run_sweep(&spec, threads);
+
     let widths = [13, 5, 5, 7, 11, 11, 10, 12];
     print_header(
         &[
@@ -26,53 +55,65 @@ fn main() {
         ],
         &widths,
     );
-    for n in [2u64, 4, 8, 16, 32] {
-        for solution in [Solution::MwCallback, Solution::MwPolling, Solution::MwToken] {
-            let params = RunParams::default()
-                .subscribers(n)
-                .resources(2)
-                .rounds(4)
-                .seed(100 + n)
-                .time_cap(Duration::from_secs(300));
-            let outcome = run_solution(solution, &params);
-            assert!(outcome.completed, "{solution} N={n}");
-            assert!(outcome.conformant, "{solution} N={n}");
-            print_row(
-                &[
-                    solution.to_string(),
-                    n.to_string(),
-                    "2".to_string(),
-                    outcome.floor.grants().to_string(),
-                    outcome.floor.mean_latency().to_string(),
-                    outcome.floor.p99_latency().to_string(),
-                    fmt_f(outcome.messages_per_grant()),
-                    fmt_f(outcome.floor.fairness()),
-                ],
-                &widths,
-            );
+    let mut current_variation = String::new();
+    for r in &report.results {
+        let outcome = &r.outcome;
+        assert!(
+            outcome.completed,
+            "{} {}",
+            r.target_label, r.variation_label
+        );
+        assert!(
+            outcome.conformant,
+            "{} {}",
+            r.target_label, r.variation_label
+        );
+        if !current_variation.is_empty() && current_variation != r.variation_label {
+            println!();
         }
-        println!();
+        current_variation = r.variation_label.clone();
+        print_row(
+            &[
+                r.target_label.clone(),
+                r.variation_label.trim_start_matches("N=").to_string(),
+                "2".to_string(),
+                outcome.floor.grants().to_string(),
+                outcome.floor.mean_latency().to_string(),
+                outcome.floor.p99_latency().to_string(),
+                fmt_f(outcome.messages_per_grant()),
+                fmt_f(outcome.floor.fairness()),
+            ],
+            &widths,
+        );
     }
+    println!();
 
     println!("A1 — polling-interval ablation (N=8, one contended resource)\n");
+    let mut ablation = SweepSpec::new("fig4_poll_interval").solutions([Solution::MwPolling]);
+    for interval_ms in [1u64, 2, 5, 10, 20] {
+        ablation = ablation.variation(
+            format!("{interval_ms}ms"),
+            RunParams::default()
+                .subscribers(8)
+                .resources(1)
+                .rounds(3)
+                .poll_interval(Duration::from_millis(interval_ms))
+                .seed(7)
+                .time_cap(Duration::from_secs(300)),
+        );
+    }
+    let poll_report = run_sweep(&ablation, threads);
     let widths = [14, 11, 11, 10];
     print_header(
         &["poll-interval", "mean-lat", "p99-lat", "msgs/grant"],
         &widths,
     );
-    for interval_ms in [1u64, 2, 5, 10, 20] {
-        let params = RunParams::default()
-            .subscribers(8)
-            .resources(1)
-            .rounds(3)
-            .poll_interval(Duration::from_millis(interval_ms))
-            .seed(7)
-            .time_cap(Duration::from_secs(300));
-        let outcome = run_solution(Solution::MwPolling, &params);
+    for r in &poll_report.results {
+        let outcome = &r.outcome;
         assert!(outcome.completed && outcome.conformant);
         print_row(
             &[
-                format!("{interval_ms}ms"),
+                r.variation_label.clone(),
                 outcome.floor.mean_latency().to_string(),
                 outcome.floor.p99_latency().to_string(),
                 fmt_f(outcome.messages_per_grant()),
@@ -129,4 +170,6 @@ fn main() {
     println!("Shape: shorter polling intervals buy latency with messages; the token");
     println!("solution's cost grows with ring size even at fixed contention; grant");
     println!("policy never affects safety (all conformant) but LIFO wrecks the tail.");
+    println!();
+    report.write_json(&out);
 }

@@ -1,14 +1,42 @@
 //! E4 (Figure 6): the three protocol solutions — callback, polling,
 //! token PDU sets — over the reliable-datagram lower-level service, with
 //! the A3 ablation (unreliable lower service + retransmission layer).
+//!
+//! The N-grid runs through the `svckit-sweep` harness (`--threads <n>`,
+//! `SWEEP_fig6_protocol.json`). A3 keeps driving the stack directly: its
+//! rows report retransmission counters, which live below the service
+//! boundary and are not part of a `RunOutcome`.
 
-use svckit::floorctl::{run_solution, RunParams, Solution};
+use svckit::floorctl::{RunParams, Solution};
 use svckit::model::Duration;
 use svckit::netsim::LinkConfig;
 use svckit_bench::{fmt_f, print_header, print_row};
+use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, SweepSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = flag_usize(&args, "threads", default_threads());
+    let out = flag_value(&args, "out").unwrap_or_else(|| "SWEEP_fig6_protocol.json".to_owned());
+
     println!("E4 — protocol-centred solutions (Figure 6)\n");
+    let mut spec = SweepSpec::new("fig6_protocol").solutions([
+        Solution::ProtoCallback,
+        Solution::ProtoPolling,
+        Solution::ProtoToken,
+    ]);
+    for n in [2u64, 4, 8, 16, 32] {
+        spec = spec.variation(
+            format!("N={n}"),
+            RunParams::default()
+                .subscribers(n)
+                .resources(2)
+                .rounds(4)
+                .seed(200 + n)
+                .time_cap(Duration::from_secs(300)),
+        );
+    }
+    let report = run_sweep(&spec, threads);
+
     let widths = [15, 5, 7, 11, 11, 10, 11];
     print_header(
         &[
@@ -22,37 +50,38 @@ fn main() {
         ],
         &widths,
     );
-    for n in [2u64, 4, 8, 16, 32] {
-        for solution in [
-            Solution::ProtoCallback,
-            Solution::ProtoPolling,
-            Solution::ProtoToken,
-        ] {
-            let params = RunParams::default()
-                .subscribers(n)
-                .resources(2)
-                .rounds(4)
-                .seed(200 + n)
-                .time_cap(Duration::from_secs(300));
-            let outcome = run_solution(solution, &params);
-            assert!(outcome.completed, "{solution} N={n}");
-            assert!(outcome.conformant, "{solution} N={n}");
-            let bytes_per_grant = outcome.transport_bytes as f64 / outcome.floor.grants() as f64;
-            print_row(
-                &[
-                    solution.to_string(),
-                    n.to_string(),
-                    outcome.floor.grants().to_string(),
-                    outcome.floor.mean_latency().to_string(),
-                    outcome.floor.p99_latency().to_string(),
-                    fmt_f(outcome.messages_per_grant()),
-                    fmt_f(bytes_per_grant),
-                ],
-                &widths,
-            );
+    let mut current_variation = String::new();
+    for r in &report.results {
+        let outcome = &r.outcome;
+        assert!(
+            outcome.completed,
+            "{} {}",
+            r.target_label, r.variation_label
+        );
+        assert!(
+            outcome.conformant,
+            "{} {}",
+            r.target_label, r.variation_label
+        );
+        if !current_variation.is_empty() && current_variation != r.variation_label {
+            println!();
         }
-        println!();
+        current_variation = r.variation_label.clone();
+        let bytes_per_grant = outcome.transport_bytes as f64 / outcome.floor.grants() as f64;
+        print_row(
+            &[
+                r.target_label.clone(),
+                r.variation_label.trim_start_matches("N=").to_string(),
+                outcome.floor.grants().to_string(),
+                outcome.floor.mean_latency().to_string(),
+                outcome.floor.p99_latency().to_string(),
+                fmt_f(outcome.messages_per_grant()),
+                fmt_f(bytes_per_grant),
+            ],
+            &widths,
+        );
     }
+    println!();
 
     println!("A3 — lower-level service reliability ablation (callback protocol, N=4)\n");
     println!("The same protocol entities run over progressively worse datagram");
@@ -102,20 +131,20 @@ fn main() {
             .seed(9)
             .time_cap(Duration::from_secs(300));
         let mut stack = callback::deploy_with_reliability(&params, reliability);
-        let mut report = stack.run_to_quiescence(Duration::from_secs(60)).unwrap();
-        while !report.is_quiescent()
-            && report.end_time() < svckit::model::Instant::from_micros(300_000_000)
+        let mut sim_report = stack.run_to_quiescence(Duration::from_secs(60)).unwrap();
+        while !sim_report.is_quiescent()
+            && sim_report.end_time() < svckit::model::Instant::from_micros(300_000_000)
         {
-            report = stack.run_to_quiescence(Duration::from_secs(60)).unwrap();
+            sim_report = stack.run_to_quiescence(Duration::from_secs(60)).unwrap();
         }
-        let metrics = svckit::floorctl::FloorMetrics::from_trace(report.trace());
+        let metrics = svckit::floorctl::FloorMetrics::from_trace(sim_report.trace());
         let totals = stack.total_counters();
         print_row(
             &[
                 label.to_string(),
                 metrics.grants().to_string(),
                 metrics.mean_latency().to_string(),
-                report.metrics().messages_sent().to_string(),
+                sim_report.metrics().messages_sent().to_string(),
                 totals.retransmissions.to_string(),
             ],
             &widths,
@@ -125,4 +154,6 @@ fn main() {
     println!();
     println!("Shape: identical user-visible service; loss is absorbed below the");
     println!("service boundary at the price of retransmissions and latency.");
+    println!();
+    report.write_json(&out);
 }

@@ -5,17 +5,32 @@
 //! is handled by application-part code (component operation dispatches,
 //! replies and deliveries) versus by the interaction system (protocol
 //! entities processing PDUs, brokers routing messages)?
+//!
+//! Runs through the `svckit-sweep` harness (`--threads <n>`,
+//! `SWEEP_fig7_scattering.json`).
 
-use svckit::floorctl::{run_solution, RunParams, Solution};
+use svckit::floorctl::{RunParams, Solution};
 use svckit_bench::{fmt_f, print_header, print_row};
+use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, SweepSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = flag_usize(&args, "threads", default_threads());
+    let out = flag_value(&args, "out").unwrap_or_else(|| "SWEEP_fig7_scattering.json".to_owned());
+
     println!("E5 — interaction-functionality scattering (Figure 7)\n");
-    let params = RunParams::default()
-        .subscribers(6)
-        .resources(2)
-        .rounds(4)
-        .seed(77);
+    let spec = SweepSpec::new("fig7_scattering")
+        .solutions(Solution::ALL)
+        .variation(
+            "6x2x4",
+            RunParams::default()
+                .subscribers(6)
+                .resources(2)
+                .rounds(4)
+                .seed(77),
+        );
+    let report = run_sweep(&spec, threads);
+
     let widths = [16, 11, 12, 12, 11];
     print_header(
         &[
@@ -27,16 +42,20 @@ fn main() {
         ],
         &widths,
     );
-    for solution in Solution::ALL {
-        let outcome = run_solution(solution, &params);
-        assert!(outcome.completed && outcome.conformant, "{solution}");
+    for r in &report.results {
+        let outcome = &r.outcome;
+        assert!(
+            outcome.completed && outcome.conformant,
+            "{}",
+            r.target_label
+        );
         print_row(
             &[
-                solution.to_string(),
+                r.target_label.clone(),
                 outcome.app_events.to_string(),
                 outcome.infra_events.to_string(),
                 fmt_f(outcome.scattering()),
-                if solution.is_middleware() {
+                if outcome.solution.is_middleware() {
                     "middleware"
                 } else {
                     "protocol"
@@ -51,4 +70,6 @@ fn main() {
     println!("coordination lands in application components (scattering ~1.0, except");
     println!("where a broker absorbs routing); in the protocol solutions the service");
     println!("provider absorbs it and the user parts see only service primitives.");
+    println!();
+    report.write_json(&out);
 }

@@ -8,17 +8,31 @@
 //! for the floor-control application and verifies the structural claims:
 //! same service boundary, same observable behaviour class, different
 //! provider structure.
+//!
+//! Runs through the `svckit-sweep` harness (`--threads <n>`,
+//! `SWEEP_paradigms.json`).
 
-use svckit::floorctl::{run_solution, RunParams, Solution};
+use svckit::floorctl::{RunParams, Solution};
 use svckit_bench::{fmt_f, print_header, print_row};
+use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, SweepSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = flag_usize(&args, "threads", default_threads());
+    let out = flag_value(&args, "out").unwrap_or_else(|| "SWEEP_paradigms.json".to_owned());
+
     println!("E1 — paradigm structures (Figures 1-3)\n");
-    let params = RunParams::default()
-        .subscribers(4)
-        .resources(2)
-        .rounds(3)
-        .seed(1);
+    let spec = SweepSpec::new("paradigms")
+        .solutions([Solution::MwCallback, Solution::ProtoCallback])
+        .variation(
+            "4x2x3",
+            RunParams::default()
+                .subscribers(4)
+                .resources(2)
+                .rounds(3)
+                .seed(1),
+        );
+    let report = run_sweep(&spec, threads);
 
     let widths = [16, 10, 12, 12, 12, 12];
     print_header(
@@ -32,12 +46,12 @@ fn main() {
         ],
         &widths,
     );
-    for solution in [Solution::MwCallback, Solution::ProtoCallback] {
-        let outcome = run_solution(solution, &params);
+    for r in &report.results {
+        let outcome = &r.outcome;
         assert!(outcome.completed && outcome.conformant);
         print_row(
             &[
-                solution.to_string(),
+                r.target_label.clone(),
                 outcome.conformant.to_string(),
                 outcome.trace.len().to_string(),
                 outcome.infra_events.to_string(),
@@ -52,4 +66,6 @@ fn main() {
     println!("Both structures provide the floor-control service (conformance = true).");
     println!("The middleware structure places coordination in components (scattering ~1);");
     println!("the protocol structure places it in the service provider (scattering << 1).");
+    println!();
+    report.write_json(&out);
 }

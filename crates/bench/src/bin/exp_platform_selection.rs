@@ -5,13 +5,20 @@
 //! paper gives no criterion. Here the criterion is an explicit QoS
 //! specification, checked against *measured* realizations of the PIM on
 //! each candidate.
+//!
+//! Rewired onto the `svckit-sweep` harness: every candidate platform is
+//! measured once (4 cells, parallel with `--threads`,
+//! `SWEEP_platform_selection.json`), then each QoS scenario is evaluated
+//! against the shared measurements — instead of re-running every
+//! realization per scenario as the serial `select_platform` does.
 
 use svckit::floorctl::RunParams;
-use svckit::mda::{catalog, select_platform, QosSpec};
+use svckit::mda::{catalog, transform, QosSpec, TransformPolicy};
 use svckit::model::Duration;
 use svckit_bench::{fmt_f, print_header, print_row};
+use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, CellResult, SweepSpec};
 
-fn run_selection(label: &str, qos: &QosSpec, params: &RunParams) {
+fn run_selection(label: &str, qos: &QosSpec, measured: &[(&CellResult, usize)]) {
     println!("{label}: {qos}");
     let widths = [15, 9, 11, 11, 10, 7];
     print_header(
@@ -25,33 +32,52 @@ fn run_selection(label: &str, qos: &QosSpec, params: &RunParams) {
         ],
         &widths,
     );
-    match select_platform(
-        &catalog::floor_control_pim(),
-        &catalog::all_platforms(),
-        qos,
-        params,
-    ) {
-        Ok(selection) => {
-            for candidate in selection.candidates() {
-                print_row(
-                    &[
-                        candidate.platform().to_string(),
-                        candidate.adapters().to_string(),
-                        candidate.mean_latency().to_string(),
-                        fmt_f(candidate.messages_per_grant()),
-                        fmt_f(candidate.fairness()),
-                        candidate.passed().to_string(),
-                    ],
-                    &widths,
-                );
+    let mut winner: Option<(&str, f64, usize)> = None;
+    let mut any_failed = false;
+    for (result, adapters) in measured {
+        let outcome = &result.outcome;
+        let platform = result.target_label.trim_start_matches("psm:");
+        let passes = outcome.completed && outcome.conformant && qos.check(outcome).is_empty();
+        any_failed |= !passes;
+        if passes {
+            let cost = outcome.messages_per_grant();
+            let better = match winner {
+                None => true,
+                Some((_, best_cost, best_adapters)) => {
+                    cost < best_cost || (cost == best_cost && *adapters < best_adapters)
+                }
+            };
+            if better {
+                winner = Some((platform, cost, *adapters));
             }
-            println!("  -> selected: {}\n", selection.winner());
         }
-        Err(e) => println!("  -> no platform qualifies: {e}\n"),
+        print_row(
+            &[
+                platform.to_string(),
+                adapters.to_string(),
+                outcome.floor.mean_latency().to_string(),
+                fmt_f(outcome.messages_per_grant()),
+                fmt_f(outcome.floor.fairness()),
+                passes.to_string(),
+            ],
+            &widths,
+        );
+    }
+    match winner {
+        Some((platform, _, _)) => println!("  -> selected: {platform}\n"),
+        None => {
+            assert!(any_failed);
+            println!("  -> no platform qualifies: every candidate misses the spec\n");
+        }
     }
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = flag_usize(&args, "threads", default_threads());
+    let out =
+        flag_value(&args, "out").unwrap_or_else(|| "SWEEP_platform_selection.json".to_owned());
+
     println!("E10 — QoS-driven platform selection (Figure 10, selection step)\n");
     let params = RunParams::default()
         .subscribers(4)
@@ -59,11 +85,31 @@ fn main() {
         .rounds(3)
         .seed(55);
 
-    run_selection("no requirements", &QosSpec::new(), &params);
+    let mut spec = SweepSpec::new("platform_selection").variation("4x2x3", params);
+    let platforms = catalog::all_platforms();
+    for platform in &platforms {
+        spec = spec.platform(platform.name());
+    }
+    let report = run_sweep(&spec, threads);
+
+    // Adapter counts come from the transformation alone — no run needed.
+    let pim = catalog::floor_control_pim();
+    let measured: Vec<(&CellResult, usize)> = report
+        .results
+        .iter()
+        .zip(&platforms)
+        .map(|(result, platform)| {
+            let psm = transform(&pim, platform, TransformPolicy::RecursiveServiceDesign)
+                .expect("catalog platforms realize the floor-control PIM");
+            (result, psm.adapter_count())
+        })
+        .collect();
+
+    run_selection("no requirements", &QosSpec::new(), &measured);
     run_selection(
         "latency-sensitive",
         &QosSpec::new().max_mean_grant_latency(Duration::from_micros(4_000)),
-        &params,
+        &measured,
     );
     run_selection(
         "latency-sensitive and frugal",
@@ -71,15 +117,17 @@ fn main() {
             .max_mean_grant_latency(Duration::from_micros(4_000))
             .max_messages_per_grant(7.0)
             .min_fairness(0.9),
-        &params,
+        &measured,
     );
     run_selection(
         "impossible",
         &QosSpec::new().max_mean_grant_latency(Duration::from_micros(1)),
-        &params,
+        &measured,
     );
 
     println!("Shape: message counts tie across platform classes (the broker hop");
     println!("replaces the RPC reply), but broker indirection costs latency — a");
     println!("latency budget therefore selects the RPC branch of the trajectory.");
+    println!();
+    report.write_json(&out);
 }

@@ -6,13 +6,14 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p svckit-bench --bin hotpath [-- <output.json>]
+//! cargo run --release -p svckit-bench --bin hotpath -- \
+//!     [--out <output.json>] [--threads <n>]
 //! ```
 //!
-//! Writes `BENCH_hotpath.json` (or the given path): a flat JSON object
-//! mapping bench name to median nanoseconds per iteration.
+//! Writes `BENCH_hotpath.json` (or `--out`): a flat JSON object mapping
+//! bench name to median nanoseconds per iteration. `--threads` sets the
+//! worker count of the sweep-harness bench entry (default: all cores).
 
-use std::fmt::Write as _;
 use std::time::Instant as WallInstant;
 
 use svckit::floorctl::{
@@ -21,6 +22,7 @@ use svckit::floorctl::{
 use svckit::lts::explorer::ServiceExplorer;
 use svckit::model::{Duration, PartId};
 use svckit::netsim::{Context, LinkConfig, Process, SimConfig, Simulator};
+use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, JsonWriter, SweepSpec};
 
 use std::hint::black_box;
 
@@ -178,9 +180,9 @@ fn netsim_sliced_report() {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_hotpath.json".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag_value(&args, "out").unwrap_or_else(|| "BENCH_hotpath.json".to_owned());
+    let threads = flag_usize(&args, "threads", default_threads());
     let mut results: Vec<(&str, f64)> = Vec::new();
     let mut record = |name: &'static str, ns: f64| {
         println!("{name:<36} median {}", fmt_ns(ns));
@@ -255,13 +257,28 @@ fn main() {
         }),
     );
 
+    // --- Sweep harness (the full E2-style grid path). --------------------
+    let grid = SweepSpec::new("hotpath")
+        .solutions(Solution::PAPER)
+        .variation(
+            "base",
+            RunParams::default().subscribers(4).resources(2).rounds(2),
+        )
+        .seeds([1, 2, 3]);
+    record(
+        "sweep/paper6_3seeds",
+        median_ns(1, 5, || {
+            black_box(run_sweep(&grid, threads).results.len());
+        }),
+    );
+
     // --- Machine-readable output. ---------------------------------------
-    let mut json = String::from("{\n");
-    for (i, (name, ns)) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        let _ = writeln!(json, "  \"{name}\": {ns:.1}{comma}");
+    let mut json = JsonWriter::pretty();
+    json.begin_object();
+    for (name, ns) in &results {
+        json.key(name).float(*ns, 1);
     }
-    json.push_str("}\n");
-    std::fs::write(&out_path, &json).expect("write bench json");
+    json.end_object();
+    std::fs::write(&out_path, json.finish()).expect("write bench json");
     println!("\nwrote {out_path}");
 }

@@ -1,0 +1,83 @@
+//! Perf-regression gate: compares a freshly-run `BENCH_hotpath.json`
+//! against the committed baseline and fails (exit 1) when any benchmark's
+//! median regressed beyond the tolerance band.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p svckit-bench --bin perfgate -- \
+//!     --baseline BENCH_hotpath.json --fresh /tmp/BENCH_hotpath.json \
+//!     [--tolerance 0.30]
+//! ```
+//!
+//! Every baseline entry must be present in the fresh results (a silently
+//! dropped benchmark would otherwise hide a regression forever); fresh
+//! entries with no baseline are reported but never fail the gate, so new
+//! benchmarks can land before their baseline is committed. Improvements
+//! beyond the band are flagged as a reminder to re-baseline.
+
+use svckit_sweep::{flag_value, parse_flat_numbers};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path =
+        flag_value(&args, "baseline").unwrap_or_else(|| "BENCH_hotpath.json".to_owned());
+    let fresh_path = flag_value(&args, "fresh").unwrap_or_else(|| {
+        eprintln!("usage: perfgate --baseline <json> --fresh <json> [--tolerance 0.30]");
+        std::process::exit(2);
+    });
+    let tolerance: f64 = flag_value(&args, "tolerance")
+        .map(|v| v.parse().expect("--tolerance expects a number"))
+        .unwrap_or(0.30);
+
+    let read = |path: &str| -> Vec<(String, f64)> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perfgate: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_flat_numbers(&text)
+    };
+    let baseline = read(&baseline_path);
+    let fresh = read(&fresh_path);
+
+    let band = tolerance * 100.0;
+    println!("perfgate: {fresh_path} vs {baseline_path} (tolerance +/-{band:.0}%)\n");
+    let mut regressions = 0usize;
+    for (name, base_ns) in &baseline {
+        match fresh.iter().find(|(n, _)| n == name) {
+            None => {
+                println!("MISSING     {name:<36} baseline {base_ns:>14.0} ns, no fresh result");
+                regressions += 1;
+            }
+            Some((_, fresh_ns)) => {
+                let ratio = if *base_ns > 0.0 {
+                    fresh_ns / base_ns
+                } else {
+                    1.0
+                };
+                let verdict = if ratio > 1.0 + tolerance {
+                    regressions += 1;
+                    "REGRESSION"
+                } else if ratio < 1.0 - tolerance {
+                    "IMPROVED" // consider re-baselining
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{verdict:<11} {name:<36} {base_ns:>14.0} -> {fresh_ns:>14.0} ns ({ratio:>5.2}x)"
+                );
+            }
+        }
+    }
+    for (name, _) in &fresh {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("NEW         {name:<36} (no baseline yet)");
+        }
+    }
+
+    if regressions > 0 {
+        println!("\nperfgate: {regressions} regression(s) beyond the +/-{band:.0}% band");
+        std::process::exit(1);
+    }
+    println!("\nperfgate: all {} benchmarks within band", baseline.len());
+}

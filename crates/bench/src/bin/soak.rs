@@ -1,0 +1,179 @@
+//! Soak test: long randomized fault campaigns across all six paper
+//! solutions, conformance-checked every cell.
+//!
+//! Each seed deterministically derives a partition/heal campaign (which
+//! node pair is cut, when, and whether it heals) via the simulator's own
+//! SplitMix64 generator, and the grid crosses every campaign with every
+//! solution under both a clean LAN and a 10%-loss link. The safety claim
+//! under test is the paper's: whatever the interaction system does —
+//! drop or partition — the observable trace never violates the
+//! floor-control service definition. Completion is reported but *not*
+//! asserted: an unhealed partition legitimately stalls a workload; it
+//! must never corrupt it.
+//!
+//! Duplication is deliberately excluded from that grid: the Figure 6
+//! PDU sets carry no correlation ids, so duplicate suppression is the
+//! job of the reliability sub-layer, not the entities. A second leg
+//! runs the one solution that mounts it (ProtoCallback +
+//! [`ReliabilityConfig`]) through the same campaigns on a
+//! lossy-*and*-duplicating link, where healed campaigns must not only
+//! stay conformant but complete.
+//!
+//! ```text
+//! cargo run --release -p svckit-bench --bin soak -- \
+//!     [--seeds <n>] [--threads <n>] [--out SWEEP_soak.json]
+//! ```
+
+use svckit::floorctl::{proto, FaultEvent, RunParams, Solution};
+use svckit::model::Duration;
+use svckit::netsim::{DeterministicRng, LinkConfig};
+use svckit::protocol::ReliabilityConfig;
+use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, SweepReport, SweepSpec};
+
+/// Derives one fault campaign from a seed: a partition of a random node
+/// pair (subscriber↔controller or subscriber↔subscriber) at a random time
+/// inside the early workload, healed a few milliseconds later — except
+/// every fourth campaign, which never heals (the stall-but-stay-safe
+/// case).
+fn campaign_from_seed(seed: u64, subscribers: u64) -> (String, Vec<FaultEvent>) {
+    let mut rng = DeterministicRng::new(seed.wrapping_mul(0x9E37_79B9));
+    let a = proto::subscriber_part(1 + rng.next_below(subscribers));
+    let b = if rng.coin(0.5) {
+        proto::controller_part()
+    } else {
+        // A subscriber pair; distinct from `a` by construction.
+        let mut k = 1 + rng.next_below(subscribers);
+        if proto::subscriber_part(k) == a {
+            k = 1 + (k % subscribers);
+        }
+        proto::subscriber_part(k)
+    };
+    let cut_at = Duration::from_micros(1_000 + rng.next_below(8_000));
+    let heals = !seed.is_multiple_of(4);
+    let mut events = vec![FaultEvent::partition(cut_at, a, b)];
+    let label = if heals {
+        let heal_at = Duration::from_micros(cut_at.as_micros() + 2_000 + rng.next_below(10_000));
+        events.push(FaultEvent::heal(heal_at, a, b));
+        format!("s{seed}:cut-heal")
+    } else {
+        format!("s{seed}:cut")
+    };
+    (label, events)
+}
+
+/// Counts conformance violations (printing one line each) and completions.
+fn audit(report: &SweepReport) -> (usize, usize) {
+    let mut violations = 0usize;
+    let mut completed = 0usize;
+    for r in &report.results {
+        if !r.outcome.conformant {
+            violations += 1;
+            eprintln!(
+                "CONFORMANCE VIOLATION: {} {} {} seed {} ({} violation(s))",
+                r.target_label,
+                r.variation_label,
+                r.campaign_label,
+                r.cell.seed,
+                r.outcome.violations
+            );
+        }
+        completed += usize::from(r.outcome.completed);
+    }
+    (violations, completed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds = flag_usize(&args, "seeds", 8) as u64;
+    let threads = flag_usize(&args, "threads", default_threads());
+    let out = flag_value(&args, "out").unwrap_or_else(|| "SWEEP_soak.json".to_owned());
+
+    let subscribers = 4u64;
+    let base = RunParams::default()
+        .subscribers(subscribers)
+        .resources(2)
+        .rounds(3)
+        .time_cap(Duration::from_secs(60));
+    let lossy = LinkConfig::lossy(Duration::from_millis(1), Duration::from_micros(200), 0.10);
+
+    let mut spec = SweepSpec::new("soak")
+        .solutions(Solution::PAPER)
+        .variation("lan", base.clone())
+        .variation("lossy10", base.clone().link(lossy.clone()))
+        .seeds(1..=seeds);
+    // The second leg: the reliability-equipped callback protocol takes the
+    // same campaigns over a link that also duplicates 5% of messages.
+    let mut reliable_spec = SweepSpec::new("soak_reliable")
+        .solutions([Solution::ProtoCallback])
+        .variation_with_reliability(
+            "lossy10+dup5+rel",
+            base.link(lossy.with_duplication(0.05)),
+            ReliabilityConfig::new(Duration::from_millis(8)),
+        )
+        .seeds(1..=seeds);
+    for seed in 1..=seeds {
+        let (label, events) = campaign_from_seed(seed, subscribers);
+        spec = spec.campaign(label.clone(), events.clone());
+        reliable_spec = reliable_spec.campaign(label, events);
+    }
+
+    println!(
+        "soak: {} solutions x 2 links x {} campaigns x {} seeds = {} cells (+{} reliable), {} threads\n",
+        Solution::PAPER.len(),
+        seeds,
+        seeds,
+        spec.cells().len(),
+        reliable_spec.cells().len(),
+        threads
+    );
+    let report = run_sweep(&spec, threads);
+    let reliable = run_sweep(&reliable_spec, threads);
+
+    let (violations, completed) = audit(&report);
+    let (rel_violations, rel_completed) = audit(&reliable);
+
+    report.print_table();
+    println!();
+    reliable.print_table();
+    println!();
+    println!(
+        "{} cells: {} conformant, {} completed ({} stalled under faults, by design)",
+        report.results.len(),
+        report.results.len() - violations,
+        completed,
+        report.results.len() - completed
+    );
+    println!(
+        "{} reliable cells: {} conformant, {} completed",
+        reliable.results.len(),
+        reliable.results.len() - rel_violations,
+        rel_completed
+    );
+    report.write_json(&out);
+    let reliable_out = match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_reliable.json"),
+        None => format!("{out}.reliable"),
+    };
+    reliable.write_json(&reliable_out);
+
+    // Healed campaigns with retransmission must do better than stall: every
+    // grant eventually lands despite loss, duplication and the partition.
+    let unfinished_healed = reliable
+        .results
+        .iter()
+        .filter(|r| r.campaign_label.ends_with(":cut-heal") && !r.outcome.completed)
+        .count();
+
+    let total_violations = violations + rel_violations;
+    if total_violations > 0 {
+        eprintln!("\nsoak: {total_violations} cell(s) violated the service definition");
+        std::process::exit(1);
+    }
+    if unfinished_healed > 0 {
+        eprintln!(
+            "\nsoak: {unfinished_healed} reliable healed-campaign cell(s) failed to complete"
+        );
+        std::process::exit(1);
+    }
+    println!("soak: every cell conformant");
+}

@@ -1,38 +1,8 @@
-//! Experiment harness for svckit: shared table-printing helpers used by the
-//! per-figure experiment binaries (`src/bin/exp_*.rs`) and the Criterion
-//! microbenches.
+//! Experiment harness for svckit: the per-figure experiment binaries
+//! (`src/bin/exp_*.rs`), the `soak` fault-campaign binary, and the
+//! Criterion microbenches.
+//!
+//! The sweep/table/JSON machinery lives in `svckit-sweep`; the helpers the
+//! binaries use are re-exported here so existing imports keep working.
 
-/// Prints a row of fixed-width columns.
-pub fn print_row(cells: &[String], widths: &[usize]) {
-    let mut line = String::new();
-    for (cell, width) in cells.iter().zip(widths) {
-        line.push_str(&format!("{cell:>width$}  "));
-    }
-    println!("{}", line.trim_end());
-}
-
-/// Prints a header row followed by a rule.
-pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(
-        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-        widths,
-    );
-    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
-    println!("{}", "-".repeat(total));
-}
-
-/// Formats a `f64` with three significant decimals.
-pub fn fmt_f(value: f64) -> String {
-    format!("{value:.3}")
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fmt_f_has_three_decimals() {
-        assert_eq!(fmt_f(1.23456), "1.235");
-        assert_eq!(fmt_f(0.0), "0.000");
-    }
-}
+pub use svckit_sweep::{fmt_f, print_header, print_row};

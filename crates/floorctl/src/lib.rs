@@ -48,5 +48,8 @@ mod service;
 pub use metrics::FloorMetrics;
 pub use params::{RunParams, Solution};
 pub use policy::GrantPolicy;
-pub use run::{run_middleware_deployment, run_solution, RunOutcome};
+pub use run::{
+    run_middleware_deployment, run_middleware_deployment_with, run_solution, run_solution_with,
+    FaultAction, FaultEvent, RunOptions, RunOutcome,
+};
 pub use service::{floor_control_service, floor_event_universe};

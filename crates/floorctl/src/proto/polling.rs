@@ -89,9 +89,17 @@ impl ProtocolEntity for SubscriberEntity {
 
     fn on_pdu(&mut self, ctx: &mut EntityCtx<'_, '_>, _from: PartId, pdu: Pdu) {
         assert_eq!(pdu.name(), "is_available_resp");
+        // A response with nothing pending is stale — a duplicate delivered by
+        // an unreliable link, or a reply overtaken by a grant. The response
+        // carries no correlation id (Figure 6 (b): only the boolean), so the
+        // only safe reaction is to drop it; trusting a stale `true` could
+        // claim a resource the controller has since granted elsewhere.
+        let Some(resid) = self.pending else {
+            return;
+        };
         let available = pdu.args()[0].as_bool().expect("schema-checked");
         if available {
-            let resid = self.pending.take().expect("response only while pending");
+            self.pending = None;
             ctx.deliver_to_user("granted", vec![Value::Id(resid)]);
         } else {
             ctx.set_timer(self.poll_interval, POLL);
@@ -184,6 +192,42 @@ mod tests {
             &crate::service::floor_control_service(),
             report.trace(),
             &CheckOptions::default(),
+        );
+        assert!(check.is_conformant(), "{check}");
+    }
+
+    #[test]
+    fn stale_responses_on_an_unreliable_link_are_dropped_not_trusted() {
+        // Duplication delivers `is_available_resp` copies after the poll they
+        // answer is resolved; loss strands polls entirely. The entity must
+        // drop the stale copies (no panic, no phantom grant) and may stall,
+        // but the observed trace must stay within the service definition.
+        let link = svckit_netsim::LinkConfig::lossy(
+            Duration::from_millis(1),
+            Duration::from_micros(300),
+            0.15,
+        )
+        .with_duplication(0.10);
+        let params = RunParams::default()
+            .subscribers(3)
+            .resources(1)
+            .rounds(2)
+            .seed(41)
+            .link(link)
+            .time_cap(Duration::from_secs(30));
+        let mut stack = deploy(&params);
+        let report = stack.run_to_quiescence(params.cap()).unwrap();
+        // The stranded polls stall the run; requests still in flight at the
+        // cut-off are pending obligations, not violations (same treatment as
+        // run_solution gives incomplete runs).
+        let options = CheckOptions {
+            allow_pending_liveness: true,
+            ..CheckOptions::default()
+        };
+        let check = check_trace(
+            &crate::service::floor_control_service(),
+            report.trace(),
+            &options,
         );
         assert!(check.is_conformant(), "{check}");
     }

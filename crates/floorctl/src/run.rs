@@ -2,14 +2,66 @@
 
 use svckit_middleware::MwSystem;
 use svckit_model::conformance::{check_trace, CheckOptions};
-use svckit_model::{Duration, Instant, Trace};
+use svckit_model::{Duration, Instant, PartId, Trace};
 use svckit_netsim::SimReport;
-use svckit_protocol::Stack;
+use svckit_protocol::{ReliabilityConfig, Stack};
 
 use crate::metrics::FloorMetrics;
 use crate::params::{RunParams, Solution};
 use crate::service::floor_control_service;
 use crate::{mw, proto};
+
+/// A network fault (or repair) injected into a running deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Drop every message between the two nodes (both directions) until a
+    /// matching [`FaultAction::Heal`] is applied.
+    Partition(PartId, PartId),
+    /// Undo a partition between the two nodes.
+    Heal(PartId, PartId),
+}
+
+/// A scheduled change to the simulated network, applied between run slices
+/// once at least `at` simulated time has elapsed since the run started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Elapsed simulated time (from run start) at which the action applies.
+    pub at: Duration,
+    /// What happens to the network.
+    pub action: FaultAction,
+}
+
+impl FaultEvent {
+    /// A partition of `a` and `b` scheduled at `at`.
+    pub fn partition(at: Duration, a: PartId, b: PartId) -> Self {
+        FaultEvent {
+            at,
+            action: FaultAction::Partition(a, b),
+        }
+    }
+
+    /// A heal of `a` and `b` scheduled at `at`.
+    pub fn heal(at: Duration, a: PartId, b: PartId) -> Self {
+        FaultEvent {
+            at,
+            action: FaultAction::Heal(a, b),
+        }
+    }
+}
+
+/// Optional environment knobs for [`run_solution_with`], beyond the workload
+/// parameters in [`RunParams`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Stop-and-wait reliability sub-layer between the protocol entities and
+    /// the lower-level service. Honoured by [`Solution::ProtoCallback`] (the
+    /// one stack assembled with a reliability sub-layer, ablation A3);
+    /// ignored by every other solution.
+    pub reliability: Option<ReliabilityConfig>,
+    /// Fault campaign: partitions and heals applied mid-run. Events are
+    /// applied in `at` order (ties keep their listed order).
+    pub faults: Vec<FaultEvent>,
+}
 
 /// Everything measured about one solution run: completion, conformance,
 /// service-level metrics and transport-level costs.
@@ -84,21 +136,46 @@ impl Deployment {
                 .expect("deployments always have nodes"),
         }
     }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        match (self, action) {
+            (Deployment::Middleware(system), FaultAction::Partition(a, b)) => {
+                system.partition(a, b)
+            }
+            (Deployment::Middleware(system), FaultAction::Heal(a, b)) => system.heal(a, b),
+            (Deployment::Protocol(stack), FaultAction::Partition(a, b)) => stack.partition(a, b),
+            (Deployment::Protocol(stack), FaultAction::Heal(a, b)) => stack.heal(a, b),
+        }
+    }
 }
 
 /// Runs one solution under the given parameters until its workload
 /// completes, the system quiesces, or the simulated-time cap is reached.
 pub fn run_solution(solution: Solution, params: &RunParams) -> RunOutcome {
+    run_solution_with(solution, params, &RunOptions::default())
+}
+
+/// [`run_solution`] with extra environment knobs: an optional reliability
+/// sub-layer and a fault campaign (partition/heal schedule) driven through
+/// the simulator between run slices.
+pub fn run_solution_with(
+    solution: Solution,
+    params: &RunParams,
+    options: &RunOptions,
+) -> RunOutcome {
     let deployment = match solution {
         Solution::MwCallback => Deployment::Middleware(mw::callback::deploy(params)),
         Solution::MwPolling => Deployment::Middleware(mw::polling::deploy(params)),
         Solution::MwToken => Deployment::Middleware(mw::token::deploy(params)),
         Solution::MwQueue => Deployment::Middleware(mw::queue::deploy(params)),
-        Solution::ProtoCallback => Deployment::Protocol(proto::callback::deploy(params)),
+        Solution::ProtoCallback => Deployment::Protocol(proto::callback::deploy_with_reliability(
+            params,
+            options.reliability,
+        )),
         Solution::ProtoPolling => Deployment::Protocol(proto::polling::deploy(params)),
         Solution::ProtoToken => Deployment::Protocol(proto::token::deploy(params)),
     };
-    run_deployment(deployment, solution, params)
+    run_deployment(deployment, solution, params, &options.faults)
 }
 
 /// Runs an already-assembled middleware deployment (e.g. an MDA-derived
@@ -110,21 +187,47 @@ pub fn run_middleware_deployment(
     label: Solution,
     params: &RunParams,
 ) -> RunOutcome {
-    run_deployment(Deployment::Middleware(system), label, params)
+    run_deployment(Deployment::Middleware(system), label, params, &[])
+}
+
+/// [`run_middleware_deployment`] with a fault campaign applied mid-run.
+pub fn run_middleware_deployment_with(
+    system: MwSystem,
+    label: Solution,
+    params: &RunParams,
+    faults: &[FaultEvent],
+) -> RunOutcome {
+    run_deployment(Deployment::Middleware(system), label, params, faults)
 }
 
 fn run_deployment(
     mut deployment: Deployment,
     solution: Solution,
     params: &RunParams,
+    faults: &[FaultEvent],
 ) -> RunOutcome {
     let expected_frees = params.expected_grants();
     let slice = Duration::from_millis(250);
+    let mut schedule = faults.to_vec();
+    schedule.sort_by_key(|f| f.at); // stable: equal times keep listed order
+    let mut next_fault = 0usize;
     let mut elapsed = Duration::ZERO;
     let mut report;
     loop {
-        report = deployment.run_slice(slice);
-        elapsed += slice;
+        while next_fault < schedule.len() && schedule[next_fault].at <= elapsed {
+            deployment.apply_fault(schedule[next_fault].action);
+            next_fault += 1;
+        }
+        // Never run past the next scheduled fault: the slice shrinks so the
+        // fault lands at (simulated) schedule time, not at a 250 ms boundary.
+        let step = match schedule.get(next_fault) {
+            Some(f) => slice.min(Duration::from_micros(
+                f.at.as_micros() - elapsed.as_micros(),
+            )),
+            None => slice,
+        };
+        report = deployment.run_slice(step);
+        elapsed += step;
         let frees = report.trace().count_of("free") as u64;
         if frees >= expected_frees || report.is_quiescent() || elapsed >= params.cap() {
             break;
@@ -214,6 +317,76 @@ mod tests {
             "protocol scattering {}",
             proto.scattering()
         );
+    }
+
+    #[test]
+    fn partition_heal_campaign_recovers_with_reliability() {
+        // Partition a subscriber from the controller mid-run; the
+        // stop-and-wait sub-layer retransmits through the outage, so after
+        // heal the workload completes and the trace still conforms.
+        let params = small().time_cap(Duration::from_secs(120));
+        let options = RunOptions {
+            reliability: Some(ReliabilityConfig::new(Duration::from_millis(8))),
+            faults: vec![
+                FaultEvent::partition(
+                    Duration::from_millis(3),
+                    crate::proto::subscriber_part(1),
+                    crate::proto::controller_part(),
+                ),
+                FaultEvent::heal(
+                    Duration::from_millis(9),
+                    crate::proto::subscriber_part(1),
+                    crate::proto::controller_part(),
+                ),
+            ],
+        };
+        let outcome = run_solution_with(Solution::ProtoCallback, &params, &options);
+        assert!(outcome.completed, "heal should let the run finish");
+        assert!(outcome.conformant, "{} violations", outcome.violations);
+        assert_eq!(outcome.floor.grants(), 6);
+    }
+
+    #[test]
+    fn unhealed_partition_stays_safe() {
+        // Without a reliability sub-layer a partition stalls the affected
+        // subscriber; the run is cut off incomplete but must stay free of
+        // safety violations.
+        let params = small();
+        let options = RunOptions {
+            reliability: None,
+            faults: vec![FaultEvent::partition(
+                Duration::from_millis(2),
+                crate::mw::subscriber_part(1),
+                crate::mw::controller_part(),
+            )],
+        };
+        let outcome = run_solution_with(Solution::MwCallback, &params, &options);
+        assert!(!outcome.completed);
+        assert!(outcome.conformant, "{} violations", outcome.violations);
+    }
+
+    #[test]
+    fn fault_campaign_is_deterministic() {
+        let params = small();
+        let options = RunOptions {
+            reliability: Some(ReliabilityConfig::new(Duration::from_millis(8))),
+            faults: vec![
+                FaultEvent::partition(
+                    Duration::from_millis(3),
+                    crate::proto::subscriber_part(2),
+                    crate::proto::controller_part(),
+                ),
+                FaultEvent::heal(
+                    Duration::from_millis(7),
+                    crate::proto::subscriber_part(2),
+                    crate::proto::controller_part(),
+                ),
+            ],
+        };
+        let a = run_solution_with(Solution::ProtoCallback, &params, &options);
+        let b = run_solution_with(Solution::ProtoCallback, &params, &options);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.transport_messages, b.transport_messages);
     }
 
     #[test]

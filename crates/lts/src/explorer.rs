@@ -24,7 +24,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use svckit_model::{Constraint, ConstraintKind, ConstraintScope, Sap, ServiceDefinition, Value};
 
@@ -202,8 +202,44 @@ fn constraint_primitives(kind: &ConstraintKind) -> Option<[&str; 2]> {
     }
 }
 
+/// Memoization behind [`ServiceExplorer::allowed`]: per-constraint interned
+/// states and per-(state, universe event) pass/fail verdicts.
+///
+/// A verdict depends only on one constraint's own state and the event, so it
+/// is sound to reuse it whenever the same `CState` recurs — and constraint
+/// states recur heavily, because most events leave most constraints
+/// untouched (the same `Arc` is shared across successive explorer states).
+#[derive(Debug, Default)]
+struct AllowedCache {
+    /// Per-constraint content-based state interning.
+    ids: Vec<HashMap<Arc<CState>, u32>>,
+    /// Per-constraint `(state id, universe event index) → allowed`.
+    verdicts: Vec<HashMap<(u32, u32), bool>>,
+}
+
+impl AllowedCache {
+    fn new(constraints: usize) -> Self {
+        AllowedCache {
+            ids: vec![HashMap::new(); constraints],
+            verdicts: vec![HashMap::new(); constraints],
+        }
+    }
+
+    /// Interns one constraint's state by content; equal states (shared or
+    /// re-derived) map to the same id.
+    fn intern(&mut self, constraint: usize, cstate: &Arc<CState>) -> u32 {
+        let ids = &mut self.ids[constraint];
+        if let Some(&id) = ids.get(cstate) {
+            return id;
+        }
+        let id = u32::try_from(ids.len()).expect("fewer than 2^32 constraint states");
+        ids.insert(Arc::clone(cstate), id);
+        id
+    }
+}
+
 /// The constraint automaton of a service over a finite event universe.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ServiceExplorer<'a> {
     service: &'a ServiceDefinition,
     universe: Vec<AbstractEvent>,
@@ -217,6 +253,29 @@ pub struct ServiceExplorer<'a> {
     /// A constraint kind we could not introspect is present: fall back to
     /// stepping every constraint on every event.
     has_opaque_kinds: bool,
+    /// The relevance index resolved per universe event: `universe[i]` only
+    /// has to satisfy the constraints in `universe_relevance[i]` (empty =
+    /// always allowed). Not consulted when `has_opaque_kinds`.
+    universe_relevance: Vec<Vec<usize>>,
+    /// Verdict memo for [`ServiceExplorer::allowed`]; a `Mutex` (not
+    /// `RefCell`) so the explorer stays `Sync`.
+    allowed_cache: Mutex<AllowedCache>,
+}
+
+impl Clone for ServiceExplorer<'_> {
+    /// Clones the automaton; the memoized [`ServiceExplorer::allowed`]
+    /// verdicts start empty in the clone.
+    fn clone(&self) -> Self {
+        ServiceExplorer {
+            service: self.service,
+            universe: self.universe.clone(),
+            max_outstanding: self.max_outstanding,
+            relevance: self.relevance.clone(),
+            has_opaque_kinds: self.has_opaque_kinds,
+            universe_relevance: self.universe_relevance.clone(),
+            allowed_cache: Mutex::new(AllowedCache::new(self.service.constraints().len())),
+        }
+    }
 }
 
 impl<'a> ServiceExplorer<'a> {
@@ -248,12 +307,19 @@ impl<'a> ServiceExplorer<'a> {
                 None => has_opaque_kinds = true,
             }
         }
+        let universe_relevance = universe
+            .iter()
+            .map(|e| relevance.get(&e.primitive).cloned().unwrap_or_default())
+            .collect();
+        let allowed_cache = Mutex::new(AllowedCache::new(service.constraints().len()));
         ServiceExplorer {
             service,
             universe,
             max_outstanding,
             relevance,
             has_opaque_kinds,
+            universe_relevance,
+            allowed_cache,
         }
     }
 
@@ -494,11 +560,55 @@ impl<'a> ServiceExplorer<'a> {
     }
 
     /// The events of the universe allowed in `state`.
+    ///
+    /// Memoized: each constraint's pass/fail verdict for a (constraint
+    /// state, universe event) pair is computed once per explorer and reused
+    /// — repeated calls over a run's states degenerate to interning the
+    /// (heavily shared) per-constraint states and integer-keyed lookups.
+    /// Events whose primitive no constraint reacts to skip stepping
+    /// entirely.
     pub fn allowed(&self, state: &ExplorerState) -> Vec<&AbstractEvent> {
-        self.universe
+        if self.has_opaque_kinds {
+            // Conservative path: no relevance index to pre-filter with.
+            return self
+                .universe
+                .iter()
+                .filter(|e| self.step(state, e).is_ok())
+                .collect();
+        }
+        let constraints = self.service.constraints();
+        let mut cache = self.allowed_cache.lock().expect("allowed cache poisoned");
+        let sids: Vec<u32> = state
+            .0
             .iter()
-            .filter(|e| self.step(state, e).is_ok())
-            .collect()
+            .enumerate()
+            .map(|(i, cs)| cache.intern(i, cs))
+            .collect();
+        let mut allowed = Vec::new();
+        for (ei, event) in self.universe.iter().enumerate() {
+            let mut ok = true;
+            for &ci in &self.universe_relevance[ei] {
+                let key = (sids[ci], ei as u32);
+                let verdict = match cache.verdicts[ci].get(&key) {
+                    Some(&v) => v,
+                    None => {
+                        let v = self
+                            .step_constraint(&constraints[ci], &state.0[ci], event)
+                            .is_ok();
+                        cache.verdicts[ci].insert(key, v);
+                        v
+                    }
+                };
+                if !verdict {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                allowed.push(event);
+            }
+        }
+        allowed
     }
 
     /// Unfolds the automaton into an explicit LTS over the universe.
@@ -863,6 +973,45 @@ mod tests {
         let st = explorer.step(&st, &free1).unwrap();
         let st = explorer.step(&st, &grant2).unwrap();
         assert!(!st.is_quiescent(&explorer)); // subscriber 2 still holds resource 1
+    }
+
+    #[test]
+    fn cached_allowed_matches_naive_stepping_along_a_walk() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(3, 2), 2);
+        // Walk a few hundred states depth-first, comparing the memoized
+        // `allowed()` against naively stepping every universe event — both
+        // on first sight of a state and on revisits (cache hits).
+        let mut stack = vec![explorer.initial_state()];
+        let mut visited = 0;
+        while let Some(state) = stack.pop() {
+            if visited >= 300 {
+                break;
+            }
+            visited += 1;
+            let naive: Vec<&AbstractEvent> = explorer
+                .universe()
+                .iter()
+                .filter(|e| explorer.step(&state, e).is_ok())
+                .collect();
+            let cached = explorer.allowed(&state);
+            assert_eq!(cached, naive);
+            assert_eq!(cached, explorer.allowed(&state)); // hit path
+            for event in cached {
+                stack.push(explorer.step(&state, event).unwrap());
+            }
+        }
+        assert!(visited >= 100, "walk covered only {visited} states");
+    }
+
+    #[test]
+    fn cloned_explorer_answers_identically() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(2, 1), 1);
+        let state = explorer.initial_state();
+        let warm = explorer.allowed(&state); // populate the cache
+        let clone = explorer.clone();
+        assert_eq!(clone.allowed(&state), warm);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Aggregation of cell outcomes into per-group summaries.
+//!
+//! A *group* is one (target, variation, campaign) combination; its cells
+//! differ only by seed. Summaries pool the raw per-grant latencies across
+//! the group's cells (rather than averaging per-cell percentiles, which
+//! would understate the tail) and derive transport and scattering ratios
+//! from group totals.
+
+use svckit::model::Duration;
+
+use crate::exec::CellResult;
+
+/// Rolled-up statistics for one (target, variation, campaign) group.
+#[derive(Debug, Clone)]
+pub struct GroupSummary {
+    /// Target label (solution name or `psm:<platform>`).
+    pub target: String,
+    /// Variation label.
+    pub variation: String,
+    /// Campaign label (`"none"` when fault-free).
+    pub campaign: String,
+    /// Number of cells (seeds) in the group.
+    pub cells: usize,
+    /// Cells whose workload completed within the cap.
+    pub completed: usize,
+    /// Cells whose trace conformed to the service definition.
+    pub conformant: usize,
+    /// Total conformance violations across the group.
+    pub violations: usize,
+    /// Total requests across the group.
+    pub requests: u64,
+    /// Total grants across the group.
+    pub grants: u64,
+    /// Mean grant latency over the pooled latencies.
+    pub latency_mean: Duration,
+    /// Median of the pooled latencies.
+    pub latency_p50: Duration,
+    /// 90th percentile of the pooled latencies.
+    pub latency_p90: Duration,
+    /// 99th percentile of the pooled latencies.
+    pub latency_p99: Duration,
+    /// Mean Jain fairness index across cells.
+    pub fairness_mean: f64,
+    /// Worst Jain fairness index across cells.
+    pub fairness_min: f64,
+    /// Total transport messages across the group.
+    pub transport_messages: u64,
+    /// Total transport payload bytes across the group.
+    pub transport_bytes: u64,
+    /// Group-total transport messages per group-total grant.
+    pub msgs_per_grant: f64,
+    /// Group-total payload bytes per group-total grant.
+    pub bytes_per_grant: f64,
+    /// Group-total scattering ratio (app events over all coordination
+    /// events), the Figure 7 metric.
+    pub scattering: f64,
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Folds cell results (already in spec order) into group summaries, in
+/// first-appearance order.
+pub fn aggregate(results: &[CellResult]) -> Vec<GroupSummary> {
+    let mut groups: Vec<GroupSummary> = Vec::new();
+    let mut pooled: Vec<Vec<Duration>> = Vec::new();
+    let mut fairness: Vec<Vec<f64>> = Vec::new();
+    let mut events: Vec<(u64, u64)> = Vec::new(); // (app, infra) totals
+
+    for result in results {
+        let key = (
+            result.target_label.as_str(),
+            result.variation_label.as_str(),
+            result.campaign_label.as_str(),
+        );
+        let at = groups
+            .iter()
+            .position(|g| (g.target.as_str(), g.variation.as_str(), g.campaign.as_str()) == key)
+            .unwrap_or_else(|| {
+                groups.push(GroupSummary {
+                    target: result.target_label.clone(),
+                    variation: result.variation_label.clone(),
+                    campaign: result.campaign_label.clone(),
+                    cells: 0,
+                    completed: 0,
+                    conformant: 0,
+                    violations: 0,
+                    requests: 0,
+                    grants: 0,
+                    latency_mean: Duration::ZERO,
+                    latency_p50: Duration::ZERO,
+                    latency_p90: Duration::ZERO,
+                    latency_p99: Duration::ZERO,
+                    fairness_mean: 0.0,
+                    fairness_min: 0.0,
+                    transport_messages: 0,
+                    transport_bytes: 0,
+                    msgs_per_grant: 0.0,
+                    bytes_per_grant: 0.0,
+                    scattering: 0.0,
+                });
+                pooled.push(Vec::new());
+                fairness.push(Vec::new());
+                events.push((0, 0));
+                groups.len() - 1
+            });
+
+        let g = &mut groups[at];
+        let o = &result.outcome;
+        g.cells += 1;
+        g.completed += usize::from(o.completed);
+        g.conformant += usize::from(o.conformant);
+        g.violations += o.violations;
+        g.requests += o.floor.requests();
+        g.grants += o.floor.grants();
+        g.transport_messages += o.transport_messages;
+        g.transport_bytes += o.transport_bytes;
+        events[at].0 += o.app_events;
+        events[at].1 += o.infra_events;
+        pooled[at].extend_from_slice(o.floor.latencies());
+        fairness[at].push(o.floor.fairness());
+    }
+
+    for (at, g) in groups.iter_mut().enumerate() {
+        let lat = &mut pooled[at];
+        lat.sort_unstable();
+        g.latency_mean = if lat.is_empty() {
+            Duration::ZERO
+        } else {
+            let total: u64 = lat.iter().map(|d| d.as_micros()).sum();
+            Duration::from_micros(total / lat.len() as u64)
+        };
+        g.latency_p50 = quantile(lat, 0.5);
+        g.latency_p90 = quantile(lat, 0.9);
+        g.latency_p99 = quantile(lat, 0.99);
+
+        let fair = &fairness[at];
+        g.fairness_mean = fair.iter().sum::<f64>() / fair.len().max(1) as f64;
+        g.fairness_min = fair.iter().copied().fold(f64::INFINITY, f64::min);
+        if !g.fairness_min.is_finite() {
+            g.fairness_min = 0.0;
+        }
+
+        let (app, infra) = events[at];
+        g.scattering = if app + infra == 0 {
+            0.0
+        } else {
+            app as f64 / (app + infra) as f64
+        };
+        g.msgs_per_grant = if g.grants == 0 {
+            0.0
+        } else {
+            g.transport_messages as f64 / g.grants as f64
+        };
+        g.bytes_per_grant = if g.grants == 0 {
+            0.0
+        } else {
+            g.transport_bytes as f64 / g.grants as f64
+        };
+    }
+
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_sweep;
+    use crate::spec::SweepSpec;
+    use svckit::floorctl::{RunParams, Solution};
+
+    #[test]
+    fn groups_pool_seeds_and_keep_spec_order() {
+        let spec = SweepSpec::new("agg")
+            .solutions([Solution::MwCallback, Solution::ProtoCallback])
+            .variation("small", RunParams::default().subscribers(2).rounds(1))
+            .seeds([1, 2]);
+        let report = run_sweep(&spec, 1);
+        assert_eq!(report.results.len(), 4);
+        assert_eq!(report.groups.len(), 2);
+        assert_eq!(report.groups[0].target, "mw-callback");
+        assert_eq!(report.groups[1].target, "proto-callback");
+        for g in &report.groups {
+            assert_eq!(g.cells, 2);
+            assert_eq!(g.completed, 2);
+            assert_eq!(g.conformant, 2);
+            assert_eq!(g.grants, 4); // 2 subscribers × 1 round × 2 seeds
+            assert!(g.latency_p50 <= g.latency_p99);
+            assert!(g.msgs_per_grant > 0.0);
+            assert!(g.fairness_min <= g.fairness_mean);
+            assert!(g.scattering >= 0.0 && g.scattering <= 1.0);
+        }
+    }
+
+    #[test]
+    fn quantile_handles_edges() {
+        assert_eq!(quantile(&[], 0.5), Duration::ZERO);
+        let one = [Duration::from_micros(7)];
+        assert_eq!(quantile(&one, 0.0), Duration::from_micros(7));
+        assert_eq!(quantile(&one, 1.0), Duration::from_micros(7));
+    }
+}

@@ -1,0 +1,208 @@
+//! Rendering: text tables for humans, `SWEEP_*.json` for machines, and
+//! the tiny CLI-flag parser the experiment binaries share.
+
+use crate::exec::SweepReport;
+use crate::json::{write_outcome, JsonWriter};
+
+/// Prints a row of fixed-width columns.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>width$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Prints a header row followed by a rule.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total));
+}
+
+/// Formats a `f64` with three decimals.
+pub fn fmt_f(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+impl SweepReport {
+    /// Prints the per-group summary table to stdout.
+    pub fn print_table(&self) {
+        let widths = [16, 14, 12, 5, 5, 5, 7, 9, 9, 8, 10, 7];
+        print_header(
+            &[
+                "target",
+                "variation",
+                "campaign",
+                "cells",
+                "ok",
+                "conf",
+                "grants",
+                "p50-lat",
+                "p99-lat",
+                "fairness",
+                "msgs/grant",
+                "scatter",
+            ],
+            &widths,
+        );
+        for g in &self.groups {
+            print_row(
+                &[
+                    g.target.clone(),
+                    g.variation.clone(),
+                    g.campaign.clone(),
+                    g.cells.to_string(),
+                    g.completed.to_string(),
+                    g.conformant.to_string(),
+                    g.grants.to_string(),
+                    g.latency_p50.to_string(),
+                    g.latency_p99.to_string(),
+                    fmt_f(g.fairness_mean),
+                    fmt_f(g.msgs_per_grant),
+                    fmt_f(g.scattering),
+                ],
+                &widths,
+            );
+        }
+    }
+
+    /// The machine-readable form of the whole sweep.
+    ///
+    /// Contains only deterministic data: no wall-clock, no thread count —
+    /// `threads=N` output is byte-identical to `threads=1` (the golden
+    /// test pins this).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.key("sweep").string(&self.name);
+        w.key("cells").begin_array();
+        for r in &self.results {
+            w.begin_object();
+            w.key("target").string(&r.target_label);
+            w.key("variation").string(&r.variation_label);
+            w.key("campaign").string(&r.campaign_label);
+            w.key("seed").uint(r.cell.seed);
+            w.key("outcome");
+            write_outcome(&mut w, &r.outcome);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("groups").begin_array();
+        for g in &self.groups {
+            w.begin_object();
+            w.key("target").string(&g.target);
+            w.key("variation").string(&g.variation);
+            w.key("campaign").string(&g.campaign);
+            w.key("cells").uint(g.cells as u64);
+            w.key("completed").uint(g.completed as u64);
+            w.key("conformant").uint(g.conformant as u64);
+            w.key("violations").uint(g.violations as u64);
+            w.key("requests").uint(g.requests);
+            w.key("grants").uint(g.grants);
+            w.key("latency_us").begin_object();
+            w.key("mean").uint(g.latency_mean.as_micros());
+            w.key("p50").uint(g.latency_p50.as_micros());
+            w.key("p90").uint(g.latency_p90.as_micros());
+            w.key("p99").uint(g.latency_p99.as_micros());
+            w.end_object();
+            w.key("fairness_mean").float(g.fairness_mean, 4);
+            w.key("fairness_min").float(g.fairness_min, 4);
+            w.key("transport_messages").uint(g.transport_messages);
+            w.key("transport_bytes").uint(g.transport_bytes);
+            w.key("msgs_per_grant").float(g.msgs_per_grant, 3);
+            w.key("bytes_per_grant").float(g.bytes_per_grant, 3);
+            w.key("scattering").float(g.scattering, 3);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Writes [`SweepReport::to_json`] to `path` and logs the execution
+    /// metadata (cells, threads, wall-clock) to stdout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written.
+    pub fn write_json(&self, path: &str) {
+        std::fs::write(path, self.to_json()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!(
+            "wrote {path} ({} cells, {} threads, {:.2}s wall)",
+            self.results.len(),
+            self.threads,
+            self.wall.as_secs_f64()
+        );
+    }
+}
+
+/// Returns the value following `--<name>` in `args`, if present.
+///
+/// Shared by the experiment binaries so `--out`, `--threads` and
+/// `--seeds` parse uniformly.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// [`flag_value`] parsed as a number, with a default.
+///
+/// # Panics
+///
+/// Panics (with a usage message) when the value is present but not a
+/// number.
+pub fn flag_usize(args: &[String], name: &str, default: usize) -> usize {
+    match flag_value(args, name) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_sweep;
+    use crate::spec::SweepSpec;
+    use svckit::floorctl::{RunParams, Solution};
+
+    #[test]
+    fn fmt_f_has_three_decimals() {
+        assert_eq!(fmt_f(1.23456), "1.235");
+        assert_eq!(fmt_f(0.0), "0.000");
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--out", "x.json", "--threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "out").as_deref(), Some("x.json"));
+        assert_eq!(flag_usize(&args, "threads", 1), 4);
+        assert_eq!(flag_usize(&args, "seeds", 8), 8);
+        assert_eq!(flag_value(&args, "missing"), None);
+    }
+
+    #[test]
+    fn json_contains_cells_and_groups() {
+        let spec = SweepSpec::new("fmt")
+            .solutions([Solution::MwCallback])
+            .variation("tiny", RunParams::default().subscribers(2).rounds(1));
+        let report = run_sweep(&spec, 1);
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"sweep\": \"fmt\""));
+        assert!(json.contains("\"cells\": ["));
+        assert!(json.contains("\"groups\": ["));
+        assert!(json.contains("\"target\": \"mw-callback\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Golden tests for the sweep subsystem's central promise: parallel
+//! execution changes wall-clock time only, never a single output byte —
+//! and fault campaigns behave deterministically and idempotently.
+
+use svckit::floorctl::{FaultEvent, RunParams, Solution};
+use svckit::model::Duration;
+use svckit::protocol::ReliabilityConfig;
+use svckit_sweep::{run_sweep, SweepSpec};
+
+fn proto_sub(k: u64) -> svckit::model::PartId {
+    svckit::floorctl::proto::subscriber_part(k)
+}
+
+fn proto_ctl() -> svckit::model::PartId {
+    svckit::floorctl::proto::controller_part()
+}
+
+#[test]
+fn four_thread_sweep_json_is_byte_identical_to_serial() {
+    let spec = SweepSpec::new("golden")
+        .solutions([
+            Solution::MwCallback,
+            Solution::MwToken,
+            Solution::ProtoCallback,
+            Solution::ProtoToken,
+        ])
+        .platform("corba-like")
+        .variation(
+            "base",
+            RunParams::default().subscribers(3).resources(2).rounds(2),
+        )
+        .variation(
+            "contended",
+            RunParams::default().subscribers(4).resources(1).rounds(2),
+        )
+        .seeds([11, 12, 13]);
+
+    let serial = run_sweep(&spec, 1).to_json();
+    let parallel = run_sweep(&spec, 4).to_json();
+    assert_eq!(serial.as_bytes(), parallel.as_bytes());
+}
+
+#[test]
+fn fault_campaign_cells_stay_conformant_through_partition_and_heal() {
+    let spec = SweepSpec::new("faults")
+        .solutions([Solution::ProtoCallback])
+        .variation_with_reliability(
+            "reliable",
+            RunParams::default()
+                .subscribers(3)
+                .resources(1)
+                .rounds(2)
+                .time_cap(Duration::from_secs(120)),
+            ReliabilityConfig::new(Duration::from_millis(8)),
+        )
+        .campaign("none", [])
+        .campaign(
+            "cut-heal",
+            [
+                FaultEvent::partition(Duration::from_millis(3), proto_sub(1), proto_ctl()),
+                FaultEvent::heal(Duration::from_millis(9), proto_sub(1), proto_ctl()),
+            ],
+        )
+        .seeds([21, 22]);
+
+    let report = run_sweep(&spec, 2);
+    assert_eq!(report.results.len(), 4);
+    for r in &report.results {
+        assert!(
+            r.outcome.conformant,
+            "{}/{} seed {} violated the service",
+            r.target_label, r.campaign_label, r.cell.seed
+        );
+        assert!(
+            r.outcome.completed,
+            "{}/{} seed {} did not recover",
+            r.target_label, r.campaign_label, r.cell.seed
+        );
+    }
+    let fault_free = &report.groups[0];
+    let faulted = &report.groups[1];
+    assert_eq!(fault_free.campaign, "none");
+    assert_eq!(faulted.campaign, "cut-heal");
+    // The outage costs time (retransmissions through a dead link), never
+    // correctness.
+    assert!(faulted.latency_p99 >= fault_free.latency_p99);
+}
+
+#[test]
+fn duplicate_partition_events_are_idempotent() {
+    let base = RunParams::default()
+        .subscribers(3)
+        .resources(1)
+        .rounds(2)
+        .time_cap(Duration::from_secs(120));
+    let cut = FaultEvent::partition(Duration::from_millis(3), proto_sub(2), proto_ctl());
+    let heal = FaultEvent::heal(Duration::from_millis(9), proto_sub(2), proto_ctl());
+
+    let once = SweepSpec::new("idem")
+        .solutions([Solution::ProtoCallback])
+        .variation_with_reliability(
+            "reliable",
+            base.clone(),
+            ReliabilityConfig::new(Duration::from_millis(8)),
+        )
+        .campaign("cut-heal", [cut, heal])
+        .seeds([31]);
+    // The same partition applied twice must behave exactly like applying
+    // it once: heal restores the original link, not a doubly-degraded one.
+    let twice = SweepSpec::new("idem")
+        .solutions([Solution::ProtoCallback])
+        .variation_with_reliability(
+            "reliable",
+            base,
+            ReliabilityConfig::new(Duration::from_millis(8)),
+        )
+        .campaign("cut-heal", [cut, cut, heal])
+        .seeds([31]);
+
+    let a = run_sweep(&once, 1).to_json();
+    let b = run_sweep(&twice, 1).to_json();
+    assert_eq!(a, b);
+}
