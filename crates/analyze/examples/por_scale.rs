@@ -1,0 +1,55 @@
+//! Measures how the ample-set partial-order reduction scales against full
+//! exploration on growing floor-control universes.
+//!
+//! ```text
+//! cargo run --release -p svckit-analyze --example por_scale
+//! ```
+//!
+//! Prints, for each universe, the visited states/transitions under both
+//! reductions — the numbers quoted in `EXPERIMENTS.md`. The largest row
+//! exceeds 10^5 product states under full exploration, which is exactly the
+//! regime the reduction exists for.
+
+use std::time::Instant;
+
+use svckit_floorctl::{floor_control_service, floor_event_universe};
+use svckit_lts::explorer::{ExploreOptions, Reduction, ServiceExplorer};
+
+fn main() {
+    let service = floor_control_service();
+    println!(
+        "{:<14} {:>12} {:>14} {:>12} {:>14} {:>8} {:>9}",
+        "universe", "full-states", "full-trans", "por-states", "por-trans", "ratio", "por-time"
+    );
+    for (subscribers, resources) in [(3, 1), (3, 2), (3, 3)] {
+        let universe = floor_event_universe(subscribers, resources);
+        let explorer = ServiceExplorer::new(&service, universe, 2);
+        let base = ExploreOptions {
+            max_states: 2_000_000,
+            progress: vec!["granted".to_owned(), "free".to_owned()],
+            ..ExploreOptions::default()
+        };
+        let full = explorer.explore(&ExploreOptions {
+            reduction: Reduction::Full,
+            ..base.clone()
+        });
+        let t0 = Instant::now();
+        let por = explorer.explore(&ExploreOptions {
+            reduction: Reduction::AmpleSets,
+            ..base
+        });
+        let por_time = t0.elapsed();
+        assert!(!full.truncated && !por.truncated, "raise max_states");
+        assert_eq!(full.deadlocks.is_empty(), por.deadlocks.is_empty());
+        println!(
+            "{:<14} {:>12} {:>14} {:>12} {:>14} {:>7.1}x {:>8.0?}",
+            format!("{subscribers} subs x {resources} res"),
+            full.states,
+            full.transitions,
+            por.states,
+            por.transitions,
+            full.states as f64 / por.states as f64,
+            por_time,
+        );
+    }
+}

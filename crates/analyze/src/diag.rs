@@ -1,0 +1,183 @@
+//! Diagnostic codes, severities and the diagnostic record itself.
+//!
+//! Every finding the analyzer can make has a stable `SAxxx` code, so CI
+//! gates, golden tests and humans can refer to a class of problems without
+//! parsing message text — the same contract `rustc`/clippy lints offer.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong; fails the build only under
+    /// `--deny warnings`.
+    Warning,
+    /// A defect in the model; always fails the build.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The catalogue of diagnostic codes: `(code, default severity, summary)`.
+///
+/// The summary describes the *class* of finding; each emitted
+/// [`Diagnostic`] carries a message specific to the model location.
+pub const CODES: &[(&str, Severity, &str)] = &[
+    (
+        "SA001",
+        Severity::Error,
+        "constraint contradiction: the constraint set allows no event at all over the \
+         analysis universe (the initial product state is dead)",
+    ),
+    (
+        "SA002",
+        Severity::Error,
+        "reachable deadlock: a reachable product state has no allowed outgoing event",
+    ),
+    (
+        "SA003",
+        Severity::Warning,
+        "unreachable primitive: a declared primitive is never enabled at any access point \
+         of the analysis universe",
+    ),
+    (
+        "SA004",
+        Severity::Warning,
+        "livelock: a reachable cycle keeps running without ever passing a \
+         progress-labelled primitive while obligations are outstanding",
+    ),
+    (
+        "SA005",
+        Severity::Error,
+        "orphan PDU: a registered PDU variant is referenced by no protocol link (nothing \
+         ever sends it)",
+    ),
+    (
+        "SA006",
+        Severity::Error,
+        "dangling protocol link: a link references a PDU missing from the registry or a \
+         trigger primitive missing from the service definition",
+    ),
+    (
+        "SA007",
+        Severity::Warning,
+        "handler mismatch: an entity receives a PDU it declares no handler for, or \
+         declares a handler for a PDU no peer sends it",
+    ),
+    (
+        "SA008",
+        Severity::Error,
+        "codec round-trip failure: encoding then decoding a synthesized PDU does not \
+         reproduce it",
+    ),
+    (
+        "SA009",
+        Severity::Warning,
+        "exploration truncated: the state bound was hit, so exhaustive passes are \
+         incomplete for this target",
+    ),
+];
+
+/// Default severity of `code`, per the [`CODES`] catalogue.
+///
+/// # Panics
+///
+/// Panics on an unknown code — diagnostics are only constructed from the
+/// catalogue.
+pub fn default_severity(code: &str) -> Severity {
+    CODES
+        .iter()
+        .find(|(c, _, _)| *c == code)
+        .map(|(_, s, _)| *s)
+        .expect("diagnostic codes come from the catalogue")
+}
+
+/// One finding, anchored to a target and a model location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// The `SAxxx` code.
+    pub code: &'static str,
+    /// Severity (the catalogue default; kept on the record so reports are
+    /// self-contained).
+    pub severity: Severity,
+    /// The model location the finding anchors to (a constraint, primitive,
+    /// PDU, entity or state), e.g. ``primitive `granted```.
+    pub location: String,
+    /// Human-readable explanation specific to this occurrence.
+    pub message: String,
+    /// A minimal counterexample trace (rendered events), when applicable.
+    /// Empty when the finding is structural or the witness is the empty
+    /// trace (SA001: the initial state itself is dead).
+    pub trace: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the catalogue severity for `code`.
+    pub fn new(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: default_severity(code),
+            location: location.into(),
+            message: message.into(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Attaches a counterexample trace.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Vec<String>) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        write!(f, "  --> {}", self.location)?;
+        if !self.trace.is_empty() {
+            write!(f, "\n  = counterexample: {}", self.trace.join(" ; "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        for window in CODES.windows(2) {
+            assert!(window[0].0 < window[1].0, "codes must be sorted and unique");
+        }
+    }
+
+    #[test]
+    fn display_is_clippy_shaped() {
+        let d = Diagnostic::new("SA002", "target `t`, state 7", "boom")
+            .with_trace(vec!["a".into(), "b".into()]);
+        let s = d.to_string();
+        assert!(s.starts_with("error[SA002]: boom"));
+        assert!(s.contains("--> target `t`, state 7"));
+        assert!(s.contains("counterexample: a ; b"));
+    }
+
+    #[test]
+    fn severities_follow_the_catalogue() {
+        assert_eq!(default_severity("SA001"), Severity::Error);
+        assert_eq!(default_severity("SA003"), Severity::Warning);
+        assert_eq!(Diagnostic::new("SA005", "l", "m").severity, Severity::Error);
+    }
+}

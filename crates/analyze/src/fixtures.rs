@@ -1,0 +1,107 @@
+//! Seeded-bug fixtures: deliberately broken models, each of which must
+//! trigger exactly one expected diagnostic code. They double as living
+//! documentation of what each code means and as golden-test anchors — if a
+//! pass regresses, the fixture's code disappears and the golden test fails.
+
+use svckit_codec::{PduRegistry, PduSchema};
+use svckit_floorctl::proto;
+use svckit_lts::explorer::AbstractEvent;
+use svckit_model::{
+    Constraint, ConstraintScope, Direction, PartId, PrimitiveSpec, Sap, ServiceDefinition,
+    ValueType,
+};
+
+use crate::protocol_pass::ProtocolDecl;
+use crate::targets::{callback_decl, Target};
+
+fn sap(k: u64) -> Sap {
+    Sap::new("user", PartId::new(k))
+}
+
+/// Fixture for `SA001`: two `After` constraints that enable each other —
+/// `a` only after `b`, `b` only after `a` — so no first event is ever
+/// allowed and the initial product state is dead.
+pub fn contradictory_constraints() -> Target {
+    let service = ServiceDefinition::builder("fixture-contradiction")
+        .role("user", 1, 1)
+        .primitive(PrimitiveSpec::new("a", Direction::FromUser))
+        .primitive(PrimitiveSpec::new("b", Direction::FromUser))
+        .constraint(Constraint::after("b", "a", ConstraintScope::SameSap))
+        .constraint(Constraint::after("a", "b", ConstraintScope::SameSap))
+        .build()
+        .expect("the fixture service is structurally well-formed");
+    let universe = vec![
+        AbstractEvent::new(sap(1), "a", vec![]),
+        AbstractEvent::new(sap(1), "b", vec![]),
+    ];
+    Target {
+        name: "fixture-contradiction".into(),
+        kind: "fixture",
+        service,
+        universe,
+        protocol: None,
+        notes: vec!["seeded bug: mutually-enabling After constraints".into()],
+    }
+}
+
+/// Fixture for `SA002`: a token protocol that drops the token. The mutual
+/// exclusion token can be acquired at either access point, but only
+/// `user#2` is given a `release` event — once `user#1` acquires, nothing
+/// is ever allowed again. The minimal counterexample is the single-event
+/// trace `acquire@user#1`.
+pub fn token_drop() -> Target {
+    let service = ServiceDefinition::builder("fixture-token-drop")
+        .role("user", 1, 2)
+        .primitive(PrimitiveSpec::new("acquire", Direction::FromUser))
+        .primitive(PrimitiveSpec::new("release", Direction::FromUser))
+        .constraint(Constraint::mutual_exclusion("acquire", "release"))
+        .build()
+        .expect("the fixture service is structurally well-formed");
+    let universe = vec![
+        AbstractEvent::new(sap(1), "acquire", vec![]),
+        AbstractEvent::new(sap(2), "acquire", vec![]),
+        AbstractEvent::new(sap(2), "release", vec![]),
+    ];
+    Target {
+        name: "fixture-token-drop".into(),
+        kind: "fixture",
+        service,
+        universe,
+        protocol: None,
+        notes: vec!["seeded bug: no release event at user#1 — the token is dropped".into()],
+    }
+}
+
+/// Fixture for `SA005`: the callback protocol with an extra `ping` PDU
+/// registered but never linked — no entity sends it, no primitive
+/// triggers it.
+pub fn orphan_pdu() -> Target {
+    let mut registry: PduRegistry = proto::callback::registry();
+    registry
+        .register(PduSchema::new(9, "ping").field("resid", ValueType::Id))
+        .expect("id 9 is free in the callback registry");
+    let base = callback_decl();
+    let decl = ProtocolDecl {
+        name: "fixture-orphan-pdu".into(),
+        registry,
+        links: base.links,
+        handlers: base.handlers,
+    };
+    Target {
+        name: "fixture-orphan-pdu".into(),
+        kind: "fixture",
+        service: svckit_floorctl::floor_control_service(),
+        universe: svckit_floorctl::floor_event_universe(2, 1),
+        protocol: Some(decl),
+        notes: vec!["seeded bug: `ping` is registered but nothing ever sends it".into()],
+    }
+}
+
+/// All fixtures with the single diagnostic code each must produce.
+pub fn expected_codes() -> Vec<(Target, &'static str)> {
+    vec![
+        (contradictory_constraints(), "SA001"),
+        (token_drop(), "SA002"),
+        (orphan_pdu(), "SA005"),
+    ]
+}

@@ -1,0 +1,46 @@
+//! # svckit-analyze — static model analysis with clippy-style diagnostics
+//!
+//! The paper's central claim is that the *service concept* gives
+//! model-driven development "stable reference points": artifacts at every
+//! milestone can be checked against the service definition. This crate
+//! performs those checks **statically** — before any simulation runs — and
+//! reports findings as coded, clippy-style diagnostics:
+//!
+//! | pass | codes | what it finds |
+//! |------|-------|----------------|
+//! | exhaustive exploration | `SA001`, `SA002` | contradictory constraint sets, reachable dead product states |
+//! | reachability | `SA003` | primitives never enabled anywhere |
+//! | divergence | `SA004` | cycles that starve outstanding obligations |
+//! | protocol structure | `SA005`–`SA007` | orphan PDUs, dangling links, handler mismatches |
+//! | codec | `SA008` | PDUs that do not survive an encode/decode round trip |
+//! | bounds | `SA009` | truncated (hence incomplete) explorations |
+//!
+//! The exhaustive passes run on the interned product engine of
+//! `svckit-lts` with an **ample-set partial-order reduction**
+//! ([`Reduction::AmpleSets`]): commuting events — e.g. floor-control
+//! activity on distinct resources — are not interleaved exhaustively, which
+//! shrinks the visited state space by an order of magnitude while reporting
+//! the *same* diagnostics (golden-tested in `tests/golden.rs`).
+//!
+//! The `svckit-analyze` binary drives every target (the six floor-control
+//! solutions, every catalogued platform via the MDA trajectory), prints the
+//! text report and writes `ANALYZE_*.json`; `--deny warnings` gates CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod fixtures;
+pub mod protocol_pass;
+pub mod report;
+pub mod service_pass;
+pub mod targets;
+pub mod universe;
+
+pub use diag::{Diagnostic, Severity, CODES};
+pub use protocol_pass::{analyze_protocol, PduLink, ProtocolDecl};
+pub use report::{reduction_label, AnalysisReport, TargetReport};
+pub use service_pass::{analyze_service, progress_primitives, ServiceAnalysis, ServicePassOptions};
+pub use svckit_lts::explorer::Reduction;
+pub use targets::{all_targets, platform_targets, solution_targets, Target};
+pub use universe::event_universe;

@@ -1,0 +1,69 @@
+//! `svckit-analyze` — static analysis of every model in the repository.
+//!
+//! ```text
+//! svckit-analyze [--por on|off] [--deny warnings] [--target <substring>]
+//!                [--max-states N] [--out PATH] [--diag-out PATH]
+//!                [--fixtures]
+//! ```
+//!
+//! Exit status is 1 when any error-severity diagnostic is reported, or when
+//! warnings are reported under `--deny warnings`.
+
+use std::process::ExitCode;
+
+use svckit_analyze::{all_targets, fixtures, AnalysisReport, Reduction, ServicePassOptions};
+use svckit_sweep::{flag_usize, flag_value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny_warnings = flag_value(&args, "deny").is_some_and(|v| v == "warnings");
+    let reduction = match flag_value(&args, "por").as_deref() {
+        None | Some("on") => Reduction::AmpleSets,
+        Some("off") => Reduction::Full,
+        Some(other) => {
+            eprintln!("--por expects `on` or `off`, got {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = ServicePassOptions {
+        reduction,
+        max_states: flag_usize(&args, "max-states", 200_000),
+        ..ServicePassOptions::default()
+    };
+
+    let mut targets = all_targets();
+    if args.iter().any(|a| a == "--fixtures") {
+        targets.extend(fixtures::expected_codes().into_iter().map(|(t, _)| t));
+    }
+    if let Some(filter) = flag_value(&args, "target") {
+        targets.retain(|t| t.name.contains(&filter));
+        if targets.is_empty() {
+            eprintln!("--target {filter:?} matches no target");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = AnalysisReport::run(&targets, &options);
+    print!("{}", report.render_text());
+
+    if let Some(path) = flag_value(&args, "out") {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag_value(&args, "diag-out") {
+        if let Err(err) = std::fs::write(&path, report.to_diag_json()) {
+            eprintln!("cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if report.errors() > 0 || (deny_warnings && report.warnings() > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

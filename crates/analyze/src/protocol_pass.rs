@@ -1,0 +1,238 @@
+//! Structural conformance pre-checks over a protocol composition.
+//!
+//! A protocol solution is described *declaratively* — which entities
+//! exist, which PDUs each entity sends to which peer, which service
+//! primitive triggers the exchange, and which PDUs each entity handles.
+//! The passes cross-check that declaration against the PDU registry and
+//! the service definition **without running a single simulation step**:
+//! orphan PDUs (`SA005`), dangling references (`SA006`), send/handle
+//! mismatches (`SA007`) and codec round-trip failures (`SA008`).
+
+use svckit_codec::PduRegistry;
+use svckit_model::{ServiceDefinition, Value};
+
+use crate::diag::Diagnostic;
+use crate::universe::sample_values;
+
+/// One directed PDU exchange of the composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PduLink {
+    /// The PDU sent.
+    pub pdu: String,
+    /// The service primitive whose occurrence triggers the send, when the
+    /// exchange is primitive-driven. `None` marks infrastructure traffic
+    /// with no single triggering primitive (e.g. a circulating token).
+    pub trigger: Option<String>,
+    /// The sending entity.
+    pub from: String,
+    /// The receiving entity.
+    pub to: String,
+}
+
+impl PduLink {
+    /// A primitive-triggered link.
+    pub fn triggered(
+        pdu: impl Into<String>,
+        trigger: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+    ) -> Self {
+        PduLink {
+            pdu: pdu.into(),
+            trigger: Some(trigger.into()),
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+
+    /// An infrastructure link with no triggering primitive.
+    pub fn infrastructure(
+        pdu: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+    ) -> Self {
+        PduLink {
+            pdu: pdu.into(),
+            trigger: None,
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+}
+
+/// The declarative description of a protocol composition.
+#[derive(Debug, Clone)]
+pub struct ProtocolDecl {
+    /// Name of the composition (e.g. `proto-callback`).
+    pub name: String,
+    /// The shared PDU registry.
+    pub registry: PduRegistry,
+    /// The directed exchanges.
+    pub links: Vec<PduLink>,
+    /// `(entity, pdu)` pairs: which incoming PDUs each entity handles.
+    pub handlers: Vec<(String, String)>,
+}
+
+/// Runs the structural passes for `decl` against `service`.
+pub fn analyze_protocol(service: &ServiceDefinition, decl: &ProtocolDecl) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+
+    // SA005 — a registered PDU no link ever sends.
+    for schema in decl.registry.schemas() {
+        if !decl.links.iter().any(|l| l.pdu == schema.name()) {
+            diagnostics.push(Diagnostic::new(
+                "SA005",
+                format!("pdu `{}` in `{}`", schema.name(), decl.name),
+                format!(
+                    "`{}` is registered but referenced by no protocol link: no entity ever \
+                     sends it and no primitive triggers it",
+                    schema.name()
+                ),
+            ));
+        }
+    }
+
+    // SA006 — links referencing unknown PDUs or unknown trigger primitives.
+    for link in &decl.links {
+        if decl.registry.schema(&link.pdu).is_none() {
+            diagnostics.push(Diagnostic::new(
+                "SA006",
+                format!("link `{}` -> `{}` in `{}`", link.from, link.to, decl.name),
+                format!(
+                    "link sends `{}`, which is not in the PDU registry",
+                    link.pdu
+                ),
+            ));
+        }
+        if let Some(trigger) = &link.trigger {
+            if service.primitive(trigger).is_none() {
+                diagnostics.push(Diagnostic::new(
+                    "SA006",
+                    format!("link `{}` -> `{}` in `{}`", link.from, link.to, decl.name),
+                    format!(
+                        "link is triggered by `{trigger}`, which service `{}` does not declare",
+                        service.name()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // SA007 — PDUs sent to an entity with no handler, and handlers for
+    // PDUs nothing sends.
+    for link in &decl.links {
+        let handled = decl
+            .handlers
+            .iter()
+            .any(|(entity, pdu)| *entity == link.to && *pdu == link.pdu);
+        if !handled {
+            diagnostics.push(Diagnostic::new(
+                "SA007",
+                format!("entity `{}` in `{}`", link.to, decl.name),
+                format!(
+                    "`{}` sends `{}` to `{}`, which declares no handler for it",
+                    link.from, link.pdu, link.to
+                ),
+            ));
+        }
+    }
+    for (entity, pdu) in &decl.handlers {
+        let delivered = decl.links.iter().any(|l| l.to == *entity && l.pdu == *pdu);
+        if !delivered {
+            diagnostics.push(Diagnostic::new(
+                "SA007",
+                format!("entity `{entity}` in `{}`", decl.name),
+                format!("`{entity}` handles `{pdu}`, but no peer ever sends it that PDU"),
+            ));
+        }
+    }
+
+    // SA008 — every registered PDU must survive an encode/decode round
+    // trip with synthesized, schema-conformant arguments.
+    for schema in decl.registry.schemas() {
+        let args: Vec<Value> = schema
+            .fields()
+            .iter()
+            .map(|field| {
+                sample_values(field.ty(), &[1, 2])
+                    .into_iter()
+                    .next()
+                    .expect("every type has a sample")
+            })
+            .collect();
+        let verdict = decl
+            .registry
+            .encode(schema.name(), &args)
+            .and_then(|bytes| decl.registry.decode(&bytes));
+        match verdict {
+            Ok(pdu) if pdu.name() == schema.name() && pdu.args() == args.as_slice() => {}
+            Ok(pdu) => diagnostics.push(Diagnostic::new(
+                "SA008",
+                format!("pdu `{}` in `{}`", schema.name(), decl.name),
+                format!(
+                    "round trip decoded to `{}` with args {:?}, expected `{}` with {:?}",
+                    pdu.name(),
+                    pdu.args(),
+                    schema.name(),
+                    args
+                ),
+            )),
+            Err(err) => diagnostics.push(Diagnostic::new(
+                "SA008",
+                format!("pdu `{}` in `{}`", schema.name(), decl.name),
+                format!("round trip failed: {err}"),
+            )),
+        }
+    }
+
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svckit_codec::PduSchema;
+    use svckit_floorctl::floor_control_service;
+    use svckit_model::ValueType;
+
+    fn toy_decl() -> ProtocolDecl {
+        let mut registry = PduRegistry::new();
+        registry
+            .register(PduSchema::new(1, "ping").field("resid", ValueType::Id))
+            .unwrap();
+        ProtocolDecl {
+            name: "toy".into(),
+            registry,
+            links: vec![PduLink::triggered("ping", "request", "a", "b")],
+            handlers: vec![("b".into(), "ping".into())],
+        }
+    }
+
+    #[test]
+    fn a_well_linked_protocol_is_clean() {
+        let diags = analyze_protocol(&floor_control_service(), &toy_decl());
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn unknown_trigger_and_unknown_pdu_are_dangling_links() {
+        let mut decl = toy_decl();
+        decl.links
+            .push(PduLink::triggered("pong", "summon", "a", "b"));
+        let diags = analyze_protocol(&floor_control_service(), &decl);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        // `pong` is unknown, `summon` is undeclared, and `b` now has no
+        // handler for the `pong` it is sent.
+        assert_eq!(codes, vec!["SA006", "SA006", "SA007"]);
+    }
+
+    #[test]
+    fn a_handler_for_an_unsent_pdu_is_a_mismatch() {
+        let mut decl = toy_decl();
+        decl.handlers.push(("a".into(), "ping".into()));
+        let diags = analyze_protocol(&floor_control_service(), &decl);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SA007");
+        assert!(diags[0].message.contains("no peer ever sends"));
+    }
+}

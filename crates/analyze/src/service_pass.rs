@@ -1,0 +1,244 @@
+//! Exhaustive service-level passes: deadlock, unreachable-primitive and
+//! livelock detection over the constraint automaton's product state space.
+//!
+//! All three passes share one call to
+//! [`ServiceExplorer::explore`](svckit_lts::explorer::ServiceExplorer::explore),
+//! which (by default) applies the ample-set partial-order reduction — the
+//! diagnostics are reduction-invariant, only the visited state count
+//! changes.
+
+use std::collections::BTreeMap;
+
+use svckit_lts::explorer::{
+    AbstractEvent, ExploreOptions, ExploreReport, Reduction, ServiceExplorer,
+};
+use svckit_model::{ConstraintKind, ServiceDefinition};
+
+use crate::diag::Diagnostic;
+
+/// Tunables for the exhaustive passes.
+#[derive(Debug, Clone)]
+pub struct ServicePassOptions {
+    /// Reduction strategy handed to the explorer.
+    pub reduction: Reduction,
+    /// Product-state bound; hitting it emits `SA009`.
+    pub max_states: usize,
+    /// Per-instance bound on outstanding obligations (keeps the state
+    /// space finite in the presence of unbounded liveness constraints).
+    pub max_outstanding: u32,
+}
+
+impl Default for ServicePassOptions {
+    fn default() -> Self {
+        ServicePassOptions {
+            reduction: Reduction::AmpleSets,
+            max_states: 200_000,
+            max_outstanding: 2,
+        }
+    }
+}
+
+/// What the exhaustive passes produced for one target.
+#[derive(Debug, Clone)]
+pub struct ServiceAnalysis {
+    /// The findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Product states visited (reduction-dependent).
+    pub states: usize,
+    /// Transitions taken (reduction-dependent).
+    pub transitions: usize,
+}
+
+/// The progress-labelled primitives used by the livelock pass: every
+/// primitive that *discharges or consumes* constraint bookkeeping — an
+/// `EventuallyFollows`/`AtMostOutstanding` response, a `Precedes` later
+/// side, a `MutualExclusion` release.
+///
+/// Rationale: a cycle in the product graph must either contain such a
+/// consuming event (each cycle returns to its entry state, so whatever the
+/// cycle produces it must also consume) or consist entirely of events that
+/// no constraint relates to anything. Only the latter can starve pending
+/// obligations forever, so labelling the consuming side as progress makes
+/// `SA004` precisely a "constraint-free events can spin while obligations
+/// pend" lint, with no false positives on constraint-complete services.
+pub fn progress_primitives(service: &ServiceDefinition) -> Vec<String> {
+    let mut progress: Vec<String> = Vec::new();
+    for constraint in service.constraints() {
+        let name = match constraint.kind() {
+            ConstraintKind::EventuallyFollows { response, .. }
+            | ConstraintKind::AtMostOutstanding { response, .. } => response,
+            ConstraintKind::Precedes { later, .. } => later,
+            ConstraintKind::MutualExclusion { release, .. } => release,
+            ConstraintKind::After { .. } => continue,
+            _ => continue,
+        };
+        if !progress.iter().any(|p| p == name) {
+            progress.push(name.clone());
+        }
+    }
+    progress
+}
+
+/// Runs the exhaustive passes for `service` over `universe`.
+pub fn analyze_service(
+    service: &ServiceDefinition,
+    universe: Vec<AbstractEvent>,
+    options: &ServicePassOptions,
+) -> ServiceAnalysis {
+    let explorer = ServiceExplorer::new(service, universe, options.max_outstanding);
+    let explore_options = ExploreOptions {
+        max_states: options.max_states,
+        reduction: options.reduction,
+        progress: progress_primitives(service),
+        ..ExploreOptions::default()
+    };
+    let report = explorer.explore(&explore_options);
+    let diagnostics = diagnostics_from(service, &explorer, &report);
+    ServiceAnalysis {
+        diagnostics,
+        states: report.states,
+        transitions: report.transitions,
+    }
+}
+
+fn render_trace(trace: &[AbstractEvent]) -> Vec<String> {
+    trace.iter().map(ToString::to_string).collect()
+}
+
+fn diagnostics_from(
+    service: &ServiceDefinition,
+    explorer: &ServiceExplorer<'_>,
+    report: &ExploreReport,
+) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let service_loc = format!("service `{}`", service.name());
+
+    let initial_dead = report.deadlocks.iter().any(Vec::is_empty);
+    if initial_dead {
+        // Everything is unreachable from a dead initial state; reporting
+        // SA003/SA004 on top would only restate the root cause.
+        diagnostics.push(Diagnostic::new(
+            "SA001",
+            service_loc,
+            format!(
+                "the constraint set is contradictory: none of the {} universe events is \
+                 allowed in the initial state",
+                explorer.universe().len()
+            ),
+        ));
+        return diagnostics;
+    }
+
+    if report.deadlock_states > 0 {
+        for trace in &report.deadlocks {
+            diagnostics.push(
+                Diagnostic::new(
+                    "SA002",
+                    service_loc.clone(),
+                    format!(
+                        "reachable deadlock: after {} event(s) no event is allowed ({} dead \
+                         state(s) in total)",
+                        trace.len(),
+                        report.deadlock_states
+                    ),
+                )
+                .with_trace(render_trace(trace)),
+            );
+        }
+    }
+
+    // SA003 fires per *primitive* all of whose universe occurrences are
+    // never enabled: a primitive dead at one SAP but live at another is a
+    // property of the chosen universe, not of the service definition.
+    let mut by_primitive: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for event in explorer.universe() {
+        by_primitive.entry(&event.primitive).or_default().1 += 1;
+    }
+    for event in &report.never_enabled {
+        by_primitive
+            .get_mut(event.primitive.as_str())
+            .expect("never_enabled events come from the universe")
+            .0 += 1;
+    }
+    for (primitive, (dead, total)) in &by_primitive {
+        if dead == total {
+            diagnostics.push(Diagnostic::new(
+                "SA003",
+                format!("primitive `{primitive}`"),
+                format!(
+                    "`{primitive}` is never enabled: all {total} of its universe events are \
+                     disallowed in every reachable state"
+                ),
+            ));
+        }
+    }
+
+    if let Some(witness) = &report.livelock {
+        let progress = progress_primitives(service);
+        diagnostics.push(
+            Diagnostic::new(
+                "SA004",
+                service_loc,
+                format!(
+                    "livelock: a reachable cycle of {} event(s) repeats forever without \
+                     passing a progress primitive ({:?}) while obligations are outstanding",
+                    witness.cycle.len(),
+                    progress
+                ),
+            )
+            .with_trace(
+                render_trace(&witness.prefix)
+                    .into_iter()
+                    .chain(std::iter::once("<cycle>".to_owned()))
+                    .chain(render_trace(&witness.cycle))
+                    .collect(),
+            ),
+        );
+    }
+
+    if report.truncated {
+        diagnostics.push(Diagnostic::new(
+            "SA009",
+            format!("service `{}`", service.name()),
+            format!(
+                "exploration stopped at the {}-state bound; deadlock/livelock results \
+                 cover only the explored prefix",
+                report.states
+            ),
+        ));
+    }
+
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svckit_floorctl::{floor_control_service, floor_event_universe};
+
+    #[test]
+    fn floor_control_is_clean_under_both_reductions() {
+        let service = floor_control_service();
+        for reduction in [Reduction::Full, Reduction::AmpleSets] {
+            let analysis = analyze_service(
+                &service,
+                floor_event_universe(2, 2),
+                &ServicePassOptions {
+                    reduction,
+                    ..ServicePassOptions::default()
+                },
+            );
+            assert!(
+                analysis.diagnostics.is_empty(),
+                "unexpected: {:?}",
+                analysis.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn progress_set_is_the_consuming_side() {
+        let progress = progress_primitives(&floor_control_service());
+        assert_eq!(progress, vec!["granted".to_owned(), "free".to_owned()]);
+    }
+}

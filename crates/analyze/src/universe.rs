@@ -1,0 +1,107 @@
+//! Finite abstract-event universes for arbitrary service definitions.
+//!
+//! Exhaustive passes need a finite universe of [`AbstractEvent`]s. For the
+//! floor-control service, `svckit-floorctl` ships a hand-written one; for
+//! any other service (e.g. the chat service of the MDA catalogue) this
+//! module derives a universe mechanically: every primitive, at every given
+//! access point, over a small sample domain per parameter type.
+
+use svckit_lts::explorer::AbstractEvent;
+use svckit_model::{Sap, ServiceDefinition, Value, ValueType};
+
+/// Small sample domain for a parameter type.
+///
+/// Identifiers range over `id_domain` (they correlate keyed constraints, so
+/// the domain size controls how many constraint instances the analysis
+/// distinguishes); every other type contributes a single representative,
+/// which keeps the universe — and the product state space — finite and
+/// small without losing constraint structure: constraints relate events by
+/// primitive name, scope and key values, never by non-key payload content.
+pub fn sample_values(ty: &ValueType, id_domain: &[u64]) -> Vec<Value> {
+    match ty {
+        ValueType::Any | ValueType::Unit => vec![Value::Unit],
+        ValueType::Bool => vec![Value::Bool(true)],
+        ValueType::Int => vec![Value::Int(0)],
+        ValueType::Text => vec![Value::Text("x".into())],
+        ValueType::Id => id_domain.iter().map(|&i| Value::Id(i)).collect(),
+        ValueType::Set(inner) => vec![Value::Set(
+            sample_values(inner, id_domain).into_iter().collect(),
+        )],
+        ValueType::List(inner) => vec![Value::List(sample_values(inner, id_domain))],
+    }
+}
+
+/// Derives the event universe for `service` over the given access points:
+/// the cross product of primitives, SAPs and per-parameter sample domains.
+pub fn event_universe(
+    service: &ServiceDefinition,
+    saps: &[Sap],
+    id_domain: &[u64],
+) -> Vec<AbstractEvent> {
+    let mut universe = Vec::new();
+    for sap in saps {
+        for primitive in service.primitives() {
+            let mut arg_lists: Vec<Vec<Value>> = vec![Vec::new()];
+            for param in primitive.params() {
+                let samples = sample_values(param.ty(), id_domain);
+                arg_lists = arg_lists
+                    .into_iter()
+                    .flat_map(|prefix| {
+                        samples.iter().map(move |v| {
+                            let mut args = prefix.clone();
+                            args.push(v.clone());
+                            args
+                        })
+                    })
+                    .collect();
+            }
+            for args in arg_lists {
+                universe.push(AbstractEvent::new(sap.clone(), primitive.name(), args));
+            }
+        }
+    }
+    universe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svckit_mda::catalog::chat_service;
+    use svckit_model::PartId;
+
+    #[test]
+    fn chat_universe_crosses_saps_primitives_and_ids() {
+        let service = chat_service();
+        let saps = [
+            Sap::new("member", PartId::new(1)),
+            Sap::new("member", PartId::new(2)),
+        ];
+        let universe = event_universe(&service, &saps, &[1, 2]);
+        // Per SAP: join, leave (no args) + say, hear × 2 msgids = 6 events.
+        assert_eq!(universe.len(), 12);
+        assert!(universe
+            .iter()
+            .any(|e| e.primitive == "say" && e.args[0] == Value::Id(2)));
+    }
+
+    #[test]
+    fn samples_inhabit_their_types() {
+        let id_domain = [1, 2, 3];
+        for ty in [
+            ValueType::Unit,
+            ValueType::Bool,
+            ValueType::Int,
+            ValueType::Text,
+            ValueType::Id,
+            ValueType::Set(Box::new(ValueType::Id)),
+            ValueType::List(Box::new(ValueType::Text)),
+        ] {
+            let samples = sample_values(&ty, &id_domain);
+            assert!(!samples.is_empty());
+            for v in &samples {
+                assert!(ty.admits(v), "{ty:?} must admit {v}");
+            }
+        }
+        assert_eq!(sample_values(&ValueType::Id, &id_domain).len(), 3);
+    }
+}

@@ -39,6 +39,9 @@ fn main() {
                 .time_cap(Duration::from_secs(300)),
         );
     }
+    if let Some(needle) = flag_value(&args, "filter") {
+        spec = spec.filter(needle);
+    }
     let report = run_sweep(&spec, threads);
 
     let widths = [13, 5, 5, 7, 11, 11, 10, 12];

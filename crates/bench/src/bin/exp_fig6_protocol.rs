@@ -35,6 +35,9 @@ fn main() {
                 .time_cap(Duration::from_secs(300)),
         );
     }
+    if let Some(needle) = flag_value(&args, "filter") {
+        spec = spec.filter(needle);
+    }
     let report = run_sweep(&spec, threads);
 
     let widths = [15, 5, 7, 11, 11, 10, 11];

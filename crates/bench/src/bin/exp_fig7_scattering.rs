@@ -29,6 +29,10 @@ fn main() {
                 .rounds(4)
                 .seed(77),
         );
+    let spec = match flag_value(&args, "filter") {
+        Some(needle) => spec.filter(needle),
+        None => spec,
+    };
     let report = run_sweep(&spec, threads);
 
     let widths = [16, 11, 12, 12, 11];

@@ -32,6 +32,10 @@ fn main() {
                 .rounds(3)
                 .seed(1),
         );
+    let spec = match flag_value(&args, "filter") {
+        Some(needle) => spec.filter(needle),
+        None => spec,
+    };
     let report = run_sweep(&spec, threads);
 
     let widths = [16, 10, 12, 12, 12, 12];

@@ -86,7 +86,12 @@ fn main() {
         .seed(55);
 
     let mut spec = SweepSpec::new("platform_selection").variation("4x2x3", params);
-    let platforms = catalog::all_platforms();
+    let mut platforms = catalog::all_platforms();
+    // `--filter` narrows the platform list itself (instead of the expanded
+    // grid) so the adapter-count zip below stays aligned with the results.
+    if let Some(needle) = flag_value(&args, "filter") {
+        platforms.retain(|p| format!("psm:{}/4x2x3/none", p.name()).contains(&needle));
+    }
     for platform in &platforms {
         spec = spec.platform(platform.name());
     }

@@ -19,7 +19,7 @@ use std::time::Instant as WallInstant;
 use svckit::floorctl::{
     floor_control_service, floor_event_universe, run_solution, RunParams, Solution,
 };
-use svckit::lts::explorer::ServiceExplorer;
+use svckit::lts::explorer::{ExploreOptions, Reduction, ServiceExplorer};
 use svckit::model::{Duration, PartId};
 use svckit::netsim::{Context, LinkConfig, Process, SimConfig, Simulator};
 use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, JsonWriter, SweepSpec};
@@ -228,6 +228,31 @@ fn main() {
                 state = explorer.step(&state, &event).expect("allowed event steps");
             }
             black_box(state);
+        }),
+    );
+
+    // Exhaustive exploration with ample-set partial-order reduction, the
+    // analyzer's hot path: floor control, 3 SAPs × 2 resources, window 2.
+    let por_universe = floor_event_universe(3, 2);
+    let por_explorer = ServiceExplorer::new(&service, por_universe, 2);
+    let por_options = ExploreOptions {
+        reduction: Reduction::AmpleSets,
+        progress: vec!["granted".to_owned(), "free".to_owned()],
+        ..ExploreOptions::default()
+    };
+    let por_report = por_explorer.explore(&por_options);
+    let full_report = por_explorer.explore(&ExploreOptions {
+        reduction: Reduction::Full,
+        ..por_options.clone()
+    });
+    println!(
+        "    (POR: {} states / {} transitions vs full {} / {})",
+        por_report.states, por_report.transitions, full_report.states, full_report.transitions
+    );
+    record(
+        "por_reduction",
+        median_ns(1, 7, || {
+            black_box(por_explorer.explore(&por_options).states);
         }),
     );
 

@@ -116,6 +116,10 @@ fn main() {
         spec = spec.campaign(label.clone(), events.clone());
         reliable_spec = reliable_spec.campaign(label, events);
     }
+    if let Some(needle) = flag_value(&args, "filter") {
+        spec = spec.filter(needle.clone());
+        reliable_spec = reliable_spec.filter(needle);
+    }
 
     println!(
         "soak: {} solutions x 2 links x {} campaigns x {} seeds = {} cells (+{} reliable), {} threads\n",

@@ -53,6 +53,22 @@ pub enum CodecError {
         /// Explanation.
         detail: String,
     },
+    /// Collection nesting exceeded the decoder's depth limit (crafted
+    /// input could otherwise overflow the stack).
+    NestingTooDeep {
+        /// The enforced limit.
+        limit: usize,
+    },
+    /// A positional argument was requested past the end of a PDU's
+    /// argument list.
+    MissingArgument {
+        /// The PDU name.
+        pdu: String,
+        /// The requested index.
+        index: usize,
+        /// Arguments actually present.
+        len: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -79,6 +95,12 @@ impl fmt::Display for CodecError {
             }
             CodecError::SchemaMismatch { pdu, detail } => {
                 write!(f, "arguments do not match schema of `{pdu}`: {detail}")
+            }
+            CodecError::NestingTooDeep { limit } => {
+                write!(f, "collection nesting exceeds {limit} levels")
+            }
+            CodecError::MissingArgument { pdu, index, len } => {
+                write!(f, "`{pdu}` has {len} argument(s), index {index} requested")
             }
         }
     }

@@ -49,5 +49,5 @@ mod varint;
 
 pub use error::CodecError;
 pub use pdu::{Pdu, PduRegistry, PduSchema};
-pub use value_codec::{decode_value, encode_value, encoded_len};
+pub use value_codec::{decode_value, encode_value, encoded_len, MAX_NESTING_DEPTH};
 pub use varint::{read_varint, write_varint};

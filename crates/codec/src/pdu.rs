@@ -80,6 +80,20 @@ impl Pdu {
         &self.args
     }
 
+    /// The argument at `index`, as a typed error instead of an indexing
+    /// panic when the position does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::MissingArgument`] when `index` is out of range.
+    pub fn arg(&self, index: usize) -> Result<&Value, CodecError> {
+        self.args.get(index).ok_or(CodecError::MissingArgument {
+            pdu: self.name.clone(),
+            index,
+            len: self.args.len(),
+        })
+    }
+
     /// Consumes the PDU, returning its arguments.
     pub fn into_args(self) -> Vec<Value> {
         self.args
@@ -137,6 +151,11 @@ impl PduRegistry {
     /// Looks up a schema by name.
     pub fn schema(&self, name: &str) -> Option<&PduSchema> {
         self.by_name.get(name).and_then(|id| self.by_id.get(id))
+    }
+
+    /// Iterates over the registered schemas in id order.
+    pub fn schemas(&self) -> impl Iterator<Item = &PduSchema> {
+        self.by_id.values()
     }
 
     /// Number of registered schemas.
@@ -217,7 +236,10 @@ impl PduRegistry {
                 });
             }
             args.push(value);
-            rest = &rest[used..];
+            // `decode_value` reports the bytes it consumed; guard the slice
+            // anyway so a future decoder bug surfaces as a typed error, not
+            // an out-of-bounds panic on hostile input.
+            rest = rest.get(used..).ok_or(CodecError::UnexpectedEof)?;
         }
         if !rest.is_empty() {
             return Err(CodecError::TrailingBytes {
@@ -344,6 +366,46 @@ mod tests {
             .decode(&r.encode("request", &[Value::Id(1), Value::Id(2)]).unwrap())
             .unwrap();
         assert_eq!(pdu.to_string(), "request(#1, #2)");
+    }
+
+    #[test]
+    fn positional_arg_access_is_typed() {
+        let r = floor_registry();
+        let pdu = r
+            .decode(&r.encode("granted", &[Value::Id(7)]).unwrap())
+            .unwrap();
+        assert_eq!(pdu.arg(0), Ok(&Value::Id(7)));
+        assert_eq!(
+            pdu.arg(1),
+            Err(CodecError::MissingArgument {
+                pdu: "granted".into(),
+                index: 1,
+                len: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn every_truncation_and_corruption_of_valid_pdus_is_a_typed_error() {
+        let r = floor_registry();
+        let encodings = [
+            r.encode("request", &[Value::Id(4), Value::Id(7)]).unwrap(),
+            r.encode("pass", &[Value::id_set([1, 2, 3])]).unwrap(),
+        ];
+        for bytes in &encodings {
+            for cut in 0..bytes.len() {
+                assert!(r.decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+            for i in 0..bytes.len() {
+                for flip in [0x01u8, 0x80] {
+                    let mut mutated = bytes.clone();
+                    mutated[i] ^= flip;
+                    // Either still decodes or fails with a typed error;
+                    // must never panic.
+                    let _ = r.decode(&mutated);
+                }
+            }
+        }
     }
 
     #[test]

@@ -72,13 +72,27 @@ pub fn encoded_len(value: &Value) -> usize {
     buf.len()
 }
 
+/// Maximum collection nesting depth [`decode_value`] accepts.
+///
+/// The decoder recurses per set/list level, so without a bound a short
+/// crafted input (a run of list tags) would overflow the stack — an abort,
+/// not a catchable error. Genuine payloads in this workspace nest a handful
+/// of levels; 128 leaves generous headroom.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 /// Decodes one value from the front of `input`, returning it and the number
 /// of bytes consumed.
 ///
 /// # Errors
 ///
-/// Returns a [`CodecError`] on truncated, corrupt or non-UTF-8 input.
+/// Returns a [`CodecError`] on truncated, corrupt or non-UTF-8 input, and
+/// [`CodecError::NestingTooDeep`] when collections nest deeper than
+/// [`MAX_NESTING_DEPTH`].
 pub fn decode_value(input: &[u8]) -> Result<(Value, usize), CodecError> {
+    decode_value_at(input, MAX_NESTING_DEPTH)
+}
+
+fn decode_value_at(input: &[u8], depth_left: usize) -> Result<(Value, usize), CodecError> {
     let (&tag, rest) = input.split_first().ok_or(CodecError::UnexpectedEof)?;
     match tag {
         TAG_UNIT => Ok((Value::Unit, 1)),
@@ -108,6 +122,11 @@ pub fn decode_value(input: &[u8]) -> Result<(Value, usize), CodecError> {
             Ok((Value::Id(id), 1 + used))
         }
         TAG_SET | TAG_LIST => {
+            let depth_left = depth_left
+                .checked_sub(1)
+                .ok_or(CodecError::NestingTooDeep {
+                    limit: MAX_NESTING_DEPTH,
+                })?;
             let (count, used) = read_varint(rest)?;
             let mut offset = 1 + used;
             if count as usize > input.len() - offset {
@@ -121,7 +140,7 @@ pub fn decode_value(input: &[u8]) -> Result<(Value, usize), CodecError> {
             if tag == TAG_SET {
                 let mut items = BTreeSet::new();
                 for _ in 0..count {
-                    let (item, used) = decode_value(&input[offset..])?;
+                    let (item, used) = decode_value_at(&input[offset..], depth_left)?;
                     offset += used;
                     items.insert(item);
                 }
@@ -129,7 +148,7 @@ pub fn decode_value(input: &[u8]) -> Result<(Value, usize), CodecError> {
             } else {
                 let mut items = Vec::with_capacity(count as usize);
                 for _ in 0..count {
-                    let (item, used) = decode_value(&input[offset..])?;
+                    let (item, used) = decode_value_at(&input[offset..], depth_left)?;
                     offset += used;
                     items.push(item);
                 }
@@ -227,6 +246,64 @@ mod tests {
             value = Value::List(vec![value]);
         }
         roundtrip(value);
+    }
+
+    #[test]
+    fn nesting_at_the_limit_roundtrips_and_one_past_it_errors() {
+        let mut value = Value::Id(1);
+        for _ in 0..MAX_NESTING_DEPTH {
+            value = Value::List(vec![value]);
+        }
+        roundtrip(value.clone());
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::List(vec![value]));
+        assert_eq!(
+            decode_value(&buf),
+            Err(CodecError::NestingTooDeep {
+                limit: MAX_NESTING_DEPTH
+            })
+        );
+    }
+
+    #[test]
+    fn pathological_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // 100 000 nested single-element lists: 2 bytes per level. Before the
+        // depth limit this crashed the process (unbounded recursion).
+        let mut buf = Vec::with_capacity(200_001);
+        for _ in 0..100_000 {
+            buf.push(TAG_LIST);
+            buf.push(1);
+        }
+        buf.push(TAG_UNIT);
+        assert_eq!(
+            decode_value(&buf),
+            Err(CodecError::NestingTooDeep {
+                limit: MAX_NESTING_DEPTH
+            })
+        );
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder() {
+        // Deterministic xorshift stream; every decode must return, never
+        // panic or abort.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for len in 0..64 {
+            for _ in 0..200 {
+                let bytes: Vec<u8> = (0..len).map(|_| (next() & 0xff) as u8).collect();
+                let _ = decode_value(&bytes);
+            }
+        }
+        // Single-byte inputs, exhaustively.
+        for b in 0..=255u8 {
+            let _ = decode_value(&[b]);
+        }
     }
 
     #[test]

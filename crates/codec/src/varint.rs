@@ -83,6 +83,22 @@ mod tests {
     }
 
     #[test]
+    fn reader_is_total_over_short_inputs() {
+        // Panic-audit evidence: `read_varint` is exercised over every 1- and
+        // 2-byte input and a spread of longer ones; it must always return.
+        for a in 0..=255u8 {
+            let _ = read_varint(&[a]);
+            for b in 0..=255u8 {
+                let _ = read_varint(&[a, b]);
+            }
+        }
+        for len in 3..=12usize {
+            let _ = read_varint(&vec![0xffu8; len]);
+            let _ = read_varint(&vec![0x80u8; len]);
+        }
+    }
+
+    #[test]
     fn zigzag_roundtrips_extremes() {
         for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456, 123456] {
             assert_eq!(unzigzag(zigzag(v)), v);

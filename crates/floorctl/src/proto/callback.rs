@@ -94,6 +94,20 @@ impl ControllerEntity {
     }
 }
 
+/// Extracts `(requester, resid)` from a `request` PDU, or `None` when the
+/// arguments do not have the declared shape (a PDU decoded against a foreign
+/// registry). The controller drops such PDUs rather than panicking.
+fn request_fields(pdu: &Pdu) -> Option<(PartId, u64)> {
+    let requester = pdu.arg(0).ok()?.try_id().ok()?;
+    let resid = pdu.arg(1).ok()?.try_id().ok()?;
+    Some((PartId::new(requester), resid))
+}
+
+/// Extracts the resource id from a `free` PDU; `None` on a malformed PDU.
+fn free_field(pdu: &Pdu) -> Option<u64> {
+    pdu.arg(0).ok()?.try_id().ok()
+}
+
 impl ProtocolEntity for ControllerEntity {
     fn on_user_primitive(&mut self, _: &mut EntityCtx<'_, '_>, primitive: &str, _: Vec<Value>) {
         panic!("the controller entity serves no user part, got {primitive}");
@@ -102,8 +116,9 @@ impl ProtocolEntity for ControllerEntity {
     fn on_pdu(&mut self, ctx: &mut EntityCtx<'_, '_>, from: PartId, pdu: Pdu) {
         match pdu.name() {
             "request" => {
-                let requester = PartId::new(pdu.args()[0].as_id().expect("schema-checked"));
-                let resid = pdu.args()[1].as_id().expect("schema-checked");
+                let Some((requester, resid)) = request_fields(&pdu) else {
+                    return;
+                };
                 if self.held.contains_key(&resid) {
                     self.waiting.entry(resid).or_default().push_back(requester);
                 } else {
@@ -111,7 +126,9 @@ impl ProtocolEntity for ControllerEntity {
                 }
             }
             "free" => {
-                let resid = pdu.args()[0].as_id().expect("schema-checked");
+                let Some(resid) = free_field(&pdu) else {
+                    return;
+                };
                 if self.held.get(&resid) == Some(&from) {
                     self.held.remove(&resid);
                     let next = self.waiting.get_mut(&resid).and_then(VecDeque::pop_front);
@@ -189,6 +206,38 @@ mod tests {
             &CheckOptions::default(),
         );
         assert!(check.is_conformant(), "{check}");
+    }
+
+    #[test]
+    fn malformed_pdus_are_dropped_not_panicked_on() {
+        // A PDU decoded against a foreign registry can carry the right name
+        // with the wrong field types. The field extractors must reject it so
+        // the controller drops it instead of unwrapping.
+        let mut foreign = PduRegistry::new();
+        foreign
+            .register(
+                PduSchema::new(1, "request")
+                    .field("subid", ValueType::Bool)
+                    .field("resid", ValueType::Bool),
+            )
+            .unwrap();
+        foreign
+            .register(PduSchema::new(3, "free").field("resid", ValueType::Bool))
+            .unwrap();
+        let bytes = foreign
+            .encode("request", &[Value::Bool(true), Value::Bool(false)])
+            .unwrap();
+        let bad_request = foreign.decode(&bytes).unwrap();
+        assert_eq!(request_fields(&bad_request), None);
+        let bytes = foreign.encode("free", &[Value::Bool(true)]).unwrap();
+        let bad_free = foreign.decode(&bytes).unwrap();
+        assert_eq!(free_field(&bad_free), None);
+
+        // Well-formed PDUs from the real registry still parse.
+        let r = registry();
+        let bytes = r.encode("request", &[Value::Id(4), Value::Id(7)]).unwrap();
+        let good = r.decode(&bytes).unwrap();
+        assert_eq!(request_fields(&good), Some((PartId::new(4), 7)));
     }
 
     #[test]

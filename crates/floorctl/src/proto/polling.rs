@@ -97,7 +97,12 @@ impl ProtocolEntity for SubscriberEntity {
         let Some(resid) = self.pending else {
             return;
         };
-        let available = pdu.args()[0].as_bool().expect("schema-checked");
+        // A malformed response (wrong field type) is dropped like a stale
+        // one; the poll timer keeps the loop alive.
+        let Some(available) = resp_field(&pdu) else {
+            ctx.set_timer(self.poll_interval, POLL);
+            return;
+        };
         if available {
             self.pending = None;
             ctx.deliver_to_user("granted", vec![Value::Id(resid)]);
@@ -135,7 +140,9 @@ impl ProtocolEntity for ControllerEntity {
     fn on_pdu(&mut self, ctx: &mut EntityCtx<'_, '_>, from: PartId, pdu: Pdu) {
         match pdu.name() {
             "is_available_req" => {
-                let resid = pdu.args()[0].as_id().expect("schema-checked");
+                let Some(resid) = resid_field(&pdu) else {
+                    return;
+                };
                 let available = !self.held.contains_key(&resid);
                 if available {
                     self.held.insert(resid, from);
@@ -144,7 +151,9 @@ impl ProtocolEntity for ControllerEntity {
                     .expect("response pdu matches schema");
             }
             "free" => {
-                let resid = pdu.args()[0].as_id().expect("schema-checked");
+                let Some(resid) = resid_field(&pdu) else {
+                    return;
+                };
                 if self.held.get(&resid) == Some(&from) {
                     self.held.remove(&resid);
                 }
@@ -152,6 +161,18 @@ impl ProtocolEntity for ControllerEntity {
             other => panic!("unexpected pdu {other}"),
         }
     }
+}
+
+/// Extracts the boolean from an `is_available_resp` PDU; `None` on a
+/// malformed PDU (wrong field type from a foreign registry).
+fn resp_field(pdu: &Pdu) -> Option<bool> {
+    pdu.arg(0).ok()?.try_bool().ok()
+}
+
+/// Extracts the resource id carried by `is_available_req` / `free`; `None`
+/// on a malformed PDU. The controller drops such PDUs rather than panicking.
+fn resid_field(pdu: &Pdu) -> Option<u64> {
+    pdu.arg(0).ok()?.try_id().ok()
 }
 
 /// Assembles the polling protocol stack for the given parameters.
@@ -230,6 +251,26 @@ mod tests {
             &options,
         );
         assert!(check.is_conformant(), "{check}");
+    }
+
+    #[test]
+    fn malformed_pdus_are_rejected_by_the_field_extractors() {
+        let mut foreign = PduRegistry::new();
+        foreign
+            .register(PduSchema::new(2, "is_available_resp").field("avail", ValueType::Id))
+            .unwrap();
+        let bytes = foreign
+            .encode("is_available_resp", &[Value::Id(1)])
+            .unwrap();
+        let bad = foreign.decode(&bytes).unwrap();
+        assert_eq!(resp_field(&bad), None);
+        assert_eq!(resid_field(&bad), Some(1));
+
+        let r = registry();
+        let bytes = r.encode("is_available_resp", &[Value::Bool(true)]).unwrap();
+        let good = r.decode(&bytes).unwrap();
+        assert_eq!(resp_field(&good), Some(true));
+        assert_eq!(resid_field(&good), None);
     }
 
     #[test]

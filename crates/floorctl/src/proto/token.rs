@@ -86,12 +86,14 @@ impl ProtocolEntity for TokenEntity {
 
     fn on_pdu(&mut self, ctx: &mut EntityCtx<'_, '_>, _from: PartId, pdu: Pdu) {
         assert_eq!(pdu.name(), "pass");
-        let mut available: BTreeSet<u64> = pdu.args()[0]
-            .as_set()
-            .expect("schema-checked")
-            .iter()
-            .filter_map(Value::as_id)
-            .collect();
+        // A malformed token (wrong field type) cannot be repaired, but
+        // forwarding an empty token keeps the ring alive so pending releases
+        // eventually re-seed availability.
+        let Some(available) = token_field(&pdu) else {
+            self.forward(ctx, BTreeSet::new());
+            return;
+        };
+        let mut available = available;
         available.append(&mut self.release_pending);
         if let Some(wanted) = self.wanted {
             if available.remove(&wanted) {
@@ -101,6 +103,13 @@ impl ProtocolEntity for TokenEntity {
         }
         self.forward(ctx, available);
     }
+}
+
+/// Extracts the availability set from a `pass` PDU; `None` on a malformed
+/// PDU (wrong field type from a foreign registry).
+fn token_field(pdu: &Pdu) -> Option<BTreeSet<u64>> {
+    let set = pdu.arg(0).ok()?.try_set().ok()?;
+    Some(set.iter().filter_map(Value::as_id).collect())
 }
 
 /// Assembles the token protocol stack for the given parameters.
@@ -151,6 +160,22 @@ mod tests {
             }
         }
         panic!("workload did not complete: {frees}/{expected_frees} frees");
+    }
+
+    #[test]
+    fn malformed_tokens_are_rejected_by_the_field_extractor() {
+        let mut foreign = PduRegistry::new();
+        foreign
+            .register(PduSchema::new(1, "pass").field("available", ValueType::Id))
+            .unwrap();
+        let bytes = foreign.encode("pass", &[Value::Id(7)]).unwrap();
+        let bad = foreign.decode(&bytes).unwrap();
+        assert_eq!(token_field(&bad), None);
+
+        let r = registry();
+        let bytes = r.encode("pass", &[Value::id_set([2, 5])]).unwrap();
+        let good = r.decode(&bytes).unwrap();
+        assert_eq!(token_field(&good), Some(BTreeSet::from([2, 5])));
     }
 
     #[test]

@@ -743,6 +743,382 @@ impl<'a> ServiceExplorer<'a> {
     }
 }
 
+/// State-space strategy for [`ServiceExplorer::explore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Expand every enabled event in every state (the plain product BFS,
+    /// equivalent to [`ServiceExplorer::to_lts`]'s state space).
+    Full,
+    /// Ample-set partial-order reduction: in each state, expand only a
+    /// stubborn subset of the enabled events whose members commute with
+    /// everything outside the subset. Falls back to [`Reduction::Full`]
+    /// when the service contains constraint kinds the explorer cannot
+    /// introspect (no dependence information is derivable for those).
+    AmpleSets,
+}
+
+/// Options for [`ServiceExplorer::explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Bound on explored product states; exceeding it sets
+    /// [`ExploreReport::truncated`].
+    pub max_states: usize,
+    /// Reduction strategy.
+    pub reduction: Reduction,
+    /// Progress-labelled primitives for the divergence check: a reachable
+    /// cycle through non-quiescent states that uses none of these
+    /// primitives is reported as a livelock.
+    pub progress: Vec<String>,
+    /// How many deadlock witness traces to materialise (all deadlock
+    /// states are still *counted*).
+    pub max_deadlock_witnesses: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_states: 100_000,
+            reduction: Reduction::AmpleSets,
+            progress: Vec::new(),
+            max_deadlock_witnesses: 4,
+        }
+    }
+}
+
+/// A reachable cycle that never performs a progress primitive while
+/// liveness obligations are outstanding.
+#[derive(Debug, Clone)]
+pub struct LivelockWitness {
+    /// Events from the initial state to the cycle's entry state.
+    pub prefix: Vec<AbstractEvent>,
+    /// The cycle's events (non-empty; first event leaves the entry state,
+    /// last event returns to it).
+    pub cycle: Vec<AbstractEvent>,
+}
+
+/// What [`ServiceExplorer::explore`] found.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Product states visited.
+    pub states: usize,
+    /// Transitions taken (after reduction, when enabled).
+    pub transitions: usize,
+    /// Whether the state bound was hit (results are then incomplete).
+    pub truncated: bool,
+    /// Total number of reachable deadlock states (no enabled event).
+    pub deadlock_states: usize,
+    /// Witness traces to the first deadlock states found (breadth-first,
+    /// so each trace is shortest within the explored graph). An empty
+    /// trace means the *initial* state is dead: the constraint set is
+    /// contradictory over this universe.
+    pub deadlocks: Vec<Vec<AbstractEvent>>,
+    /// Universe events never enabled in any visited state.
+    pub never_enabled: Vec<AbstractEvent>,
+    /// A livelock witness, when a non-progress cycle exists (see
+    /// [`ExploreOptions::progress`]).
+    pub livelock: Option<LivelockWitness>,
+}
+
+impl<'a> ServiceExplorer<'a> {
+    /// Per-universe-event dependence closures, as bitsets over universe
+    /// indices.
+    ///
+    /// Two events are *dependent* when some constraint is relevant to both
+    /// **at the same constraint instance** (same scope-SAP and key values):
+    /// every current constraint kind reads and writes only the map entry of
+    /// the event's own instance, so events touching disjoint instances
+    /// commute and cannot affect each other's enabledness. The returned
+    /// sets are transitive closures of that relation, so for any event `e`
+    /// the set contains every event that can (transitively) interact with
+    /// it — which makes `closure(e) ∩ enabled` a stubborn set: enabled
+    /// members have all their dependents inside, and disabled members can
+    /// only be enabled from inside.
+    ///
+    /// Returns `None` when the service has constraint kinds we cannot
+    /// introspect (no footprint information).
+    fn dependence_closures(&self) -> Option<Vec<Vec<u64>>> {
+        if self.has_opaque_kinds {
+            return None;
+        }
+        let constraints = self.service.constraints();
+        let n = self.universe.len();
+        // Footprint of each event: the (constraint, instance) entries it
+        // reads/writes.
+        let footprints: Vec<Vec<(usize, Instance)>> = self
+            .universe
+            .iter()
+            .enumerate()
+            .map(|(i, event)| {
+                self.universe_relevance[i]
+                    .iter()
+                    .map(|&ci| {
+                        let constraint = &constraints[ci];
+                        let scope = match constraint.kind() {
+                            ConstraintKind::Precedes { scope, .. }
+                            | ConstraintKind::After { scope, .. }
+                            | ConstraintKind::EventuallyFollows { scope, .. }
+                            | ConstraintKind::AtMostOutstanding { scope, .. } => *scope,
+                            // Mutual exclusion keeps one global holder map.
+                            _ => ConstraintScope::Global,
+                        };
+                        (ci, Self::instance(scope, event, constraint.key()))
+                    })
+                    .collect()
+            })
+            .collect();
+        let words = n.div_ceil(64);
+        let mut dep = vec![vec![0u64; words]; n];
+        for i in 0..n {
+            dep[i][i / 64] |= 1 << (i % 64);
+            for j in i + 1..n {
+                let hit = footprints[i]
+                    .iter()
+                    .any(|a| footprints[j].iter().any(|b| a == b));
+                if hit {
+                    dep[i][j / 64] |= 1 << (j % 64);
+                    dep[j][i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+        // Transitive closure (the universe is small; O(n·n²/64) is fine).
+        let mut closures = dep.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let mut acc = closures[i].clone();
+                for j in 0..n {
+                    if acc[j / 64] >> (j % 64) & 1 == 1 {
+                        for w in 0..words {
+                            acc[w] |= closures[j][w];
+                        }
+                    }
+                }
+                if acc != closures[i] {
+                    closures[i] = acc;
+                    changed = true;
+                }
+            }
+        }
+        Some(closures)
+    }
+
+    /// Exhaustively explores the reachable product states, reporting
+    /// deadlocks (with shortest witness traces), universe events that are
+    /// never enabled, and non-progress cycles (livelocks).
+    ///
+    /// With [`Reduction::AmpleSets`] the search expands, per state, only a
+    /// persistent subset of the enabled events (a dependence-closed ample
+    /// set computed from the static closure over constraint instances).
+    /// Persistent-set reduction preserves **every reachable deadlock** —
+    /// events outside the set commute with it and cannot disable it — while
+    /// visiting far fewer interleavings. The enabledness census
+    /// ([`ExploreReport::never_enabled`]) is taken over the *full* enabled
+    /// set of every visited state, and reduced edges are a subset of the
+    /// full graph's, so livelock witnesses are never invented, only
+    /// potentially missed; reduced/full diagnostic agreement is enforced by
+    /// golden tests rather than by a cycle proviso.
+    pub fn explore(&self, options: &ExploreOptions) -> ExploreReport {
+        let mut engine = ProductEngine::new(self);
+        let event_ids: Vec<u32> = self.universe.iter().map(|e| engine.event_id(e)).collect();
+        let closures = match options.reduction {
+            Reduction::AmpleSets => self.dependence_closures(),
+            Reduction::Full => None,
+        };
+        let n = self.universe.len();
+
+        let mut pool: Vec<Vec<u32>> = Vec::new();
+        let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        // Breadth-first tree: state id → (parent state, universe index).
+        let mut parents: Vec<Option<(u32, u32)>> = Vec::new();
+        let mut quiescent: Vec<bool> = Vec::new();
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        let mut enabled_ever = vec![false; n];
+        let mut deadlock_states = 0usize;
+        let mut deadlocks: Vec<Vec<AbstractEvent>> = Vec::new();
+        let mut truncated = false;
+
+        let init = engine.initial_key();
+        pool.push(init.clone());
+        ids.insert(init, 0);
+        parents.push(None);
+        quiescent.push(engine.is_quiescent(&pool[0]));
+        let mut queue: VecDeque<u32> = VecDeque::from([0]);
+
+        let trace_to = |sid: u32, parents: &[Option<(u32, u32)>]| -> Vec<AbstractEvent> {
+            let mut trace = Vec::new();
+            let mut cursor = sid;
+            while let Some((parent, ei)) = parents[cursor as usize] {
+                trace.push(self.universe[ei as usize].clone());
+                cursor = parent;
+            }
+            trace.reverse();
+            trace
+        };
+
+        while let Some(sid) = queue.pop_front() {
+            let key = pool[sid as usize].clone();
+            let mut enabled: Vec<usize> = Vec::new();
+            let mut succ: Vec<Option<Vec<u32>>> = vec![None; n];
+            for i in 0..n {
+                if let Ok(next) = engine.step_key(&key, &self.universe[i], event_ids[i]) {
+                    enabled.push(i);
+                    enabled_ever[i] = true;
+                    succ[i] = Some(next);
+                }
+            }
+            if enabled.is_empty() {
+                deadlock_states += 1;
+                if deadlocks.len() < options.max_deadlock_witnesses {
+                    deadlocks.push(trace_to(sid, &parents));
+                }
+                continue;
+            }
+            let mut expand: &[usize] = &enabled;
+            let ample: Vec<usize>;
+            if let Some(closures) = &closures {
+                // Candidate minimising |closure ∩ enabled| (ties: lowest
+                // universe index, for determinism).
+                let mut best: Option<Vec<usize>> = None;
+                for &i in &enabled {
+                    let set: Vec<usize> = enabled
+                        .iter()
+                        .copied()
+                        .filter(|&j| closures[i][j / 64] >> (j % 64) & 1 == 1)
+                        .collect();
+                    if best.as_ref().is_none_or(|b| set.len() < b.len()) {
+                        best = Some(set);
+                    }
+                }
+                let candidate = best.expect("enabled set is non-empty");
+                // Guard against trivial starvation: an ample set whose
+                // every transition loops back to this very state would let
+                // the search idle forever and ignore the rest of the
+                // enabled events (constraint-irrelevant events self-loop).
+                let only_self_loops = candidate
+                    .iter()
+                    .all(|&i| *succ[i].as_ref().expect("enabled") == key);
+                if candidate.len() < enabled.len() && !only_self_loops {
+                    ample = candidate;
+                    expand = &ample;
+                }
+            }
+            for &i in expand {
+                let next = succ[i].clone().expect("enabled event has a successor");
+                match ids.get(&next) {
+                    Some(&to) => edges.push((sid, i as u32, to)),
+                    None => {
+                        if pool.len() >= options.max_states {
+                            truncated = true;
+                            continue;
+                        }
+                        let to = u32::try_from(pool.len()).expect("fewer than 2^32 states");
+                        quiescent.push(engine.is_quiescent(&next));
+                        pool.push(next.clone());
+                        ids.insert(next, to);
+                        parents.push(Some((sid, i as u32)));
+                        edges.push((sid, i as u32, to));
+                        queue.push_back(to);
+                    }
+                }
+            }
+        }
+
+        let never_enabled = self
+            .universe
+            .iter()
+            .zip(&enabled_ever)
+            .filter(|(_, &seen)| !seen)
+            .map(|(e, _)| e.clone())
+            .collect();
+        let livelock = self
+            .find_non_progress_cycle(&edges, &quiescent, &options.progress)
+            .map(|(entry, cycle)| LivelockWitness {
+                prefix: trace_to(entry, &parents),
+                cycle: cycle
+                    .into_iter()
+                    .map(|ei| self.universe[ei as usize].clone())
+                    .collect(),
+            });
+        ExploreReport {
+            states: pool.len(),
+            transitions: edges.len(),
+            truncated,
+            deadlock_states,
+            deadlocks,
+            never_enabled,
+            livelock,
+        }
+    }
+
+    /// Finds a cycle in the subgraph of non-quiescent states restricted to
+    /// non-progress events. Returns the cycle's entry state and its event
+    /// sequence. Deterministic: starts are tried in state order, edges in
+    /// insertion (BFS) order.
+    fn find_non_progress_cycle(
+        &self,
+        edges: &[(u32, u32, u32)],
+        quiescent: &[bool],
+        progress: &[String],
+    ) -> Option<(u32, Vec<u32>)> {
+        let states = quiescent.len();
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); states];
+        for &(from, ei, to) in edges {
+            let f = from as usize;
+            let t = to as usize;
+            if quiescent[f] || quiescent[t] {
+                continue;
+            }
+            let primitive = &self.universe[ei as usize].primitive;
+            if progress.iter().any(|p| p == primitive) {
+                continue;
+            }
+            adj[f].push((ei, to));
+        }
+        // Iterative DFS, colouring states white (0) / on-stack (1) / done
+        // (2); a back edge to an on-stack state closes a witness cycle.
+        let mut colour = vec![0u8; states];
+        for start in 0..states {
+            if colour[start] != 0 || adj[start].is_empty() {
+                continue;
+            }
+            // Stack frames: (state, next edge index, event that entered it).
+            let mut stack: Vec<(usize, usize, Option<u32>)> = vec![(start, 0, None)];
+            colour[start] = 1;
+            while let Some(&(node, cursor, _)) = stack.last() {
+                if let Some(&(ei, to)) = adj[node].get(cursor) {
+                    stack.last_mut().expect("stack is non-empty").1 += 1;
+                    let t = to as usize;
+                    match colour[t] {
+                        0 => {
+                            colour[t] = 1;
+                            stack.push((t, 0, Some(ei)));
+                        }
+                        1 => {
+                            // Cycle: from t's frame up to `node`, then back.
+                            let pos = stack
+                                .iter()
+                                .position(|&(s, _, _)| s == t)
+                                .expect("on-stack state is on the stack");
+                            let mut cycle: Vec<u32> = stack[pos + 1..]
+                                .iter()
+                                .map(|&(_, _, entered)| entered.expect("non-root frame"))
+                                .collect();
+                            cycle.push(ei);
+                            return Some((to, cycle));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    colour[node] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
 /// Per-constraint bookkeeping of a [`ProductEngine`]: the constraint's
 /// reachable states interned as integers, their quiescence, and memoized
 /// transitions per (state, event) pair.
@@ -1094,6 +1470,143 @@ mod tests {
         assert_eq!(st.outstanding_obligations(&explorer), 1);
         let st = explorer.step(&st, &req).unwrap();
         assert_eq!(st.outstanding_obligations(&explorer), 2);
+    }
+
+    fn sorted_events(events: &[AbstractEvent]) -> Vec<String> {
+        let mut v: Vec<String> = events.iter().map(|e| e.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn explore_full_matches_to_lts_state_count() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(2, 2), 1);
+        let lts = explorer.to_lts(100_000);
+        let report = explorer.explore(&ExploreOptions {
+            reduction: Reduction::Full,
+            progress: vec!["granted".into()],
+            ..ExploreOptions::default()
+        });
+        assert!(!report.truncated);
+        assert_eq!(report.states, lts.state_count());
+        assert_eq!(report.deadlock_states, 0);
+        assert!(report.never_enabled.is_empty());
+        assert!(report.livelock.is_none());
+    }
+
+    #[test]
+    fn ample_sets_shrink_the_state_space_and_agree_on_diagnostics() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(3, 2), 1);
+        let full = explorer.explore(&ExploreOptions {
+            reduction: Reduction::Full,
+            progress: vec!["granted".into()],
+            ..ExploreOptions::default()
+        });
+        let reduced = explorer.explore(&ExploreOptions {
+            reduction: Reduction::AmpleSets,
+            progress: vec!["granted".into()],
+            ..ExploreOptions::default()
+        });
+        assert!(!full.truncated && !reduced.truncated);
+        assert!(
+            reduced.states < full.states,
+            "no reduction: {} vs {}",
+            reduced.states,
+            full.states
+        );
+        assert_eq!(full.deadlock_states, reduced.deadlock_states);
+        assert_eq!(
+            sorted_events(&full.never_enabled),
+            sorted_events(&reduced.never_enabled)
+        );
+        assert_eq!(full.livelock.is_some(), reduced.livelock.is_some());
+    }
+
+    #[test]
+    fn contradictory_constraints_deadlock_at_the_initial_state() {
+        // `a` may only happen after `b` and `b` only after `a`: nothing is
+        // ever enabled.
+        let svc = ServiceDefinition::builder("contradiction")
+            .role("user", 1, usize::MAX)
+            .primitive(PrimitiveSpec::new("a", Direction::FromUser))
+            .primitive(PrimitiveSpec::new("b", Direction::FromUser))
+            .constraint(Constraint::after("b", "a", ConstraintScope::SameSap))
+            .constraint(Constraint::after("a", "b", ConstraintScope::SameSap))
+            .build()
+            .unwrap();
+        let sap = Sap::new("user", PartId::new(1));
+        let universe = vec![
+            AbstractEvent::new(sap.clone(), "a", vec![]),
+            AbstractEvent::new(sap, "b", vec![]),
+        ];
+        for reduction in [Reduction::Full, Reduction::AmpleSets] {
+            let explorer = ServiceExplorer::new(&svc, universe.clone(), 1);
+            let report = explorer.explore(&ExploreOptions {
+                reduction,
+                ..ExploreOptions::default()
+            });
+            assert_eq!(report.states, 1);
+            assert_eq!(report.deadlock_states, 1);
+            assert_eq!(report.deadlocks, vec![Vec::<AbstractEvent>::new()]);
+            assert_eq!(report.never_enabled.len(), 2);
+        }
+    }
+
+    #[test]
+    fn non_progress_cycle_is_reported_as_livelock() {
+        // After `start`, an obligation to `finish` is outstanding, but the
+        // unconstrained `spin` can loop forever without progress.
+        let svc = ServiceDefinition::builder("spinner")
+            .role("user", 1, usize::MAX)
+            .primitive(PrimitiveSpec::new("start", Direction::FromUser))
+            .primitive(PrimitiveSpec::new("spin", Direction::FromUser))
+            .primitive(PrimitiveSpec::new("finish", Direction::ToUser))
+            .constraint(Constraint::eventually_follows(
+                "start",
+                "finish",
+                ConstraintScope::SameSap,
+            ))
+            .build()
+            .unwrap();
+        let sap = Sap::new("user", PartId::new(1));
+        let universe = vec![
+            AbstractEvent::new(sap.clone(), "start", vec![]),
+            AbstractEvent::new(sap.clone(), "spin", vec![]),
+            AbstractEvent::new(sap, "finish", vec![]),
+        ];
+        for reduction in [Reduction::Full, Reduction::AmpleSets] {
+            let explorer = ServiceExplorer::new(&svc, universe.clone(), 1);
+            let report = explorer.explore(&ExploreOptions {
+                reduction,
+                progress: vec!["finish".into()],
+                ..ExploreOptions::default()
+            });
+            let witness = report.livelock.expect("spin loop is a livelock");
+            assert!(witness.cycle.iter().all(|e| e.primitive == "spin"));
+            assert!(witness.prefix.iter().any(|e| e.primitive == "start"));
+            // Without the progress label the same cycle is just idling.
+            let relaxed = explorer.explore(&ExploreOptions {
+                reduction,
+                progress: vec!["finish".into(), "spin".into()],
+                ..ExploreOptions::default()
+            });
+            assert!(relaxed.livelock.is_none());
+        }
+    }
+
+    #[test]
+    fn truncated_exploration_is_flagged() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::new(&svc, universe(3, 2), 1);
+        let report = explorer.explore(&ExploreOptions {
+            max_states: 10,
+            reduction: Reduction::Full,
+            ..ExploreOptions::default()
+        });
+        assert!(report.truncated);
+        assert_eq!(report.states, 10);
     }
 
     #[test]

@@ -657,4 +657,106 @@ mod tests {
         let report = check_trace(&floor_control(), &trace, &CheckOptions::default());
         assert!(report.to_string().starts_with("conformant"));
     }
+
+    #[test]
+    fn empty_constraint_set_only_checks_schemas() {
+        let svc = ServiceDefinition::builder("unconstrained")
+            .role("u", 1, usize::MAX)
+            .primitive(PrimitiveSpec::new("ping", Direction::FromUser))
+            .build()
+            .unwrap();
+        let sap = Sap::new("u", PartId::new(1));
+        let mk = |t, p: &str| PrimitiveEvent::new(Instant::from_micros(t), sap.clone(), p, vec![]);
+        // Without constraints, any schema-valid event order is conformant.
+        let ok: Trace = [mk(1, "ping"), mk(2, "ping"), mk(3, "ping")]
+            .into_iter()
+            .collect();
+        let report = check_trace(&svc, &ok, &CheckOptions::default());
+        assert!(report.is_conformant(), "{report}");
+        assert_eq!(report.events_checked(), 3);
+        // …but the schema pass still runs.
+        let bad: Trace = [mk(1, "pong")].into_iter().collect();
+        let report = check_trace(&svc, &bad, &CheckOptions::default());
+        assert_eq!(report.violations().len(), 1);
+        assert!(report.violations()[0].constraint().is_none());
+    }
+
+    #[test]
+    fn single_primitive_universe_with_self_referential_liveness() {
+        // A one-primitive universe where the primitive triggers an
+        // obligation only itself could answer: occurrences are classified
+        // as triggers first, so they never self-satisfy — every `tick`
+        // stays an unanswered obligation.
+        let svc = ServiceDefinition::builder("clock")
+            .role("u", 1, usize::MAX)
+            .primitive(PrimitiveSpec::new("tick", Direction::FromUser))
+            .constraint(Constraint::eventually_follows(
+                "tick",
+                "tick",
+                ConstraintScope::SameSap,
+            ))
+            .build()
+            .unwrap();
+        let sap = Sap::new("u", PartId::new(1));
+        let mk = |t| PrimitiveEvent::new(Instant::from_micros(t), sap.clone(), "tick", vec![]);
+        let trace: Trace = [mk(1), mk(2)].into_iter().collect();
+        let report = check_trace(&svc, &trace, &CheckOptions::default());
+        assert_eq!(report.violations().len(), 2);
+        // Under pending-liveness both stay open rather than violating.
+        let options = CheckOptions {
+            allow_pending_liveness: true,
+            ..CheckOptions::default()
+        };
+        let report = check_trace(&svc, &trace, &options);
+        assert!(report.is_conformant());
+        assert_eq!(report.pending_obligations(), 2);
+    }
+
+    #[test]
+    fn constraint_on_undeclared_sap_and_primitive_is_vacuous_at_trace_level() {
+        // A constraint referencing a primitive the service never declares
+        // is rejected when the definition is built — it cannot even reach
+        // the trace checker.
+        let err = ServiceDefinition::builder("dangling")
+            .role("u", 1, usize::MAX)
+            .primitive(PrimitiveSpec::new("ping", Direction::FromUser))
+            .constraint(Constraint::precedes(
+                "open",
+                "close",
+                ConstraintScope::SameSap,
+            ))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("open"), "{err}");
+
+        // An event *at an undeclared SAP* is still fed through the
+        // constraint pass: the mutual-exclusion holder map keys on the
+        // event's SAP as-is, so the double acquire is caught even though
+        // the schema pass already flags the role.
+        let svc = ServiceDefinition::builder("mutex")
+            .role("u", 1, usize::MAX)
+            .primitive(PrimitiveSpec::new("acquire", Direction::FromUser))
+            .primitive(PrimitiveSpec::new("release", Direction::FromUser))
+            .constraint(Constraint::mutual_exclusion("acquire", "release"))
+            .build()
+            .unwrap();
+        let intruder = Sap::new("ghost", PartId::new(9));
+        let mk =
+            |t, p: &str| PrimitiveEvent::new(Instant::from_micros(t), intruder.clone(), p, vec![]);
+        let trace: Trace = [mk(1, "acquire"), mk(2, "acquire")].into_iter().collect();
+        let report = check_trace(&svc, &trace, &CheckOptions::default());
+        let role_violations = report
+            .violations()
+            .iter()
+            .filter(|v| v.message().contains("undeclared role"))
+            .count();
+        assert_eq!(role_violations, 2, "{report}");
+        assert!(
+            report
+                .violations()
+                .iter()
+                .any(|v| v.message().contains("already held")),
+            "{report}"
+        );
+    }
 }

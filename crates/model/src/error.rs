@@ -44,6 +44,14 @@ pub enum ModelError {
         /// Supplied argument count.
         actual: usize,
     },
+    /// A [`Value`](crate::Value) payload was requested as the wrong variant
+    /// (the typed-error counterpart of the `Option`-returning accessors).
+    ValueKindMismatch {
+        /// The requested variant.
+        expected: &'static str,
+        /// The value's actual variant.
+        actual: &'static str,
+    },
     /// An event argument did not inhabit the declared parameter type.
     TypeMismatch {
         /// The primitive name.
@@ -86,6 +94,9 @@ impl fmt::Display for ModelError {
                 f,
                 "`{primitive}` expects {expected} argument(s), got {actual}"
             ),
+            ModelError::ValueKindMismatch { expected, actual } => {
+                write!(f, "value kind mismatch: expected {expected}, got {actual}")
+            }
             ModelError::TypeMismatch {
                 primitive,
                 param,

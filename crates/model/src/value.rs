@@ -9,6 +9,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::error::ModelError;
+
 /// A dynamically-typed application-level value.
 ///
 /// The variants cover exactly what the running example and the platform
@@ -81,6 +83,79 @@ impl Value {
             Value::List(l) => Some(l),
             _ => None,
         }
+    }
+
+    /// Like [`Value::as_bool`], but a typed error instead of `None` —
+    /// for call sites that would otherwise `unwrap()` on malformed input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ValueKindMismatch`] for any other variant.
+    pub fn try_bool(&self) -> Result<bool, ModelError> {
+        self.as_bool().ok_or(ModelError::ValueKindMismatch {
+            expected: "bool",
+            actual: self.type_name(),
+        })
+    }
+
+    /// Like [`Value::as_int`], but a typed error instead of `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ValueKindMismatch`] for any other variant.
+    pub fn try_int(&self) -> Result<i64, ModelError> {
+        self.as_int().ok_or(ModelError::ValueKindMismatch {
+            expected: "int",
+            actual: self.type_name(),
+        })
+    }
+
+    /// Like [`Value::as_id`], but a typed error instead of `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ValueKindMismatch`] for any other variant.
+    pub fn try_id(&self) -> Result<u64, ModelError> {
+        self.as_id().ok_or(ModelError::ValueKindMismatch {
+            expected: "id",
+            actual: self.type_name(),
+        })
+    }
+
+    /// Like [`Value::as_text`], but a typed error instead of `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ValueKindMismatch`] for any other variant.
+    pub fn try_text(&self) -> Result<&str, ModelError> {
+        self.as_text().ok_or(ModelError::ValueKindMismatch {
+            expected: "text",
+            actual: self.type_name(),
+        })
+    }
+
+    /// Like [`Value::as_set`], but a typed error instead of `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ValueKindMismatch`] for any other variant.
+    pub fn try_set(&self) -> Result<&BTreeSet<Value>, ModelError> {
+        self.as_set().ok_or(ModelError::ValueKindMismatch {
+            expected: "set",
+            actual: self.type_name(),
+        })
+    }
+
+    /// Like [`Value::as_list`], but a typed error instead of `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ValueKindMismatch`] for any other variant.
+    pub fn try_list(&self) -> Result<&[Value], ModelError> {
+        self.as_list().ok_or(ModelError::ValueKindMismatch {
+            expected: "list",
+            actual: self.type_name(),
+        })
     }
 
     /// Builds a [`Value::Set`] of identifiers, the shape carried by the
@@ -189,6 +264,31 @@ mod tests {
         assert_eq!(Value::from("hi").as_text(), Some("hi"));
         assert!(Value::Unit.as_bool().is_none());
         assert!(Value::Bool(true).as_id().is_none());
+    }
+
+    #[test]
+    fn typed_accessors_carry_both_variant_names() {
+        assert_eq!(Value::Id(9).try_id(), Ok(9));
+        assert_eq!(Value::Bool(true).try_bool(), Ok(true));
+        assert_eq!(Value::Int(-2).try_int(), Ok(-2));
+        assert_eq!(Value::from("hi").try_text(), Ok("hi"));
+        assert_eq!(
+            Value::id_set([1]).try_set(),
+            Ok(Value::id_set([1]).as_set().unwrap())
+        );
+        let err = Value::Bool(true).try_id().unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::ValueKindMismatch {
+                expected: "id",
+                actual: "bool",
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "value kind mismatch: expected id, got bool"
+        );
+        assert!(Value::Unit.try_list().is_err());
     }
 
     #[test]

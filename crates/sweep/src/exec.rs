@@ -37,6 +37,12 @@ pub struct CellResult {
     pub campaign_label: String,
     /// The measured run.
     pub outcome: RunOutcome,
+    /// Wall-clock time the worker spent building and running this cell.
+    ///
+    /// Reported in the `*.timing.json` sidecar only — never in the
+    /// canonical sweep JSON, which must stay byte-identical across worker
+    /// counts and machines.
+    pub wall: WallDuration,
 }
 
 /// Everything a sweep produced: per-cell results in spec order, per-group
@@ -119,7 +125,7 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> SweepReport {
     let started = WallInstant::now();
 
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, RunOutcome)>();
+    let (tx, rx) = mpsc::channel::<(usize, RunOutcome, WallDuration)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
@@ -131,8 +137,9 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> SweepReport {
                 if i >= cells.len() {
                     break;
                 }
+                let cell_started = WallInstant::now();
                 let outcome = run_cell(spec, &cells[i]);
-                if tx.send((i, outcome)).is_err() {
+                if tx.send((i, outcome, cell_started.elapsed())).is_err() {
                     break;
                 }
             });
@@ -140,20 +147,24 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> SweepReport {
     });
     drop(tx);
 
-    let mut slots: Vec<Option<RunOutcome>> = cells.iter().map(|_| None).collect();
-    for (i, outcome) in rx {
-        slots[i] = Some(outcome);
+    let mut slots: Vec<Option<(RunOutcome, WallDuration)>> = cells.iter().map(|_| None).collect();
+    for (i, outcome, wall) in rx {
+        slots[i] = Some((outcome, wall));
     }
 
     let results: Vec<CellResult> = cells
         .iter()
         .zip(slots)
-        .map(|(cell, outcome)| CellResult {
-            cell: *cell,
-            target_label: spec.targets[cell.target].to_string(),
-            variation_label: spec.variations[cell.variation].label.clone(),
-            campaign_label: spec.campaign_label(cell.campaign).to_string(),
-            outcome: outcome.expect("every scheduled cell sends exactly one result"),
+        .map(|(cell, slot)| {
+            let (outcome, wall) = slot.expect("every scheduled cell sends exactly one result");
+            CellResult {
+                cell: *cell,
+                target_label: spec.targets[cell.target].to_string(),
+                variation_label: spec.variations[cell.variation].label.clone(),
+                campaign_label: spec.campaign_label(cell.campaign).to_string(),
+                outcome,
+                wall,
+            }
         })
         .collect();
 

@@ -74,7 +74,9 @@ impl SweepReport {
     ///
     /// Contains only deterministic data: no wall-clock, no thread count —
     /// `threads=N` output is byte-identical to `threads=1` (the golden
-    /// test pins this).
+    /// test pins this). Per-cell *virtual* (simulated) time is
+    /// deterministic and therefore included; per-cell *wall* time lives in
+    /// the [`SweepReport::timing_json`] sidecar instead.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::pretty();
         w.begin_object();
@@ -86,6 +88,7 @@ impl SweepReport {
             w.key("variation").string(&r.variation_label);
             w.key("campaign").string(&r.campaign_label);
             w.key("seed").uint(r.cell.seed);
+            w.key("virtual_us").uint(r.outcome.end_time.as_micros());
             w.key("outcome");
             write_outcome(&mut w, &r.outcome);
             w.end_object();
@@ -123,16 +126,52 @@ impl SweepReport {
         w.finish()
     }
 
-    /// Writes [`SweepReport::to_json`] to `path` and logs the execution
+    /// The wall-clock sidecar: per-cell wall and virtual times plus the
+    /// executor metadata.
+    ///
+    /// Deliberately a *separate* file (`<out>.timing.json`): wall-clock
+    /// numbers differ between runs, machines and worker counts, so they
+    /// can never live in the canonical sweep JSON, whose byte-identity
+    /// across `--threads` values is golden-tested and CI-`cmp`'d.
+    pub fn timing_json(&self) -> String {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.key("sweep").string(&self.name);
+        w.key("threads").uint(self.threads as u64);
+        w.key("wall_ms").float(self.wall.as_secs_f64() * 1e3, 3);
+        w.key("cells").begin_array();
+        for r in &self.results {
+            w.begin_object();
+            w.key("target").string(&r.target_label);
+            w.key("variation").string(&r.variation_label);
+            w.key("campaign").string(&r.campaign_label);
+            w.key("seed").uint(r.cell.seed);
+            w.key("wall_ms").float(r.wall.as_secs_f64() * 1e3, 3);
+            w.key("virtual_us").uint(r.outcome.end_time.as_micros());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Writes [`SweepReport::to_json`] to `path`, the wall-clock sidecar
+    /// ([`SweepReport::timing_json`]) next to it, and logs the execution
     /// metadata (cells, threads, wall-clock) to stdout.
     ///
     /// # Panics
     ///
-    /// Panics when the file cannot be written.
+    /// Panics when either file cannot be written.
     pub fn write_json(&self, path: &str) {
         std::fs::write(path, self.to_json()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        let timing_path = match path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.timing.json"),
+            None => format!("{path}.timing.json"),
+        };
+        std::fs::write(&timing_path, self.timing_json())
+            .unwrap_or_else(|e| panic!("cannot write {timing_path}: {e}"));
         println!(
-            "wrote {path} ({} cells, {} threads, {:.2}s wall)",
+            "wrote {path} + {timing_path} ({} cells, {} threads, {:.2}s wall)",
             self.results.len(),
             self.threads,
             self.wall.as_secs_f64()
@@ -203,6 +242,29 @@ mod tests {
         assert!(json.contains("\"cells\": ["));
         assert!(json.contains("\"groups\": ["));
         assert!(json.contains("\"target\": \"mw-callback\""));
+        assert!(json.contains("\"virtual_us\": "));
+        assert!(!json.contains("wall"), "wall time is sidecar-only");
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn timing_sidecar_has_wall_and_virtual_per_cell() {
+        let spec = SweepSpec::new("timing")
+            .solutions([Solution::MwCallback])
+            .variation("tiny", RunParams::default().subscribers(2).rounds(1))
+            .seeds([7, 8]);
+        let report = run_sweep(&spec, 1);
+        let timing = report.timing_json();
+        assert!(timing.starts_with("{\n  \"sweep\": \"timing\""));
+        assert!(timing.contains("\"threads\": 1"));
+        assert_eq!(
+            timing.matches("\"wall_ms\": ").count(),
+            3,
+            "total + 2 cells"
+        );
+        assert_eq!(timing.matches("\"virtual_us\": ").count(), 2);
+        for r in &report.results {
+            assert!(r.wall > std::time::Duration::ZERO);
+        }
     }
 }

@@ -70,6 +70,10 @@ pub struct SweepSpec {
     /// Seeds; when empty, each variation runs once with the seed already
     /// set in its `params`.
     pub seeds: Vec<u64>,
+    /// Optional group filter: when set, [`SweepSpec::cells`] keeps only
+    /// cells whose group label (`target/variation/campaign`) contains this
+    /// substring. Lets `--filter` re-run a single group of a large sweep.
+    pub filter: Option<String>,
 }
 
 /// One expanded grid point, by index into the owning [`SweepSpec`].
@@ -97,6 +101,7 @@ impl SweepSpec {
             variations: Vec::new(),
             campaigns: Vec::new(),
             seeds: Vec::new(),
+            filter: None,
         }
     }
 
@@ -165,6 +170,20 @@ impl SweepSpec {
         self
     }
 
+    /// Restricts the expanded grid to cells whose group label
+    /// ([`SweepSpec::group_label`]) contains `needle` (builder-style).
+    ///
+    /// Filtering happens during [`SweepSpec::cells`] expansion, before any
+    /// cell runs, so re-running a single group of an expensive sweep costs
+    /// only that group. The surviving cells keep the canonical order and
+    /// are re-indexed, so parallel execution stays byte-identical to
+    /// serial.
+    #[must_use]
+    pub fn filter(mut self, needle: impl Into<String>) -> Self {
+        self.filter = Some(needle.into());
+        self
+    }
+
     /// The label of a campaign index (the implicit no-fault campaign is
     /// `"none"`).
     pub fn campaign_label(&self, campaign: Option<usize>) -> &str {
@@ -172,6 +191,18 @@ impl SweepSpec {
             Some(i) => &self.campaigns[i].label,
             None => "none",
         }
+    }
+
+    /// The `target/variation/campaign` group label of a cell — the key
+    /// [`SweepSpec::filter`] matches against and the identity under which
+    /// the aggregator groups results.
+    pub fn group_label(&self, cell: &Cell) -> String {
+        format!(
+            "{}/{}/{}",
+            self.targets[cell.target],
+            self.variations[cell.variation].label,
+            self.campaign_label(cell.campaign)
+        )
     }
 
     /// Expands the grid in the canonical cell order:
@@ -204,6 +235,12 @@ impl SweepSpec {
                         });
                     }
                 }
+            }
+        }
+        if let Some(needle) = &self.filter {
+            cells.retain(|c| self.group_label(c).contains(needle.as_str()));
+            for (i, cell) in cells.iter_mut().enumerate() {
+                cell.index = i;
             }
         }
         cells
@@ -265,6 +302,30 @@ mod tests {
         assert_eq!(cells[1].campaign, Some(1));
         assert_eq!(spec.campaign_label(Some(1)), "cut");
         assert_eq!(spec.campaign_label(None), "none");
+    }
+
+    #[test]
+    fn filter_keeps_one_group_and_reindexes() {
+        let spec = SweepSpec::new("t")
+            .solutions([Solution::MwCallback, Solution::ProtoCallback])
+            .variation("a", RunParams::default())
+            .variation("b", RunParams::default())
+            .seeds([1, 2])
+            .filter("proto-callback/b");
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2, "one target x one variation x two seeds");
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i, "filtered cells are re-indexed");
+            assert_eq!(spec.group_label(cell), "proto-callback/b/none");
+        }
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[1].seed, 2);
+
+        let none = SweepSpec::new("t")
+            .solutions([Solution::MwCallback])
+            .variation("a", RunParams::default())
+            .filter("no-such-group");
+        assert!(none.cells().is_empty());
     }
 
     #[test]
