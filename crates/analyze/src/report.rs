@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use svckit_lts::explorer::Reduction;
-use svckit_sweep::JsonWriter;
+use svckit_sweep::{JsonWriter, PorStats};
 
 use crate::diag::{Diagnostic, Severity};
 use crate::protocol_pass::analyze_protocol;
@@ -25,6 +25,9 @@ pub struct TargetReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Context lines (trajectory milestones, solution classification).
     pub notes: Vec<String>,
+    /// Full-vs-reduced exploration statistics (shared schema with the
+    /// explorer benchmarks' `BENCH_hotpath.por.json` sidecar).
+    pub por: PorStats,
 }
 
 /// The whole run: every target, one pass configuration.
@@ -65,6 +68,7 @@ impl AnalysisReport {
                 transitions: analysis.transitions,
                 diagnostics,
                 notes: target.notes.clone(),
+                por: analysis.por,
             });
         }
         AnalysisReport {
@@ -129,6 +133,8 @@ impl AnalysisReport {
             w.key("kind").string(target.kind);
             w.key("states").uint(target.states as u64);
             w.key("transitions").uint(target.transitions as u64);
+            w.key("por");
+            target.por.write(&mut w);
             write_diagnostics(&mut w, &target.diagnostics);
             w.key("notes").begin_array();
             for note in &target.notes {
@@ -220,5 +226,23 @@ mod tests {
         let full = report.to_json();
         assert!(full.contains("states"));
         assert!(full.contains("ample-sets"));
+    }
+
+    #[test]
+    fn por_stats_ride_in_the_full_report_only() {
+        let (target, _) = &fixtures::expected_codes()[0];
+        let report =
+            AnalysisReport::run(std::slice::from_ref(target), &ServicePassOptions::default());
+        let full = report.to_json();
+        assert!(full.contains("\"por\""));
+        assert!(full.contains("\"reduction_ratio\""));
+        assert!(full.contains("\"ample_hist\""));
+        let diag = report.to_diag_json();
+        assert!(!diag.contains("por"));
+        assert!(!diag.contains("reduction_ratio"));
+        // Both sides of the A/B actually ran.
+        let stats = &report.targets[0].por;
+        assert!(stats.full_states > 0);
+        assert!(stats.reduced_states > 0);
     }
 }

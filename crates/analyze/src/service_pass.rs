@@ -13,6 +13,7 @@ use svckit_lts::explorer::{
     AbstractEvent, ExploreOptions, ExploreReport, Reduction, ServiceExplorer,
 };
 use svckit_model::{ConstraintKind, ServiceDefinition};
+use svckit_sweep::PorStats;
 
 use crate::diag::Diagnostic;
 
@@ -47,6 +48,9 @@ pub struct ServiceAnalysis {
     pub states: usize,
     /// Transitions taken (reduction-dependent).
     pub transitions: usize,
+    /// Full-vs-reduced exploration statistics, in the schema the explorer
+    /// benchmarks share (`BENCH_hotpath.por.json`).
+    pub por: PorStats,
 }
 
 /// The progress-labelled primitives used by the livelock pass: every
@@ -94,10 +98,35 @@ pub fn analyze_service(
     };
     let report = explorer.explore(&explore_options);
     let diagnostics = diagnostics_from(service, &explorer, &report);
+
+    // A second exploration under the counterpart reduction fills in the
+    // other half of the shared POR statistics block. Diagnostics always
+    // come from the run the caller configured; the extra run only feeds
+    // the report, and shares the same state bound.
+    let counterpart = explorer.explore(&ExploreOptions {
+        reduction: match options.reduction {
+            Reduction::Full => Reduction::AmpleSets,
+            Reduction::AmpleSets => Reduction::Full,
+        },
+        ..explore_options.clone()
+    });
+    let (full, reduced) = match options.reduction {
+        Reduction::Full => (&report, &counterpart),
+        Reduction::AmpleSets => (&counterpart, &report),
+    };
+    let por = PorStats {
+        full_states: full.states as u64,
+        full_transitions: full.transitions as u64,
+        reduced_states: reduced.states as u64,
+        reduced_transitions: reduced.transitions as u64,
+        ample_hist: reduced.ample_hist.clone(),
+    };
+
     ServiceAnalysis {
         diagnostics,
         states: report.states,
         transitions: report.transitions,
+        por,
     }
 }
 

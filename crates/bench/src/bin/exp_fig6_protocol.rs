@@ -11,7 +11,9 @@ use svckit::floorctl::{RunParams, Solution};
 use svckit::model::Duration;
 use svckit::netsim::LinkConfig;
 use svckit_bench::{fmt_f, print_header, print_row};
-use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, SweepSpec};
+use svckit_sweep::{
+    default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity, SweepSpec,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -159,4 +161,13 @@ fn main() {
     println!("service boundary at the price of retransmissions and latency.");
     println!();
     report.write_json(&out);
+
+    let verbose = verbosity(&args);
+    if let Some((obs_path, format)) = obs_flags(&args) {
+        report.write_obs(&obs_path, format);
+        verbose.info(&format!("wrote obs {obs_path} ({format:?})"));
+    }
+    if svckit::obs::sites_enabled() {
+        verbose.sink_summary("fig6_protocol", &report.obs_total());
+    }
 }

@@ -11,7 +11,9 @@
 
 use svckit::floorctl::{RunParams, Solution};
 use svckit_bench::{fmt_f, print_header, print_row};
-use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, SweepSpec};
+use svckit_sweep::{
+    default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity, SweepSpec,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,4 +78,13 @@ fn main() {
     println!("provider absorbs it and the user parts see only service primitives.");
     println!();
     report.write_json(&out);
+
+    let verbose = verbosity(&args);
+    if let Some((obs_path, format)) = obs_flags(&args) {
+        report.write_obs(&obs_path, format);
+        verbose.info(&format!("wrote obs {obs_path} ({format:?})"));
+    }
+    if svckit::obs::sites_enabled() {
+        verbose.sink_summary("fig7_scattering", &report.obs_total());
+    }
 }

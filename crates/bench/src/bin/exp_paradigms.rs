@@ -14,7 +14,9 @@
 
 use svckit::floorctl::{RunParams, Solution};
 use svckit_bench::{fmt_f, print_header, print_row};
-use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, SweepSpec};
+use svckit_sweep::{
+    default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity, SweepSpec,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,4 +74,13 @@ fn main() {
     println!("the protocol structure places it in the service provider (scattering << 1).");
     println!();
     report.write_json(&out);
+
+    let verbose = verbosity(&args);
+    if let Some((obs_path, format)) = obs_flags(&args) {
+        report.write_obs(&obs_path, format);
+        verbose.info(&format!("wrote obs {obs_path} ({format:?})"));
+    }
+    if svckit::obs::sites_enabled() {
+        verbose.sink_summary("paradigms", &report.obs_total());
+    }
 }

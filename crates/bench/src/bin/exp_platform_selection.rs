@@ -16,7 +16,9 @@ use svckit::floorctl::RunParams;
 use svckit::mda::{catalog, transform, QosSpec, TransformPolicy};
 use svckit::model::Duration;
 use svckit_bench::{fmt_f, print_header, print_row};
-use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, CellResult, SweepSpec};
+use svckit_sweep::{
+    default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity, CellResult, SweepSpec,
+};
 
 fn run_selection(label: &str, qos: &QosSpec, measured: &[(&CellResult, usize)]) {
     println!("{label}: {qos}");
@@ -135,4 +137,13 @@ fn main() {
     println!("latency budget therefore selects the RPC branch of the trajectory.");
     println!();
     report.write_json(&out);
+
+    let verbose = verbosity(&args);
+    if let Some((obs_path, format)) = obs_flags(&args) {
+        report.write_obs(&obs_path, format);
+        verbose.info(&format!("wrote obs {obs_path} ({format:?})"));
+    }
+    if svckit::obs::sites_enabled() {
+        verbose.sink_summary("platform_selection", &report.obs_total());
+    }
 }

@@ -15,8 +15,21 @@
 //! entries with no baseline are reported but never fail the gate, so new
 //! benchmarks can land before their baseline is committed. Improvements
 //! beyond the band are flagged as a reminder to re-baseline.
+//!
+//! The obs keys are special-cased: `obs_disabled_overhead` is an
+//! in-process A/B *percentage* (machine-independent), so instead of the
+//! ratio band it is held to an absolute bound — at most 3% when
+//! `obs_sites_enabled` is 0 (instrumentation compiled out). When sites
+//! are compiled in the overhead is real by design and the bound is
+//! skipped. `obs_sites_enabled` itself is a flag, not a timing.
 
 use svckit_sweep::{flag_value, parse_flat_numbers};
+
+/// Keys that are not nanosecond medians and must skip the ratio band.
+const SPECIAL_KEYS: [&str; 2] = ["obs_disabled_overhead", "obs_sites_enabled"];
+
+/// Largest tolerated `obs_disabled_overhead` percentage with obs off.
+const MAX_DISABLED_OVERHEAD_PCT: f64 = 3.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +57,9 @@ fn main() {
     println!("perfgate: {fresh_path} vs {baseline_path} (tolerance +/-{band:.0}%)\n");
     let mut regressions = 0usize;
     for (name, base_ns) in &baseline {
+        if SPECIAL_KEYS.contains(&name.as_str()) {
+            continue; // percentages/flags, gated absolutely below
+        }
         match fresh.iter().find(|(n, _)| n == name) {
             None => {
                 println!("MISSING     {name:<36} baseline {base_ns:>14.0} ns, no fresh result");
@@ -70,8 +86,34 @@ fn main() {
         }
     }
     for (name, _) in &fresh {
+        if SPECIAL_KEYS.contains(&name.as_str()) {
+            continue;
+        }
         if !baseline.iter().any(|(n, _)| n == name) {
             println!("NEW         {name:<36} (no baseline yet)");
+        }
+    }
+
+    // Absolute gate for the obs overhead percentage (fresh run only).
+    let fresh_key = |key: &str| fresh.iter().find(|(n, _)| n == key).map(|(_, v)| *v);
+    if let Some(overhead) = fresh_key("obs_disabled_overhead") {
+        let sites_enabled = fresh_key("obs_sites_enabled").unwrap_or(0.0) != 0.0;
+        if sites_enabled {
+            println!(
+                "skipped     {:<36} {overhead:>+13.2}% (obs sites enabled)",
+                "obs_disabled_overhead"
+            );
+        } else if overhead > MAX_DISABLED_OVERHEAD_PCT {
+            regressions += 1;
+            println!(
+                "REGRESSION  {:<36} {overhead:>+13.2}% (bound {MAX_DISABLED_OVERHEAD_PCT:.1}%)",
+                "obs_disabled_overhead"
+            );
+        } else {
+            println!(
+                "ok          {:<36} {overhead:>+13.2}% (bound {MAX_DISABLED_OVERHEAD_PCT:.1}%)",
+                "obs_disabled_overhead"
+            );
         }
     }
 
@@ -79,5 +121,9 @@ fn main() {
         println!("\nperfgate: {regressions} regression(s) beyond the +/-{band:.0}% band");
         std::process::exit(1);
     }
-    println!("\nperfgate: all {} benchmarks within band", baseline.len());
+    let banded = baseline
+        .iter()
+        .filter(|(n, _)| !SPECIAL_KEYS.contains(&n.as_str()))
+        .count();
+    println!("\nperfgate: all {banded} benchmarks within band");
 }

@@ -21,14 +21,23 @@
 //!
 //! ```text
 //! cargo run --release -p svckit-bench --bin soak -- \
-//!     [--seeds <n>] [--threads <n>] [--out SWEEP_soak.json]
+//!     [--seeds <n>] [--threads <n>] [--out SWEEP_soak.json] \
+//!     [--obs-out <path>] [--obs-format jsonl|chrome] [--quiet|-v]
 //! ```
+//!
+//! With `--features obs`, `--obs-out` captures per-cell instrumentation
+//! (virtual-time spans, counters, per-link stats) as JSONL or a Chrome
+//! trace loadable in Perfetto; output is byte-identical across
+//! `--threads` values and repeated same-seed runs.
 
 use svckit::floorctl::{proto, FaultEvent, RunParams, Solution};
 use svckit::model::Duration;
 use svckit::netsim::{DeterministicRng, LinkConfig};
 use svckit::protocol::ReliabilityConfig;
-use svckit_sweep::{default_threads, flag_usize, flag_value, run_sweep, SweepReport, SweepSpec};
+use svckit_sweep::{
+    default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity, SweepReport,
+    SweepSpec,
+};
 
 /// Derives one fault campaign from a seed: a partition of a random node
 /// pair (subscriber↔controller or subscriber↔subscriber) at a random time
@@ -87,6 +96,7 @@ fn main() {
     let seeds = flag_usize(&args, "seeds", 8) as u64;
     let threads = flag_usize(&args, "threads", default_threads());
     let out = flag_value(&args, "out").unwrap_or_else(|| "SWEEP_soak.json".to_owned());
+    let verbose = verbosity(&args);
 
     let subscribers = 4u64;
     let base = RunParams::default()
@@ -159,6 +169,22 @@ fn main() {
         None => format!("{out}.reliable"),
     };
     reliable.write_json(&reliable_out);
+
+    if let Some((obs_path, format)) = obs_flags(&args) {
+        report.write_obs(&obs_path, format);
+        let reliable_obs = match obs_path.rsplit_once('.') {
+            Some((stem, ext)) => format!("{stem}_reliable.{ext}"),
+            None => format!("{obs_path}_reliable"),
+        };
+        reliable.write_obs(&reliable_obs, format);
+        verbose.info(&format!(
+            "wrote obs {obs_path} + {reliable_obs} ({format:?})"
+        ));
+    }
+    if svckit::obs::sites_enabled() {
+        verbose.sink_summary("soak", &report.obs_total());
+        verbose.sink_summary("soak_reliable", &reliable.obs_total());
+    }
 
     // Healed campaigns with retransmission must do better than stall: every
     // grant eventually lands despite loss, duplication and the partition.

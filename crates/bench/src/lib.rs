@@ -4,5 +4,11 @@
 //!
 //! The sweep/table/JSON machinery lives in `svckit-sweep`; the helpers the
 //! binaries use are re-exported here so existing imports keep working.
+//! That includes the shared obs/verbosity CLI helpers: every binary
+//! parses `--obs-out <path>`, `--obs-format {jsonl,chrome}`, `--quiet`
+//! and `-v` the same way. Build with `--features obs` to turn the
+//! workspace's instrumentation sites live.
 
-pub use svckit_sweep::{fmt_f, print_header, print_row};
+pub use svckit_sweep::{
+    fmt_f, obs_flags, print_header, print_row, verbosity, ObsFormat, PorStats, Recorder, Verbosity,
+};

@@ -14,6 +14,7 @@
 //! | [`middleware`] | §3 | Component platform: remote invocation, oneway, queues, publish/subscribe, capability enforcement |
 //! | [`mda`] | §6 | PIM/PSM models, abstract platforms, transformation, recursive abstract-platform realization, trajectory milestones, the two system views |
 //! | [`floorctl`] | §4 | The floor-control running example: all six solutions of Figures 4 and 6 plus the Figure 10 queue-based PSM |
+//! | [`obs`] | §2, §5 (observable behaviour) | Zero-cost-when-disabled instrumentation: counters, histograms, virtual-time spans, JSONL/Chrome-trace sinks (enable with feature `obs`) |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use svckit_mda as mda;
 pub use svckit_middleware as middleware;
 pub use svckit_model as model;
 pub use svckit_netsim as netsim;
+pub use svckit_obs as obs;
 pub use svckit_protocol as protocol;
 
 /// The most commonly used items, for glob import.

@@ -12,6 +12,7 @@ pub struct FloorMetrics {
     requests: u64,
     grants: u64,
     frees: u64,
+    outstanding_at_end: u64,
     latencies: Vec<Duration>,
     grants_per_sap: BTreeMap<Sap, u64>,
 }
@@ -49,6 +50,11 @@ impl FloorMetrics {
                 _ => {}
             }
         }
+        // Requests with no matching grant by trace end stay queued in
+        // `outstanding`; ignoring them silently would make a run that
+        // starves requesters look identical to one that granted
+        // everything. Surface them instead.
+        metrics.outstanding_at_end = outstanding.values().map(|q| q.len() as u64).sum();
         metrics.latencies.sort_unstable();
         metrics
     }
@@ -66,6 +72,14 @@ impl FloorMetrics {
     /// Number of `free` occurrences.
     pub fn frees(&self) -> u64 {
         self.frees
+    }
+
+    /// Requests still waiting for a grant when the trace ended (per
+    /// `(access point, resource)` FIFO matching). Non-zero means the run
+    /// finished with starved requesters — latency percentiles then only
+    /// describe the requests that *were* served.
+    pub fn outstanding_at_end(&self) -> u64 {
+        self.outstanding_at_end
     }
 
     /// Grant latencies (request→granted), sorted ascending.
@@ -129,10 +143,12 @@ impl fmt::Display for FloorMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "requests={} grants={} frees={} latency(mean={} p50={} p99={}) fairness={:.3}",
+            "requests={} grants={} frees={} outstanding={} latency(mean={} p50={} p99={}) \
+             fairness={:.3}",
             self.requests,
             self.grants,
             self.frees,
+            self.outstanding_at_end,
             self.mean_latency(),
             self.median_latency(),
             self.p99_latency(),
@@ -176,6 +192,31 @@ mod tests {
         );
         assert_eq!(m.mean_latency(), Duration::from_micros(150));
         assert_eq!(m.median_latency(), Duration::from_micros(200));
+    }
+
+    #[test]
+    fn unmatched_requests_are_reported_not_dropped() {
+        // Regression: two requests, one grant — the second requester is
+        // still waiting at trace end. The old code silently ignored the
+        // queued entry; it must surface as `outstanding_at_end`.
+        let trace: Trace = [
+            ev(0, 1, "request", 1),
+            ev(5, 2, "request", 1),
+            ev(100, 1, "granted", 1),
+        ]
+        .into_iter()
+        .collect();
+        let m = FloorMetrics::from_trace(&trace);
+        assert_eq!(m.requests(), 2);
+        assert_eq!(m.grants(), 1);
+        assert_eq!(m.outstanding_at_end(), 1);
+        assert_eq!(m.latencies(), &[Duration::from_micros(100)]);
+        // A fully-served trace reports zero.
+        let served: Trace = [ev(0, 1, "request", 1), ev(9, 1, "granted", 1)]
+            .into_iter()
+            .collect();
+        assert_eq!(FloorMetrics::from_trace(&served).outstanding_at_end(), 0);
+        assert!(m.to_string().contains("outstanding=1"));
     }
 
     #[test]

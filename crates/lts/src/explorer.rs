@@ -590,8 +590,12 @@ impl<'a> ServiceExplorer<'a> {
             for &ci in &self.universe_relevance[ei] {
                 let key = (sids[ci], ei as u32);
                 let verdict = match cache.verdicts[ci].get(&key) {
-                    Some(&v) => v,
+                    Some(&v) => {
+                        svckit_obs::obs_count!("lts.allowed_cache_hits");
+                        v
+                    }
                     None => {
+                        svckit_obs::obs_count!("lts.allowed_cache_misses");
                         let v = self
                             .step_constraint(&constraints[ci], &state.0[ci], event)
                             .is_ok();
@@ -817,6 +821,13 @@ pub struct ExploreReport {
     /// A livelock witness, when a non-progress cycle exists (see
     /// [`ExploreOptions::progress`]).
     pub livelock: Option<LivelockWitness>,
+    /// Ample-set size histogram: `ample_hist[k]` = number of state
+    /// expansions whose expanded set (the ample set under
+    /// [`Reduction::AmpleSets`], the full enabled set otherwise) had `k`
+    /// events. Index 0 stays zero — deadlock states are not expanded.
+    /// This is the explorer half of the shared POR-statistics schema
+    /// (`svckit-obs`'s `PorStats`).
+    pub ample_hist: Vec<u64>,
 }
 
 impl<'a> ServiceExplorer<'a> {
@@ -937,6 +948,7 @@ impl<'a> ServiceExplorer<'a> {
         let mut deadlock_states = 0usize;
         let mut deadlocks: Vec<Vec<AbstractEvent>> = Vec::new();
         let mut truncated = false;
+        let mut ample_hist: Vec<u64> = Vec::new();
 
         let init = engine.initial_key();
         pool.push(init.clone());
@@ -1003,6 +1015,12 @@ impl<'a> ServiceExplorer<'a> {
                     expand = &ample;
                 }
             }
+            if ample_hist.len() <= expand.len() {
+                ample_hist.resize(expand.len() + 1, 0);
+            }
+            ample_hist[expand.len()] += 1;
+            svckit_obs::obs_count!("lts.states_expanded");
+            svckit_obs::obs_record!("lts.ample_size", expand.len());
             for &i in expand {
                 let next = succ[i].clone().expect("enabled event has a successor");
                 match ids.get(&next) {
@@ -1040,6 +1058,8 @@ impl<'a> ServiceExplorer<'a> {
                     .map(|ei| self.universe[ei as usize].clone())
                     .collect(),
             });
+        svckit_obs::obs_count!("lts.states", pool.len());
+        svckit_obs::obs_count!("lts.transitions", edges.len());
         ExploreReport {
             states: pool.len(),
             transitions: edges.len(),
@@ -1048,6 +1068,7 @@ impl<'a> ServiceExplorer<'a> {
             deadlocks,
             never_enabled,
             livelock,
+            ample_hist,
         }
     }
 

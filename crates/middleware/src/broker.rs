@@ -51,6 +51,13 @@ impl Broker {
         c.deliveries += 1;
         c.marshalled_bytes += bytes.len() as u64;
         drop(c);
+        svckit_obs::obs_count!("mw.broker_deliveries");
+        svckit_obs::obs_event!(
+            "mw.broker_deliver",
+            "mw",
+            entry.part().raw(),
+            net.now().as_micros()
+        );
         net.send(entry.part(), bytes);
     }
 }

@@ -214,6 +214,8 @@ impl MwCtx<'_, '_> {
             c.invocations += 1;
             c.marshalled_bytes += bytes.len() as u64;
         }
+        svckit_obs::obs_count!("mw.invocations");
+        svckit_obs::obs_event!("mw.invoke", "mw", part.raw(), self.net.now().as_micros());
         self.net.send(part, bytes);
         if let Some(timeout) = timeout {
             self.net
@@ -286,6 +288,8 @@ impl MwCtx<'_, '_> {
             c.enqueues += 1;
             c.marshalled_bytes += bytes.len() as u64;
         }
+        svckit_obs::obs_count!("mw.enqueues");
+        svckit_obs::obs_event!("mw.enqueue", "mw", broker.raw(), self.net.now().as_micros());
         self.net.send(broker, bytes);
         Ok(())
     }
@@ -319,6 +323,8 @@ impl MwCtx<'_, '_> {
             c.publishes += 1;
             c.marshalled_bytes += bytes.len() as u64;
         }
+        svckit_obs::obs_count!("mw.publishes");
+        svckit_obs::obs_event!("mw.publish", "mw", broker.raw(), self.net.now().as_micros());
         self.net.send(broker, bytes);
         Ok(())
     }

@@ -83,6 +83,8 @@ impl MwNode {
             self.component.handle_operation(&mut ctx, &iface, &op, args)
         };
         self.counters.borrow_mut().dispatches += 1;
+        svckit_obs::obs_count!("mw.dispatches");
+        svckit_obs::obs_event!("mw.dispatch", "mw", net.id().raw(), net.now().as_micros());
         if let Some(call_id) = call {
             let result = if sig.validate_result(&result).is_ok() {
                 result
@@ -152,6 +154,13 @@ impl Process for MwNode {
                     if let Some(token) = self.pending.remove(&call) {
                         net.cancel_timer(TimerId(CALL_TIMEOUT_BASE + call));
                         self.counters.borrow_mut().replies += 1;
+                        svckit_obs::obs_count!("mw.replies");
+                        svckit_obs::obs_event!(
+                            "mw.reply",
+                            "mw",
+                            net.id().raw(),
+                            net.now().as_micros()
+                        );
                         let value = result.pop().unwrap_or(Value::Unit);
                         let mut ctx = MwCtx {
                             net,
@@ -171,6 +180,13 @@ impl Process for MwNode {
                 let source = args.pop().and_then(|v| v.as_text().map(str::to_owned));
                 if let Some(source) = source {
                     self.counters.borrow_mut().deliveries += 1;
+                    svckit_obs::obs_count!("mw.deliveries");
+                    svckit_obs::obs_event!(
+                        "mw.deliver",
+                        "mw",
+                        net.id().raw(),
+                        net.now().as_micros()
+                    );
                     let mut ctx = MwCtx {
                         net,
                         name: &self.name,

@@ -449,8 +449,10 @@ impl Simulator {
             match action {
                 Action::Send { to, payload } => {
                     self.metrics.record_send(node, payload.len());
+                    svckit_obs::obs_count!("net.sends");
                     if !self.procs.contains_key(&to) {
                         self.metrics.record_undeliverable();
+                        svckit_obs::obs_count!("net.undeliverable");
                         continue;
                     }
                     // Copy the link's scalar parameters out instead of
@@ -464,12 +466,15 @@ impl Simulator {
                     let transmission = link.transmission_time(payload.len());
                     if self.rng.coin(loss) {
                         self.metrics.record_drop();
+                        svckit_obs::obs_count!("net.drops");
+                        svckit_obs::obs_event!("net.drop", "net", to.raw(), self.clock.as_micros());
                         continue;
                     }
                     let duplicate = self.rng.coin(duplicate_p);
                     let copies = if duplicate { 2 } else { 1 };
                     if duplicate {
                         self.metrics.record_duplicate();
+                        svckit_obs::obs_count!("net.duplicates");
                     }
                     // Serialization: a bandwidth-limited link is occupied
                     // for the message's transmission time; back-to-back
@@ -496,6 +501,21 @@ impl Simulator {
                             }
                             *last = at;
                         }
+                        // Transit = serialization queueing + transmission +
+                        // propagation + jitter, all in virtual time.
+                        svckit_obs::obs_link!(
+                            node.raw(),
+                            to.raw(),
+                            payload.len(),
+                            at.saturating_since(self.clock).as_micros()
+                        );
+                        svckit_obs::obs_span!(
+                            "net.transit",
+                            "net",
+                            to.raw(),
+                            self.clock.as_micros(),
+                            at.as_micros()
+                        );
                         self.schedule(
                             at,
                             EventKind::Deliver {
@@ -593,9 +613,13 @@ impl Simulator {
             }
             debug_assert!(event.at >= self.clock, "time went backwards");
             self.clock = event.at;
+            svckit_obs::obs_count!("net.events");
+            svckit_obs::obs_record!("net.queue_depth", self.queue.len());
             match event.kind {
                 EventKind::Deliver { to, from, payload } => {
                     self.metrics.record_delivery(payload.len());
+                    svckit_obs::obs_count!("net.deliveries");
+                    svckit_obs::obs_count!("net.delivered_bytes", payload.len());
                     self.dispatch(to, |p, ctx| p.on_message(ctx, from, payload));
                 }
                 EventKind::Timer {
@@ -604,7 +628,10 @@ impl Simulator {
                     generation,
                 } => {
                     if self.timer_generation.get(&(node, id)) == Some(&generation) {
+                        svckit_obs::obs_count!("net.timer_fires");
                         self.dispatch(node, |p, ctx| p.on_timer(ctx, id));
+                    } else {
+                        svckit_obs::obs_count!("net.timer_stale");
                     }
                 }
             }

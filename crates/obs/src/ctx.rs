@@ -1,0 +1,128 @@
+//! The thread-local recording context the `obs_*!` macro sites write to.
+//!
+//! Each unit of work (sweep cell, benchmark group) installs its own
+//! [`Recorder`] with [`with_recorder`]; instrumentation sites anywhere
+//! below it on the same thread then record into it through the free
+//! functions here. No recorder installed ⇒ every site is a cheap
+//! `thread_local` probe and an early return; feature `enabled` off ⇒ the
+//! sites don't even compile to that (see the macros in the crate root).
+//!
+//! Sweep cells run entirely on one worker thread, so a thread-local (not
+//! a global registry) is what makes per-cell capture deterministic and
+//! `--threads N` output byte-identical to `--threads 1`.
+
+use std::cell::RefCell;
+
+use crate::recorder::Recorder;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// True when the crate was compiled with feature `enabled`, i.e. the
+/// `obs_*!` macro sites are live. `const`, so callers can branch on it
+/// with zero cost.
+pub const fn sites_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// True when a recorder is currently installed on this thread.
+pub fn active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Runs `f` with `recorder` installed as this thread's recording target
+/// and returns `f`'s result together with the filled recorder. Nests: a
+/// previously installed recorder is saved and restored.
+pub fn with_recorder<T>(recorder: Recorder, f: impl FnOnce() -> T) -> (T, Recorder) {
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(recorder));
+    let result = f();
+    let filled = CURRENT.with(|c| {
+        let mut slot = c.borrow_mut();
+        let filled = slot.take().expect("recorder still installed");
+        *slot = previous;
+        filled
+    });
+    (result, filled)
+}
+
+/// Adds `n` to counter `name` on the installed recorder, if any.
+pub fn count(name: &'static str, n: u64) {
+    CURRENT.with(|c| {
+        if let Some(r) = c.borrow_mut().as_mut() {
+            r.count(name, n);
+        }
+    });
+}
+
+/// Records `value` into histogram `name` on the installed recorder.
+pub fn record(name: &'static str, value: u64) {
+    CURRENT.with(|c| {
+        if let Some(r) = c.borrow_mut().as_mut() {
+            r.record(name, value);
+        }
+    });
+}
+
+/// Records a message transit on link `src → dst`.
+pub fn link(src: u64, dst: u64, bytes: u64, latency_us: u64) {
+    CURRENT.with(|c| {
+        if let Some(r) = c.borrow_mut().as_mut() {
+            r.link(src, dst, bytes, latency_us);
+        }
+    });
+}
+
+/// Appends a timeline event/span (virtual time).
+pub fn event(name: &'static str, cat: &'static str, tid: u64, ts_us: u64, dur_us: u64) {
+    CURRENT.with(|c| {
+        if let Some(r) = c.borrow_mut().as_mut() {
+            r.event(name, cat, tid, ts_us, dur_us);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_route_to_the_installed_recorder() {
+        assert!(!active());
+        let ((), filled) = with_recorder(Recorder::new(), || {
+            assert!(active());
+            count("hits", 2);
+            record("size", 8);
+            link(1, 2, 64, 100);
+            event("e", "net", 1, 5, 0);
+        });
+        assert!(!active());
+        assert_eq!(filled.counter("hits"), 2);
+        assert_eq!(filled.hist("size").unwrap().count, 1);
+        assert_eq!(filled.links().len(), 1);
+        assert_eq!(filled.events().len(), 1);
+    }
+
+    #[test]
+    fn uninstalled_sites_are_silent() {
+        count("nobody", 1);
+        record("nobody", 1);
+        let ((), filled) = with_recorder(Recorder::new(), || {});
+        assert!(filled.is_empty());
+    }
+
+    #[test]
+    fn nested_recorders_save_and_restore() {
+        let ((), outer) = with_recorder(Recorder::new(), || {
+            count("outer", 1);
+            let ((), inner) = with_recorder(Recorder::new(), || {
+                count("inner", 1);
+            });
+            assert_eq!(inner.counter("inner"), 1);
+            assert_eq!(inner.counter("outer"), 0);
+            count("outer", 1);
+        });
+        assert_eq!(outer.counter("outer"), 2);
+        assert_eq!(outer.counter("inner"), 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! A dependency-free streaming JSON writer (and a small flat-object
+//! reader for the perf gate).
+//!
+//! Every machine-readable artifact this workspace emits — `BENCH_*.json`
+//! from the hotpath binary, `SWEEP_*.json` from the sweep harness, the
+//! obs JSONL/Chrome-trace sinks — goes through [`JsonWriter`] so the
+//! byte-level format is defined in exactly one place. Determinism matters
+//! here: the sweep golden test asserts that a 4-thread run produces
+//! *byte-identical* output to a 1-thread run, so the writer never consults
+//! wall clocks, hash-map iteration order, or locale-dependent float
+//! formatting.
+//!
+//! The writer lives in `svckit-obs` (the lowest layer that emits JSON) and
+//! is re-exported by `svckit-sweep` for the existing consumers.
+
+/// Streaming JSON writer with comma and indentation management.
+///
+/// The writer is push-based: callers open containers, emit keys and
+/// scalars, and close containers; separators and (in pretty mode)
+/// newlines/indentation are inserted automatically. Output is finished
+/// with a trailing newline by [`JsonWriter::finish`].
+#[derive(Debug)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once it has at least one item.
+    stack: Vec<bool>,
+    after_key: bool,
+    pretty: bool,
+}
+
+impl JsonWriter {
+    /// A pretty-printing writer (two-space indent, one key per line) —
+    /// the format of all committed `*.json` artifacts.
+    pub fn pretty() -> Self {
+        JsonWriter {
+            out: String::new(),
+            stack: Vec::new(),
+            after_key: false,
+            pretty: true,
+        }
+    }
+
+    /// A compact writer (no whitespace), for tests, embedded summaries,
+    /// and the one-object-per-line JSONL obs sink.
+    pub fn compact() -> Self {
+        JsonWriter {
+            out: String::new(),
+            stack: Vec::new(),
+            after_key: false,
+            pretty: false,
+        }
+    }
+
+    fn indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.stack.len() {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    /// Separator before a value or nested container in the current spot.
+    fn value_sep(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(has_items) = self.stack.last_mut() {
+            if *has_items {
+                self.out.push(',');
+            }
+            *has_items = true;
+            self.indent();
+        }
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.value_sep();
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        let had_items = self.stack.pop().unwrap_or(false);
+        if had_items {
+            self.indent();
+        }
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.value_sep();
+        self.out.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        let had_items = self.stack.pop().unwrap_or(false);
+        if had_items {
+            self.indent();
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Emits an object key; the next emitted value becomes its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        if let Some(has_items) = self.stack.last_mut() {
+            if *has_items {
+                self.out.push(',');
+            }
+            *has_items = true;
+        }
+        self.indent();
+        self.push_escaped(k);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        self.after_key = true;
+        self
+    }
+
+    /// Emits a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.value_sep();
+        self.push_escaped(s);
+        self
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn uint(&mut self, v: u64) -> &mut Self {
+        self.value_sep();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Emits a boolean value.
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.value_sep();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emits a float with a fixed number of decimals (deterministic across
+    /// runs and platforms). Non-finite values are written as `null`.
+    pub fn float(&mut self, v: f64, decimals: usize) -> &mut Self {
+        self.value_sep();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v:.decimals$}"));
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Terminates the document with a trailing newline and returns it.
+    pub fn finish(mut self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out.push('\n');
+        self.out
+    }
+}
+
+/// Reads every `"key": number` pair from a *flat* JSON object such as
+/// `BENCH_hotpath.json`. Non-numeric values are skipped. This is the
+/// perf-gate's baseline reader; it does not aim to be a general parser.
+pub fn parse_flat_numbers(text: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let key = &rest[..end];
+        rest = &rest[end + 1..];
+        let rest_trim = rest.trim_start();
+        let Some(after_colon) = rest_trim.strip_prefix(':') else {
+            continue;
+        };
+        let value_text = after_colon.trim_start();
+        let num_len = value_text
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(value_text.len());
+        if let Ok(value) = value_text[..num_len].parse::<f64>() {
+            pairs.push((key.to_string(), value));
+        }
+        rest = &value_text[num_len..];
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_object_matches_bench_format() {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.key("a/b").float(12.0, 1);
+        w.key("c").float(3.5, 1);
+        w.end_object();
+        assert_eq!(w.finish(), "{\n  \"a/b\": 12.0,\n  \"c\": 3.5\n}\n");
+    }
+
+    #[test]
+    fn compact_nesting_and_escaping() {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        w.key("s").string("a\"b\\c\nd");
+        w.key("xs").begin_array().uint(1).uint(2).end_array();
+        w.key("e").begin_object().end_object();
+        w.key("ok").boolean(true);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"xs\":[1,2],\"e\":{},\"ok\":true}\n"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::compact();
+        w.begin_array()
+            .float(f64::NAN, 3)
+            .float(1.25, 2)
+            .end_array();
+        assert_eq!(w.finish(), "[null,1.25]\n");
+    }
+
+    #[test]
+    fn parse_flat_numbers_round_trips_bench_json() {
+        let text = "{\n  \"explorer/to_lts\": 33982965.0,\n  \"netsim/burst\": 568317.0\n}\n";
+        let pairs = parse_flat_numbers(text);
+        assert_eq!(
+            pairs,
+            vec![
+                ("explorer/to_lts".to_string(), 33982965.0),
+                ("netsim/burst".to_string(), 568317.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_flat_numbers_skips_non_numeric_values() {
+        let pairs = parse_flat_numbers("{\"name\": \"text\", \"n\": 4}");
+        assert_eq!(pairs, vec![("n".to_string(), 4.0)]);
+    }
+}

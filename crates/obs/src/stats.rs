@@ -1,0 +1,125 @@
+//! The shared partial-order-reduction statistics schema.
+//!
+//! Both `svckit-analyze` (in `ANALYZE_report.json`) and the explorer
+//! benchmarks (in `BENCH_hotpath.json`'s sidecar) report POR work through
+//! this one struct, so the two artifacts stay field-compatible and a
+//! single reader can compare analyzer runs against benchmark runs.
+
+use crate::json::JsonWriter;
+
+/// Full-vs-reduced exploration statistics for one (service, universe).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PorStats {
+    /// States visited without reduction.
+    pub full_states: u64,
+    /// Transitions taken without reduction.
+    pub full_transitions: u64,
+    /// States visited with ample-set reduction.
+    pub reduced_states: u64,
+    /// Transitions taken with ample-set reduction.
+    pub reduced_transitions: u64,
+    /// Ample-set size histogram from the reduced run: `ample_hist[k]` =
+    /// number of state expansions whose ample (or full enabled) set had
+    /// `k` events. Index 0 is unused (deadlock states are not expanded).
+    pub ample_hist: Vec<u64>,
+}
+
+impl PorStats {
+    /// `full_states / reduced_states` — how much smaller reduction made
+    /// the search. 1.0 when either side is unknown.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.full_states == 0 || self.reduced_states == 0 {
+            1.0
+        } else {
+            self.full_states as f64 / self.reduced_states as f64
+        }
+    }
+
+    /// Mean ample-set size over all expansions, or zero when empty.
+    pub fn mean_ample(&self) -> f64 {
+        let expansions: u64 = self.ample_hist.iter().sum();
+        if expansions == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .ample_hist
+            .iter()
+            .enumerate()
+            .map(|(size, &n)| size as u64 * n)
+            .sum();
+        weighted as f64 / expansions as f64
+    }
+
+    /// Writes the stats as one JSON object — the shared schema:
+    ///
+    /// ```json
+    /// {
+    ///   "full_states": ..., "full_transitions": ...,
+    ///   "reduced_states": ..., "reduced_transitions": ...,
+    ///   "reduction_ratio": ..., "ample_mean": ...,
+    ///   "ample_hist": { "1": ..., "2": ... }
+    /// }
+    /// ```
+    pub fn write(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("full_states").uint(self.full_states);
+        w.key("full_transitions").uint(self.full_transitions);
+        w.key("reduced_states").uint(self.reduced_states);
+        w.key("reduced_transitions").uint(self.reduced_transitions);
+        w.key("reduction_ratio").float(self.reduction_ratio(), 3);
+        w.key("ample_mean").float(self.mean_ample(), 3);
+        w.key("ample_hist").begin_object();
+        for (size, &n) in self.ample_hist.iter().enumerate() {
+            if n > 0 {
+                w.key(&size.to_string()).uint(n);
+            }
+        }
+        w.end_object();
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_mean() {
+        let stats = PorStats {
+            full_states: 100,
+            full_transitions: 400,
+            reduced_states: 20,
+            reduced_transitions: 40,
+            ample_hist: vec![0, 6, 2], // 6 singleton ample sets, 2 pairs
+        };
+        assert!((stats.reduction_ratio() - 5.0).abs() < 1e-9);
+        assert!((stats.mean_ample() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let stats = PorStats::default();
+        assert!((stats.reduction_ratio() - 1.0).abs() < 1e-9);
+        assert!((stats.mean_ample()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_schema_has_all_fields() {
+        let stats = PorStats {
+            full_states: 10,
+            full_transitions: 12,
+            reduced_states: 5,
+            reduced_transitions: 6,
+            ample_hist: vec![0, 3],
+        };
+        let mut w = JsonWriter::compact();
+        stats.write(&mut w);
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "{\"full_states\":10,\"full_transitions\":12,\"reduced_states\":5,\
+             \"reduced_transitions\":6,\"reduction_ratio\":2.000,\"ample_mean\":1.000,\
+             \"ample_hist\":{\"1\":3}}\n"
+        );
+    }
+}

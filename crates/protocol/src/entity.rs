@@ -164,6 +164,15 @@ impl EntityCtx<'_, '_> {
             c.pdus_sent += 1;
             c.pdu_bytes_sent += bytes.len() as u64;
         }
+        svckit_obs::obs_count!("proto.pdus_sent");
+        svckit_obs::obs_count!("proto.pdu_bytes_sent", bytes.len());
+        svckit_obs::obs_record!("proto.pdu_size", bytes.len());
+        svckit_obs::obs_event!(
+            "proto.encode_send",
+            "proto",
+            self.net.id().raw(),
+            self.net.now().as_micros()
+        );
         self.outgoing.push_back((to, bytes));
         Ok(())
     }
@@ -324,6 +333,14 @@ impl Process for ProtocolNode {
             match self.registry.decode(&bytes) {
                 Ok(pdu) => {
                     self.counters.borrow_mut().pdus_received += 1;
+                    svckit_obs::obs_count!("proto.pdus_received");
+                    svckit_obs::obs_count!("proto.pdu_bytes_received", bytes.len());
+                    svckit_obs::obs_event!(
+                        "proto.receive_decode",
+                        "proto",
+                        net.id().raw(),
+                        net.now().as_micros()
+                    );
                     let mut ctx = EntityCtx {
                         net: &mut *net,
                         sap: &self.sap,
@@ -336,6 +353,13 @@ impl Process for ProtocolNode {
                 }
                 Err(_) => {
                     self.counters.borrow_mut().decode_errors += 1;
+                    svckit_obs::obs_count!("proto.malformed_drops");
+                    svckit_obs::obs_event!(
+                        "proto.malformed_drop",
+                        "proto",
+                        net.id().raw(),
+                        net.now().as_micros()
+                    );
                 }
             }
         }

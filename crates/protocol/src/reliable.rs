@@ -166,6 +166,7 @@ impl ReliableLink {
                     // the highest in-order frame so the sender can resync.
                     if seq < peer.expected {
                         counters.duplicates_suppressed += 1;
+                        svckit_obs::obs_count!("proto.duplicates_suppressed");
                     }
                     if peer.expected > 0 {
                         net.send(from, Self::frame_ack(peer.expected - 1));
@@ -225,6 +226,13 @@ impl ReliableLink {
         if !peer.inflight.is_empty() {
             for (seq, payload) in &peer.inflight {
                 counters.retransmissions += 1;
+                svckit_obs::obs_count!("proto.retransmissions");
+                svckit_obs::obs_event!(
+                    "proto.retransmit",
+                    "proto",
+                    peer_id.raw(),
+                    net.now().as_micros()
+                );
                 net.send(peer_id, Self::frame_data(*seq, payload));
             }
             net.set_timer(timeout, timer);

@@ -19,6 +19,7 @@ use svckit::floorctl::{
     run_middleware_deployment_with, run_solution_with, RunOptions, RunOutcome, Solution,
 };
 use svckit::mda::{catalog, transform, TransformPolicy};
+use svckit_obs::{with_recorder, Recorder};
 
 use crate::agg::{aggregate, GroupSummary};
 use crate::spec::{Cell, CellTarget, SweepSpec};
@@ -37,6 +38,13 @@ pub struct CellResult {
     pub campaign_label: String,
     /// The measured run.
     pub outcome: RunOutcome,
+    /// Everything the instrumentation sites recorded while this cell ran.
+    ///
+    /// Each cell runs entirely on one worker thread with its own
+    /// [`Recorder`] installed, and cells are merged in spec order — so
+    /// per-cell obs output is byte-identical across `--threads` values.
+    /// Empty (but present) when the `obs` feature is off.
+    pub obs: Recorder,
     /// Wall-clock time the worker spent building and running this cell.
     ///
     /// Reported in the `*.timing.json` sidecar only — never in the
@@ -125,7 +133,8 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> SweepReport {
     let started = WallInstant::now();
 
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, RunOutcome, WallDuration)>();
+    type CellSlot = (RunOutcome, Recorder, WallDuration);
+    let (tx, rx) = mpsc::channel::<(usize, CellSlot)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
@@ -138,8 +147,14 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> SweepReport {
                     break;
                 }
                 let cell_started = WallInstant::now();
-                let outcome = run_cell(spec, &cells[i]);
-                if tx.send((i, outcome, cell_started.elapsed())).is_err() {
+                // One recorder per cell, installed thread-locally: every
+                // obs site the cell touches records here and nowhere
+                // else, keeping capture independent of worker count.
+                let (outcome, obs) = with_recorder(Recorder::new(), || run_cell(spec, &cells[i]));
+                if tx
+                    .send((i, (outcome, obs, cell_started.elapsed())))
+                    .is_err()
+                {
                     break;
                 }
             });
@@ -147,22 +162,23 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> SweepReport {
     });
     drop(tx);
 
-    let mut slots: Vec<Option<(RunOutcome, WallDuration)>> = cells.iter().map(|_| None).collect();
-    for (i, outcome, wall) in rx {
-        slots[i] = Some((outcome, wall));
+    let mut slots: Vec<Option<CellSlot>> = cells.iter().map(|_| None).collect();
+    for (i, slot) in rx {
+        slots[i] = Some(slot);
     }
 
     let results: Vec<CellResult> = cells
         .iter()
         .zip(slots)
         .map(|(cell, slot)| {
-            let (outcome, wall) = slot.expect("every scheduled cell sends exactly one result");
+            let (outcome, obs, wall) = slot.expect("every scheduled cell sends exactly one result");
             CellResult {
                 cell: *cell,
                 target_label: spec.targets[cell.target].to_string(),
                 variation_label: spec.variations[cell.variation].label.clone(),
                 campaign_label: spec.campaign_label(cell.campaign).to_string(),
                 outcome,
+                obs,
                 wall,
             }
         })

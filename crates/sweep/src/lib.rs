@@ -47,5 +47,9 @@ pub mod spec;
 pub use agg::{aggregate, GroupSummary};
 pub use exec::{default_threads, run_sweep, CellResult, SweepReport};
 pub use json::{parse_flat_numbers, write_outcome, JsonWriter};
-pub use report::{flag_usize, flag_value, fmt_f, print_header, print_row};
+pub use report::{
+    flag_usize, flag_value, fmt_f, obs_flags, print_header, print_row, verbosity, ObsFormat,
+    Verbosity,
+};
 pub use spec::{Cell, CellTarget, FaultCampaign, SweepSpec, Variation};
+pub use svckit_obs::{chrome_trace, PorStats, Recorder};

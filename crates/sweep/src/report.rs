@@ -1,7 +1,10 @@
-//! Rendering: text tables for humans, `SWEEP_*.json` for machines, and
-//! the tiny CLI-flag parser the experiment binaries share.
+//! Rendering: text tables for humans, `SWEEP_*.json` for machines, the
+//! obs sinks (JSONL and Chrome trace), and the tiny CLI-flag parser the
+//! experiment binaries share.
 
-use crate::exec::SweepReport;
+use svckit_obs::{JsonWriter as ObsJsonWriter, Recorder};
+
+use crate::exec::{CellResult, SweepReport};
 use crate::json::{write_outcome, JsonWriter};
 
 /// Prints a row of fixed-width columns.
@@ -176,6 +179,181 @@ impl SweepReport {
             self.threads,
             self.wall.as_secs_f64()
         );
+    }
+}
+
+/// Stable identity of a cell in obs output: `target/variation/campaign/
+/// seedN`. Purely spec-derived, so it never depends on worker count.
+fn cell_scope(r: &CellResult) -> String {
+    format!(
+        "{}/{}/{}/seed{}",
+        r.target_label, r.variation_label, r.campaign_label, r.cell.seed
+    )
+}
+
+/// The obs sink format selected by `--obs-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsFormat {
+    /// One compact JSON object per line: events, counters, histograms,
+    /// links — the machine-diffable form (CI `cmp`s it across thread
+    /// counts and repeated seeds).
+    Jsonl,
+    /// Chrome trace-event JSON, loadable in Perfetto or
+    /// `chrome://tracing` (one "process" per cell, one track per node).
+    Chrome,
+}
+
+impl SweepReport {
+    /// The JSONL obs stream: every cell's records in spec order, each
+    /// line tagged with the cell's scope label. Deterministic —
+    /// byte-identical across `--threads` values and across repeated runs
+    /// of the same seed (virtual timestamps only).
+    pub fn obs_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&r.obs.jsonl(&cell_scope(r)));
+        }
+        out
+    }
+
+    /// The Chrome trace form of the whole sweep: cell index = pid, node
+    /// id = tid, virtual microseconds on the timeline.
+    pub fn obs_chrome(&self) -> String {
+        let scopes: Vec<String> = self.results.iter().map(cell_scope).collect();
+        svckit_obs::chrome_trace(
+            self.results
+                .iter()
+                .zip(&scopes)
+                .enumerate()
+                .map(|(i, (r, s))| (i as u64, s.as_str(), &r.obs)),
+        )
+    }
+
+    /// The canonical per-cell metric blocks (no timeline): one JSON
+    /// object per cell with its aggregate counters/histograms/links, in
+    /// spec order. The golden tests pin this byte-identical across
+    /// worker counts.
+    pub fn obs_blocks_json(&self) -> String {
+        let mut w = ObsJsonWriter::pretty();
+        w.begin_object();
+        w.key("sweep").string(&self.name);
+        w.key("obs_sites_enabled")
+            .boolean(svckit_obs::sites_enabled());
+        w.key("cells").begin_array();
+        for r in &self.results {
+            w.begin_object();
+            w.key("scope").string(&cell_scope(r));
+            w.key("obs");
+            r.obs.write_block(&mut w);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// All cell recorders merged into one, in spec order.
+    pub fn obs_total(&self) -> Recorder {
+        let mut total = Recorder::new();
+        for r in &self.results {
+            total.absorb(&r.obs);
+        }
+        total
+    }
+
+    /// Writes the selected obs sink to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written.
+    pub fn write_obs(&self, path: &str, format: ObsFormat) {
+        let text = match format {
+            ObsFormat::Jsonl => self.obs_jsonl(),
+            ObsFormat::Chrome => self.obs_chrome(),
+        };
+        std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+}
+
+/// Parses `--obs-out <path>` / `--obs-format {jsonl,chrome}`; `None`
+/// when no obs output was requested. The format defaults to `jsonl`.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on an unknown format.
+pub fn obs_flags(args: &[String]) -> Option<(String, ObsFormat)> {
+    let path = flag_value(args, "obs-out")?;
+    let format = match flag_value(args, "obs-format").as_deref() {
+        None | Some("jsonl") => ObsFormat::Jsonl,
+        Some("chrome") => ObsFormat::Chrome,
+        Some(other) => panic!("--obs-format expects `jsonl` or `chrome`, got {other:?}"),
+    };
+    Some((path, format))
+}
+
+/// Stderr verbosity, shared by every experiment binary: `--quiet`
+/// silences the informational summaries, `-v`/`--verbose` adds detail.
+/// Canonical JSON always goes to files/stdout untouched — verbosity only
+/// governs stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// `--quiet`: nothing on stderr.
+    Quiet,
+    /// Default: one-line summaries on stderr.
+    Normal,
+    /// `-v` / `--verbose`: per-cell / per-sink detail on stderr.
+    Verbose,
+}
+
+impl Verbosity {
+    /// Logs `msg` to stderr unless quiet.
+    pub fn info(self, msg: &str) {
+        if self >= Verbosity::Normal {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// Logs `msg` to stderr only when verbose.
+    pub fn debug(self, msg: &str) {
+        if self >= Verbosity::Verbose {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// Logs a one-line summary of a recorder's contents (sink summary)
+    /// unless quiet.
+    pub fn sink_summary(self, label: &str, recorder: &Recorder) {
+        if self < Verbosity::Normal {
+            return;
+        }
+        eprintln!(
+            "obs[{label}]: {} counter(s), {} event(s) ({} dropped), {} link(s), sites {}",
+            recorder.counters().len(),
+            recorder.events().len(),
+            recorder.events_dropped(),
+            recorder.links().len(),
+            if svckit_obs::sites_enabled() {
+                "enabled"
+            } else {
+                "disabled"
+            }
+        );
+        if self >= Verbosity::Verbose {
+            for (name, value) in recorder.counters() {
+                eprintln!("obs[{label}]:   {name} = {value}");
+            }
+        }
+    }
+}
+
+/// Parses the shared `--quiet` / `-v` / `--verbose` flags.
+pub fn verbosity(args: &[String]) -> Verbosity {
+    if args.iter().any(|a| a == "--quiet") {
+        Verbosity::Quiet
+    } else if args.iter().any(|a| a == "-v" || a == "--verbose") {
+        Verbosity::Verbose
+    } else {
+        Verbosity::Normal
     }
 }
 

@@ -132,5 +132,9 @@ fn protocol_solution_matches_golden_digest() {
 }
 
 const GOLDEN_NETSIM_SEED42: u64 = 13_274_634_582_242_808_967;
-const GOLDEN_MW_CALLBACK_SEED7: u64 = 15_744_882_272_829_378_977;
-const GOLDEN_PROTO_CALLBACK_SEED7: u64 = 1_271_651_805_458_933_051;
+// Solution digests re-captured when `FloorMetrics` gained the
+// `outstanding_at_end` field (a schema addition: the digest covers the
+// outcome's Debug form; the netsim digest above was unaffected, so
+// simulation semantics did not move). See CHANGELOG 0.5.0.
+const GOLDEN_MW_CALLBACK_SEED7: u64 = 2_203_843_261_686_461_361;
+const GOLDEN_PROTO_CALLBACK_SEED7: u64 = 16_702_283_514_672_870_395;
