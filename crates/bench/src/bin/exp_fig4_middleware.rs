@@ -16,7 +16,8 @@ use svckit::floorctl::{RunParams, Solution};
 use svckit::model::Duration;
 use svckit_bench::{fmt_f, print_header, print_row};
 use svckit_sweep::{
-    default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity, SweepSpec,
+    default_threads, flag_usize, flag_value, obs_flags, queue_backend_flag, run_sweep, verbosity,
+    SweepSpec,
 };
 
 fn main() {
@@ -43,6 +44,11 @@ fn main() {
     }
     if let Some(needle) = flag_value(&args, "filter") {
         spec = spec.filter(needle);
+    }
+    if let Some(backend) = queue_backend_flag(&args) {
+        // Either backend must produce byte-identical sweep JSON; CI runs
+        // the smoke sweep under both and `cmp`s the outputs.
+        spec = spec.queue_backend(backend);
     }
     let report = run_sweep(&spec, threads);
 

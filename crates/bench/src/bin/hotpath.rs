@@ -27,7 +27,7 @@ use svckit::floorctl::{
 };
 use svckit::lts::explorer::{ExploreOptions, Reduction, ServiceExplorer};
 use svckit::model::{Duration, PartId};
-use svckit::netsim::{Context, LinkConfig, Process, SimConfig, Simulator};
+use svckit::netsim::{Context, LinkConfig, Process, QueueBackend, SimConfig, Simulator, TimerId};
 use svckit::obs::with_recorder;
 use svckit_sweep::{
     chrome_trace, default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity,
@@ -66,7 +66,7 @@ fn fmt_ns(ns: f64) -> String {
 
 /// B2-style burst: one sender fires `n` copies of a `size`-byte payload at
 /// a sink, exercising send → schedule → deliver with payload duplication.
-fn netsim_burst(n: u32, size: usize) {
+fn netsim_burst(n: u32, size: usize, backend: QueueBackend) {
     struct BurstSender {
         peer: PartId,
         n: u32,
@@ -86,7 +86,7 @@ fn netsim_burst(n: u32, size: usize) {
     }
     let link = LinkConfig::reliable_datagram(Duration::from_millis(1), Duration::from_micros(200))
         .with_duplication(0.5);
-    let mut sim = Simulator::new(SimConfig::new(7).default_link(link));
+    let mut sim = Simulator::new(SimConfig::new(7).default_link(link).queue_backend(backend));
     sim.add_process(
         PartId::new(1),
         Box::new(BurstSender {
@@ -101,7 +101,7 @@ fn netsim_burst(n: u32, size: usize) {
 }
 
 /// Two chattering nodes ping-ponging 2×1000 messages.
-fn netsim_pingpong() {
+fn netsim_pingpong(backend: QueueBackend) {
     struct Echo {
         peer: PartId,
         remaining: u32,
@@ -124,7 +124,11 @@ fn netsim_pingpong() {
             }
         }
     }
-    let mut sim = Simulator::new(SimConfig::new(1).default_link(LinkConfig::lan()));
+    let mut sim = Simulator::new(
+        SimConfig::new(1)
+            .default_link(LinkConfig::lan())
+            .queue_backend(backend),
+    );
     sim.add_process(
         PartId::new(1),
         Box::new(Echo {
@@ -142,6 +146,66 @@ fn netsim_pingpong() {
     )
     .unwrap();
     black_box(sim.run_to_quiescence(Duration::from_secs(600)).unwrap());
+}
+
+/// Timer-heavy workload, the wheel's home turf: many short timers armed
+/// and cancelled. 64 nodes each keep 2048 timers live (131072 pending in
+/// the queue at all times), and every firing cancels a neighbour, re-arms
+/// it, and re-decides its own deadline several times — the op mix of
+/// retransmission backoff recalculation, where every pass but the last
+/// leaves a stale generation for the queue to pop and drop. The queue
+/// stays ~131k entries (~6 MB) deep, so every reference-heap push/pop
+/// sifts `O(log n)` through out-of-cache memory, while the wheel serves
+/// the same traffic from its lowest slots in `O(1)`; per-node timer
+/// tables stay small enough to be cache-resident, so queue cost — not
+/// bookkeeping — dominates the measurement.
+fn netsim_timer_churn(backend: QueueBackend) {
+    const NODES: u64 = 64;
+    const TIMERS_PER: u64 = 2_048;
+    const FIRES_PER: u32 = 1_600; // ~102k fires in total
+    const SPREAD: u64 = 50_000;
+    const REARMS: u64 = 16;
+    struct Churner {
+        node: u64,
+        fires: u32,
+    }
+    impl Process for Churner {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for i in 0..TIMERS_PER {
+                ctx.set_timer(
+                    Duration::from_micros(50 + (self.node * 31 + i * 37) % SPREAD),
+                    TimerId(i),
+                );
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: svckit::netsim::Payload) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
+            self.fires += 1;
+            if self.fires >= FIRES_PER {
+                return;
+            }
+            let victim = TimerId((timer.0 + 1) % TIMERS_PER);
+            ctx.cancel_timer(victim);
+            let spread = u64::from(self.fires % 997) + self.node * 7;
+            ctx.set_timer(
+                Duration::from_micros(50 + (timer.0 * 53 + spread * 61) % SPREAD),
+                victim,
+            );
+            for pass in 0..REARMS {
+                ctx.cancel_timer(timer);
+                ctx.set_timer(
+                    Duration::from_micros(50 + (timer.0 * 97 + spread * 13 + pass * 17) % SPREAD),
+                    timer,
+                );
+            }
+        }
+    }
+    let mut sim = Simulator::new(SimConfig::new(5).queue_backend(backend));
+    for node in 0..NODES {
+        sim.add_process(PartId::new(node + 1), Box::new(Churner { node, fires: 0 }))
+            .unwrap();
+    }
+    black_box(sim.run_to_quiescence(Duration::from_secs(60)).unwrap());
 }
 
 /// Multi-slice run: repeatedly extends the simulation, stressing the
@@ -275,11 +339,29 @@ fn main() {
     );
 
     // --- Netsim hot paths. ----------------------------------------------
+    // pingpong and timer_churn also run on the reference heap backend:
+    // the `_heap` keys document the wheel's win on the same workload and
+    // let perfgate hold the ratio, not just the absolute medians.
     record(
         "netsim/burst_2000x256B",
-        median_ns(1, 9, || netsim_burst(2_000, 256)),
+        median_ns(1, 9, || netsim_burst(2_000, 256, QueueBackend::Wheel)),
     );
-    record("netsim/pingpong_2000", median_ns(1, 9, netsim_pingpong));
+    record(
+        "netsim/pingpong_2000",
+        median_ns(1, 9, || netsim_pingpong(QueueBackend::Wheel)),
+    );
+    record(
+        "netsim/pingpong_2000_heap",
+        median_ns(1, 9, || netsim_pingpong(QueueBackend::Heap)),
+    );
+    record(
+        "netsim/timer_churn",
+        median_ns(1, 9, || netsim_timer_churn(QueueBackend::Wheel)),
+    );
+    record(
+        "netsim/timer_churn_heap",
+        median_ns(1, 9, || netsim_timer_churn(QueueBackend::Heap)),
+    );
     record(
         "netsim/sliced_report_50x",
         median_ns(1, 9, netsim_sliced_report),
@@ -321,16 +403,18 @@ fn main() {
     // (≤3% when the instrumentation sites are compiled out) instead of
     // ratio-comparing nanoseconds against a baseline from other hardware.
     for _ in 0..2 {
-        netsim_pingpong();
+        netsim_pingpong(QueueBackend::Wheel);
     }
     let mut control: Vec<f64> = Vec::new();
     let mut wrapped: Vec<f64> = Vec::new();
     for _ in 0..15 {
         let t0 = WallInstant::now();
-        netsim_pingpong();
+        netsim_pingpong(QueueBackend::Wheel);
         control.push(t0.elapsed().as_nanos() as f64);
         let t0 = WallInstant::now();
-        black_box(with_recorder(Recorder::new(), netsim_pingpong));
+        black_box(with_recorder(Recorder::new(), || {
+            netsim_pingpong(QueueBackend::Wheel)
+        }));
         wrapped.push(t0.elapsed().as_nanos() as f64);
     }
     // Min-of-N, not median: both sides run identical code when sites are
@@ -376,7 +460,7 @@ fn main() {
     // Optional obs capture: one instrumented pingpong + POR exploration.
     if let Some((obs_path, format)) = obs_flags(&args) {
         let (_, recorder) = with_recorder(Recorder::new(), || {
-            netsim_pingpong();
+            netsim_pingpong(QueueBackend::Wheel);
             black_box(por_explorer.explore(&por_options).states);
         });
         let text = match format {

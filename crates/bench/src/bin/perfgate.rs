@@ -22,6 +22,12 @@
 //! `obs_sites_enabled` is 0 (instrumentation compiled out). When sites
 //! are compiled in the overhead is real by design and the bound is
 //! skipped. `obs_sites_enabled` itself is a flag, not a timing.
+//!
+//! One cross-key gate rides along: `netsim/timer_churn` (timer wheel)
+//! must beat `netsim/timer_churn_heap` (same workload on the reference
+//! binary heap) by at least [`MIN_CHURN_SPEEDUP`]×. Both medians come
+//! from the *fresh* run, so the ratio is machine-independent and immune
+//! to baseline staleness.
 
 use svckit_sweep::{flag_value, parse_flat_numbers};
 
@@ -30,6 +36,11 @@ const SPECIAL_KEYS: [&str; 2] = ["obs_disabled_overhead", "obs_sites_enabled"];
 
 /// Largest tolerated `obs_disabled_overhead` percentage with obs off.
 const MAX_DISABLED_OVERHEAD_PCT: f64 = 3.0;
+
+/// Minimum required `timer_churn_heap / timer_churn` speedup: the wheel
+/// exists for exactly this workload, so losing the margin is a
+/// regression even if both absolute numbers sit inside the band.
+const MIN_CHURN_SPEEDUP: f64 = 3.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -113,6 +124,31 @@ fn main() {
             println!(
                 "ok          {:<36} {overhead:>+13.2}% (bound {MAX_DISABLED_OVERHEAD_PCT:.1}%)",
                 "obs_disabled_overhead"
+            );
+        }
+    }
+
+    // Cross-key gate: wheel-vs-heap speedup on the churn workload,
+    // computed entirely from the fresh run.
+    if let (Some(wheel_ns), Some(heap_ns)) = (
+        fresh_key("netsim/timer_churn"),
+        fresh_key("netsim/timer_churn_heap"),
+    ) {
+        let speedup = if wheel_ns > 0.0 {
+            heap_ns / wheel_ns
+        } else {
+            f64::INFINITY
+        };
+        if speedup < MIN_CHURN_SPEEDUP {
+            regressions += 1;
+            println!(
+                "REGRESSION  {:<36} {speedup:>13.2}x (floor {MIN_CHURN_SPEEDUP:.1}x vs heap)",
+                "timer_churn speedup"
+            );
+        } else {
+            println!(
+                "ok          {:<36} {speedup:>13.2}x (floor {MIN_CHURN_SPEEDUP:.1}x vs heap)",
+                "timer_churn speedup"
             );
         }
     }

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use svckit_model::Duration;
-use svckit_netsim::LinkConfig;
+use svckit_netsim::{LinkConfig, QueueBackend};
 
 /// The six floor-control solutions of Figures 4 and 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -91,6 +91,7 @@ pub struct RunParams {
     link: LinkConfig,
     seed: u64,
     time_cap: Duration,
+    queue: QueueBackend,
 }
 
 impl Default for RunParams {
@@ -107,6 +108,7 @@ impl Default for RunParams {
             link: LinkConfig::lan(),
             seed: 42,
             time_cap: Duration::from_secs(60),
+            queue: QueueBackend::default(),
         }
     }
 }
@@ -176,6 +178,15 @@ impl RunParams {
         self
     }
 
+    /// Selects the simulator event-queue backend (builder-style). The
+    /// default timer wheel and the reference heap produce identical runs;
+    /// switching is only useful for differential testing.
+    #[must_use]
+    pub fn queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue = backend;
+        self
+    }
+
     /// Number of subscribers.
     pub fn subscriber_count(&self) -> u64 {
         self.subscribers
@@ -214,6 +225,11 @@ impl RunParams {
     /// Seed.
     pub fn seed_value(&self) -> u64 {
         self.seed
+    }
+
+    /// Event-queue backend.
+    pub fn queue(&self) -> QueueBackend {
+        self.queue
     }
 
     /// Simulated-time cap.

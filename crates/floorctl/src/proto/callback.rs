@@ -166,6 +166,7 @@ pub fn deploy_with_reliability(
 ) -> Stack {
     let mut builder = StackBuilder::new(registry())
         .seed(params.seed_value())
+        .queue_backend(params.queue())
         .link(params.link_config().clone());
     if let Some(config) = reliability {
         builder = builder.reliability(config);

@@ -118,6 +118,7 @@ pub fn deploy(params: &RunParams) -> Stack {
     let full: BTreeSet<u64> = (1..=params.resource_count()).collect();
     let mut builder = StackBuilder::new(registry())
         .seed(params.seed_value())
+        .queue_backend(params.queue())
         .link(params.link_config().clone());
     for k in 1..=n {
         let next = subscriber_part(k % n + 1);

@@ -6,7 +6,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use svckit_model::{Duration, PartId};
-use svckit_netsim::{LinkConfig, SimConfig, SimReport, Simulator};
+use svckit_netsim::{LinkConfig, QueueBackend, SimConfig, SimReport, Simulator};
 
 use crate::broker::Broker;
 use crate::component::Component;
@@ -22,6 +22,7 @@ pub struct MwSystemBuilder {
     plan: DeploymentPlan,
     seed: u64,
     link: LinkConfig,
+    queue: QueueBackend,
     implementations: BTreeMap<String, Box<dyn Component>>,
 }
 
@@ -41,6 +42,7 @@ impl MwSystemBuilder {
             plan,
             seed: 0,
             link: LinkConfig::default(),
+            queue: QueueBackend::default(),
             implementations: BTreeMap::new(),
         }
     }
@@ -56,6 +58,13 @@ impl MwSystemBuilder {
     #[must_use]
     pub fn link(mut self, link: LinkConfig) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Selects the simulator event-queue backend (builder-style).
+    #[must_use]
+    pub fn queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue = backend;
         self
     }
 
@@ -99,7 +108,11 @@ impl MwSystemBuilder {
 
         let plan = Rc::new(self.plan);
         let registry = Rc::new(wire::wire_registry());
-        let mut sim = Simulator::new(SimConfig::new(self.seed).default_link(self.link));
+        let mut sim = Simulator::new(
+            SimConfig::new(self.seed)
+                .default_link(self.link)
+                .queue_backend(self.queue),
+        );
         let mut counters = BTreeMap::new();
         let names: Vec<String> = plan
             .component_names()

@@ -56,12 +56,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hash;
 mod link;
 mod metrics;
 mod rng;
 mod sim;
+mod wheel;
 
 pub use link::LinkConfig;
 pub use metrics::NetMetrics;
 pub use rng::DeterministicRng;
-pub use sim::{Context, Payload, Process, SimConfig, SimError, SimReport, Simulator, TimerId};
+pub use sim::{
+    Context, Payload, Process, QueueBackend, SimConfig, SimError, SimReport, Simulator, TimerId,
+};

@@ -1,16 +1,19 @@
 //! The discrete-event simulator core.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::error::Error;
 use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
 
 use svckit_model::{Duration, Instant, PartId, PrimitiveEvent, Sap, Trace, Value};
 
+use crate::hash::FastMap;
 use crate::link::LinkConfig;
 use crate::metrics::NetMetrics;
 use crate::rng::DeterministicRng;
+use crate::wheel::TimerWheel;
 
 /// A message payload as it travels through the simulator.
 ///
@@ -169,11 +172,50 @@ impl TraceBuf {
     }
 }
 
+/// Which data structure backs the simulator's event queue.
+///
+/// Both backends produce byte-identical event streams — the same `(at,
+/// seq)` total order, the same tie-breaks, the same stale-timer drops —
+/// as enforced by the oracle suite in `tests/wheel_oracle.rs`. The wheel
+/// is the default because its push/pop are amortized `O(1)`; the heap is
+/// kept as the obviously-correct reference for differential testing and
+/// benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueBackend {
+    /// Hierarchical timer wheel (`O(1)` amortized push/pop). The default.
+    #[default]
+    Wheel,
+    /// `BinaryHeap` reference implementation (`O(log n)` push/pop).
+    Heap,
+}
+
+impl fmt::Display for QueueBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueBackend::Wheel => write!(f, "wheel"),
+            QueueBackend::Heap => write!(f, "heap"),
+        }
+    }
+}
+
+impl FromStr for QueueBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "wheel" => Ok(QueueBackend::Wheel),
+            "heap" => Ok(QueueBackend::Heap),
+            other => Err(format!("unknown queue backend {other:?} (wheel|heap)")),
+        }
+    }
+}
+
 /// Configuration of a [`Simulator`].
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     seed: u64,
     default_link: LinkConfig,
+    queue: QueueBackend,
 }
 
 impl SimConfig {
@@ -183,6 +225,7 @@ impl SimConfig {
         SimConfig {
             seed,
             default_link: LinkConfig::default(),
+            queue: QueueBackend::default(),
         }
     }
 
@@ -194,9 +237,22 @@ impl SimConfig {
         self
     }
 
+    /// Selects the event-queue backend (builder-style). Both backends are
+    /// observably identical; see [`QueueBackend`].
+    #[must_use]
+    pub fn queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue = backend;
+        self
+    }
+
     /// The PRNG seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The selected event-queue backend.
+    pub fn queue(&self) -> QueueBackend {
+        self.queue
     }
 }
 
@@ -253,7 +309,7 @@ impl SimReport {
 }
 
 #[derive(Debug)]
-enum EventKind {
+pub(crate) enum EventKind {
     Deliver {
         to: PartId,
         from: PartId,
@@ -267,10 +323,10 @@ enum EventKind {
 }
 
 #[derive(Debug)]
-struct Scheduled {
-    at: Instant,
-    seq: u64,
-    kind: EventKind,
+pub(crate) struct Scheduled {
+    pub(crate) at: Instant,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
 }
 
 impl PartialEq for Scheduled {
@@ -290,6 +346,46 @@ impl Ord for Scheduled {
     }
 }
 
+/// The simulator's event queue, behind the backend selected in
+/// [`SimConfig`]. Both variants pop events in ascending `(at, seq)`
+/// order; dispatching through a two-way enum costs one predictable
+/// branch and avoids a generic parameter leaking into [`Simulator`].
+#[derive(Debug)]
+enum EventQueue {
+    Wheel(TimerWheel),
+    Heap(BinaryHeap<Reverse<Scheduled>>),
+}
+
+impl EventQueue {
+    fn new(backend: QueueBackend) -> Self {
+        match backend {
+            QueueBackend::Wheel => EventQueue::Wheel(TimerWheel::new()),
+            QueueBackend::Heap => EventQueue::Heap(BinaryHeap::new()),
+        }
+    }
+
+    fn push(&mut self, event: Scheduled) {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.push(event),
+            EventQueue::Heap(heap) => heap.push(Reverse(event)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled> {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.pop(),
+            EventQueue::Heap(heap) => heap.pop().map(|Reverse(event)| event),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.len(),
+            EventQueue::Heap(heap) => heap.len(),
+        }
+    }
+}
+
 /// A deterministic discrete-event network simulator.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
@@ -299,17 +395,23 @@ pub struct Simulator {
     seq: u64,
     started: bool,
     procs: BTreeMap<PartId, Box<dyn Process>>,
-    links: HashMap<(PartId, PartId), LinkConfig>,
+    // The per-event maps below use the deterministic `FastMap` hasher;
+    // none of them is ever iterated, so the hash function affects lookup
+    // cost only, never observable order.
+    links: FastMap<(PartId, PartId), LinkConfig>,
     /// Pre-partition link configs, restored on heal (`None` = was default).
-    healed: HashMap<(PartId, PartId), Option<LinkConfig>>,
-    last_arrival: HashMap<(PartId, PartId), Instant>,
+    healed: FastMap<(PartId, PartId), Option<LinkConfig>>,
+    last_arrival: FastMap<(PartId, PartId), Instant>,
     /// For bandwidth-limited links: when the sender-side of each directed
     /// pair becomes free again.
-    link_busy_until: HashMap<(PartId, PartId), Instant>,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    link_busy_until: FastMap<(PartId, PartId), Instant>,
+    queue: EventQueue,
     rng: DeterministicRng,
-    node_rngs: HashMap<PartId, DeterministicRng>,
-    timer_generation: HashMap<(PartId, TimerId), u64>,
+    node_rngs: FastMap<PartId, DeterministicRng>,
+    /// Per-node timer generations, nested so one node's huge timer table
+    /// (e.g. a standing backlog of lease expiries) cannot dilute the cache
+    /// locality of another node's hot few timers.
+    timer_generation: FastMap<PartId, FastMap<TimerId, u64>>,
     metrics: NetMetrics,
     trace: TraceBuf,
     /// Reused across dispatches so the hot path does not allocate a fresh
@@ -331,20 +433,21 @@ impl Simulator {
     /// Creates a simulator from a configuration.
     pub fn new(config: SimConfig) -> Self {
         let rng = DeterministicRng::new(config.seed());
+        let queue = EventQueue::new(config.queue());
         Simulator {
             config,
             clock: Instant::ZERO,
             seq: 0,
             started: false,
             procs: BTreeMap::new(),
-            links: HashMap::new(),
-            healed: HashMap::new(),
-            last_arrival: HashMap::new(),
-            link_busy_until: HashMap::new(),
-            queue: BinaryHeap::new(),
+            links: FastMap::default(),
+            healed: FastMap::default(),
+            last_arrival: FastMap::default(),
+            link_busy_until: FastMap::default(),
+            queue,
             rng,
-            node_rngs: HashMap::new(),
-            timer_generation: HashMap::new(),
+            node_rngs: FastMap::default(),
+            timer_generation: FastMap::default(),
             metrics: NetMetrics::new(),
             trace: TraceBuf::new(),
             action_buf: Vec::new(),
@@ -435,10 +538,15 @@ impl Simulator {
 
     fn schedule(&mut self, at: Instant, kind: EventKind) {
         let seq = self.next_seq();
-        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+        self.queue.push(Scheduled { at, seq, kind });
     }
 
     fn link_for(&self, from: PartId, to: PartId) -> &LinkConfig {
+        // Common case in benchmarks and simple topologies: no per-pair
+        // overrides at all, so skip the hash entirely.
+        if self.links.is_empty() {
+            return &self.config.default_link;
+        }
         self.links
             .get(&(from, to))
             .unwrap_or(&self.config.default_link)
@@ -491,7 +599,9 @@ impl Simulator {
                         depart += transmission;
                         *busy = depart;
                     }
-                    for _ in 0..copies {
+                    let payload_len = payload.len();
+                    let mut payload = Some(payload);
+                    for copy in 0..copies {
                         let jitter = Duration::from_micros(self.rng.next_below(jitter_bound));
                         let mut at = depart + latency + jitter;
                         if ordered {
@@ -506,7 +616,7 @@ impl Simulator {
                         svckit_obs::obs_link!(
                             node.raw(),
                             to.raw(),
-                            payload.len(),
+                            payload_len,
                             at.saturating_since(self.clock).as_micros()
                         );
                         svckit_obs::obs_span!(
@@ -516,12 +626,20 @@ impl Simulator {
                             self.clock.as_micros(),
                             at.as_micros()
                         );
+                        // The last copy takes ownership: un-duplicated sends
+                        // (the overwhelmingly common case) never touch the
+                        // payload's reference count at all.
+                        let payload = if copy + 1 == copies {
+                            payload.take().expect("one payload per copy loop")
+                        } else {
+                            Payload::clone(payload.as_ref().expect("clone before the last copy"))
+                        };
                         self.schedule(
                             at,
                             EventKind::Deliver {
                                 to,
                                 from: node,
-                                payload: Payload::clone(&payload),
+                                payload,
                             },
                         );
                     }
@@ -529,7 +647,9 @@ impl Simulator {
                 Action::SetTimer { delay, id } => {
                     let generation = self
                         .timer_generation
-                        .entry((node, id))
+                        .entry(node)
+                        .or_default()
+                        .entry(id)
                         .and_modify(|g| *g += 1)
                         .or_insert(1);
                     let generation = *generation;
@@ -545,7 +665,9 @@ impl Simulator {
                 Action::CancelTimer { id } => {
                     // Bumping the generation invalidates any pending firing.
                     self.timer_generation
-                        .entry((node, id))
+                        .entry(node)
+                        .or_default()
+                        .entry(id)
                         .and_modify(|g| *g += 1)
                         .or_insert(1);
                 }
@@ -605,9 +727,9 @@ impl Simulator {
         let deadline = self.clock + max_elapsed;
         self.start_if_needed();
         let mut quiescent = true;
-        while let Some(Reverse(event)) = self.queue.pop() {
+        while let Some(event) = self.queue.pop() {
             if event.at > deadline {
-                self.queue.push(Reverse(event));
+                self.queue.push(event);
                 quiescent = false;
                 break;
             }
@@ -627,7 +749,11 @@ impl Simulator {
                     id,
                     generation,
                 } => {
-                    if self.timer_generation.get(&(node, id)) == Some(&generation) {
+                    let live = self
+                        .timer_generation
+                        .get(&node)
+                        .and_then(|timers| timers.get(&id));
+                    if live == Some(&generation) {
                         svckit_obs::obs_count!("net.timer_fires");
                         self.dispatch(node, |p, ctx| p.on_timer(ctx, id));
                     } else {
@@ -919,6 +1045,83 @@ mod tests {
         let report = sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
         assert!(report.is_quiescent());
         assert_eq!(report.end_time(), Instant::from_micros(9_000));
+    }
+
+    #[test]
+    fn timer_cancelled_and_rearmed_at_same_instant_fires_once() {
+        // Regression pin for the generation semantics when the stale and
+        // the fresh schedule share one firing instant: a timer armed for
+        // t=5 ms is cancelled at t=3 ms and immediately re-armed for
+        // t=3+2 ms — the *same* instant. Two queue entries now carry equal
+        // `at`; only the one with the current generation may fire, and it
+        // fires exactly once.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Rearm {
+            fires: Rc<RefCell<Vec<(u64, u64)>>>,
+        }
+        impl Process for Rearm {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(Duration::from_millis(5), TimerId(1));
+                ctx.set_timer(Duration::from_millis(3), TimerId(2));
+            }
+            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
+                self.fires
+                    .borrow_mut()
+                    .push((timer.0, ctx.now().as_micros()));
+                if timer == TimerId(2) {
+                    ctx.cancel_timer(TimerId(1));
+                    ctx.set_timer(Duration::from_millis(2), TimerId(1));
+                }
+            }
+        }
+        let fires = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(SimConfig::new(1));
+        sim.add_process(
+            PartId::new(1),
+            Box::new(Rearm {
+                fires: Rc::clone(&fires),
+            }),
+        )
+        .unwrap();
+        let report = sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
+        assert!(report.is_quiescent());
+        // Timer 2 at 3 ms, then timer 1 exactly once at 5 ms — not zero
+        // times (cancel must not kill the re-arm) and not twice (the
+        // original generation must stay dead).
+        assert_eq!(*fires.borrow(), vec![(2, 3_000), (1, 5_000)]);
+        assert_eq!(report.end_time(), Instant::from_micros(5_000));
+    }
+
+    #[test]
+    fn same_handler_cancel_rearm_chain_keeps_only_last_schedule() {
+        // set / cancel / set within one handler, all landing on the same
+        // instant: generations 1 and 3 both sit in the queue at t=4 ms;
+        // only generation 3 fires.
+        struct ChainRearm {
+            fires: u32,
+        }
+        impl Process for ChainRearm {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(Duration::from_millis(4), TimerId(9));
+                ctx.cancel_timer(TimerId(9));
+                ctx.set_timer(Duration::from_millis(4), TimerId(9));
+            }
+            fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
+                assert_eq!(timer, TimerId(9));
+                assert_eq!(ctx.now(), Instant::from_micros(4_000));
+                self.fires += 1;
+                assert_eq!(self.fires, 1, "superseded schedule fired too");
+            }
+        }
+        let mut sim = Simulator::new(SimConfig::new(1));
+        sim.add_process(PartId::new(1), Box::new(ChainRearm { fires: 0 }))
+            .unwrap();
+        let report = sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
+        assert!(report.is_quiescent());
+        assert_eq!(report.end_time(), Instant::from_micros(4_000));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::rc::Rc;
 
 use svckit_codec::PduRegistry;
 use svckit_model::{Duration, PartId, Sap};
-use svckit_netsim::{LinkConfig, SimConfig, SimError, SimReport, Simulator};
+use svckit_netsim::{LinkConfig, QueueBackend, SimConfig, SimError, SimReport, Simulator};
 
 use crate::counters::ProtoCounters;
 use crate::entity::{ProtocolEntity, ProtocolNode, UserPart};
@@ -52,6 +52,7 @@ type PendingNode = (PartId, Sap, Box<dyn UserPart>, Box<dyn ProtocolEntity>);
 pub struct StackBuilder {
     seed: u64,
     link: LinkConfig,
+    queue: QueueBackend,
     registry: Rc<PduRegistry>,
     reliability: Option<ReliabilityConfig>,
     nodes: Vec<PendingNode>,
@@ -72,6 +73,7 @@ impl StackBuilder {
         StackBuilder {
             seed: 0,
             link: LinkConfig::default(),
+            queue: QueueBackend::default(),
             registry: Rc::new(registry),
             reliability: None,
             nodes: Vec::new(),
@@ -89,6 +91,13 @@ impl StackBuilder {
     #[must_use]
     pub fn link(mut self, link: LinkConfig) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Selects the simulator event-queue backend (builder-style).
+    #[must_use]
+    pub fn queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue = backend;
         self
     }
 
@@ -120,7 +129,11 @@ impl StackBuilder {
     ///
     /// Returns [`StackError::Sim`] when two nodes share a [`PartId`].
     pub fn build(self) -> Result<Stack, StackError> {
-        let mut sim = Simulator::new(SimConfig::new(self.seed).default_link(self.link));
+        let mut sim = Simulator::new(
+            SimConfig::new(self.seed)
+                .default_link(self.link)
+                .queue_backend(self.queue),
+        );
         let mut counters = BTreeMap::new();
         for (part, sap, user, entity) in self.nodes {
             let mut node = ProtocolNode::new(sap, user, entity, Rc::clone(&self.registry));

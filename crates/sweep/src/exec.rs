@@ -83,7 +83,10 @@ pub fn default_threads() -> usize {
 
 fn run_cell(spec: &SweepSpec, cell: &Cell) -> RunOutcome {
     let variation = &spec.variations[cell.variation];
-    let params = variation.params.clone().seed(cell.seed);
+    let mut params = variation.params.clone().seed(cell.seed);
+    if let Some(backend) = spec.queue {
+        params = params.queue_backend(backend);
+    }
     let faults = match cell.campaign {
         Some(i) => spec.campaigns[i].events.clone(),
         None => Vec::new(),

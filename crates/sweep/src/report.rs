@@ -384,6 +384,17 @@ pub fn flag_usize(args: &[String], name: &str, default: usize) -> usize {
     }
 }
 
+/// Parses the shared `--queue-backend` flag (`wheel` | `heap`); `None`
+/// when absent, leaving each spec/variation to its own default.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on an unknown backend name.
+pub fn queue_backend_flag(args: &[String]) -> Option<svckit::netsim::QueueBackend> {
+    let value = flag_value(args, "queue-backend")?;
+    Some(value.parse().unwrap_or_else(|e| panic!("{e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,7 @@
 use std::fmt;
 
 use svckit::floorctl::{FaultEvent, RunParams, Solution};
+use svckit::netsim::QueueBackend;
 use svckit::protocol::ReliabilityConfig;
 
 /// What one cell runs: a floor-control solution directly, or an MDA
@@ -74,6 +75,11 @@ pub struct SweepSpec {
     /// cells whose group label (`target/variation/campaign`) contains this
     /// substring. Lets `--filter` re-run a single group of a large sweep.
     pub filter: Option<String>,
+    /// Optional event-queue backend override applied to every cell
+    /// (`--queue-backend`). `None` keeps each variation's own setting.
+    /// Both backends produce byte-identical sweep JSON — overriding is
+    /// only useful for differential testing in CI.
+    pub queue: Option<QueueBackend>,
 }
 
 /// One expanded grid point, by index into the owning [`SweepSpec`].
@@ -102,6 +108,7 @@ impl SweepSpec {
             campaigns: Vec::new(),
             seeds: Vec::new(),
             filter: None,
+            queue: None,
         }
     }
 
@@ -181,6 +188,14 @@ impl SweepSpec {
     #[must_use]
     pub fn filter(mut self, needle: impl Into<String>) -> Self {
         self.filter = Some(needle.into());
+        self
+    }
+
+    /// Forces every cell onto the given event-queue backend
+    /// (builder-style). See [`SweepSpec::queue`].
+    #[must_use]
+    pub fn queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue = Some(backend);
         self
     }
 

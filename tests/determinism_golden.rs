@@ -8,7 +8,9 @@
 
 use svckit::floorctl::{run_solution, RunParams, Solution};
 use svckit::model::{Duration, PartId, Sap, Value};
-use svckit::netsim::{Context, LinkConfig, Payload, Process, SimConfig, Simulator, TimerId};
+use svckit::netsim::{
+    Context, LinkConfig, Payload, Process, QueueBackend, SimConfig, Simulator, TimerId,
+};
 
 /// 64-bit FNV-1a over a byte string.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -49,10 +51,14 @@ impl Process for Chatter {
     }
 }
 
-fn netsim_digest(seed: u64) -> u64 {
+fn netsim_digest(seed: u64, backend: QueueBackend) -> u64 {
     let link = LinkConfig::lossy(Duration::from_millis(2), Duration::from_millis(1), 0.2)
         .with_duplication(0.1);
-    let mut sim = Simulator::new(SimConfig::new(seed).default_link(link));
+    let mut sim = Simulator::new(
+        SimConfig::new(seed)
+            .default_link(link)
+            .queue_backend(backend),
+    );
     sim.add_process(
         PartId::new(1),
         Box::new(Chatter {
@@ -74,43 +80,63 @@ fn netsim_digest(seed: u64) -> u64 {
     fnv1a(format!("{report:?}").as_bytes())
 }
 
-fn solution_digest(solution: Solution, seed: u64) -> u64 {
+fn solution_digest(solution: Solution, seed: u64, backend: QueueBackend) -> u64 {
     let params = RunParams::default()
         .subscribers(4)
         .resources(2)
         .rounds(3)
-        .seed(seed);
+        .seed(seed)
+        .queue_backend(backend);
     let outcome = run_solution(solution, &params);
     assert!(outcome.completed, "{solution:?} workload must complete");
     assert!(outcome.conformant, "{solution:?} trace must conform");
     fnv1a(format!("{outcome:?}").as_bytes())
 }
 
+/// Computes a scenario digest under both event-queue backends, asserts
+/// they agree, and returns the shared value — every golden below goes
+/// through this, so each digest check doubles as a backend-equivalence
+/// check.
+fn digest_on_both_backends(digest: impl Fn(QueueBackend) -> u64) -> u64 {
+    let wheel = digest(QueueBackend::Wheel);
+    let heap = digest(QueueBackend::Heap);
+    assert_eq!(
+        wheel, heap,
+        "wheel and heap backends must be observationally identical"
+    );
+    wheel
+}
+
 #[test]
 fn netsim_report_is_bit_identical_per_seed() {
-    assert_eq!(netsim_digest(42), netsim_digest(42));
-    assert_ne!(netsim_digest(42), netsim_digest(43));
+    let digest_42 = digest_on_both_backends(|b| netsim_digest(42, b));
+    assert_eq!(digest_42, digest_on_both_backends(|b| netsim_digest(42, b)));
+    assert_ne!(digest_42, digest_on_both_backends(|b| netsim_digest(43, b)));
 }
 
 #[test]
 fn netsim_report_matches_golden_digest() {
-    // Captured from the zero-copy event core; must only change with a
+    // Captured from the zero-copy event core, on the heap queue; the
+    // timer wheel must reproduce it bit-for-bit. Must only change with a
     // deliberate, documented change to simulation semantics.
-    assert_eq!(netsim_digest(42), GOLDEN_NETSIM_SEED42);
+    assert_eq!(
+        digest_on_both_backends(|b| netsim_digest(42, b)),
+        GOLDEN_NETSIM_SEED42
+    );
 }
 
 #[test]
 fn middleware_solution_is_bit_identical_per_seed() {
     assert_eq!(
-        solution_digest(Solution::MwCallback, 7),
-        solution_digest(Solution::MwCallback, 7)
+        digest_on_both_backends(|b| solution_digest(Solution::MwCallback, 7, b)),
+        digest_on_both_backends(|b| solution_digest(Solution::MwCallback, 7, b))
     );
 }
 
 #[test]
 fn middleware_solution_matches_golden_digest() {
     assert_eq!(
-        solution_digest(Solution::MwCallback, 7),
+        digest_on_both_backends(|b| solution_digest(Solution::MwCallback, 7, b)),
         GOLDEN_MW_CALLBACK_SEED7
     );
 }
@@ -118,15 +144,15 @@ fn middleware_solution_matches_golden_digest() {
 #[test]
 fn protocol_solution_is_bit_identical_per_seed() {
     assert_eq!(
-        solution_digest(Solution::ProtoCallback, 7),
-        solution_digest(Solution::ProtoCallback, 7)
+        digest_on_both_backends(|b| solution_digest(Solution::ProtoCallback, 7, b)),
+        digest_on_both_backends(|b| solution_digest(Solution::ProtoCallback, 7, b))
     );
 }
 
 #[test]
 fn protocol_solution_matches_golden_digest() {
     assert_eq!(
-        solution_digest(Solution::ProtoCallback, 7),
+        digest_on_both_backends(|b| solution_digest(Solution::ProtoCallback, 7, b)),
         GOLDEN_PROTO_CALLBACK_SEED7
     );
 }
