@@ -16,8 +16,8 @@ use svckit::floorctl::{RunParams, Solution};
 use svckit::model::Duration;
 use svckit_bench::{fmt_f, print_header, print_row};
 use svckit_sweep::{
-    default_threads, flag_usize, flag_value, obs_flags, queue_backend_flag, run_sweep, verbosity,
-    SweepSpec,
+    default_threads, flag_usize, flag_value, obs_flags, queue_backend_flag, run_sweep, shards_flag,
+    verbosity, SweepSpec,
 };
 
 fn main() {
@@ -49,6 +49,14 @@ fn main() {
         // Either backend must produce byte-identical sweep JSON; CI runs
         // the smoke sweep under both and `cmp`s the outputs.
         spec = spec.queue_backend(backend);
+    }
+    if let Some(shards) = shards_flag(&args) {
+        // Sweep JSON is byte-identical across shard counts >= 2: link
+        // randomness is per-pair, so partitioning cannot change it. The
+        // E2 links are jittered, so shards >= 2 draw a different (equally
+        // valid) sample than the single-threaded engine's global stream;
+        // CI cmp's --shards 2 against --shards 4.
+        spec = spec.shards(shards);
     }
     let report = run_sweep(&spec, threads);
 

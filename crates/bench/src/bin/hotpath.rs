@@ -29,6 +29,7 @@ use svckit::lts::explorer::{ExploreOptions, Reduction, ServiceExplorer};
 use svckit::model::{Duration, PartId};
 use svckit::netsim::{Context, LinkConfig, Process, QueueBackend, SimConfig, Simulator, TimerId};
 use svckit::obs::with_recorder;
+use svckit_bench::scale::{run_scale_soak, ScaleConfig};
 use svckit_sweep::{
     chrome_trace, default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity,
     JsonWriter, ObsFormat, PorStats, Recorder, SweepSpec,
@@ -396,6 +397,32 @@ fn main() {
             black_box(run_sweep(&grid, threads).results.len());
         }),
     );
+
+    // --- Scale soak: the sharded-core target workload. -------------------
+    // `netsim/soak_100k_evps` records **events per second** — higher is
+    // better, so perfgate holds a floor on it instead of the usual
+    // lower-is-better ratio band. Measured on the sequential engine
+    // (shards = 1); shard-count identity is proved separately by CI's
+    // `soak --clients … --shards 4` cmp, and any parallel speedup is a
+    // bonus on top of this floor, never a substitute for it.
+    {
+        let cfg = ScaleConfig::default(); // 100k clients, 4 servers, 2 rounds
+        run_scale_soak(&cfg); // warmup
+        let mut evps: Vec<f64> = (0..3)
+            .map(|_| {
+                let out = run_scale_soak(&cfg);
+                assert!(out.quiescent, "scale soak must reach quiescence");
+                out.events_per_sec
+            })
+            .collect();
+        evps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = evps[evps.len() / 2];
+        println!(
+            "{:<36} median {median:.0} events/sec",
+            "netsim/soak_100k_evps"
+        );
+        results.push(("netsim/soak_100k_evps", median));
+    }
 
     // --- Obs overhead: same workload with and without a recorder --------
     // installed, interleaved A/B in one process. The *percent* difference

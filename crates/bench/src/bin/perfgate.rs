@@ -28,11 +28,19 @@
 //! binary heap) by at least [`MIN_CHURN_SPEEDUP`]×. Both medians come
 //! from the *fresh* run, so the ratio is machine-independent and immune
 //! to baseline staleness.
+//!
+//! [`FLOOR_KEYS`] are throughput keys (events per second — higher is
+//! better): the band is applied *inverted*, so a fresh value below
+//! `baseline × (1 − tolerance)` is the regression and one above
+//! `baseline × (1 + tolerance)` the re-baselining reminder.
 
 use svckit_sweep::{flag_value, parse_flat_numbers};
 
 /// Keys that are not nanosecond medians and must skip the ratio band.
 const SPECIAL_KEYS: [&str; 2] = ["obs_disabled_overhead", "obs_sites_enabled"];
+
+/// Throughput keys: higher is better, gated as a floor, not a ceiling.
+const FLOOR_KEYS: [&str; 1] = ["netsim/soak_100k_evps"];
 
 /// Largest tolerated `obs_disabled_overhead` percentage with obs off.
 const MAX_DISABLED_OVERHEAD_PCT: f64 = 3.0;
@@ -82,16 +90,25 @@ fn main() {
                 } else {
                     1.0
                 };
-                let verdict = if ratio > 1.0 + tolerance {
+                // Throughput floors read the band upside down: shrinking
+                // events/sec is the regression, growing is the reminder.
+                let floor = FLOOR_KEYS.contains(&name.as_str());
+                let (worse, better) = if floor {
+                    (ratio < 1.0 - tolerance, ratio > 1.0 + tolerance)
+                } else {
+                    (ratio > 1.0 + tolerance, ratio < 1.0 - tolerance)
+                };
+                let verdict = if worse {
                     regressions += 1;
                     "REGRESSION"
-                } else if ratio < 1.0 - tolerance {
+                } else if better {
                     "IMPROVED" // consider re-baselining
                 } else {
                     "ok"
                 };
+                let unit = if floor { "ev/s" } else { "ns" };
                 println!(
-                    "{verdict:<11} {name:<36} {base_ns:>14.0} -> {fresh_ns:>14.0} ns ({ratio:>5.2}x)"
+                    "{verdict:<11} {name:<36} {base_ns:>14.0} -> {fresh_ns:>14.0} {unit} ({ratio:>5.2}x)"
                 );
             }
         }

@@ -25,6 +25,20 @@
 //!     [--obs-out <path>] [--obs-format jsonl|chrome] [--quiet|-v]
 //! ```
 //!
+//! A second mode, `--clients N`, runs the *scale soak* instead: `N`
+//! polling/callback clients against `--servers K` floor servers on the
+//! raw netsim core (optionally sharded with `--shards S`), printing
+//! events/sec and the peak number of pending events (live timers +
+//! in-flight messages) and writing a canonical virtual-time-only JSON
+//! that is byte-identical for every shard count — CI `cmp`s `--shards 4`
+//! against `--shards 1`:
+//!
+//! ```text
+//! cargo run --release -p svckit-bench --bin soak -- \
+//!     --clients 100000 [--servers 4] [--rounds 2] [--shards 4] \
+//!     [--seed 42] [--out SOAK_scale.json]
+//! ```
+//!
 //! With `--features obs`, `--obs-out` captures per-cell instrumentation
 //! (virtual-time spans, counters, per-link stats) as JSONL or a Chrome
 //! trace loadable in Perfetto; output is byte-identical across
@@ -34,9 +48,10 @@ use svckit::floorctl::{proto, FaultEvent, RunParams, Solution};
 use svckit::model::Duration;
 use svckit::netsim::{DeterministicRng, LinkConfig};
 use svckit::protocol::ReliabilityConfig;
+use svckit_bench::scale::{run_scale_soak, ScaleConfig};
 use svckit_sweep::{
-    default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity, SweepReport,
-    SweepSpec,
+    default_threads, flag_usize, flag_value, obs_flags, run_sweep, shards_flag, verbosity,
+    SweepReport, SweepSpec,
 };
 
 /// Derives one fault campaign from a seed: a partition of a random node
@@ -91,8 +106,53 @@ fn audit(report: &SweepReport) -> (usize, usize) {
     (violations, completed)
 }
 
+/// The `--clients N` mode: one big raw-netsim cell instead of the
+/// campaign grid. Exits the process when done.
+fn run_scale_mode(args: &[String], clients: u64) -> ! {
+    let cfg = ScaleConfig {
+        clients,
+        servers: flag_usize(args, "servers", 4) as u64,
+        rounds: flag_usize(args, "rounds", 2) as u32,
+        shards: flag_usize(args, "shards", 1) as u32,
+        seed: flag_usize(args, "seed", 42) as u64,
+        ..ScaleConfig::default()
+    };
+    println!(
+        "scale soak: {} clients x {} rounds over {} servers, {} shard(s)",
+        cfg.clients, cfg.rounds, cfg.servers, cfg.shards
+    );
+    let out = run_scale_soak(&cfg);
+    assert!(
+        out.quiescent,
+        "scale soak must finish inside the virtual-time cap"
+    );
+    println!(
+        "  {} events in {:.2}s wall = {:.0} events/sec",
+        out.events, out.wall_secs, out.events_per_sec
+    );
+    println!(
+        "  peak pending events (live timers + in-flight messages): {}",
+        out.peak_pending
+    );
+    println!(
+        "  virtual end {:.3}s, {} messages delivered",
+        out.end_us as f64 / 1e6,
+        out.messages_delivered
+    );
+    let path = flag_value(args, "out").unwrap_or_else(|| "SOAK_scale.json".to_owned());
+    std::fs::write(&path, out.to_canonical_json()).expect("write scale soak json");
+    println!("wrote {path} (canonical: byte-identical across --shards)");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(clients) = flag_value(&args, "clients") {
+        let clients: u64 = clients
+            .parse()
+            .unwrap_or_else(|_| panic!("--clients expects a number, got {clients:?}"));
+        run_scale_mode(&args, clients);
+    }
     let seeds = flag_usize(&args, "seeds", 8) as u64;
     let threads = flag_usize(&args, "threads", default_threads());
     let out = flag_value(&args, "out").unwrap_or_else(|| "SWEEP_soak.json".to_owned());
@@ -129,6 +189,12 @@ fn main() {
     if let Some(needle) = flag_value(&args, "filter") {
         spec = spec.filter(needle.clone());
         reliable_spec = reliable_spec.filter(needle);
+    }
+    if let Some(shards) = shards_flag(&args) {
+        // Campaign cells stay byte-identical under any shard count; the
+        // flag exists so CI can prove it on the full fault grid too.
+        spec = spec.shards(shards);
+        reliable_spec = reliable_spec.shards(shards);
     }
 
     println!(

@@ -9,6 +9,8 @@
 //! and `-v` the same way. Build with `--features obs` to turn the
 //! workspace's instrumentation sites live.
 
+pub mod scale;
+
 pub use svckit_sweep::{
     fmt_f, obs_flags, print_header, print_row, verbosity, ObsFormat, PorStats, Recorder, Verbosity,
 };

@@ -206,6 +206,7 @@ pub fn deploy(params: &RunParams) -> MwSystem {
     let mut builder = MwSystemBuilder::new(plan)
         .seed(params.seed_value())
         .queue_backend(params.queue())
+        .shards(params.shard_count())
         .link(params.link_config().clone())
         .component(CONTROLLER, Box::new(PollingController::new()));
     for k in 1..=params.subscriber_count() {

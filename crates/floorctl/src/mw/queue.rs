@@ -195,6 +195,7 @@ pub fn deploy_on(params: &RunParams, platform_name: &str) -> MwSystem {
     let mut builder = MwSystemBuilder::new(plan)
         .seed(params.seed_value())
         .queue_backend(params.queue())
+        .shards(params.shard_count())
         .link(params.link_config().clone())
         .component(CONTROLLER, Box::new(QueueController::new()));
     for k in 1..=params.subscriber_count() {

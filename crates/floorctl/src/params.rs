@@ -92,6 +92,7 @@ pub struct RunParams {
     seed: u64,
     time_cap: Duration,
     queue: QueueBackend,
+    shards: u32,
 }
 
 impl Default for RunParams {
@@ -109,6 +110,7 @@ impl Default for RunParams {
             seed: 42,
             time_cap: Duration::from_secs(60),
             queue: QueueBackend::default(),
+            shards: 1,
         }
     }
 }
@@ -187,6 +189,16 @@ impl RunParams {
         self
     }
 
+    /// Sets the simulator shard count (builder-style). `1` (the default)
+    /// runs the sequential engine; `N ≥ 2` partitions the nodes over `N`
+    /// lookahead-synchronized shards. On deterministic links the outcome
+    /// is byte-identical for every value.
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Number of subscribers.
     pub fn subscriber_count(&self) -> u64 {
         self.subscribers
@@ -225,6 +237,11 @@ impl RunParams {
     /// Seed.
     pub fn seed_value(&self) -> u64 {
         self.seed
+    }
+
+    /// Simulator shard count.
+    pub fn shard_count(&self) -> u32 {
+        self.shards
     }
 
     /// Event-queue backend.

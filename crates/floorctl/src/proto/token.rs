@@ -119,6 +119,7 @@ pub fn deploy(params: &RunParams) -> Stack {
     let mut builder = StackBuilder::new(registry())
         .seed(params.seed_value())
         .queue_backend(params.queue())
+        .shards(params.shard_count())
         .link(params.link_config().clone());
     for k in 1..=n {
         let next = subscriber_part(k % n + 1);

@@ -1,8 +1,7 @@
 //! The message broker node for queue and topic routing.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use svckit_codec::PduRegistry;
 use svckit_model::{PartId, Value};
@@ -15,29 +14,29 @@ use crate::wire;
 /// Routes `mw_enqueue` to one consumer (round-robin) and `mw_publish` to
 /// every subscriber, as `mw_deliver` frames.
 pub(crate) struct Broker {
-    plan: Rc<DeploymentPlan>,
-    registry: Rc<PduRegistry>,
-    counters: Rc<RefCell<MwCounters>>,
+    plan: Arc<DeploymentPlan>,
+    registry: Arc<PduRegistry>,
+    counters: Arc<Mutex<MwCounters>>,
     round_robin: HashMap<String, usize>,
 }
 
 impl Broker {
-    pub(crate) fn new(plan: Rc<DeploymentPlan>, registry: Rc<PduRegistry>) -> Self {
+    pub(crate) fn new(plan: Arc<DeploymentPlan>, registry: Arc<PduRegistry>) -> Self {
         Broker {
             plan,
             registry,
-            counters: Rc::new(RefCell::new(MwCounters::default())),
+            counters: Arc::new(Mutex::new(MwCounters::default())),
             round_robin: HashMap::new(),
         }
     }
 
-    pub(crate) fn counters(&self) -> Rc<RefCell<MwCounters>> {
-        Rc::clone(&self.counters)
+    pub(crate) fn counters(&self) -> Arc<Mutex<MwCounters>> {
+        Arc::clone(&self.counters)
     }
 
     fn deliver(&self, net: &mut Context<'_>, component: &str, source: &str, payload: Vec<Value>) {
         let Some(entry) = self.plan.component(component) else {
-            self.counters.borrow_mut().dispatch_errors += 1;
+            self.counters.lock().unwrap().dispatch_errors += 1;
             return;
         };
         let bytes = self
@@ -47,7 +46,7 @@ impl Broker {
                 &[Value::Text(source.to_owned()), wire::wrap_list(payload)],
             )
             .expect("wire schema is static");
-        let mut c = self.counters.borrow_mut();
+        let mut c = self.counters.lock().unwrap();
         c.deliveries += 1;
         c.marshalled_bytes += bytes.len() as u64;
         drop(c);
@@ -67,7 +66,7 @@ impl Process for Broker {
         let pdu = match self.registry.decode(&payload) {
             Ok(pdu) => pdu,
             Err(_) => {
-                self.counters.borrow_mut().dispatch_errors += 1;
+                self.counters.lock().unwrap().dispatch_errors += 1;
                 return;
             }
         };
@@ -79,7 +78,7 @@ impl Process for Broker {
                 let queue = args.pop().and_then(|v| v.as_text().map(str::to_owned));
                 let Some(queue) = queue else { return };
                 let Some(consumers) = self.plan.queue_consumers(&queue) else {
-                    self.counters.borrow_mut().dispatch_errors += 1;
+                    self.counters.lock().unwrap().dispatch_errors += 1;
                     return;
                 };
                 if consumers.is_empty() {
@@ -96,7 +95,7 @@ impl Process for Broker {
                 let topic = args.pop().and_then(|v| v.as_text().map(str::to_owned));
                 let Some(topic) = topic else { return };
                 let Some(subscribers) = self.plan.topic_subscribers(&topic) else {
-                    self.counters.borrow_mut().dispatch_errors += 1;
+                    self.counters.lock().unwrap().dispatch_errors += 1;
                     return;
                 };
                 for subscriber in subscribers {
@@ -104,7 +103,7 @@ impl Process for Broker {
                 }
             }
             _ => {
-                self.counters.borrow_mut().dispatch_errors += 1;
+                self.counters.lock().unwrap().dispatch_errors += 1;
             }
         }
     }

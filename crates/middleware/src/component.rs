@@ -1,8 +1,7 @@
 //! Components and their middleware context.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use svckit_codec::PduRegistry;
 use svckit_model::{Duration, Instant, InteractionPattern, PartId, Sap, Value};
@@ -25,7 +24,7 @@ pub(crate) const CALL_TIMEOUT_BASE: u64 = 1 << 63;
 /// [`PlatformCaps`](crate::PlatformCaps) — illustrating the paper's point
 /// that platform choice "directly influence\[s\] the design of the application
 /// parts".
-pub trait Component {
+pub trait Component: Send {
     /// Called once when the system starts.
     fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
         let _ = ctx;
@@ -73,7 +72,7 @@ pub struct MwCtx<'a, 'b> {
     pub(crate) name: &'a str,
     pub(crate) plan: &'a DeploymentPlan,
     pub(crate) registry: &'a PduRegistry,
-    pub(crate) counters: &'a Rc<RefCell<MwCounters>>,
+    pub(crate) counters: &'a Arc<Mutex<MwCounters>>,
     pub(crate) call_seq: &'a mut u64,
     pub(crate) pending: &'a mut HashMap<u64, u64>,
 }
@@ -210,7 +209,7 @@ impl MwCtx<'_, '_> {
             )
             .expect("wire schema is static");
         {
-            let mut c = self.counters.borrow_mut();
+            let mut c = self.counters.lock().unwrap();
             c.invocations += 1;
             c.marshalled_bytes += bytes.len() as u64;
         }
@@ -251,7 +250,7 @@ impl MwCtx<'_, '_> {
             )
             .expect("wire schema is static");
         {
-            let mut c = self.counters.borrow_mut();
+            let mut c = self.counters.lock().unwrap();
             c.oneways += 1;
             c.marshalled_bytes += bytes.len() as u64;
         }
@@ -284,7 +283,7 @@ impl MwCtx<'_, '_> {
             )
             .expect("wire schema is static");
         {
-            let mut c = self.counters.borrow_mut();
+            let mut c = self.counters.lock().unwrap();
             c.enqueues += 1;
             c.marshalled_bytes += bytes.len() as u64;
         }
@@ -319,7 +318,7 @@ impl MwCtx<'_, '_> {
             )
             .expect("wire schema is static");
         {
-            let mut c = self.counters.borrow_mut();
+            let mut c = self.counters.lock().unwrap();
             c.publishes += 1;
             c.marshalled_bytes += bytes.len() as u64;
         }

@@ -1,8 +1,7 @@
 //! The middleware runtime living on each component's node.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use svckit_codec::PduRegistry;
 use svckit_model::{PartId, Value};
@@ -17,9 +16,9 @@ use crate::wire;
 pub(crate) struct MwNode {
     name: String,
     component: Box<dyn Component>,
-    plan: Rc<DeploymentPlan>,
-    registry: Rc<PduRegistry>,
-    counters: Rc<RefCell<MwCounters>>,
+    plan: Arc<DeploymentPlan>,
+    registry: Arc<PduRegistry>,
+    counters: Arc<Mutex<MwCounters>>,
     call_seq: u64,
     pending: HashMap<u64, u64>,
 }
@@ -28,22 +27,22 @@ impl MwNode {
     pub(crate) fn new(
         name: String,
         component: Box<dyn Component>,
-        plan: Rc<DeploymentPlan>,
-        registry: Rc<PduRegistry>,
+        plan: Arc<DeploymentPlan>,
+        registry: Arc<PduRegistry>,
     ) -> Self {
         MwNode {
             name,
             component,
             plan,
             registry,
-            counters: Rc::new(RefCell::new(MwCounters::default())),
+            counters: Arc::new(Mutex::new(MwCounters::default())),
             call_seq: 0,
             pending: HashMap::new(),
         }
     }
 
-    pub(crate) fn counters(&self) -> Rc<RefCell<MwCounters>> {
-        Rc::clone(&self.counters)
+    pub(crate) fn counters(&self) -> Arc<Mutex<MwCounters>> {
+        Arc::clone(&self.counters)
     }
 
     fn dispatch_operation(
@@ -63,11 +62,11 @@ impl MwNode {
             .and_then(|e| e.find_operation(&iface, &op))
             .cloned();
         let Some(sig) = sig else {
-            self.counters.borrow_mut().dispatch_errors += 1;
+            self.counters.lock().unwrap().dispatch_errors += 1;
             return;
         };
         if sig.validate_args(&args).is_err() {
-            self.counters.borrow_mut().dispatch_errors += 1;
+            self.counters.lock().unwrap().dispatch_errors += 1;
             return;
         }
         let result = {
@@ -82,14 +81,14 @@ impl MwNode {
             };
             self.component.handle_operation(&mut ctx, &iface, &op, args)
         };
-        self.counters.borrow_mut().dispatches += 1;
+        self.counters.lock().unwrap().dispatches += 1;
         svckit_obs::obs_count!("mw.dispatches");
         svckit_obs::obs_event!("mw.dispatch", "mw", net.id().raw(), net.now().as_micros());
         if let Some(call_id) = call {
             let result = if sig.validate_result(&result).is_ok() {
                 result
             } else {
-                self.counters.borrow_mut().dispatch_errors += 1;
+                self.counters.lock().unwrap().dispatch_errors += 1;
                 Value::Unit
             };
             let bytes = self
@@ -99,7 +98,7 @@ impl MwNode {
                     &[Value::Id(call_id), wire::wrap_list(vec![result])],
                 )
                 .expect("wire schema is static");
-            self.counters.borrow_mut().marshalled_bytes += bytes.len() as u64;
+            self.counters.lock().unwrap().marshalled_bytes += bytes.len() as u64;
             net.send(from, bytes);
         }
     }
@@ -123,7 +122,7 @@ impl Process for MwNode {
         let pdu = match self.registry.decode(&payload) {
             Ok(pdu) => pdu,
             Err(_) => {
-                self.counters.borrow_mut().dispatch_errors += 1;
+                self.counters.lock().unwrap().dispatch_errors += 1;
                 return;
             }
         };
@@ -153,7 +152,7 @@ impl Process for MwNode {
                 if let Some(call) = call {
                     if let Some(token) = self.pending.remove(&call) {
                         net.cancel_timer(TimerId(CALL_TIMEOUT_BASE + call));
-                        self.counters.borrow_mut().replies += 1;
+                        self.counters.lock().unwrap().replies += 1;
                         svckit_obs::obs_count!("mw.replies");
                         svckit_obs::obs_event!(
                             "mw.reply",
@@ -179,7 +178,7 @@ impl Process for MwNode {
                 let payload = wire::unwrap_list(args.pop().expect("schema has 2 fields"));
                 let source = args.pop().and_then(|v| v.as_text().map(str::to_owned));
                 if let Some(source) = source {
-                    self.counters.borrow_mut().deliveries += 1;
+                    self.counters.lock().unwrap().deliveries += 1;
                     svckit_obs::obs_count!("mw.deliveries");
                     svckit_obs::obs_event!(
                         "mw.deliver",
@@ -201,7 +200,7 @@ impl Process for MwNode {
             }
             _ => {
                 // enqueue/publish frames belong at the broker, not here.
-                self.counters.borrow_mut().dispatch_errors += 1;
+                self.counters.lock().unwrap().dispatch_errors += 1;
             }
         }
     }
@@ -210,7 +209,7 @@ impl Process for MwNode {
         if timer.0 >= CALL_TIMEOUT_BASE {
             let call = timer.0 - CALL_TIMEOUT_BASE;
             if let Some(token) = self.pending.remove(&call) {
-                self.counters.borrow_mut().timeouts += 1;
+                self.counters.lock().unwrap().timeouts += 1;
                 let mut ctx = MwCtx {
                     net,
                     name: &self.name,

@@ -1,9 +1,8 @@
 //! Assembly and execution of a middleware deployment.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use svckit_model::{Duration, PartId};
 use svckit_netsim::{LinkConfig, QueueBackend, SimConfig, SimReport, Simulator};
@@ -23,6 +22,7 @@ pub struct MwSystemBuilder {
     seed: u64,
     link: LinkConfig,
     queue: QueueBackend,
+    shards: u32,
     implementations: BTreeMap<String, Box<dyn Component>>,
 }
 
@@ -43,6 +43,7 @@ impl MwSystemBuilder {
             seed: 0,
             link: LinkConfig::default(),
             queue: QueueBackend::default(),
+            shards: 1,
             implementations: BTreeMap::new(),
         }
     }
@@ -65,6 +66,14 @@ impl MwSystemBuilder {
     #[must_use]
     pub fn queue_backend(mut self, backend: QueueBackend) -> Self {
         self.queue = backend;
+        self
+    }
+
+    /// Sets the simulator shard count (builder-style); see
+    /// [`svckit_netsim::SimConfig::shards`].
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -106,12 +115,13 @@ impl MwSystemBuilder {
             });
         }
 
-        let plan = Rc::new(self.plan);
-        let registry = Rc::new(wire::wire_registry());
+        let plan = Arc::new(self.plan);
+        let registry = Arc::new(wire::wire_registry());
         let mut sim = Simulator::new(
             SimConfig::new(self.seed)
                 .default_link(self.link)
-                .queue_backend(self.queue),
+                .queue_backend(self.queue)
+                .shards(self.shards),
         );
         let mut counters = BTreeMap::new();
         let names: Vec<String> = plan
@@ -125,8 +135,8 @@ impl MwSystemBuilder {
             let node = MwNode::new(
                 name.clone(),
                 implementation,
-                Rc::clone(&plan),
-                Rc::clone(&registry),
+                Arc::clone(&plan),
+                Arc::clone(&registry),
             );
             counters.insert(name, node.counters());
             sim.add_process(part, Box::new(node))
@@ -134,7 +144,7 @@ impl MwSystemBuilder {
         }
         let broker_counters = match plan.broker() {
             Some(part) => {
-                let broker = Broker::new(Rc::clone(&plan), Rc::clone(&registry));
+                let broker = Broker::new(Arc::clone(&plan), Arc::clone(&registry));
                 let handle = broker.counters();
                 sim.add_process(part, Box::new(broker))
                     .map_err(|e| MwError::Sim(e.to_string()))?;
@@ -154,9 +164,9 @@ impl MwSystemBuilder {
 /// A deployed, runnable middleware system.
 pub struct MwSystem {
     sim: Simulator,
-    plan: Rc<DeploymentPlan>,
-    counters: BTreeMap<String, Rc<RefCell<MwCounters>>>,
-    broker_counters: Option<Rc<RefCell<MwCounters>>>,
+    plan: Arc<DeploymentPlan>,
+    counters: BTreeMap<String, Arc<Mutex<MwCounters>>>,
+    broker_counters: Option<Arc<Mutex<MwCounters>>>,
 }
 
 impl fmt::Debug for MwSystem {
@@ -188,22 +198,22 @@ impl MwSystem {
 
     /// Counters of one component.
     pub fn component_counters(&self, name: &str) -> Option<MwCounters> {
-        self.counters.get(name).map(|c| *c.borrow())
+        self.counters.get(name).map(|c| *c.lock().unwrap())
     }
 
     /// Counters of the broker, when one is deployed.
     pub fn broker_counters(&self) -> Option<MwCounters> {
-        self.broker_counters.as_ref().map(|c| *c.borrow())
+        self.broker_counters.as_ref().map(|c| *c.lock().unwrap())
     }
 
     /// Sum of all component counters (broker included).
     pub fn total_counters(&self) -> MwCounters {
         let mut total = MwCounters::default();
         for c in self.counters.values() {
-            total.absorb(&c.borrow());
+            total.absorb(&c.lock().unwrap());
         }
         if let Some(b) = &self.broker_counters {
-            total.absorb(&b.borrow());
+            total.absorb(&b.lock().unwrap());
         }
         total
     }

@@ -1,8 +1,7 @@
 //! End-to-end tests of the middleware platform: remote invocation,
 //! oneway, queues, publish/subscribe, and pattern enforcement.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use svckit_middleware::{Component, DeploymentPlan, MwCtx, MwError, MwSystemBuilder, PlatformCaps};
 use svckit_model::{
@@ -12,7 +11,7 @@ use svckit_netsim::{LinkConfig, TimerId};
 
 /// A calculator server: `add(a, b) -> int`, plus a oneway `log(msg)`.
 struct Calculator {
-    logged: Rc<RefCell<Vec<String>>>,
+    logged: Arc<Mutex<Vec<String>>>,
 }
 
 impl Component for Calculator {
@@ -28,7 +27,8 @@ impl Component for Calculator {
             "add" => Value::Int(args[0].as_int().unwrap() + args[1].as_int().unwrap()),
             "log" => {
                 self.logged
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .push(args[0].as_text().unwrap().to_owned());
                 Value::Unit
             }
@@ -39,7 +39,7 @@ impl Component for Calculator {
 
 /// A client: calls add(2, 3) at activation, records the reply.
 struct Client {
-    result: Rc<RefCell<Option<i64>>>,
+    result: Arc<Mutex<Option<i64>>>,
 }
 
 impl Component for Client {
@@ -68,7 +68,7 @@ impl Component for Client {
 
     fn on_reply(&mut self, _ctx: &mut MwCtx<'_, '_>, token: u64, result: Value) {
         assert_eq!(token, 77);
-        *self.result.borrow_mut() = result.as_int();
+        *self.result.lock().unwrap() = result.as_int();
     }
 }
 
@@ -89,29 +89,29 @@ fn remote_invocation_round_trip() {
         .component("client", PartId::new(2), vec![])
         .build()
         .unwrap();
-    let result = Rc::new(RefCell::new(None));
-    let logged = Rc::new(RefCell::new(Vec::new()));
+    let result = Arc::new(Mutex::new(None));
+    let logged = Arc::new(Mutex::new(Vec::new()));
     let mut system = MwSystemBuilder::new(plan)
         .seed(3)
         .link(LinkConfig::lan())
         .component(
             "calc",
             Box::new(Calculator {
-                logged: Rc::clone(&logged),
+                logged: Arc::clone(&logged),
             }),
         )
         .component(
             "client",
             Box::new(Client {
-                result: Rc::clone(&result),
+                result: Arc::clone(&result),
             }),
         )
         .build()
         .unwrap();
     let report = system.run_to_quiescence(Duration::from_secs(1)).unwrap();
     assert!(report.is_quiescent());
-    assert_eq!(*result.borrow(), Some(5));
-    assert_eq!(logged.borrow().as_slice(), ["hello".to_owned()]);
+    assert_eq!(*result.lock().unwrap(), Some(5));
+    assert_eq!(logged.lock().unwrap().as_slice(), ["hello".to_owned()]);
     let client = system.component_counters("client").unwrap();
     assert_eq!(client.invocations, 1);
     assert_eq!(client.oneways, 1);
@@ -123,13 +123,13 @@ fn remote_invocation_round_trip() {
 
 /// Pattern enforcement: queue operations on an RPC-only platform fail.
 struct QueueAbuser {
-    error: Rc<RefCell<Option<MwError>>>,
+    error: Arc<Mutex<Option<MwError>>>,
 }
 
 impl Component for QueueAbuser {
     fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
         let err = ctx.enqueue("jobs", vec![Value::Id(1)]).unwrap_err();
-        *self.error.borrow_mut() = Some(err);
+        *self.error.lock().unwrap() = Some(err);
     }
     fn handle_operation(
         &mut self,
@@ -148,18 +148,18 @@ fn rpc_platform_rejects_queue_pattern() {
         .component("abuser", PartId::new(1), vec![])
         .build()
         .unwrap();
-    let error = Rc::new(RefCell::new(None));
+    let error = Arc::new(Mutex::new(None));
     let mut system = MwSystemBuilder::new(plan)
         .component(
             "abuser",
             Box::new(QueueAbuser {
-                error: Rc::clone(&error),
+                error: Arc::clone(&error),
             }),
         )
         .build()
         .unwrap();
     system.run_to_quiescence(Duration::from_secs(1)).unwrap();
-    let taken = error.borrow_mut().take();
+    let taken = error.lock().unwrap().take();
     match taken {
         Some(MwError::PatternUnsupported { needed, .. }) => {
             assert_eq!(needed, InteractionPattern::MessageQueue);
@@ -190,7 +190,7 @@ impl Component for Producer {
 }
 
 struct Consumer {
-    seen: Rc<RefCell<Vec<(String, Value)>>>,
+    seen: Arc<Mutex<Vec<(String, Value)>>>,
 }
 impl Component for Consumer {
     fn handle_operation(
@@ -204,7 +204,8 @@ impl Component for Consumer {
     }
     fn on_delivery(&mut self, _ctx: &mut MwCtx<'_, '_>, source: &str, payload: Vec<Value>) {
         self.seen
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push((source.to_owned(), payload[0].clone()));
     }
 }
@@ -220,21 +221,21 @@ fn queues_round_robin_and_topics_fan_out() {
         .broker(PartId::new(50))
         .build()
         .unwrap();
-    let seen_a = Rc::new(RefCell::new(Vec::new()));
-    let seen_b = Rc::new(RefCell::new(Vec::new()));
+    let seen_a = Arc::new(Mutex::new(Vec::new()));
+    let seen_b = Arc::new(Mutex::new(Vec::new()));
     let mut system = MwSystemBuilder::new(plan)
         .seed(5)
         .component("producer", Box::new(Producer))
         .component(
             "worker-a",
             Box::new(Consumer {
-                seen: Rc::clone(&seen_a),
+                seen: Arc::clone(&seen_a),
             }),
         )
         .component(
             "worker-b",
             Box::new(Consumer {
-                seen: Rc::clone(&seen_b),
+                seen: Arc::clone(&seen_b),
             }),
         )
         .build()
@@ -245,11 +246,11 @@ fn queues_round_robin_and_topics_fan_out() {
     let jobs = |v: &Vec<(String, Value)>| v.iter().filter(|(s, _)| s == "jobs").count();
     let news = |v: &Vec<(String, Value)>| v.iter().filter(|(s, _)| s == "news").count();
     // Round-robin: 4 jobs split 2/2.
-    assert_eq!(jobs(&seen_a.borrow()), 2);
-    assert_eq!(jobs(&seen_b.borrow()), 2);
+    assert_eq!(jobs(&seen_a.lock().unwrap()), 2);
+    assert_eq!(jobs(&seen_b.lock().unwrap()), 2);
     // Fan-out: each subscriber got the flash.
-    assert_eq!(news(&seen_a.borrow()), 1);
-    assert_eq!(news(&seen_b.borrow()), 1);
+    assert_eq!(news(&seen_a.lock().unwrap()), 1);
+    assert_eq!(news(&seen_b.lock().unwrap()), 1);
     assert_eq!(system.broker_counters().unwrap().deliveries, 6);
 }
 
@@ -257,7 +258,7 @@ fn queues_round_robin_and_topics_fan_out() {
 /// arguments and wrong invocation style are rejected before anything hits
 /// the wire.
 struct Validator {
-    checked: Rc<RefCell<bool>>,
+    checked: Arc<Mutex<bool>>,
 }
 impl Component for Validator {
     fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
@@ -289,7 +290,7 @@ impl Component for Validator {
             ctx.enqueue("nope", vec![]),
             Err(MwError::PatternUnsupported { .. })
         ));
-        *self.checked.borrow_mut() = true;
+        *self.checked.lock().unwrap() = true;
     }
     fn handle_operation(
         &mut self,
@@ -309,20 +310,20 @@ fn invocation_validation_catches_misuse_locally() {
         .component("validator", PartId::new(2), vec![])
         .build()
         .unwrap();
-    let checked = Rc::new(RefCell::new(false));
-    let logged = Rc::new(RefCell::new(Vec::new()));
+    let checked = Arc::new(Mutex::new(false));
+    let logged = Arc::new(Mutex::new(Vec::new()));
     let mut system = MwSystemBuilder::new(plan)
         .component("calc", Box::new(Calculator { logged }))
         .component(
             "validator",
             Box::new(Validator {
-                checked: Rc::clone(&checked),
+                checked: Arc::clone(&checked),
             }),
         )
         .build()
         .unwrap();
     let report = system.run_to_quiescence(Duration::from_secs(1)).unwrap();
-    assert!(*checked.borrow());
+    assert!(*checked.lock().unwrap());
     // Nothing valid was ever sent.
     assert_eq!(report.metrics().messages_sent(), 0);
 }
@@ -338,12 +339,12 @@ fn missing_implementation_is_a_build_error() {
         Err(MwError::MissingImplementation { .. })
     ));
     // Extraneous implementation is also rejected.
-    let logged = Rc::new(RefCell::new(Vec::new()));
+    let logged = Arc::new(Mutex::new(Vec::new()));
     let err = MwSystemBuilder::new(plan)
         .component(
             "calc",
             Box::new(Calculator {
-                logged: Rc::clone(&logged),
+                logged: Arc::clone(&logged),
             }),
         )
         .component("ghost", Box::new(Producer))
@@ -354,7 +355,7 @@ fn missing_implementation_is_a_build_error() {
 /// Invocation timeouts: calls into a partitioned server are abandoned and
 /// reported, and late replies are ignored; retried calls succeed after heal.
 struct TimeoutClient {
-    log: Rc<RefCell<Vec<String>>>,
+    log: Arc<Mutex<Vec<String>>>,
 }
 impl Component for TimeoutClient {
     fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
@@ -379,11 +380,15 @@ impl Component for TimeoutClient {
     }
     fn on_reply(&mut self, _ctx: &mut MwCtx<'_, '_>, token: u64, result: Value) {
         self.log
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push(format!("reply token={token} result={result}"));
     }
     fn on_timeout(&mut self, ctx: &mut MwCtx<'_, '_>, token: u64) {
-        self.log.borrow_mut().push(format!("timeout token={token}"));
+        self.log
+            .lock()
+            .unwrap()
+            .push(format!("timeout token={token}"));
         // Retry: by the time this fires in the second phase of the test the
         // partition is healed, so the retry succeeds.
         ctx.invoke_with_timeout(
@@ -405,15 +410,15 @@ fn invocation_timeouts_fire_and_retries_succeed_after_heal() {
         .component("client", PartId::new(2), vec![])
         .build()
         .unwrap();
-    let log = Rc::new(RefCell::new(Vec::new()));
-    let logged = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let logged = Arc::new(Mutex::new(Vec::new()));
     let mut system = MwSystemBuilder::new(plan)
         .seed(9)
         .component("calc", Box::new(Calculator { logged }))
         .component(
             "client",
             Box::new(TimeoutClient {
-                log: Rc::clone(&log),
+                log: Arc::clone(&log),
             }),
         )
         .build()
@@ -421,7 +426,10 @@ fn invocation_timeouts_fire_and_retries_succeed_after_heal() {
     // Partition before anything flows: the first call must time out.
     system.partition(PartId::new(1), PartId::new(2));
     system.run_to_quiescence(Duration::from_millis(10)).unwrap();
-    assert_eq!(log.borrow().as_slice(), ["timeout token=1".to_owned()]);
+    assert_eq!(
+        log.lock().unwrap().as_slice(),
+        ["timeout token=1".to_owned()]
+    );
     // Heal. The first retry was issued *during* the partition (on_timeout
     // fires immediately), so it too is lost and times out; the retry after
     // that goes through the healed link and completes.
@@ -429,7 +437,7 @@ fn invocation_timeouts_fire_and_retries_succeed_after_heal() {
     let report = system.run_to_quiescence(Duration::from_secs(1)).unwrap();
     assert!(report.is_quiescent());
     assert_eq!(
-        log.borrow().as_slice(),
+        log.lock().unwrap().as_slice(),
         [
             "timeout token=1".to_owned(),
             "timeout token=2".to_owned(),
@@ -441,7 +449,7 @@ fn invocation_timeouts_fire_and_retries_succeed_after_heal() {
 
 /// Timers reach components.
 struct Ticker {
-    ticks: Rc<RefCell<u32>>,
+    ticks: Arc<Mutex<u32>>,
 }
 impl Component for Ticker {
     fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
@@ -457,7 +465,7 @@ impl Component for Ticker {
         Value::Unit
     }
     fn on_timer(&mut self, ctx: &mut MwCtx<'_, '_>, _timer: TimerId) {
-        let mut t = self.ticks.borrow_mut();
+        let mut t = self.ticks.lock().unwrap();
         *t += 1;
         if *t < 3 {
             ctx.set_timer(Duration::from_millis(1), TimerId(1));
@@ -471,16 +479,16 @@ fn component_timers_fire() {
         .component("ticker", PartId::new(1), vec![])
         .build()
         .unwrap();
-    let ticks = Rc::new(RefCell::new(0));
+    let ticks = Arc::new(Mutex::new(0));
     let mut system = MwSystemBuilder::new(plan)
         .component(
             "ticker",
             Box::new(Ticker {
-                ticks: Rc::clone(&ticks),
+                ticks: Arc::clone(&ticks),
             }),
         )
         .build()
         .unwrap();
     system.run_to_quiescence(Duration::from_secs(1)).unwrap();
-    assert_eq!(*ticks.borrow(), 3);
+    assert_eq!(*ticks.lock().unwrap(), 3);
 }

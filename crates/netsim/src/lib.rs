@@ -60,6 +60,7 @@ mod hash;
 mod link;
 mod metrics;
 mod rng;
+mod shard;
 mod sim;
 mod wheel;
 

@@ -46,6 +46,20 @@ impl NetMetrics {
         self.undeliverable += 1;
     }
 
+    /// Folds another counter set into this one (sharded-engine merge).
+    pub(crate) fn absorb(&mut self, other: &NetMetrics) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_dropped += other.messages_dropped;
+        self.messages_duplicated += other.messages_duplicated;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_delivered += other.bytes_delivered;
+        self.undeliverable += other.undeliverable;
+        for (&sender, &count) in &other.per_sender {
+            *self.per_sender.entry(sender).or_insert(0) += count;
+        }
+    }
+
     /// Messages handed to the network by processes.
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent

@@ -1,0 +1,776 @@
+//! The conservative-lookahead sharded simulation engine.
+//!
+//! Selected by [`SimConfig::shards`] ≥ 2. Nodes are partitioned over `S`
+//! shards; each shard owns its own event queue (timer wheel or heap),
+//! clock, RNG streams, timer table, and metrics, and runs on its own
+//! scoped thread. The shards advance in lock-step *windows*:
+//!
+//! 1. **Exchange** — every shard drains its inbound mailboxes (one
+//!    `Mutex<Vec<_>>` per ordered shard pair, written only by the source
+//!    shard, drained only by the destination) into its local queue, then
+//!    publishes the firing instant of its earliest pending event.
+//! 2. **Agree** — after a barrier, every shard independently computes the
+//!    same global minimum `T` over the published instants. If no shard
+//!    has work, or `T` is past the run deadline, the run stops.
+//! 3. **Advance** — each shard processes its local events with firing
+//!    instant in `[T, T + W)`, where the *lookahead* `W` is the minimum
+//!    link latency in the current topology. Sends to nodes on other
+//!    shards are filed into the pairwise mailboxes; the next window picks
+//!    them up.
+//!
+//! # Why the lookahead bound is safe
+//!
+//! Every event processed in a window fires at some `t ∈ [T, T + W)`. A
+//! message sent while processing it departs no earlier than `t` and
+//! arrives at `t + queueing + transmission + latency + jitter`, all
+//! non-negative and `latency ≥ W` by definition of `W` (an ordered
+//! link's FIFO clamp only moves arrivals later). So every arrival —
+//! local or cross-shard — lands at or after `T + W`, i.e. strictly
+//! beyond the window every shard is currently processing. No shard can
+//! ever receive an event in its past, which is exactly the conservative
+//! PDES (Chandy–Misra style) safety condition; `W = 0` is rejected as
+//! [`SimError::ZeroLookahead`] because windows would have zero width.
+//!
+//! # Why the output is identical for every shard count ≥ 2
+//!
+//! Everything observable is a function of *per-node* and *per-directed-
+//! pair* histories, and each of those histories is computed from data
+//! that never depends on the partition:
+//!
+//! * Events carry the total-order key `(at, provenance_key)` (see
+//!   [`crate::sim::provenance_key`]); a shard processes its local events
+//!   in exactly that order, because windows only ever defer work, never
+//!   reorder it, and the safety argument above means nothing arrives
+//!   late. Each node's dispatch sequence is therefore the same for any
+//!   placement of the other nodes.
+//! * Link randomness (loss, duplication, jitter) is drawn from a
+//!   dedicated per-directed-pair stream seeded from `(seed, from, to)`,
+//!   advanced in the sender's dispatch order. Node randomness
+//!   ([`Context::rand_u64`]) comes from the same per-node streams as the
+//!   single engine.
+//! * Metrics are sums of per-shard counters; the merged trace is sorted
+//!   by `(time, start-phase, dispatching event key, record index)` —
+//!   both aggregations are independent of which shard computed what.
+//!
+//! # Relation to `shards = 1`
+//!
+//! The single engine draws link randomness from one global stream in
+//! global event order, which no partition can reproduce; on *lossy or
+//! jittered* links the sharded engine is therefore a (deterministic)
+//! different sample of the same distribution. On deterministic links —
+//! zero jitter, loss 0 or 1, no duplication — no link randomness is ever
+//! consumed, node RNG streams coincide, and both engines share one event
+//! order, so `shards = 1` and `shards = N` produce byte-identical
+//! reports. That envelope is what the sharded goldens, the oracle suite
+//! in `tests/shard_oracle.rs`, and the CI `--shards 4` vs `--shards 1`
+//! `cmp` step pin down.
+//!
+//! [`SimConfig::shards`]: crate::sim::SimConfig::shards
+//! [`Context::rand_u64`]: crate::sim::Context::rand_u64
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use svckit_model::{Duration, Instant, PartId, PrimitiveEvent};
+
+use crate::hash::FastMap;
+use crate::metrics::NetMetrics;
+use crate::rng::DeterministicRng;
+use crate::sim::{
+    node_seed, provenance_key, Action, Context, EventKind, EventQueue, LinkTable, Payload, Process,
+    Scheduled, SimConfig, SimError, SimReport, TimerId, TraceBuf, TraceDest,
+};
+
+/// Sentinel published by a shard with an empty queue.
+const IDLE: u64 = u64::MAX;
+
+/// Seed of the dedicated RNG stream for link draws on the directed pair
+/// `from → to`. Distinct multipliers keep `(a, b)` and `(b, a)` apart.
+fn pair_seed(seed: u64, from: PartId, to: PartId) -> u64 {
+    seed.wrapping_add(from.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(to.raw().wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        ^ 0x94D0_49BB_1331_11EB
+}
+
+/// One spooled trace record with the sort key that reproduces the global
+/// single-engine insertion order: records from the start phase come
+/// first (in node order), then records grouped by the event that was
+/// being dispatched, in that event's total-order position.
+#[derive(Debug)]
+struct SpooledRecord {
+    time_us: u64,
+    phase: u8,
+    dispatch_key: u128,
+    idx: u32,
+    event: PrimitiveEvent,
+}
+
+/// Per-shard spool of service primitives recorded during a run, merged
+/// into the shared [`TraceBuf`] after the worker threads join.
+#[derive(Debug, Default)]
+pub(crate) struct ShardTrace {
+    records: Vec<SpooledRecord>,
+    time_us: u64,
+    phase: u8,
+    dispatch_key: u128,
+    idx: u32,
+}
+
+impl ShardTrace {
+    /// Called by the engine before every handler invocation.
+    fn begin_dispatch(&mut self, time_us: u64, phase: u8, dispatch_key: u128) {
+        self.time_us = time_us;
+        self.phase = phase;
+        self.dispatch_key = dispatch_key;
+        self.idx = 0;
+    }
+
+    pub(crate) fn push(&mut self, event: PrimitiveEvent) {
+        self.records.push(SpooledRecord {
+            time_us: self.time_us,
+            phase: self.phase,
+            dispatch_key: self.dispatch_key,
+            idx: self.idx,
+            event,
+        });
+        self.idx += 1;
+    }
+}
+
+const PHASE_START: u8 = 0;
+const PHASE_EVENT: u8 = 1;
+
+/// One shard: a vertical slice of the simulation owning a subset of the
+/// nodes and every piece of state their handlers can touch.
+struct Shard {
+    index: u32,
+    seed: u64,
+    /// Last locally processed firing instant.
+    clock: Instant,
+    queue: EventQueue,
+    procs: FastMap<PartId, Box<dyn Process>>,
+    node_rngs: FastMap<PartId, DeterministicRng>,
+    /// Per-directed-pair link RNG streams, created lazily on first draw.
+    pair_rngs: FastMap<(PartId, PartId), DeterministicRng>,
+    /// Per-node counts of scheduled events, feeding `provenance_key`.
+    sched_counts: FastMap<PartId, u64>,
+    timer_generation: FastMap<PartId, FastMap<TimerId, u64>>,
+    last_arrival: FastMap<(PartId, PartId), Instant>,
+    link_busy_until: FastMap<(PartId, PartId), Instant>,
+    metrics: NetMetrics,
+    trace: ShardTrace,
+    action_buf: Vec<Action>,
+    run_buf: Vec<Scheduled>,
+    /// Cross-shard sends produced by the current window, flushed into the
+    /// pairwise mailboxes before the next exchange barrier.
+    outgoing: Vec<(u32, Scheduled)>,
+    events_processed: u64,
+    peak_queue_len: usize,
+}
+
+impl Shard {
+    fn new(index: u32, seed: u64, backend: crate::sim::QueueBackend) -> Self {
+        Shard {
+            index,
+            seed,
+            clock: Instant::ZERO,
+            queue: EventQueue::new(backend),
+            procs: FastMap::default(),
+            node_rngs: FastMap::default(),
+            pair_rngs: FastMap::default(),
+            sched_counts: FastMap::default(),
+            timer_generation: FastMap::default(),
+            last_arrival: FastMap::default(),
+            link_busy_until: FastMap::default(),
+            metrics: NetMetrics::new(),
+            trace: ShardTrace::default(),
+            action_buf: Vec::new(),
+            run_buf: Vec::new(),
+            outgoing: Vec::new(),
+            events_processed: 0,
+            peak_queue_len: 0,
+        }
+    }
+
+    /// Runs one handler and applies its actions. `dispatch_key` is the
+    /// total-order position of whatever triggered the handler; it anchors
+    /// the deterministic trace merge.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch<F>(
+        &mut self,
+        node: PartId,
+        now: Instant,
+        phase: u8,
+        dispatch_key: u128,
+        registry: &FastMap<PartId, u32>,
+        links: &LinkTable,
+        call: F,
+    ) where
+        F: FnOnce(&mut dyn Process, &mut Context<'_>),
+    {
+        let mut actions = std::mem::take(&mut self.action_buf);
+        if let Some(process) = self.procs.get_mut(&node) {
+            let rng = self
+                .node_rngs
+                .get_mut(&node)
+                .expect("node rng created with the process");
+            self.trace
+                .begin_dispatch(now.as_micros(), phase, dispatch_key);
+            let mut ctx = Context {
+                now,
+                id: node,
+                actions: &mut actions,
+                rng,
+                trace: TraceDest::Shard(&mut self.trace),
+            };
+            call(process.as_mut(), &mut ctx);
+        }
+        self.apply_actions(node, now, &mut actions, registry, links);
+        self.action_buf = actions;
+    }
+
+    /// The sharded twin of `SingleSim::apply_actions`: identical link
+    /// semantics, but link randomness comes from the per-pair stream and
+    /// cross-shard deliveries are routed through `outgoing`.
+    fn apply_actions(
+        &mut self,
+        node: PartId,
+        now: Instant,
+        actions: &mut Vec<Action>,
+        registry: &FastMap<PartId, u32>,
+        links: &LinkTable,
+    ) {
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, payload } => {
+                    self.metrics.record_send(node, payload.len());
+                    svckit_obs::obs_count!("net.sends");
+                    let Some(&target_shard) = registry.get(&to) else {
+                        self.metrics.record_undeliverable();
+                        svckit_obs::obs_count!("net.undeliverable");
+                        continue;
+                    };
+                    let link = links.link_for(node, to);
+                    let loss = link.loss();
+                    let duplicate_p = link.duplicate();
+                    let latency = link.latency();
+                    let jitter_bound = link.jitter().as_micros() + 1;
+                    let ordered = link.is_ordered();
+                    let transmission = link.transmission_time(payload.len());
+                    // `coin` never draws for probabilities 0 and 1, and a
+                    // jitter bound of 1 µs always yields 0 — so on fully
+                    // deterministic links the pair stream is never even
+                    // created, which is what makes the single engine's
+                    // global stream irrelevant there.
+                    if loss > 0.0 && self.pair_rng(node, to).coin(loss) {
+                        self.metrics.record_drop();
+                        svckit_obs::obs_count!("net.drops");
+                        svckit_obs::obs_event!("net.drop", "net", to.raw(), now.as_micros());
+                        continue;
+                    }
+                    let duplicate = duplicate_p > 0.0 && self.pair_rng(node, to).coin(duplicate_p);
+                    let copies = if duplicate { 2 } else { 1 };
+                    if duplicate {
+                        self.metrics.record_duplicate();
+                        svckit_obs::obs_count!("net.duplicates");
+                    }
+                    let mut depart = now;
+                    if transmission > Duration::ZERO {
+                        let busy = self
+                            .link_busy_until
+                            .entry((node, to))
+                            .or_insert(Instant::ZERO);
+                        if depart < *busy {
+                            depart = *busy;
+                        }
+                        depart += transmission;
+                        *busy = depart;
+                    }
+                    let payload_len = payload.len();
+                    let mut payload = Some(payload);
+                    for copy in 0..copies {
+                        let jitter = if jitter_bound > 1 {
+                            Duration::from_micros(self.pair_rng(node, to).next_below(jitter_bound))
+                        } else {
+                            Duration::ZERO
+                        };
+                        let mut at = depart + latency + jitter;
+                        if ordered {
+                            let last = self.last_arrival.entry((node, to)).or_insert(Instant::ZERO);
+                            if at < *last {
+                                at = *last;
+                            }
+                            *last = at;
+                        }
+                        svckit_obs::obs_link!(
+                            node.raw(),
+                            to.raw(),
+                            payload_len,
+                            at.saturating_since(now).as_micros()
+                        );
+                        svckit_obs::obs_span!(
+                            "net.transit",
+                            "net",
+                            to.raw(),
+                            now.as_micros(),
+                            at.as_micros()
+                        );
+                        let payload = if copy + 1 == copies {
+                            payload.take().expect("one payload per copy loop")
+                        } else {
+                            Payload::clone(payload.as_ref().expect("clone before the last copy"))
+                        };
+                        self.route(
+                            node,
+                            now,
+                            target_shard,
+                            at,
+                            EventKind::Deliver {
+                                to,
+                                from: node,
+                                payload,
+                            },
+                        );
+                    }
+                }
+                Action::SetTimer { delay, id } => {
+                    let generation = self
+                        .timer_generation
+                        .entry(node)
+                        .or_default()
+                        .entry(id)
+                        .and_modify(|g| *g += 1)
+                        .or_insert(1);
+                    let generation = *generation;
+                    // Timers are always local to the node's own shard.
+                    self.route(
+                        node,
+                        now,
+                        self.index,
+                        now + delay,
+                        EventKind::Timer {
+                            node,
+                            id,
+                            generation,
+                        },
+                    );
+                }
+                Action::CancelTimer { id } => {
+                    self.timer_generation
+                        .entry(node)
+                        .or_default()
+                        .entry(id)
+                        .and_modify(|g| *g += 1)
+                        .or_insert(1);
+                }
+            }
+        }
+    }
+
+    fn pair_rng(&mut self, from: PartId, to: PartId) -> &mut DeterministicRng {
+        let seed = self.seed;
+        self.pair_rngs
+            .entry((from, to))
+            .or_insert_with(|| DeterministicRng::new(pair_seed(seed, from, to)))
+    }
+
+    /// Stamps the event with its provenance key and files it locally or
+    /// into the outgoing buffer.
+    fn route(
+        &mut self,
+        origin: PartId,
+        sched_at: Instant,
+        target_shard: u32,
+        at: Instant,
+        kind: EventKind,
+    ) {
+        let count = self.sched_counts.entry(origin).or_insert(0);
+        *count += 1;
+        let key = provenance_key(sched_at, origin, *count);
+        let event = Scheduled { at, key, kind };
+        if target_shard == self.index {
+            self.queue.push(event);
+        } else {
+            self.outgoing.push((target_shard, event));
+        }
+    }
+
+    /// Dispatches one popped event (clock, metrics, obs, handler).
+    fn dispatch_event(
+        &mut self,
+        event: Scheduled,
+        registry: &FastMap<PartId, u32>,
+        links: &LinkTable,
+    ) {
+        debug_assert!(event.at >= self.clock, "shard time went backwards");
+        self.clock = event.at;
+        self.events_processed += 1;
+        svckit_obs::obs_count!("net.events");
+        let key = event.key;
+        match event.kind {
+            EventKind::Deliver { to, from, payload } => {
+                self.metrics.record_delivery(payload.len());
+                svckit_obs::obs_count!("net.deliveries");
+                svckit_obs::obs_count!("net.delivered_bytes", payload.len());
+                self.dispatch(to, event.at, PHASE_EVENT, key, registry, links, |p, ctx| {
+                    p.on_message(ctx, from, payload);
+                });
+            }
+            EventKind::Timer {
+                node,
+                id,
+                generation,
+            } => {
+                let live = self
+                    .timer_generation
+                    .get(&node)
+                    .and_then(|timers| timers.get(&id));
+                if live == Some(&generation) {
+                    svckit_obs::obs_count!("net.timer_fires");
+                    self.dispatch(
+                        node,
+                        event.at,
+                        PHASE_EVENT,
+                        key,
+                        registry,
+                        links,
+                        |p, ctx| {
+                            p.on_timer(ctx, id);
+                        },
+                    );
+                } else {
+                    svckit_obs::obs_count!("net.timer_stale");
+                }
+            }
+        }
+    }
+
+    /// Processes every local event with firing instant below
+    /// `window_end_us` (exclusive) and at or below the deadline. Newly
+    /// scheduled local events that still fall inside the window are
+    /// picked up in the same pass, so a window fully exhausts the shard's
+    /// local causality.
+    fn process_window(
+        &mut self,
+        window_end_us: u64,
+        deadline: Instant,
+        registry: &FastMap<PartId, u32>,
+        links: &LinkTable,
+    ) {
+        let mut run = std::mem::take(&mut self.run_buf);
+        while let Some(at) = self.queue.next_at() {
+            if at.as_micros() >= window_end_us || at > deadline {
+                break;
+            }
+            self.queue.pop_run(&mut run);
+            self.peak_queue_len = self.peak_queue_len.max(self.queue.len() + run.len());
+            svckit_obs::obs_record!("net.queue_depth", self.queue.len());
+            for event in run.drain(..) {
+                self.dispatch_event(event, registry, links);
+            }
+        }
+        run.clear();
+        self.run_buf = run;
+    }
+
+    /// The lock-step worker: exchange, agree, advance — until every shard
+    /// is idle or the next global event is past the deadline.
+    #[allow(clippy::too_many_arguments)]
+    fn worker(
+        &mut self,
+        barrier: &Barrier,
+        next_at: &[AtomicU64],
+        outboxes: &[Vec<Mutex<Vec<Scheduled>>>],
+        registry: &FastMap<PartId, u32>,
+        links: &LinkTable,
+        lookahead_us: u64,
+        deadline: Instant,
+    ) {
+        let me = self.index as usize;
+        let deadline_us = deadline.as_micros();
+        loop {
+            // Exchange: by this barrier every shard has flushed the
+            // previous window's sends, so the mailbox matrix is stable.
+            barrier.wait();
+            for column in outboxes {
+                let mut inbox = column[me].lock().expect("mailbox poisoned");
+                for event in inbox.drain(..) {
+                    self.queue.push(event);
+                }
+            }
+            next_at[me].store(
+                self.queue.next_at().map_or(IDLE, |at| at.as_micros()),
+                Ordering::SeqCst,
+            );
+            // Agree: all published; every shard computes the same minimum.
+            barrier.wait();
+            let t = next_at
+                .iter()
+                .map(|a| a.load(Ordering::SeqCst))
+                .min()
+                .expect("at least one shard");
+            if t == IDLE || t > deadline_us {
+                return;
+            }
+            // Advance: the window [T, T + W) is safe for every shard.
+            self.process_window(t.saturating_add(lookahead_us), deadline, registry, links);
+            for (target, event) in self.outgoing.drain(..) {
+                outboxes[me][target as usize]
+                    .lock()
+                    .expect("mailbox poisoned")
+                    .push(event);
+            }
+        }
+    }
+}
+
+/// The sharded engine behind [`crate::sim::Simulator`]. See the module
+/// docs for the protocol and its guarantees.
+pub(crate) struct ShardedSim {
+    config: SimConfig,
+    clock: Instant,
+    started: bool,
+    /// Global node registry: node → owning shard. Also the authority on
+    /// which nodes exist (the undeliverable check).
+    node_shard: FastMap<PartId, u32>,
+    /// Processes staged before the first run; node → shard binding
+    /// happens once, when the full population is known.
+    staged: BTreeMap<PartId, Box<dyn Process>>,
+    shards: Vec<Shard>,
+    links: LinkTable,
+    trace: TraceBuf,
+}
+
+impl ShardedSim {
+    pub(crate) fn new(config: SimConfig) -> Self {
+        let shard_count = config.shard_count();
+        let shards = (0..shard_count)
+            .map(|i| Shard::new(i, config.seed(), config.queue()))
+            .collect();
+        let links = LinkTable::new(config.default_link.clone());
+        ShardedSim {
+            config,
+            clock: Instant::ZERO,
+            started: false,
+            node_shard: FastMap::default(),
+            staged: BTreeMap::new(),
+            shards,
+            links,
+            trace: TraceBuf::new(),
+        }
+    }
+
+    pub(crate) fn add_process(
+        &mut self,
+        id: PartId,
+        process: Box<dyn Process>,
+    ) -> Result<(), SimError> {
+        if self.staged.contains_key(&id) || self.node_shard.contains_key(&id) {
+            return Err(SimError::DuplicateNode(id));
+        }
+        if self.started {
+            // Late registration (after the first run): bind immediately,
+            // round-robin over the shards. Mirrors the single engine,
+            // where a late process gets no `on_start` either.
+            let shard = (self.node_shard.len() as u32) % self.shard_count();
+            self.bind(id, process, shard);
+        } else {
+            self.staged.insert(id, process);
+        }
+        Ok(())
+    }
+
+    fn bind(&mut self, id: PartId, process: Box<dyn Process>, shard: u32) {
+        self.node_shard.insert(id, shard);
+        let s = &mut self.shards[shard as usize];
+        s.node_rngs
+            .insert(id, DeterministicRng::new(node_seed(self.config.seed(), id)));
+        s.procs.insert(id, process);
+    }
+
+    pub(crate) fn links_mut(&mut self) -> &mut LinkTable {
+        &mut self.links
+    }
+
+    pub(crate) fn now(&self) -> Instant {
+        self.clock
+    }
+
+    pub(crate) fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    pub(crate) fn process_count(&self) -> usize {
+        self.staged.len() + self.node_shard.len()
+    }
+
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_processed).sum()
+    }
+
+    pub(crate) fn peak_queue_len(&self) -> usize {
+        self.shards.iter().map(|s| s.peak_queue_len).sum()
+    }
+
+    /// Binds staged processes to shards (sorted node order, round-robin)
+    /// and runs every `on_start` serially in global node order — the same
+    /// order the single engine uses, so startup actions interleave
+    /// identically.
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let staged = std::mem::take(&mut self.staged);
+        let count = self.shard_count();
+        for (i, (id, process)) in staged.into_iter().enumerate() {
+            self.bind(id, process, (i as u32) % count);
+        }
+        let mut ids: Vec<PartId> = self.node_shard.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let shard = self.node_shard[&id] as usize;
+            // Anchor start-phase trace records at (t=0, node, 0) so the
+            // merge reproduces the single engine's node-order startup.
+            let dispatch_key = provenance_key(Instant::ZERO, id, 0);
+            let (shard, registry, links) = {
+                // Split borrows: the dispatched shard is mutable, the
+                // registry and links are shared.
+                (&mut self.shards[shard], &self.node_shard, &self.links)
+            };
+            shard.dispatch(
+                id,
+                Instant::ZERO,
+                PHASE_START,
+                dispatch_key,
+                registry,
+                links,
+                |p, ctx| p.on_start(ctx),
+            );
+            // Startup actions may target any shard; route them now, while
+            // everything is still single-threaded.
+            Self::drain_outgoing_serial(&mut self.shards, shard_index_of(&self.node_shard, id));
+        }
+    }
+
+    fn drain_outgoing_serial(shards: &mut [Shard], from: usize) {
+        if shards[from].outgoing.is_empty() {
+            return;
+        }
+        let outgoing = std::mem::take(&mut shards[from].outgoing);
+        for (target, event) in outgoing {
+            shards[target as usize].queue.push(event);
+        }
+    }
+
+    pub(crate) fn run_to_quiescence(
+        &mut self,
+        max_elapsed: Duration,
+    ) -> Result<SimReport, SimError> {
+        if self.staged.is_empty() && self.node_shard.is_empty() {
+            return Err(SimError::NoProcesses);
+        }
+        let lookahead = self.links.min_latency();
+        if lookahead == Duration::ZERO {
+            return Err(SimError::ZeroLookahead);
+        }
+        self.start_if_needed();
+        let deadline = self.clock + max_elapsed;
+        let shard_count = self.shards.len();
+
+        let barrier = Barrier::new(shard_count);
+        let next_at: Vec<AtomicU64> = (0..shard_count).map(|_| AtomicU64::new(IDLE)).collect();
+        let outboxes: Vec<Vec<Mutex<Vec<Scheduled>>>> = (0..shard_count)
+            .map(|_| (0..shard_count).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let registry = &self.node_shard;
+        let links = &self.links;
+        let lookahead_us = lookahead.as_micros();
+
+        // One scoped thread per shard, re-spawned per run slice: fault
+        // injection between slices then needs no synchronization at all.
+        // Each worker records obs under its own recorder; the recorders
+        // are folded into the caller's in shard order afterwards, keeping
+        // obs output independent of thread scheduling.
+        let recorders: Vec<svckit_obs::Recorder> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| {
+                    let barrier = &barrier;
+                    let next_at = next_at.as_slice();
+                    let outboxes = outboxes.as_slice();
+                    scope.spawn(move || {
+                        let ((), recorder) =
+                            svckit_obs::with_recorder(svckit_obs::Recorder::new(), || {
+                                shard.worker(
+                                    barrier,
+                                    next_at,
+                                    outboxes,
+                                    registry,
+                                    links,
+                                    lookahead_us,
+                                    deadline,
+                                );
+                            });
+                        recorder
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        for recorder in &recorders {
+            svckit_obs::absorb_into_current(recorder);
+        }
+
+        // Deterministic trace merge: spooled records sort by
+        // (time, phase, dispatching key, record index) — the exact order
+        // the single engine would have appended them in.
+        let mut spooled: Vec<SpooledRecord> = Vec::new();
+        for shard in &mut self.shards {
+            spooled.append(&mut shard.trace.records);
+        }
+        spooled.sort_by(|a, b| {
+            (a.time_us, a.phase, a.dispatch_key, a.idx).cmp(&(
+                b.time_us,
+                b.phase,
+                b.dispatch_key,
+                b.idx,
+            ))
+        });
+        for record in spooled {
+            self.trace.push(record.event);
+        }
+
+        let quiescent = self.shards.iter_mut().all(|s| s.queue.is_empty());
+        if quiescent {
+            let last = self
+                .shards
+                .iter()
+                .map(|s| s.clock)
+                .max()
+                .unwrap_or(self.clock);
+            self.clock = self.clock.max(last);
+        } else {
+            self.clock = deadline;
+        }
+        let mut metrics = NetMetrics::new();
+        for shard in &self.shards {
+            metrics.absorb(&shard.metrics);
+        }
+        Ok(SimReport::assemble(
+            self.clock,
+            quiescent,
+            metrics,
+            self.trace.snapshot(),
+        ))
+    }
+}
+
+fn shard_index_of(registry: &FastMap<PartId, u32>, id: PartId) -> usize {
+    registry[&id] as usize
+}

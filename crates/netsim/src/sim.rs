@@ -39,7 +39,11 @@ impl fmt::Display for TimerId {
 /// All handlers execute in zero simulated time; the passage of time comes
 /// from link latencies and timers. Handlers interact with the world only
 /// through the [`Context`], which keeps the simulation deterministic.
-pub trait Process {
+///
+/// `Send` is a supertrait because the sharded engine runs each shard's
+/// processes on its own scoped thread; a process never migrates between
+/// shards mid-run, but it must be movable to the thread that owns it.
+pub trait Process: Send {
     /// Called once, at time zero, before any message flows.
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         let _ = ctx;
@@ -57,20 +61,38 @@ pub trait Process {
 
 /// What a handler asked the simulator to do.
 #[derive(Debug)]
-enum Action {
+pub(crate) enum Action {
     Send { to: PartId, payload: Payload },
     SetTimer { delay: Duration, id: TimerId },
     CancelTimer { id: TimerId },
 }
 
+/// Where a handler's recorded primitives go: straight into the merged
+/// trace (single engine) or into the shard's local spool, merged
+/// deterministically after the run (sharded engine).
+#[derive(Debug)]
+pub(crate) enum TraceDest<'a> {
+    Single(&'a mut TraceBuf),
+    Shard(&'a mut crate::shard::ShardTrace),
+}
+
+impl TraceDest<'_> {
+    fn push(&mut self, event: PrimitiveEvent) {
+        match self {
+            TraceDest::Single(buf) => buf.push(event),
+            TraceDest::Shard(spool) => spool.push(event),
+        }
+    }
+}
+
 /// The capabilities handed to a [`Process`] handler.
 #[derive(Debug)]
 pub struct Context<'a> {
-    now: Instant,
-    id: PartId,
-    actions: &'a mut Vec<Action>,
-    rng: &'a mut DeterministicRng,
-    trace: &'a mut TraceBuf,
+    pub(crate) now: Instant,
+    pub(crate) id: PartId,
+    pub(crate) actions: &'a mut Vec<Action>,
+    pub(crate) rng: &'a mut DeterministicRng,
+    pub(crate) trace: TraceDest<'a>,
 }
 
 impl Context<'_> {
@@ -136,14 +158,14 @@ impl Context<'_> {
 /// [`TraceBuf::snapshot`] only runs in the (never expected) out-of-order
 /// case.
 #[derive(Debug)]
-struct TraceBuf {
+pub(crate) struct TraceBuf {
     trace: Arc<Trace>,
     high_water: Instant,
     sorted: bool,
 }
 
 impl TraceBuf {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         TraceBuf {
             trace: Arc::new(Trace::new()),
             high_water: Instant::ZERO,
@@ -151,7 +173,7 @@ impl TraceBuf {
         }
     }
 
-    fn push(&mut self, event: PrimitiveEvent) {
+    pub(crate) fn push(&mut self, event: PrimitiveEvent) {
         if event.time() < self.high_water {
             self.sorted = false;
         } else {
@@ -163,7 +185,7 @@ impl TraceBuf {
     /// A time-sorted shared snapshot. The copy-on-write clone inside
     /// `make_mut` only happens on the first append *after* a snapshot was
     /// taken, and only if that snapshot is still alive.
-    fn snapshot(&mut self) -> Arc<Trace> {
+    pub(crate) fn snapshot(&mut self) -> Arc<Trace> {
         if !self.sorted {
             Arc::make_mut(&mut self.trace).sort_by_time();
             self.sorted = true;
@@ -214,8 +236,9 @@ impl FromStr for QueueBackend {
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     seed: u64,
-    default_link: LinkConfig,
+    pub(crate) default_link: LinkConfig,
     queue: QueueBackend,
+    shards: u32,
 }
 
 impl SimConfig {
@@ -226,6 +249,7 @@ impl SimConfig {
             seed,
             default_link: LinkConfig::default(),
             queue: QueueBackend::default(),
+            shards: 1,
         }
     }
 
@@ -245,6 +269,16 @@ impl SimConfig {
         self
     }
 
+    /// Partitions the nodes over `shards` conservative-lookahead shards
+    /// (builder-style). `0` and `1` both select the single-threaded
+    /// engine; see [`crate::shard`] for the parallel one and for the
+    /// determinism guarantees across shard counts.
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// The PRNG seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -253,6 +287,11 @@ impl SimConfig {
     /// The selected event-queue backend.
     pub fn queue(&self) -> QueueBackend {
         self.queue
+    }
+
+    /// The configured shard count (at least 1).
+    pub fn shard_count(&self) -> u32 {
+        self.shards.max(1)
     }
 }
 
@@ -264,6 +303,10 @@ pub enum SimError {
     DuplicateNode(PartId),
     /// A run was requested with no registered processes.
     NoProcesses,
+    /// The sharded engine needs a positive minimum link latency to bound
+    /// its lookahead window; a zero-latency link would force zero-width
+    /// windows and the shards could never advance.
+    ZeroLookahead,
 }
 
 impl fmt::Display for SimError {
@@ -271,6 +314,11 @@ impl fmt::Display for SimError {
         match self {
             SimError::DuplicateNode(id) => write!(f, "node {id} registered twice"),
             SimError::NoProcesses => write!(f, "simulator has no processes"),
+            SimError::ZeroLookahead => write!(
+                f,
+                "sharded simulation requires every link latency to be positive \
+                 (the minimum latency is the conservative lookahead window)"
+            ),
         }
     }
 }
@@ -306,6 +354,20 @@ impl SimReport {
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
+
+    pub(crate) fn assemble(
+        end_time: Instant,
+        quiescent: bool,
+        metrics: NetMetrics,
+        trace: Arc<Trace>,
+    ) -> Self {
+        SimReport {
+            end_time,
+            quiescent,
+            metrics,
+            trace,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -322,16 +384,49 @@ pub(crate) enum EventKind {
     },
 }
 
+impl EventKind {
+    /// The node this event will be dispatched on.
+    pub(crate) fn target(&self) -> PartId {
+        match self {
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::Timer { node, .. } => *node,
+        }
+    }
+}
+
+/// Total-order tie-break for events sharing a firing instant: the
+/// *provenance key* `(sched_at, scheduling node, per-node count)` packed
+/// into a `u128`.
+///
+/// The key is a pure function of local scheduling history — when it was
+/// scheduled, by whom, and how many events that node had scheduled before
+/// — so it is identical no matter how nodes are partitioned into shards.
+/// Because the simulation clock is nondecreasing, provenance order also
+/// matches the old global-sequence order whenever same-instant events
+/// were scheduled at different times; within one handler invocation the
+/// per-node count preserves action order exactly.
+pub(crate) fn node_seed(seed: u64, id: PartId) -> u64 {
+    seed.wrapping_add(id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ 0x5851_F42D_4C95_7F2D
+}
+
+pub(crate) fn provenance_key(sched_at: Instant, node: PartId, count: u64) -> u128 {
+    debug_assert!(node.raw() < (1 << 32), "node id {node} exceeds 32 bits");
+    debug_assert!(count < (1 << 32), "per-node schedule count overflow");
+    ((sched_at.as_micros() as u128) << 64)
+        | (((node.raw() & 0xFFFF_FFFF) as u128) << 32)
+        | ((count & 0xFFFF_FFFF) as u128)
+}
+
 #[derive(Debug)]
 pub(crate) struct Scheduled {
     pub(crate) at: Instant,
-    pub(crate) seq: u64,
+    pub(crate) key: u128,
     pub(crate) kind: EventKind,
 }
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl Eq for Scheduled {}
@@ -342,176 +437,144 @@ impl PartialOrd for Scheduled {
 }
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.key).cmp(&(other.at, other.key))
     }
 }
 
 /// The simulator's event queue, behind the backend selected in
-/// [`SimConfig`]. Both variants pop events in ascending `(at, seq)`
+/// [`SimConfig`]. Both variants pop events in ascending `(at, key)`
 /// order; dispatching through a two-way enum costs one predictable
 /// branch and avoids a generic parameter leaking into [`Simulator`].
 #[derive(Debug)]
-enum EventQueue {
+pub(crate) enum EventQueue {
     Wheel(TimerWheel),
     Heap(BinaryHeap<Reverse<Scheduled>>),
 }
 
 impl EventQueue {
-    fn new(backend: QueueBackend) -> Self {
+    pub(crate) fn new(backend: QueueBackend) -> Self {
         match backend {
             QueueBackend::Wheel => EventQueue::Wheel(TimerWheel::new()),
             QueueBackend::Heap => EventQueue::Heap(BinaryHeap::new()),
         }
     }
 
-    fn push(&mut self, event: Scheduled) {
+    pub(crate) fn push(&mut self, event: Scheduled) {
         match self {
             EventQueue::Wheel(wheel) => wheel.push(event),
             EventQueue::Heap(heap) => heap.push(Reverse(event)),
         }
     }
 
-    fn pop(&mut self) -> Option<Scheduled> {
+    pub(crate) fn pop(&mut self) -> Option<Scheduled> {
         match self {
             EventQueue::Wheel(wheel) => wheel.pop(),
             EventQueue::Heap(heap) => heap.pop().map(|Reverse(event)| event),
         }
     }
 
-    fn len(&self) -> usize {
+    /// Pops a *run*: the maximal prefix of consecutive events that share
+    /// one firing instant and one target node, appended to `out`. Batch
+    /// dispatch amortizes queue bookkeeping over the run without changing
+    /// the pop order — the events come out exactly as repeated [`pop`]
+    /// would hand them out.
+    ///
+    /// [`pop`]: EventQueue::pop
+    pub(crate) fn pop_run(&mut self, out: &mut Vec<Scheduled>) {
+        let Some(first) = self.pop() else { return };
+        let at = first.at;
+        let target = first.kind.target();
+        out.push(first);
+        loop {
+            let matches = match self.peek() {
+                Some(next) => next.at == at && next.kind.target() == target,
+                None => false,
+            };
+            if !matches {
+                break;
+            }
+            out.push(self.pop().expect("peeked event exists"));
+        }
+    }
+
+    fn peek(&mut self) -> Option<&Scheduled> {
+        match self {
+            EventQueue::Wheel(wheel) => wheel.peek(),
+            EventQueue::Heap(heap) => heap.peek().map(|Reverse(event)| event),
+        }
+    }
+
+    /// Firing instant of the earliest pending event, if any.
+    pub(crate) fn next_at(&mut self) -> Option<Instant> {
+        self.peek().map(|e| e.at)
+    }
+
+    pub(crate) fn len(&self) -> usize {
         match self {
             EventQueue::Wheel(wheel) => wheel.len(),
             EventQueue::Heap(heap) => heap.len(),
         }
     }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
-/// A deterministic discrete-event network simulator.
-///
-/// See the [crate-level documentation](crate) for an end-to-end example.
-pub struct Simulator {
-    config: SimConfig,
-    clock: Instant,
-    seq: u64,
-    started: bool,
-    procs: BTreeMap<PartId, Box<dyn Process>>,
-    // The per-event maps below use the deterministic `FastMap` hasher;
-    // none of them is ever iterated, so the hash function affects lookup
-    // cost only, never observable order.
+/// The per-pair link configuration of a simulated network: explicit
+/// directed links over a default, plus the saved pre-partition state
+/// that [`LinkTable::heal`] restores. Shared verbatim by the single and
+/// the sharded engine so fault semantics cannot drift between them.
+#[derive(Debug)]
+pub(crate) struct LinkTable {
+    pub(crate) default: LinkConfig,
     links: FastMap<(PartId, PartId), LinkConfig>,
     /// Pre-partition link configs, restored on heal (`None` = was default).
     healed: FastMap<(PartId, PartId), Option<LinkConfig>>,
-    last_arrival: FastMap<(PartId, PartId), Instant>,
-    /// For bandwidth-limited links: when the sender-side of each directed
-    /// pair becomes free again.
-    link_busy_until: FastMap<(PartId, PartId), Instant>,
-    queue: EventQueue,
-    rng: DeterministicRng,
-    node_rngs: FastMap<PartId, DeterministicRng>,
-    /// Per-node timer generations, nested so one node's huge timer table
-    /// (e.g. a standing backlog of lease expiries) cannot dilute the cache
-    /// locality of another node's hot few timers.
-    timer_generation: FastMap<PartId, FastMap<TimerId, u64>>,
-    metrics: NetMetrics,
-    trace: TraceBuf,
-    /// Reused across dispatches so the hot path does not allocate a fresh
-    /// action vector per event.
-    action_buf: Vec<Action>,
 }
 
-impl fmt::Debug for Simulator {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Simulator")
-            .field("clock", &self.clock)
-            .field("processes", &self.procs.len())
-            .field("queued_events", &self.queue.len())
-            .finish_non_exhaustive()
-    }
-}
-
-impl Simulator {
-    /// Creates a simulator from a configuration.
-    pub fn new(config: SimConfig) -> Self {
-        let rng = DeterministicRng::new(config.seed());
-        let queue = EventQueue::new(config.queue());
-        Simulator {
-            config,
-            clock: Instant::ZERO,
-            seq: 0,
-            started: false,
-            procs: BTreeMap::new(),
+impl LinkTable {
+    pub(crate) fn new(default: LinkConfig) -> Self {
+        LinkTable {
+            default,
             links: FastMap::default(),
             healed: FastMap::default(),
-            last_arrival: FastMap::default(),
-            link_busy_until: FastMap::default(),
-            queue,
-            rng,
-            node_rngs: FastMap::default(),
-            timer_generation: FastMap::default(),
-            metrics: NetMetrics::new(),
-            trace: TraceBuf::new(),
-            action_buf: Vec::new(),
         }
     }
 
-    /// Registers a process at node `id`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::DuplicateNode`] when `id` is already taken.
-    pub fn add_process(&mut self, id: PartId, process: Box<dyn Process>) -> Result<(), SimError> {
-        if self.procs.contains_key(&id) {
-            return Err(SimError::DuplicateNode(id));
-        }
-        // Each node gets its own random stream, derived from the seed and
-        // the node id only. Application-level draws (workload choices) are
-        // therefore independent of network-level draws (jitter, loss) and
-        // of other nodes — the same workload unfolds identically over any
-        // protocol or platform.
-        let node_seed = self
-            .config
-            .seed()
-            .wrapping_add(id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            ^ 0x5851_F42D_4C95_7F2D;
-        self.node_rngs.insert(id, DeterministicRng::new(node_seed));
-        self.procs.insert(id, process);
-        Ok(())
-    }
-
-    /// Configures the directed link `from → to`.
-    pub fn set_link(&mut self, from: PartId, to: PartId, link: LinkConfig) {
+    pub(crate) fn set(&mut self, from: PartId, to: PartId, link: LinkConfig) {
         self.links.insert((from, to), link);
     }
 
-    /// Configures both directions between `a` and `b`.
-    pub fn set_link_symmetric(&mut self, a: PartId, b: PartId, link: LinkConfig) {
+    pub(crate) fn set_symmetric(&mut self, a: PartId, b: PartId, link: LinkConfig) {
         self.links.insert((a, b), link.clone());
         self.links.insert((b, a), link);
     }
 
-    /// Partitions `a` from `b`: every message between them (both
-    /// directions) is dropped until [`Simulator::heal`] is called.
-    /// Messages already in flight still arrive. Call between
-    /// [`Simulator::run_to_quiescence`] slices to inject failures mid-run.
-    /// Partitioning an already-partitioned pair is a no-op, so the saved
-    /// pre-partition configuration survives repeated calls.
-    pub fn partition(&mut self, a: PartId, b: PartId) {
-        let cut = |sim: &mut Simulator, from: PartId, to: PartId| {
-            if sim.healed.contains_key(&(from, to)) {
-                return;
-            }
-            let base = sim.link_for(from, to).clone();
-            sim.healed
-                .insert((from, to), sim.links.get(&(from, to)).cloned());
-            sim.links.insert((from, to), base.with_loss(1.0));
-        };
-        cut(self, a, b);
-        cut(self, b, a);
+    pub(crate) fn link_for(&self, from: PartId, to: PartId) -> &LinkConfig {
+        // Common case in benchmarks and simple topologies: no per-pair
+        // overrides at all, so skip the hash entirely.
+        if self.links.is_empty() {
+            return &self.default;
+        }
+        self.links.get(&(from, to)).unwrap_or(&self.default)
     }
 
-    /// Heals a partition created by [`Simulator::partition`], restoring the
-    /// previous link configuration (explicit or default).
-    pub fn heal(&mut self, a: PartId, b: PartId) {
+    /// See [`Simulator::partition`].
+    pub(crate) fn partition(&mut self, a: PartId, b: PartId) {
+        for (from, to) in [(a, b), (b, a)] {
+            if self.healed.contains_key(&(from, to)) {
+                continue;
+            }
+            let base = self.link_for(from, to).clone();
+            self.healed
+                .insert((from, to), self.links.get(&(from, to)).cloned());
+            self.links.insert((from, to), base.with_loss(1.0));
+        }
+    }
+
+    /// See [`Simulator::heal`].
+    pub(crate) fn heal(&mut self, a: PartId, b: PartId) {
         for (from, to) in [(a, b), (b, a)] {
             if let Some(previous) = self.healed.remove(&(from, to)) {
                 match previous {
@@ -526,30 +589,110 @@ impl Simulator {
         }
     }
 
-    /// The current simulated time.
-    pub fn now(&self) -> Instant {
+    /// The smallest latency any message can currently experience: the
+    /// minimum over the default link and every explicit link. This bounds
+    /// the conservative lookahead window of the sharded engine — any
+    /// cross-shard send departs at least this far before it can arrive.
+    pub(crate) fn min_latency(&self) -> Duration {
+        self.links
+            .values()
+            .map(LinkConfig::latency)
+            .fold(self.default.latency(), Duration::min)
+    }
+}
+
+/// The single-threaded simulation engine: one clock, one event queue,
+/// every node. This is the exact historical code path — [`Simulator`]
+/// routes to it whenever `shards <= 1` — and the reference the sharded
+/// engine is proven against.
+pub(crate) struct SingleSim {
+    config: SimConfig,
+    clock: Instant,
+    started: bool,
+    procs: BTreeMap<PartId, Box<dyn Process>>,
+    links: LinkTable,
+    // The per-event maps below use the deterministic `FastMap` hasher;
+    // none of them is ever iterated, so the hash function affects lookup
+    // cost only, never observable order.
+    last_arrival: FastMap<(PartId, PartId), Instant>,
+    /// For bandwidth-limited links: when the sender-side of each directed
+    /// pair becomes free again.
+    link_busy_until: FastMap<(PartId, PartId), Instant>,
+    queue: EventQueue,
+    rng: DeterministicRng,
+    node_rngs: FastMap<PartId, DeterministicRng>,
+    /// Per-node counts of scheduled events, feeding [`provenance_key`].
+    sched_counts: FastMap<PartId, u64>,
+    /// Per-node timer generations, nested so one node's huge timer table
+    /// (e.g. a standing backlog of lease expiries) cannot dilute the cache
+    /// locality of another node's hot few timers.
+    timer_generation: FastMap<PartId, FastMap<TimerId, u64>>,
+    metrics: NetMetrics,
+    trace: TraceBuf,
+    /// Reused across dispatches so the hot path does not allocate a fresh
+    /// action vector per event.
+    action_buf: Vec<Action>,
+    /// Reused batch buffer for [`EventQueue::pop_run`].
+    run_buf: Vec<Scheduled>,
+    events_processed: u64,
+    peak_queue_len: usize,
+}
+
+impl SingleSim {
+    pub(crate) fn new(config: SimConfig) -> Self {
+        let rng = DeterministicRng::new(config.seed());
+        let queue = EventQueue::new(config.queue());
+        let links = LinkTable::new(config.default_link.clone());
+        SingleSim {
+            config,
+            clock: Instant::ZERO,
+            started: false,
+            procs: BTreeMap::new(),
+            links,
+            last_arrival: FastMap::default(),
+            link_busy_until: FastMap::default(),
+            queue,
+            rng,
+            node_rngs: FastMap::default(),
+            sched_counts: FastMap::default(),
+            timer_generation: FastMap::default(),
+            metrics: NetMetrics::new(),
+            trace: TraceBuf::new(),
+            action_buf: Vec::new(),
+            run_buf: Vec::new(),
+            events_processed: 0,
+            peak_queue_len: 0,
+        }
+    }
+
+    pub(crate) fn add_process(
+        &mut self,
+        id: PartId,
+        process: Box<dyn Process>,
+    ) -> Result<(), SimError> {
+        if self.procs.contains_key(&id) {
+            return Err(SimError::DuplicateNode(id));
+        }
+        // Each node gets its own random stream, derived from the seed and
+        // the node id only. Application-level draws (workload choices) are
+        // therefore independent of network-level draws (jitter, loss) and
+        // of other nodes — the same workload unfolds identically over any
+        // protocol or platform.
+        self.node_rngs
+            .insert(id, DeterministicRng::new(node_seed(self.config.seed(), id)));
+        self.procs.insert(id, process);
+        Ok(())
+    }
+
+    pub(crate) fn now(&self) -> Instant {
         self.clock
     }
 
-    fn next_seq(&mut self) -> u64 {
-        self.seq += 1;
-        self.seq
-    }
-
-    fn schedule(&mut self, at: Instant, kind: EventKind) {
-        let seq = self.next_seq();
-        self.queue.push(Scheduled { at, seq, kind });
-    }
-
-    fn link_for(&self, from: PartId, to: PartId) -> &LinkConfig {
-        // Common case in benchmarks and simple topologies: no per-pair
-        // overrides at all, so skip the hash entirely.
-        if self.links.is_empty() {
-            return &self.config.default_link;
-        }
-        self.links
-            .get(&(from, to))
-            .unwrap_or(&self.config.default_link)
+    fn schedule(&mut self, origin: PartId, at: Instant, kind: EventKind) {
+        let count = self.sched_counts.entry(origin).or_insert(0);
+        *count += 1;
+        let key = provenance_key(self.clock, origin, *count);
+        self.queue.push(Scheduled { at, key, kind });
     }
 
     fn apply_actions(&mut self, node: PartId, actions: &mut Vec<Action>) {
@@ -565,7 +708,7 @@ impl Simulator {
                     }
                     // Copy the link's scalar parameters out instead of
                     // cloning the whole `LinkConfig` per send.
-                    let link = self.link_for(node, to);
+                    let link = self.links.link_for(node, to);
                     let loss = link.loss();
                     let duplicate_p = link.duplicate();
                     let latency = link.latency();
@@ -635,6 +778,7 @@ impl Simulator {
                             Payload::clone(payload.as_ref().expect("clone before the last copy"))
                         };
                         self.schedule(
+                            node,
                             at,
                             EventKind::Deliver {
                                 to,
@@ -654,6 +798,7 @@ impl Simulator {
                         .or_insert(1);
                     let generation = *generation;
                     self.schedule(
+                        node,
                         self.clock + delay,
                         EventKind::Timer {
                             node,
@@ -690,7 +835,7 @@ impl Simulator {
                 id: node,
                 actions: &mut actions,
                 rng,
-                trace: &mut self.trace,
+                trace: TraceDest::Single(&mut self.trace),
             };
             call(process.as_mut(), &mut ctx);
         }
@@ -711,57 +856,78 @@ impl Simulator {
         }
     }
 
-    /// Runs until the event queue drains or `max_elapsed` simulated time has
-    /// passed since the start of this call.
-    ///
-    /// Can be called repeatedly; the clock, metrics and trace persist across
-    /// calls.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::NoProcesses`] when no process is registered.
-    pub fn run_to_quiescence(&mut self, max_elapsed: Duration) -> Result<SimReport, SimError> {
+    /// Dispatches one popped event. The queue-depth sample is taken by the
+    /// caller once per batch; everything else here is per event.
+    fn dispatch_event(&mut self, event: Scheduled) {
+        debug_assert!(event.at >= self.clock, "time went backwards");
+        self.clock = event.at;
+        self.events_processed += 1;
+        svckit_obs::obs_count!("net.events");
+        match event.kind {
+            EventKind::Deliver { to, from, payload } => {
+                self.metrics.record_delivery(payload.len());
+                svckit_obs::obs_count!("net.deliveries");
+                svckit_obs::obs_count!("net.delivered_bytes", payload.len());
+                self.dispatch(to, |p, ctx| p.on_message(ctx, from, payload));
+            }
+            EventKind::Timer {
+                node,
+                id,
+                generation,
+            } => {
+                let live = self
+                    .timer_generation
+                    .get(&node)
+                    .and_then(|timers| timers.get(&id));
+                if live == Some(&generation) {
+                    svckit_obs::obs_count!("net.timer_fires");
+                    self.dispatch(node, |p, ctx| p.on_timer(ctx, id));
+                } else {
+                    svckit_obs::obs_count!("net.timer_stale");
+                }
+            }
+        }
+    }
+
+    pub(crate) fn run_to_quiescence(
+        &mut self,
+        max_elapsed: Duration,
+    ) -> Result<SimReport, SimError> {
         if self.procs.is_empty() {
             return Err(SimError::NoProcesses);
         }
         let deadline = self.clock + max_elapsed;
         self.start_if_needed();
         let mut quiescent = true;
-        while let Some(event) = self.queue.pop() {
-            if event.at > deadline {
-                self.queue.push(event);
+        let mut run = std::mem::take(&mut self.run_buf);
+        loop {
+            // Batch dispatch: pull the whole same-instant, same-target run
+            // in one queue operation and pay the bookkeeping (depth
+            // sample, watermark) once. The events still dispatch one by
+            // one, in exactly the order repeated pops would yield, because
+            // an event's actions may cancel or re-arm timers later in the
+            // same batch.
+            self.queue.pop_run(&mut run);
+            if run.is_empty() {
+                break;
+            }
+            self.peak_queue_len = self.peak_queue_len.max(self.queue.len() + run.len());
+            if run[0].at > deadline {
+                // The whole run shares one firing instant, so it goes back
+                // wholesale.
+                for event in run.drain(..) {
+                    self.queue.push(event);
+                }
                 quiescent = false;
                 break;
             }
-            debug_assert!(event.at >= self.clock, "time went backwards");
-            self.clock = event.at;
-            svckit_obs::obs_count!("net.events");
             svckit_obs::obs_record!("net.queue_depth", self.queue.len());
-            match event.kind {
-                EventKind::Deliver { to, from, payload } => {
-                    self.metrics.record_delivery(payload.len());
-                    svckit_obs::obs_count!("net.deliveries");
-                    svckit_obs::obs_count!("net.delivered_bytes", payload.len());
-                    self.dispatch(to, |p, ctx| p.on_message(ctx, from, payload));
-                }
-                EventKind::Timer {
-                    node,
-                    id,
-                    generation,
-                } => {
-                    let live = self
-                        .timer_generation
-                        .get(&node)
-                        .and_then(|timers| timers.get(&id));
-                    if live == Some(&generation) {
-                        svckit_obs::obs_count!("net.timer_fires");
-                        self.dispatch(node, |p, ctx| p.on_timer(ctx, id));
-                    } else {
-                        svckit_obs::obs_count!("net.timer_stale");
-                    }
-                }
+            for event in run.drain(..) {
+                self.dispatch_event(event);
             }
         }
+        run.clear();
+        self.run_buf = run;
         if quiescent {
             // No pending events: clock stays at the last event time.
         } else {
@@ -773,6 +939,155 @@ impl Simulator {
             metrics: self.metrics.clone(),
             trace: self.trace.snapshot(),
         })
+    }
+
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    pub(crate) fn peak_queue_len(&self) -> usize {
+        self.peak_queue_len
+    }
+}
+
+/// A deterministic discrete-event network simulator.
+///
+/// Routes to one of two engines chosen by [`SimConfig::shards`]: the
+/// single-threaded engine (`shards <= 1`, the exact historical code
+/// path), or the conservative-lookahead sharded engine (`shards >= 2`,
+/// one scoped thread per shard — see [`crate::shard`] for the
+/// synchronization protocol and the determinism guarantees).
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct Simulator {
+    inner: EngineImpl,
+}
+
+enum EngineImpl {
+    Single(Box<SingleSim>),
+    Sharded(Box<crate::shard::ShardedSim>),
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Simulator");
+        match &self.inner {
+            EngineImpl::Single(sim) => s
+                .field("clock", &sim.clock)
+                .field("processes", &sim.procs.len())
+                .field("queued_events", &sim.queue.len()),
+            EngineImpl::Sharded(sim) => s
+                .field("clock", &sim.now())
+                .field("processes", &sim.process_count())
+                .field("shards", &sim.shard_count()),
+        }
+        .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator from a configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let inner = if config.shard_count() <= 1 {
+            EngineImpl::Single(Box::new(SingleSim::new(config)))
+        } else {
+            EngineImpl::Sharded(Box::new(crate::shard::ShardedSim::new(config)))
+        };
+        Simulator { inner }
+    }
+
+    /// Registers a process at node `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateNode`] when `id` is already taken.
+    pub fn add_process(&mut self, id: PartId, process: Box<dyn Process>) -> Result<(), SimError> {
+        match &mut self.inner {
+            EngineImpl::Single(sim) => sim.add_process(id, process),
+            EngineImpl::Sharded(sim) => sim.add_process(id, process),
+        }
+    }
+
+    /// Configures the directed link `from → to`.
+    pub fn set_link(&mut self, from: PartId, to: PartId, link: LinkConfig) {
+        match &mut self.inner {
+            EngineImpl::Single(sim) => sim.links.set(from, to, link),
+            EngineImpl::Sharded(sim) => sim.links_mut().set(from, to, link),
+        }
+    }
+
+    /// Configures both directions between `a` and `b`.
+    pub fn set_link_symmetric(&mut self, a: PartId, b: PartId, link: LinkConfig) {
+        match &mut self.inner {
+            EngineImpl::Single(sim) => sim.links.set_symmetric(a, b, link),
+            EngineImpl::Sharded(sim) => sim.links_mut().set_symmetric(a, b, link),
+        }
+    }
+
+    /// Partitions `a` from `b`: every message between them (both
+    /// directions) is dropped until [`Simulator::heal`] is called.
+    /// Messages already in flight still arrive. Call between
+    /// [`Simulator::run_to_quiescence`] slices to inject failures mid-run.
+    /// Partitioning an already-partitioned pair is a no-op, so the saved
+    /// pre-partition configuration survives repeated calls.
+    pub fn partition(&mut self, a: PartId, b: PartId) {
+        match &mut self.inner {
+            EngineImpl::Single(sim) => sim.links.partition(a, b),
+            EngineImpl::Sharded(sim) => sim.links_mut().partition(a, b),
+        }
+    }
+
+    /// Heals a partition created by [`Simulator::partition`], restoring the
+    /// previous link configuration (explicit or default).
+    pub fn heal(&mut self, a: PartId, b: PartId) {
+        match &mut self.inner {
+            EngineImpl::Single(sim) => sim.links.heal(a, b),
+            EngineImpl::Sharded(sim) => sim.links_mut().heal(a, b),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Instant {
+        match &self.inner {
+            EngineImpl::Single(sim) => sim.now(),
+            EngineImpl::Sharded(sim) => sim.now(),
+        }
+    }
+
+    /// Runs until the event queue drains or `max_elapsed` simulated time has
+    /// passed since the start of this call.
+    ///
+    /// Can be called repeatedly; the clock, metrics and trace persist across
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoProcesses`] when no process is registered, and
+    /// [`SimError::ZeroLookahead`] when the sharded engine is selected but
+    /// some link latency is zero.
+    pub fn run_to_quiescence(&mut self, max_elapsed: Duration) -> Result<SimReport, SimError> {
+        match &mut self.inner {
+            EngineImpl::Single(sim) => sim.run_to_quiescence(max_elapsed),
+            EngineImpl::Sharded(sim) => sim.run_to_quiescence(max_elapsed),
+        }
+    }
+
+    /// Total number of events dispatched so far, across all runs (and all
+    /// shards). Engine bookkeeping, deliberately not part of [`SimReport`].
+    pub fn events_processed(&self) -> u64 {
+        match &self.inner {
+            EngineImpl::Single(sim) => sim.events_processed(),
+            EngineImpl::Sharded(sim) => sim.events_processed(),
+        }
+    }
+
+    /// High-water mark of pending events (live timers plus in-flight
+    /// messages; summed over shards for the sharded engine).
+    pub fn peak_queue_len(&self) -> usize {
+        match &self.inner {
+            EngineImpl::Single(sim) => sim.peak_queue_len(),
+            EngineImpl::Sharded(sim) => sim.peak_queue_len(),
+        }
     }
 }
 
@@ -1055,10 +1370,9 @@ mod tests {
         // t=3+2 ms — the *same* instant. Two queue entries now carry equal
         // `at`; only the one with the current generation may fire, and it
         // fires exactly once.
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Mutex;
         struct Rearm {
-            fires: Rc<RefCell<Vec<(u64, u64)>>>,
+            fires: Arc<Mutex<Vec<(u64, u64)>>>,
         }
         impl Process for Rearm {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
@@ -1068,7 +1382,8 @@ mod tests {
             fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
             fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
                 self.fires
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .push((timer.0, ctx.now().as_micros()));
                 if timer == TimerId(2) {
                     ctx.cancel_timer(TimerId(1));
@@ -1076,12 +1391,12 @@ mod tests {
                 }
             }
         }
-        let fires = Rc::new(RefCell::new(Vec::new()));
+        let fires = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Simulator::new(SimConfig::new(1));
         sim.add_process(
             PartId::new(1),
             Box::new(Rearm {
-                fires: Rc::clone(&fires),
+                fires: Arc::clone(&fires),
             }),
         )
         .unwrap();
@@ -1090,7 +1405,7 @@ mod tests {
         // Timer 2 at 3 ms, then timer 1 exactly once at 5 ms — not zero
         // times (cancel must not kill the re-arm) and not twice (the
         // original generation must stay dead).
-        assert_eq!(*fires.borrow(), vec![(2, 3_000), (1, 5_000)]);
+        assert_eq!(*fires.lock().unwrap(), vec![(2, 3_000), (1, 5_000)]);
         assert_eq!(report.end_time(), Instant::from_micros(5_000));
     }
 
@@ -1126,11 +1441,10 @@ mod tests {
 
     #[test]
     fn simultaneous_events_fire_in_scheduling_order() {
+        use std::sync::Mutex;
         struct TwoTimers {
-            order: Rc<RefCell<Vec<u64>>>,
+            order: Arc<Mutex<Vec<u64>>>,
         }
-        use std::cell::RefCell;
-        use std::rc::Rc;
         impl Process for TwoTimers {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
                 // Same firing instant; scheduling order must be preserved.
@@ -1140,20 +1454,20 @@ mod tests {
             }
             fn on_message(&mut self, _: &mut Context<'_>, _: PartId, _: Payload) {}
             fn on_timer(&mut self, _ctx: &mut Context<'_>, timer: TimerId) {
-                self.order.borrow_mut().push(timer.0);
+                self.order.lock().unwrap().push(timer.0);
             }
         }
-        let order = Rc::new(RefCell::new(Vec::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Simulator::new(SimConfig::new(1));
         sim.add_process(
             PartId::new(1),
             Box::new(TwoTimers {
-                order: Rc::clone(&order),
+                order: Arc::clone(&order),
             }),
         )
         .unwrap();
         sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
-        assert_eq!(*order.borrow(), vec![10, 20, 30]);
+        assert_eq!(*order.lock().unwrap(), vec![10, 20, 30]);
     }
 
     #[test]

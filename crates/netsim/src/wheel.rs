@@ -1,7 +1,7 @@
 //! A hierarchical timer wheel for the simulator event queue.
 //!
-//! The simulator orders events by `(at, seq)`: firing instant first, then
-//! global scheduling sequence as the tie-break. A binary heap gives that
+//! The simulator orders events by `(at, key)`: firing instant first, then
+//! the provenance key as the tie-break (see `sim::provenance_key`). A binary heap gives that
 //! order in `O(log n)` per operation with poor locality once the queue is
 //! thousands of entries deep (retransmission timers, serialized bursts).
 //! This module provides the same total order with amortized `O(1)` push
@@ -29,7 +29,7 @@
 //! lower levels, gaining resolution as they get closer — classic timer-
 //! wheel behaviour.
 //!
-//! # Why the exact `(at, seq)` order is preserved
+//! # Why the exact `(at, key)` order is preserved
 //!
 //! * The slot an event lands in is a pure function of its firing time and
 //!   the level geometry, so two events with the same `at` always share a
@@ -41,14 +41,15 @@
 //!   minimum firing time (events at higher levels differ from `base` in a
 //!   higher bit, hence fire later).
 //! * A drained level-0 slot spans exactly one microsecond, so all its
-//!   events share one `at`; they are sorted by `seq` before being handed
-//!   out, which restores the scheduling order regardless of the order they
+//!   events share one `at`; they are sorted by `key` before being handed
+//!   out, which restores the tie-break order regardless of the order they
 //!   were inserted (including re-insertion of an already-popped event when
 //!   a run slice hits its deadline).
 //! * The `ready` queue holds events at (or, defensively, before) `base`
-//!   in `(at, seq)` order. New events are appended — the global `seq`
-//!   counter is monotone, so a fresh push always sorts last — and the rare
-//!   deadline push-back re-inserts at its sorted position.
+//!   in `(at, key)` order. A fresh push usually sorts last (provenance
+//!   keys grow with the scheduling clock), and any out-of-order arrival —
+//!   a deadline push-back, or a same-instant key inversion — re-inserts
+//!   at its sorted position.
 //!
 //! Together these give byte-identical pop streams to the reference
 //! `BinaryHeap` backend; `crates/netsim/tests/wheel_oracle.rs` and the
@@ -73,6 +74,12 @@ const LEVELS: usize = 6;
 /// a fresh push is almost always a trailing append. Beyond this depth the
 /// list migrates into the wheel and stays there until the queue drains.
 const LIST_MAX: usize = 32;
+/// Upper bound the adaptive list threshold may grow to. Each migration
+/// into the wheel doubles the threshold (the workload evidently runs
+/// deeper than the list assumed), and a full drain decays it back toward
+/// [`LIST_MAX`]; the cap keeps the ordered-insert cost of list mode
+/// bounded even for pathological grow/drain cycles.
+const LIST_ADAPT_CAP: usize = 256;
 
 /// Level an event with firing time `at` occupies relative to `base`.
 /// Requires `at > base`. Returns `LEVELS` (or more) for the overflow list.
@@ -97,7 +104,7 @@ fn uniform_at(events: &[Scheduled]) -> Option<u64> {
 }
 
 /// Hierarchical timer wheel holding [`Scheduled`] events in exact
-/// `(at, seq)` order.
+/// `(at, key)` order.
 #[derive(Debug)]
 pub(crate) struct TimerWheel {
     /// Origin of the wheel, in µs. Every event stored in `slots` or
@@ -112,10 +119,16 @@ pub(crate) struct TimerWheel {
     slots: Vec<Vec<Scheduled>>,
     /// Events beyond the wheel horizon, unordered.
     overflow: Vec<Scheduled>,
-    /// Events due now, in `(at, seq)` order; popped from the front.
+    /// Events due now, in `(at, key)` order; popped from the front.
     ready: VecDeque<Scheduled>,
     /// Scratch buffer reused by cascades to avoid re-allocation.
     cascade_buf: Vec<Scheduled>,
+    /// Adaptive list-mode threshold: starts at [`LIST_MAX`], doubles on
+    /// each forced migration into the wheel (capped at
+    /// [`LIST_ADAPT_CAP`]), and decays toward [`LIST_MAX`] when the queue
+    /// fully drains. Queues that repeatedly hover just past a fixed
+    /// threshold would otherwise pay the migration on every burst.
+    list_max: usize,
 }
 
 impl TimerWheel {
@@ -128,6 +141,7 @@ impl TimerWheel {
             overflow: Vec::new(),
             ready: VecDeque::new(),
             cascade_buf: Vec::new(),
+            list_max: LIST_MAX,
         }
     }
 
@@ -144,7 +158,7 @@ impl TimerWheel {
             // trailing) ordered insert. At ping-pong depths this beats
             // both the heap and the wheel machinery; the wheel engages
             // only once the queue is deep enough to pay for itself.
-            if self.ready.len() < LIST_MAX {
+            if self.ready.len() < self.list_max {
                 self.push_ready(event);
                 return;
             }
@@ -161,6 +175,8 @@ impl TimerWheel {
     /// instant and files everything later than it into slots/overflow.
     fn migrate_to_wheel(&mut self) {
         debug_assert!(self.occupied.iter().all(|&o| o == 0) && self.overflow.is_empty());
+        // The workload outgrew list mode; be slower to re-enter it.
+        self.list_max = (self.list_max * 2).min(LIST_ADAPT_CAP);
         let min_at = self
             .ready
             .front()
@@ -179,12 +195,18 @@ impl TimerWheel {
         }
     }
 
-    /// Pops the event with the smallest `(at, seq)`, advancing `base` as
+    /// Pops the event with the smallest `(at, key)`, advancing `base` as
     /// needed.
     pub(crate) fn pop(&mut self) -> Option<Scheduled> {
         loop {
             if let Some(event) = self.ready.pop_front() {
                 self.len -= 1;
+                if self.len == 0 {
+                    // Full drain: halve the adaptive threshold back toward
+                    // its base, so a one-off deep burst does not leave a
+                    // permanently expensive list mode behind.
+                    self.list_max = (self.list_max / 2).max(LIST_MAX);
+                }
                 return Some(event);
             }
             if self.len == 0 {
@@ -196,19 +218,39 @@ impl TimerWheel {
         }
     }
 
-    /// Appends to `ready`, keeping `(at, seq)` order. The fast path is a
-    /// plain append: `seq` is globally monotone, so anything freshly
-    /// scheduled sorts after everything already stored. The sorted insert
-    /// only runs when a popped event is pushed back (run-slice deadline),
-    /// which re-inserts an older sequence number.
+    /// The earliest pending event without removing it. Shares the advance
+    /// machinery with [`TimerWheel::pop`]: the head must first be surfaced
+    /// into `ready`, which moves `base` exactly as popping would.
+    pub(crate) fn peek(&mut self) -> Option<&Scheduled> {
+        loop {
+            // NLL workaround: probing `self.ready.front()` directly holds
+            // the borrow across the advance calls below.
+            if !self.ready.is_empty() {
+                return self.ready.front();
+            }
+            if self.len == 0 {
+                return None;
+            }
+            if !self.advance() {
+                self.promote_overflow();
+            }
+        }
+    }
+
+    /// Appends to `ready`, keeping `(at, key)` order. The fast path is a
+    /// plain append: provenance keys lead with the scheduling instant, so
+    /// a freshly scheduled event almost always sorts after everything
+    /// already stored. The sorted insert runs when a popped event is
+    /// pushed back (run-slice deadline) or a same-instant key inversion
+    /// arrives.
     fn push_ready(&mut self, event: Scheduled) {
-        let key = (event.at, event.seq);
+        let key = (event.at, event.key);
         match self.ready.back() {
-            Some(last) if (last.at, last.seq) > key => {
+            Some(last) if (last.at, last.key) > key => {
                 let pos = self
                     .ready
                     .iter()
-                    .position(|e| (e.at, e.seq) > key)
+                    .position(|e| (e.at, e.key) > key)
                     .unwrap_or(self.ready.len());
                 self.ready.insert(pos, event);
             }
@@ -264,9 +306,9 @@ impl TimerWheel {
         std::mem::swap(&mut drained, &mut self.slots[index]);
         if level == 0 {
             // A level-0 slot spans one microsecond: every event shares
-            // `at == deadline`, so sorting by `seq` restores scheduling
-            // order exactly.
-            drained.sort_unstable_by_key(|e| e.seq);
+            // `at == deadline`, so sorting by `key` restores the
+            // tie-break order exactly.
+            drained.sort_unstable_by_key(|e| e.key);
             debug_assert!(drained.iter().all(|e| e.at.as_micros() == deadline));
             self.ready.extend(drained.drain(..));
         } else if let Some(common_at) = uniform_at(&drained) {
@@ -278,7 +320,7 @@ impl TimerWheel {
             // the events go to `ready` directly, skipping the cascade
             // re-insertion and the follow-up level-0 drain.
             self.base = common_at;
-            drained.sort_unstable_by_key(|e| e.seq);
+            drained.sort_unstable_by_key(|e| e.key);
             self.ready.extend(drained.drain(..));
         } else {
             for event in drained.drain(..) {
@@ -289,7 +331,7 @@ impl TimerWheel {
                     self.insert(event);
                 }
             }
-            self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
+            self.ready.make_contiguous().sort_unstable_by_key(|e| e.key);
         }
         self.cascade_buf = drained;
         true
@@ -319,7 +361,7 @@ impl TimerWheel {
                 i += 1;
             }
         }
-        self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
+        self.ready.make_contiguous().sort_unstable_by_key(|e| e.key);
     }
 }
 
@@ -335,7 +377,7 @@ mod tests {
     fn event(at: u64, seq: u64) -> Scheduled {
         Scheduled {
             at: Instant::from_micros(at),
-            seq,
+            key: seq as u128,
             kind: EventKind::Timer {
                 node: PartId::new(1),
                 id: TimerId(seq),
@@ -344,8 +386,8 @@ mod tests {
         }
     }
 
-    fn key(e: &Scheduled) -> (u64, u64) {
-        (e.at.as_micros(), e.seq)
+    fn key(e: &Scheduled) -> (u64, u128) {
+        (e.at.as_micros(), e.key)
     }
 
     #[test]
@@ -423,7 +465,7 @@ mod tests {
         for seq in 1..=(LIST_MAX as u64 + 16) {
             let at = (seq * 37) % 11; // clustered, tie-heavy instants
             wheel.push(event(at, seq));
-            expected.push((at, seq));
+            expected.push((at, seq as u128));
         }
         expected.sort_unstable();
         let mut popped = Vec::new();

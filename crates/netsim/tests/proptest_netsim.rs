@@ -1,7 +1,6 @@
 //! Property-based tests of the simulator's delivery guarantees.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
@@ -23,16 +22,16 @@ impl Process for Burst {
 }
 
 struct Collector {
-    seen: Rc<RefCell<Vec<u8>>>,
+    seen: Arc<Mutex<Vec<u8>>>,
 }
 impl Process for Collector {
     fn on_message(&mut self, _: &mut Context<'_>, _: PartId, payload: Payload) {
-        self.seen.borrow_mut().push(payload[0]);
+        self.seen.lock().unwrap().push(payload[0]);
     }
 }
 
 fn run_burst(link: LinkConfig, n: u8, seed: u64) -> (Vec<u8>, u64, u64) {
-    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen = Arc::new(Mutex::new(Vec::new()));
     let mut sim = Simulator::new(SimConfig::new(seed).default_link(link));
     sim.add_process(
         PartId::new(1),
@@ -45,13 +44,13 @@ fn run_burst(link: LinkConfig, n: u8, seed: u64) -> (Vec<u8>, u64, u64) {
     sim.add_process(
         PartId::new(2),
         Box::new(Collector {
-            seen: Rc::clone(&seen),
+            seen: Arc::clone(&seen),
         }),
     )
     .unwrap();
     let report = sim.run_to_quiescence(Duration::from_secs(600)).unwrap();
     assert!(report.is_quiescent());
-    let out = seen.borrow().clone();
+    let out = seen.lock().unwrap().clone();
     (
         out,
         report.metrics().messages_delivered(),

@@ -14,9 +14,8 @@
 //! sliced into several `run_to_quiescence` calls so deadline push-back is
 //! exercised too.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
@@ -47,7 +46,7 @@ struct Driver {
     peer: PartId,
     script: VecDeque<Vec<Op>>,
     batch: u64,
-    log: Rc<RefCell<Vec<String>>>,
+    log: Arc<Mutex<Vec<String>>>,
 }
 
 impl Driver {
@@ -80,20 +79,25 @@ impl Driver {
 
 impl Process for Driver {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.log.borrow_mut().push(format!("start {:?}", ctx.now()));
+        self.log
+            .lock()
+            .unwrap()
+            .push(format!("start {:?}", ctx.now()));
         self.step(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, id: TimerId) {
         self.log
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push(format!("timer {:?} {:?}", ctx.now(), id));
         self.step(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Payload) {
         self.log
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push(format!("msg {:?} {from:?} {:?}", ctx.now(), &payload[..]));
         self.step(ctx);
     }
@@ -102,13 +106,14 @@ impl Process for Driver {
 /// The peer: logs arrivals and echoes even bytes back once.
 struct EchoPeer {
     driver: PartId,
-    log: Rc<RefCell<Vec<String>>>,
+    log: Arc<Mutex<Vec<String>>>,
 }
 
 impl Process for EchoPeer {
     fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Payload) {
         self.log
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push(format!("peer {:?} {from:?} {:?}", ctx.now(), &payload[..]));
         if payload.first().is_some_and(|b| b % 2 == 0) {
             ctx.send(self.driver, vec![payload[0] + 1]);
@@ -123,7 +128,7 @@ fn run_script(
     script: &[Vec<Op>],
     slices: &[u64],
 ) -> (Vec<String>, Vec<String>) {
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let driver = PartId::new(1);
     let peer = PartId::new(2);
     let mut sim = Simulator::new(
@@ -137,7 +142,7 @@ fn run_script(
             peer,
             script: script.iter().cloned().collect(),
             batch: 0,
-            log: Rc::clone(&log),
+            log: Arc::clone(&log),
         }),
     )
     .unwrap();
@@ -145,7 +150,7 @@ fn run_script(
         peer,
         Box::new(EchoPeer {
             driver,
-            log: Rc::clone(&log),
+            log: Arc::clone(&log),
         }),
     )
     .unwrap();
@@ -162,7 +167,7 @@ fn run_script(
         .expect("processes registered");
     assert!(report.is_quiescent(), "final slice must drain the queue");
     reports.push(format!("{report:?}"));
-    let events = log.borrow().clone();
+    let events = log.lock().unwrap().clone();
     (events, reports)
 }
 

@@ -46,6 +46,18 @@ pub fn with_recorder<T>(recorder: Recorder, f: impl FnOnce() -> T) -> (T, Record
     (result, filled)
 }
 
+/// Merges `other` into this thread's installed recorder, if any; a no-op
+/// otherwise. The sharded netsim engine uses this to fold the per-shard
+/// worker recorders back into the caller's recorder in shard order, so
+/// obs output stays independent of thread scheduling.
+pub fn absorb_into_current(other: &Recorder) {
+    CURRENT.with(|c| {
+        if let Some(r) = c.borrow_mut().as_mut() {
+            r.absorb(other);
+        }
+    });
+}
+
 /// Adds `n` to counter `name` on the installed recorder, if any.
 pub fn count(name: &'static str, n: u64) {
     CURRENT.with(|c| {

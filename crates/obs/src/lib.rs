@@ -47,7 +47,7 @@ pub mod json;
 pub mod recorder;
 pub mod stats;
 
-pub use ctx::{active, sites_enabled, with_recorder};
+pub use ctx::{absorb_into_current, active, sites_enabled, with_recorder};
 pub use json::{parse_flat_numbers, JsonWriter};
 pub use recorder::{chrome_trace, Event, Hist, LinkStat, Recorder};
 pub use stats::PorStats;

@@ -159,7 +159,10 @@ pub struct Recorder {
     hists: BTreeMap<&'static str, Hist>,
     links: BTreeMap<(u64, u64), LinkStat>,
     events: Vec<Event>,
+    events_seen: u64,
+    events_sampled_out: u64,
     events_dropped: u64,
+    sample_every: u64,
     capacity: usize,
 }
 
@@ -177,6 +180,20 @@ impl Recorder {
             capacity,
             ..Recorder::default()
         }
+    }
+
+    /// Switches the timeline to 1-in-`every` sampling: of every `every`
+    /// consecutive [`Recorder::event`] calls, the first is kept and the
+    /// rest are counted in [`Recorder::events_sampled_out`]. `0` and `1`
+    /// both mean "keep everything" (the default). Sampling is decided by
+    /// the virtual-order event index, so it is as deterministic as the
+    /// recording itself — unlike the capacity bound, which keeps a
+    /// *prefix*, sampling keeps a uniform thinning of the whole run.
+    /// Counters, histograms, and link statistics are never sampled.
+    #[must_use]
+    pub fn with_sampling(mut self, every: u64) -> Self {
+        self.sample_every = every;
+        self
     }
 
     /// Adds `n` to counter `name`.
@@ -206,7 +223,10 @@ impl Recorder {
         ts_us: u64,
         dur_us: u64,
     ) {
-        if self.events.len() < self.capacity {
+        self.events_seen += 1;
+        if self.sample_every >= 2 && !(self.events_seen - 1).is_multiple_of(self.sample_every) {
+            self.events_sampled_out += 1;
+        } else if self.events.len() < self.capacity {
             self.events.push(Event {
                 name,
                 cat,
@@ -249,6 +269,16 @@ impl Recorder {
         self.events_dropped
     }
 
+    /// Total [`Recorder::event`] calls, kept or not.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Timeline events thinned out by [`Recorder::with_sampling`].
+    pub fn events_sampled_out(&self) -> u64 {
+        self.events_sampled_out
+    }
+
     /// True when nothing at all was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
@@ -256,6 +286,7 @@ impl Recorder {
             && self.links.is_empty()
             && self.events.is_empty()
             && self.events_dropped == 0
+            && self.events_sampled_out == 0
     }
 
     /// Merges `other` into `self`: counters/histograms/links add up,
@@ -273,6 +304,8 @@ impl Recorder {
             mine.bytes += stat.bytes;
             mine.latency.absorb(&stat.latency);
         }
+        // Absorbed events were already sampled at the source; only the
+        // capacity bound applies here.
         for event in &other.events {
             if self.events.len() < self.capacity {
                 self.events.push(event.clone());
@@ -280,6 +313,8 @@ impl Recorder {
                 self.events_dropped += 1;
             }
         }
+        self.events_seen += other.events_seen;
+        self.events_sampled_out += other.events_sampled_out;
         self.events_dropped += other.events_dropped;
     }
 
@@ -312,6 +347,7 @@ impl Recorder {
         }
         w.end_array();
         w.key("events").uint(self.events.len() as u64);
+        w.key("events_sampled_out").uint(self.events_sampled_out);
         w.key("events_dropped").uint(self.events_dropped);
         w.end_object();
     }
@@ -366,6 +402,16 @@ impl Recorder {
             w.key("messages").uint(stat.messages);
             w.key("bytes").uint(stat.bytes);
             w.key("latency_mean_us").float(stat.latency.mean(), 3);
+            w.end_object();
+            out.push_str(&w.finish());
+        }
+        if self.events_sampled_out > 0 {
+            let mut w = JsonWriter::compact();
+            w.begin_object();
+            w.key("type").string("sampled");
+            w.key("scope").string(scope);
+            w.key("every").uint(self.sample_every);
+            w.key("events").uint(self.events_sampled_out);
             w.end_object();
             out.push_str(&w.finish());
         }
@@ -498,6 +544,24 @@ mod tests {
         assert_eq!(a.events().len(), 1);
         assert!(!a.is_empty());
         assert!(Recorder::new().is_empty());
+    }
+
+    #[test]
+    fn sampling_thins_the_timeline_uniformly() {
+        let mut r = Recorder::new().with_sampling(3);
+        for i in 0..10 {
+            r.event("e", "net", 0, i, 0);
+        }
+        // Kept: event indices 0, 3, 6, 9.
+        assert_eq!(r.events().len(), 4);
+        assert_eq!(r.events()[1].ts_us, 3);
+        assert_eq!(r.events_seen(), 10);
+        assert_eq!(r.events_sampled_out(), 6);
+        assert_eq!(r.events_dropped(), 0);
+        let text = r.jsonl("s");
+        assert!(text.contains("\"type\":\"sampled\""));
+        assert!(text.contains("\"every\":3"));
+        assert!(!r.is_empty());
     }
 
     #[test]

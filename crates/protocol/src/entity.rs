@@ -1,8 +1,7 @@
 //! User parts, protocol entities and the node that binds them.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use svckit_codec::{CodecError, Pdu, PduRegistry};
 use svckit_model::{Duration, Instant, PartId, Sap, Value};
@@ -22,7 +21,7 @@ const RELIABLE_TIMER_BASE: u64 = 1 << 63;
 /// set timers; it has no access to the network. This enforces, in the type
 /// system, the paper's point that "the design of the application is not
 /// influenced by the choice of a protocol solution".
-pub trait UserPart {
+pub trait UserPart: Send {
     /// Called once at simulation start.
     fn on_start(&mut self, ctx: &mut UserCtx<'_, '_>) {
         let _ = ctx;
@@ -40,7 +39,7 @@ pub trait UserPart {
 
 /// The behaviour below the service boundary: one entity of the distributed
 /// service provider.
-pub trait ProtocolEntity {
+pub trait ProtocolEntity: Send {
     /// Called once at simulation start (before the user part's `on_start`).
     fn on_start(&mut self, ctx: &mut EntityCtx<'_, '_>) {
         let _ = ctx;
@@ -118,7 +117,7 @@ pub struct EntityCtx<'a, 'b> {
     registry: &'a PduRegistry,
     to_user: &'a mut VecDeque<(String, Vec<Value>)>,
     outgoing: &'a mut VecDeque<(PartId, Vec<u8>)>,
-    counters: &'a Rc<RefCell<ProtoCounters>>,
+    counters: &'a Arc<Mutex<ProtoCounters>>,
 }
 
 impl EntityCtx<'_, '_> {
@@ -160,7 +159,7 @@ impl EntityCtx<'_, '_> {
     pub fn send_pdu(&mut self, to: PartId, name: &str, args: &[Value]) -> Result<(), CodecError> {
         let bytes = self.registry.encode(name, args)?;
         {
-            let mut c = self.counters.borrow_mut();
+            let mut c = self.counters.lock().unwrap();
             c.pdus_sent += 1;
             c.pdu_bytes_sent += bytes.len() as u64;
         }
@@ -206,8 +205,8 @@ pub struct ProtocolNode {
     sap: Sap,
     user: Box<dyn UserPart>,
     entity: Box<dyn ProtocolEntity>,
-    registry: Rc<PduRegistry>,
-    counters: Rc<RefCell<ProtoCounters>>,
+    registry: Arc<PduRegistry>,
+    counters: Arc<Mutex<ProtoCounters>>,
     reliable: Option<ReliableLink>,
     to_entity: VecDeque<(String, Vec<Value>)>,
     to_user: VecDeque<(String, Vec<Value>)>,
@@ -229,14 +228,14 @@ impl ProtocolNode {
         sap: Sap,
         user: Box<dyn UserPart>,
         entity: Box<dyn ProtocolEntity>,
-        registry: Rc<PduRegistry>,
+        registry: Arc<PduRegistry>,
     ) -> Self {
         ProtocolNode {
             sap,
             user,
             entity,
             registry,
-            counters: Rc::new(RefCell::new(ProtoCounters::default())),
+            counters: Arc::new(Mutex::new(ProtoCounters::default())),
             reliable: None,
             to_entity: VecDeque::new(),
             to_user: VecDeque::new(),
@@ -255,8 +254,8 @@ impl ProtocolNode {
 
     /// A handle onto this node's counters, valid after the node has been
     /// moved into the simulator.
-    pub fn counters(&self) -> Rc<RefCell<ProtoCounters>> {
-        Rc::clone(&self.counters)
+    pub fn counters(&self) -> Arc<Mutex<ProtoCounters>> {
+        Arc::clone(&self.counters)
     }
 
     fn flush_outgoing(&mut self, net: &mut Context<'_>) {
@@ -324,7 +323,7 @@ impl Process for ProtocolNode {
     fn on_message(&mut self, net: &mut Context<'_>, from: PartId, payload: Payload) {
         let delivered = match &mut self.reliable {
             Some(rel) => {
-                let mut counters = self.counters.borrow_mut();
+                let mut counters = self.counters.lock().unwrap();
                 rel.on_raw(net, from, &payload, &mut counters)
             }
             None => Some(payload),
@@ -332,7 +331,7 @@ impl Process for ProtocolNode {
         if let Some(bytes) = delivered {
             match self.registry.decode(&bytes) {
                 Ok(pdu) => {
-                    self.counters.borrow_mut().pdus_received += 1;
+                    self.counters.lock().unwrap().pdus_received += 1;
                     svckit_obs::obs_count!("proto.pdus_received");
                     svckit_obs::obs_count!("proto.pdu_bytes_received", bytes.len());
                     svckit_obs::obs_event!(
@@ -352,7 +351,7 @@ impl Process for ProtocolNode {
                     self.entity.on_pdu(&mut ctx, from, pdu);
                 }
                 Err(_) => {
-                    self.counters.borrow_mut().decode_errors += 1;
+                    self.counters.lock().unwrap().decode_errors += 1;
                     svckit_obs::obs_count!("proto.malformed_drops");
                     svckit_obs::obs_event!(
                         "proto.malformed_drop",
@@ -369,7 +368,7 @@ impl Process for ProtocolNode {
     fn on_timer(&mut self, net: &mut Context<'_>, timer: TimerId) {
         if timer.0 >= RELIABLE_TIMER_BASE {
             if let Some(rel) = &mut self.reliable {
-                let mut counters = self.counters.borrow_mut();
+                let mut counters = self.counters.lock().unwrap();
                 rel.on_timer(net, timer, &mut counters);
             }
         } else if timer.0 >= USER_TIMER_BASE {
@@ -405,7 +404,7 @@ mod tests {
     /// User part that sends one `ping` primitive at start and counts
     /// `pong` indications.
     struct PingUser {
-        peer_sap_hits: Rc<RefCell<u32>>,
+        peer_sap_hits: Arc<Mutex<u32>>,
     }
     impl UserPart for PingUser {
         fn on_start(&mut self, ctx: &mut UserCtx<'_, '_>) {
@@ -418,7 +417,7 @@ mod tests {
             _args: Vec<Value>,
         ) {
             assert_eq!(primitive, "pong");
-            *self.peer_sap_hits.borrow_mut() += 1;
+            *self.peer_sap_hits.lock().unwrap() += 1;
         }
     }
 
@@ -452,28 +451,28 @@ mod tests {
         }
     }
 
-    fn registry() -> Rc<PduRegistry> {
+    fn registry() -> Arc<PduRegistry> {
         let mut r = PduRegistry::new();
         r.register(PduSchema::new(1, "ping_pdu").field("x", ValueType::Id))
             .unwrap();
         r.register(PduSchema::new(2, "pong_pdu").field("x", ValueType::Id))
             .unwrap();
-        Rc::new(r)
+        Arc::new(r)
     }
 
     #[test]
     fn ping_pong_crosses_the_boundary_and_records_trace() {
         let reg = registry();
-        let hits = Rc::new(RefCell::new(0));
+        let hits = Arc::new(Mutex::new(0));
         let a = ProtocolNode::new(
             Sap::new("user", PartId::new(1)),
             Box::new(PingUser {
-                peer_sap_hits: Rc::clone(&hits),
+                peer_sap_hits: Arc::clone(&hits),
             }),
             Box::new(EchoEntity {
                 peer: PartId::new(2),
             }),
-            Rc::clone(&reg),
+            Arc::clone(&reg),
         );
         let a_counters = a.counters();
         let b = ProtocolNode::new(
@@ -489,10 +488,10 @@ mod tests {
         sim.add_process(PartId::new(2), Box::new(b)).unwrap();
         let report = sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
         assert!(report.is_quiescent());
-        assert_eq!(*hits.borrow(), 1);
+        assert_eq!(*hits.lock().unwrap(), 1);
         // Trace: ping (from-user at node 1) then pong (to-user at node 1).
         assert_eq!(report.trace().primitive_names(), vec!["ping", "pong"]);
-        let c = a_counters.borrow();
+        let c = a_counters.lock().unwrap();
         assert_eq!(c.pdus_sent, 1);
         assert_eq!(c.pdus_received, 1);
         assert_eq!(c.decode_errors, 0);
@@ -524,14 +523,14 @@ mod tests {
             .unwrap();
         sim.add_process(PartId::new(2), Box::new(node)).unwrap();
         sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
-        assert_eq!(counters.borrow().decode_errors, 1);
-        assert_eq!(counters.borrow().pdus_received, 0);
+        assert_eq!(counters.lock().unwrap().decode_errors, 1);
+        assert_eq!(counters.lock().unwrap().pdus_received, 0);
     }
 
     #[test]
     fn user_timers_are_routed_to_the_user_part() {
         struct TimedUser {
-            fired: Rc<RefCell<bool>>,
+            fired: Arc<Mutex<bool>>,
         }
         impl UserPart for TimedUser {
             fn on_start(&mut self, ctx: &mut UserCtx<'_, '_>) {
@@ -540,7 +539,7 @@ mod tests {
             fn on_indication(&mut self, _: &mut UserCtx<'_, '_>, _: &str, _: Vec<Value>) {}
             fn on_timer(&mut self, _ctx: &mut UserCtx<'_, '_>, timer: TimerId) {
                 assert_eq!(timer, TimerId(5));
-                *self.fired.borrow_mut() = true;
+                *self.fired.lock().unwrap() = true;
             }
         }
         struct NullEntity;
@@ -548,11 +547,11 @@ mod tests {
             fn on_user_primitive(&mut self, _: &mut EntityCtx<'_, '_>, _: &str, _: Vec<Value>) {}
             fn on_pdu(&mut self, _: &mut EntityCtx<'_, '_>, _: PartId, _: Pdu) {}
         }
-        let fired = Rc::new(RefCell::new(false));
+        let fired = Arc::new(Mutex::new(false));
         let node = ProtocolNode::new(
             Sap::new("user", PartId::new(1)),
             Box::new(TimedUser {
-                fired: Rc::clone(&fired),
+                fired: Arc::clone(&fired),
             }),
             Box::new(NullEntity),
             registry(),
@@ -560,13 +559,13 @@ mod tests {
         let mut sim = Simulator::new(SimConfig::new(1));
         sim.add_process(PartId::new(1), Box::new(node)).unwrap();
         sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
-        assert!(*fired.borrow());
+        assert!(*fired.lock().unwrap());
     }
 
     #[test]
     fn entity_timers_are_routed_to_the_entity() {
         struct TimedEntity {
-            fired: Rc<RefCell<bool>>,
+            fired: Arc<Mutex<bool>>,
         }
         impl ProtocolEntity for TimedEntity {
             fn on_start(&mut self, ctx: &mut EntityCtx<'_, '_>) {
@@ -576,21 +575,21 @@ mod tests {
             fn on_pdu(&mut self, _: &mut EntityCtx<'_, '_>, _: PartId, _: Pdu) {}
             fn on_timer(&mut self, _ctx: &mut EntityCtx<'_, '_>, timer: TimerId) {
                 assert_eq!(timer, TimerId(9));
-                *self.fired.borrow_mut() = true;
+                *self.fired.lock().unwrap() = true;
             }
         }
-        let fired = Rc::new(RefCell::new(false));
+        let fired = Arc::new(Mutex::new(false));
         let node = ProtocolNode::new(
             Sap::new("user", PartId::new(1)),
             Box::new(SilentUser),
             Box::new(TimedEntity {
-                fired: Rc::clone(&fired),
+                fired: Arc::clone(&fired),
             }),
             registry(),
         );
         let mut sim = Simulator::new(SimConfig::new(1));
         sim.add_process(PartId::new(1), Box::new(node)).unwrap();
         sim.run_to_quiescence(Duration::from_secs(1)).unwrap();
-        assert!(*fired.borrow());
+        assert!(*fired.lock().unwrap());
     }
 }

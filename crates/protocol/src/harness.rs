@@ -1,10 +1,9 @@
 //! Assembly and execution of a whole protocol stack.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use svckit_codec::PduRegistry;
 use svckit_model::{Duration, PartId, Sap};
@@ -53,7 +52,8 @@ pub struct StackBuilder {
     seed: u64,
     link: LinkConfig,
     queue: QueueBackend,
-    registry: Rc<PduRegistry>,
+    shards: u32,
+    registry: Arc<PduRegistry>,
     reliability: Option<ReliabilityConfig>,
     nodes: Vec<PendingNode>,
 }
@@ -74,7 +74,8 @@ impl StackBuilder {
             seed: 0,
             link: LinkConfig::default(),
             queue: QueueBackend::default(),
-            registry: Rc::new(registry),
+            shards: 1,
+            registry: Arc::new(registry),
             reliability: None,
             nodes: Vec::new(),
         }
@@ -98,6 +99,14 @@ impl StackBuilder {
     #[must_use]
     pub fn queue_backend(mut self, backend: QueueBackend) -> Self {
         self.queue = backend;
+        self
+    }
+
+    /// Sets the simulator shard count (builder-style); see
+    /// [`svckit_netsim::SimConfig::shards`].
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -132,11 +141,12 @@ impl StackBuilder {
         let mut sim = Simulator::new(
             SimConfig::new(self.seed)
                 .default_link(self.link)
-                .queue_backend(self.queue),
+                .queue_backend(self.queue)
+                .shards(self.shards),
         );
         let mut counters = BTreeMap::new();
         for (part, sap, user, entity) in self.nodes {
-            let mut node = ProtocolNode::new(sap, user, entity, Rc::clone(&self.registry));
+            let mut node = ProtocolNode::new(sap, user, entity, Arc::clone(&self.registry));
             if let Some(cfg) = self.reliability {
                 node = node.with_reliability(cfg);
             }
@@ -150,7 +160,7 @@ impl StackBuilder {
 /// An assembled protocol stack, ready to run.
 pub struct Stack {
     sim: Simulator,
-    counters: BTreeMap<PartId, Rc<RefCell<ProtoCounters>>>,
+    counters: BTreeMap<PartId, Arc<Mutex<ProtoCounters>>>,
 }
 
 impl fmt::Debug for Stack {
@@ -174,14 +184,14 @@ impl Stack {
 
     /// Counters of one node.
     pub fn node_counters(&self, part: PartId) -> Option<ProtoCounters> {
-        self.counters.get(&part).map(|c| *c.borrow())
+        self.counters.get(&part).map(|c| *c.lock().unwrap())
     }
 
     /// Sum of all nodes' counters.
     pub fn total_counters(&self) -> ProtoCounters {
         let mut total = ProtoCounters::default();
         for c in self.counters.values() {
-            total.absorb(&c.borrow());
+            total.absorb(&c.lock().unwrap());
         }
         total
     }

@@ -244,8 +244,7 @@ impl ReliableLink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
     use svckit_model::Instant;
     use svckit_netsim::{LinkConfig, Process, SimConfig, Simulator};
 
@@ -272,13 +271,13 @@ mod tests {
 
     struct ReliableReceiver {
         link: ReliableLink,
-        got: Rc<RefCell<Vec<u8>>>,
+        got: Arc<Mutex<Vec<u8>>>,
         counters: ProtoCounters,
     }
     impl Process for ReliableReceiver {
         fn on_message(&mut self, ctx: &mut Context<'_>, from: PartId, payload: Payload) {
             if let Some(data) = self.link.on_raw(ctx, from, &payload, &mut self.counters) {
-                self.got.borrow_mut().push(data[0]);
+                self.got.lock().unwrap().push(data[0]);
             }
         }
         fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId) {
@@ -287,7 +286,7 @@ mod tests {
     }
 
     fn run_over(link_cfg: LinkConfig, n: u8, seed: u64, window: usize) -> (Vec<u8>, Instant) {
-        let got = Rc::new(RefCell::new(Vec::new()));
+        let got = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Simulator::new(SimConfig::new(seed).default_link(link_cfg));
         let cfg = ReliabilityConfig::new(Duration::from_millis(10)).with_window(window);
         sim.add_process(
@@ -304,14 +303,14 @@ mod tests {
             PartId::new(2),
             Box::new(ReliableReceiver {
                 link: ReliableLink::new(cfg, 1 << 63),
-                got: Rc::clone(&got),
+                got: Arc::clone(&got),
                 counters: ProtoCounters::default(),
             }),
         )
         .unwrap();
         let report = sim.run_to_quiescence(Duration::from_secs(300)).unwrap();
         assert!(report.is_quiescent());
-        let out = got.borrow().clone();
+        let out = got.lock().unwrap().clone();
         (out, report.end_time())
     }
 

@@ -2,9 +2,11 @@
 //!
 //! Cells are independent by construction — each builds its own simulator,
 //! middleware system or protocol stack, and RNG stream from the cell's
-//! seed — but the deployed systems hold `Rc` internally and are not
-//! `Send`. Workers therefore construct *and* run each cell entirely on
-//! their own thread and send back only the `RunOutcome` (which is `Send`).
+//! seed. Workers construct *and* run each cell entirely on their own
+//! thread and send back only the `RunOutcome`: a cell is the unit of
+//! scheduling, so nothing is gained by moving a half-built system across
+//! threads (even though, since the sharded-core work made every process
+//! `Send`, they now could be).
 //!
 //! Work distribution is a single atomic cursor over the expanded cell
 //! list; results are placed into their cell's slot and merged in spec
@@ -86,6 +88,9 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> RunOutcome {
     let mut params = variation.params.clone().seed(cell.seed);
     if let Some(backend) = spec.queue {
         params = params.queue_backend(backend);
+    }
+    if let Some(shards) = spec.shards {
+        params = params.shards(shards);
     }
     let faults = match cell.campaign {
         Some(i) => spec.campaigns[i].events.clone(),

@@ -395,6 +395,21 @@ pub fn queue_backend_flag(args: &[String]) -> Option<svckit::netsim::QueueBacken
     Some(value.parse().unwrap_or_else(|e| panic!("{e}")))
 }
 
+/// Parses the shared `--shards N` flag; `None` when absent, leaving each
+/// spec/variation to its own default (the sequential engine).
+///
+/// # Panics
+///
+/// Panics (with a usage message) when the value is not a positive number.
+pub fn shards_flag(args: &[String]) -> Option<u32> {
+    let value = flag_value(args, "shards")?;
+    let shards: u32 = value
+        .parse()
+        .unwrap_or_else(|_| panic!("--shards expects a number, got {value:?}"));
+    assert!(shards >= 1, "--shards expects a count >= 1");
+    Some(shards)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,9 @@ pub struct SweepSpec {
     /// Both backends produce byte-identical sweep JSON — overriding is
     /// only useful for differential testing in CI.
     pub queue: Option<QueueBackend>,
+    /// Optional simulator shard count override applied to every cell
+    /// (`--shards`). `None` keeps each variation's own setting.
+    pub shards: Option<u32>,
 }
 
 /// One expanded grid point, by index into the owning [`SweepSpec`].
@@ -109,6 +112,7 @@ impl SweepSpec {
             seeds: Vec::new(),
             filter: None,
             queue: None,
+            shards: None,
         }
     }
 
@@ -196,6 +200,14 @@ impl SweepSpec {
     #[must_use]
     pub fn queue_backend(mut self, backend: QueueBackend) -> Self {
         self.queue = Some(backend);
+        self
+    }
+
+    /// Forces every cell onto the given simulator shard count
+    /// (builder-style). See [`SweepSpec::shards`].
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = Some(shards.max(1));
         self
     }
 

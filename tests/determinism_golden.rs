@@ -157,7 +157,87 @@ fn protocol_solution_matches_golden_digest() {
     );
 }
 
+/// The Chatter scenario on a deterministic (perfect) link, at a given
+/// shard count. No link randomness is consumed on such links, so the
+/// sharded engine must be byte-identical to the sequential one at every
+/// shard count — see `svckit-netsim`'s `shard` module docs for the
+/// envelope argument.
+fn sharded_netsim_digest(seed: u64, shards: u32) -> u64 {
+    let mut sim = Simulator::new(
+        SimConfig::new(seed)
+            .default_link(LinkConfig::perfect(Duration::from_millis(2)))
+            .shards(shards),
+    );
+    sim.add_process(
+        PartId::new(1),
+        Box::new(Chatter {
+            peer: PartId::new(2),
+            remaining: 60,
+        }),
+    )
+    .unwrap();
+    sim.add_process(
+        PartId::new(2),
+        Box::new(Chatter {
+            peer: PartId::new(1),
+            remaining: 30,
+        }),
+    )
+    .unwrap();
+    let report = sim.run_to_quiescence(Duration::from_secs(60)).unwrap();
+    assert!(report.is_quiescent());
+    fnv1a(format!("{report:?}").as_bytes())
+}
+
+fn sharded_solution_digest(solution: Solution, seed: u64, shards: u32) -> u64 {
+    let params = RunParams::default()
+        .subscribers(6)
+        .resources(2)
+        .rounds(3)
+        .seed(seed)
+        .link(LinkConfig::perfect(Duration::from_micros(500)))
+        .shards(shards);
+    let outcome = run_solution(solution, &params);
+    assert!(outcome.completed, "{solution:?} workload must complete");
+    assert!(outcome.conformant, "{solution:?} trace must conform");
+    fnv1a(format!("{outcome:?}").as_bytes())
+}
+
+#[test]
+fn sharded_netsim_is_byte_identical_to_single() {
+    let single = sharded_netsim_digest(42, 1);
+    assert_eq!(single, sharded_netsim_digest(42, 2));
+    assert_eq!(single, sharded_netsim_digest(42, 4));
+    assert_eq!(single, GOLDEN_SHARDED_NETSIM_SEED42);
+}
+
+#[test]
+fn sharded_solutions_are_byte_identical_to_single() {
+    for solution in [Solution::MwCallback, Solution::ProtoCallback] {
+        let single = sharded_solution_digest(solution, 7, 1);
+        assert_eq!(
+            single,
+            sharded_solution_digest(solution, 7, 2),
+            "{solution:?}"
+        );
+        assert_eq!(
+            single,
+            sharded_solution_digest(solution, 7, 4),
+            "{solution:?}"
+        );
+    }
+    assert_eq!(
+        sharded_solution_digest(Solution::MwCallback, 7, 4),
+        GOLDEN_SHARDED_MW_CALLBACK_SEED7
+    );
+}
+
 const GOLDEN_NETSIM_SEED42: u64 = 13_274_634_582_242_808_967;
+// Sharded-engine goldens: captured on the sequential engine
+// (`shards = 1`) over a deterministic link; every shard count must
+// reproduce them. See CHANGELOG 0.7.0.
+const GOLDEN_SHARDED_NETSIM_SEED42: u64 = 6_719_042_289_313_812_165;
+const GOLDEN_SHARDED_MW_CALLBACK_SEED7: u64 = 2_345_727_650_575_110_908;
 // Solution digests re-captured when `FloorMetrics` gained the
 // `outstanding_at_end` field (a schema addition: the digest covers the
 // outcome's Debug form; the netsim digest above was unaffected, so
