@@ -83,6 +83,12 @@ pub const CODES: &[(&str, Severity, &str)] = &[
         "exploration truncated: the state bound was hit, so exhaustive passes are \
          incomplete for this target",
     ),
+    (
+        "SA010",
+        Severity::Error,
+        "nonconforming implementation: the implementation LTS exhibits a trace the \
+         service definition forbids",
+    ),
 ];
 
 /// Default severity of `code`, per the [`CODES`] catalogue.

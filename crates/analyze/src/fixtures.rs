@@ -6,6 +6,7 @@
 use svckit_codec::{PduRegistry, PduSchema};
 use svckit_floorctl::proto;
 use svckit_lts::explorer::AbstractEvent;
+use svckit_lts::LtsBuilder;
 use svckit_model::{
     Constraint, ConstraintScope, Direction, PartId, PrimitiveSpec, Sap, ServiceDefinition,
     ValueType,
@@ -40,6 +41,7 @@ pub fn contradictory_constraints() -> Target {
         service,
         universe,
         protocol: None,
+        implementation: None,
         notes: vec!["seeded bug: mutually-enabling After constraints".into()],
     }
 }
@@ -68,6 +70,7 @@ pub fn token_drop() -> Target {
         service,
         universe,
         protocol: None,
+        implementation: None,
         notes: vec!["seeded bug: no release event at user#1 — the token is dropped".into()],
     }
 }
@@ -93,7 +96,44 @@ pub fn orphan_pdu() -> Target {
         service: svckit_floorctl::floor_control_service(),
         universe: svckit_floorctl::floor_event_universe(2, 1),
         protocol: Some(decl),
+        implementation: None,
         notes: vec!["seeded bug: `ping` is registered but nothing ever sends it".into()],
+    }
+}
+
+/// Fixture for `SA010`: a mutual-exclusion service together with an
+/// implementation LTS that acquires at both access points back to back —
+/// the verification pass must reject it with the two-event counterexample
+/// `acquire@user#1 ; acquire@user#2`.
+pub fn double_acquire_implementation() -> Target {
+    let service = ServiceDefinition::builder("fixture-double-acquire")
+        .role("user", 1, 2)
+        .primitive(PrimitiveSpec::new("acquire", Direction::FromUser))
+        .primitive(PrimitiveSpec::new("release", Direction::FromUser))
+        .constraint(Constraint::mutual_exclusion("acquire", "release"))
+        .build()
+        .expect("the fixture service is structurally well-formed");
+    let universe = vec![
+        AbstractEvent::new(sap(1), "acquire", vec![]),
+        AbstractEvent::new(sap(2), "acquire", vec![]),
+        AbstractEvent::new(sap(1), "release", vec![]),
+        AbstractEvent::new(sap(2), "release", vec![]),
+    ];
+    let mut builder = LtsBuilder::new();
+    let s0 = builder.add_state("idle");
+    let s1 = builder.add_state("one-holder");
+    let s2 = builder.add_state("two-holders");
+    builder.add_transition(s0, universe[0].clone(), s1);
+    builder.add_transition(s1, universe[1].clone(), s2);
+    let implementation = builder.build(s0);
+    Target {
+        name: "fixture-double-acquire".into(),
+        kind: "fixture",
+        service,
+        universe,
+        protocol: None,
+        implementation: Some(implementation),
+        notes: vec!["seeded bug: the implementation grants the floor twice at once".into()],
     }
 }
 
@@ -103,5 +143,6 @@ pub fn expected_codes() -> Vec<(Target, &'static str)> {
         (contradictory_constraints(), "SA001"),
         (token_drop(), "SA002"),
         (orphan_pdu(), "SA005"),
+        (double_acquire_implementation(), "SA010"),
     ]
 }

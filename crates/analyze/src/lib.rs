@@ -14,6 +14,7 @@
 //! | protocol structure | `SA005`–`SA007` | orphan PDUs, dangling links, handler mismatches |
 //! | codec | `SA008` | PDUs that do not survive an encode/decode round trip |
 //! | bounds | `SA009` | truncated (hence incomplete) explorations |
+//! | verification | `SA010` | implementation LTSes that step outside the service language |
 //!
 //! The exhaustive passes run on the interned product engine of
 //! `svckit-lts` with an **ample-set partial-order reduction**
@@ -36,11 +37,16 @@ pub mod report;
 pub mod service_pass;
 pub mod targets;
 pub mod universe;
+pub mod verify;
 
 pub use diag::{Diagnostic, Severity, CODES};
 pub use protocol_pass::{analyze_protocol, PduLink, ProtocolDecl};
 pub use report::{reduction_label, AnalysisReport, TargetReport};
-pub use service_pass::{analyze_service, progress_primitives, ServiceAnalysis, ServicePassOptions};
+pub use service_pass::{
+    analyze_service, product_check, progress_primitives, ServiceAnalysis, ServicePassOptions,
+};
+pub use svckit_dfa::Engine;
 pub use svckit_lts::explorer::Reduction;
 pub use targets::{all_targets, platform_targets, solution_targets, Target};
 pub use universe::event_universe;
+pub use verify::verify_implementation;

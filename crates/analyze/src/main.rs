@@ -1,10 +1,14 @@
 //! `svckit-analyze` — static analysis of every model in the repository.
 //!
 //! ```text
-//! svckit-analyze [--por on|off] [--deny warnings] [--target <substring>]
-//!                [--max-states N] [--out PATH] [--diag-out PATH]
-//!                [--fixtures]
+//! svckit-analyze [--por on|off] [--engine dfa|interp] [--deny warnings]
+//!                [--target <substring>] [--max-states N] [--out PATH]
+//!                [--diag-out PATH] [--fixtures]
 //! ```
+//!
+//! Diagnostics are engine-invariant: `--engine dfa` (the default) and
+//! `--engine interp` must write byte-identical `--diag-out` files, which CI
+//! checks with `cmp`.
 //!
 //! Exit status is 1 when any error-severity diagnostic is reported, or when
 //! warnings are reported under `--deny warnings`.
@@ -28,6 +32,7 @@ fn main() -> ExitCode {
     let options = ServicePassOptions {
         reduction,
         max_states: flag_usize(&args, "max-states", 200_000),
+        engine: svckit_sweep::engine_flag(&args).unwrap_or_default(),
         ..ServicePassOptions::default()
     };
 

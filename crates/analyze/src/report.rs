@@ -9,6 +9,7 @@ use crate::diag::{Diagnostic, Severity};
 use crate::protocol_pass::analyze_protocol;
 use crate::service_pass::{analyze_service, ServiceAnalysis, ServicePassOptions};
 use crate::targets::Target;
+use crate::verify::verify_implementation;
 
 /// One target's findings plus exploration statistics.
 #[derive(Debug, Clone)]
@@ -60,6 +61,14 @@ impl AnalysisReport {
             let mut diagnostics = analysis.diagnostics;
             if let Some(decl) = &target.protocol {
                 diagnostics.extend(analyze_protocol(&target.service, decl));
+            }
+            if let Some(implementation) = &target.implementation {
+                diagnostics.extend(verify_implementation(
+                    &target.service,
+                    &target.universe,
+                    implementation,
+                    options,
+                ));
             }
             reports.push(TargetReport {
                 target: target.name.clone(),

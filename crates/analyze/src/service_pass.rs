@@ -8,7 +8,9 @@
 //! changes.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use svckit_dfa::{check_product, Binder, Compiled, Edge, Engine, ProductCheck};
 use svckit_lts::explorer::{
     AbstractEvent, ExploreOptions, ExploreReport, Reduction, ServiceExplorer,
 };
@@ -27,6 +29,12 @@ pub struct ServicePassOptions {
     /// Per-instance bound on outstanding obligations (keeps the state
     /// space finite in the presence of unbounded liveness constraints).
     pub max_outstanding: u32,
+    /// Constraint-evaluation engine handed to the explorer. Diagnostics
+    /// are engine-invariant (CI `cmp`s the diag JSON of both engines);
+    /// under [`Engine::Dfa`] the exploration additionally cross-checks
+    /// its `SA001`/`SA002` findings against the direct product-automaton
+    /// sweep ([`product_check`]) in debug builds.
+    pub engine: Engine,
 }
 
 impl Default for ServicePassOptions {
@@ -35,6 +43,7 @@ impl Default for ServicePassOptions {
             reduction: Reduction::AmpleSets,
             max_states: 200_000,
             max_outstanding: 2,
+            engine: Engine::default(),
         }
     }
 }
@@ -89,7 +98,8 @@ pub fn analyze_service(
     universe: Vec<AbstractEvent>,
     options: &ServicePassOptions,
 ) -> ServiceAnalysis {
-    let explorer = ServiceExplorer::new(service, universe, options.max_outstanding);
+    let explorer =
+        ServiceExplorer::with_engine(service, universe, options.max_outstanding, options.engine);
     let explore_options = ExploreOptions {
         max_states: options.max_states,
         reduction: options.reduction,
@@ -98,6 +108,27 @@ pub fn analyze_service(
     };
     let report = explorer.explore(&explore_options);
     let diagnostics = diagnostics_from(service, &explorer, &report);
+
+    // Under the DFA engine, the direct product-automaton sweep must agree
+    // with the exploration on the two findings it can read off (empty
+    // language ⟺ SA001, reachable sink ⟺ SA002). Debug-build-only: the
+    // sweep re-walks the whole product space.
+    if cfg!(debug_assertions) && options.engine == Engine::Dfa && !report.truncated {
+        if let Some(check) = product_check(service, explorer.universe(), options) {
+            if !check.truncated {
+                let initial_dead = report.deadlocks.iter().any(Vec::is_empty);
+                debug_assert_eq!(
+                    check.empty_language, initial_dead,
+                    "product sweep and exploration disagree on SA001"
+                );
+                debug_assert_eq!(
+                    check.dead_states > 0,
+                    report.deadlock_states > 0,
+                    "product sweep and exploration disagree on SA002"
+                );
+            }
+        }
+    }
 
     // A second exploration under the counterpart reduction fills in the
     // other half of the shared POR statistics block. Diagnostics always
@@ -128,6 +159,26 @@ pub fn analyze_service(
         transitions: report.transitions,
         por,
     }
+}
+
+/// Sweeps the compiled product automaton of `service` over `universe`
+/// directly (no explorer): the language-emptiness and reachable-sink
+/// answers correspond to `SA001` and `SA002`, and the reported word is
+/// minimal by BFS order. Returns `None` when the constraint set does not
+/// compile to dense tables (the explorer then falls back to the
+/// interpreter anyway).
+pub fn product_check(
+    service: &ServiceDefinition,
+    universe: &[AbstractEvent],
+    options: &ServicePassOptions,
+) -> Option<ProductCheck> {
+    let compiled = Arc::new(Compiled::compile(service, options.max_outstanding)?);
+    let mut binder = Binder::new(compiled);
+    let edges: Vec<Vec<Edge>> = universe
+        .iter()
+        .map(|event| binder.resolve(&event.sap, &event.primitive, &event.args))
+        .collect();
+    Some(check_product(&binder, &edges, options.max_states))
 }
 
 fn render_trace(trace: &[AbstractEvent]) -> Vec<String> {
@@ -269,5 +320,59 @@ mod tests {
     fn progress_set_is_the_consuming_side() {
         let progress = progress_primitives(&floor_control_service());
         assert_eq!(progress, vec!["granted".to_owned(), "free".to_owned()]);
+    }
+
+    #[test]
+    fn diagnostics_are_engine_invariant() {
+        for (target, _) in crate::fixtures::expected_codes() {
+            if target.implementation.is_some() {
+                continue; // verification fixtures exercise a different pass
+            }
+            let per_engine: Vec<_> = [Engine::Interp, Engine::Dfa]
+                .into_iter()
+                .map(|engine| {
+                    analyze_service(
+                        &target.service,
+                        target.universe.clone(),
+                        &ServicePassOptions {
+                            engine,
+                            ..ServicePassOptions::default()
+                        },
+                    )
+                    .diagnostics
+                })
+                .collect();
+            assert_eq!(per_engine[0], per_engine[1], "{}", target.name);
+        }
+    }
+
+    #[test]
+    fn product_sweep_reads_off_contradiction_and_deadlock() {
+        let options = ServicePassOptions::default();
+
+        let contradiction = crate::fixtures::contradictory_constraints();
+        let check = product_check(&contradiction.service, &contradiction.universe, &options)
+            .expect("After constraints compile");
+        assert!(check.empty_language);
+        assert_eq!(check.minimal_word, Some(vec![]));
+
+        let drop = crate::fixtures::token_drop();
+        let check = product_check(&drop.service, &drop.universe, &options)
+            .expect("MutualExclusion compiles");
+        assert!(!check.empty_language);
+        assert!(check.dead_states > 0);
+        // The minimal word is the single event `acquire@user#1` — universe
+        // index 0 — matching the SA002 witness trace length.
+        assert_eq!(check.minimal_word, Some(vec![0]));
+
+        let clean = product_check(
+            &floor_control_service(),
+            &svckit_floorctl::floor_event_universe(2, 2),
+            &options,
+        )
+        .expect("floor-control constraints compile");
+        assert!(!check.truncated);
+        assert!(!clean.empty_language);
+        assert_eq!(clean.dead_states, 0);
     }
 }

@@ -3,6 +3,7 @@
 
 use svckit_floorctl::{floor_control_service, floor_event_universe, proto, Solution};
 use svckit_lts::explorer::AbstractEvent;
+use svckit_lts::Lts;
 use svckit_mda::catalog::{all_platforms, chat_pim, floor_control_pim};
 use svckit_mda::{Trajectory, TransformPolicy};
 use svckit_model::{PartId, Sap, ServiceDefinition};
@@ -26,6 +27,9 @@ pub struct Target {
     /// middleware-centred targets: their interactions are marshalled by
     /// the middleware, there is no hand-written PDU registry to analyze.
     pub protocol: Option<ProtocolDecl>,
+    /// An implementation LTS to verify against the service (`SA010`), when
+    /// the target ships one (fixtures; future extracted behaviours).
+    pub implementation: Option<Lts<AbstractEvent>>,
     /// Context lines for the report (e.g. trajectory milestones).
     pub notes: Vec<String>,
 }
@@ -135,6 +139,7 @@ pub fn solution_targets() -> Vec<Target> {
                 service: floor_control_service(),
                 universe: floor_universe(),
                 protocol,
+                implementation: None,
                 notes,
             }
         })
@@ -175,6 +180,7 @@ pub fn platform_targets() -> Vec<Target> {
                 service,
                 universe,
                 protocol: None,
+                implementation: None,
                 notes,
             });
         }

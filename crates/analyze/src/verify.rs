@@ -1,0 +1,117 @@
+//! The implementation-verification pass (`SA010`).
+//!
+//! The paper's "stable reference points" claim cuts both ways: the service
+//! definition constrains not only later *models* but also candidate
+//! *implementations*. This pass checks an implementation LTS against the
+//! service — every event sequence the implementation can perform must be
+//! allowed — and converts the shortest counterexample produced by
+//! [`ServiceExplorer::verify_lts`] into the same coded-diagnostic format
+//! the static passes use, so nonconformance gates CI exactly like a
+//! contradiction or a deadlock does.
+
+use svckit_lts::explorer::{AbstractEvent, SafetyCounterexample, ServiceExplorer};
+use svckit_lts::Lts;
+use svckit_model::ServiceDefinition;
+
+use crate::diag::Diagnostic;
+use crate::service_pass::ServicePassOptions;
+
+/// Verifies `implementation` against `service`: returns an `SA010` error
+/// carrying the shortest forbidden trace when the implementation can step
+/// outside the service language, and nothing when it conforms.
+///
+/// `universe` seeds the explorer's event alphabet; the verification itself
+/// walks the implementation's own alphabet. Both engines
+/// ([`ServicePassOptions::engine`]) produce byte-identical diagnostics —
+/// down to the rendered violation message — which the dual-engine oracle
+/// tests pin.
+pub fn verify_implementation(
+    service: &ServiceDefinition,
+    universe: &[AbstractEvent],
+    implementation: &Lts<AbstractEvent>,
+    options: &ServicePassOptions,
+) -> Vec<Diagnostic> {
+    let explorer = ServiceExplorer::with_engine(
+        service,
+        universe.to_vec(),
+        options.max_outstanding,
+        options.engine,
+    );
+    match explorer.verify_lts(implementation) {
+        Ok(()) => Vec::new(),
+        Err(counterexample) => vec![diagnostic_from(service, &counterexample)],
+    }
+}
+
+fn diagnostic_from(
+    service: &ServiceDefinition,
+    counterexample: &SafetyCounterexample,
+) -> Diagnostic {
+    let violation = counterexample.violation();
+    Diagnostic::new(
+        "SA010",
+        format!("service `{}`", service.name()),
+        format!(
+            "nonconforming implementation: {} (violates {})",
+            violation.message(),
+            violation.constraint()
+        ),
+    )
+    .with_trace(
+        counterexample
+            .trace()
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use svckit_dfa::Engine;
+    use svckit_lts::LtsBuilder;
+
+    #[test]
+    fn the_double_acquire_fixture_yields_sa010_with_the_minimal_trace() {
+        let target = fixtures::double_acquire_implementation();
+        let implementation = target.implementation.as_ref().unwrap();
+        let mut per_engine = Vec::new();
+        for engine in [Engine::Interp, Engine::Dfa] {
+            let options = ServicePassOptions {
+                engine,
+                ..ServicePassOptions::default()
+            };
+            let diagnostics =
+                verify_implementation(&target.service, &target.universe, implementation, &options);
+            assert_eq!(diagnostics.len(), 1, "{engine}");
+            let d = &diagnostics[0];
+            assert_eq!(d.code, "SA010");
+            // The shortest forbidden run is the two-event double acquire.
+            assert_eq!(d.trace.len(), 2);
+            assert!(d.message.contains("violates"), "{}", d.message);
+            per_engine.push(diagnostics);
+        }
+        assert_eq!(per_engine[0], per_engine[1], "engines must agree bytewise");
+    }
+
+    #[test]
+    fn a_conforming_implementation_is_clean() {
+        let target = fixtures::double_acquire_implementation();
+        // Same service, but the implementation releases before re-acquiring.
+        let mut builder = LtsBuilder::new();
+        let s0 = builder.add_state("idle");
+        let s1 = builder.add_state("holding");
+        builder.add_transition(s0, target.universe[0].clone(), s1);
+        builder.add_transition(s1, target.universe[2].clone(), s0);
+        let implementation = builder.build(s0);
+        let diagnostics = verify_implementation(
+            &target.service,
+            &target.universe,
+            &implementation,
+            &ServicePassOptions::default(),
+        );
+        assert!(diagnostics.is_empty(), "{diagnostics:?}");
+    }
+}

@@ -16,8 +16,8 @@ use svckit::floorctl::{RunParams, Solution};
 use svckit::model::Duration;
 use svckit_bench::{fmt_f, print_header, print_row};
 use svckit_sweep::{
-    default_threads, flag_usize, flag_value, obs_flags, queue_backend_flag, run_sweep, shards_flag,
-    verbosity, SweepSpec,
+    default_threads, engine_flag, flag_usize, flag_value, obs_flags, queue_backend_flag, run_sweep,
+    shards_flag, verbosity, SweepSpec,
 };
 
 fn main() {
@@ -57,6 +57,12 @@ fn main() {
         // valid) sample than the single-threaded engine's global stream;
         // CI cmp's --shards 2 against --shards 4.
         spec = spec.shards(shards);
+    }
+    if let Some(engine) = engine_flag(&args) {
+        // The admission gate is passive, so both engines produce
+        // byte-identical sweep JSON; CI cmp's --engine interp against the
+        // default dfa run.
+        spec = spec.engine(engine);
     }
     let report = run_sweep(&spec, threads);
 

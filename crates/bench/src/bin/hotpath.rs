@@ -23,7 +23,8 @@
 use std::time::Instant as WallInstant;
 
 use svckit::floorctl::{
-    floor_control_service, floor_event_universe, run_solution, RunParams, Solution,
+    floor_control_service, floor_event_universe, run_solution, AdmissionGate, Engine, RunParams,
+    Solution,
 };
 use svckit::lts::explorer::{ExploreOptions, Reduction, ServiceExplorer};
 use svckit::model::{Duration, PartId};
@@ -266,9 +267,12 @@ fn main() {
     };
 
     // --- Explorer hot paths: floor control, 4 SAPs × 2 resources. -------
+    // Pinned to the interpreter so the pre-0.8.0 keys keep their meaning;
+    // `explorer/dfa_allowed` below runs the same walk on the compiled
+    // engine, and perfgate holds the ratio between the two.
     let service = floor_control_service();
     let universe = floor_event_universe(4, 2);
-    let explorer = ServiceExplorer::new(&service, universe, 1);
+    let explorer = ServiceExplorer::with_engine(&service, universe, 1, Engine::Interp);
 
     record(
         "explorer/to_lts_4x2",
@@ -302,6 +306,29 @@ fn main() {
                 }
                 let event = allowed[k % allowed.len()].clone();
                 state = explorer.step(&state, &event).expect("allowed event steps");
+            }
+            black_box(state);
+        }),
+    );
+
+    // The same 2000-step round-robin walk on the compiled DFA tables:
+    // allowed() and step() are array lookups instead of memoized
+    // interpreter calls.
+    let dfa_explorer =
+        ServiceExplorer::with_engine(&service, floor_event_universe(4, 2), 1, Engine::Dfa);
+    record(
+        "explorer/dfa_allowed",
+        median_ns(1, 7, || {
+            let mut state = dfa_explorer.initial_state();
+            for k in 0..2_000usize {
+                let allowed = dfa_explorer.allowed(&state);
+                if allowed.is_empty() {
+                    break;
+                }
+                let event = allowed[k % allowed.len()].clone();
+                state = dfa_explorer
+                    .step(&state, &event)
+                    .expect("allowed event steps");
             }
             black_box(state);
         }),
@@ -397,6 +424,40 @@ fn main() {
             black_box(run_sweep(&grid, threads).results.len());
         }),
     );
+
+    // --- Runtime admission path (middleware dispatch validation). --------
+    // `mw_admission_evps` records **events per second** through a single
+    // admission gate replaying a real mw-callback trace — the steady-state
+    // per-dispatch cost of validating primitive occurrences against the
+    // compiled service. The workload ran to quiescence, so the gate ends
+    // each replay in its initial (quiescent) state and the passes chain
+    // conformantly. Higher is better, so perfgate holds it as a floor
+    // (FLOOR_KEYS) like the soak throughput key.
+    {
+        let replay = run_solution(Solution::MwCallback, &params);
+        let events = replay.trace.events();
+        // Long enough (~10^5 admits per sample) that scheduler noise on
+        // the 1-vCPU reference box stays well inside the perfgate band.
+        let passes = 1000usize;
+        let gate =
+            AdmissionGate::new(&service, Engine::Dfa).expect("floor-control constraints compile");
+        let run = || {
+            let t0 = WallInstant::now();
+            for _ in 0..passes {
+                for event in events {
+                    black_box(gate.admit(event.sap(), event.primitive(), event.args()));
+                }
+            }
+            assert_eq!(gate.stats().rejected, 0, "replayed trace is conformant");
+            (passes * events.len()) as f64 / t0.elapsed().as_secs_f64()
+        };
+        run(); // warmup
+        let mut evps: Vec<f64> = (0..5).map(|_| run()).collect();
+        evps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = evps[evps.len() / 2];
+        println!("{:<36} median {median:.0} events/sec", "mw_admission_evps");
+        results.push(("mw_admission_evps", median));
+    }
 
     // --- Scale soak: the sharded-core target workload. -------------------
     // `netsim/soak_100k_evps` records **events per second** — higher is

@@ -23,11 +23,13 @@
 //! are compiled in the overhead is real by design and the bound is
 //! skipped. `obs_sites_enabled` itself is a flag, not a timing.
 //!
-//! One cross-key gate rides along: `netsim/timer_churn` (timer wheel)
-//! must beat `netsim/timer_churn_heap` (same workload on the reference
-//! binary heap) by at least [`MIN_CHURN_SPEEDUP`]×. Both medians come
-//! from the *fresh* run, so the ratio is machine-independent and immune
-//! to baseline staleness.
+//! Two cross-key gates ride along, both computed entirely from the
+//! *fresh* run so the ratios are machine-independent and immune to
+//! baseline staleness: `netsim/timer_churn` (timer wheel) must beat
+//! `netsim/timer_churn_heap` (same workload on the reference binary
+//! heap) by at least [`MIN_CHURN_SPEEDUP`]×, and `explorer/dfa_allowed`
+//! (compiled DFA tables) must beat `explorer/allowed_2k_steps` (the same
+//! walk on the memoized interpreter) by at least [`MIN_DFA_SPEEDUP`]×.
 //!
 //! [`FLOOR_KEYS`] are throughput keys (events per second — higher is
 //! better): the band is applied *inverted*, so a fresh value below
@@ -40,7 +42,7 @@ use svckit_sweep::{flag_value, parse_flat_numbers};
 const SPECIAL_KEYS: [&str; 2] = ["obs_disabled_overhead", "obs_sites_enabled"];
 
 /// Throughput keys: higher is better, gated as a floor, not a ceiling.
-const FLOOR_KEYS: [&str; 1] = ["netsim/soak_100k_evps"];
+const FLOOR_KEYS: [&str; 2] = ["netsim/soak_100k_evps", "mw_admission_evps"];
 
 /// Largest tolerated `obs_disabled_overhead` percentage with obs off.
 const MAX_DISABLED_OVERHEAD_PCT: f64 = 3.0;
@@ -49,6 +51,11 @@ const MAX_DISABLED_OVERHEAD_PCT: f64 = 3.0;
 /// exists for exactly this workload, so losing the margin is a
 /// regression even if both absolute numbers sit inside the band.
 const MIN_CHURN_SPEEDUP: f64 = 3.0;
+
+/// Minimum required `allowed_2k_steps / dfa_allowed` speedup: the compiled
+/// tables exist to beat the memoized interpreter on exactly this walk, so
+/// losing the margin is a regression even inside the absolute band.
+const MIN_DFA_SPEEDUP: f64 = 3.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -166,6 +173,31 @@ fn main() {
             println!(
                 "ok          {:<36} {speedup:>13.2}x (floor {MIN_CHURN_SPEEDUP:.1}x vs heap)",
                 "timer_churn speedup"
+            );
+        }
+    }
+
+    // Cross-key gate: compiled-vs-interpreted explorer speedup on the
+    // 2000-step walk, computed entirely from the fresh run.
+    if let (Some(interp_ns), Some(dfa_ns)) = (
+        fresh_key("explorer/allowed_2k_steps"),
+        fresh_key("explorer/dfa_allowed"),
+    ) {
+        let speedup = if dfa_ns > 0.0 {
+            interp_ns / dfa_ns
+        } else {
+            f64::INFINITY
+        };
+        if speedup < MIN_DFA_SPEEDUP {
+            regressions += 1;
+            println!(
+                "REGRESSION  {:<36} {speedup:>13.2}x (floor {MIN_DFA_SPEEDUP:.1}x vs interp)",
+                "dfa_allowed speedup"
+            );
+        } else {
+            println!(
+                "ok          {:<36} {speedup:>13.2}x (floor {MIN_DFA_SPEEDUP:.1}x vs interp)",
+                "dfa_allowed speedup"
             );
         }
     }

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub use svckit_codec as codec;
+pub use svckit_dfa as dfa;
 pub use svckit_floorctl as floorctl;
 pub use svckit_lts as lts;
 pub use svckit_mda as mda;

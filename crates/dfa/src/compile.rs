@@ -1,0 +1,417 @@
+//! Compiling a service's constraint set into interned DFAs.
+
+use std::sync::Arc;
+
+use svckit_model::{Constraint, ConstraintKind, ConstraintScope, ServiceDefinition};
+
+use crate::dfa::{Dfa, DfaCache, StateMeta};
+use crate::nfa::{determinize, mutex_acquire, mutex_release, Nfa, CHECK, DOWN, ENABLE, OTHER, UP};
+
+/// Largest dense table (states per automaton) the compiler will emit.
+/// A bound beyond this (an absurd `max_outstanding` or `limit`) falls back
+/// to the interpreter rather than allocating a megabyte-scale table.
+const MAX_TABLE_STATES: u32 = 4096;
+
+/// Which counter semantics a counter-shaped constraint uses. All three
+/// count outstanding obligations; they differ in what happens at the
+/// edges (see [`Shape::counter_nfa`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CounterFlavor {
+    /// `Precedes`: a `DOWN` at zero is a violation.
+    Precedes,
+    /// `EventuallyFollows`: a `DOWN` at zero saturates (no violation);
+    /// the counter value is an outstanding-obligation weight.
+    Eventually,
+    /// `AtMostOutstanding`: like `Eventually` but the bound is the
+    /// constraint's own `limit`, not the exploration bound.
+    AtMost,
+}
+
+/// The compiled, kind-erased shape of one constraint: everything the
+/// runtime needs to classify events and render violations, with the
+/// `ConstraintKind` enum left behind at compile time.
+#[derive(Debug, Clone)]
+pub(crate) enum Shape {
+    /// `Precedes` / `EventuallyFollows` / `AtMostOutstanding`.
+    Counter {
+        up: String,
+        down: String,
+        scope: ConstraintScope,
+        flavor: CounterFlavor,
+        bound: u32,
+    },
+    /// `After`.
+    After {
+        enable: String,
+        check: String,
+        scope: ConstraintScope,
+    },
+    /// `MutualExclusion` (always global scope, holder tracked per key).
+    Mutex { acquire: String, release: String },
+}
+
+impl Shape {
+    /// The NFA for a counter shape with the given bound: states are the
+    /// counter values `0..=bound`.
+    fn counter_nfa(bound: u32, flavor: CounterFlavor) -> Nfa {
+        let nstates = bound as usize + 1;
+        let mut trans = Vec::with_capacity(3 * nstates);
+        for s in 0..nstates {
+            trans.push((s, OTHER, s));
+            if s < nstates - 1 {
+                trans.push((s, UP, s + 1));
+            }
+            if s > 0 {
+                trans.push((s, DOWN, s - 1));
+            } else if flavor != CounterFlavor::Precedes {
+                // EventuallyFollows / AtMostOutstanding discharge
+                // saturates at zero instead of violating.
+                trans.push((0, DOWN, 0));
+            }
+        }
+        let meta = (0..nstates)
+            .map(|s| StateMeta {
+                quiescent: s == 0,
+                weight: if flavor == CounterFlavor::Eventually {
+                    s as u32
+                } else {
+                    0
+                },
+                holder: None,
+            })
+            .collect();
+        Nfa {
+            nclasses: 3,
+            nstates,
+            start: 0,
+            trans,
+            meta,
+        }
+    }
+
+    /// The NFA for `After`: a two-state enable latch. `CHECK` before any
+    /// `ENABLE` is the violation; once enabled, everything is allowed.
+    fn after_nfa() -> Nfa {
+        let trans = vec![
+            (0, OTHER, 0),
+            (0, ENABLE, 1),
+            (1, OTHER, 1),
+            (1, ENABLE, 1),
+            (1, CHECK, 1),
+        ];
+        let meta = (0..2)
+            .map(|_| StateMeta {
+                quiescent: true, // After never blocks quiescence
+                weight: 0,
+                holder: None,
+            })
+            .collect();
+        Nfa {
+            nclasses: 3,
+            nstates: 2,
+            start: 0,
+            trans,
+            meta,
+        }
+    }
+
+    /// The NFA for `MutualExclusion` over `holders` interned holder SAPs:
+    /// state 0 is free, state `1 + i` is held by holder `i`. Acquiring
+    /// while held (by anyone, including oneself) and releasing by a
+    /// non-holder (or when free) are the violations.
+    pub(crate) fn mutex_nfa(holders: u16) -> Nfa {
+        let nstates = holders as usize + 1;
+        let mut trans = Vec::new();
+        for s in 0..nstates {
+            trans.push((s, OTHER, s));
+        }
+        for i in 0..holders {
+            trans.push((0, mutex_acquire(i), 1 + i as usize));
+            trans.push((1 + i as usize, mutex_release(i), 0));
+        }
+        let meta = (0..nstates)
+            .map(|s| StateMeta {
+                quiescent: s == 0,
+                weight: 0,
+                holder: if s == 0 { None } else { Some(s as u16 - 1) },
+            })
+            .collect();
+        Nfa {
+            nclasses: 1 + 2 * holders,
+            nstates,
+            start: 0,
+            trans,
+            meta,
+        }
+    }
+
+    /// Builds and interns the shape's DFA (for mutexes: the zero-holder
+    /// table, regrown by the binder as holders appear).
+    pub(crate) fn build_dfa(&self, cache: &mut DfaCache) -> Arc<Dfa> {
+        let nfa = match self {
+            Shape::Counter { flavor, bound, .. } => Shape::counter_nfa(*bound, *flavor),
+            Shape::After { .. } => Shape::after_nfa(),
+            Shape::Mutex { .. } => Shape::mutex_nfa(0),
+        };
+        cache.intern(determinize(&nfa))
+    }
+}
+
+/// One compiled constraint: display form, correlation key, shape and the
+/// interned DFA.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledConstraint {
+    /// `constraint.to_string()` — the exact string interpreted violations
+    /// carry, so both engines render identically.
+    pub display: String,
+    /// Correlation-key argument positions.
+    pub key: Vec<usize>,
+    /// The kind-erased shape.
+    pub shape: Shape,
+    /// The interned table ([`Shape::Mutex`]: for zero holders; the binder
+    /// regrows it as holder SAPs are interned).
+    pub dfa: Arc<Dfa>,
+}
+
+/// A service's constraint set, compiled once into interned DFAs.
+///
+/// Constraints keep their declaration order — the runtime reports the
+/// violation of the *lowest* constraint index, exactly like the
+/// interpreter's relevance walk.
+#[derive(Debug)]
+pub struct Compiled {
+    pub(crate) constraints: Vec<CompiledConstraint>,
+    pub(crate) max_outstanding: u32,
+    /// Lazily-determinized mutex tables keyed by holder count (the
+    /// regrown table depends only on it). Shared by every binder over
+    /// this compiled set, so re-deployments (fresh gates, fresh
+    /// explorers) don't re-run subset construction per interned holder.
+    mutex_tables: std::sync::Mutex<std::collections::HashMap<u16, Arc<Dfa>>>,
+}
+
+impl Compiled {
+    /// Compiles `service`'s constraints with the exploration bound
+    /// `max_outstanding` (the cap on unmatched `Precedes` /
+    /// `EventuallyFollows` obligations, same role as in the interpreter).
+    ///
+    /// Returns `None` when the constraint set contains a kind this
+    /// compiler does not know (`ConstraintKind` is `#[non_exhaustive]`) or
+    /// a bound too large for a dense table — callers fall back to the
+    /// interpreter.
+    pub fn compile(service: &ServiceDefinition, max_outstanding: u32) -> Option<Compiled> {
+        let mut cache = DfaCache::new();
+        let mut constraints = Vec::with_capacity(service.constraints().len());
+        for constraint in service.constraints() {
+            let shape = Self::shape_of(constraint, max_outstanding)?;
+            if let Shape::Counter { bound, .. } = &shape {
+                if bound.checked_add(1)? > MAX_TABLE_STATES {
+                    return None;
+                }
+            }
+            let dfa = shape.build_dfa(&mut cache);
+            constraints.push(CompiledConstraint {
+                display: constraint.to_string(),
+                key: constraint.key().to_vec(),
+                shape,
+                dfa,
+            });
+        }
+        Some(Compiled {
+            constraints,
+            max_outstanding,
+            mutex_tables: std::sync::Mutex::new(std::collections::HashMap::new()),
+        })
+    }
+
+    /// The mutex table for `holders` interned holder SAPs, determinized
+    /// on first request and memoized for every binder sharing this set.
+    pub(crate) fn mutex_table(&self, holders: u16) -> Arc<Dfa> {
+        Arc::clone(
+            self.mutex_tables
+                .lock()
+                .expect("mutex table cache lock")
+                .entry(holders)
+                .or_insert_with(|| Arc::new(determinize(&Shape::mutex_nfa(holders)))),
+        )
+    }
+
+    fn shape_of(constraint: &Constraint, max_outstanding: u32) -> Option<Shape> {
+        Some(match constraint.kind() {
+            ConstraintKind::Precedes {
+                earlier,
+                later,
+                scope,
+            } => Shape::Counter {
+                up: earlier.clone(),
+                down: later.clone(),
+                scope: *scope,
+                flavor: CounterFlavor::Precedes,
+                bound: max_outstanding,
+            },
+            ConstraintKind::EventuallyFollows {
+                trigger,
+                response,
+                scope,
+            } => Shape::Counter {
+                up: trigger.clone(),
+                down: response.clone(),
+                scope: *scope,
+                flavor: CounterFlavor::Eventually,
+                bound: max_outstanding,
+            },
+            ConstraintKind::AtMostOutstanding {
+                trigger,
+                response,
+                limit,
+                scope,
+            } => Shape::Counter {
+                up: trigger.clone(),
+                down: response.clone(),
+                scope: *scope,
+                flavor: CounterFlavor::AtMost,
+                bound: u32::try_from(*limit).ok()?,
+            },
+            ConstraintKind::After {
+                enabler,
+                then,
+                scope,
+            } => Shape::After {
+                enable: enabler.clone(),
+                check: then.clone(),
+                scope: *scope,
+            },
+            ConstraintKind::MutualExclusion { acquire, release } => Shape::Mutex {
+                acquire: acquire.clone(),
+                release: release.clone(),
+            },
+            // `ConstraintKind` is #[non_exhaustive]: an unknown kind means
+            // this compiler cannot promise equivalence — fall back.
+            _ => return None,
+        })
+    }
+
+    /// Number of constraints compiled.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the service has no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// The exploration bound the counters were compiled with.
+    pub fn max_outstanding(&self) -> u32 {
+        self.max_outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::DEAD;
+    use svckit_model::{Direction, PrimitiveSpec};
+
+    fn service(constraints: Vec<Constraint>) -> ServiceDefinition {
+        let mut builder = ServiceDefinition::builder("compile-test")
+            .role("user", 1, 4)
+            .primitive(PrimitiveSpec::new("a", Direction::FromUser).param_id("k"))
+            .primitive(PrimitiveSpec::new("b", Direction::FromUser).param_id("k"));
+        for c in constraints {
+            builder = builder.constraint(c);
+        }
+        builder.build().expect("test service is well-formed")
+    }
+
+    #[test]
+    fn identical_shapes_intern_to_one_table() {
+        let compiled = Compiled::compile(
+            &service(vec![
+                Constraint::precedes("a", "b", ConstraintScope::SameSap),
+                Constraint::precedes("a", "b", ConstraintScope::Global).keyed(&[0]),
+            ]),
+            2,
+        )
+        .expect("known kinds compile");
+        assert!(Arc::ptr_eq(
+            &compiled.constraints[0].dfa,
+            &compiled.constraints[1].dfa
+        ));
+    }
+
+    #[test]
+    fn precedes_counter_rejects_at_both_edges() {
+        let compiled = Compiled::compile(
+            &service(vec![Constraint::precedes(
+                "a",
+                "b",
+                ConstraintScope::SameSap,
+            )]),
+            2,
+        )
+        .unwrap();
+        let dfa = &compiled.constraints[0].dfa;
+        assert_eq!(dfa.next(0, DOWN), DEAD, "`b` without a preceding `a`");
+        assert_eq!(dfa.next(0, UP), 1);
+        assert_eq!(dfa.next(2, UP), DEAD, "over the exploration bound");
+        assert!(dfa.meta(0).quiescent);
+        assert!(!dfa.meta(1).quiescent);
+    }
+
+    #[test]
+    fn eventually_saturates_and_weights_obligations() {
+        let compiled = Compiled::compile(
+            &service(vec![Constraint::eventually_follows(
+                "a",
+                "b",
+                ConstraintScope::SameSap,
+            )]),
+            3,
+        )
+        .unwrap();
+        let dfa = &compiled.constraints[0].dfa;
+        assert_eq!(dfa.next(0, DOWN), 0, "discharge at zero saturates");
+        assert_eq!(dfa.meta(2).weight, 2, "counter value is the obligation");
+    }
+
+    #[test]
+    fn at_most_uses_its_own_limit_not_the_exploration_bound() {
+        let compiled = Compiled::compile(
+            &service(vec![Constraint::at_most_outstanding(
+                "a",
+                "b",
+                1,
+                ConstraintScope::SameSap,
+            )]),
+            100,
+        )
+        .unwrap();
+        let dfa = &compiled.constraints[0].dfa;
+        assert_eq!(dfa.nstates(), 2);
+        assert_eq!(dfa.next(1, UP), DEAD);
+        assert_eq!(dfa.next(0, DOWN), 0);
+    }
+
+    #[test]
+    fn absurd_bounds_fall_back_to_the_interpreter() {
+        let svc = service(vec![Constraint::precedes(
+            "a",
+            "b",
+            ConstraintScope::SameSap,
+        )]);
+        assert!(Compiled::compile(&svc, 1 << 20).is_none());
+        assert!(Compiled::compile(&svc, 64).is_some());
+    }
+
+    #[test]
+    fn mutex_tables_grow_with_the_holder_set() {
+        let two = determinize(&Shape::mutex_nfa(2));
+        assert_eq!(two.nstates(), 3);
+        assert_eq!(two.next(0, mutex_acquire(1)), 2);
+        assert_eq!(two.next(2, mutex_acquire(0)), DEAD, "already held");
+        assert_eq!(two.next(2, mutex_release(0)), DEAD, "not the holder");
+        assert_eq!(two.next(2, mutex_release(1)), 0);
+        assert_eq!(two.next(0, mutex_release(0)), DEAD, "nothing held");
+        assert_eq!(two.meta(2).holder, Some(1));
+    }
+}

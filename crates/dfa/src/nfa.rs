@@ -1,0 +1,195 @@
+//! Per-constraint NFAs over class alphabets, and subset construction.
+//!
+//! A constraint never cares about a concrete event — only about the *role*
+//! the event plays for it. The alphabet of a constraint automaton is
+//! therefore a handful of **classes**:
+//!
+//! | shape | classes |
+//! |-------|---------|
+//! | counter (`Precedes`/`EventuallyFollows`/`AtMostOutstanding`) | [`OTHER`], [`UP`], [`DOWN`] |
+//! | `After` | [`OTHER`], [`ENABLE`], [`CHECK`] |
+//! | `MutualExclusion` | [`OTHER`], [`mutex_acquire`]`(i)`, [`mutex_release`]`(i)` per holder `i` |
+//!
+//! The automata are *safety* automata: a missing transition means the
+//! event is forbidden in that state ([`crate::dfa::DEAD`] after subset
+//! construction). All of them happen to be deterministic already, but the
+//! pipeline goes through the generic powerset construction anyway — the
+//! determinization is what guarantees the dense-table invariant (exactly
+//! one successor or `DEAD` per `(state, class)`), independent of how a
+//! future constraint shape is specified.
+
+use crate::dfa::{Dfa, StateMeta, DEAD};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Class of events irrelevant to the constraint: always a self-loop.
+pub const OTHER: u16 = 0;
+/// Counter shapes: the obligation-creating primitive occurred.
+pub const UP: u16 = 1;
+/// Counter shapes: the obligation-discharging primitive occurred.
+pub const DOWN: u16 = 2;
+/// `After`: the enabling primitive occurred.
+pub const ENABLE: u16 = 1;
+/// `After`: the enabled primitive occurred (forbidden before any enabler).
+pub const CHECK: u16 = 2;
+
+/// `MutualExclusion`: class of an acquire by the interned holder `i`.
+pub fn mutex_acquire(holder: u16) -> u16 {
+    1 + 2 * holder
+}
+
+/// `MutualExclusion`: class of a release by the interned holder `i`.
+pub fn mutex_release(holder: u16) -> u16 {
+    2 + 2 * holder
+}
+
+/// A nondeterministic safety automaton over a class alphabet.
+///
+/// States are dense `usize` indices; transitions are an explicit list.
+/// There is no acceptance set — every state is "accepting" in the safety
+/// sense, and a missing `(state, class)` pair is the violation.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Number of classes in the alphabet (classes are `0..nclasses`).
+    pub nclasses: u16,
+    /// Number of states (states are `0..nstates`).
+    pub nstates: usize,
+    /// The initial state.
+    pub start: usize,
+    /// `(from, class, to)` transitions.
+    pub trans: Vec<(usize, u16, usize)>,
+    /// Per-state metadata, carried through determinization.
+    pub meta: Vec<StateMeta>,
+}
+
+/// Powerset (subset) construction: turns an [`Nfa`] into a [`Dfa`] with a
+/// dense row-major transition table.
+///
+/// Metadata combines conservatively over a subset: the subset is quiescent
+/// only if all members are, its obligation weight is the maximum, and a
+/// holder index survives only for singleton subsets.
+pub fn determinize(nfa: &Nfa) -> Dfa {
+    let mut by_from: HashMap<(usize, u16), Vec<usize>> = HashMap::new();
+    for &(from, class, to) in &nfa.trans {
+        by_from.entry((from, class)).or_default().push(to);
+    }
+
+    let mut subsets: HashMap<BTreeSet<usize>, u16> = HashMap::new();
+    let mut order: Vec<BTreeSet<usize>> = Vec::new();
+    let start: BTreeSet<usize> = [nfa.start].into_iter().collect();
+    subsets.insert(start.clone(), 0);
+    order.push(start);
+
+    let mut table: Vec<u16> = Vec::new();
+    let mut cursor = 0usize;
+    while cursor < order.len() {
+        let subset = order[cursor].clone();
+        for class in 0..nfa.nclasses {
+            let mut next: BTreeSet<usize> = BTreeSet::new();
+            for &member in &subset {
+                if let Some(tos) = by_from.get(&(member, class)) {
+                    next.extend(tos.iter().copied());
+                }
+            }
+            let cell = if next.is_empty() {
+                DEAD
+            } else if let Some(&id) = subsets.get(&next) {
+                id
+            } else {
+                let id = u16::try_from(order.len()).expect("DFA state count fits u16");
+                assert!(id != DEAD, "DFA state count overflows the DEAD sentinel");
+                subsets.insert(next.clone(), id);
+                order.push(next);
+                id
+            };
+            table.push(cell);
+        }
+        cursor += 1;
+    }
+
+    let meta: Vec<StateMeta> = order
+        .iter()
+        .map(|subset| StateMeta {
+            quiescent: subset.iter().all(|&s| nfa.meta[s].quiescent),
+            weight: subset
+                .iter()
+                .map(|&s| nfa.meta[s].weight)
+                .max()
+                .unwrap_or(0),
+            holder: if subset.len() == 1 {
+                nfa.meta[*subset.iter().next().expect("singleton")].holder
+            } else {
+                None
+            },
+        })
+        .collect();
+
+    Dfa::new(nfa.nclasses, table, meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(n: usize) -> Vec<StateMeta> {
+        (0..n)
+            .map(|i| StateMeta {
+                quiescent: i == 0,
+                weight: i as u32,
+                holder: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn determinizing_a_deterministic_nfa_is_an_isomorphism() {
+        // A 3-state counter: UP climbs, DOWN descends, OTHER self-loops.
+        let mut trans = Vec::new();
+        for s in 0..3usize {
+            trans.push((s, OTHER, s));
+            if s < 2 {
+                trans.push((s, UP, s + 1));
+            }
+            if s > 0 {
+                trans.push((s, DOWN, s - 1));
+            }
+        }
+        let nfa = Nfa {
+            nclasses: 3,
+            nstates: 3,
+            start: 0,
+            trans,
+            meta: meta(3),
+        };
+        let dfa = determinize(&nfa);
+        assert_eq!(dfa.nstates(), 3);
+        assert_eq!(dfa.next(0, UP), 1);
+        assert_eq!(dfa.next(1, UP), 2);
+        assert_eq!(dfa.next(2, UP), DEAD);
+        assert_eq!(dfa.next(0, DOWN), DEAD);
+        assert_eq!(dfa.next(2, DOWN), 1);
+        assert_eq!(dfa.next(2, OTHER), 2);
+        assert!(dfa.meta(0).quiescent);
+        assert!(!dfa.meta(2).quiescent);
+        assert_eq!(dfa.meta(2).weight, 2);
+    }
+
+    #[test]
+    fn genuinely_nondeterministic_branches_merge_into_subsets() {
+        // From 0, class 1 goes to {1, 2}; from 1 class 2 continues, from 2
+        // it is forbidden — the subset {1,2} must still allow class 2.
+        let nfa = Nfa {
+            nclasses: 3,
+            nstates: 3,
+            start: 0,
+            trans: vec![(0, 1, 1), (0, 1, 2), (1, 2, 1)],
+            meta: meta(3),
+        };
+        let dfa = determinize(&nfa);
+        let merged = dfa.next(0, 1);
+        assert_ne!(merged, DEAD);
+        assert_ne!(dfa.next(merged, 2), DEAD, "one member still permits 2");
+        assert!(!dfa.meta(merged).quiescent, "not all members quiescent");
+        assert_eq!(dfa.meta(merged).weight, 2, "weight is the max");
+    }
+}

@@ -1,0 +1,551 @@
+//! The binder: mapping concrete occurrences onto DFA slots.
+//!
+//! A compiled constraint is a *template*: one automaton per
+//! (scope-instance, correlation-key) pair. The [`Binder`] interns those
+//! pairs into dense **slot** ids, so a product state is a plain vector of
+//! `u16` DFA states indexed by slot, and stepping an event is:
+//!
+//! 1. resolve the occurrence to its *edges* — at most one
+//!    `(slot, class)` per constraint that mentions the primitive
+//!    (cached per distinct occurrence, so the steady-state cost is one
+//!    hash lookup);
+//! 2. for each edge, one dense-table load: `DEAD` vetoes the event,
+//!    anything else is the slot's next state.
+//!
+//! Slot 0-states are never materialized: the interpreter drops map
+//! entries when a counter returns to zero, and every automaton here
+//! starts at state 0 — so a state vector trimmed of trailing zeros is a
+//! canonical product state no matter how many slots were interned later
+//! ([`Binder::step_canonical`]). That trimming is what makes explorer
+//! states stable under dynamic slot growth.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use svckit_model::{ConstraintScope, Sap, Value};
+
+use crate::compile::{Compiled, CompiledConstraint, CounterFlavor, Shape};
+use crate::dfa::{Dfa, DEAD};
+use crate::nfa::{mutex_acquire, mutex_release, DOWN, ENABLE, UP};
+
+/// A scope instance: the SAP (for `SameSap` constraints) and the
+/// correlation-key values an automaton instance is bound to. Mirrors the
+/// interpreter's instance keys exactly.
+pub type Instance = (Option<Sap>, Vec<Value>);
+
+/// One resolved transition of an occurrence: which slot it drives, on
+/// which class, for which constraint index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// The interned slot.
+    pub slot: u32,
+    /// The class of the occurrence in the slot's alphabet.
+    pub class: u16,
+    /// The constraint index (edges come in ascending order, so the first
+    /// rejecting edge is the lowest violated constraint — the same choice
+    /// the interpreter makes).
+    pub ci: u32,
+}
+
+/// A rejected step: which edge hit [`DEAD`], from which slot state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejection {
+    /// Index into the resolved edge list.
+    pub edge: usize,
+    /// The slot state the edge was taken from.
+    pub state: u16,
+}
+
+#[derive(Debug, Clone)]
+struct SlotInfo {
+    ci: usize,
+    dfa: Arc<Dfa>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MutexRt {
+    /// Interned holder SAPs (index = holder id in the alphabet).
+    holders: Vec<Sap>,
+}
+
+/// Binds concrete occurrences to DFA slots for one compiled service.
+#[derive(Debug)]
+pub struct Binder {
+    compiled: Arc<Compiled>,
+    /// Constraint indices that mention each primitive, ascending, deduped
+    /// (the interpreter's relevance map).
+    by_primitive: HashMap<String, Vec<usize>>,
+    slots: HashMap<(usize, Instance), u32>,
+    slot_info: Vec<SlotInfo>,
+    /// Per-constraint mutex runtime (empty holder set for other shapes).
+    mutex: Vec<MutexRt>,
+    /// Per-constraint *current* DFA (mutex tables regrow with holders).
+    current_dfa: Vec<Arc<Dfa>>,
+    /// Occurrence → edge-list id, so steady-state resolution is a few
+    /// hash lookups. Nested (sap → primitive → args) instead of one
+    /// tuple key so hits borrow the caller's values — no allocation on
+    /// the admission/explorer hot path.
+    occ_cache: HashMap<Sap, HashMap<String, HashMap<Vec<Value>, u32>>>,
+    edge_lists: Vec<Vec<Edge>>,
+}
+
+impl Binder {
+    /// Creates a binder over a compiled constraint set.
+    pub fn new(compiled: Arc<Compiled>) -> Binder {
+        let mut by_primitive: HashMap<String, Vec<usize>> = HashMap::new();
+        for (ci, cc) in compiled.constraints.iter().enumerate() {
+            for name in Self::names(cc) {
+                let entry = by_primitive.entry(name.to_owned()).or_default();
+                if entry.last() != Some(&ci) {
+                    entry.push(ci);
+                }
+            }
+        }
+        let mutex = compiled
+            .constraints
+            .iter()
+            .map(|_| MutexRt::default())
+            .collect();
+        let current_dfa = compiled
+            .constraints
+            .iter()
+            .map(|cc| Arc::clone(&cc.dfa))
+            .collect();
+        Binder {
+            compiled,
+            by_primitive,
+            slots: HashMap::new(),
+            slot_info: Vec::new(),
+            mutex,
+            current_dfa,
+            occ_cache: HashMap::new(),
+            edge_lists: Vec::new(),
+        }
+    }
+
+    fn names(cc: &CompiledConstraint) -> [&str; 2] {
+        match &cc.shape {
+            Shape::Counter { up, down, .. } => [up, down],
+            Shape::After { enable, check, .. } => [enable, check],
+            Shape::Mutex { acquire, release } => [acquire, release],
+        }
+    }
+
+    /// The compiled constraint set this binder instantiates.
+    pub fn compiled(&self) -> &Arc<Compiled> {
+        &self.compiled
+    }
+
+    /// Number of slots interned so far.
+    pub fn slot_count(&self) -> usize {
+        self.slot_info.len()
+    }
+
+    /// The display form of constraint `ci` (what violations name).
+    pub fn constraint_display(&self, ci: usize) -> &str {
+        &self.compiled.constraints[ci].display
+    }
+
+    fn intern_slot(&mut self, ci: usize, instance: Instance) -> u32 {
+        if let Some(&slot) = self.slots.get(&(ci, instance.clone())) {
+            return slot;
+        }
+        let slot = u32::try_from(self.slot_info.len()).expect("slot count fits u32");
+        self.slots.insert((ci, instance), slot);
+        self.slot_info.push(SlotInfo {
+            ci,
+            dfa: Arc::clone(&self.current_dfa[ci]),
+        });
+        slot
+    }
+
+    /// Interns `sap` as a holder of mutex constraint `ci`, regrowing the
+    /// constraint's table (and every slot already bound to it) when the
+    /// holder is new.
+    fn holder_index(&mut self, ci: usize, sap: &Sap) -> u16 {
+        if let Some(i) = self.mutex[ci].holders.iter().position(|h| h == sap) {
+            return u16::try_from(i).expect("holder count fits u16");
+        }
+        self.mutex[ci].holders.push(sap.clone());
+        let holders = u16::try_from(self.mutex[ci].holders.len()).expect("holder count fits u16");
+        let regrown = self.compiled.mutex_table(holders);
+        self.current_dfa[ci] = Arc::clone(&regrown);
+        for info in &mut self.slot_info {
+            if info.ci == ci {
+                info.dfa = Arc::clone(&regrown);
+            }
+        }
+        holders - 1
+    }
+
+    fn keyvals(cc: &CompiledConstraint, args: &[Value]) -> Vec<Value> {
+        cc.key
+            .iter()
+            .map(|&i| args.get(i).cloned().unwrap_or(Value::Unit))
+            .collect()
+    }
+
+    /// Resolves an occurrence to its edges, interning slots (and mutex
+    /// holders) as needed. Edges come in ascending constraint order.
+    pub fn resolve(&mut self, sap: &Sap, primitive: &str, args: &[Value]) -> Vec<Edge> {
+        let cis = self
+            .by_primitive
+            .get(primitive)
+            .cloned()
+            .unwrap_or_default();
+        let mut edges = Vec::with_capacity(cis.len());
+        // Borrow the constraint set through a local `Arc` so shape data
+        // stays readable across the `&mut self` holder interning below.
+        let compiled = Arc::clone(&self.compiled);
+        for ci in cis {
+            let cc = &compiled.constraints[ci];
+            let keyvals = Self::keyvals(cc, args);
+            let (instance, class) = match &cc.shape {
+                Shape::Counter { up, scope, .. } => {
+                    // The interpreter checks the `up` name first, so a
+                    // constraint relating a primitive to itself counts up.
+                    let class = if primitive == up { UP } else { DOWN };
+                    (Self::scoped(*scope, sap, keyvals), class)
+                }
+                Shape::After { enable, scope, .. } => {
+                    let class = if primitive == enable {
+                        ENABLE
+                    } else {
+                        crate::nfa::CHECK
+                    };
+                    (Self::scoped(*scope, sap, keyvals), class)
+                }
+                Shape::Mutex { acquire, .. } => {
+                    let holder = self.holder_index(ci, sap);
+                    let class = if primitive == acquire {
+                        mutex_acquire(holder)
+                    } else {
+                        mutex_release(holder)
+                    };
+                    ((None, keyvals), class)
+                }
+            };
+            let slot = self.intern_slot(ci, instance);
+            edges.push(Edge {
+                slot,
+                class,
+                ci: u32::try_from(ci).expect("constraint count fits u32"),
+            });
+        }
+        edges
+    }
+
+    fn scoped(scope: ConstraintScope, sap: &Sap, keyvals: Vec<Value>) -> Instance {
+        match scope {
+            ConstraintScope::SameSap => (Some(sap.clone()), keyvals),
+            ConstraintScope::Global => (None, keyvals),
+        }
+    }
+
+    /// Like [`Binder::resolve`], but memoized per distinct occurrence:
+    /// returns an id for [`Binder::edges`]. The steady-state cost of
+    /// classifying an occurrence is one hash lookup.
+    pub fn resolve_cached(&mut self, sap: &Sap, primitive: &str, args: &[Value]) -> u32 {
+        if let Some(&id) = self
+            .occ_cache
+            .get(sap)
+            .and_then(|by_prim| by_prim.get(primitive))
+            .and_then(|by_args| by_args.get(args))
+        {
+            return id;
+        }
+        let edges = self.resolve(sap, primitive, args);
+        let id = u32::try_from(self.edge_lists.len()).expect("edge-list count fits u32");
+        self.edge_lists.push(edges);
+        self.occ_cache
+            .entry(sap.clone())
+            .or_default()
+            .entry(primitive.to_owned())
+            .or_default()
+            .insert(args.to_vec(), id);
+        id
+    }
+
+    /// The edge list behind a [`Binder::resolve_cached`] id.
+    pub fn edges(&self, id: u32) -> &[Edge] {
+        &self.edge_lists[id as usize]
+    }
+
+    #[inline]
+    fn state_of(key: &[u16], slot: u32) -> u16 {
+        key.get(slot as usize).copied().unwrap_or(0)
+    }
+
+    /// Whether the occurrence behind `edges` is allowed in product state
+    /// `key` (slots beyond the vector are at their initial state 0).
+    #[inline]
+    pub fn allowed(&self, key: &[u16], edges: &[Edge]) -> bool {
+        edges.iter().all(|e| {
+            let state = Self::state_of(key, e.slot);
+            self.slot_info[e.slot as usize].dfa.next(state, e.class) != DEAD
+        })
+    }
+
+    /// Steps `key` (fixed length — every edge slot must be in range) and
+    /// returns the successor, or the first rejecting edge.
+    pub fn step_fixed(&self, key: &[u16], edges: &[Edge]) -> Result<Vec<u16>, Rejection> {
+        let mut next = key.to_vec();
+        self.step_into(&mut next, edges)?;
+        Ok(next)
+    }
+
+    /// Steps a *canonical* (trailing-zero-trimmed) product state, growing
+    /// it as needed and re-trimming the successor.
+    pub fn step_canonical(&self, key: &[u16], edges: &[Edge]) -> Result<Vec<u16>, Rejection> {
+        let needed = edges
+            .iter()
+            .map(|e| e.slot as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(key.len());
+        let mut next = Vec::with_capacity(needed);
+        next.extend_from_slice(key);
+        next.resize(needed, 0);
+        self.step_into(&mut next, edges)?;
+        while next.last() == Some(&0) {
+            next.pop();
+        }
+        Ok(next)
+    }
+
+    /// [`Binder::step_fixed`] over `u32` state vectors, for searches whose
+    /// product keys are shared with other `u32`-keyed engines. Slot states
+    /// always fit `u16` (they come from the tables); the wide layout is the
+    /// caller's.
+    pub fn step_wide(&self, key: &[u32], edges: &[Edge]) -> Result<Vec<u32>, Rejection> {
+        let mut next = key.to_vec();
+        for (i, e) in edges.iter().enumerate() {
+            let state = u16::try_from(next[e.slot as usize]).expect("slot states fit u16");
+            let successor = self.slot_info[e.slot as usize].dfa.next(state, e.class);
+            if successor == DEAD {
+                return Err(Rejection { edge: i, state });
+            }
+            next[e.slot as usize] = u32::from(successor);
+        }
+        Ok(next)
+    }
+
+    /// [`Binder::is_quiescent`] over `u32` state vectors.
+    pub fn is_quiescent_wide(&self, key: &[u32]) -> bool {
+        key.iter().enumerate().all(|(i, &s)| {
+            s == 0
+                || self.slot_info[i]
+                    .dfa
+                    .meta(u16::try_from(s).expect("slot states fit u16"))
+                    .quiescent
+        })
+    }
+
+    fn step_into(&self, key: &mut [u16], edges: &[Edge]) -> Result<(), Rejection> {
+        for (i, e) in edges.iter().enumerate() {
+            let state = key[e.slot as usize];
+            let successor = self.slot_info[e.slot as usize].dfa.next(state, e.class);
+            if successor == DEAD {
+                return Err(Rejection { edge: i, state });
+            }
+            key[e.slot as usize] = successor;
+        }
+        Ok(())
+    }
+
+    /// Whether `key` is quiescent: every touched slot sits in a quiescent
+    /// state (the `After` latch is quiescent in both states, exactly like
+    /// the interpreter's exemption).
+    pub fn is_quiescent(&self, key: &[u16]) -> bool {
+        key.iter()
+            .enumerate()
+            .all(|(i, &s)| s == 0 || self.slot_info[i].dfa.meta(s).quiescent)
+    }
+
+    /// Total outstanding `EventuallyFollows` obligations in `key` (the sum
+    /// of the obligation weights of every slot state).
+    pub fn obligations(&self, key: &[u16]) -> u32 {
+        key.iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != 0)
+            .map(|(i, &s)| self.slot_info[i].dfa.meta(s).weight)
+            .sum()
+    }
+
+    /// Renders the violation message for a rejection, byte-identical to
+    /// the interpreter's.
+    pub fn violation_message(&self, edge: &Edge, state: u16, sap: &Sap) -> String {
+        let ci = edge.ci as usize;
+        let cc = &self.compiled.constraints[ci];
+        match &cc.shape {
+            Shape::Counter {
+                up,
+                down,
+                flavor,
+                bound,
+                ..
+            } => match (*flavor, edge.class) {
+                (CounterFlavor::Precedes, UP) => {
+                    format!("more than {bound} unmatched `{up}` (state-space bound)")
+                }
+                (CounterFlavor::Precedes, _) => {
+                    format!("`{down}` without a preceding unmatched `{up}`")
+                }
+                (CounterFlavor::Eventually, _) => {
+                    format!("more than {bound} outstanding `{up}` (state-space bound)")
+                }
+                (CounterFlavor::AtMost, _) => format!("more than {bound} outstanding `{up}`"),
+            },
+            Shape::After { enable, check, .. } => format!("`{check}` before any `{enable}`"),
+            Shape::Mutex { acquire, release } => {
+                let holder = self.slot_info[edge.slot as usize]
+                    .dfa
+                    .meta(state)
+                    .holder
+                    .map(|h| self.mutex[ci].holders[h as usize].clone());
+                let acquiring = edge.class % 2 == 1;
+                match (acquiring, holder) {
+                    (true, Some(holder)) => {
+                        format!("`{acquire}` at {sap} while held by {holder}")
+                    }
+                    (false, Some(holder)) => {
+                        format!("`{release}` at {sap} but holder is {holder}")
+                    }
+                    (false, None) => format!("`{release}` at {sap} but nothing is held"),
+                    // An acquire can only be rejected while held.
+                    (true, None) => unreachable!("acquire rejected in a holder-free state"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svckit_model::{Constraint, Direction, PartId, PrimitiveSpec, ServiceDefinition};
+
+    fn sap(k: u64) -> Sap {
+        Sap::new("user", PartId::new(k))
+    }
+
+    fn binder(constraints: Vec<Constraint>, bound: u32) -> Binder {
+        let mut builder = ServiceDefinition::builder("runner-test")
+            .role("user", 1, 4)
+            .primitive(PrimitiveSpec::new("a", Direction::FromUser).param_id("k"))
+            .primitive(PrimitiveSpec::new("b", Direction::FromUser).param_id("k"));
+        for c in constraints {
+            builder = builder.constraint(c);
+        }
+        let service = builder.build().expect("test service is well-formed");
+        Binder::new(Arc::new(
+            Compiled::compile(&service, bound).expect("known kinds compile"),
+        ))
+    }
+
+    #[test]
+    fn same_sap_scopes_intern_one_slot_per_sap_and_key() {
+        let mut b = binder(
+            vec![Constraint::precedes("a", "b", ConstraintScope::SameSap).keyed(&[0])],
+            2,
+        );
+        let e1 = b.resolve(&sap(1), "a", &[Value::Id(1)]);
+        let e2 = b.resolve(&sap(1), "a", &[Value::Id(2)]);
+        let e3 = b.resolve(&sap(2), "a", &[Value::Id(1)]);
+        let e4 = b.resolve(&sap(1), "b", &[Value::Id(1)]);
+        assert_eq!(b.slot_count(), 3, "three distinct (sap, key) instances");
+        assert_ne!(e1[0].slot, e2[0].slot);
+        assert_ne!(e1[0].slot, e3[0].slot);
+        assert_eq!(e1[0].slot, e4[0].slot, "`b` discharges `a`'s instance");
+    }
+
+    #[test]
+    fn canonical_stepping_trims_trailing_zeros() {
+        let mut b = binder(
+            vec![Constraint::precedes("a", "b", ConstraintScope::SameSap)],
+            2,
+        );
+        let up = b.resolve(&sap(1), "a", &[]);
+        let down = b.resolve(&sap(1), "b", &[]);
+        let s1 = b.step_canonical(&[], &up).expect("a is allowed initially");
+        assert_eq!(s1, vec![1]);
+        let s0 = b.step_canonical(&s1, &down).expect("b discharges");
+        assert_eq!(s0, Vec::<u16>::new(), "back to the canonical empty state");
+        let rejected = b.step_canonical(&[], &down);
+        assert_eq!(
+            rejected,
+            Err(Rejection { edge: 0, state: 0 }),
+            "b before a violates"
+        );
+    }
+
+    #[test]
+    fn mutex_messages_name_the_holder() {
+        let mut b = binder(vec![Constraint::mutual_exclusion("a", "b").keyed(&[0])], 2);
+        let acq1 = b.resolve(&sap(1), "a", &[Value::Id(9)]);
+        let acq2 = b.resolve(&sap(2), "a", &[Value::Id(9)]);
+        let rel2 = b.resolve(&sap(2), "b", &[Value::Id(9)]);
+        assert_eq!(acq1[0].slot, acq2[0].slot, "same key, same slot");
+        let held = b.step_canonical(&[], &acq1).unwrap();
+        let rejection = b.step_canonical(&held, &acq2).unwrap_err();
+        let msg = b.violation_message(&acq2[rejection.edge], rejection.state, &sap(2));
+        assert_eq!(msg, format!("`a` at {} while held by {}", sap(2), sap(1)));
+        let rejection = b.step_canonical(&held, &rel2).unwrap_err();
+        let msg = b.violation_message(&rel2[rejection.edge], rejection.state, &sap(2));
+        assert_eq!(msg, format!("`b` at {} but holder is {}", sap(2), sap(1)));
+        let rejection = b.step_canonical(&[], &rel2).unwrap_err();
+        let msg = b.violation_message(&rel2[rejection.edge], rejection.state, &sap(2));
+        assert_eq!(msg, format!("`b` at {} but nothing is held", sap(2)));
+    }
+
+    #[test]
+    fn regrowing_the_holder_alphabet_keeps_old_states_valid() {
+        let mut b = binder(vec![Constraint::mutual_exclusion("a", "b")], 2);
+        let acq1 = b.resolve(&sap(1), "a", &[]);
+        let held = b.step_canonical(&[], &acq1).unwrap();
+        // A new holder appears only now: the table regrows, but the state
+        // reached under the smaller alphabet must still mean "held by 1".
+        let rel9 = b.resolve(&sap(9), "b", &[]);
+        let rejection = b.step_canonical(&held, &rel9).unwrap_err();
+        let msg = b.violation_message(&rel9[rejection.edge], rejection.state, &sap(9));
+        assert_eq!(msg, format!("`b` at {} but holder is {}", sap(9), sap(1)));
+        let rel1 = b.resolve(&sap(1), "b", &[]);
+        assert_eq!(b.step_canonical(&held, &rel1).unwrap(), Vec::<u16>::new());
+    }
+
+    #[test]
+    fn cached_resolution_returns_stable_ids() {
+        let mut b = binder(
+            vec![Constraint::precedes("a", "b", ConstraintScope::SameSap)],
+            2,
+        );
+        let id1 = b.resolve_cached(&sap(1), "a", &[]);
+        let id2 = b.resolve_cached(&sap(1), "a", &[]);
+        let id3 = b.resolve_cached(&sap(1), "b", &[]);
+        assert_eq!(id1, id2);
+        assert_ne!(id1, id3);
+        assert_eq!(b.edges(id1).len(), 1);
+    }
+
+    #[test]
+    fn quiescence_and_obligations_mirror_the_interpreter() {
+        let mut b = binder(
+            vec![
+                Constraint::eventually_follows("a", "b", ConstraintScope::SameSap),
+                Constraint::after("a", "b", ConstraintScope::Global),
+            ],
+            3,
+        );
+        let up = b.resolve(&sap(1), "a", &[]);
+        let s1 = b.step_canonical(&[], &up).unwrap();
+        let s2 = b.step_canonical(&s1, &up).unwrap();
+        assert_eq!(b.obligations(&s2), 2);
+        assert!(!b.is_quiescent(&s2), "outstanding EF obligations");
+        let down = b.resolve(&sap(1), "b", &[]);
+        let s1 = b.step_canonical(&s2, &down).unwrap();
+        let s0 = b.step_canonical(&s1, &down).unwrap();
+        // The After latch stays enabled (state 1) but is quiescent.
+        assert!(b.is_quiescent(&s0));
+        assert_eq!(b.obligations(&s0), 0);
+    }
+}

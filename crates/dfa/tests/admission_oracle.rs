@@ -1,0 +1,77 @@
+//! Property-based oracle for the admission gate: for random services and
+//! random occurrence streams, the DFA-driven gate and the map-based
+//! interpreter gate must make identical admit/reject decisions (and hence
+//! report identical statistics).
+
+use proptest::prelude::*;
+
+use svckit_dfa::{AdmissionGate, Engine};
+use svckit_model::{
+    Constraint, ConstraintScope, Direction, PartId, PrimitiveSpec, Sap, ServiceDefinition, Value,
+};
+
+const NAMES: [&str; 3] = ["a", "b", "c"];
+
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    (
+        0usize..5,
+        0usize..NAMES.len(),
+        0usize..NAMES.len(),
+        0usize..2,
+        any::<bool>(),
+        1usize..3,
+    )
+        .prop_map(|(kind, p1, p2, scope, keyed, limit)| {
+            let (x, y) = (NAMES[p1], NAMES[p2]);
+            let scope = [ConstraintScope::SameSap, ConstraintScope::Global][scope];
+            let constraint = match kind {
+                0 => Constraint::precedes(x, y, scope),
+                1 => Constraint::after(x, y, scope),
+                2 => Constraint::eventually_follows(x, y, scope),
+                3 => Constraint::at_most_outstanding(x, y, limit, scope),
+                _ => Constraint::mutual_exclusion(x, y),
+            };
+            if keyed {
+                constraint.keyed(&[0])
+            } else {
+                constraint
+            }
+        })
+}
+
+fn service(constraints: &[Constraint]) -> Option<ServiceDefinition> {
+    let mut builder = ServiceDefinition::builder("admission-oracle")
+        .role("user", 1, 8)
+        .primitive(PrimitiveSpec::new("a", Direction::FromUser).param_id("k"))
+        .primitive(PrimitiveSpec::new("b", Direction::FromUser).param_id("k"))
+        .primitive(PrimitiveSpec::new("c", Direction::ToUser).param_id("k"));
+    for constraint in constraints {
+        builder = builder.constraint(constraint.clone());
+    }
+    builder.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streams of (sap, primitive, key) occurrences over 2 SAPs and 2 key
+    /// values: both engines admit and reject the very same occurrences,
+    /// in order, with reject-and-continue semantics.
+    #[test]
+    fn gate_decisions_are_identical_across_engines(
+        constraints in proptest::collection::vec(arb_constraint(), 1..5),
+        stream in proptest::collection::vec((1u64..3, 0usize..3, 1u64..3), 1..60),
+    ) {
+        let Some(svc) = service(&constraints) else { return; };
+        let dfa = AdmissionGate::new(&svc, Engine::Dfa).expect("known kinds compile");
+        let interp = AdmissionGate::new(&svc, Engine::Interp).expect("known kinds compile");
+        for &(s, p, k) in &stream {
+            let sap = Sap::new("user", PartId::new(s));
+            let args = vec![Value::Id(k)];
+            let d = dfa.admit(&sap, NAMES[p], &args);
+            let i = interp.admit(&sap, NAMES[p], &args);
+            prop_assert_eq!(d, i, "diverged at {} {} {:?}", sap, NAMES[p], args);
+        }
+        prop_assert_eq!(dfa.stats(), interp.stats());
+    }
+}

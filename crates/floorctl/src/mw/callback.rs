@@ -221,6 +221,7 @@ pub fn deploy_with_policy(params: &RunParams, policy: GrantPolicy) -> MwSystem {
     let plan = plan.build().expect("callback plan is well-formed");
 
     let mut builder = MwSystemBuilder::new(plan)
+        .admission(super::admission_gate(params))
         .seed(params.seed_value())
         .queue_backend(params.queue())
         .shards(params.shard_count())

@@ -12,7 +12,32 @@ pub mod polling;
 pub mod queue;
 pub mod token;
 
+use std::sync::{Arc, OnceLock};
+
+use svckit_middleware::{AdmissionGate, Compiled, ADMISSION_BOUND};
 use svckit_model::PartId;
+
+use crate::params::RunParams;
+use crate::service::floor_control_service;
+
+/// The admission gate every middleware deployment installs: the
+/// floor-control service compiled once per *process* (the tables are
+/// stateless templates), with a fresh gate per deployment driven by the
+/// engine selected in [`RunParams::engine`]. Passive — it counts
+/// violations against the service definition without perturbing the run.
+pub(crate) fn admission_gate(params: &RunParams) -> Arc<AdmissionGate> {
+    static FLOOR_COMPILED: OnceLock<Arc<Compiled>> = OnceLock::new();
+    let compiled = FLOOR_COMPILED.get_or_init(|| {
+        Arc::new(
+            Compiled::compile(&floor_control_service(), ADMISSION_BOUND)
+                .expect("floor-control constraints compile"),
+        )
+    });
+    Arc::new(AdmissionGate::with_compiled(
+        Arc::clone(compiled),
+        params.engine_value(),
+    ))
+}
 
 /// Component name of the (singleton) controller in the asymmetric
 /// solutions.
@@ -47,5 +72,32 @@ mod tests {
         assert_eq!(subscriber_name(3), "sub-3");
         assert_eq!(subscriber_part(3), PartId::new(3));
         assert_ne!(controller_part(), subscriber_part(1));
+    }
+
+    #[test]
+    fn deployments_validate_their_whole_workload_through_the_gate() {
+        use svckit_middleware::Engine;
+        let params = crate::RunParams::default()
+            .subscribers(3)
+            .resources(1)
+            .rounds(2);
+        let mut baseline = None;
+        for engine in [Engine::Dfa, Engine::Interp] {
+            let params = params.clone().engine(engine);
+            let mut system = super::callback::deploy(&params);
+            let report = system.run_to_quiescence(params.cap()).unwrap();
+            let stats = system.admission_stats().expect("deploy installs a gate");
+            // Every recorded primitive went through the gate, and a
+            // conformant workload is never rejected.
+            assert_eq!(stats.checked, report.trace().len() as u64, "{engine}");
+            assert_eq!(stats.rejected, 0, "{engine}");
+            // The passive gate leaves the trace byte-identical across
+            // engines (and hence identical to no gate at all).
+            let trace = format!("{:?}", report.trace());
+            match &baseline {
+                None => baseline = Some(trace),
+                Some(b) => assert_eq!(&trace, b, "engines must not perturb the run"),
+            }
+        }
     }
 }

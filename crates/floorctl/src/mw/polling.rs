@@ -204,6 +204,7 @@ pub fn deploy(params: &RunParams) -> MwSystem {
     let plan = plan.build().expect("polling plan is well-formed");
 
     let mut builder = MwSystemBuilder::new(plan)
+        .admission(super::admission_gate(params))
         .seed(params.seed_value())
         .queue_backend(params.queue())
         .shards(params.shard_count())

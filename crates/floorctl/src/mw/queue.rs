@@ -193,6 +193,7 @@ pub fn deploy_on(params: &RunParams, platform_name: &str) -> MwSystem {
     let plan = plan.build().expect("queue plan is well-formed");
 
     let mut builder = MwSystemBuilder::new(plan)
+        .admission(super::admission_gate(params))
         .seed(params.seed_value())
         .queue_backend(params.queue())
         .shards(params.shard_count())

@@ -215,6 +215,7 @@ pub fn deploy_with_style(params: &RunParams, style: PassStyle, caps: PlatformCap
     let plan = plan.build().expect("token plan is well-formed");
 
     let mut builder = MwSystemBuilder::new(plan)
+        .admission(super::admission_gate(params))
         .seed(params.seed_value())
         .queue_backend(params.queue())
         .shards(params.shard_count())

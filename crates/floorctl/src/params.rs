@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use svckit_middleware::Engine;
 use svckit_model::Duration;
 use svckit_netsim::{LinkConfig, QueueBackend};
 
@@ -93,6 +94,7 @@ pub struct RunParams {
     time_cap: Duration,
     queue: QueueBackend,
     shards: u32,
+    engine: Engine,
 }
 
 impl Default for RunParams {
@@ -111,6 +113,7 @@ impl Default for RunParams {
             time_cap: Duration::from_secs(60),
             queue: QueueBackend::default(),
             shards: 1,
+            engine: Engine::default(),
         }
     }
 }
@@ -199,6 +202,17 @@ impl RunParams {
         self
     }
 
+    /// Selects the constraint-evaluation engine of the admission gate the
+    /// middleware deployments install (builder-style). Both engines make
+    /// identical decisions — the gate is passive either way — so sweep
+    /// output is byte-identical across engines; switching is only useful
+    /// for differential testing and benchmarking.
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Number of subscribers.
     pub fn subscriber_count(&self) -> u64 {
         self.subscribers
@@ -247,6 +261,11 @@ impl RunParams {
     /// Event-queue backend.
     pub fn queue(&self) -> QueueBackend {
         self.queue
+    }
+
+    /// Constraint-evaluation engine for the admission gate.
+    pub fn engine_value(&self) -> Engine {
+        self.engine
     }
 
     /// Simulated-time cap.

@@ -24,8 +24,9 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
+use svckit_dfa::{Binder, Compiled, Edge, Engine};
 use svckit_model::{Constraint, ConstraintKind, ConstraintScope, Sap, ServiceDefinition, Value};
 
 use crate::lts::{Lts, LtsBuilder, StateId};
@@ -78,30 +79,48 @@ enum CState {
     Holders(BTreeMap<Vec<Value>, Sap>),
 }
 
+/// Engine-specific payload of an [`ExplorerState`]. Both representations
+/// denote exactly the same abstract constraint state (the dual-engine
+/// equivalence tests pin this); they are never mixed within one explorer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Repr {
+    /// Interpreter: one map-backed state per constraint.
+    Interp(Vec<Arc<CState>>),
+    /// Compiled tables: one `u16` DFA state per interned slot, trailing
+    /// zeros trimmed (slot automata all start at 0, and the binder interns
+    /// slots on demand — trimming keeps state equality independent of how
+    /// many slots happen to exist when a state is formed).
+    Dfa(Vec<u16>),
+}
+
 /// A state of the constraint automaton. Opaque; obtain the initial state
 /// from [`ServiceExplorer::initial_state`] and evolve it with
 /// [`ServiceExplorer::step`].
 ///
-/// Per-constraint states sit behind [`Arc`]s: stepping a state only deep-
-/// copies the constraints the event is relevant to, and every untouched
-/// constraint is shared with the predecessor state (copy-on-write). `Arc`
-/// delegates `Hash`/`Eq`/`Ord` to the inner value, so sharing is invisible
-/// to state comparison and interning.
+/// Under the interpreter engine, per-constraint states sit behind [`Arc`]s:
+/// stepping a state only deep-copies the constraints the event is relevant
+/// to, and every untouched constraint is shared with the predecessor state
+/// (copy-on-write). `Arc` delegates `Hash`/`Eq`/`Ord` to the inner value,
+/// so sharing is invisible to state comparison and interning. Under the
+/// DFA engine, a state is a plain vector of table states.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ExplorerState(Vec<Arc<CState>>);
+pub struct ExplorerState(Repr);
 
 impl ExplorerState {
     /// Total number of outstanding liveness obligations in this state.
     pub fn outstanding_obligations(&self, explorer: &ServiceExplorer<'_>) -> usize {
-        self.0
-            .iter()
-            .zip(explorer.service.constraints())
-            .filter(|(_, c)| matches!(c.kind(), ConstraintKind::EventuallyFollows { .. }))
-            .map(|(cs, _)| match cs.as_ref() {
-                CState::Counters(m) => m.values().map(|v| *v as usize).sum(),
-                CState::Holders(_) => 0,
-            })
-            .sum()
+        match &self.0 {
+            Repr::Interp(cstates) => cstates
+                .iter()
+                .zip(explorer.service.constraints())
+                .filter(|(_, c)| matches!(c.kind(), ConstraintKind::EventuallyFollows { .. }))
+                .map(|(cs, _)| match cs.as_ref() {
+                    CState::Counters(m) => m.values().map(|v| *v as usize).sum(),
+                    CState::Holders(_) => 0,
+                })
+                .sum(),
+            Repr::Dfa(key) => explorer.dfa_rt().binder.obligations(key) as usize,
+        }
     }
 
     /// Whether no obligations are outstanding and nothing is held — the
@@ -109,16 +128,21 @@ impl ExplorerState {
     /// Enablement markers of [`ConstraintKind::After`] constraints do not
     /// count: having joined is not an obligation.
     pub fn is_quiescent(&self, explorer: &ServiceExplorer<'_>) -> bool {
-        self.0
-            .iter()
-            .zip(explorer.service.constraints())
-            .all(|(cs, constraint)| match cs.as_ref() {
-                CState::Counters(m) => {
-                    matches!(constraint.kind(), ConstraintKind::After { .. })
-                        || m.values().all(|v| *v == 0)
-                }
-                CState::Holders(h) => h.is_empty(),
-            })
+        match &self.0 {
+            Repr::Interp(cstates) => {
+                cstates
+                    .iter()
+                    .zip(explorer.service.constraints())
+                    .all(|(cs, constraint)| match cs.as_ref() {
+                        CState::Counters(m) => {
+                            matches!(constraint.kind(), ConstraintKind::After { .. })
+                                || m.values().all(|v| *v == 0)
+                        }
+                        CState::Holders(h) => h.is_empty(),
+                    })
+            }
+            Repr::Dfa(key) => explorer.dfa_rt().binder.is_quiescent(key),
+        }
     }
 }
 
@@ -238,12 +262,27 @@ impl AllowedCache {
     }
 }
 
+/// Mutable runtime of the DFA engine: the slot binder and the universe's
+/// pre-resolved edge lists (index-aligned with the universe). Behind a
+/// `Mutex` so the explorer stays `Sync`; [`ServiceExplorer::allowed`] under
+/// the DFA engine is one lock plus dense-table loads.
+#[derive(Debug)]
+struct DfaRt {
+    binder: Binder,
+    universe_edges: Vec<Vec<Edge>>,
+}
+
 /// The constraint automaton of a service over a finite event universe.
 #[derive(Debug)]
 pub struct ServiceExplorer<'a> {
     service: &'a ServiceDefinition,
     universe: Vec<AbstractEvent>,
     max_outstanding: u32,
+    /// The *effective* engine: [`Engine::Dfa`] only when the constraint
+    /// set compiled (unknown kinds and absurd bounds fall back).
+    engine: Engine,
+    /// Present exactly when `engine == Engine::Dfa`.
+    dfa: Option<Mutex<DfaRt>>,
     /// Primitive name → (ascending) indices of the constraints that react
     /// to it. Every current constraint kind mentions exactly two primitive
     /// names and leaves its state untouched on any other event, so
@@ -264,17 +303,15 @@ pub struct ServiceExplorer<'a> {
 
 impl Clone for ServiceExplorer<'_> {
     /// Clones the automaton; the memoized [`ServiceExplorer::allowed`]
-    /// verdicts start empty in the clone.
+    /// verdicts (and, under the DFA engine, the interned slots) start
+    /// empty in the clone.
     fn clone(&self) -> Self {
-        ServiceExplorer {
-            service: self.service,
-            universe: self.universe.clone(),
-            max_outstanding: self.max_outstanding,
-            relevance: self.relevance.clone(),
-            has_opaque_kinds: self.has_opaque_kinds,
-            universe_relevance: self.universe_relevance.clone(),
-            allowed_cache: Mutex::new(AllowedCache::new(self.service.constraints().len())),
-        }
+        ServiceExplorer::with_engine(
+            self.service,
+            self.universe.clone(),
+            self.max_outstanding,
+            self.engine,
+        )
     }
 }
 
@@ -289,6 +326,23 @@ impl<'a> ServiceExplorer<'a> {
         service: &'a ServiceDefinition,
         universe: Vec<AbstractEvent>,
         max_outstanding: u32,
+    ) -> Self {
+        Self::with_engine(service, universe, max_outstanding, Engine::default())
+    }
+
+    /// Like [`ServiceExplorer::new`], with an explicit [`Engine`].
+    ///
+    /// [`Engine::Dfa`] compiles the constraint set once into dense
+    /// transition tables; constraint kinds the compiler does not know (or
+    /// bounds too large for dense tables) fall back to [`Engine::Interp`].
+    /// Both engines answer every query identically — byte-for-byte, down
+    /// to violation messages (the equivalence tests and the proptest
+    /// oracle pin this) — so the knob only selects a performance profile.
+    pub fn with_engine(
+        service: &'a ServiceDefinition,
+        universe: Vec<AbstractEvent>,
+        max_outstanding: u32,
+        engine: Engine,
     ) -> Self {
         let mut relevance: HashMap<String, Vec<usize>> = HashMap::new();
         let mut has_opaque_kinds = false;
@@ -307,15 +361,37 @@ impl<'a> ServiceExplorer<'a> {
                 None => has_opaque_kinds = true,
             }
         }
-        let universe_relevance = universe
+        let universe_relevance: Vec<Vec<usize>> = universe
             .iter()
             .map(|e| relevance.get(&e.primitive).cloned().unwrap_or_default())
             .collect();
         let allowed_cache = Mutex::new(AllowedCache::new(service.constraints().len()));
+        let (engine, dfa) = match engine {
+            Engine::Dfa => match Compiled::compile(service, max_outstanding) {
+                Some(compiled) => {
+                    let mut binder = Binder::new(Arc::new(compiled));
+                    let universe_edges = universe
+                        .iter()
+                        .map(|e| binder.resolve(&e.sap, &e.primitive, &e.args))
+                        .collect();
+                    (
+                        Engine::Dfa,
+                        Some(Mutex::new(DfaRt {
+                            binder,
+                            universe_edges,
+                        })),
+                    )
+                }
+                None => (Engine::Interp, None),
+            },
+            Engine::Interp => (Engine::Interp, None),
+        };
         ServiceExplorer {
             service,
             universe,
             max_outstanding,
+            engine,
+            dfa,
             relevance,
             has_opaque_kinds,
             universe_relevance,
@@ -328,20 +404,43 @@ impl<'a> ServiceExplorer<'a> {
         &self.universe
     }
 
+    /// The effective engine: what [`ServiceExplorer::with_engine`] was
+    /// asked for, downgraded to [`Engine::Interp`] when the constraint set
+    /// could not be compiled.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The DFA runtime; panics when the engine is the interpreter.
+    fn dfa_rt(&self) -> MutexGuard<'_, DfaRt> {
+        self.dfa
+            .as_ref()
+            .expect("DFA state implies a DFA runtime")
+            .lock()
+            .expect("dfa runtime poisoned")
+    }
+
     /// The initial (empty) constraint state.
     pub fn initial_state(&self) -> ExplorerState {
-        ExplorerState(
-            self.service
-                .constraints()
-                .iter()
-                .map(|c| {
-                    Arc::new(match c.kind() {
-                        ConstraintKind::MutualExclusion { .. } => CState::Holders(BTreeMap::new()),
-                        _ => CState::Counters(BTreeMap::new()),
+        match self.engine {
+            // All slot automata start at state 0; the canonical trimmed
+            // vector of the initial product state is empty.
+            Engine::Dfa => ExplorerState(Repr::Dfa(Vec::new())),
+            Engine::Interp => ExplorerState(Repr::Interp(
+                self.service
+                    .constraints()
+                    .iter()
+                    .map(|c| {
+                        Arc::new(match c.kind() {
+                            ConstraintKind::MutualExclusion { .. } => {
+                                CState::Holders(BTreeMap::new())
+                            }
+                            _ => CState::Counters(BTreeMap::new()),
+                        })
                     })
-                })
-                .collect(),
-        )
+                    .collect(),
+            )),
+        }
     }
 
     fn instance(scope: ConstraintScope, event: &AbstractEvent, key: &[usize]) -> Instance {
@@ -535,39 +634,84 @@ impl<'a> ServiceExplorer<'a> {
         state: &ExplorerState,
         event: &AbstractEvent,
     ) -> Result<ExplorerState, StepViolation> {
+        let cstates = match &state.0 {
+            Repr::Dfa(key) => {
+                let mut rt = self.dfa_rt();
+                let id = rt
+                    .binder
+                    .resolve_cached(&event.sap, &event.primitive, &event.args);
+                return match rt.binder.step_canonical(key, rt.binder.edges(id)) {
+                    Ok(next) => Ok(ExplorerState(Repr::Dfa(next))),
+                    Err(rejection) => {
+                        let edge = rt.binder.edges(id)[rejection.edge];
+                        Err(StepViolation {
+                            constraint: rt.binder.constraint_display(edge.ci as usize).to_owned(),
+                            message: rt.binder.violation_message(
+                                &edge,
+                                rejection.state,
+                                &event.sap,
+                            ),
+                        })
+                    }
+                };
+            }
+            Repr::Interp(cstates) => cstates,
+        };
         let constraints = self.service.constraints();
         if self.has_opaque_kinds {
             // Conservative path: step every constraint.
-            let mut next = Vec::with_capacity(state.0.len());
-            for (constraint, cstate) in constraints.iter().zip(&state.0) {
+            let mut next = Vec::with_capacity(cstates.len());
+            for (constraint, cstate) in constraints.iter().zip(cstates) {
                 next.push(Arc::new(self.step_constraint(constraint, cstate, event)?));
             }
-            return Ok(ExplorerState(next));
+            return Ok(ExplorerState(Repr::Interp(next)));
         }
         // Start from a shallow copy (refcount bumps) and replace only the
         // constraints the event is relevant to; constraints that step to an
         // unchanged state keep sharing the predecessor's allocation.
-        let mut next = state.0.clone();
+        let mut next = cstates.clone();
         if let Some(relevant) = self.relevance.get(&event.primitive) {
             for &i in relevant {
-                let stepped = self.step_constraint(&constraints[i], &state.0[i], event)?;
-                if *state.0[i] != stepped {
+                let stepped = self.step_constraint(&constraints[i], &cstates[i], event)?;
+                if *cstates[i] != stepped {
                     next[i] = Arc::new(stepped);
                 }
             }
         }
-        Ok(ExplorerState(next))
+        Ok(ExplorerState(Repr::Interp(next)))
     }
 
     /// The events of the universe allowed in `state`.
     ///
-    /// Memoized: each constraint's pass/fail verdict for a (constraint
-    /// state, universe event) pair is computed once per explorer and reused
-    /// — repeated calls over a run's states degenerate to interning the
-    /// (heavily shared) per-constraint states and integer-keyed lookups.
-    /// Events whose primitive no constraint reacts to skip stepping
-    /// entirely.
+    /// Under the DFA engine this is a dense-table sweep: per universe
+    /// event, one pre-resolved edge list and one table load per relevant
+    /// constraint. Under the interpreter it is memoized: each constraint's
+    /// pass/fail verdict for a (constraint state, universe event) pair is
+    /// computed once per explorer and reused — repeated calls over a run's
+    /// states degenerate to interning the (heavily shared) per-constraint
+    /// states and integer-keyed lookups. Events whose primitive no
+    /// constraint reacts to skip stepping entirely.
+    ///
+    /// Per query and universe event, exactly one of three obs counters
+    /// fires (interpreter engine only): `lts.allowed_prefilter` (no
+    /// relevant constraint — the verdict costs nothing),
+    /// `lts.allowed_cache_hits` (every relevant verdict was already
+    /// memoized), or `lts.allowed_cache_misses` (at least one verdict had
+    /// to be computed).
     pub fn allowed(&self, state: &ExplorerState) -> Vec<&AbstractEvent> {
+        let cstates = match &state.0 {
+            Repr::Dfa(key) => {
+                let rt = self.dfa_rt();
+                return self
+                    .universe
+                    .iter()
+                    .zip(&rt.universe_edges)
+                    .filter(|(_, edges)| rt.binder.allowed(key, edges))
+                    .map(|(event, _)| event)
+                    .collect();
+            }
+            Repr::Interp(cstates) => cstates,
+        };
         if self.has_opaque_kinds {
             // Conservative path: no relevance index to pre-filter with.
             return self
@@ -578,26 +722,28 @@ impl<'a> ServiceExplorer<'a> {
         }
         let constraints = self.service.constraints();
         let mut cache = self.allowed_cache.lock().expect("allowed cache poisoned");
-        let sids: Vec<u32> = state
-            .0
+        let sids: Vec<u32> = cstates
             .iter()
             .enumerate()
             .map(|(i, cs)| cache.intern(i, cs))
             .collect();
         let mut allowed = Vec::new();
         for (ei, event) in self.universe.iter().enumerate() {
+            if self.universe_relevance[ei].is_empty() {
+                svckit_obs::obs_count!("lts.allowed_prefilter");
+                allowed.push(event);
+                continue;
+            }
             let mut ok = true;
+            let mut computed = false;
             for &ci in &self.universe_relevance[ei] {
                 let key = (sids[ci], ei as u32);
                 let verdict = match cache.verdicts[ci].get(&key) {
-                    Some(&v) => {
-                        svckit_obs::obs_count!("lts.allowed_cache_hits");
-                        v
-                    }
+                    Some(&v) => v,
                     None => {
-                        svckit_obs::obs_count!("lts.allowed_cache_misses");
+                        computed = true;
                         let v = self
-                            .step_constraint(&constraints[ci], &state.0[ci], event)
+                            .step_constraint(&constraints[ci], &cstates[ci], event)
                             .is_ok();
                         cache.verdicts[ci].insert(key, v);
                         v
@@ -607,6 +753,11 @@ impl<'a> ServiceExplorer<'a> {
                     ok = false;
                     break;
                 }
+            }
+            if computed {
+                svckit_obs::obs_count!("lts.allowed_cache_misses");
+            } else {
+                svckit_obs::obs_count!("lts.allowed_cache_hits");
             }
             if ok {
                 allowed.push(event);
@@ -623,11 +774,11 @@ impl<'a> ServiceExplorer<'a> {
     /// their discovered transitions only).
     pub fn to_lts(&self, max_states: usize) -> Lts<AbstractEvent> {
         // The automaton is a product of small per-constraint automata, so
-        // the unfolding runs on a `ProductEngine`: per-constraint states and
-        // events are interned as integers, per-constraint transitions are
-        // memoized, and the BFS works on integer tuples instead of cloning
-        // and hashing `BTreeMap`-backed states per edge.
-        let mut engine = ProductEngine::new(self);
+        // the unfolding runs on a `StepEngine`: per-constraint states and
+        // events are interned as integers (interpreter) or dense slot
+        // states (DFA), and the BFS works on integer tuples instead of
+        // cloning and hashing `BTreeMap`-backed states per edge.
+        let mut engine = StepEngine::new(self);
         let event_ids: Vec<u32> = self.universe.iter().map(|e| engine.event_id(e)).collect();
         let mut builder = LtsBuilder::new();
         let mut index: HashMap<Vec<u32>, StateId> = HashMap::new();
@@ -677,7 +828,16 @@ impl<'a> ServiceExplorer<'a> {
         // deep state clones, and the trace to each frontier node is a parent
         // pointer into `nodes` instead of a cloned event vector — the
         // counterexample is only materialised when a violation is found.
-        let mut engine = ProductEngine::new(self);
+        let mut engine = StepEngine::new(self);
+        // Fix the slot alphabet up-front: the DFA engine interns slots on
+        // first sight of an event, and product keys must keep one width
+        // for the whole search. The implementation alphabet is resolved in
+        // `BTreeSet` order, which is deterministic.
+        if matches!(engine, StepEngine::Dfa(_)) {
+            for event in implementation.alphabet() {
+                engine.event_id(&event);
+            }
+        }
         let mut pool: Vec<Vec<u32>> = Vec::new();
         let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
         fn intern(
@@ -721,8 +881,8 @@ impl<'a> ServiceExplorer<'a> {
                                     queue.push_back((*t, nid, nodes.len() - 1));
                                 }
                             }
-                            Err((ci, sid)) => {
-                                let violation = engine.violation(ci, sid, eid);
+                            Err(err) => {
+                                let violation = engine.violation(&err, &event.sap);
                                 let mut trace = vec![event.clone()];
                                 let mut cursor = node;
                                 loop {
@@ -930,7 +1090,7 @@ impl<'a> ServiceExplorer<'a> {
     /// potentially missed; reduced/full diagnostic agreement is enforced by
     /// golden tests rather than by a cycle proviso.
     pub fn explore(&self, options: &ExploreOptions) -> ExploreReport {
-        let mut engine = ProductEngine::new(self);
+        let mut engine = StepEngine::new(self);
         let event_ids: Vec<u32> = self.universe.iter().map(|e| engine.event_id(e)).collect();
         let closures = match options.reduction {
             Reduction::AmpleSets => self.dependence_closures(),
@@ -1297,6 +1457,103 @@ impl<'x, 'a> ProductEngine<'x, 'a> {
     }
 }
 
+/// Why a [`StepEngine::step_key`] rejected, with enough context to render
+/// the [`StepViolation`] lazily (searches only materialise violations for
+/// the one counterexample they report).
+enum StepErr {
+    /// Interpreter: constraint index, its state id, the event id.
+    Interp { ci: usize, sid: u32, eid: u32 },
+    /// DFA: the rejecting edge and the slot state it was taken from.
+    Dfa { edge: Edge, state: u16 },
+}
+
+/// The engine behind [`ServiceExplorer::to_lts`],
+/// [`ServiceExplorer::verify_lts`] and [`ServiceExplorer::explore`]: the
+/// memoizing [`ProductEngine`] under the interpreter, dense-table slot
+/// stepping under the DFA engine. Both expose the same integer-keyed
+/// search interface, and — because slot states and interned constraint
+/// states have exactly the same distinguishing power — the searches visit
+/// identical state graphs in identical order under either engine.
+enum StepEngine<'x, 'a> {
+    Interp(ProductEngine<'x, 'a>),
+    /// Holds the explorer's DFA runtime lock for the whole search.
+    Dfa(MutexGuard<'x, DfaRt>),
+}
+
+impl<'x, 'a> StepEngine<'x, 'a> {
+    fn new(explorer: &'x ServiceExplorer<'a>) -> Self {
+        match &explorer.dfa {
+            Some(_) => StepEngine::Dfa(explorer.dfa_rt()),
+            None => StepEngine::Interp(ProductEngine::new(explorer)),
+        }
+    }
+
+    /// Interns `event`; under the DFA engine this resolves (and caches)
+    /// its edge list, interning any new slots.
+    fn event_id(&mut self, event: &AbstractEvent) -> u32 {
+        match self {
+            StepEngine::Interp(engine) => engine.event_id(event),
+            StepEngine::Dfa(rt) => {
+                rt.binder
+                    .resolve_cached(&event.sap, &event.primitive, &event.args)
+            }
+        }
+    }
+
+    /// The fixed-width product key of the initial state. Call after every
+    /// event the search will step has been interned ([`StepEngine::event_id`]),
+    /// so the width covers every slot.
+    fn initial_key(&self) -> Vec<u32> {
+        match self {
+            StepEngine::Interp(engine) => engine.initial_key(),
+            StepEngine::Dfa(rt) => vec![0; rt.binder.slot_count()],
+        }
+    }
+
+    fn is_quiescent(&self, key: &[u32]) -> bool {
+        match self {
+            StepEngine::Interp(engine) => engine.is_quiescent(key),
+            StepEngine::Dfa(rt) => rt.binder.is_quiescent_wide(key),
+        }
+    }
+
+    fn step_key(
+        &mut self,
+        key: &[u32],
+        event: &AbstractEvent,
+        eid: u32,
+    ) -> Result<Vec<u32>, StepErr> {
+        match self {
+            StepEngine::Interp(engine) => engine
+                .step_key(key, event, eid)
+                .map_err(|(ci, sid)| StepErr::Interp { ci, sid, eid }),
+            StepEngine::Dfa(rt) => {
+                rt.binder
+                    .step_wide(key, rt.binder.edges(eid))
+                    .map_err(|rejection| StepErr::Dfa {
+                        edge: rt.binder.edges(eid)[rejection.edge],
+                        state: rejection.state,
+                    })
+            }
+        }
+    }
+
+    /// Renders the violation behind a [`StepErr`] — byte-identical across
+    /// engines.
+    fn violation(&self, err: &StepErr, sap: &Sap) -> StepViolation {
+        match (self, err) {
+            (StepEngine::Interp(engine), StepErr::Interp { ci, sid, eid }) => {
+                engine.violation(*ci, *sid, *eid)
+            }
+            (StepEngine::Dfa(rt), StepErr::Dfa { edge, state }) => StepViolation {
+                constraint: rt.binder.constraint_display(edge.ci as usize).to_owned(),
+                message: rt.binder.violation_message(edge, *state, sap),
+            },
+            _ => unreachable!("step error from a different engine"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1628,6 +1885,131 @@ mod tests {
         });
         assert!(report.truncated);
         assert_eq!(report.states, 10);
+    }
+
+    /// Walks a few hundred states under both engines, comparing every
+    /// query surface: allowed sets, step verdicts (including the exact
+    /// violation strings), quiescence and obligation counts.
+    #[test]
+    fn engines_agree_on_every_query_along_a_walk() {
+        let svc = floor_control();
+        let dfa = ServiceExplorer::with_engine(&svc, universe(3, 2), 2, Engine::Dfa);
+        let interp = ServiceExplorer::with_engine(&svc, universe(3, 2), 2, Engine::Interp);
+        assert_eq!(dfa.engine(), Engine::Dfa);
+        assert_eq!(interp.engine(), Engine::Interp);
+        let mut stack = vec![(dfa.initial_state(), interp.initial_state())];
+        let mut visited = 0;
+        while let Some((ds, is)) = stack.pop() {
+            if visited >= 300 {
+                break;
+            }
+            visited += 1;
+            assert_eq!(dfa.allowed(&ds), interp.allowed(&is));
+            assert_eq!(ds.is_quiescent(&dfa), is.is_quiescent(&interp));
+            assert_eq!(
+                ds.outstanding_obligations(&dfa),
+                is.outstanding_obligations(&interp)
+            );
+            for event in dfa.universe() {
+                match (dfa.step(&ds, event), interp.step(&is, event)) {
+                    (Ok(dn), Ok(inn)) => stack.push((dn, inn)),
+                    (Err(de), Err(ie)) => {
+                        assert_eq!(de.constraint(), ie.constraint(), "at {event}");
+                        assert_eq!(de.message(), ie.message(), "at {event}");
+                    }
+                    (d, i) => panic!("engines disagree at {event}: {d:?} vs {i:?}"),
+                }
+            }
+        }
+        assert!(visited >= 100, "walk covered only {visited} states");
+    }
+
+    /// The whole-automaton surfaces — `to_lts`, `explore` (both
+    /// reductions) and `verify_lts` counterexamples — must be identical
+    /// across engines, down to state numbering and rendered violations.
+    #[test]
+    fn engines_produce_identical_lts_explore_and_verify_results() {
+        let svc = floor_control();
+        let dfa = ServiceExplorer::with_engine(&svc, universe(2, 2), 1, Engine::Dfa);
+        let interp = ServiceExplorer::with_engine(&svc, universe(2, 2), 1, Engine::Interp);
+        assert_eq!(
+            dfa.to_lts(100_000).to_dot("g"),
+            interp.to_lts(100_000).to_dot("g")
+        );
+        for reduction in [Reduction::Full, Reduction::AmpleSets] {
+            let options = ExploreOptions {
+                reduction,
+                progress: vec!["granted".into()],
+                ..ExploreOptions::default()
+            };
+            assert_eq!(
+                format!("{:?}", dfa.explore(&options)),
+                format!("{:?}", interp.explore(&options))
+            );
+        }
+        // An implementation that grants without request, then releases at
+        // the wrong SAP: both engines report the same shortest trace and
+        // the same rendered violation.
+        let s1 = Sap::new("subscriber", PartId::new(1));
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state("idle");
+        let bad = b.add_state("bad");
+        b.add_transition(
+            s0,
+            AbstractEvent::new(s1.clone(), "request", vec![Value::Id(1)]),
+            bad,
+        );
+        b.add_transition(
+            bad,
+            AbstractEvent::new(s1.clone(), "granted", vec![Value::Id(2)]),
+            s0,
+        );
+        let imp = b.build(s0);
+        let de = dfa.verify_lts(&imp).unwrap_err();
+        let ie = interp.verify_lts(&imp).unwrap_err();
+        assert_eq!(de.to_string(), ie.to_string());
+        assert_eq!(de.trace(), ie.trace());
+    }
+
+    #[test]
+    fn absurd_bounds_fall_back_to_the_interpreter_engine() {
+        let svc = floor_control();
+        let explorer = ServiceExplorer::with_engine(&svc, universe(1, 1), 1 << 20, Engine::Dfa);
+        assert_eq!(explorer.engine(), Engine::Interp);
+        // The fallback still answers (and its clone keeps the fallback).
+        assert_eq!(explorer.allowed(&explorer.initial_state()).len(), 1);
+        assert_eq!(explorer.clone().engine(), Engine::Interp);
+    }
+
+    /// Regression test for the `allowed()` counter accounting: exactly one
+    /// of prefilter/hit/miss fires per (query, universe event) — events no
+    /// constraint reacts to must count as prefilter passes, not as cache
+    /// hits. Runs in both feature modes: with obs sites disabled every
+    /// counter reads zero.
+    #[test]
+    fn allowed_counters_fire_once_per_event_and_query() {
+        let svc = floor_control();
+        let mut events = universe(1, 1); // request/granted/free: constrained
+        events.push(AbstractEvent::new(
+            Sap::new("subscriber", PartId::new(1)),
+            "ping",
+            vec![],
+        ));
+        let explorer = ServiceExplorer::with_engine(&svc, events, 1, Engine::Interp);
+        let state = explorer.initial_state();
+        let on = u64::from(svckit_obs::sites_enabled());
+        let ((), cold) = svckit_obs::with_recorder(svckit_obs::Recorder::new(), || {
+            explorer.allowed(&state);
+        });
+        assert_eq!(cold.counter("lts.allowed_prefilter"), on);
+        assert_eq!(cold.counter("lts.allowed_cache_misses"), 3 * on);
+        assert_eq!(cold.counter("lts.allowed_cache_hits"), 0);
+        let ((), warm) = svckit_obs::with_recorder(svckit_obs::Recorder::new(), || {
+            explorer.allowed(&state);
+        });
+        assert_eq!(warm.counter("lts.allowed_prefilter"), on);
+        assert_eq!(warm.counter("lts.allowed_cache_hits"), 3 * on);
+        assert_eq!(warm.counter("lts.allowed_cache_misses"), 0);
     }
 
     #[test]

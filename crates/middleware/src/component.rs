@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use svckit_codec::PduRegistry;
+use svckit_dfa::AdmissionGate;
 use svckit_model::{Duration, Instant, InteractionPattern, PartId, Sap, Value};
 use svckit_netsim::{Context, TimerId};
 
@@ -73,6 +74,7 @@ pub struct MwCtx<'a, 'b> {
     pub(crate) plan: &'a DeploymentPlan,
     pub(crate) registry: &'a PduRegistry,
     pub(crate) counters: &'a Arc<Mutex<MwCounters>>,
+    pub(crate) admission: &'a Option<Arc<AdmissionGate>>,
     pub(crate) call_seq: &'a mut u64,
     pub(crate) pending: &'a mut HashMap<u64, u64>,
 }
@@ -341,7 +343,21 @@ impl MwCtx<'_, '_> {
     /// Records the occurrence of a service primitive at `sap` in the
     /// simulation trace — used by application parts to expose their
     /// service-level behaviour for conformance checking.
+    ///
+    /// When the system carries an [`AdmissionGate`]
+    /// ([`MwSystemBuilder::admission`](crate::MwSystemBuilder::admission)),
+    /// the occurrence is first validated against the compiled service
+    /// definition. The gate is passive: a violating occurrence is counted
+    /// in the gate's statistics but still recorded, so installing a gate
+    /// never changes the simulation trace.
     pub fn record_primitive(&mut self, sap: Sap, primitive: impl Into<String>, args: Vec<Value>) {
+        let primitive = primitive.into();
+        if let Some(gate) = self.admission {
+            svckit_obs::obs_count!("mw.admission_checked");
+            if !gate.admit(&sap, &primitive, &args) {
+                svckit_obs::obs_count!("mw.admission_rejected");
+            }
+        }
         self.net.record_primitive(sap, primitive, args);
     }
 

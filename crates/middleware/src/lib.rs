@@ -42,4 +42,8 @@ pub use component::{Component, MwCtx};
 pub use counters::MwCounters;
 pub use error::MwError;
 pub use plan::{DeploymentPlan, DeploymentPlanBuilder, PlatformCaps};
+/// The runtime admission path, re-exported from `svckit-dfa`: install a
+/// gate with [`MwSystemBuilder::admission`] to validate every recorded
+/// primitive occurrence against a compiled service definition.
+pub use svckit_dfa::{AdmissionGate, AdmissionStats, Compiled, Engine, ADMISSION_BOUND};
 pub use system::{MwSystem, MwSystemBuilder};

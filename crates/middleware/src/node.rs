@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use svckit_codec::PduRegistry;
+use svckit_dfa::AdmissionGate;
 use svckit_model::{PartId, Value};
 use svckit_netsim::{Context, Payload, Process, TimerId};
 
@@ -19,6 +20,7 @@ pub(crate) struct MwNode {
     plan: Arc<DeploymentPlan>,
     registry: Arc<PduRegistry>,
     counters: Arc<Mutex<MwCounters>>,
+    admission: Option<Arc<AdmissionGate>>,
     call_seq: u64,
     pending: HashMap<u64, u64>,
 }
@@ -29,6 +31,7 @@ impl MwNode {
         component: Box<dyn Component>,
         plan: Arc<DeploymentPlan>,
         registry: Arc<PduRegistry>,
+        admission: Option<Arc<AdmissionGate>>,
     ) -> Self {
         MwNode {
             name,
@@ -36,6 +39,7 @@ impl MwNode {
             plan,
             registry,
             counters: Arc::new(Mutex::new(MwCounters::default())),
+            admission,
             call_seq: 0,
             pending: HashMap::new(),
         }
@@ -76,6 +80,7 @@ impl MwNode {
                 plan: &self.plan,
                 registry: &self.registry,
                 counters: &self.counters,
+                admission: &self.admission,
                 call_seq: &mut self.call_seq,
                 pending: &mut self.pending,
             };
@@ -112,6 +117,7 @@ impl Process for MwNode {
             plan: &self.plan,
             registry: &self.registry,
             counters: &self.counters,
+            admission: &self.admission,
             call_seq: &mut self.call_seq,
             pending: &mut self.pending,
         };
@@ -167,6 +173,7 @@ impl Process for MwNode {
                             plan: &self.plan,
                             registry: &self.registry,
                             counters: &self.counters,
+                            admission: &self.admission,
                             call_seq: &mut self.call_seq,
                             pending: &mut self.pending,
                         };
@@ -192,6 +199,7 @@ impl Process for MwNode {
                         plan: &self.plan,
                         registry: &self.registry,
                         counters: &self.counters,
+                        admission: &self.admission,
                         call_seq: &mut self.call_seq,
                         pending: &mut self.pending,
                     };
@@ -216,6 +224,7 @@ impl Process for MwNode {
                     plan: &self.plan,
                     registry: &self.registry,
                     counters: &self.counters,
+                    admission: &self.admission,
                     call_seq: &mut self.call_seq,
                     pending: &mut self.pending,
                 };
@@ -229,6 +238,7 @@ impl Process for MwNode {
             plan: &self.plan,
             registry: &self.registry,
             counters: &self.counters,
+            admission: &self.admission,
             call_seq: &mut self.call_seq,
             pending: &mut self.pending,
         };

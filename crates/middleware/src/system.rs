@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
+use svckit_dfa::{AdmissionGate, AdmissionStats};
 use svckit_model::{Duration, PartId};
 use svckit_netsim::{LinkConfig, QueueBackend, SimConfig, SimReport, Simulator};
 
@@ -23,6 +24,7 @@ pub struct MwSystemBuilder {
     link: LinkConfig,
     queue: QueueBackend,
     shards: u32,
+    admission: Option<Arc<AdmissionGate>>,
     implementations: BTreeMap<String, Box<dyn Component>>,
 }
 
@@ -44,6 +46,7 @@ impl MwSystemBuilder {
             link: LinkConfig::default(),
             queue: QueueBackend::default(),
             shards: 1,
+            admission: None,
             implementations: BTreeMap::new(),
         }
     }
@@ -74,6 +77,20 @@ impl MwSystemBuilder {
     #[must_use]
     pub fn shards(mut self, shards: u32) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Installs a runtime admission gate (builder-style): every primitive
+    /// occurrence recorded through [`MwCtx::record_primitive`] is validated
+    /// against the gate's compiled service definition. The gate is shared
+    /// by all nodes of the system and is passive — violations are counted
+    /// ([`MwSystem::admission_stats`]), never blocked, so the simulation
+    /// trace is identical with and without a gate.
+    ///
+    /// [`MwCtx::record_primitive`]: crate::MwCtx::record_primitive
+    #[must_use]
+    pub fn admission(mut self, gate: Arc<AdmissionGate>) -> Self {
+        self.admission = Some(gate);
         self
     }
 
@@ -137,6 +154,7 @@ impl MwSystemBuilder {
                 implementation,
                 Arc::clone(&plan),
                 Arc::clone(&registry),
+                self.admission.clone(),
             );
             counters.insert(name, node.counters());
             sim.add_process(part, Box::new(node))
@@ -157,6 +175,7 @@ impl MwSystemBuilder {
             plan,
             counters,
             broker_counters,
+            admission: self.admission,
         })
     }
 }
@@ -167,6 +186,7 @@ pub struct MwSystem {
     plan: Arc<DeploymentPlan>,
     counters: BTreeMap<String, Arc<Mutex<MwCounters>>>,
     broker_counters: Option<Arc<Mutex<MwCounters>>>,
+    admission: Option<Arc<AdmissionGate>>,
 }
 
 impl fmt::Debug for MwSystem {
@@ -204,6 +224,11 @@ impl MwSystem {
     /// Counters of the broker, when one is deployed.
     pub fn broker_counters(&self) -> Option<MwCounters> {
         self.broker_counters.as_ref().map(|c| *c.lock().unwrap())
+    }
+
+    /// Cumulative admission-gate statistics, when a gate is installed.
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(|g| g.stats())
     }
 
     /// Sum of all component counters (broker included).

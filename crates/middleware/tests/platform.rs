@@ -3,9 +3,13 @@
 
 use std::sync::{Arc, Mutex};
 
-use svckit_middleware::{Component, DeploymentPlan, MwCtx, MwError, MwSystemBuilder, PlatformCaps};
+use svckit_middleware::{
+    AdmissionGate, AdmissionStats, Component, DeploymentPlan, Engine, MwCtx, MwError,
+    MwSystemBuilder, PlatformCaps,
+};
 use svckit_model::{
-    Duration, InteractionPattern, InterfaceDef, OperationSig, PartId, Value, ValueType,
+    Constraint, Direction, Duration, InteractionPattern, InterfaceDef, OperationSig, PartId,
+    PrimitiveSpec, Sap, ServiceDefinition, Value, ValueType,
 };
 use svckit_netsim::{LinkConfig, TimerId};
 
@@ -491,4 +495,64 @@ fn component_timers_fire() {
         .unwrap();
     system.run_to_quiescence(Duration::from_secs(1)).unwrap();
     assert_eq!(*ticks.lock().unwrap(), 3);
+}
+
+/// A component that records primitive occurrences, one of which violates
+/// the installed service definition.
+struct Recorder;
+
+impl Component for Recorder {
+    fn on_activate(&mut self, ctx: &mut MwCtx<'_, '_>) {
+        let sap1 = Sap::new("user", PartId::new(1));
+        let sap2 = Sap::new("user", PartId::new(2));
+        ctx.record_primitive(sap1.clone(), "acquire", vec![]);
+        // Violates mutual exclusion: sap1 still holds.
+        ctx.record_primitive(sap2, "acquire", vec![]);
+        ctx.record_primitive(sap1, "release", vec![]);
+    }
+    fn handle_operation(
+        &mut self,
+        _: &mut MwCtx<'_, '_>,
+        _: &str,
+        _: &str,
+        _: Vec<Value>,
+    ) -> Value {
+        Value::Unit
+    }
+}
+
+#[test]
+fn admission_gate_counts_violations_without_blocking() {
+    let service = ServiceDefinition::builder("gate-test")
+        .role("user", 1, 4)
+        .primitive(PrimitiveSpec::new("acquire", Direction::FromUser))
+        .primitive(PrimitiveSpec::new("release", Direction::FromUser))
+        .constraint(Constraint::mutual_exclusion("acquire", "release"))
+        .build()
+        .unwrap();
+    let plan = DeploymentPlan::builder(PlatformCaps::rpc("rpc"))
+        .component("recorder", PartId::new(1), vec![])
+        .build()
+        .unwrap();
+    for engine in [Engine::Dfa, Engine::Interp] {
+        let gate = Arc::new(AdmissionGate::new(&service, engine).unwrap());
+        let mut system = MwSystemBuilder::new(plan.clone())
+            .admission(Arc::clone(&gate))
+            .component("recorder", Box::new(Recorder))
+            .build()
+            .unwrap();
+        let report = system.run_to_quiescence(Duration::from_secs(1)).unwrap();
+        // Passive gate: the violating occurrence is still in the trace...
+        assert_eq!(report.trace().count_of("acquire"), 2, "{engine}");
+        assert_eq!(report.trace().count_of("release"), 1, "{engine}");
+        // ...but counted against the service definition.
+        assert_eq!(
+            system.admission_stats(),
+            Some(AdmissionStats {
+                checked: 3,
+                rejected: 1
+            }),
+            "{engine}"
+        );
+    }
 }

@@ -410,6 +410,18 @@ pub fn shards_flag(args: &[String]) -> Option<u32> {
     Some(shards)
 }
 
+/// Parses the shared `--engine` flag (`dfa` | `interp`); `None` when
+/// absent, leaving each spec/variation to its own default (the compiled
+/// DFA tables).
+///
+/// # Panics
+///
+/// Panics (with a usage message) on an unknown engine name.
+pub fn engine_flag(args: &[String]) -> Option<svckit::floorctl::Engine> {
+    let value = flag_value(args, "engine")?;
+    Some(value.parse().unwrap_or_else(|e| panic!("{e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
