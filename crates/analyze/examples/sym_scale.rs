@@ -1,0 +1,68 @@
+//! Measures how the symmetry quotient scales against the plain ample-set
+//! exploration on growing floor-control universes.
+//!
+//! ```text
+//! cargo run --release -p svckit-analyze --example sym_scale
+//! ```
+//!
+//! Prints, for each universe, the visited states/transitions with the
+//! quotient off and on (both under ample-set POR, so the ratio is the
+//! symmetry win *beyond* POR) — the numbers quoted in `EXPERIMENTS.md`.
+//! The largest rows are exactly the regime the quotient exists for: the
+//! per-user explosion outruns any practical state bound while the orbit
+//! count barely moves.
+
+use std::time::Instant;
+
+use svckit_analyze::Symmetry;
+use svckit_floorctl::{floor_control_service, floor_event_universe};
+use svckit_lts::explorer::{ExploreOptions, ServiceExplorer};
+
+fn main() {
+    let service = floor_control_service();
+    println!(
+        "{:<14} {:>12} {:>14} {:>12} {:>14} {:>8} {:>9} {:>9}",
+        "universe",
+        "por-states",
+        "por-trans",
+        "sym-states",
+        "sym-trans",
+        "ratio",
+        "por-time",
+        "sym-time"
+    );
+    for (subscribers, resources) in [(3, 2), (3, 4), (4, 2), (4, 3), (5, 2), (6, 2)] {
+        let universe = floor_event_universe(subscribers, resources);
+        let explorer = ServiceExplorer::new(&service, universe, 2);
+        let base = ExploreOptions {
+            max_states: 10_000_000,
+            progress: vec!["granted".to_owned(), "free".to_owned()],
+            ..ExploreOptions::default()
+        };
+        let t0 = Instant::now();
+        let plain = explorer.explore(&ExploreOptions {
+            symmetry: Symmetry::Off,
+            ..base.clone()
+        });
+        let plain_time = t0.elapsed();
+        let t0 = Instant::now();
+        let quotient = explorer.explore(&ExploreOptions {
+            symmetry: Symmetry::On,
+            ..base
+        });
+        let quotient_time = t0.elapsed();
+        assert!(!plain.truncated && !quotient.truncated, "raise max_states");
+        assert_eq!(plain.deadlocks.is_empty(), quotient.deadlocks.is_empty());
+        println!(
+            "{:<14} {:>12} {:>14} {:>12} {:>14} {:>7.1}x {:>8.0?} {:>8.0?}",
+            format!("{subscribers} subs x {resources} res"),
+            plain.states,
+            plain.transitions,
+            quotient.states,
+            quotient.transitions,
+            plain.states as f64 / quotient.states as f64,
+            plain_time,
+            quotient_time,
+        );
+    }
+}

@@ -89,6 +89,12 @@ pub const CODES: &[(&str, Severity, &str)] = &[
         "nonconforming implementation: the implementation LTS exhibits a trace the \
          service definition forbids",
     ),
+    (
+        "SA011",
+        Severity::Error,
+        "asymmetric constraint: a constraint's primitives reach only some members of a \
+         multi-member role, so the role's users are not interchangeable",
+    ),
 ];
 
 /// Default severity of `code`, per the [`CODES`] catalogue.

@@ -137,6 +137,36 @@ pub fn double_acquire_implementation() -> Target {
     }
 }
 
+/// Fixture for `SA011`: an `After` constraint over a universe that offers
+/// `post` at only one of the role's two access points. Nothing deadlocks —
+/// `login` is always allowed and `post` becomes enabled at `user#1` — but
+/// the two users are not interchangeable under the constraint, so the
+/// implied-identification reading of the role breaks (and the symmetry
+/// quotient finds no orbit to collapse).
+pub fn asymmetric_constraint() -> Target {
+    let service = ServiceDefinition::builder("fixture-asymmetric-constraint")
+        .role("user", 2, 2)
+        .primitive(PrimitiveSpec::new("login", Direction::FromUser))
+        .primitive(PrimitiveSpec::new("post", Direction::FromUser))
+        .constraint(Constraint::after("login", "post", ConstraintScope::SameSap))
+        .build()
+        .expect("the fixture service is structurally well-formed");
+    let universe = vec![
+        AbstractEvent::new(sap(1), "login", vec![]),
+        AbstractEvent::new(sap(2), "login", vec![]),
+        AbstractEvent::new(sap(1), "post", vec![]),
+    ];
+    Target {
+        name: "fixture-asymmetric-constraint".into(),
+        kind: "fixture",
+        service,
+        universe,
+        protocol: None,
+        implementation: None,
+        notes: vec!["seeded bug: `post` events exist only at user#1".into()],
+    }
+}
+
 /// All fixtures with the single diagnostic code each must produce.
 pub fn expected_codes() -> Vec<(Target, &'static str)> {
     vec![
@@ -144,5 +174,6 @@ pub fn expected_codes() -> Vec<(Target, &'static str)> {
         (token_drop(), "SA002"),
         (orphan_pdu(), "SA005"),
         (double_acquire_implementation(), "SA010"),
+        (asymmetric_constraint(), "SA011"),
     ]
 }

@@ -15,6 +15,7 @@
 //! | codec | `SA008` | PDUs that do not survive an encode/decode round trip |
 //! | bounds | `SA009` | truncated (hence incomplete) explorations |
 //! | verification | `SA010` | implementation LTSes that step outside the service language |
+//! | interchangeability | `SA011` | constraints whose primitives reach only some members of a role |
 //!
 //! The exhaustive passes run on the interned product engine of
 //! `svckit-lts` with an **ample-set partial-order reduction**
@@ -22,6 +23,17 @@
 //! activity on distinct resources — are not interleaved exhaustively, which
 //! shrinks the visited state space by an order of magnitude while reporting
 //! the *same* diagnostics (golden-tested in `tests/golden.rs`).
+//!
+//! On top of the reduction, the passes quotient product states by the
+//! **user-permutation symmetry** of the universe
+//! ([`Symmetry`]/[`svckit_lts::SymmetryGroups`]): interchangeable access
+//! points — the paper's "the identification of the subscriber is implied
+//! by the identification of the access point" — collapse to one orbit
+//! representative each, so *n* symmetric users cost roughly one user's
+//! state space. Diagnostics are symmetry-invariant (witnesses are
+//! re-derived on the concrete space when a defect is found), and the
+//! verification pass (`SA010`) checks implementations through their
+//! strong-bisimulation quotient first.
 //!
 //! The `svckit-analyze` binary drives every target (the six floor-control
 //! solutions, every catalogued platform via the MDA trajectory), prints the
@@ -47,6 +59,7 @@ pub use service_pass::{
 };
 pub use svckit_dfa::Engine;
 pub use svckit_lts::explorer::Reduction;
-pub use targets::{all_targets, platform_targets, solution_targets, Target};
+pub use svckit_lts::{Symmetry, SymmetryGroups};
+pub use targets::{all_targets, platform_targets, scale_floor_targets, solution_targets, Target};
 pub use universe::event_universe;
 pub use verify::verify_implementation;

@@ -1,21 +1,34 @@
 //! `svckit-analyze` — static analysis of every model in the repository.
 //!
 //! ```text
-//! svckit-analyze [--por on|off] [--engine dfa|interp] [--deny warnings]
-//!                [--target <substring>] [--max-states N] [--out PATH]
-//!                [--diag-out PATH] [--fixtures]
+//! svckit-analyze [--por on|off] [--symmetry on|off] [--engine dfa|interp]
+//!                [--deny warnings] [--filter <substring>] [--users N]
+//!                [--max-states N] [--out PATH] [--diag-out PATH]
+//!                [--fixtures]
 //! ```
 //!
 //! Diagnostics are engine-invariant: `--engine dfa` (the default) and
 //! `--engine interp` must write byte-identical `--diag-out` files, which CI
-//! checks with `cmp`.
+//! checks with `cmp`. They are likewise symmetry-invariant: `--symmetry on`
+//! (the default) quotients the explored product space by the detected
+//! user-permutation groups but re-derives witnesses concretely, so the
+//! `--diag-out` files of both settings are also `cmp`'d in CI. `--users N`
+//! rescales the floor-control universes to `N` subscribers — past five or
+//! so, only the quotient fits under the state bound.
+//!
+//! `--filter` narrows the run to targets whose name contains the given
+//! substring (mirroring `sweep`'s `--filter`; `--target` is accepted as a
+//! legacy alias).
 //!
 //! Exit status is 1 when any error-severity diagnostic is reported, or when
 //! warnings are reported under `--deny warnings`.
 
 use std::process::ExitCode;
 
-use svckit_analyze::{all_targets, fixtures, AnalysisReport, Reduction, ServicePassOptions};
+use svckit_analyze::{
+    all_targets, fixtures, scale_floor_targets, AnalysisReport, Reduction, ServicePassOptions,
+    Symmetry,
+};
 use svckit_sweep::{flag_usize, flag_value};
 
 fn main() -> ExitCode {
@@ -29,8 +42,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let symmetry = match flag_value(&args, "symmetry").as_deref() {
+        None | Some("on") => Symmetry::On,
+        Some("off") => Symmetry::Off,
+        Some(other) => {
+            eprintln!("--symmetry expects `on` or `off`, got {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
     let options = ServicePassOptions {
         reduction,
+        symmetry,
         max_states: flag_usize(&args, "max-states", 200_000),
         engine: svckit_sweep::engine_flag(&args).unwrap_or_default(),
         ..ServicePassOptions::default()
@@ -40,10 +62,14 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--fixtures") {
         targets.extend(fixtures::expected_codes().into_iter().map(|(t, _)| t));
     }
-    if let Some(filter) = flag_value(&args, "target") {
+    let users = flag_usize(&args, "users", 3);
+    if users != 3 {
+        scale_floor_targets(&mut targets, users as u64);
+    }
+    if let Some(filter) = flag_value(&args, "filter").or_else(|| flag_value(&args, "target")) {
         targets.retain(|t| t.name.contains(&filter));
         if targets.is_empty() {
-            eprintln!("--target {filter:?} matches no target");
+            eprintln!("--filter {filter:?} matches no target");
             return ExitCode::FAILURE;
         }
     }

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use svckit_lts::explorer::Reduction;
-use svckit_sweep::{JsonWriter, PorStats};
+use svckit_sweep::{JsonWriter, PorStats, SymStats};
 
 use crate::diag::{Diagnostic, Severity};
 use crate::protocol_pass::analyze_protocol;
@@ -29,6 +29,10 @@ pub struct TargetReport {
     /// Full-vs-reduced exploration statistics (shared schema with the
     /// explorer benchmarks' `BENCH_hotpath.por.json` sidecar).
     pub por: PorStats,
+    /// Unquotiented-vs-symmetry-quotient exploration statistics (shared
+    /// schema with the explorer benchmarks' `BENCH_hotpath.sym.json`
+    /// sidecar). Identical whichever `--symmetry` setting ran.
+    pub sym: SymStats,
 }
 
 /// The whole run: every target, one pass configuration.
@@ -78,6 +82,7 @@ impl AnalysisReport {
                 diagnostics,
                 notes: target.notes.clone(),
                 por: analysis.por,
+                sym: analysis.sym,
             });
         }
         AnalysisReport {
@@ -144,6 +149,8 @@ impl AnalysisReport {
             w.key("transitions").uint(target.transitions as u64);
             w.key("por");
             target.por.write(&mut w);
+            w.key("sym");
+            target.sym.write(&mut w);
             write_diagnostics(&mut w, &target.diagnostics);
             w.key("notes").begin_array();
             for note in &target.notes {
@@ -253,5 +260,23 @@ mod tests {
         let stats = &report.targets[0].por;
         assert!(stats.full_states > 0);
         assert!(stats.reduced_states > 0);
+    }
+
+    #[test]
+    fn sym_stats_ride_in_the_full_report_only() {
+        let (target, _) = &fixtures::expected_codes()[0];
+        let report =
+            AnalysisReport::run(std::slice::from_ref(target), &ServicePassOptions::default());
+        let full = report.to_json();
+        assert!(full.contains("\"sym\""));
+        assert!(full.contains("\"quotient_states\""));
+        assert!(full.contains("\"canon_hits\""));
+        let diag = report.to_diag_json();
+        assert!(!diag.contains("sym"));
+        assert!(!diag.contains("quotient"));
+        // Both sides of the on/off A/B actually ran.
+        let stats = &report.targets[0].sym;
+        assert!(stats.full_states > 0);
+        assert!(stats.quotient_states > 0);
     }
 }

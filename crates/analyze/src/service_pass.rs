@@ -7,15 +7,16 @@
 //! diagnostics are reduction-invariant, only the visited state count
 //! changes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use svckit_dfa::{check_product, Binder, Compiled, Edge, Engine, ProductCheck};
 use svckit_lts::explorer::{
     AbstractEvent, ExploreOptions, ExploreReport, Reduction, ServiceExplorer,
 };
-use svckit_model::{ConstraintKind, ServiceDefinition};
-use svckit_sweep::PorStats;
+use svckit_lts::Symmetry;
+use svckit_model::{ConstraintKind, Sap, ServiceDefinition, Value};
+use svckit_sweep::{PorStats, SymStats};
 
 use crate::diag::Diagnostic;
 
@@ -35,6 +36,14 @@ pub struct ServicePassOptions {
     /// its `SA001`/`SA002` findings against the direct product-automaton
     /// sweep ([`product_check`]) in debug builds.
     pub engine: Engine,
+    /// Whether the exploration quotients product states by the detected
+    /// user-permutation symmetry. Diagnostics are symmetry-invariant: when
+    /// the quotient run finds a defect, the witnesses are re-derived from
+    /// the unquotiented counterpart run, so `--symmetry on|off` produce
+    /// byte-identical diag JSON (CI `cmp`s them). The knob only changes
+    /// how many states the search must store — and therefore which
+    /// universes fit under the state bound at all.
+    pub symmetry: Symmetry,
 }
 
 impl Default for ServicePassOptions {
@@ -44,6 +53,7 @@ impl Default for ServicePassOptions {
             max_states: 200_000,
             max_outstanding: 2,
             engine: Engine::default(),
+            symmetry: Symmetry::On,
         }
     }
 }
@@ -53,13 +63,19 @@ impl Default for ServicePassOptions {
 pub struct ServiceAnalysis {
     /// The findings.
     pub diagnostics: Vec<Diagnostic>,
-    /// Product states visited (reduction-dependent).
+    /// Product states visited (reduction- and symmetry-dependent).
     pub states: usize,
-    /// Transitions taken (reduction-dependent).
+    /// Transitions taken (reduction- and symmetry-dependent).
     pub transitions: usize,
     /// Full-vs-reduced exploration statistics, in the schema the explorer
-    /// benchmarks share (`BENCH_hotpath.por.json`).
+    /// benchmarks share (`BENCH_hotpath.por.json`). Both halves run at the
+    /// configured symmetry setting.
     pub por: PorStats,
+    /// Unquotiented-vs-quotient exploration statistics, in the schema the
+    /// explorer benchmarks share (`BENCH_hotpath.sym.json`). Both halves
+    /// run at the configured reduction setting, so the block is identical
+    /// whichever symmetry setting the caller picked.
+    pub sym: SymStats,
 }
 
 /// The progress-labelled primitives used by the livelock pass: every
@@ -104,36 +120,60 @@ pub fn analyze_service(
         max_states: options.max_states,
         reduction: options.reduction,
         progress: progress_primitives(service),
+        symmetry: options.symmetry,
         ..ExploreOptions::default()
     };
     let report = explorer.explore(&explore_options);
-    let diagnostics = diagnostics_from(service, &explorer, &report);
+
+    // The symmetry counterpart: same reduction, flipped quotient knob. It
+    // fills the shared `SymStats` block, and — when the quotient run found
+    // a defect — supplies the diagnostics, so witness traces are
+    // byte-identical under `--symmetry on|off`. (The quotient's expanded
+    // witnesses are sound, but BFS order over orbit representatives can
+    // pick a different same-length witness than the concrete search; for
+    // clean targets the quotient report is used directly, which is what
+    // makes universes that only the quotient can finish analyzable at
+    // all.)
+    let sym_counterpart = explorer.explore(&ExploreOptions {
+        symmetry: match options.symmetry {
+            Symmetry::On => Symmetry::Off,
+            Symmetry::Off => Symmetry::On,
+        },
+        ..explore_options.clone()
+    });
+    let diag_report =
+        if options.symmetry == Symmetry::On && has_defect(&report) && !sym_counterpart.truncated {
+            &sym_counterpart
+        } else {
+            &report
+        };
+    let diagnostics = diagnostics_from(service, &explorer, diag_report);
 
     // Under the DFA engine, the direct product-automaton sweep must agree
     // with the exploration on the two findings it can read off (empty
     // language ⟺ SA001, reachable sink ⟺ SA002). Debug-build-only: the
     // sweep re-walks the whole product space.
-    if cfg!(debug_assertions) && options.engine == Engine::Dfa && !report.truncated {
+    if cfg!(debug_assertions) && options.engine == Engine::Dfa && !diag_report.truncated {
         if let Some(check) = product_check(service, explorer.universe(), options) {
             if !check.truncated {
-                let initial_dead = report.deadlocks.iter().any(Vec::is_empty);
+                let initial_dead = diag_report.deadlocks.iter().any(Vec::is_empty);
                 debug_assert_eq!(
                     check.empty_language, initial_dead,
                     "product sweep and exploration disagree on SA001"
                 );
                 debug_assert_eq!(
                     check.dead_states > 0,
-                    report.deadlock_states > 0,
+                    diag_report.deadlock_states > 0,
                     "product sweep and exploration disagree on SA002"
                 );
             }
         }
     }
 
-    // A second exploration under the counterpart reduction fills in the
+    // A third exploration under the counterpart reduction fills in the
     // other half of the shared POR statistics block. Diagnostics always
-    // come from the run the caller configured; the extra run only feeds
-    // the report, and shares the same state bound.
+    // come from the runs above; the extra run only feeds the report, and
+    // shares the same state bound and symmetry setting.
     let counterpart = explorer.explore(&ExploreOptions {
         reduction: match options.reduction {
             Reduction::Full => Reduction::AmpleSets,
@@ -153,12 +193,39 @@ pub fn analyze_service(
         ample_hist: reduced.ample_hist.clone(),
     };
 
+    let (sym_on, sym_off) = match options.symmetry {
+        Symmetry::On => (&report, &sym_counterpart),
+        Symmetry::Off => (&sym_counterpart, &report),
+    };
+    let sym = SymStats {
+        full_states: sym_off.states as u64,
+        full_transitions: sym_off.transitions as u64,
+        full_truncated: sym_off.truncated,
+        quotient_states: sym_on.states as u64,
+        quotient_transitions: sym_on.transitions as u64,
+        orbit_count: sym_on.orbit_count as u64,
+        canon_hits: sym_on.canon_hits,
+        states_saved: sym_on.sym_states_saved,
+    };
+
     ServiceAnalysis {
         diagnostics,
         states: report.states,
         transitions: report.transitions,
         por,
+        sym,
     }
+}
+
+/// Whether `report` contains any finding whose witness the analyzer would
+/// report — the trigger for re-deriving diagnostics on the unquotiented
+/// state space so witness traces stay knob-invariant.
+fn has_defect(report: &ExploreReport) -> bool {
+    report.deadlock_states > 0
+        || report.deadlocks.iter().any(Vec::is_empty)
+        || report.livelock.is_some()
+        || report.truncated
+        || !report.never_enabled.is_empty()
 }
 
 /// Sweeps the compiled product automaton of `service` over `universe`
@@ -288,6 +355,77 @@ fn diagnostics_from(
         ));
     }
 
+    // SA011 is structural — computed from the service and universe alone,
+    // so it is trivially engine- and symmetry-invariant. It is suppressed
+    // while reachable deadlocks exist: an asymmetry that already manifests
+    // as a deadlock (the token-drop shape) is reported through the
+    // witness-bearing SA002, and restating it here would bury the root
+    // cause — the same philosophy as the SA001 early return above.
+    if report.deadlock_states == 0 {
+        diagnostics.extend(asymmetric_constraint_diagnostics(
+            service,
+            explorer.universe(),
+        ));
+    }
+
+    diagnostics
+}
+
+/// The `SA011` pass: for every constraint and every role the universe
+/// instantiates at two or more access points, the universe's events for
+/// the constraint's primitives must look the same at every member —
+/// otherwise the users behind the role are not interchangeable, the
+/// service's implied-identification reading breaks, and the symmetry
+/// quotient finds no orbit to collapse.
+fn asymmetric_constraint_diagnostics(
+    service: &ServiceDefinition,
+    universe: &[AbstractEvent],
+) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for role in service.roles() {
+        // SAP → the (primitive, args) events the universe offers there,
+        // restricted per constraint below. Collect membership first so
+        // members with *no* event for a constraint still participate.
+        let mut members: BTreeSet<&Sap> = BTreeSet::new();
+        for event in universe {
+            if event.sap.role() == role.name() {
+                members.insert(&event.sap);
+            }
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        for constraint in service.constraints() {
+            let referenced = constraint.kind().referenced_primitives();
+            let mut restricted: BTreeMap<&Sap, BTreeSet<(&str, &[Value])>> =
+                members.iter().map(|sap| (*sap, BTreeSet::new())).collect();
+            for event in universe {
+                if event.sap.role() == role.name() && referenced.contains(&event.primitive.as_str())
+                {
+                    restricted
+                        .get_mut(&event.sap)
+                        .expect("membership was collected from the same universe")
+                        .insert((event.primitive.as_str(), event.args.as_slice()));
+                }
+            }
+            let mut sets = restricted.iter();
+            let (first_sap, first_set) = sets.next().expect("two or more members");
+            if let Some((other_sap, other_set)) = sets.find(|(_, set)| *set != first_set) {
+                diagnostics.push(Diagnostic::new(
+                    "SA011",
+                    format!("constraint `{constraint}`"),
+                    format!(
+                        "role `{}` members are not interchangeable under this constraint: \
+                         `{first_sap}` sees {} event(s) for {:?} but `{other_sap}` sees {}",
+                        role.name(),
+                        first_set.len(),
+                        referenced,
+                        other_set.len(),
+                    ),
+                ));
+            }
+        }
+    }
     diagnostics
 }
 

@@ -195,6 +195,22 @@ pub fn all_targets() -> Vec<Target> {
     targets
 }
 
+/// Rescales every floor-control target to `users` subscribers (two
+/// resources, as in [`floor_universe`]). Fixtures keep their seeded
+/// universes — each one is tuned to trigger exactly one code.
+///
+/// This is the analyzer CLI's `--users` knob: with the symmetry quotient
+/// on, the per-user state explosion collapses to orbit counting, so
+/// universes far past what the concrete search can finish (six users and
+/// up) stay under the state bound.
+pub fn scale_floor_targets(targets: &mut [Target], users: u64) {
+    for target in targets.iter_mut() {
+        if target.kind != "fixture" && target.service.name() == "floor-control" {
+            target.universe = floor_event_universe(users, 2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

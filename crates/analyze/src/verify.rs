@@ -10,7 +10,7 @@
 //! contradiction or a deadlock does.
 
 use svckit_lts::explorer::{AbstractEvent, SafetyCounterexample, ServiceExplorer};
-use svckit_lts::Lts;
+use svckit_lts::{Lts, Symmetry};
 use svckit_model::ServiceDefinition;
 
 use crate::diag::Diagnostic;
@@ -25,6 +25,15 @@ use crate::service_pass::ServicePassOptions;
 /// ([`ServicePassOptions::engine`]) produce byte-identical diagnostics —
 /// down to the rendered violation message — which the dual-engine oracle
 /// tests pin.
+///
+/// With [`ServicePassOptions::symmetry`] on, the conformance check runs
+/// against the implementation's strong-bisimulation quotient
+/// ([`Lts::minimize`]) first. Strong bisimulation preserves the trace set
+/// exactly, so a conforming quotient proves the implementation conforms;
+/// when the quotient is rejected, the check re-runs on the unreduced LTS
+/// so the reported counterexample is byte-identical to a `--symmetry off`
+/// run. Debug builds cross-validate the quotient verdict against the
+/// direct check.
 pub fn verify_implementation(
     service: &ServiceDefinition,
     universe: &[AbstractEvent],
@@ -37,7 +46,24 @@ pub fn verify_implementation(
         options.max_outstanding,
         options.engine,
     );
-    match explorer.verify_lts(implementation) {
+    let verdict = if options.symmetry == Symmetry::On {
+        match explorer.verify_lts(&implementation.minimize()) {
+            Ok(()) => {
+                debug_assert!(
+                    explorer.verify_lts(implementation).is_ok(),
+                    "the bisimulation quotient conforms but the unreduced LTS does not"
+                );
+                Ok(())
+            }
+            // The direct check is authoritative for the counterexample (and
+            // for the verdict, should the two ever disagree — the quotient
+            // can only shrink the trace set, never grow it).
+            Err(_) => explorer.verify_lts(implementation),
+        }
+    } else {
+        explorer.verify_lts(implementation)
+    };
+    match verdict {
         Ok(()) => Vec::new(),
         Err(counterexample) => vec![diagnostic_from(service, &counterexample)],
     }
@@ -106,6 +132,52 @@ mod tests {
         builder.add_transition(s0, target.universe[0].clone(), s1);
         builder.add_transition(s1, target.universe[2].clone(), s0);
         let implementation = builder.build(s0);
+        let diagnostics = verify_implementation(
+            &target.service,
+            &target.universe,
+            &implementation,
+            &ServicePassOptions::default(),
+        );
+        assert!(diagnostics.is_empty(), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn the_bisim_quotient_pre_pass_is_verdict_and_witness_invariant() {
+        let target = fixtures::double_acquire_implementation();
+        let implementation = target.implementation.as_ref().unwrap();
+        let mut per_knob = Vec::new();
+        for symmetry in [Symmetry::On, Symmetry::Off] {
+            let options = ServicePassOptions {
+                symmetry,
+                ..ServicePassOptions::default()
+            };
+            per_knob.push(verify_implementation(
+                &target.service,
+                &target.universe,
+                implementation,
+                &options,
+            ));
+        }
+        assert_eq!(per_knob[0], per_knob[1], "knobs must agree bytewise");
+        assert_eq!(per_knob[0][0].code, "SA010");
+        assert_eq!(per_knob[0][0].trace.len(), 2);
+    }
+
+    #[test]
+    fn redundant_conforming_states_collapse_in_the_quotient() {
+        let target = fixtures::double_acquire_implementation();
+        // Two bisimilar copies of the holding state: the quotient pre-pass
+        // verifies a strictly smaller LTS, with the verdict unchanged.
+        let mut builder = LtsBuilder::new();
+        let s0 = builder.add_state("idle");
+        let h1 = builder.add_state("holding-a");
+        let h2 = builder.add_state("holding-b");
+        builder.add_transition(s0, target.universe[0].clone(), h1);
+        builder.add_transition(s0, target.universe[0].clone(), h2);
+        builder.add_transition(h1, target.universe[2].clone(), s0);
+        builder.add_transition(h2, target.universe[2].clone(), s0);
+        let implementation = builder.build(s0);
+        assert!(implementation.minimize().state_count() < implementation.state_count());
         let diagnostics = verify_implementation(
             &target.service,
             &target.universe,

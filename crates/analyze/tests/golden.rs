@@ -6,15 +6,26 @@
 //!    code;
 //! 3. the ample-set partial-order reduction reports the identical
 //!    diagnostic set as full exploration on all six floor-control
-//!    solutions — while visiting strictly fewer states.
+//!    solutions — while visiting strictly fewer states;
+//! 4. the symmetry quotient reports the identical diagnostic set as the
+//!    concrete exploration on every target and fixture — while visiting
+//!    strictly fewer states wherever a non-trivial group exists.
 
 use svckit_analyze::{
     all_targets, fixtures, solution_targets, AnalysisReport, Reduction, ServicePassOptions,
+    Symmetry,
 };
 
 fn options(reduction: Reduction) -> ServicePassOptions {
     ServicePassOptions {
         reduction,
+        ..ServicePassOptions::default()
+    }
+}
+
+fn sym_options(symmetry: Symmetry) -> ServicePassOptions {
+    ServicePassOptions {
+        symmetry,
         ..ServicePassOptions::default()
     }
 }
@@ -111,4 +122,59 @@ fn fixture_diagnostics_are_reduction_invariant_too() {
     let reduced = AnalysisReport::run(&fixture_targets, &options(Reduction::AmpleSets));
     let full = AnalysisReport::run(&fixture_targets, &options(Reduction::Full));
     assert_eq!(reduced.to_diag_json(), full.to_diag_json());
+}
+
+#[test]
+fn symmetry_quotient_reports_identical_diagnostics_on_every_target_and_fixture() {
+    let mut targets = all_targets();
+    targets.extend(fixtures::expected_codes().into_iter().map(|(t, _)| t));
+    let quotient = AnalysisReport::run(&targets, &sym_options(Symmetry::On));
+    let concrete = AnalysisReport::run(&targets, &sym_options(Symmetry::Off));
+
+    // Byte-identical diagnostics — the CI `cmp` contract…
+    assert_eq!(quotient.to_diag_json(), concrete.to_diag_json());
+
+    // …and the knob-invariant sym block agrees too: both runs explore the
+    // same (on, off) pair, only the roles of main and counterpart swap.
+    for (q, c) in quotient.targets.iter().zip(&concrete.targets) {
+        assert_eq!(q.target, c.target);
+        assert_eq!(q.sym, c.sym, "`{}`", q.target);
+    }
+
+    // The floor-control solutions (three interchangeable subscribers)
+    // must actually shrink: strictly fewer states under the quotient.
+    for (q, c) in quotient.targets.iter().zip(&concrete.targets) {
+        if q.target.starts_with("proto-") || q.target.starts_with("mw-") {
+            assert!(
+                q.states < c.states,
+                "`{}`: quotient {} vs concrete {} states",
+                q.target,
+                q.states,
+                c.states
+            );
+            assert!(q.sym.states_saved > 0, "`{}`", q.target);
+        }
+    }
+}
+
+#[test]
+fn symmetry_and_reduction_compose_without_changing_diagnostics() {
+    let targets = solution_targets();
+    let mut diag_jsons = Vec::new();
+    for reduction in [Reduction::Full, Reduction::AmpleSets] {
+        for symmetry in [Symmetry::On, Symmetry::Off] {
+            let report = AnalysisReport::run(
+                &targets,
+                &ServicePassOptions {
+                    reduction,
+                    symmetry,
+                    ..ServicePassOptions::default()
+                },
+            );
+            diag_jsons.push(report.to_diag_json());
+        }
+    }
+    for pair in diag_jsons.windows(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
 }

@@ -17,7 +17,7 @@ use svckit::model::Duration;
 use svckit_bench::{fmt_f, print_header, print_row};
 use svckit_sweep::{
     default_threads, engine_flag, flag_usize, flag_value, obs_flags, queue_backend_flag, run_sweep,
-    shards_flag, verbosity, SweepSpec,
+    shards_flag, symmetry_flag, verbosity, SweepSpec,
 };
 
 fn main() {
@@ -63,6 +63,12 @@ fn main() {
         // byte-identical sweep JSON; CI cmp's --engine interp against the
         // default dfa run.
         spec = spec.engine(engine);
+    }
+    if let Some(symmetry) = symmetry_flag(&args) {
+        // The simulation never explores state spaces, so sweep JSON is
+        // byte-identical across symmetry settings too; CI cmp's
+        // --symmetry off against the default on run.
+        spec = spec.symmetry(symmetry);
     }
     let report = run_sweep(&spec, threads);
 

@@ -9,10 +9,20 @@
 //!     --solution proto-token --subscribers 8 --resources 2 --rounds 5 \
 //!     --seed 1 --link wan --trace
 //! ```
+//!
+//! `--verify` model-checks the floor-control service over this run's
+//! universe *before* simulating: the product space of the configured
+//! subscriber/resource counts is explored (deadlocks, livelocks) with the
+//! symmetry quotient controlled by `--symmetry on|off`. With the quotient
+//! on (the default), verification of large subscriber counts stays cheap —
+//! the per-user explosion collapses to orbit counting.
 
 use std::process::ExitCode;
 
-use svckit::floorctl::{floor_control_service, run_solution, RunParams, Solution};
+use svckit::floorctl::{
+    floor_control_service, floor_event_universe, run_solution, RunParams, Solution,
+};
+use svckit::lts::explorer::{ExploreOptions, ServiceExplorer};
 use svckit::model::conformance::{check_trace, CheckOptions};
 use svckit::model::Duration;
 use svckit::netsim::LinkConfig;
@@ -22,6 +32,7 @@ struct Options {
     params: RunParams,
     show_trace: bool,
     show_check: bool,
+    verify: bool,
 }
 
 fn usage() -> String {
@@ -46,6 +57,10 @@ fn usage() -> String {
          \x20 --link <kind>         lan | wan | lossy (default lan)\n\
          \x20 --trace               print the recorded primitive trace\n\
          \x20 --check               print the full conformance report\n\
+         \x20 --verify              model-check the service over this run's\n\
+         \x20                       universe before simulating\n\
+         \x20 --symmetry <on|off>   quotient the --verify exploration by the\n\
+         \x20                       user-permutation symmetry (default on)\n\
          \x20 --help                this text\n",
     );
     text
@@ -76,6 +91,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut params = RunParams::default();
     let mut show_trace = false;
     let mut show_check = false;
+    let mut verify = false;
 
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -137,8 +153,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 )
             }
             "--link" => params = params.link(parse_link(&value("--link")?)?),
+            "--symmetry" => {
+                params = params.symmetry(value("--symmetry")?.parse()?);
+            }
             "--trace" => show_trace = true,
             "--check" => show_check = true,
+            "--verify" => verify = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -147,7 +167,44 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         params,
         show_trace,
         show_check,
+        verify,
     }))
+}
+
+/// The `--verify` pre-run model check: explore the floor-control product
+/// space over this run's universe, with the symmetry quotient per
+/// [`RunParams::symmetry`]. Returns `false` when the service misbehaves
+/// over the configured universe (which would make simulating it pointless).
+fn verify_run(params: &RunParams) -> bool {
+    let service = floor_control_service();
+    let universe = floor_event_universe(params.subscriber_count(), params.resource_count());
+    let explorer = ServiceExplorer::with_engine(&service, universe, 2, params.engine_value());
+    let report = explorer.explore(&ExploreOptions {
+        progress: vec!["granted".to_owned(), "free".to_owned()],
+        symmetry: params.symmetry_value(),
+        ..ExploreOptions::default()
+    });
+    println!(
+        "model check:  {} state(s), {} transition(s) [symmetry {}, {} concrete state(s) saved]",
+        report.states,
+        report.transitions,
+        params.symmetry_value(),
+        report.sym_states_saved,
+    );
+    let healthy = !report.truncated
+        && report.deadlock_states == 0
+        && report.livelock.is_none()
+        && report.never_enabled.is_empty();
+    if !healthy {
+        eprintln!(
+            "model check FAILED: truncated={} deadlocks={} livelock={} never_enabled={}",
+            report.truncated,
+            report.deadlock_states,
+            report.livelock.is_some(),
+            report.never_enabled.len(),
+        );
+    }
+    healthy
 }
 
 fn main() -> ExitCode {
@@ -163,6 +220,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if options.verify && !verify_run(&options.params) {
+        return ExitCode::FAILURE;
+    }
 
     let outcome = run_solution(options.solution, &options.params);
     println!(

@@ -17,8 +17,10 @@
 //! recorder, measured A/B in-process so it is machine-independent) and
 //! `obs_sites_enabled` (1 when built with `--features obs`, else 0).
 //! A sidecar `<out>.por.json` carries the full-vs-reduced exploration
-//! statistics in the shared [`PorStats`] schema. `--threads` sets the
-//! worker count of the sweep-harness bench entry (default: all cores).
+//! statistics in the shared [`PorStats`] schema, and `<out>.sym.json` the
+//! symmetry-quotient statistics in the shared [`SymStats`] schema.
+//! `--threads` sets the worker count of the sweep-harness bench entry
+//! (default: all cores).
 
 use std::time::Instant as WallInstant;
 
@@ -27,13 +29,14 @@ use svckit::floorctl::{
     Solution,
 };
 use svckit::lts::explorer::{ExploreOptions, Reduction, ServiceExplorer};
+use svckit::lts::Symmetry;
 use svckit::model::{Duration, PartId};
 use svckit::netsim::{Context, LinkConfig, Process, QueueBackend, SimConfig, Simulator, TimerId};
 use svckit::obs::with_recorder;
 use svckit_bench::scale::{run_scale_soak, ScaleConfig};
 use svckit_sweep::{
     chrome_trace, default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity,
-    JsonWriter, ObsFormat, PorStats, Recorder, SweepSpec,
+    JsonWriter, ObsFormat, PorStats, Recorder, SweepSpec, SymStats,
 };
 
 use std::hint::black_box;
@@ -366,6 +369,53 @@ fn main() {
         }),
     );
 
+    // Symmetry quotient on top of ample sets: floor control, 3 SAPs × 4
+    // resources, window 2 — the issue's reduction floor. Product states
+    // are canonicalized under the user-permutation group before hashing,
+    // so the quotient explores one representative per orbit.
+    let sym_explorer = ServiceExplorer::new(&service, floor_event_universe(3, 4), 2);
+    let sym_options = ExploreOptions {
+        reduction: Reduction::AmpleSets,
+        progress: vec!["granted".to_owned(), "free".to_owned()],
+        symmetry: Symmetry::On,
+        // Past the default bound so the unreduced side finishes (~101 k
+        // states) and the perfgated reduction ratio is exact.
+        max_states: 200_000,
+        ..ExploreOptions::default()
+    };
+    let sym_report = sym_explorer.explore(&sym_options);
+    let nosym_report = sym_explorer.explore(&ExploreOptions {
+        symmetry: Symmetry::Off,
+        ..sym_options.clone()
+    });
+    println!(
+        "    (symmetry: {} states / {} transitions vs unreduced {} / {}; \
+         {} orbit group(s), {} canon hit(s), {} state(s) saved)",
+        sym_report.states,
+        sym_report.transitions,
+        nosym_report.states,
+        nosym_report.transitions,
+        sym_report.orbit_count,
+        sym_report.canon_hits,
+        sym_report.sym_states_saved,
+    );
+    let sym_stats = SymStats {
+        full_states: nosym_report.states as u64,
+        full_transitions: nosym_report.transitions as u64,
+        full_truncated: nosym_report.truncated,
+        quotient_states: sym_report.states as u64,
+        quotient_transitions: sym_report.transitions as u64,
+        orbit_count: sym_report.orbit_count as u64,
+        canon_hits: sym_report.canon_hits,
+        states_saved: sym_report.sym_states_saved,
+    };
+    record(
+        "explorer/sym_reduction",
+        median_ns(1, 7, || {
+            black_box(sym_explorer.explore(&sym_options).states);
+        }),
+    );
+
     // --- Netsim hot paths. ----------------------------------------------
     // pingpong and timer_churn also run on the reference heap backend:
     // the `_heap` keys document the wheel's win on the same workload and
@@ -525,6 +575,20 @@ fn main() {
     results.push(("obs_disabled_overhead", overhead_pct));
     results.push(("obs_sites_enabled", sites));
 
+    // The symmetry state counts as data keys (counts, not nanoseconds):
+    // perfgate holds full/quotient as a cross-key reduction floor, which —
+    // unlike the timing keys — is exact and machine-independent.
+    println!(
+        "{:<36} {} states",
+        "explorer/sym_states_full", nosym_report.states
+    );
+    results.push(("explorer/sym_states_full", nosym_report.states as f64));
+    println!(
+        "{:<36} {} states",
+        "explorer/sym_states_quotient", sym_report.states
+    );
+    results.push(("explorer/sym_states_quotient", sym_report.states as f64));
+
     // --- Machine-readable output. ---------------------------------------
     let mut json = JsonWriter::pretty();
     json.begin_object();
@@ -544,6 +608,16 @@ fn main() {
     por_stats.write(&mut por_json);
     std::fs::write(&por_path, por_json.finish()).expect("write por sidecar");
     println!("wrote {por_path}");
+
+    // Symmetry statistics sidecar, in the schema `svckit-analyze` shares.
+    let sym_path = match out_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.sym.json"),
+        None => format!("{out_path}.sym.json"),
+    };
+    let mut sym_json = JsonWriter::pretty();
+    sym_stats.write(&mut sym_json);
+    std::fs::write(&sym_path, sym_json.finish()).expect("write sym sidecar");
+    println!("wrote {sym_path}");
 
     // Optional obs capture: one instrumented pingpong + POR exploration.
     if let Some((obs_path, format)) = obs_flags(&args) {

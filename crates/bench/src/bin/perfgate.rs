@@ -23,13 +23,17 @@
 //! are compiled in the overhead is real by design and the bound is
 //! skipped. `obs_sites_enabled` itself is a flag, not a timing.
 //!
-//! Two cross-key gates ride along, both computed entirely from the
+//! Three cross-key gates ride along, all computed entirely from the
 //! *fresh* run so the ratios are machine-independent and immune to
 //! baseline staleness: `netsim/timer_churn` (timer wheel) must beat
 //! `netsim/timer_churn_heap` (same workload on the reference binary
-//! heap) by at least [`MIN_CHURN_SPEEDUP`]×, and `explorer/dfa_allowed`
+//! heap) by at least [`MIN_CHURN_SPEEDUP`]×, `explorer/dfa_allowed`
 //! (compiled DFA tables) must beat `explorer/allowed_2k_steps` (the same
-//! walk on the memoized interpreter) by at least [`MIN_DFA_SPEEDUP`]×.
+//! walk on the memoized interpreter) by at least [`MIN_DFA_SPEEDUP`]×,
+//! and the symmetry quotient must shrink the 3×4 floor-control product
+//! space by at least [`MIN_SYM_REDUCTION`]× beyond ample sets alone
+//! (`explorer/sym_states_full / explorer/sym_states_quotient` — exact
+//! state counts, not timings, so the floor is deterministic).
 //!
 //! [`FLOOR_KEYS`] are throughput keys (events per second — higher is
 //! better): the band is applied *inverted*, so a fresh value below
@@ -39,7 +43,14 @@
 use svckit_sweep::{flag_value, parse_flat_numbers};
 
 /// Keys that are not nanosecond medians and must skip the ratio band.
-const SPECIAL_KEYS: [&str; 2] = ["obs_disabled_overhead", "obs_sites_enabled"];
+/// The two `sym_states` keys are exact state counts gated by the
+/// [`MIN_SYM_REDUCTION`] cross-key floor instead.
+const SPECIAL_KEYS: [&str; 4] = [
+    "obs_disabled_overhead",
+    "obs_sites_enabled",
+    "explorer/sym_states_full",
+    "explorer/sym_states_quotient",
+];
 
 /// Throughput keys: higher is better, gated as a floor, not a ceiling.
 const FLOOR_KEYS: [&str; 2] = ["netsim/soak_100k_evps", "mw_admission_evps"];
@@ -56,6 +67,13 @@ const MIN_CHURN_SPEEDUP: f64 = 3.0;
 /// tables exist to beat the memoized interpreter on exactly this walk, so
 /// losing the margin is a regression even inside the absolute band.
 const MIN_DFA_SPEEDUP: f64 = 3.0;
+
+/// Minimum required `sym_states_full / sym_states_quotient` reduction on
+/// the 3×4 floor-control exploration: the symmetry quotient exists to
+/// collapse the per-user explosion, so exploring fewer than 5× fewer
+/// states than ample sets alone is a regression. State counts are exact,
+/// so this floor carries no machine noise at all.
+const MIN_SYM_REDUCTION: f64 = 5.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -198,6 +216,32 @@ fn main() {
             println!(
                 "ok          {:<36} {speedup:>13.2}x (floor {MIN_DFA_SPEEDUP:.1}x vs interp)",
                 "dfa_allowed speedup"
+            );
+        }
+    }
+
+    // Cross-key gate: symmetry-quotient state reduction on the 3×4
+    // floor-control exploration, computed entirely from the fresh run.
+    // Both keys are exact state counts, so the ratio is deterministic.
+    if let (Some(full), Some(quotient)) = (
+        fresh_key("explorer/sym_states_full"),
+        fresh_key("explorer/sym_states_quotient"),
+    ) {
+        let reduction = if quotient > 0.0 {
+            full / quotient
+        } else {
+            f64::INFINITY
+        };
+        if reduction < MIN_SYM_REDUCTION {
+            regressions += 1;
+            println!(
+                "REGRESSION  {:<36} {reduction:>13.2}x (floor {MIN_SYM_REDUCTION:.1}x vs unreduced)",
+                "sym_states reduction"
+            );
+        } else {
+            println!(
+                "ok          {:<36} {reduction:>13.2}x (floor {MIN_SYM_REDUCTION:.1}x vs unreduced)",
+                "sym_states reduction"
             );
         }
     }

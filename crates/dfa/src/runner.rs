@@ -271,6 +271,50 @@ impl Binder {
         &self.edge_lists[id as usize]
     }
 
+    /// The reverse slot map: `result[slot] = (constraint index, instance)`
+    /// for every slot interned so far. This is the introspection surface
+    /// symmetry reduction builds its slot families from: slots of one
+    /// constraint whose instances differ only in the SAP are images of one
+    /// another under user permutations.
+    pub fn slot_instances(&self) -> Vec<(usize, Instance)> {
+        let mut out: Vec<Option<(usize, Instance)>> = vec![None; self.slot_info.len()];
+        for ((ci, instance), &slot) in &self.slots {
+            out[slot as usize] = Some((*ci, instance.clone()));
+        }
+        out.into_iter()
+            .map(|entry| entry.expect("every slot id was interned through the map"))
+            .collect()
+    }
+
+    /// Whether constraint `ci` compiled to the mutual-exclusion shape (its
+    /// slot states carry holder identities rather than per-SAP counters).
+    pub fn is_mutex(&self, ci: usize) -> bool {
+        matches!(self.compiled.constraints[ci].shape, Shape::Mutex { .. })
+    }
+
+    /// The holder SAP named by mutex constraint `ci`'s slot state `state`,
+    /// or `None` for the free state (or a non-mutex constraint).
+    pub fn mutex_holder_of(&self, ci: usize, state: u16) -> Option<Sap> {
+        let dfa = &self.current_dfa[ci];
+        if state >= dfa.nstates() {
+            return None;
+        }
+        dfa.meta(state)
+            .holder
+            .map(|h| self.mutex[ci].holders[h as usize].clone())
+    }
+
+    /// The slot state of mutex constraint `ci` meaning "held by `sap`", or
+    /// `None` when `sap` was never interned as a holder. Permuting users in
+    /// a product state rewrites each held mutex slot to the state of the
+    /// renamed holder through this map.
+    pub fn mutex_holder_state(&self, ci: usize, sap: &Sap) -> Option<u16> {
+        let h = self.mutex[ci].holders.iter().position(|held| held == sap)?;
+        let h = u16::try_from(h).ok()?;
+        let dfa = &self.current_dfa[ci];
+        (0..dfa.nstates()).find(|&s| dfa.meta(s).holder == Some(h))
+    }
+
     #[inline]
     fn state_of(key: &[u16], slot: u32) -> u16 {
         key.get(slot as usize).copied().unwrap_or(0)

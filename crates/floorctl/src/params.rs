@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use svckit_lts::Symmetry;
 use svckit_middleware::Engine;
 use svckit_model::Duration;
 use svckit_netsim::{LinkConfig, QueueBackend};
@@ -95,6 +96,7 @@ pub struct RunParams {
     queue: QueueBackend,
     shards: u32,
     engine: Engine,
+    symmetry: Symmetry,
 }
 
 impl Default for RunParams {
@@ -114,6 +116,7 @@ impl Default for RunParams {
             queue: QueueBackend::default(),
             shards: 1,
             engine: Engine::default(),
+            symmetry: Symmetry::On,
         }
     }
 }
@@ -213,6 +216,19 @@ impl RunParams {
         self
     }
 
+    /// Selects whether model-checking passes over this run's universe
+    /// (the floorctl CLI's `--verify` pre-run check, analyzer reruns)
+    /// quotient states by the user-permutation symmetry (builder-style).
+    /// The simulation itself never explores, so sweep output is
+    /// byte-identical across settings — the knob only bounds what a
+    /// verification of the configured subscriber count costs. Defaults to
+    /// [`Symmetry::On`]: verification wants the quotient.
+    #[must_use]
+    pub fn symmetry(mut self, symmetry: Symmetry) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
     /// Number of subscribers.
     pub fn subscriber_count(&self) -> u64 {
         self.subscribers
@@ -268,6 +284,11 @@ impl RunParams {
         self.engine
     }
 
+    /// Symmetry setting for model-checking passes over this run's universe.
+    pub fn symmetry_value(&self) -> Symmetry {
+        self.symmetry
+    }
+
     /// Simulated-time cap.
     pub fn cap(&self) -> Duration {
         self.time_cap
@@ -294,6 +315,13 @@ mod tests {
     fn expected_grants_is_product() {
         let p = RunParams::default().subscribers(3).rounds(7);
         assert_eq!(p.expected_grants(), 21);
+    }
+
+    #[test]
+    fn symmetry_defaults_on_and_round_trips() {
+        assert_eq!(RunParams::default().symmetry_value(), Symmetry::On);
+        let p = RunParams::default().symmetry(Symmetry::Off);
+        assert_eq!(p.symmetry_value(), Symmetry::Off);
     }
 
     #[test]

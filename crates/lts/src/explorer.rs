@@ -30,6 +30,7 @@ use svckit_dfa::{Binder, Compiled, Edge, Engine};
 use svckit_model::{Constraint, ConstraintKind, ConstraintScope, Sap, ServiceDefinition, Value};
 
 use crate::lts::{Lts, LtsBuilder, StateId};
+use crate::symmetry::{orbit_factor, Symmetry, SymmetryGroups};
 
 /// An abstract event of the universe: a primitive with concrete arguments at
 /// a concrete access point (time-abstracted).
@@ -936,6 +937,12 @@ pub struct ExploreOptions {
     /// How many deadlock witness traces to materialise (all deadlock
     /// states are still *counted*).
     pub max_deadlock_witnesses: usize,
+    /// Whether to canonicalize product states under the user-permutation
+    /// symmetry group ([`SymmetryGroups::detect`]) before hashing, so the
+    /// search explores one representative per orbit. Witness traces are
+    /// expanded back to concrete access points; state and deadlock counts
+    /// are then quotient-level.
+    pub symmetry: Symmetry,
 }
 
 impl Default for ExploreOptions {
@@ -945,6 +952,7 @@ impl Default for ExploreOptions {
             reduction: Reduction::AmpleSets,
             progress: Vec::new(),
             max_deadlock_witnesses: 4,
+            symmetry: Symmetry::Off,
         }
     }
 }
@@ -988,6 +996,20 @@ pub struct ExploreReport {
     /// This is the explorer half of the shared POR-statistics schema
     /// (`svckit-obs`'s `PorStats`).
     pub ample_hist: Vec<u64>,
+    /// Orbit representatives stored when symmetry is on (then equal to
+    /// [`ExploreReport::states`] — every stored state is the canonical
+    /// member of its orbit); 0 when symmetry is off.
+    pub orbit_count: usize,
+    /// Non-identity canonicalizations performed during the search: how
+    /// often a stepped successor was rewritten to a different orbit
+    /// representative before hashing.
+    pub canon_hits: u64,
+    /// Concrete states represented by stored representatives but never
+    /// stored: Σ (orbit size − 1) over stored states. Under
+    /// [`Reduction::Full`], `states + sym_states_saved` equals the
+    /// unquotiented reachable state count exactly (the detected groups are
+    /// full symmetric groups, so orbit sizes are `n!/∏ mᵢ!`).
+    pub sym_states_saved: u64,
 }
 
 impl<'a> ServiceExplorer<'a> {
@@ -1092,6 +1114,13 @@ impl<'a> ServiceExplorer<'a> {
     pub fn explore(&self, options: &ExploreOptions) -> ExploreReport {
         let mut engine = StepEngine::new(self);
         let event_ids: Vec<u32> = self.universe.iter().map(|e| engine.event_id(e)).collect();
+        // Build the canonicalizer only after every universe event has been
+        // interned: the DFA slot set (and mutex holder alphabet) is fixed
+        // from here on, so the slot families are complete.
+        let mut sym = match options.symmetry {
+            Symmetry::On => SymCanon::build(self, &engine),
+            Symmetry::Off => None,
+        };
         let closures = match options.reduction {
             Reduction::AmpleSets => self.dependence_closures(),
             Reduction::Full => None,
@@ -1106,43 +1135,59 @@ impl<'a> ServiceExplorer<'a> {
         let mut edges: Vec<(u32, u32, u32)> = Vec::new();
         let mut enabled_ever = vec![false; n];
         let mut deadlock_states = 0usize;
-        let mut deadlocks: Vec<Vec<AbstractEvent>> = Vec::new();
+        let mut deadlock_sids: Vec<u32> = Vec::new();
         let mut truncated = false;
         let mut ample_hist: Vec<u64> = Vec::new();
+        let mut states_saved = 0u64;
 
-        let init = engine.initial_key();
+        let raw_init = engine.initial_key();
+        let (init, init_orbit) = match sym.as_mut() {
+            Some(sym) => {
+                let (key, orbit, _) = sym.canonical(&mut engine, raw_init);
+                (key, orbit)
+            }
+            None => (raw_init, 1),
+        };
+        states_saved += init_orbit - 1;
         pool.push(init.clone());
         ids.insert(init, 0);
         parents.push(None);
         quiescent.push(engine.is_quiescent(&pool[0]));
         let mut queue: VecDeque<u32> = VecDeque::from([0]);
 
-        let trace_to = |sid: u32, parents: &[Option<(u32, u32)>]| -> Vec<AbstractEvent> {
-            let mut trace = Vec::new();
+        let steps_to = |sid: u32, parents: &[Option<(u32, u32)>]| -> Vec<u32> {
+            let mut steps = Vec::new();
             let mut cursor = sid;
             while let Some((parent, ei)) = parents[cursor as usize] {
-                trace.push(self.universe[ei as usize].clone());
+                steps.push(ei);
                 cursor = parent;
             }
-            trace.reverse();
-            trace
+            steps.reverse();
+            steps
         };
 
         while let Some(sid) = queue.pop_front() {
             let key = pool[sid as usize].clone();
             let mut enabled: Vec<usize> = Vec::new();
-            let mut succ: Vec<Option<Vec<u32>>> = vec![None; n];
+            // Successor and its orbit size (1 without symmetry).
+            let mut succ: Vec<Option<(Vec<u32>, u64)>> = vec![None; n];
             for i in 0..n {
                 if let Ok(next) = engine.step_key(&key, &self.universe[i], event_ids[i]) {
                     enabled.push(i);
                     enabled_ever[i] = true;
-                    succ[i] = Some(next);
+                    succ[i] = Some(match sym.as_mut() {
+                        Some(sym) => {
+                            let (canon, orbit, _) = sym.canonical(&mut engine, next);
+                            (canon, orbit)
+                        }
+                        None => (next, 1),
+                    });
                 }
             }
             if enabled.is_empty() {
                 deadlock_states += 1;
-                if deadlocks.len() < options.max_deadlock_witnesses {
-                    deadlocks.push(trace_to(sid, &parents));
+                if deadlock_sids.len() < options.max_deadlock_witnesses {
+                    deadlock_sids.push(sid);
                 }
                 continue;
             }
@@ -1166,10 +1211,12 @@ impl<'a> ServiceExplorer<'a> {
                 // Guard against trivial starvation: an ample set whose
                 // every transition loops back to this very state would let
                 // the search idle forever and ignore the rest of the
-                // enabled events (constraint-irrelevant events self-loop).
+                // enabled events (constraint-irrelevant events self-loop;
+                // under symmetry, orbit-internal moves count as self-loops
+                // too, which only ever forces *more* expansion).
                 let only_self_loops = candidate
                     .iter()
-                    .all(|&i| *succ[i].as_ref().expect("enabled") == key);
+                    .all(|&i| succ[i].as_ref().expect("enabled").0 == key);
                 if candidate.len() < enabled.len() && !only_self_loops {
                     ample = candidate;
                     expand = &ample;
@@ -1182,7 +1229,7 @@ impl<'a> ServiceExplorer<'a> {
             svckit_obs::obs_count!("lts.states_expanded");
             svckit_obs::obs_record!("lts.ample_size", expand.len());
             for &i in expand {
-                let next = succ[i].clone().expect("enabled event has a successor");
+                let (next, orbit) = succ[i].clone().expect("enabled event has a successor");
                 match ids.get(&next) {
                     Some(&to) => edges.push((sid, i as u32, to)),
                     None => {
@@ -1191,6 +1238,7 @@ impl<'a> ServiceExplorer<'a> {
                             continue;
                         }
                         let to = u32::try_from(pool.len()).expect("fewer than 2^32 states");
+                        states_saved += orbit - 1;
                         quiescent.push(engine.is_quiescent(&next));
                         pool.push(next.clone());
                         ids.insert(next, to);
@@ -1202,6 +1250,29 @@ impl<'a> ServiceExplorer<'a> {
             }
         }
 
+        // Orbit-close the enabled marks: an event enabled at any state of
+        // an orbit is enabled — under the right renaming — at its
+        // representative, so the quotient search only ever observes one
+        // image per orbit. Mark the whole event orbit before reporting
+        // never-enabled events.
+        if let Some(sym) = &sym {
+            let mut classes: HashMap<(usize, &String, &Vec<Value>), Vec<usize>> = HashMap::new();
+            for (i, event) in self.universe.iter().enumerate() {
+                if let Some(&(g, _)) = sym.member_index.get(&event.sap) {
+                    classes
+                        .entry((g, &event.primitive, &event.args))
+                        .or_default()
+                        .push(i);
+                }
+            }
+            for indices in classes.values() {
+                if indices.iter().any(|&i| enabled_ever[i]) {
+                    for &i in indices {
+                        enabled_ever[i] = true;
+                    }
+                }
+            }
+        }
         let never_enabled = self
             .universe
             .iter()
@@ -1209,17 +1280,40 @@ impl<'a> ServiceExplorer<'a> {
             .filter(|(_, &seen)| !seen)
             .map(|(e, _)| e.clone())
             .collect();
+
+        // Snapshot the search's canonicalization count before witness
+        // expansion replays paths (replays canonicalize too, but those
+        // hits are bookkeeping, not search work).
+        let canon_hits = sym.as_ref().map_or(0, |sym| sym.canon_hits);
+        let mut deadlocks: Vec<Vec<AbstractEvent>> = Vec::with_capacity(deadlock_sids.len());
+        for &sid in &deadlock_sids {
+            let steps = steps_to(sid, &parents);
+            deadlocks.push(self.expand_steps(&mut engine, sym.as_mut(), &steps, &event_ids));
+        }
         let livelock = self
             .find_non_progress_cycle(&edges, &quiescent, &options.progress)
-            .map(|(entry, cycle)| LivelockWitness {
-                prefix: trace_to(entry, &parents),
-                cycle: cycle
-                    .into_iter()
-                    .map(|ei| self.universe[ei as usize].clone())
-                    .collect(),
+            .map(|(entry, cycle)| {
+                let mut steps = steps_to(entry, &parents);
+                let prefix_len = steps.len();
+                steps.extend(cycle.iter().copied());
+                let mut events = self.expand_steps(&mut engine, sym.as_mut(), &steps, &event_ids);
+                let cycle = events.split_off(prefix_len);
+                LivelockWitness {
+                    prefix: events,
+                    cycle,
+                }
             });
         svckit_obs::obs_count!("lts.states", pool.len());
         svckit_obs::obs_count!("lts.transitions", edges.len());
+        let orbit_count = match options.symmetry {
+            Symmetry::On => pool.len(),
+            Symmetry::Off => 0,
+        };
+        if options.symmetry == Symmetry::On {
+            svckit_obs::obs_count!("lts.sym_orbits", orbit_count);
+            svckit_obs::obs_count!("lts.sym_canon_hits", canon_hits as usize);
+            svckit_obs::obs_count!("lts.sym_states_saved", states_saved as usize);
+        }
         ExploreReport {
             states: pool.len(),
             transitions: edges.len(),
@@ -1229,7 +1323,68 @@ impl<'a> ServiceExplorer<'a> {
             never_enabled,
             livelock,
             ample_hist,
+            orbit_count,
+            canon_hits,
+            sym_states_saved: states_saved,
         }
+    }
+
+    /// Materialises a path of universe indices recorded on the (possibly
+    /// quotient) search tree as a concrete event trace. Without symmetry
+    /// this is a plain index lookup. With symmetry the recorded events are
+    /// in *canonical* coordinates, so the path is replayed, composing the
+    /// renaming each canonicalization applied; every emitted event then
+    /// carries the access point of one real execution — the trace replays
+    /// verbatim against the unreduced automaton. (A livelock cycle
+    /// expanded this way closes modulo symmetry: iterating it keeps
+    /// permuting users, which by finiteness still yields an infinite
+    /// non-progress behaviour.)
+    fn expand_steps(
+        &self,
+        engine: &mut StepEngine<'_, 'a>,
+        sym: Option<&mut SymCanon>,
+        steps: &[u32],
+        event_ids: &[u32],
+    ) -> Vec<AbstractEvent> {
+        let Some(sym) = sym else {
+            return steps
+                .iter()
+                .map(|&ei| self.universe[ei as usize].clone())
+                .collect();
+        };
+        // sigma[g][q] = which concrete member of group g the canonical
+        // member q currently denotes. The initial canonicalization is the
+        // identity (all fragments are empty), so sigma starts there.
+        let mut sigma: Vec<Vec<usize>> =
+            sym.groups.iter().map(|g| (0..g.len()).collect()).collect();
+        let raw_init = engine.initial_key();
+        let (mut key, _, _) = sym.canonical(engine, raw_init);
+        let mut out = Vec::with_capacity(steps.len());
+        for &ei in steps {
+            let event = &self.universe[ei as usize];
+            out.push(match sym.member_index.get(&event.sap) {
+                Some(&(g, q)) => AbstractEvent::new(
+                    sym.groups[g][sigma[g][q]].clone(),
+                    event.primitive.clone(),
+                    event.args.clone(),
+                ),
+                None => event.clone(),
+            });
+            let next = match engine.step_key(&key, event, event_ids[ei as usize]) {
+                Ok(next) => next,
+                Err(_) => unreachable!("recorded search edges step successfully"),
+            };
+            let (canon, _, orders) = sym.canonical(engine, next);
+            if let Some(orders) = &orders {
+                // Canonical member p of the successor is the stepped
+                // state's member orders[g][p]: compose the renamings.
+                for (g, order) in orders.iter().enumerate() {
+                    sigma[g] = order.iter().map(|&src| sigma[g][src]).collect();
+                }
+            }
+            key = canon;
+        }
+        out
     }
 
     /// Finds a cycle in the subgraph of non-quiescent states restricted to
@@ -1455,6 +1610,49 @@ impl<'x, 'a> ProductEngine<'x, 'a> {
         }
         Ok(next)
     }
+
+    /// Re-interns `key` with every SAP renamed through `rename` (a
+    /// bijection on symmetric-group members, the identity elsewhere).
+    /// Constraints whose state mentions no renamed SAP keep their
+    /// interned id — no allocation, no rebuild.
+    fn rename_key(&mut self, key: &[u32], rename: &HashMap<Sap, Sap>) -> Vec<u32> {
+        let constraints = self.explorer.service.constraints();
+        let mut next = key.to_vec();
+        for (ci, slot) in next.iter_mut().enumerate() {
+            let current = Arc::clone(&self.tables[ci].states[*slot as usize]);
+            let renamed = match current.as_ref() {
+                CState::Counters(map) => {
+                    if map.keys().all(|(owner, _)| {
+                        owner.as_ref().is_none_or(|sap| !rename.contains_key(sap))
+                    }) {
+                        continue;
+                    }
+                    CState::Counters(
+                        map.iter()
+                            .map(|((owner, k), &count)| {
+                                let owner = owner
+                                    .as_ref()
+                                    .map(|sap| rename.get(sap).unwrap_or(sap).clone());
+                                ((owner, k.clone()), count)
+                            })
+                            .collect(),
+                    )
+                }
+                CState::Holders(held) => {
+                    if held.values().all(|sap| !rename.contains_key(sap)) {
+                        continue;
+                    }
+                    CState::Holders(
+                        held.iter()
+                            .map(|(k, sap)| (k.clone(), rename.get(sap).unwrap_or(sap).clone()))
+                            .collect(),
+                    )
+                }
+            };
+            *slot = self.tables[ci].intern(&constraints[ci], renamed);
+        }
+        next
+    }
 }
 
 /// Why a [`StepEngine::step_key`] rejected, with enough context to render
@@ -1550,6 +1748,321 @@ impl<'x, 'a> StepEngine<'x, 'a> {
                 message: rt.binder.violation_message(edge, *state, sap),
             },
             _ => unreachable!("step error from a different engine"),
+        }
+    }
+}
+
+/// One constraint-instance entry owned by a symmetric-group member — the
+/// atom of a member's *state fragment*. A product state over a symmetric
+/// group decomposes into one fragment per member plus a renaming-invariant
+/// residue (global counters, non-member entries), so permuting members
+/// permutes fragments and canonicalization is "sort the fragments".
+///
+/// The interpreter and DFA variants carry different payloads, but their
+/// equality relations coincide (slot states and interned constraint states
+/// have the same distinguishing power — the dual-engine equivalence tests
+/// pin this), and fragment *ids* are assigned in first-encounter order
+/// along identical searches, so both engines sort members identically and
+/// pick identical orbit representatives.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum FragAtom {
+    /// Interpreter: the member's counter for `(constraint, key)` is at
+    /// `count` (zero counters are dropped, so absence means zero).
+    Count {
+        ci: u32,
+        key: Vec<Value>,
+        count: u32,
+    },
+    /// Interpreter: the member holds mutex `ci`'s instance `key`.
+    Held { ci: u32, key: Vec<Value> },
+    /// DFA: slot family `family` of the member's group (families sorted by
+    /// `(constraint, key)`) is at `state` (state 0 entries are dropped,
+    /// mirroring the interpreter's dropped zero counters).
+    Slot { family: u32, state: u16 },
+    /// DFA: the member holds the mutex instance behind `slot`.
+    HeldSlot { slot: u32 },
+}
+
+/// The canonicalizer behind [`ExploreOptions::symmetry`]: detected
+/// symmetric groups, the fragment-id interner, and (under the DFA engine)
+/// the slot families that tie each member's slots together.
+struct SymCanon {
+    /// The detected groups, each sorted by SAP order.
+    groups: Vec<Vec<Sap>>,
+    /// SAP → (group index, member index within the group).
+    member_index: HashMap<Sap, (usize, usize)>,
+    /// Fragment → dense id, assigned in first-encounter order. Sorting
+    /// members by these ids is the canonical form; discovery order makes
+    /// it engine-independent (see [`FragAtom`]).
+    frag_ids: HashMap<Vec<FragAtom>, u32>,
+    /// DFA only: `dfa_families[g][f][j]` = the slot of group `g`'s member
+    /// `j` in family `f` (one family per non-mutex `(constraint, key)`
+    /// instance bound to a member, sorted by that pair).
+    dfa_families: Vec<Vec<Vec<u32>>>,
+    /// DFA only: `(slot, constraint)` of every mutex slot, ascending.
+    dfa_mutex: Vec<(u32, usize)>,
+    /// Non-identity canonicalizations performed so far.
+    canon_hits: u64,
+}
+
+impl SymCanon {
+    /// Builds the canonicalizer, or `None` when no symmetry is available:
+    /// trivial groups, or constraint kinds whose state we cannot
+    /// introspect. Call only after every universe event has been interned
+    /// into `engine` — the DFA slot set and mutex holder alphabet must be
+    /// complete.
+    fn build(explorer: &ServiceExplorer<'_>, engine: &StepEngine<'_, '_>) -> Option<SymCanon> {
+        if explorer.has_opaque_kinds {
+            return None;
+        }
+        let detected = SymmetryGroups::detect(&explorer.universe);
+        if detected.is_trivial() {
+            return None;
+        }
+        let groups: Vec<Vec<Sap>> = detected.groups().to_vec();
+        let mut member_index: HashMap<Sap, (usize, usize)> = HashMap::new();
+        for (g, members) in groups.iter().enumerate() {
+            for (j, sap) in members.iter().enumerate() {
+                member_index.insert(sap.clone(), (g, j));
+            }
+        }
+        let (dfa_families, dfa_mutex) = match engine {
+            StepEngine::Dfa(rt) => {
+                // Per group: (constraint, key) family → the member-indexed
+                // slots, `None` until that member's slot interns.
+                type Families = BTreeMap<(usize, Vec<Value>), Vec<Option<u32>>>;
+                let mut families: Vec<Families> = vec![BTreeMap::new(); groups.len()];
+                let mut mutexes: Vec<(u32, usize)> = Vec::new();
+                for (slot, (ci, (owner, key))) in rt.binder.slot_instances().into_iter().enumerate()
+                {
+                    let slot = u32::try_from(slot).expect("slot count fits u32");
+                    if rt.binder.is_mutex(ci) {
+                        mutexes.push((slot, ci));
+                    } else if let Some(&(g, j)) =
+                        owner.as_ref().and_then(|sap| member_index.get(sap))
+                    {
+                        let width = groups[g].len();
+                        families[g]
+                            .entry((ci, key))
+                            .or_insert_with(|| vec![None; width])[j] = Some(slot);
+                    }
+                }
+                let families: Vec<Vec<Vec<u32>>> = families
+                    .into_iter()
+                    .map(|group_families| {
+                        group_families
+                            .into_values()
+                            .map(|members| {
+                                members
+                                    .into_iter()
+                                    .map(|slot| {
+                                        // Group members have identical event
+                                        // sets, so resolving the universe
+                                        // interned the analogous slot at
+                                        // every member.
+                                        slot.expect("symmetric members intern symmetric slots")
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect();
+                (families, mutexes)
+            }
+            StepEngine::Interp(_) => (Vec::new(), Vec::new()),
+        };
+        Some(SymCanon {
+            groups,
+            member_index,
+            frag_ids: HashMap::new(),
+            dfa_families,
+            dfa_mutex,
+            canon_hits: 0,
+        })
+    }
+
+    /// Rewrites `key` to its orbit representative and returns it together
+    /// with the orbit's size and — when the canonicalization was not the
+    /// identity — the per-group member orders applied (canonical position
+    /// `p` took the fragment of member `orders[g][p]`).
+    ///
+    /// The representative is well-defined on orbits: permuting members
+    /// permutes the fragment multiset, and "position `p` gets the `p`-th
+    /// smallest fragment" lands every orbit member on the same state. Ties
+    /// (equal fragments) are broken stably by member index, which cannot
+    /// change the resulting state — tied fragments are identical. Applying
+    /// the form twice is the identity, since sorted fragments stay sorted.
+    fn canonical(
+        &mut self,
+        engine: &mut StepEngine<'_, '_>,
+        key: Vec<u32>,
+    ) -> (Vec<u32>, u64, Option<Vec<Vec<usize>>>) {
+        let mut orders: Vec<Vec<usize>> = Vec::with_capacity(self.groups.len());
+        let mut orbit = 1u64;
+        let mut identity = true;
+        for g in 0..self.groups.len() {
+            let members = self.groups[g].len();
+            let mut frags: Vec<u32> = Vec::with_capacity(members);
+            for j in 0..members {
+                let frag = member_frag(
+                    &*engine,
+                    &self.groups,
+                    &self.dfa_families,
+                    &self.dfa_mutex,
+                    g,
+                    j,
+                    &key,
+                );
+                let next_id =
+                    u32::try_from(self.frag_ids.len()).expect("fewer than 2^32 fragments");
+                frags.push(*self.frag_ids.entry(frag).or_insert(next_id));
+            }
+            orbit = orbit.saturating_mul(orbit_factor(&frags));
+            let mut order: Vec<usize> = (0..members).collect();
+            order.sort_by_key(|&j| frags[j]);
+            identity &= order.iter().enumerate().all(|(pos, &src)| pos == src);
+            orders.push(order);
+        }
+        if identity {
+            return (key, orbit, None);
+        }
+        self.canon_hits += 1;
+        let renamed = permute_key(
+            engine,
+            &self.groups,
+            &self.dfa_families,
+            &self.dfa_mutex,
+            &self.member_index,
+            &orders,
+            &key,
+        );
+        (renamed, orbit, Some(orders))
+    }
+}
+
+/// The state fragment of group `g`'s member `j` in product state `key`.
+/// Deterministic within each engine (constraint order, then `BTreeMap` /
+/// family order), so equal fragments produce equal vectors.
+fn member_frag(
+    engine: &StepEngine<'_, '_>,
+    groups: &[Vec<Sap>],
+    dfa_families: &[Vec<Vec<u32>>],
+    dfa_mutex: &[(u32, usize)],
+    g: usize,
+    j: usize,
+    key: &[u32],
+) -> Vec<FragAtom> {
+    let sap = &groups[g][j];
+    let mut frag = Vec::new();
+    match engine {
+        StepEngine::Interp(product) => {
+            for (ci, &sid) in key.iter().enumerate() {
+                match product.tables[ci].states[sid as usize].as_ref() {
+                    CState::Counters(map) => {
+                        for ((owner, k), &count) in map {
+                            if owner.as_ref() == Some(sap) {
+                                frag.push(FragAtom::Count {
+                                    ci: ci as u32,
+                                    key: k.clone(),
+                                    count,
+                                });
+                            }
+                        }
+                    }
+                    CState::Holders(held) => {
+                        for (k, holder) in held {
+                            if holder == sap {
+                                frag.push(FragAtom::Held {
+                                    ci: ci as u32,
+                                    key: k.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        StepEngine::Dfa(rt) => {
+            for (f, family) in dfa_families[g].iter().enumerate() {
+                let state = key[family[j] as usize];
+                if state != 0 {
+                    frag.push(FragAtom::Slot {
+                        family: f as u32,
+                        state: state as u16,
+                    });
+                }
+            }
+            for &(slot, ci) in dfa_mutex {
+                let state = key[slot as usize];
+                if state != 0 && rt.binder.mutex_holder_of(ci, state as u16).as_ref() == Some(sap) {
+                    frag.push(FragAtom::HeldSlot { slot });
+                }
+            }
+        }
+    }
+    frag
+}
+
+/// Applies the member permutation `orders` (canonical position `p` ←
+/// member `orders[g][p]`) to `key`: the DFA engine permutes slot states
+/// along each family and rewrites held mutex slots through the holder
+/// alphabet; the interpreter renames SAPs inside each constraint state and
+/// re-interns.
+fn permute_key(
+    engine: &mut StepEngine<'_, '_>,
+    groups: &[Vec<Sap>],
+    dfa_families: &[Vec<Vec<u32>>],
+    dfa_mutex: &[(u32, usize)],
+    member_index: &HashMap<Sap, (usize, usize)>,
+    orders: &[Vec<usize>],
+    key: &[u32],
+) -> Vec<u32> {
+    match engine {
+        StepEngine::Interp(product) => {
+            let mut rename: HashMap<Sap, Sap> = HashMap::new();
+            for (g, order) in orders.iter().enumerate() {
+                for (pos, &src) in order.iter().enumerate() {
+                    if pos != src {
+                        rename.insert(groups[g][src].clone(), groups[g][pos].clone());
+                    }
+                }
+            }
+            product.rename_key(key, &rename)
+        }
+        StepEngine::Dfa(rt) => {
+            let mut next = key.to_vec();
+            for (g, families) in dfa_families.iter().enumerate() {
+                for family in families {
+                    for (pos, &src) in orders[g].iter().enumerate() {
+                        next[family[pos] as usize] = key[family[src] as usize];
+                    }
+                }
+            }
+            for &(slot, ci) in dfa_mutex {
+                let state = key[slot as usize];
+                if state == 0 {
+                    continue;
+                }
+                let Some(holder) = rt.binder.mutex_holder_of(ci, state as u16) else {
+                    continue;
+                };
+                let Some(&(g, j)) = member_index.get(&holder) else {
+                    continue;
+                };
+                let pos = orders[g]
+                    .iter()
+                    .position(|&src| src == j)
+                    .expect("orders permute the whole group");
+                let renamed = &groups[g][pos];
+                if renamed != &holder {
+                    let state = rt
+                        .binder
+                        .mutex_holder_state(ci, renamed)
+                        .expect("group members share the mutex holder alphabet");
+                    next[slot as usize] = u32::from(state);
+                }
+            }
+            next
         }
     }
 }
@@ -2020,5 +2533,208 @@ mod tests {
             vec![Value::Id(7)],
         );
         assert_eq!(e.to_string(), "subscriber@part-1!request(#7)");
+    }
+
+    /// Under full (unreduced) expansion the quotient is *exact*: stored
+    /// representatives plus the states their orbits save must equal the
+    /// unquotiented count, per engine, and the verdict surface must agree.
+    #[test]
+    fn symmetry_quotient_is_exact_under_full_expansion() {
+        let svc = floor_control();
+        for engine in [Engine::Dfa, Engine::Interp] {
+            let explorer = ServiceExplorer::with_engine(&svc, universe(3, 2), 1, engine);
+            let off = explorer.explore(&ExploreOptions {
+                reduction: Reduction::Full,
+                progress: vec!["granted".into()],
+                ..ExploreOptions::default()
+            });
+            let on = explorer.explore(&ExploreOptions {
+                reduction: Reduction::Full,
+                progress: vec!["granted".into()],
+                symmetry: Symmetry::On,
+                ..ExploreOptions::default()
+            });
+            assert!(!off.truncated && !on.truncated);
+            assert!(on.states < off.states, "{} vs {}", on.states, off.states);
+            assert_eq!(
+                on.states as u64 + on.sym_states_saved,
+                off.states as u64,
+                "quotient + saved must cover the full space exactly ({engine:?})"
+            );
+            assert_eq!(on.orbit_count, on.states);
+            assert!(on.canon_hits > 0);
+            assert_eq!(off.orbit_count, 0);
+            assert_eq!(off.canon_hits, 0);
+            assert_eq!(off.sym_states_saved, 0);
+            assert_eq!(on.deadlock_states, 0);
+            assert_eq!(off.deadlock_states, 0);
+            assert_eq!(
+                sorted_events(&on.never_enabled),
+                sorted_events(&off.never_enabled)
+            );
+            assert_eq!(on.livelock.is_some(), off.livelock.is_some());
+        }
+    }
+
+    /// The canonical form must be engine-independent: fragment ids are
+    /// interned in discovery order along identical searches, so both
+    /// engines pick identical orbit representatives and the whole report
+    /// — state counts, witnesses, histograms — matches byte for byte.
+    #[test]
+    fn engines_agree_under_symmetry() {
+        let svc = floor_control();
+        let dfa = ServiceExplorer::with_engine(&svc, universe(3, 2), 1, Engine::Dfa);
+        let interp = ServiceExplorer::with_engine(&svc, universe(3, 2), 1, Engine::Interp);
+        for reduction in [Reduction::Full, Reduction::AmpleSets] {
+            let options = ExploreOptions {
+                reduction,
+                progress: vec!["granted".into()],
+                symmetry: Symmetry::On,
+                ..ExploreOptions::default()
+            };
+            assert_eq!(
+                format!("{:?}", dfa.explore(&options)),
+                format!("{:?}", interp.explore(&options)),
+                "{reduction:?}"
+            );
+        }
+    }
+
+    /// Same-orbit-tie regression: states whose members carry *equal*
+    /// fragments must canonicalize stably (the stable sort fixes tied
+    /// members in place), so repeated explorations — fresh interners each
+    /// time — reproduce the exact same report.
+    #[test]
+    fn repeated_symmetric_explorations_are_identical() {
+        let svc = floor_control();
+        for engine in [Engine::Dfa, Engine::Interp] {
+            let explorer = ServiceExplorer::with_engine(&svc, universe(3, 1), 1, engine);
+            let options = ExploreOptions {
+                progress: vec!["granted".into()],
+                symmetry: Symmetry::On,
+                ..ExploreOptions::default()
+            };
+            let first = format!("{:?}", explorer.explore(&options));
+            for _ in 0..2 {
+                assert_eq!(first, format!("{:?}", explorer.explore(&options)));
+            }
+        }
+    }
+
+    /// Deadlock witnesses found on the quotient are expanded back to
+    /// concrete access points: every trace must replay step-by-step
+    /// against an unreduced explorer and end in a genuinely dead state.
+    #[test]
+    fn symmetric_deadlock_witnesses_replay_concretely() {
+        // Locks that are never released: once both resources are held the
+        // universe (which has no `release` events) is dead.
+        let svc = ServiceDefinition::builder("locks")
+            .role("user", 2, usize::MAX)
+            .primitive(PrimitiveSpec::new("acquire", Direction::FromUser).param_id("resid"))
+            .primitive(PrimitiveSpec::new("release", Direction::FromUser).param_id("resid"))
+            .constraint(Constraint::mutual_exclusion("acquire", "release").keyed(&[0]))
+            .build()
+            .unwrap();
+        let mut events = Vec::new();
+        for u in 1..=2u64 {
+            for r in 1..=2u64 {
+                events.push(AbstractEvent::new(
+                    Sap::new("user", PartId::new(u)),
+                    "acquire",
+                    vec![Value::Id(r)],
+                ));
+            }
+        }
+        for engine in [Engine::Dfa, Engine::Interp] {
+            let explorer = ServiceExplorer::with_engine(&svc, events.clone(), 1, engine);
+            let report = explorer.explore(&ExploreOptions {
+                reduction: Reduction::Full,
+                symmetry: Symmetry::On,
+                ..ExploreOptions::default()
+            });
+            assert!(report.deadlock_states > 0);
+            assert!(!report.deadlocks.is_empty());
+            let oracle = ServiceExplorer::with_engine(&svc, events.clone(), 1, engine);
+            for witness in &report.deadlocks {
+                assert_eq!(witness.len(), 2, "both resources must be held: {witness:?}");
+                let mut state = oracle.initial_state();
+                for event in witness {
+                    state = oracle
+                        .step(&state, event)
+                        .unwrap_or_else(|v| panic!("witness must replay: {v} at {event}"));
+                }
+                assert!(
+                    oracle.allowed(&state).is_empty(),
+                    "expanded witness must end deadlocked"
+                );
+            }
+        }
+    }
+
+    /// Livelock witnesses on the quotient: the prefix plus one unrolling
+    /// of the cycle replays concretely, and the cycle stays non-progress.
+    #[test]
+    fn symmetric_livelock_witness_replays_concretely() {
+        let svc = ServiceDefinition::builder("spinner")
+            .role("user", 2, usize::MAX)
+            .primitive(PrimitiveSpec::new("start", Direction::FromUser))
+            .primitive(PrimitiveSpec::new("spin", Direction::FromUser))
+            .primitive(PrimitiveSpec::new("finish", Direction::ToUser))
+            .constraint(Constraint::eventually_follows(
+                "start",
+                "finish",
+                ConstraintScope::SameSap,
+            ))
+            .build()
+            .unwrap();
+        let mut events = Vec::new();
+        for u in 1..=2u64 {
+            let sap = Sap::new("user", PartId::new(u));
+            for prim in ["start", "spin", "finish"] {
+                events.push(AbstractEvent::new(sap.clone(), prim, vec![]));
+            }
+        }
+        for engine in [Engine::Dfa, Engine::Interp] {
+            let explorer = ServiceExplorer::with_engine(&svc, events.clone(), 1, engine);
+            let report = explorer.explore(&ExploreOptions {
+                reduction: Reduction::Full,
+                progress: vec!["finish".into()],
+                symmetry: Symmetry::On,
+                ..ExploreOptions::default()
+            });
+            let witness = report.livelock.expect("spin loop is a livelock");
+            assert!(witness.cycle.iter().all(|e| e.primitive == "spin"));
+            let oracle = ServiceExplorer::with_engine(&svc, events.clone(), 1, engine);
+            let mut state = oracle.initial_state();
+            for event in witness.prefix.iter().chain(&witness.cycle) {
+                state = oracle
+                    .step(&state, event)
+                    .unwrap_or_else(|v| panic!("witness must replay: {v} at {event}"));
+            }
+        }
+    }
+
+    /// A universe with no interchangeable users: the knob is inert —
+    /// reports match the unreduced run, with trivial orbit accounting.
+    #[test]
+    fn trivial_symmetry_groups_leave_the_search_unchanged() {
+        let svc = floor_control();
+        // Different argument sets at the two subscribers break symmetry.
+        let mut events = universe(1, 2);
+        let sap = Sap::new("subscriber", PartId::new(2));
+        for prim in ["request", "granted", "free"] {
+            events.push(AbstractEvent::new(sap.clone(), prim, vec![Value::Id(9)]));
+        }
+        let explorer = ServiceExplorer::new(&svc, events, 1);
+        let off = explorer.explore(&ExploreOptions::default());
+        let on = explorer.explore(&ExploreOptions {
+            symmetry: Symmetry::On,
+            ..ExploreOptions::default()
+        });
+        assert_eq!(on.states, off.states);
+        assert_eq!(on.transitions, off.transitions);
+        assert_eq!(on.orbit_count, on.states);
+        assert_eq!(on.canon_hits, 0);
+        assert_eq!(on.sym_states_saved, 0);
     }
 }

@@ -53,8 +53,10 @@
 
 pub mod explorer;
 mod lts;
+pub mod symmetry;
 
 pub use lts::{Act, Lts, LtsBuilder, StateId, TraceRefinementError};
 /// The constraint-evaluation engine knob (compiled DFA tables vs the
 /// reference interpreter), re-exported from `svckit-dfa`.
 pub use svckit_dfa::Engine;
+pub use symmetry::{Symmetry, SymmetryGroups};

@@ -50,7 +50,7 @@ pub mod stats;
 pub use ctx::{absorb_into_current, active, sites_enabled, with_recorder};
 pub use json::{parse_flat_numbers, JsonWriter};
 pub use recorder::{chrome_trace, Event, Hist, LinkStat, Recorder};
-pub use stats::PorStats;
+pub use stats::{PorStats, SymStats};
 
 /// Adds 1 (or `n`) to a named counter on the installed recorder.
 ///

@@ -1,9 +1,10 @@
-//! The shared partial-order-reduction statistics schema.
+//! The shared state-space-reduction statistics schemas.
 //!
 //! Both `svckit-analyze` (in `ANALYZE_report.json`) and the explorer
-//! benchmarks (in `BENCH_hotpath.json`'s sidecar) report POR work through
-//! this one struct, so the two artifacts stay field-compatible and a
-//! single reader can compare analyzer runs against benchmark runs.
+//! benchmarks (in `BENCH_hotpath.json`'s sidecar) report partial-order
+//! ([`PorStats`]) and symmetry-quotient ([`SymStats`]) work through these
+//! structs, so the two artifacts stay field-compatible and a single
+//! reader can compare analyzer runs against benchmark runs.
 
 use crate::json::JsonWriter;
 
@@ -79,9 +80,97 @@ impl PorStats {
     }
 }
 
+/// Symmetry-quotient statistics for one (service, universe): the
+/// unreduced run next to the quotient run at the same reduction setting,
+/// plus the quotient's orbit accounting. Shares the artifact conventions
+/// of [`PorStats`] — `svckit-analyze` reports one block per target and the
+/// benchmarks reuse the same schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SymStats {
+    /// States visited without symmetry (same reduction setting).
+    pub full_states: u64,
+    /// Transitions taken without symmetry.
+    pub full_transitions: u64,
+    /// Whether the unreduced run hit its state bound (the quotient run
+    /// may still have completed — that asymmetry is the point).
+    pub full_truncated: bool,
+    /// Orbit representatives visited with symmetry on.
+    pub quotient_states: u64,
+    /// Transitions taken with symmetry on.
+    pub quotient_transitions: u64,
+    /// Distinct orbits stored (equals `quotient_states`).
+    pub orbit_count: u64,
+    /// Non-identity canonicalizations during the quotient search.
+    pub canon_hits: u64,
+    /// Concrete states covered by stored representatives but never
+    /// stored: Σ (orbit size − 1).
+    pub states_saved: u64,
+}
+
+impl SymStats {
+    /// `full_states / quotient_states` — how much smaller the quotient
+    /// made the search. 1.0 when either side is unknown.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.full_states == 0 || self.quotient_states == 0 {
+            1.0
+        } else {
+            self.full_states as f64 / self.quotient_states as f64
+        }
+    }
+
+    /// Writes the stats as one JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "full_states": ..., "full_transitions": ..., "full_truncated": ...,
+    ///   "quotient_states": ..., "quotient_transitions": ...,
+    ///   "orbit_count": ..., "canon_hits": ..., "states_saved": ...,
+    ///   "reduction_ratio": ...
+    /// }
+    /// ```
+    pub fn write(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("full_states").uint(self.full_states);
+        w.key("full_transitions").uint(self.full_transitions);
+        w.key("full_truncated").boolean(self.full_truncated);
+        w.key("quotient_states").uint(self.quotient_states);
+        w.key("quotient_transitions")
+            .uint(self.quotient_transitions);
+        w.key("orbit_count").uint(self.orbit_count);
+        w.key("canon_hits").uint(self.canon_hits);
+        w.key("states_saved").uint(self.states_saved);
+        w.key("reduction_ratio").float(self.reduction_ratio(), 3);
+        w.end_object();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sym_ratio_and_schema() {
+        let stats = SymStats {
+            full_states: 9854,
+            full_transitions: 23886,
+            full_truncated: false,
+            quotient_states: 1330,
+            quotient_transitions: 3200,
+            orbit_count: 1330,
+            canon_hits: 4934,
+            states_saved: 6385,
+        };
+        assert!((stats.reduction_ratio() - 9854.0 / 1330.0).abs() < 1e-9);
+        let mut w = JsonWriter::compact();
+        stats.write(&mut w);
+        assert_eq!(
+            w.finish(),
+            "{\"full_states\":9854,\"full_transitions\":23886,\"full_truncated\":false,\
+             \"quotient_states\":1330,\"quotient_transitions\":3200,\"orbit_count\":1330,\
+             \"canon_hits\":4934,\"states_saved\":6385,\"reduction_ratio\":7.409}\n"
+        );
+        assert!((SymStats::default().reduction_ratio() - 1.0).abs() < 1e-9);
+    }
 
     #[test]
     fn ratio_and_mean() {

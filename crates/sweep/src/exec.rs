@@ -95,6 +95,9 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> RunOutcome {
     if let Some(engine) = spec.engine {
         params = params.engine(engine);
     }
+    if let Some(symmetry) = spec.symmetry {
+        params = params.symmetry(symmetry);
+    }
     let faults = match cell.campaign {
         Some(i) => spec.campaigns[i].events.clone(),
         None => Vec::new(),

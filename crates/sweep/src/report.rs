@@ -422,6 +422,17 @@ pub fn engine_flag(args: &[String]) -> Option<svckit::floorctl::Engine> {
     Some(value.parse().unwrap_or_else(|e| panic!("{e}")))
 }
 
+/// Parses the shared `--symmetry` flag (`on` | `off`); `None` when absent,
+/// leaving each consumer to its own default.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on an unknown setting.
+pub fn symmetry_flag(args: &[String]) -> Option<svckit::lts::Symmetry> {
+    let value = flag_value(args, "symmetry")?;
+    Some(value.parse().unwrap_or_else(|e| panic!("{e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use svckit::floorctl::{Engine, FaultEvent, RunParams, Solution};
+use svckit::floorctl::{Engine, FaultEvent, RunParams, Solution, Symmetry};
 use svckit::netsim::QueueBackend;
 use svckit::protocol::ReliabilityConfig;
 
@@ -88,6 +88,12 @@ pub struct SweepSpec {
     /// engines produce byte-identical sweep JSON — overriding is only
     /// useful for differential testing in CI.
     pub engine: Option<Engine>,
+    /// Optional symmetry-quotient override applied to every cell
+    /// (`--symmetry`). `None` keeps each variation's own setting. The
+    /// simulation never explores state spaces, so sweep JSON is
+    /// byte-identical across settings — the knob reaches the cells' run
+    /// parameters for pre-run verification tooling (`floorctl --verify`).
+    pub symmetry: Option<Symmetry>,
 }
 
 /// One expanded grid point, by index into the owning [`SweepSpec`].
@@ -119,6 +125,7 @@ impl SweepSpec {
             queue: None,
             shards: None,
             engine: None,
+            symmetry: None,
         }
     }
 
@@ -222,6 +229,14 @@ impl SweepSpec {
     #[must_use]
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = Some(engine);
+        self
+    }
+
+    /// Forces every cell onto the given symmetry setting (builder-style).
+    /// See [`SweepSpec::symmetry`].
+    #[must_use]
+    pub fn symmetry(mut self, symmetry: Symmetry) -> Self {
+        self.symmetry = Some(symmetry);
         self
     }
 
