@@ -14,10 +14,11 @@
 
 use svckit::floorctl::{RunParams, Solution};
 use svckit::model::Duration;
+use svckit::netsim::LinkConfig;
 use svckit_bench::{fmt_f, print_header, print_row};
 use svckit_sweep::{
     default_threads, engine_flag, flag_usize, flag_value, obs_flags, queue_backend_flag, run_sweep,
-    shards_flag, symmetry_flag, verbosity, SweepSpec,
+    shards_flag, symmetry_flag, trace_flags, verbosity, SweepSpec,
 };
 
 fn main() {
@@ -211,5 +212,49 @@ fn main() {
     }
     if svckit::obs::sites_enabled() {
         verbose.sink_summary("fig4_middleware", &report.obs_total());
+    }
+
+    // T — causal traces for the four Figure-4 deployments. A separate
+    // spec on *deterministic* links: the sequential engine draws jitter
+    // from one global stream and the sharded engine per pair, so the
+    // jittered E2 grid above cannot be byte-identical across --shards —
+    // the jitter-free envelope is, and CI `cmp`s shards 1 vs 4 on both
+    // files this block writes.
+    if let Some(flags) = trace_flags(&args) {
+        println!("T — request traces, four Figure-4 deployments (N=8, deterministic links)\n");
+        let mut trace_spec = SweepSpec::new("fig4_trace")
+            .solutions([
+                Solution::MwCallback,
+                Solution::MwPolling,
+                Solution::MwToken,
+                Solution::MwQueue,
+            ])
+            .variation(
+                "N=8",
+                RunParams::default()
+                    .subscribers(8)
+                    .resources(2)
+                    .rounds(4)
+                    .link(LinkConfig::perfect(Duration::from_micros(500)))
+                    .seed(108)
+                    .time_cap(Duration::from_secs(300)),
+            );
+        if let Some(shards) = shards_flag(&args) {
+            trace_spec = trace_spec.shards(shards);
+        }
+        if let Some(backend) = queue_backend_flag(&args) {
+            trace_spec = trace_spec.queue_backend(backend);
+        }
+        let trace_report = run_sweep(&trace_spec, threads);
+        for r in &trace_report.results {
+            assert!(r.outcome.completed && r.outcome.conformant);
+        }
+        trace_report.write_trace(&flags);
+        if !svckit::obs::sites_enabled() {
+            verbose.info(
+                "note: obs sites are compiled out; trace outputs are empty \
+                 (rebuild with --features obs)",
+            );
+        }
     }
 }

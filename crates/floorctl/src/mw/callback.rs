@@ -162,7 +162,7 @@ impl Component for CallbackSubscriber {
         assert_eq!(op, "grant");
         let resid = args[0].as_id().expect("validated by skeleton");
         self.holding = Some(resid);
-        ctx.record_primitive(subscriber_sap(ctx.id()), "granted", vec![Value::Id(resid)]);
+        ctx.record_primitive_to_user(subscriber_sap(ctx.id()), "granted", vec![Value::Id(resid)]);
         ctx.set_timer(self.hold, HOLD);
         Value::Unit
     }
@@ -170,7 +170,11 @@ impl Component for CallbackSubscriber {
     fn on_timer(&mut self, ctx: &mut MwCtx<'_, '_>, timer: TimerId) {
         if timer == THINK {
             let resid = ctx.rand_below(self.resources) + 1;
-            ctx.record_primitive(subscriber_sap(ctx.id()), "request", vec![Value::Id(resid)]);
+            ctx.record_primitive_from_user(
+                subscriber_sap(ctx.id()),
+                "request",
+                vec![Value::Id(resid)],
+            );
             ctx.invoke(
                 CONTROLLER,
                 "Controller",
@@ -181,7 +185,11 @@ impl Component for CallbackSubscriber {
             .expect("controller interface is in the plan");
         } else if timer == HOLD {
             let resid = self.holding.take().expect("hold timer only while holding");
-            ctx.record_primitive(subscriber_sap(ctx.id()), "free", vec![Value::Id(resid)]);
+            ctx.record_primitive_from_user(
+                subscriber_sap(ctx.id()),
+                "free",
+                vec![Value::Id(resid)],
+            );
             ctx.invoke(
                 CONTROLLER,
                 "Controller",

@@ -153,7 +153,11 @@ impl Component for PollingSubscriber {
             Value::Bool(true) => {
                 let resid = self.wanted.take().expect("reply only while wanting");
                 self.holding = Some(resid);
-                ctx.record_primitive(subscriber_sap(ctx.id()), "granted", vec![Value::Id(resid)]);
+                ctx.record_primitive_to_user(
+                    subscriber_sap(ctx.id()),
+                    "granted",
+                    vec![Value::Id(resid)],
+                );
                 ctx.set_timer(self.hold, HOLD);
             }
             Value::Bool(false) => {
@@ -167,14 +171,22 @@ impl Component for PollingSubscriber {
     fn on_timer(&mut self, ctx: &mut MwCtx<'_, '_>, timer: TimerId) {
         if timer == THINK {
             let resid = ctx.rand_below(self.resources) + 1;
-            ctx.record_primitive(subscriber_sap(ctx.id()), "request", vec![Value::Id(resid)]);
+            ctx.record_primitive_from_user(
+                subscriber_sap(ctx.id()),
+                "request",
+                vec![Value::Id(resid)],
+            );
             self.wanted = Some(resid);
             self.poll_once(ctx);
         } else if timer == POLL {
             self.poll_once(ctx);
         } else if timer == HOLD {
             let resid = self.holding.take().expect("hold timer only while holding");
-            ctx.record_primitive(subscriber_sap(ctx.id()), "free", vec![Value::Id(resid)]);
+            ctx.record_primitive_from_user(
+                subscriber_sap(ctx.id()),
+                "free",
+                vec![Value::Id(resid)],
+            );
             ctx.invoke(
                 CONTROLLER,
                 "Controller",

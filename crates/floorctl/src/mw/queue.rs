@@ -146,14 +146,18 @@ impl Component for QueueSubscriber {
     fn on_delivery(&mut self, ctx: &mut MwCtx<'_, '_>, _source: &str, payload: Vec<Value>) {
         let resid = payload[0].as_id().expect("grant carries a resource id");
         self.holding = Some(resid);
-        ctx.record_primitive(subscriber_sap(ctx.id()), "granted", vec![Value::Id(resid)]);
+        ctx.record_primitive_to_user(subscriber_sap(ctx.id()), "granted", vec![Value::Id(resid)]);
         ctx.set_timer(self.hold, HOLD);
     }
 
     fn on_timer(&mut self, ctx: &mut MwCtx<'_, '_>, timer: TimerId) {
         if timer == THINK {
             let resid = ctx.rand_below(self.resources) + 1;
-            ctx.record_primitive(subscriber_sap(ctx.id()), "request", vec![Value::Id(resid)]);
+            ctx.record_primitive_from_user(
+                subscriber_sap(ctx.id()),
+                "request",
+                vec![Value::Id(resid)],
+            );
             ctx.enqueue(
                 REQUESTS_QUEUE,
                 vec![Value::from("request"), Value::Id(self.me), Value::Id(resid)],
@@ -161,7 +165,11 @@ impl Component for QueueSubscriber {
             .expect("requests queue is in the plan");
         } else if timer == HOLD {
             let resid = self.holding.take().expect("hold timer only while holding");
-            ctx.record_primitive(subscriber_sap(ctx.id()), "free", vec![Value::Id(resid)]);
+            ctx.record_primitive_from_user(
+                subscriber_sap(ctx.id()),
+                "free",
+                vec![Value::Id(resid)],
+            );
             ctx.enqueue(
                 REQUESTS_QUEUE,
                 vec![Value::from("free"), Value::Id(self.me), Value::Id(resid)],

@@ -165,7 +165,11 @@ impl Component for TokenSubscriber {
             if available.remove(&wanted) {
                 self.wanted = None;
                 self.holding = Some(wanted);
-                ctx.record_primitive(subscriber_sap(ctx.id()), "granted", vec![Value::Id(wanted)]);
+                ctx.record_primitive_to_user(
+                    subscriber_sap(ctx.id()),
+                    "granted",
+                    vec![Value::Id(wanted)],
+                );
                 ctx.set_timer(self.hold, HOLD);
                 changed = true;
             }
@@ -186,12 +190,20 @@ impl Component for TokenSubscriber {
     fn on_timer(&mut self, ctx: &mut MwCtx<'_, '_>, timer: TimerId) {
         if timer == THINK {
             let resid = ctx.rand_below(self.resources) + 1;
-            ctx.record_primitive(subscriber_sap(ctx.id()), "request", vec![Value::Id(resid)]);
+            ctx.record_primitive_from_user(
+                subscriber_sap(ctx.id()),
+                "request",
+                vec![Value::Id(resid)],
+            );
             self.wanted = Some(resid);
             // Acquisition happens when the token next passes through.
         } else if timer == HOLD {
             let resid = self.holding.take().expect("hold timer only while holding");
-            ctx.record_primitive(subscriber_sap(ctx.id()), "free", vec![Value::Id(resid)]);
+            ctx.record_primitive_from_user(
+                subscriber_sap(ctx.id()),
+                "free",
+                vec![Value::Id(resid)],
+            );
             self.release_pending.insert(resid);
             self.rounds_left -= 1;
             if self.rounds_left > 0 {

@@ -51,12 +51,23 @@ impl Broker {
         c.marshalled_bytes += bytes.len() as u64;
         drop(c);
         svckit_obs::obs_count!("mw.broker_deliveries");
-        svckit_obs::obs_event!(
-            "mw.broker_deliver",
-            "mw",
-            entry.part().raw(),
-            net.now().as_micros()
-        );
+        match net.trace_ctx() {
+            Some(t) => svckit_obs::obs_event!(
+                "mw.broker_deliver",
+                "mw",
+                entry.part().raw(),
+                net.now().as_micros(),
+                t.trace_id,
+                0u64,
+                t.span_id
+            ),
+            None => svckit_obs::obs_event!(
+                "mw.broker_deliver",
+                "mw",
+                entry.part().raw(),
+                net.now().as_micros()
+            ),
+        }
         net.send(entry.part(), bytes);
     }
 }

@@ -216,7 +216,20 @@ impl MwCtx<'_, '_> {
             c.marshalled_bytes += bytes.len() as u64;
         }
         svckit_obs::obs_count!("mw.invocations");
-        svckit_obs::obs_event!("mw.invoke", "mw", part.raw(), self.net.now().as_micros());
+        match self.net.trace_ctx() {
+            Some(t) => svckit_obs::obs_event!(
+                "mw.invoke",
+                "mw",
+                part.raw(),
+                self.net.now().as_micros(),
+                t.trace_id,
+                0u64,
+                t.span_id
+            ),
+            None => {
+                svckit_obs::obs_event!("mw.invoke", "mw", part.raw(), self.net.now().as_micros())
+            }
+        }
         self.net.send(part, bytes);
         if let Some(timeout) = timeout {
             self.net
@@ -290,7 +303,20 @@ impl MwCtx<'_, '_> {
             c.marshalled_bytes += bytes.len() as u64;
         }
         svckit_obs::obs_count!("mw.enqueues");
-        svckit_obs::obs_event!("mw.enqueue", "mw", broker.raw(), self.net.now().as_micros());
+        match self.net.trace_ctx() {
+            Some(t) => svckit_obs::obs_event!(
+                "mw.enqueue",
+                "mw",
+                broker.raw(),
+                self.net.now().as_micros(),
+                t.trace_id,
+                0u64,
+                t.span_id
+            ),
+            None => {
+                svckit_obs::obs_event!("mw.enqueue", "mw", broker.raw(), self.net.now().as_micros())
+            }
+        }
         self.net.send(broker, bytes);
         Ok(())
     }
@@ -325,7 +351,20 @@ impl MwCtx<'_, '_> {
             c.marshalled_bytes += bytes.len() as u64;
         }
         svckit_obs::obs_count!("mw.publishes");
-        svckit_obs::obs_event!("mw.publish", "mw", broker.raw(), self.net.now().as_micros());
+        match self.net.trace_ctx() {
+            Some(t) => svckit_obs::obs_event!(
+                "mw.publish",
+                "mw",
+                broker.raw(),
+                self.net.now().as_micros(),
+                t.trace_id,
+                0u64,
+                t.span_id
+            ),
+            None => {
+                svckit_obs::obs_event!("mw.publish", "mw", broker.raw(), self.net.now().as_micros())
+            }
+        }
         self.net.send(broker, bytes);
         Ok(())
     }
@@ -359,6 +398,34 @@ impl MwCtx<'_, '_> {
             }
         }
         self.net.record_primitive(sap, primitive, args);
+    }
+
+    /// Records a *from-user* primitive occurrence (the user part issuing a
+    /// request into the service) and opens a causal request trace rooted
+    /// here: every invocation, broker hop, timer and retransmission the
+    /// request causes is stitched into one span tree until
+    /// [`MwCtx::record_primitive_to_user`] closes it.
+    pub fn record_primitive_from_user(
+        &mut self,
+        sap: Sap,
+        primitive: impl Into<String>,
+        args: Vec<Value>,
+    ) {
+        self.net.trace_begin();
+        self.record_primitive(sap, primitive, args);
+    }
+
+    /// Records a *to-user* primitive occurrence (the service answering the
+    /// local user part) and terminates this node's open request trace, if
+    /// any.
+    pub fn record_primitive_to_user(
+        &mut self,
+        sap: Sap,
+        primitive: impl Into<String>,
+        args: Vec<Value>,
+    ) {
+        self.record_primitive(sap, primitive, args);
+        self.net.trace_end();
     }
 
     /// Deterministic random value in `[0, bound)`.

@@ -70,3 +70,4 @@ pub use rng::DeterministicRng;
 pub use sim::{
     Context, Payload, Process, QueueBackend, SimConfig, SimError, SimReport, Simulator, TimerId,
 };
+pub use svckit_obs::TraceCtx;

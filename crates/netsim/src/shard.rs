@@ -73,13 +73,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
 use svckit_model::{Duration, Instant, PartId, PrimitiveEvent};
+use svckit_obs::TraceCtx;
 
 use crate::hash::FastMap;
 use crate::metrics::NetMetrics;
 use crate::rng::DeterministicRng;
 use crate::sim::{
-    node_seed, provenance_key, Action, Context, EventKind, EventQueue, LinkTable, Payload, Process,
-    Scheduled, SimConfig, SimError, SimReport, TimerId, TraceBuf, TraceDest,
+    node_seed, provenance_key, Action, Context, EventKind, EventQueue, LinkTable, NodeTracer,
+    Payload, Process, Scheduled, SimConfig, SimError, SimReport, TimerId, TraceBuf, TraceDest,
 };
 
 /// Sentinel published by a shard with an empty queue.
@@ -156,6 +157,11 @@ struct Shard {
     /// Per-node counts of scheduled events, feeding `provenance_key`.
     sched_counts: FastMap<PartId, u64>,
     timer_generation: FastMap<PartId, FastMap<TimerId, u64>>,
+    /// Per-node trace-id mints and open-request slots. Owned by the shard
+    /// (not the per-run worker recorder), so ids persist across run
+    /// slices; a node's dispatch order is shard-invariant, so every shard
+    /// count mints identical ids (see [`NodeTracer`]).
+    tracers: FastMap<PartId, NodeTracer>,
     last_arrival: FastMap<(PartId, PartId), Instant>,
     link_busy_until: FastMap<(PartId, PartId), Instant>,
     metrics: NetMetrics,
@@ -181,6 +187,7 @@ impl Shard {
             pair_rngs: FastMap::default(),
             sched_counts: FastMap::default(),
             timer_generation: FastMap::default(),
+            tracers: FastMap::default(),
             last_arrival: FastMap::default(),
             link_busy_until: FastMap::default(),
             metrics: NetMetrics::new(),
@@ -203,6 +210,7 @@ impl Shard {
         now: Instant,
         phase: u8,
         dispatch_key: u128,
+        trace_ctx: Option<TraceCtx>,
         registry: &FastMap<PartId, u32>,
         links: &LinkTable,
         call: F,
@@ -223,6 +231,8 @@ impl Shard {
                 actions: &mut actions,
                 rng,
                 trace: TraceDest::Shard(&mut self.trace),
+                cur_trace: trace_ctx,
+                tracer: self.tracers.entry(node).or_default(),
             };
             call(process.as_mut(), &mut ctx);
         }
@@ -243,7 +253,12 @@ impl Shard {
     ) {
         for action in actions.drain(..) {
             match action {
-                Action::Send { to, payload } => {
+                Action::Send {
+                    to,
+                    payload,
+                    ctx,
+                    retransmit,
+                } => {
                     self.metrics.record_send(node, payload.len());
                     svckit_obs::obs_count!("net.sends");
                     let Some(&target_shard) = registry.get(&to) else {
@@ -266,7 +281,23 @@ impl Shard {
                     if loss > 0.0 && self.pair_rng(node, to).coin(loss) {
                         self.metrics.record_drop();
                         svckit_obs::obs_count!("net.drops");
-                        svckit_obs::obs_event!("net.drop", "net", to.raw(), now.as_micros());
+                        match ctx {
+                            // Root-parented for the same reason as the
+                            // single engine: resends carry the original
+                            // send's context.
+                            Some(t) => svckit_obs::obs_event!(
+                                "net.drop",
+                                "net",
+                                to.raw(),
+                                now.as_micros(),
+                                t.trace_id,
+                                0u64,
+                                t.parent_id
+                            ),
+                            None => {
+                                svckit_obs::obs_event!("net.drop", "net", to.raw(), now.as_micros())
+                            }
+                        }
                         continue;
                     }
                     let duplicate = duplicate_p > 0.0 && self.pair_rng(node, to).coin(duplicate_p);
@@ -286,6 +317,24 @@ impl Shard {
                         }
                         depart += transmission;
                         *busy = depart;
+                    }
+                    // Time spent queued behind the link (serialization /
+                    // bandwidth backlog) is its own attributable segment.
+                    if let Some(t) = ctx {
+                        if depart > now {
+                            let qid = self.tracers.entry(node).or_default().mint(node);
+                            svckit_obs::obs_span!(
+                                svckit_obs::trace::SPAN_QUEUE_WAIT,
+                                "net",
+                                node.raw(),
+                                0u64,
+                                now.as_micros(),
+                                depart.as_micros(),
+                                t.trace_id,
+                                qid,
+                                t.parent_id
+                            );
+                        }
                     }
                     let payload_len = payload.len();
                     let mut payload = Some(payload);
@@ -309,13 +358,41 @@ impl Shard {
                             payload_len,
                             at.saturating_since(now).as_micros()
                         );
-                        svckit_obs::obs_span!(
-                            "net.transit",
-                            "net",
-                            to.raw(),
-                            now.as_micros(),
-                            at.as_micros()
-                        );
+                        let deliver_ctx = match ctx {
+                            Some(t) => {
+                                // Each copy gets its own transit span, so
+                                // duplicated deliveries stay distinguishable
+                                // in the flame graph.
+                                let sid = self.tracers.entry(node).or_default().mint(node);
+                                let span_name = if retransmit {
+                                    svckit_obs::trace::SPAN_RETRANSMIT
+                                } else {
+                                    svckit_obs::trace::SPAN_TRANSIT
+                                };
+                                svckit_obs::obs_span!(
+                                    span_name,
+                                    "net",
+                                    to.raw(),
+                                    node.raw(),
+                                    depart.as_micros(),
+                                    at.as_micros(),
+                                    t.trace_id,
+                                    sid,
+                                    t.parent_id
+                                );
+                                Some(t.hop(sid))
+                            }
+                            None => {
+                                svckit_obs::obs_span!(
+                                    "net.transit",
+                                    "net",
+                                    to.raw(),
+                                    now.as_micros(),
+                                    at.as_micros()
+                                );
+                                None
+                            }
+                        };
                         let payload = if copy + 1 == copies {
                             payload.take().expect("one payload per copy loop")
                         } else {
@@ -330,11 +407,12 @@ impl Shard {
                                 to,
                                 from: node,
                                 payload,
+                                ctx: deliver_ctx,
                             },
                         );
                     }
                 }
-                Action::SetTimer { delay, id } => {
+                Action::SetTimer { delay, id, ctx } => {
                     let generation = self
                         .timer_generation
                         .entry(node)
@@ -353,6 +431,7 @@ impl Shard {
                             node,
                             id,
                             generation,
+                            ctx,
                         },
                     );
                 }
@@ -409,18 +488,33 @@ impl Shard {
         svckit_obs::obs_count!("net.events");
         let key = event.key;
         match event.kind {
-            EventKind::Deliver { to, from, payload } => {
+            EventKind::Deliver {
+                to,
+                from,
+                payload,
+                ctx,
+            } => {
                 self.metrics.record_delivery(payload.len());
                 svckit_obs::obs_count!("net.deliveries");
                 svckit_obs::obs_count!("net.delivered_bytes", payload.len());
-                self.dispatch(to, event.at, PHASE_EVENT, key, registry, links, |p, ctx| {
-                    p.on_message(ctx, from, payload);
-                });
+                self.dispatch(
+                    to,
+                    event.at,
+                    PHASE_EVENT,
+                    key,
+                    ctx,
+                    registry,
+                    links,
+                    |p, c| {
+                        p.on_message(c, from, payload);
+                    },
+                );
             }
             EventKind::Timer {
                 node,
                 id,
                 generation,
+                ctx,
             } => {
                 let live = self
                     .timer_generation
@@ -433,10 +527,11 @@ impl Shard {
                         event.at,
                         PHASE_EVENT,
                         key,
+                        ctx,
                         registry,
                         links,
-                        |p, ctx| {
-                            p.on_timer(ctx, id);
+                        |p, c| {
+                            p.on_timer(c, id);
                         },
                     );
                 } else {
@@ -644,6 +739,7 @@ impl ShardedSim {
                 Instant::ZERO,
                 PHASE_START,
                 dispatch_key,
+                None,
                 registry,
                 links,
                 |p, ctx| p.on_start(ctx),

@@ -8,6 +8,7 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use svckit_model::{Duration, Instant, PartId, PrimitiveEvent, Sap, Trace, Value};
+use svckit_obs::TraceCtx;
 
 use crate::hash::FastMap;
 use crate::link::LinkConfig;
@@ -60,11 +61,50 @@ pub trait Process: Send {
 }
 
 /// What a handler asked the simulator to do.
+///
+/// Sends and timers carry the dispatching handler's [`TraceCtx`]
+/// *side-band*: the causal context rides on the simulator event, never
+/// inside the wire payload, so codec output is byte-for-byte unchanged
+/// whether tracing is on or off.
 #[derive(Debug)]
 pub(crate) enum Action {
-    Send { to: PartId, payload: Payload },
-    SetTimer { delay: Duration, id: TimerId },
-    CancelTimer { id: TimerId },
+    Send {
+        to: PartId,
+        payload: Payload,
+        ctx: Option<TraceCtx>,
+        /// True when this is a retransmission of an earlier frame; the
+        /// transit span is then recorded as `net.retransmit`.
+        retransmit: bool,
+    },
+    SetTimer {
+        delay: Duration,
+        id: TimerId,
+        ctx: Option<TraceCtx>,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
+}
+
+/// Per-node trace-id mint and open-request registry, owned by the
+/// engine (one per node, persistent across run slices). Ids derive from
+/// `(node, per-node sequence)` only, and a node's dispatch order is
+/// shard-invariant, so every `--shards` value mints identical ids.
+#[derive(Debug, Default)]
+pub(crate) struct NodeTracer {
+    next_seq: u64,
+    /// The `(trace_id, root_span_id)` of this node's open request, if
+    /// any. One per node: a user part issues at most one primitive at a
+    /// time (request → granted → free), so a newly issued primitive
+    /// replaces whatever was left open.
+    open: Option<(u64, u64)>,
+}
+
+impl NodeTracer {
+    pub(crate) fn mint(&mut self, node: PartId) -> u64 {
+        self.next_seq += 1;
+        svckit_obs::trace::mint_id(node.raw(), self.next_seq)
+    }
 }
 
 /// Where a handler's recorded primitives go: straight into the merged
@@ -93,6 +133,12 @@ pub struct Context<'a> {
     pub(crate) actions: &'a mut Vec<Action>,
     pub(crate) rng: &'a mut DeterministicRng,
     pub(crate) trace: TraceDest<'a>,
+    /// The causal context of the event being dispatched (side-band from
+    /// the delivering message or firing timer); inherited by every send
+    /// and timer this handler issues.
+    pub(crate) cur_trace: Option<TraceCtx>,
+    /// This node's trace-id mint and open-request slot.
+    pub(crate) tracer: &'a mut NodeTracer,
 }
 
 impl Context<'_> {
@@ -115,13 +161,45 @@ impl Context<'_> {
         self.actions.push(Action::Send {
             to,
             payload: payload.into(),
+            ctx: self.cur_trace,
+            retransmit: false,
+        });
+    }
+
+    /// Sends `payload` under an explicit causal context instead of the
+    /// dispatch-inherited one. Reliability layers use this to resend
+    /// buffered frames under the context of the *original* send (and
+    /// flag the transit as a retransmission), and to drain backlog
+    /// frames whose context was captured when the application sent
+    /// them, not when the ACK that freed the window arrived.
+    pub fn send_with_ctx(
+        &mut self,
+        to: PartId,
+        payload: impl Into<Payload>,
+        ctx: Option<TraceCtx>,
+        retransmit: bool,
+    ) {
+        self.actions.push(Action::Send {
+            to,
+            payload: payload.into(),
+            ctx,
+            retransmit,
         });
     }
 
     /// Schedules (or reschedules) timer `id` to fire after `delay`.
     /// Re-setting a pending timer supersedes the earlier schedule.
+    ///
+    /// The timer captures the current causal context (demoted to the
+    /// trace root — by the time it fires, the span that delivered this
+    /// dispatch has long closed), so timer-driven continuations such as
+    /// retransmissions and polls stay on their request's trace.
     pub fn set_timer(&mut self, delay: Duration, id: TimerId) {
-        self.actions.push(Action::SetTimer { delay, id });
+        self.actions.push(Action::SetTimer {
+            delay,
+            id,
+            ctx: self.cur_trace.map(TraceCtx::timer_carry),
+        });
     }
 
     /// Cancels a pending timer. Cancelling a timer that is not pending is a
@@ -135,6 +213,67 @@ impl Context<'_> {
     pub fn record_primitive(&mut self, sap: Sap, primitive: impl Into<String>, args: Vec<Value>) {
         self.trace
             .push(PrimitiveEvent::new(self.now, sap, primitive, args));
+    }
+
+    /// Opens a causal trace rooted at this node: mints a fresh
+    /// `(trace_id, root_span)` pair, registers it as the node's open
+    /// request, and makes it the current context — every send and timer
+    /// issued from here on (on this node and, transitively, on every
+    /// node the request's messages reach) carries it. Call when a user
+    /// part *issues* a service primitive. No-op when obs sites are
+    /// compiled out.
+    pub fn trace_begin(&mut self) {
+        if !svckit_obs::sites_enabled() {
+            return;
+        }
+        let trace_id = self.tracer.mint(self.id);
+        let root = self.tracer.mint(self.id);
+        self.tracer.open = Some((trace_id, root));
+        self.cur_trace = Some(TraceCtx::root(trace_id, root));
+        svckit_obs::ctx::event_traced(
+            svckit_obs::trace::TRACE_BEGIN,
+            "trace",
+            self.id.raw(),
+            0,
+            self.now.as_micros(),
+            0,
+            trace_id,
+            root,
+            0,
+        );
+    }
+
+    /// Completes this node's open trace, if any: stamps the end marker
+    /// that closes the root span. Call when the terminating indication
+    /// is delivered *to* the user part. The completing dispatch may run
+    /// under a different trace's context (another user's `free` chain
+    /// caused the grant); the end marker belongs to the node's own open
+    /// request regardless. Clears the current context, so work issued
+    /// after completion starts untraced. No-op when obs sites are
+    /// compiled out.
+    pub fn trace_end(&mut self) {
+        if !svckit_obs::sites_enabled() {
+            return;
+        }
+        if let Some((trace_id, root)) = self.tracer.open.take() {
+            svckit_obs::ctx::event_traced(
+                svckit_obs::trace::TRACE_END,
+                "trace",
+                self.id.raw(),
+                0,
+                self.now.as_micros(),
+                0,
+                trace_id,
+                root,
+                0,
+            );
+        }
+        self.cur_trace = None;
+    }
+
+    /// The causal context of the event being dispatched, if traced.
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.cur_trace
     }
 
     /// Deterministic random 64-bit value (drawn from the simulator's seeded
@@ -376,11 +515,17 @@ pub(crate) enum EventKind {
         to: PartId,
         from: PartId,
         payload: Payload,
+        /// Causal context riding side-band on the delivery (never in the
+        /// payload bytes). `span_id` is the transit span that carried it.
+        ctx: Option<TraceCtx>,
     },
     Timer {
         node: PartId,
         id: TimerId,
         generation: u64,
+        /// Causal context captured when the timer was set, demoted to the
+        /// trace root (see [`Context::set_timer`]).
+        ctx: Option<TraceCtx>,
     },
 }
 
@@ -627,6 +772,8 @@ pub(crate) struct SingleSim {
     /// (e.g. a standing backlog of lease expiries) cannot dilute the cache
     /// locality of another node's hot few timers.
     timer_generation: FastMap<PartId, FastMap<TimerId, u64>>,
+    /// Per-node trace-id mints and open-request slots (see [`NodeTracer`]).
+    tracers: FastMap<PartId, NodeTracer>,
     metrics: NetMetrics,
     trace: TraceBuf,
     /// Reused across dispatches so the hot path does not allocate a fresh
@@ -656,6 +803,7 @@ impl SingleSim {
             node_rngs: FastMap::default(),
             sched_counts: FastMap::default(),
             timer_generation: FastMap::default(),
+            tracers: FastMap::default(),
             metrics: NetMetrics::new(),
             trace: TraceBuf::new(),
             action_buf: Vec::new(),
@@ -698,7 +846,12 @@ impl SingleSim {
     fn apply_actions(&mut self, node: PartId, actions: &mut Vec<Action>) {
         for action in actions.drain(..) {
             match action {
-                Action::Send { to, payload } => {
+                Action::Send {
+                    to,
+                    payload,
+                    ctx,
+                    retransmit,
+                } => {
                     self.metrics.record_send(node, payload.len());
                     svckit_obs::obs_count!("net.sends");
                     if !self.procs.contains_key(&to) {
@@ -718,7 +871,27 @@ impl SingleSim {
                     if self.rng.coin(loss) {
                         self.metrics.record_drop();
                         svckit_obs::obs_count!("net.drops");
-                        svckit_obs::obs_event!("net.drop", "net", to.raw(), self.clock.as_micros());
+                        match ctx {
+                            // Parent at the trace root, not the carried
+                            // span: a retransmitted frame keeps its
+                            // originating send's context, whose delivery
+                            // span closed long before the resend.
+                            Some(t) => svckit_obs::obs_event!(
+                                "net.drop",
+                                "net",
+                                to.raw(),
+                                self.clock.as_micros(),
+                                t.trace_id,
+                                0u64,
+                                t.parent_id
+                            ),
+                            None => svckit_obs::obs_event!(
+                                "net.drop",
+                                "net",
+                                to.raw(),
+                                self.clock.as_micros()
+                            ),
+                        }
                         continue;
                     }
                     let duplicate = self.rng.coin(duplicate_p);
@@ -742,6 +915,24 @@ impl SingleSim {
                         depart += transmission;
                         *busy = depart;
                     }
+                    // Time spent queued behind the link (serialization /
+                    // bandwidth backlog) is its own attributable segment.
+                    if let Some(t) = ctx {
+                        if depart > self.clock {
+                            let qid = self.tracers.entry(node).or_default().mint(node);
+                            svckit_obs::obs_span!(
+                                svckit_obs::trace::SPAN_QUEUE_WAIT,
+                                "net",
+                                node.raw(),
+                                0u64,
+                                self.clock.as_micros(),
+                                depart.as_micros(),
+                                t.trace_id,
+                                qid,
+                                t.parent_id
+                            );
+                        }
+                    }
                     let payload_len = payload.len();
                     let mut payload = Some(payload);
                     for copy in 0..copies {
@@ -762,13 +953,41 @@ impl SingleSim {
                             payload_len,
                             at.saturating_since(self.clock).as_micros()
                         );
-                        svckit_obs::obs_span!(
-                            "net.transit",
-                            "net",
-                            to.raw(),
-                            self.clock.as_micros(),
-                            at.as_micros()
-                        );
+                        let deliver_ctx = match ctx {
+                            Some(t) => {
+                                // Each copy gets its own transit span, so
+                                // duplicated deliveries stay distinguishable
+                                // in the flame graph.
+                                let sid = self.tracers.entry(node).or_default().mint(node);
+                                let span_name = if retransmit {
+                                    svckit_obs::trace::SPAN_RETRANSMIT
+                                } else {
+                                    svckit_obs::trace::SPAN_TRANSIT
+                                };
+                                svckit_obs::obs_span!(
+                                    span_name,
+                                    "net",
+                                    to.raw(),
+                                    node.raw(),
+                                    depart.as_micros(),
+                                    at.as_micros(),
+                                    t.trace_id,
+                                    sid,
+                                    t.parent_id
+                                );
+                                Some(t.hop(sid))
+                            }
+                            None => {
+                                svckit_obs::obs_span!(
+                                    "net.transit",
+                                    "net",
+                                    to.raw(),
+                                    self.clock.as_micros(),
+                                    at.as_micros()
+                                );
+                                None
+                            }
+                        };
                         // The last copy takes ownership: un-duplicated sends
                         // (the overwhelmingly common case) never touch the
                         // payload's reference count at all.
@@ -784,11 +1003,12 @@ impl SingleSim {
                                 to,
                                 from: node,
                                 payload,
+                                ctx: deliver_ctx,
                             },
                         );
                     }
                 }
-                Action::SetTimer { delay, id } => {
+                Action::SetTimer { delay, id, ctx } => {
                     let generation = self
                         .timer_generation
                         .entry(node)
@@ -804,6 +1024,7 @@ impl SingleSim {
                             node,
                             id,
                             generation,
+                            ctx,
                         },
                     );
                 }
@@ -820,7 +1041,7 @@ impl SingleSim {
         }
     }
 
-    fn dispatch<F>(&mut self, node: PartId, call: F)
+    fn dispatch<F>(&mut self, node: PartId, trace_ctx: Option<TraceCtx>, call: F)
     where
         F: FnOnce(&mut dyn Process, &mut Context<'_>),
     {
@@ -836,6 +1057,8 @@ impl SingleSim {
                 actions: &mut actions,
                 rng,
                 trace: TraceDest::Single(&mut self.trace),
+                cur_trace: trace_ctx,
+                tracer: self.tracers.entry(node).or_default(),
             };
             call(process.as_mut(), &mut ctx);
         }
@@ -852,7 +1075,7 @@ impl SingleSim {
         self.started = true;
         let ids: Vec<PartId> = self.procs.keys().copied().collect();
         for id in ids {
-            self.dispatch(id, |p, ctx| p.on_start(ctx));
+            self.dispatch(id, None, |p, ctx| p.on_start(ctx));
         }
     }
 
@@ -864,16 +1087,22 @@ impl SingleSim {
         self.events_processed += 1;
         svckit_obs::obs_count!("net.events");
         match event.kind {
-            EventKind::Deliver { to, from, payload } => {
+            EventKind::Deliver {
+                to,
+                from,
+                payload,
+                ctx,
+            } => {
                 self.metrics.record_delivery(payload.len());
                 svckit_obs::obs_count!("net.deliveries");
                 svckit_obs::obs_count!("net.delivered_bytes", payload.len());
-                self.dispatch(to, |p, ctx| p.on_message(ctx, from, payload));
+                self.dispatch(to, ctx, |p, ctx| p.on_message(ctx, from, payload));
             }
             EventKind::Timer {
                 node,
                 id,
                 generation,
+                ctx,
             } => {
                 let live = self
                     .timer_generation
@@ -881,7 +1110,7 @@ impl SingleSim {
                     .and_then(|timers| timers.get(&id));
                 if live == Some(&generation) {
                     svckit_obs::obs_count!("net.timer_fires");
-                    self.dispatch(node, |p, ctx| p.on_timer(ctx, id));
+                    self.dispatch(node, ctx, |p, ctx| p.on_timer(ctx, id));
                 } else {
                     svckit_obs::obs_count!("net.timer_stale");
                 }

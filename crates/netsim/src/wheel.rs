@@ -382,6 +382,7 @@ mod tests {
                 node: PartId::new(1),
                 id: TimerId(seq),
                 generation: 1,
+                ctx: None,
             },
         }
     }

@@ -94,6 +94,29 @@ pub fn event(name: &'static str, cat: &'static str, tid: u64, ts_us: u64, dur_us
     });
 }
 
+/// Appends a timeline event/span carrying causal-trace identity
+/// (see [`crate::trace`]).
+#[allow(clippy::too_many_arguments)]
+pub fn event_traced(
+    name: &'static str,
+    cat: &'static str,
+    tid: u64,
+    tid2: u64,
+    ts_us: u64,
+    dur_us: u64,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+) {
+    CURRENT.with(|c| {
+        if let Some(r) = c.borrow_mut().as_mut() {
+            r.event_traced(
+                name, cat, tid, tid2, ts_us, dur_us, trace_id, span_id, parent_id,
+            );
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

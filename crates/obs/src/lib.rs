@@ -46,11 +46,16 @@ pub mod ctx;
 pub mod json;
 pub mod recorder;
 pub mod stats;
+pub mod trace;
 
 pub use ctx::{absorb_into_current, active, sites_enabled, with_recorder};
 pub use json::{parse_flat_numbers, JsonWriter};
-pub use recorder::{chrome_trace, Event, Hist, LinkStat, Recorder};
+pub use recorder::{chrome_trace, chrome_trace_canonical, Event, Hist, LinkStat, Recorder};
 pub use stats::{PorStats, SymStats};
+pub use trace::{
+    mint_id, percentile_us, sample_keep, trace_trees, RequestBreakdown, SpanNode, TraceCtx,
+    TraceTree,
+};
 
 /// Adds 1 (or `n`) to a named counter on the installed recorder.
 ///
@@ -125,30 +130,56 @@ macro_rules! obs_link {
 }
 
 /// Appends an instant timeline event at a virtual timestamp:
-/// `obs_event!("proto.decode_error", "proto", node, ts_us)`. Compiles to
-/// nothing without feature `enabled`.
+/// `obs_event!("proto.decode_error", "proto", node, ts_us)` — or, with
+/// three extra arguments, a *traced* instant nested under span
+/// `parent` of trace `trace`:
+/// `obs_event!("mw.dispatch", "mw", node, ts_us, trace, 0, parent)`.
+/// Compiles to nothing without feature `enabled`.
 #[cfg(feature = "enabled")]
 #[macro_export]
 macro_rules! obs_event {
     ($name:expr, $cat:expr, $tid:expr, $ts_us:expr) => {
         $crate::ctx::event($name, $cat, $tid as u64, $ts_us as u64, 0)
     };
+    ($name:expr, $cat:expr, $tid:expr, $ts_us:expr, $trace:expr, $span:expr, $parent:expr) => {
+        $crate::ctx::event_traced(
+            $name,
+            $cat,
+            $tid as u64,
+            0,
+            $ts_us as u64,
+            0,
+            $trace as u64,
+            $span as u64,
+            $parent as u64,
+        )
+    };
 }
 
 /// Appends an instant timeline event at a virtual timestamp:
-/// `obs_event!("proto.decode_error", "proto", node, ts_us)`. Compiles to
-/// nothing without feature `enabled`.
+/// `obs_event!("proto.decode_error", "proto", node, ts_us)` — or, with
+/// three extra arguments, a *traced* instant nested under span
+/// `parent` of trace `trace`:
+/// `obs_event!("mw.dispatch", "mw", node, ts_us, trace, 0, parent)`.
+/// Compiles to nothing without feature `enabled`.
 #[cfg(not(feature = "enabled"))]
 #[macro_export]
 macro_rules! obs_event {
     ($name:expr, $cat:expr, $tid:expr, $ts_us:expr) => {{
         let _ = || ($name, $cat, $tid, $ts_us);
     }};
+    ($name:expr, $cat:expr, $tid:expr, $ts_us:expr, $trace:expr, $span:expr, $parent:expr) => {{
+        let _ = || ($name, $cat, $tid, $ts_us, $trace, $span, $parent);
+    }};
 }
 
 /// Appends a completed span over virtual time `[start_us, end_us]`:
-/// `obs_span!("net.transit", "net", node, depart_us, arrive_us)`.
-/// Compiles to nothing without feature `enabled`.
+/// `obs_span!("net.transit", "net", node, depart_us, arrive_us)` — or,
+/// with four extra arguments, a *traced* span with its own identity in
+/// a request tree (`tid2` is the source track for cross-node spans, 0
+/// otherwise):
+/// `obs_span!(name, cat, tid, tid2, start_us, end_us, trace, span,
+/// parent)`. Compiles to nothing without feature `enabled`.
 #[cfg(feature = "enabled")]
 #[macro_export]
 macro_rules! obs_span {
@@ -157,16 +188,42 @@ macro_rules! obs_span {
         let end = $end_us as u64;
         $crate::ctx::event($name, $cat, $tid as u64, start, end.saturating_sub(start))
     }};
+    ($name:expr, $cat:expr, $tid:expr, $tid2:expr, $start_us:expr, $end_us:expr, $trace:expr, $span:expr, $parent:expr) => {{
+        let start = $start_us as u64;
+        let end = $end_us as u64;
+        $crate::ctx::event_traced(
+            $name,
+            $cat,
+            $tid as u64,
+            $tid2 as u64,
+            start,
+            end.saturating_sub(start),
+            $trace as u64,
+            $span as u64,
+            $parent as u64,
+        )
+    }};
 }
 
 /// Appends a completed span over virtual time `[start_us, end_us]`:
-/// `obs_span!("net.transit", "net", node, depart_us, arrive_us)`.
-/// Compiles to nothing without feature `enabled`.
+/// `obs_span!("net.transit", "net", node, depart_us, arrive_us)` — or,
+/// with four extra arguments, a *traced* span with its own identity in
+/// a request tree (`tid2` is the source track for cross-node spans, 0
+/// otherwise):
+/// `obs_span!(name, cat, tid, tid2, start_us, end_us, trace, span,
+/// parent)`. Compiles to nothing without feature `enabled`.
 #[cfg(not(feature = "enabled"))]
 #[macro_export]
 macro_rules! obs_span {
     ($name:expr, $cat:expr, $tid:expr, $start_us:expr, $end_us:expr) => {{
         let _ = || ($name, $cat, $tid, $start_us, $end_us);
+    }};
+    ($name:expr, $cat:expr, $tid:expr, $tid2:expr, $start_us:expr, $end_us:expr, $trace:expr, $span:expr, $parent:expr) => {{
+        let _ = || {
+            (
+                $name, $cat, $tid, $tid2, $start_us, $end_us, $trace, $span, $parent,
+            )
+        };
     }};
 }
 

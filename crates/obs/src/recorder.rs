@@ -134,18 +134,31 @@ pub struct LinkStat {
 
 /// One timeline entry: an instant event (`dur_us == 0`) or a completed
 /// span, stamped with *virtual* time.
+///
+/// The three trace fields are all zero on untraced events; a nonzero
+/// `trace_id` makes the entry part of a causal request tree (see
+/// [`crate::trace`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// Site name (static, so recording never allocates for names).
     pub name: &'static str,
-    /// Category (layer): `net`, `proto`, `mw`, `lts`, `app`.
+    /// Category (layer): `net`, `proto`, `mw`, `lts`, `app`, `trace`.
     pub cat: &'static str,
     /// Track id — the node/entity the event belongs to.
     pub tid: u64,
+    /// Second track for cross-node spans (the *source* node of a link
+    /// transit, powering Chrome flow arrows); 0 otherwise.
+    pub tid2: u64,
     /// Virtual start time, microseconds.
     pub ts_us: u64,
     /// Virtual duration, microseconds (0 = instant event).
     pub dur_us: u64,
+    /// Causal trace this event belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// This span's id (0 for instants, which have no identity).
+    pub span_id: u64,
+    /// Parent span id (0 on root markers and untraced events).
+    pub parent_id: u64,
 }
 
 /// Default timeline capacity per recorder; excess events are counted in
@@ -182,14 +195,19 @@ impl Recorder {
         }
     }
 
-    /// Switches the timeline to 1-in-`every` sampling: of every `every`
-    /// consecutive [`Recorder::event`] calls, the first is kept and the
-    /// rest are counted in [`Recorder::events_sampled_out`]. `0` and `1`
-    /// both mean "keep everything" (the default). Sampling is decided by
-    /// the virtual-order event index, so it is as deterministic as the
-    /// recording itself — unlike the capacity bound, which keeps a
-    /// *prefix*, sampling keeps a uniform thinning of the whole run.
-    /// Counters, histograms, and link statistics are never sampled.
+    /// Switches the timeline to 1-in-`every` sampling. `0` and `1` both
+    /// mean "keep everything" (the default); sampled-out events are
+    /// counted in [`Recorder::events_sampled_out`]. Counters,
+    /// histograms, and link statistics are never sampled.
+    ///
+    /// Untraced events are thinned by their virtual-order index (of
+    /// every `every` consecutive calls, the first is kept), so the
+    /// timeline stays a uniform sample of the whole run. *Traced*
+    /// events (`trace_id != 0`) are instead kept or dropped **per
+    /// trace** by [`crate::trace::sample_keep`]: a request tree is
+    /// either fully present or fully absent, never split — index
+    /// thinning would orphan child spans from their parents and break
+    /// every consumer of the tree.
     #[must_use]
     pub fn with_sampling(mut self, every: u64) -> Self {
         self.sample_every = every;
@@ -214,7 +232,8 @@ impl Recorder {
         stat.latency.record(latency_us);
     }
 
-    /// Appends a timeline event (bounded; see [`Recorder::with_capacity`]).
+    /// Appends an untraced timeline event (bounded; see
+    /// [`Recorder::with_capacity`]).
     pub fn event(
         &mut self,
         name: &'static str,
@@ -223,16 +242,47 @@ impl Recorder {
         ts_us: u64,
         dur_us: u64,
     ) {
+        self.event_traced(name, cat, tid, 0, ts_us, dur_us, 0, 0, 0);
+    }
+
+    /// Appends a timeline event carrying causal-trace identity. Traced
+    /// events sample per `trace_id` (whole request trees kept or
+    /// dropped together); untraced events (`trace_id == 0`) thin by
+    /// index as before.
+    #[allow(clippy::too_many_arguments)]
+    pub fn event_traced(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        tid: u64,
+        tid2: u64,
+        ts_us: u64,
+        dur_us: u64,
+        trace_id: u64,
+        span_id: u64,
+        parent_id: u64,
+    ) {
         self.events_seen += 1;
-        if self.sample_every >= 2 && !(self.events_seen - 1).is_multiple_of(self.sample_every) {
+        let kept = if self.sample_every < 2 {
+            true
+        } else if trace_id != 0 {
+            crate::trace::sample_keep(trace_id, self.sample_every)
+        } else {
+            (self.events_seen - 1).is_multiple_of(self.sample_every)
+        };
+        if !kept {
             self.events_sampled_out += 1;
         } else if self.events.len() < self.capacity {
             self.events.push(Event {
                 name,
                 cat,
                 tid,
+                tid2,
                 ts_us,
                 dur_us,
+                trace_id,
+                span_id,
+                parent_id,
             });
         } else {
             self.events_dropped += 1;
@@ -368,6 +418,14 @@ impl Recorder {
             w.key("tid").uint(e.tid);
             w.key("ts_us").uint(e.ts_us);
             w.key("dur_us").uint(e.dur_us);
+            if e.trace_id != 0 {
+                w.key("trace").uint(e.trace_id);
+                w.key("span").uint(e.span_id);
+                w.key("parent").uint(e.parent_id);
+                if e.tid2 != 0 {
+                    w.key("src").uint(e.tid2);
+                }
+            }
             w.end_object();
             out.push_str(&w.finish());
         }
@@ -433,7 +491,51 @@ impl Recorder {
     /// counter (`ph: "C"`) sample per counter. `pid` identifies the
     /// cell/run; `tid` is the originating node. Loadable in Perfetto /
     /// `chrome://tracing`.
+    ///
+    /// Traced events additionally carry their `trace/span/parent` ids in
+    /// `args`, and every traced *cross-node* span (a link transit, where
+    /// `tid2` names the source node) emits a flow-event pair (`ph: "s"`
+    /// on the source track, `ph: "f"` on the destination track, bound by
+    /// the span id) so Perfetto draws the causal arrows between nodes.
+    /// Name and category strings both pass through [`JsonWriter::string`]
+    /// escaping, like every other string this sink writes.
     pub fn write_chrome_events(&self, w: &mut JsonWriter, pid: u64, process_name: &str) {
+        let order: Vec<&Event> = self.events.iter().collect();
+        self.write_chrome_events_in(w, pid, process_name, &order);
+    }
+
+    /// [`Recorder::write_chrome_events`] with the timeline sorted into
+    /// canonical `(ts, tid, trace, span, …)` order first. The sharded
+    /// engine absorbs per-shard recorders in *shard* order, so the raw
+    /// timeline interleaving differs between `--shards` values even
+    /// when the event multiset is identical; sorting erases exactly
+    /// that, which is what makes the trace-output goldens byte-
+    /// identical across shard counts.
+    pub fn write_chrome_events_canonical(&self, w: &mut JsonWriter, pid: u64, process_name: &str) {
+        let mut order: Vec<&Event> = self.events.iter().collect();
+        order.sort_by_key(|e| {
+            (
+                e.ts_us,
+                e.tid,
+                e.trace_id,
+                e.span_id,
+                e.parent_id,
+                e.name,
+                e.cat,
+                e.dur_us,
+                e.tid2,
+            )
+        });
+        self.write_chrome_events_in(w, pid, process_name, &order);
+    }
+
+    fn write_chrome_events_in(
+        &self,
+        w: &mut JsonWriter,
+        pid: u64,
+        process_name: &str,
+        order: &[&Event],
+    ) {
         w.begin_object();
         w.key("name").string("process_name");
         w.key("ph").string("M");
@@ -444,7 +546,7 @@ impl Recorder {
         w.end_object();
         w.end_object();
         let mut end_ts = 0u64;
-        for e in &self.events {
+        for e in order {
             end_ts = end_ts.max(e.ts_us + e.dur_us);
             w.begin_object();
             w.key("name").string(e.name);
@@ -461,7 +563,37 @@ impl Recorder {
             if e.dur_us > 0 {
                 w.key("dur").uint(e.dur_us);
             }
+            if e.trace_id != 0 {
+                w.key("args").begin_object();
+                w.key("trace").uint(e.trace_id);
+                w.key("span").uint(e.span_id);
+                w.key("parent").uint(e.parent_id);
+                w.end_object();
+            }
             w.end_object();
+            // Cross-node causality: a flow arrow from the sender's track
+            // at departure to the receiver's track at arrival.
+            if e.trace_id != 0 && e.dur_us > 0 && e.tid2 != 0 && e.tid2 != e.tid {
+                w.begin_object();
+                w.key("name").string(e.name);
+                w.key("cat").string(e.cat);
+                w.key("ph").string("s");
+                w.key("id").uint(e.span_id);
+                w.key("pid").uint(pid);
+                w.key("tid").uint(e.tid2);
+                w.key("ts").uint(e.ts_us);
+                w.end_object();
+                w.begin_object();
+                w.key("name").string(e.name);
+                w.key("cat").string(e.cat);
+                w.key("ph").string("f");
+                w.key("bp").string("e");
+                w.key("id").uint(e.span_id);
+                w.key("pid").uint(pid);
+                w.key("tid").uint(e.tid);
+                w.key("ts").uint(e.ts_us + e.dur_us);
+                w.end_object();
+            }
         }
         for (name, n) in &self.counters {
             w.begin_object();
@@ -487,6 +619,24 @@ pub fn chrome_trace<'a>(parts: impl IntoIterator<Item = (u64, &'a str, &'a Recor
     w.key("traceEvents").begin_array();
     for (pid, name, recorder) in parts {
         recorder.write_chrome_events(&mut w, pid, name);
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// [`chrome_trace`] with every recorder's timeline in canonical order
+/// (see [`Recorder::write_chrome_events_canonical`]): the `--trace-out`
+/// sink, byte-identical across `--threads` *and* `--shards`.
+pub fn chrome_trace_canonical<'a>(
+    parts: impl IntoIterator<Item = (u64, &'a str, &'a Recorder)>,
+) -> String {
+    let mut w = JsonWriter::pretty();
+    w.begin_object();
+    w.key("displayTimeUnit").string("ms");
+    w.key("traceEvents").begin_array();
+    for (pid, name, recorder) in parts {
+        recorder.write_chrome_events_canonical(&mut w, pid, name);
     }
     w.end_array();
     w.end_object();
@@ -562,6 +712,119 @@ mod tests {
         assert!(text.contains("\"type\":\"sampled\""));
         assert!(text.contains("\"every\":3"));
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn sampling_never_splits_a_trace_tree() {
+        // Regression: index-based thinning used to apply to traced
+        // events too, orphaning children from parents. Per-trace
+        // sampling keeps or drops whole requests.
+        let every = 3u64;
+        let traces: Vec<u64> = (1..=64u64).map(|n| crate::trace::mint_id(n, 1)).collect();
+        let mut r = Recorder::new().with_sampling(every);
+        for &t in &traces {
+            // Three events per trace, interleaved would-be-thinned.
+            r.event_traced("trace.begin", "trace", 1, 0, 10, 0, t, t ^ 2, 0);
+            r.event_traced("net.transit", "net", 2, 1, 10, 5, t, t ^ 4, t ^ 2);
+            r.event_traced("trace.end", "trace", 1, 0, 15, 0, t, t ^ 2, 0);
+        }
+        let kept: Vec<u64> = traces
+            .iter()
+            .copied()
+            .filter(|&t| crate::trace::sample_keep(t, every))
+            .collect();
+        assert!(!kept.is_empty() && kept.len() < traces.len());
+        // Every surviving trace is complete (3 events), every sampled
+        // trace is fully gone, and the accounting adds up.
+        for &t in &traces {
+            let n = r.events().iter().filter(|e| e.trace_id == t).count();
+            assert_eq!(n, if kept.contains(&t) { 3 } else { 0 });
+        }
+        assert_eq!(r.events_seen(), traces.len() as u64 * 3);
+        assert_eq!(
+            r.events_sampled_out(),
+            (traces.len() - kept.len()) as u64 * 3
+        );
+        assert_eq!(r.events_dropped(), 0);
+    }
+
+    #[test]
+    fn untraced_sampling_still_thins_by_index() {
+        // The pre-trace behaviour must survive for flat timelines.
+        let mut r = Recorder::new().with_sampling(4);
+        for i in 0..8 {
+            r.event("e", "net", 0, i, 0);
+        }
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.events()[1].ts_us, 4);
+    }
+
+    #[test]
+    fn chrome_sink_escapes_malformed_names_and_categories() {
+        // Round-trip: a hostile name/category/scope must come out fully
+        // escaped in both sinks — no raw quote, backslash, or control
+        // byte may survive into the JSON text.
+        let name: &'static str = "bad\"name\\with\ncontrol";
+        let cat: &'static str = "cat\"egory\t";
+        let mut r = Recorder::new();
+        r.event(name, cat, 1, 10, 5);
+        let chrome = chrome_trace([(1, "cell \"x\"\\", &r)]);
+        let jsonl = r.jsonl("scope\"s\\");
+        for text in [chrome.as_str(), jsonl.as_str()] {
+            assert!(text.contains("bad\\\"name\\\\with\\ncontrol"), "{text}");
+            assert!(text.contains("cat\\\"egory\\t"), "{text}");
+            assert!(!text.contains('\t'), "raw tab leaked");
+            // Structural check: outside escapes, quotes must balance.
+            let mut in_string = false;
+            let mut escaped = false;
+            for c in text.chars() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = !in_string;
+                } else if (c == '\n' || c == '\t') && in_string {
+                    panic!("raw control character inside a JSON string");
+                }
+            }
+            assert!(!in_string, "unbalanced quotes in {text}");
+        }
+    }
+
+    #[test]
+    fn traced_spans_emit_flow_event_pairs() {
+        let mut r = Recorder::new();
+        r.event_traced("net.transit", "net", 2, 1, 100, 50, 7, 11, 10);
+        r.event_traced("mw.dispatch", "mw", 2, 0, 150, 0, 7, 0, 11);
+        let text = chrome_trace([(3, "cell", &r)]);
+        assert!(text.contains("\"ph\": \"s\""), "{text}");
+        assert!(text.contains("\"ph\": \"f\""), "{text}");
+        assert!(text.contains("\"bp\": \"e\""), "{text}");
+        assert!(text.contains("\"id\": 11"), "{text}");
+        assert!(text.contains("\"trace\": 7"), "{text}");
+        // The instant has no second track, so exactly one s/f pair.
+        assert_eq!(text.matches("\"ph\": \"s\"").count(), 1);
+        assert_eq!(text.matches("\"ph\": \"f\"").count(), 1);
+    }
+
+    #[test]
+    fn canonical_chrome_is_order_independent() {
+        let mut a = Recorder::new();
+        a.event_traced("net.transit", "net", 2, 1, 100, 50, 7, 11, 10);
+        a.event_traced("net.transit", "net", 3, 1, 90, 50, 7, 12, 10);
+        let mut b = Recorder::new();
+        b.event_traced("net.transit", "net", 3, 1, 90, 50, 7, 12, 10);
+        b.event_traced("net.transit", "net", 2, 1, 100, 50, 7, 11, 10);
+        assert_ne!(
+            chrome_trace([(1, "c", &a)]),
+            chrome_trace([(1, "c", &b)]),
+            "raw order differs by construction"
+        );
+        assert_eq!(
+            chrome_trace_canonical([(1, "c", &a)]),
+            chrome_trace_canonical([(1, "c", &b)])
+        );
     }
 
     #[test]

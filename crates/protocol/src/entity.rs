@@ -80,8 +80,14 @@ impl UserCtx<'_, '_> {
 
     /// Invokes a service primitive. The occurrence is recorded in the trace
     /// and handed to the local protocol entity.
+    ///
+    /// Issuing a primitive opens a causal request trace at this node: all
+    /// downstream work — PDUs, timers, retransmissions, peer handlers —
+    /// is stitched into one span tree until the terminating indication
+    /// comes back ([`EntityCtx::deliver_to_user`]).
     pub fn invoke(&mut self, primitive: impl Into<String>, args: Vec<Value>) {
         let primitive = primitive.into();
+        self.net.trace_begin();
         self.net
             .record_primitive(self.sap.clone(), primitive.clone(), args.clone());
         self.to_entity.push_back((primitive, args));
@@ -143,10 +149,15 @@ impl EntityCtx<'_, '_> {
 
     /// Delivers a service primitive to the local user part. The occurrence
     /// is recorded in the trace.
+    ///
+    /// Delivery terminates this node's open request trace, if any: the
+    /// indication is the service's answer to the primitive the local user
+    /// issued, so the span tree closes here.
     pub fn deliver_to_user(&mut self, primitive: impl Into<String>, args: Vec<Value>) {
         let primitive = primitive.into();
         self.net
             .record_primitive(self.sap.clone(), primitive.clone(), args.clone());
+        self.net.trace_end();
         self.to_user.push_back((primitive, args));
     }
 

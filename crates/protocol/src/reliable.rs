@@ -20,7 +20,7 @@ use std::collections::{HashMap, VecDeque};
 
 use svckit_codec::{read_varint, write_varint};
 use svckit_model::{Duration, PartId};
-use svckit_netsim::{Context, Payload, TimerId};
+use svckit_netsim::{Context, Payload, TimerId, TraceCtx};
 
 use crate::counters::ProtoCounters;
 
@@ -73,10 +73,13 @@ impl Default for ReliabilityConfig {
 struct PeerState {
     /// Sequence number of the next *new* frame.
     next_seq: u64,
-    /// In-flight frames, oldest first: (seq, payload).
-    inflight: VecDeque<(u64, Vec<u8>)>,
-    /// Payloads waiting for window space.
-    backlog: VecDeque<Vec<u8>>,
+    /// In-flight frames, oldest first: (seq, payload, causal context of
+    /// the send that originated the frame — retransmissions and window
+    /// refills stay on *that* request's trace, not on whatever dispatch
+    /// happens to trigger them).
+    inflight: VecDeque<(u64, Vec<u8>, Option<TraceCtx>)>,
+    /// Payloads waiting for window space, with their originating context.
+    backlog: VecDeque<(Vec<u8>, Option<TraceCtx>)>,
     /// Next in-order sequence number expected from this peer.
     expected: u64,
 }
@@ -126,17 +129,20 @@ impl ReliableLink {
         let timer = self.timer_for(to);
         let timeout = self.config.retransmit_timeout;
         let window = self.config.window;
+        // Capture the context of the dispatch issuing the send; it is
+        // pinned to the frame for its whole buffered life.
+        let ctx = net.trace_ctx();
         let peer = self.peers.entry(to).or_default();
         if peer.inflight.len() < window {
             let seq = peer.next_seq;
             peer.next_seq += 1;
             net.send(to, Self::frame_data(seq, &payload));
-            peer.inflight.push_back((seq, payload));
+            peer.inflight.push_back((seq, payload, ctx));
             if peer.inflight.len() == 1 {
                 net.set_timer(timeout, timer);
             }
         } else {
-            peer.backlog.push_back(payload);
+            peer.backlog.push_back((payload, ctx));
         }
     }
 
@@ -180,20 +186,22 @@ impl ReliableLink {
                 while peer
                     .inflight
                     .front()
-                    .is_some_and(|(inflight_seq, _)| *inflight_seq <= seq)
+                    .is_some_and(|(inflight_seq, _, _)| *inflight_seq <= seq)
                 {
                     peer.inflight.pop_front();
                 }
                 let acked_something = peer.inflight.len() < before;
-                // Refill the window from the backlog.
+                // Refill the window from the backlog. Each frame departs
+                // under the context of the send that queued it, not under
+                // the ACK's context.
                 while peer.inflight.len() < window {
-                    let Some(payload) = peer.backlog.pop_front() else {
+                    let Some((payload, ctx)) = peer.backlog.pop_front() else {
                         break;
                     };
                     let next = peer.next_seq;
                     peer.next_seq += 1;
-                    net.send(from, Self::frame_data(next, &payload));
-                    peer.inflight.push_back((next, payload));
+                    net.send_with_ctx(from, Self::frame_data(next, &payload), ctx, false);
+                    peer.inflight.push_back((next, payload, ctx));
                 }
                 if peer.inflight.is_empty() {
                     net.cancel_timer(timer);
@@ -224,7 +232,7 @@ impl ReliableLink {
             return false;
         };
         if !peer.inflight.is_empty() {
-            for (seq, payload) in &peer.inflight {
+            for (seq, payload, ctx) in &peer.inflight {
                 counters.retransmissions += 1;
                 svckit_obs::obs_count!("proto.retransmissions");
                 svckit_obs::obs_event!(
@@ -233,7 +241,9 @@ impl ReliableLink {
                     peer_id.raw(),
                     net.now().as_micros()
                 );
-                net.send(peer_id, Self::frame_data(*seq, payload));
+                // Resend under the original send's context, flagged as a
+                // retransmission so its transit is attributed separately.
+                net.send_with_ctx(peer_id, Self::frame_data(*seq, payload), *ctx, true);
             }
             net.set_timer(timeout, timer);
         }

@@ -162,6 +162,83 @@ fn obs_output_is_byte_identical_across_thread_counts() {
     );
 }
 
+/// A grid for the causal-trace goldens. Deterministic links only: the
+/// sequential engine draws jitter from one global RNG stream while the
+/// sharded engine draws per-pair, so byte-identity across `--shards`
+/// holds exactly on the jitter-free envelope (like the shard oracle).
+fn trace_spec(shards: u32) -> SweepSpec {
+    use svckit::netsim::LinkConfig;
+    SweepSpec::new("trace-golden")
+        .solutions([
+            Solution::MwCallback,
+            Solution::MwQueue,
+            Solution::ProtoCallback,
+        ])
+        .variation(
+            "det",
+            RunParams::default()
+                .subscribers(3)
+                .resources(2)
+                .rounds(2)
+                .link(LinkConfig::perfect(Duration::from_micros(500))),
+        )
+        .seeds([51, 52])
+        .shards(shards)
+}
+
+#[test]
+fn trace_output_is_byte_identical_across_threads_and_shards() {
+    // Same ids, same spans, same summary — whether cells run serially,
+    // on four workers, or inside the sharded simulator. This is the
+    // end-to-end form of the property CI `cmp`s on the fig4_trace spec.
+    let base = run_sweep(&trace_spec(1), 1);
+    let chrome = base.trace_chrome();
+    let summary = base.trace_summary_json();
+    let threads4 = run_sweep(&trace_spec(1), 4);
+    assert_eq!(chrome.as_bytes(), threads4.trace_chrome().as_bytes());
+    assert_eq!(summary.as_bytes(), threads4.trace_summary_json().as_bytes());
+    let shards4 = run_sweep(&trace_spec(4), 2);
+    assert_eq!(chrome.as_bytes(), shards4.trace_chrome().as_bytes());
+    assert_eq!(summary.as_bytes(), shards4.trace_summary_json().as_bytes());
+}
+
+#[test]
+fn trace_trees_nest_and_breakdowns_sum_exactly() {
+    let report = run_sweep(&trace_spec(2), 2);
+    let mut complete = 0u64;
+    for r in &report.results {
+        for tree in svckit::obs::trace_trees(r.obs.events()) {
+            tree.check_nesting()
+                .unwrap_or_else(|e| panic!("{}: {e}", r.target_label));
+            if let Some(b) = tree.breakdown() {
+                complete += 1;
+                assert_eq!(
+                    b.handler_us + b.queue_us + b.link_us + b.retransmit_us,
+                    b.end_to_end_us,
+                    "attribution must sum to end-to-end for trace {:#x} of {}",
+                    b.trace_id,
+                    r.target_label
+                );
+                assert!(b.link_us > 0, "every request crosses at least one link");
+            }
+        }
+        if svckit::obs::sites_enabled() {
+            // Every part issues `request`s that terminate in `granted`s;
+            // only the unanswered `free` indications stay incomplete.
+            assert!(
+                r.outcome.floor.grants() > 0,
+                "{} recorded no grants",
+                r.target_label
+            );
+        }
+    }
+    if svckit::obs::sites_enabled() {
+        assert!(complete > 0, "no completed request trees captured");
+    } else {
+        assert_eq!(complete, 0);
+    }
+}
+
 #[test]
 fn obs_virtual_timestamps_repeat_across_same_seed_runs() {
     // Timestamps are simulator virtual time, never wall clock: repeating

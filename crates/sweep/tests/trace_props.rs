@@ -1,0 +1,164 @@
+//! Property tests for the causal-trace invariants on *real* runs: for
+//! arbitrary workloads, solutions, link conditions and shard counts,
+//! every traced event's parent span exists in its tree and every
+//! span/instant interval nests inside its parent's — the structural
+//! contract `TraceTree::check_nesting` formalizes and every trace
+//! consumer (the Chrome sink's flow arrows, the critical-path walker)
+//! silently relies on.
+
+use proptest::prelude::*;
+
+use svckit::floorctl::{RunParams, Solution};
+use svckit::model::Duration;
+use svckit::netsim::LinkConfig;
+use svckit::protocol::ReliabilityConfig;
+use svckit_sweep::{run_sweep, SweepSpec};
+
+const SOLUTIONS: [Solution; 7] = [
+    Solution::MwCallback,
+    Solution::MwPolling,
+    Solution::MwQueue,
+    Solution::MwToken,
+    Solution::ProtoCallback,
+    Solution::ProtoPolling,
+    Solution::ProtoToken,
+];
+
+/// One random workload cell.
+#[derive(Debug, Clone)]
+struct Workload {
+    solution: Solution,
+    subscribers: u64,
+    resources: u64,
+    rounds: u32,
+    seed: u64,
+    shards: u32,
+    latency_us: u64,
+    /// Lossy link + reliability sub-layer (exercises `net.retransmit`
+    /// spans); only meaningful for the protocol callback solution.
+    lossy: bool,
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (
+        (0usize..SOLUTIONS.len(), 2u64..5, 1u64..3, 1u32..3),
+        (any::<u64>(), 1u32..4, 200u64..2_000, any::<bool>()),
+    )
+        .prop_map(
+            |((solution, subscribers, resources, rounds), (seed, shards, latency_us, lossy))| {
+                Workload {
+                    solution: SOLUTIONS[solution],
+                    subscribers,
+                    resources,
+                    rounds,
+                    seed,
+                    shards,
+                    latency_us,
+                    lossy: lossy && SOLUTIONS[solution] == Solution::ProtoCallback,
+                }
+            },
+        )
+}
+
+fn check_workload(w: &Workload) {
+    let mut link = LinkConfig::perfect(Duration::from_micros(w.latency_us));
+    if w.lossy {
+        link = link.with_loss(0.2);
+    }
+    let params = RunParams::default()
+        .subscribers(w.subscribers)
+        .resources(w.resources)
+        .rounds(w.rounds)
+        .link(link)
+        .time_cap(Duration::from_secs(120));
+    let mut spec = SweepSpec::new("trace-props")
+        .solutions([w.solution])
+        .seeds([w.seed])
+        .shards(w.shards);
+    spec = if w.lossy {
+        spec.variation_with_reliability(
+            "case",
+            params,
+            ReliabilityConfig::new(Duration::from_millis(8)),
+        )
+    } else {
+        spec.variation("case", params)
+    };
+    let report = run_sweep(&spec, 1);
+    for r in &report.results {
+        let trees = svckit::obs::trace_trees(r.obs.events());
+        if svckit::obs::sites_enabled() {
+            assert!(!trees.is_empty(), "{w:?} produced no traces");
+        }
+        for tree in trees {
+            tree.check_nesting()
+                .unwrap_or_else(|e| panic!("{w:?}: {e}"));
+            if let Some(b) = tree.breakdown() {
+                assert_eq!(
+                    b.handler_us + b.queue_us + b.link_us + b.retransmit_us,
+                    b.end_to_end_us,
+                    "{w:?}: attribution must sum exactly"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every emitted span's parent exists and every interval nests, for
+    /// arbitrary solution/workload/link/shard combinations.
+    #[test]
+    fn span_trees_nest_on_arbitrary_workloads(w in workload_strategy()) {
+        check_workload(&w);
+    }
+}
+
+/// Deterministic pin: a lossy reliable run produces retransmit spans
+/// whose trees still nest and whose attribution still sums exactly.
+#[test]
+fn lossy_reliable_runs_attribute_retransmits() {
+    let w = Workload {
+        solution: Solution::ProtoCallback,
+        subscribers: 3,
+        resources: 1,
+        rounds: 2,
+        seed: 61,
+        shards: 1,
+        latency_us: 500,
+        lossy: true,
+    };
+    check_workload(&w);
+    if !svckit::obs::sites_enabled() {
+        return;
+    }
+    // Re-run to inspect: at 20% loss with go-back-N, some request's
+    // critical path must actually cross a retransmitted frame.
+    let params = RunParams::default()
+        .subscribers(3)
+        .resources(1)
+        .rounds(2)
+        .link(LinkConfig::perfect(Duration::from_micros(500)).with_loss(0.2))
+        .time_cap(Duration::from_secs(120));
+    let spec = SweepSpec::new("trace-retransmit")
+        .solutions([Solution::ProtoCallback])
+        .variation_with_reliability(
+            "lossy",
+            params,
+            ReliabilityConfig::new(Duration::from_millis(8)),
+        )
+        .seeds([61]);
+    let report = run_sweep(&spec, 1);
+    let retransmits: u64 = report
+        .results
+        .iter()
+        .flat_map(|r| svckit::obs::trace_trees(r.obs.events()))
+        .filter_map(|t| t.breakdown())
+        .map(|b| b.retransmits)
+        .sum();
+    assert!(
+        retransmits > 0,
+        "no retransmit segment on any critical path"
+    );
+}
