@@ -59,7 +59,7 @@ pub use service_pass::{
 };
 pub use svckit_dfa::Engine;
 pub use svckit_lts::explorer::Reduction;
-pub use svckit_lts::{Symmetry, SymmetryGroups};
+pub use svckit_lts::{Backend, Symmetry, SymmetryGroups};
 pub use targets::{all_targets, platform_targets, scale_floor_targets, solution_targets, Target};
 pub use universe::event_universe;
 pub use verify::verify_implementation;

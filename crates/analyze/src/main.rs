@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! svckit-analyze [--por on|off] [--symmetry on|off] [--engine dfa|interp]
-//!                [--deny warnings] [--filter <substring>] [--users N]
-//!                [--max-states N] [--out PATH] [--diag-out PATH]
-//!                [--fixtures]
+//!                [--backend explicit|symbolic] [--deny warnings]
+//!                [--filter <substring>] [--users N] [--max-states N]
+//!                [--out PATH] [--diag-out PATH] [--fixtures]
 //! ```
 //!
 //! Diagnostics are engine-invariant: `--engine dfa` (the default) and
@@ -15,6 +15,14 @@
 //! `--diag-out` files of both settings are also `cmp`'d in CI. `--users N`
 //! rescales the floor-control universes to `N` subscribers — past five or
 //! so, only the quotient fits under the state bound.
+//!
+//! `--backend symbolic` additionally runs each service pass through the
+//! symbolic LDD reachability engine: the full report grows a per-target
+//! `ldd` block, and product spaces that truncate the explicit bound (the
+//! `--users 8` floor universes) are re-checked as symbolic fixpoints with
+//! witnesses re-extracted as concrete traces. Diagnostics stay
+//! backend-invariant, so the `--diag-out` files of both backends are also
+//! `cmp`'d in CI.
 //!
 //! `--filter` narrows the run to targets whose name contains the given
 //! substring (mirroring `sweep`'s `--filter`; `--target` is accepted as a
@@ -55,6 +63,7 @@ fn main() -> ExitCode {
         symmetry,
         max_states: flag_usize(&args, "max-states", 200_000),
         engine: svckit_sweep::engine_flag(&args).unwrap_or_default(),
+        backend: svckit_sweep::backend_flag(&args).unwrap_or_default(),
         ..ServicePassOptions::default()
     };
 

@@ -3,7 +3,8 @@
 use std::collections::BTreeMap;
 
 use svckit_lts::explorer::Reduction;
-use svckit_sweep::{JsonWriter, PorStats, SymStats};
+use svckit_lts::Backend;
+use svckit_sweep::{JsonWriter, LddStats, PorStats, SymStats};
 
 use crate::diag::{Diagnostic, Severity};
 use crate::protocol_pass::analyze_protocol;
@@ -33,6 +34,10 @@ pub struct TargetReport {
     /// schema with the explorer benchmarks' `BENCH_hotpath.sym.json`
     /// sidecar). Identical whichever `--symmetry` setting ran.
     pub sym: SymStats,
+    /// Symbolic-backend statistics (shared schema with the explorer
+    /// benchmarks' `BENCH_hotpath.ldd.json` sidecar). All zeros — and
+    /// omitted from the JSON report — under `--backend explicit`.
+    pub ldd: LddStats,
 }
 
 /// The whole run: every target, one pass configuration.
@@ -40,6 +45,8 @@ pub struct TargetReport {
 pub struct AnalysisReport {
     /// The reduction the exhaustive passes ran with.
     pub reduction: Reduction,
+    /// The reachability backend the passes reported for.
+    pub backend: Backend,
     /// Per-target results, in target order.
     pub targets: Vec<TargetReport>,
 }
@@ -83,10 +90,12 @@ impl AnalysisReport {
                 notes: target.notes.clone(),
                 por: analysis.por,
                 sym: analysis.sym,
+                ldd: analysis.ldd,
             });
         }
         AnalysisReport {
             reduction: options.reduction,
+            backend: options.backend,
             targets: reports,
         }
     }
@@ -138,6 +147,7 @@ impl AnalysisReport {
         w.begin_object();
         w.key("name").string("svckit-analyze");
         w.key("reduction").string(reduction_label(self.reduction));
+        w.key("backend").string(&self.backend.to_string());
         w.key("errors").uint(self.errors() as u64);
         w.key("warnings").uint(self.warnings() as u64);
         w.key("targets").begin_array();
@@ -151,6 +161,10 @@ impl AnalysisReport {
             target.por.write(&mut w);
             w.key("sym");
             target.sym.write(&mut w);
+            if self.backend == Backend::Symbolic {
+                w.key("ldd");
+                target.ldd.write(&mut w);
+            }
             write_diagnostics(&mut w, &target.diagnostics);
             w.key("notes").begin_array();
             for note in &target.notes {

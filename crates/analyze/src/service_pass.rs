@@ -14,9 +14,9 @@ use svckit_dfa::{check_product, Binder, Compiled, Edge, Engine, ProductCheck};
 use svckit_lts::explorer::{
     AbstractEvent, ExploreOptions, ExploreReport, Reduction, ServiceExplorer,
 };
-use svckit_lts::Symmetry;
+use svckit_lts::{Backend, Symmetry};
 use svckit_model::{ConstraintKind, Sap, ServiceDefinition, Value};
-use svckit_sweep::{PorStats, SymStats};
+use svckit_sweep::{LddStats, PorStats, SymStats};
 
 use crate::diag::Diagnostic;
 
@@ -44,6 +44,17 @@ pub struct ServicePassOptions {
     /// how many states the search must store — and therefore which
     /// universes fit under the state bound at all.
     pub symmetry: Symmetry,
+    /// Which reachability backend the pass reports for. Diagnostics are
+    /// backend-invariant (CI `cmp`s the diag JSON of both backends, the
+    /// `ldd_oracle` proptests pin the equality): the explicit runs above
+    /// always execute and supply the diagnostics, and under
+    /// [`Backend::Symbolic`] one additional LDD exploration fills the
+    /// [`ServiceAnalysis::ldd`] block — and *replaces* the diagnostics
+    /// only when every explicit source hit the state bound while the
+    /// symbolic search completed, which is how universes past the
+    /// explicit ceiling (the `--users 8` floor) stay analyzable with
+    /// complete, replayable witnesses instead of an `SA009` stub.
+    pub backend: Backend,
 }
 
 impl Default for ServicePassOptions {
@@ -54,6 +65,7 @@ impl Default for ServicePassOptions {
             max_outstanding: 2,
             engine: Engine::default(),
             symmetry: Symmetry::On,
+            backend: Backend::default(),
         }
     }
 }
@@ -76,6 +88,10 @@ pub struct ServiceAnalysis {
     /// run at the configured reduction setting, so the block is identical
     /// whichever symmetry setting the caller picked.
     pub sym: SymStats,
+    /// Symbolic-backend statistics, filled only under
+    /// [`Backend::Symbolic`] (all zeros otherwise — the explicit backend
+    /// builds no diagrams).
+    pub ldd: LddStats,
 }
 
 /// The progress-labelled primitives used by the livelock pass: every
@@ -141,12 +157,30 @@ pub fn analyze_service(
         },
         ..explore_options.clone()
     });
-    let diag_report =
+    // Under the symbolic backend one extra exploration runs the LDD
+    // fixpoint engine on the same explorer. It feeds the `ldd` statistics
+    // block, and — because the diagram never truncates — rescues the
+    // diagnostics when both explicit sources stopped at the state bound:
+    // witnesses are then re-extracted concrete minimal traces instead of
+    // an SA009 stub. (`peak_nodes > 0` distinguishes a completed symbolic
+    // run from the node-budget fallback, which re-reports explicitly.)
+    let symbolic = (options.backend == Backend::Symbolic).then(|| {
+        explorer.explore(&ExploreOptions {
+            backend: Backend::Symbolic,
+            ..explore_options.clone()
+        })
+    });
+    let mut diag_report =
         if options.symmetry == Symmetry::On && has_defect(&report) && !sym_counterpart.truncated {
             &sym_counterpart
         } else {
             &report
         };
+    if let Some(symbolic) = &symbolic {
+        if diag_report.truncated && !symbolic.truncated && symbolic.peak_nodes > 0 {
+            diag_report = symbolic;
+        }
+    }
     let diagnostics = diagnostics_from(service, &explorer, diag_report);
 
     // Under the DFA engine, the direct product-automaton sweep must agree
@@ -208,12 +242,24 @@ pub fn analyze_service(
         states_saved: sym_on.sym_states_saved,
     };
 
+    let ldd = symbolic
+        .as_ref()
+        .map(|r| LddStats {
+            states: r.states as u64,
+            transitions: r.transitions as u64,
+            ldd_nodes: r.ldd_nodes as u64,
+            peak_nodes: r.peak_nodes as u64,
+            cache_hits: r.cache_hits,
+        })
+        .unwrap_or_default();
+
     ServiceAnalysis {
         diagnostics,
         states: report.states,
         transitions: report.transitions,
         por,
         sym,
+        ldd,
     }
 }
 

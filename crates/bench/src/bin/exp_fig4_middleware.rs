@@ -17,8 +17,8 @@ use svckit::model::Duration;
 use svckit::netsim::LinkConfig;
 use svckit_bench::{fmt_f, print_header, print_row};
 use svckit_sweep::{
-    default_threads, engine_flag, flag_usize, flag_value, obs_flags, queue_backend_flag, run_sweep,
-    shards_flag, symmetry_flag, trace_flags, verbosity, SweepSpec,
+    backend_flag, default_threads, engine_flag, flag_usize, flag_value, obs_flags,
+    queue_backend_flag, run_sweep, shards_flag, symmetry_flag, trace_flags, verbosity, SweepSpec,
 };
 
 fn main() {
@@ -70,6 +70,13 @@ fn main() {
         // byte-identical across symmetry settings too; CI cmp's
         // --symmetry off against the default on run.
         spec = spec.symmetry(symmetry);
+    }
+    if let Some(backend) = backend_flag(&args) {
+        // Same argument once more: the exploration backend only matters
+        // under --verify-style model checks, so sweep JSON stays
+        // byte-identical under --backend symbolic; CI cmp's it against
+        // the default explicit run.
+        spec = spec.backend(backend);
     }
     let report = run_sweep(&spec, threads);
 

@@ -61,6 +61,9 @@ fn usage() -> String {
          \x20                       universe before simulating\n\
          \x20 --symmetry <on|off>   quotient the --verify exploration by the\n\
          \x20                       user-permutation symmetry (default on)\n\
+         \x20 --backend <name>      explicit | symbolic: how the --verify\n\
+         \x20                       exploration represents the state space\n\
+         \x20                       (default explicit)\n\
          \x20 --help                this text\n",
     );
     text
@@ -156,6 +159,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--symmetry" => {
                 params = params.symmetry(value("--symmetry")?.parse()?);
             }
+            "--backend" => {
+                params = params.backend(value("--backend")?.parse()?);
+            }
             "--trace" => show_trace = true,
             "--check" => show_check = true,
             "--verify" => verify = true,
@@ -182,6 +188,7 @@ fn verify_run(params: &RunParams) -> bool {
     let report = explorer.explore(&ExploreOptions {
         progress: vec!["granted".to_owned(), "free".to_owned()],
         symmetry: params.symmetry_value(),
+        backend: params.backend_value(),
         ..ExploreOptions::default()
     });
     println!(
@@ -191,6 +198,12 @@ fn verify_run(params: &RunParams) -> bool {
         params.symmetry_value(),
         report.sym_states_saved,
     );
+    if report.peak_nodes > 0 {
+        println!(
+            "ldd:          {} node(s) final, {} node(s) peak, {} cache hit(s)",
+            report.ldd_nodes, report.peak_nodes, report.cache_hits,
+        );
+    }
     let healthy = !report.truncated
         && report.deadlock_states == 0
         && report.livelock.is_none()

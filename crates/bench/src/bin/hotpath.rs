@@ -17,8 +17,10 @@
 //! recorder, measured A/B in-process so it is machine-independent) and
 //! `obs_sites_enabled` (1 when built with `--features obs`, else 0).
 //! A sidecar `<out>.por.json` carries the full-vs-reduced exploration
-//! statistics in the shared [`PorStats`] schema, and `<out>.sym.json` the
-//! symmetry-quotient statistics in the shared [`SymStats`] schema.
+//! statistics in the shared [`PorStats`] schema, `<out>.sym.json` the
+//! symmetry-quotient statistics in the shared [`SymStats`] schema, and
+//! `<out>.ldd.json` the symbolic-backend statistics in the shared
+//! [`LddStats`] schema.
 //! `--threads` sets the worker count of the sweep-harness bench entry
 //! (default: all cores).
 
@@ -29,14 +31,14 @@ use svckit::floorctl::{
     Solution,
 };
 use svckit::lts::explorer::{ExploreOptions, Reduction, ServiceExplorer};
-use svckit::lts::Symmetry;
+use svckit::lts::{Backend, Symmetry};
 use svckit::model::{Duration, PartId};
 use svckit::netsim::{Context, LinkConfig, Process, QueueBackend, SimConfig, Simulator, TimerId};
 use svckit::obs::with_recorder;
 use svckit_bench::scale::{run_scale_soak, ScaleConfig};
 use svckit_sweep::{
     chrome_trace, default_threads, flag_usize, flag_value, obs_flags, run_sweep, verbosity,
-    JsonWriter, ObsFormat, PorStats, Recorder, SweepSpec, SymStats,
+    JsonWriter, LddStats, ObsFormat, PorStats, Recorder, SweepSpec, SymStats,
 };
 
 use std::hint::black_box;
@@ -416,6 +418,48 @@ fn main() {
         }),
     );
 
+    // Symbolic LDD reachability: the full (unreduced, unquotiented) floor
+    // space at 6 SAPs × 2 resources — ~26 M concrete states, far past any
+    // explicit bound — reached as a decision-diagram fixpoint. The timing
+    // key tracks the fixpoint itself; `ldd_nodes_peak` is a data key
+    // (a count, exact and machine-independent) that perfgate holds as a
+    // bounded-nodes floor: the whole point of the backend is that node
+    // counts stay flat while concrete states explode.
+    let ldd_explorer = ServiceExplorer::new(&service, floor_event_universe(6, 2), 2);
+    let ldd_options = ExploreOptions {
+        backend: Backend::Symbolic,
+        reduction: Reduction::Full,
+        symmetry: Symmetry::Off,
+        progress: vec!["granted".to_owned(), "free".to_owned()],
+        ..ExploreOptions::default()
+    };
+    let ldd_report = ldd_explorer.explore(&ldd_options);
+    assert!(
+        ldd_report.peak_nodes > 0,
+        "the symbolic fixpoint must complete within the default node budget"
+    );
+    println!(
+        "    (ldd: {} states / {} transitions in {} node(s), peak {}, {} cache hit(s))",
+        ldd_report.states,
+        ldd_report.transitions,
+        ldd_report.ldd_nodes,
+        ldd_report.peak_nodes,
+        ldd_report.cache_hits,
+    );
+    let ldd_stats = LddStats {
+        states: ldd_report.states as u64,
+        transitions: ldd_report.transitions as u64,
+        ldd_nodes: ldd_report.ldd_nodes as u64,
+        peak_nodes: ldd_report.peak_nodes as u64,
+        cache_hits: ldd_report.cache_hits,
+    };
+    record(
+        "explorer/ldd_reach",
+        median_ns(1, 5, || {
+            black_box(ldd_explorer.explore(&ldd_options).states);
+        }),
+    );
+
     // --- Netsim hot paths. ----------------------------------------------
     // pingpong and timer_churn also run on the reference heap backend:
     // the `_heap` keys document the wheel's win on the same workload and
@@ -600,6 +644,12 @@ fn main() {
     );
     results.push(("explorer/sym_states_quotient", sym_report.states as f64));
 
+    // The symbolic node high-water mark as a data key (a count, not a
+    // latency): perfgate holds it as an absolute bounded-nodes floor for
+    // the 6×2 fixpoint above.
+    println!("{:<36} {} nodes", "ldd_nodes_peak", ldd_report.peak_nodes);
+    results.push(("ldd_nodes_peak", ldd_report.peak_nodes as f64));
+
     // --- Machine-readable output. ---------------------------------------
     let mut json = JsonWriter::pretty();
     json.begin_object();
@@ -629,6 +679,16 @@ fn main() {
     sym_stats.write(&mut sym_json);
     std::fs::write(&sym_path, sym_json.finish()).expect("write sym sidecar");
     println!("wrote {sym_path}");
+
+    // Symbolic-backend statistics sidecar, same shared schema.
+    let ldd_path = match out_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.ldd.json"),
+        None => format!("{out_path}.ldd.json"),
+    };
+    let mut ldd_json = JsonWriter::pretty();
+    ldd_stats.write(&mut ldd_json);
+    std::fs::write(&ldd_path, ldd_json.finish()).expect("write ldd sidecar");
+    println!("wrote {ldd_path}");
 
     // Optional obs capture: one instrumented pingpong + POR exploration.
     if let Some((obs_path, format)) = obs_flags(&args) {

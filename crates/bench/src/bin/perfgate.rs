@@ -33,7 +33,10 @@
 //! and the symmetry quotient must shrink the 3×4 floor-control product
 //! space by at least [`MIN_SYM_REDUCTION`]× beyond ample sets alone
 //! (`explorer/sym_states_full / explorer/sym_states_quotient` — exact
-//! state counts, not timings, so the floor is deterministic).
+//! state counts, not timings, so the floor is deterministic). A fourth
+//! absolute gate bounds `ldd_nodes_peak`, the symbolic backend's interned
+//! node high-water mark on the 6×2 floor fixpoint, to
+//! [`MAX_LDD_PEAK_NODES`] — also an exact count.
 //!
 //! [`FLOOR_KEYS`] are throughput keys (events per second — higher is
 //! better): the band is applied *inverted*, so a fresh value below
@@ -44,12 +47,14 @@ use svckit_sweep::{flag_value, parse_flat_numbers};
 
 /// Keys that are not nanosecond medians and must skip the ratio band.
 /// The two `sym_states` keys are exact state counts gated by the
-/// [`MIN_SYM_REDUCTION`] cross-key floor instead.
-const SPECIAL_KEYS: [&str; 4] = [
+/// [`MIN_SYM_REDUCTION`] cross-key floor instead; `ldd_nodes_peak` is an
+/// exact node count gated absolutely by [`MAX_LDD_PEAK_NODES`].
+const SPECIAL_KEYS: [&str; 5] = [
     "obs_disabled_overhead",
     "obs_sites_enabled",
     "explorer/sym_states_full",
     "explorer/sym_states_quotient",
+    "ldd_nodes_peak",
 ];
 
 /// Throughput keys: higher is better, gated as a floor, not a ceiling.
@@ -74,6 +79,14 @@ const MIN_DFA_SPEEDUP: f64 = 3.0;
 /// states than ample sets alone is a regression. State counts are exact,
 /// so this floor carries no machine noise at all.
 const MIN_SYM_REDUCTION: f64 = 5.0;
+
+/// Largest tolerated `ldd_nodes_peak` on the 6-user × 2-resource floor
+/// fixpoint (~26 M concrete states). The measured peak is ~750 k interned
+/// nodes; the bound leaves headroom for cache-shape drift while still
+/// catching a broken normalization or a leaked intern (which blows the
+/// table up by orders of magnitude, not percent). Node counts are exact,
+/// so this gate carries no machine noise.
+const MAX_LDD_PEAK_NODES: f64 = 2_000_000.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -242,6 +255,25 @@ fn main() {
             println!(
                 "ok          {:<36} {reduction:>13.2}x (floor {MIN_SYM_REDUCTION:.1}x vs unreduced)",
                 "sym_states reduction"
+            );
+        }
+    }
+
+    // Absolute gate: the 6×2 symbolic fixpoint must stay within a bounded
+    // node budget. A count, not a timing — exceeding it means the diagram
+    // machinery itself regressed (normalization, interning, or ordering),
+    // never the machine.
+    if let Some(peak) = fresh_key("ldd_nodes_peak") {
+        if peak > MAX_LDD_PEAK_NODES {
+            regressions += 1;
+            println!(
+                "REGRESSION  {:<36} {peak:>13.0} nodes (bound {MAX_LDD_PEAK_NODES:.0})",
+                "ldd_nodes_peak"
+            );
+        } else {
+            println!(
+                "ok          {:<36} {peak:>13.0} nodes (bound {MAX_LDD_PEAK_NODES:.0})",
+                "ldd_nodes_peak"
             );
         }
     }

@@ -141,6 +141,26 @@ impl Binder {
         self.slot_info.len()
     }
 
+    /// Number of states in slot `slot`'s DFA — the symbolic backend's
+    /// per-level domain size. Only meaningful once every universe event
+    /// has been interned (interning can regrow mutex tables).
+    pub fn slot_nstates(&self, slot: u32) -> u16 {
+        self.slot_info[slot as usize].dfa.nstates()
+    }
+
+    /// Slot `slot`'s raw transition on occurrence class `class`
+    /// ([`DEAD`] when rejected). Exposes the per-slot step function so a
+    /// symbolic backend can tabulate each level's partial map directly.
+    pub fn slot_next(&self, slot: u32, state: u16, class: u16) -> u16 {
+        self.slot_info[slot as usize].dfa.next(state, class)
+    }
+
+    /// Whether slot `slot` in state `state` counts as quiescent (the
+    /// per-slot conjunct of [`Binder::is_quiescent_wide`]).
+    pub fn slot_state_quiescent(&self, slot: u32, state: u16) -> bool {
+        state == 0 || self.slot_info[slot as usize].dfa.meta(state).quiescent
+    }
+
     /// The display form of constraint `ci` (what violations name).
     pub fn constraint_display(&self, ci: usize) -> &str {
         &self.compiled.constraints[ci].display

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use svckit_lts::Symmetry;
+use svckit_lts::{Backend, Symmetry};
 use svckit_middleware::Engine;
 use svckit_model::Duration;
 use svckit_netsim::{LinkConfig, QueueBackend};
@@ -97,6 +97,7 @@ pub struct RunParams {
     shards: u32,
     engine: Engine,
     symmetry: Symmetry,
+    backend: Backend,
 }
 
 impl Default for RunParams {
@@ -117,6 +118,7 @@ impl Default for RunParams {
             shards: 1,
             engine: Engine::default(),
             symmetry: Symmetry::On,
+            backend: Backend::default(),
         }
     }
 }
@@ -229,6 +231,19 @@ impl RunParams {
         self
     }
 
+    /// Selects the reachability backend of model-checking passes over
+    /// this run's universe (builder-style): explicit breadth-first search
+    /// or symbolic LDD fixpoints. Like [`RunParams::symmetry`], the
+    /// simulation itself never explores — the knob only changes how the
+    /// `--verify` pre-run check represents the state space, and both
+    /// backends report identical verdicts. Defaults to
+    /// [`Backend::Explicit`].
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Number of subscribers.
     pub fn subscriber_count(&self) -> u64 {
         self.subscribers
@@ -289,6 +304,12 @@ impl RunParams {
         self.symmetry
     }
 
+    /// Reachability backend for model-checking passes over this run's
+    /// universe.
+    pub fn backend_value(&self) -> Backend {
+        self.backend
+    }
+
     /// Simulated-time cap.
     pub fn cap(&self) -> Duration {
         self.time_cap
@@ -322,6 +343,13 @@ mod tests {
         assert_eq!(RunParams::default().symmetry_value(), Symmetry::On);
         let p = RunParams::default().symmetry(Symmetry::Off);
         assert_eq!(p.symmetry_value(), Symmetry::Off);
+    }
+
+    #[test]
+    fn backend_defaults_explicit_and_round_trips() {
+        assert_eq!(RunParams::default().backend_value(), Backend::Explicit);
+        let p = RunParams::default().backend(Backend::Symbolic);
+        assert_eq!(p.backend_value(), Backend::Symbolic);
     }
 
     #[test]

@@ -27,10 +27,13 @@ use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use svckit_dfa::{Binder, Compiled, Edge, Engine};
+use svckit_ldd::Backend;
 use svckit_model::{Constraint, ConstraintKind, ConstraintScope, Sap, ServiceDefinition, Value};
 
 use crate::lts::{Lts, LtsBuilder, StateId};
 use crate::symmetry::{orbit_factor, Symmetry, SymmetryGroups};
+
+mod symbolic;
 
 /// An abstract event of the universe: a primitive with concrete arguments at
 /// a concrete access point (time-abstracted).
@@ -943,6 +946,21 @@ pub struct ExploreOptions {
     /// expanded back to concrete access points; state and deadlock counts
     /// are then quotient-level.
     pub symmetry: Symmetry,
+    /// Which reachability backend runs the search. Under
+    /// [`Backend::Symbolic`] the state set lives in list decision
+    /// diagrams: the search ignores [`ExploreOptions::max_states`],
+    /// [`ExploreOptions::reduction`] and [`ExploreOptions::symmetry`]
+    /// (the diagram *is* the compression — results equal an untruncated
+    /// [`Reduction::Full`]/[`Symmetry::Off`] explicit search), and
+    /// witnesses are re-extracted as concrete minimal traces. Exceeding
+    /// [`ExploreOptions::ldd_node_limit`] falls back to the explicit
+    /// engine with a warning.
+    pub backend: Backend,
+    /// Node budget for the symbolic backend's unique table, mirroring the
+    /// DFA engine's >4096-state interpreter fallback: past this many
+    /// interned LDD nodes the symbolic search abandons ship and the
+    /// explicit engine re-runs the exploration.
+    pub ldd_node_limit: usize,
 }
 
 impl Default for ExploreOptions {
@@ -953,6 +971,8 @@ impl Default for ExploreOptions {
             progress: Vec::new(),
             max_deadlock_witnesses: 4,
             symmetry: Symmetry::Off,
+            backend: Backend::Explicit,
+            ldd_node_limit: 4_194_304,
         }
     }
 }
@@ -1010,6 +1030,15 @@ pub struct ExploreReport {
     /// unquotiented reachable state count exactly (the detected groups are
     /// full symmetric groups, so orbit sizes are `n!/∏ mᵢ!`).
     pub sym_states_saved: u64,
+    /// Symbolic backend only: nodes in the final reached-set diagram
+    /// (0 under the explicit backend).
+    pub ldd_nodes: usize,
+    /// Symbolic backend only: high-water unique-table size — every LDD
+    /// node interned over the whole search (0 under the explicit backend).
+    pub peak_nodes: usize,
+    /// Symbolic backend only: operation-cache hits across set operations,
+    /// relational products and satcounts (0 under the explicit backend).
+    pub cache_hits: u64,
 }
 
 impl<'a> ServiceExplorer<'a> {
@@ -1112,6 +1141,16 @@ impl<'a> ServiceExplorer<'a> {
     /// potentially missed; reduced/full diagnostic agreement is enforced by
     /// golden tests rather than by a cycle proviso.
     pub fn explore(&self, options: &ExploreOptions) -> ExploreReport {
+        if options.backend == Backend::Symbolic {
+            match self.explore_symbolic(options) {
+                Some(report) => return report,
+                None => eprintln!(
+                    "svckit-lts: symbolic backend exceeded the LDD node budget \
+                     ({} nodes); falling back to the explicit engine",
+                    options.ldd_node_limit
+                ),
+            }
+        }
         let mut engine = StepEngine::new(self);
         let event_ids: Vec<u32> = self.universe.iter().map(|e| engine.event_id(e)).collect();
         // Build the canonicalizer only after every universe event has been
@@ -1326,6 +1365,9 @@ impl<'a> ServiceExplorer<'a> {
             orbit_count,
             canon_hits,
             sym_states_saved: states_saved,
+            ldd_nodes: 0,
+            peak_nodes: 0,
+            cache_hits: 0,
         }
     }
 

@@ -1,0 +1,623 @@
+//! The symbolic LDD reachability backend behind
+//! [`ServiceExplorer::explore`].
+//!
+//! Product states are fixed-width vectors of small interned integers —
+//! per-constraint state ids under the interpreter, per-slot DFA states
+//! under the compiled engine — so reachable *sets* of them live naturally
+//! in list decision diagrams ([`svckit_ldd`]). The variable ordering is
+//! the interned product-state layout itself: level `i` of the diagram is
+//! component `i` of the product key, which under the DFA engine groups a
+//! user's slots contiguously (slots intern in universe order) and keeps
+//! symmetric users' sub-vectors shape-identical — exactly the structure
+//! hash-consing collapses.
+//!
+//! The search is a breadth-first fixpoint over per-ply frontiers. Every
+//! event's step relation factorizes into independent deterministic
+//! partial maps per level (the explicit engine's `step_key` touches only
+//! the event's relevant levels), so the relational product is applied as
+//! a per-level functional walk — no monolithic transition relation is
+//! ever built. Diagnostics are then re-derived set-wise:
+//!
+//! * deadlocks = reached ∖ ⋃ₑ enabled(e); witnesses are re-extracted as
+//!   concrete traces by chaining preimages backward ply-by-ply and then
+//!   walking forward picking the smallest universe index that stays on
+//!   the chain — which reproduces, byte for byte, the explicit BFS's
+//!   lexicographically minimal witness order;
+//! * livelocks = a greatest-fixpoint core of non-quiescent states with a
+//!   non-progress successor inside the core (non-empty ⟺ the full
+//!   explicit graph has a non-progress cycle), with a replay-valid lasso
+//!   re-extracted by greedy concrete walking;
+//! * the ample histogram degenerates to the full-expansion histogram
+//!   (symbolic search does not reduce), computed by partition refinement
+//!   over the per-event enabled sets.
+//!
+//! Everything is oracle-locked against the explicit engine by the
+//! `ldd_oracle` proptests and the backend-matrix goldens.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use svckit_dfa::DEAD;
+use svckit_ldd::{Ldd, LddStore, LevelStep, PreStep, EMPTY};
+
+use super::{
+    AbstractEvent, ExploreOptions, ExploreReport, LivelockWitness, ProductEngine, ServiceExplorer,
+    StepEngine,
+};
+
+/// Reserved relational-product token for the quiescence filter. Real
+/// events intern dense ids from 0, so the top of the range is free.
+const QUIESCENCE_TOKEN: u32 = u32::MAX;
+
+impl ProductEngine<'_, '_> {
+    /// One constraint's memoized step — the per-level factor of
+    /// [`ProductEngine::step_key`], exposed for the symbolic backend.
+    /// `None` means the constraint rejects the event in this state.
+    fn level_step(&mut self, ci: usize, sid: u32, event: &AbstractEvent, eid: u32) -> Option<u32> {
+        if !self.tables[ci].trans.contains_key(&(sid, eid)) {
+            let explorer = self.explorer;
+            let constraint = &explorer.service.constraints()[ci];
+            let current = Arc::clone(&self.tables[ci].states[sid as usize]);
+            let computed = explorer
+                .step_constraint(constraint, &current, event)
+                .map(|stepped| self.tables[ci].intern(constraint, stepped));
+            self.tables[ci].trans.insert((sid, eid), computed);
+        }
+        self.tables[ci].trans[&(sid, eid)].as_ref().ok().copied()
+    }
+}
+
+/// How one event touches one level, resolved per engine.
+enum Touch {
+    /// DFA: the occurrence classes stepped on this slot, in edge order
+    /// (an event rarely steps a slot twice, but composition is sequential
+    /// exactly like `Binder::step_wide`).
+    Classes(Vec<u16>),
+    /// Interpreter: step through the constraint table's lazy memo.
+    Constraint,
+}
+
+/// One event's per-level footprint: which levels it touches (everything
+/// else is identity) and how deep the diagram walk must descend.
+struct EventRel {
+    touched: HashMap<u32, Touch>,
+    /// 1 + the deepest touched level; 0 for footprint-free events (their
+    /// image and enabled-filter are the identity).
+    max_depth: u32,
+}
+
+/// Per-event inverse step maps for preimages: level → target → ascending
+/// source values. Built once, after the forward fixpoint has interned
+/// every reachable per-level state.
+type EventInverse = HashMap<u32, HashMap<u32, Vec<u32>>>;
+
+fn build_rels(
+    explorer: &ServiceExplorer<'_>,
+    engine: &StepEngine<'_, '_>,
+    event_ids: &[u32],
+) -> Vec<EventRel> {
+    explorer
+        .universe
+        .iter()
+        .zip(event_ids)
+        .map(|(event, &eid)| {
+            let mut touched: HashMap<u32, Touch> = HashMap::new();
+            match engine {
+                StepEngine::Dfa(rt) => {
+                    for edge in rt.binder.edges(eid) {
+                        match touched
+                            .entry(edge.slot)
+                            .or_insert_with(|| Touch::Classes(Vec::new()))
+                        {
+                            Touch::Classes(classes) => classes.push(edge.class),
+                            Touch::Constraint => unreachable!("DFA footprints are slots"),
+                        }
+                    }
+                }
+                StepEngine::Interp(product) => {
+                    let relevant: Vec<usize> = if explorer.has_opaque_kinds {
+                        (0..product.tables.len()).collect()
+                    } else {
+                        explorer
+                            .relevance
+                            .get(&event.primitive)
+                            .cloned()
+                            .unwrap_or_default()
+                    };
+                    for ci in relevant {
+                        let ci = u32::try_from(ci).expect("constraint count fits u32");
+                        touched.insert(ci, Touch::Constraint);
+                    }
+                }
+            }
+            let max_depth = touched.keys().max().map_or(0, |&level| level + 1);
+            EventRel { touched, max_depth }
+        })
+        .collect()
+}
+
+/// The per-level forward step of `event` at `(level, value)` — identity
+/// on untouched levels, the engine's deterministic partial map elsewhere.
+fn forward_step(
+    engine: &mut StepEngine<'_, '_>,
+    rel: &EventRel,
+    event: &AbstractEvent,
+    eid: u32,
+    level: u32,
+    value: u32,
+) -> LevelStep {
+    match rel.touched.get(&level) {
+        None => LevelStep::Identity,
+        Some(Touch::Classes(classes)) => {
+            let StepEngine::Dfa(rt) = engine else {
+                unreachable!("slot footprints only arise under the DFA engine")
+            };
+            let mut state = u16::try_from(value).expect("slot states fit u16");
+            for &class in classes {
+                state = rt.binder.slot_next(level, state, class);
+                if state == DEAD {
+                    return LevelStep::Blocked;
+                }
+            }
+            LevelStep::To(u32::from(state))
+        }
+        Some(Touch::Constraint) => {
+            let StepEngine::Interp(product) = engine else {
+                unreachable!("constraint footprints only arise under the interpreter")
+            };
+            match product.level_step(level as usize, value, event, eid) {
+                Some(next) => LevelStep::To(next),
+                None => LevelStep::Blocked,
+            }
+        }
+    }
+}
+
+fn image(
+    store: &mut LddStore,
+    engine: &mut StepEngine<'_, '_>,
+    rel: &EventRel,
+    event: &AbstractEvent,
+    eid: u32,
+    set: Ldd,
+) -> Ldd {
+    store.image(set, eid, rel.max_depth, &mut |level, value| {
+        forward_step(engine, rel, event, eid, level, value)
+    })
+}
+
+fn enabled(
+    store: &mut LddStore,
+    engine: &mut StepEngine<'_, '_>,
+    rel: &EventRel,
+    event: &AbstractEvent,
+    eid: u32,
+    set: Ldd,
+) -> Ldd {
+    store.filter_enabled(set, eid, rel.max_depth, &mut |level, value| {
+        forward_step(engine, rel, event, eid, level, value)
+    })
+}
+
+fn preimage(store: &mut LddStore, inv: &EventInverse, eid: u32, max_depth: u32, set: Ldd) -> Ldd {
+    store.preimage(
+        set,
+        eid,
+        max_depth,
+        &mut |level, target| match inv.get(&level) {
+            None => PreStep::Identity,
+            Some(per_level) => {
+                PreStep::Sources(per_level.get(&target).cloned().unwrap_or_default())
+            }
+        },
+    )
+}
+
+/// Tabulates every event's inverse per-level step map. Under the
+/// interpreter the enumeration may intern a few never-reached successor
+/// states (harmless); every *source* that can matter was interned by the
+/// forward fixpoint, so the maps are complete for backward chaining
+/// within the reached set.
+fn build_inverse(
+    engine: &mut StepEngine<'_, '_>,
+    rels: &[EventRel],
+    universe: &[AbstractEvent],
+    event_ids: &[u32],
+) -> Vec<EventInverse> {
+    rels.iter()
+        .enumerate()
+        .map(|(ei, rel)| {
+            let mut inv: EventInverse = HashMap::new();
+            for (&level, touch) in &rel.touched {
+                let per_level = inv.entry(level).or_default();
+                match touch {
+                    Touch::Classes(classes) => {
+                        let StepEngine::Dfa(rt) = engine else {
+                            unreachable!("slot footprints only arise under the DFA engine")
+                        };
+                        for source in 0..rt.binder.slot_nstates(level) {
+                            let mut target = source;
+                            let mut alive = true;
+                            for &class in classes {
+                                target = rt.binder.slot_next(level, target, class);
+                                if target == DEAD {
+                                    alive = false;
+                                    break;
+                                }
+                            }
+                            if alive {
+                                per_level
+                                    .entry(u32::from(target))
+                                    .or_default()
+                                    .push(u32::from(source));
+                            }
+                        }
+                    }
+                    Touch::Constraint => {
+                        let StepEngine::Interp(product) = engine else {
+                            unreachable!("constraint footprints only arise under the interpreter")
+                        };
+                        let known = u32::try_from(product.tables[level as usize].states.len())
+                            .expect("fewer than 2^32 constraint states");
+                        for source in 0..known {
+                            if let Some(target) = product.level_step(
+                                level as usize,
+                                source,
+                                &universe[ei],
+                                event_ids[ei],
+                            ) {
+                                per_level.entry(target).or_default().push(source);
+                            }
+                        }
+                    }
+                }
+            }
+            inv
+        })
+        .collect()
+}
+
+/// The subset of `set` whose every level is quiescent.
+fn quiescent_subset(
+    store: &mut LddStore,
+    engine: &StepEngine<'_, '_>,
+    width: u32,
+    set: Ldd,
+) -> Ldd {
+    store.filter_enabled(set, QUIESCENCE_TOKEN, width, &mut |level, value| {
+        let quiet = match engine {
+            StepEngine::Interp(product) => product.tables[level as usize].quiescent[value as usize],
+            StepEngine::Dfa(rt) => rt
+                .binder
+                .slot_state_quiescent(level, u16::try_from(value).expect("slot states fit u16")),
+        };
+        if quiet {
+            LevelStep::Identity
+        } else {
+            LevelStep::Blocked
+        }
+    })
+}
+
+impl<'a> ServiceExplorer<'a> {
+    /// The symbolic counterpart of the explicit breadth-first search in
+    /// [`ServiceExplorer::explore`]. Returns `None` when the LDD store
+    /// outgrows [`ExploreOptions::ldd_node_limit`] — the caller then
+    /// falls back to the explicit engine.
+    ///
+    /// The report matches an untruncated explicit
+    /// [`super::Reduction::Full`] / [`crate::Symmetry::Off`] search
+    /// field-for-field (states, transitions, deadlock counts and
+    /// *byte-identical* lexicographically-minimal deadlock witnesses, the
+    /// never-enabled census, livelock existence, the expansion
+    /// histogram), plus the LDD statistics.
+    pub(super) fn explore_symbolic(&self, options: &ExploreOptions) -> Option<ExploreReport> {
+        let mut store = LddStore::with_node_limit(options.ldd_node_limit);
+        let mut engine = StepEngine::new(self);
+        // Intern every universe event up front: under the DFA engine this
+        // freezes the slot set and mutex holder alphabets, fixing the
+        // diagram's width and per-level domains for the whole search.
+        let event_ids: Vec<u32> = self.universe.iter().map(|e| engine.event_id(e)).collect();
+        let rels = build_rels(self, &engine, &event_ids);
+        let init_key = engine.initial_key();
+        let width = u32::try_from(init_key.len()).expect("product width fits u32");
+        let n = self.universe.len();
+
+        // Forward fixpoint, one diagram per BFS ply (`layers[d]` = states
+        // first reached in exactly `d` steps — the backbone of minimal
+        // witness re-extraction).
+        let init = store.singleton(&init_key);
+        let mut layers: Vec<Ldd> = vec![init];
+        let mut reached = init;
+        let mut frontier = init;
+        while frontier != EMPTY {
+            let mut next = EMPTY;
+            for (ei, event) in self.universe.iter().enumerate() {
+                let img = image(
+                    &mut store,
+                    &mut engine,
+                    &rels[ei],
+                    event,
+                    event_ids[ei],
+                    frontier,
+                );
+                next = store.union(next, img);
+            }
+            let fresh = store.minus(next, reached);
+            if store.over_limit() {
+                return None;
+            }
+            if fresh == EMPTY {
+                break;
+            }
+            reached = store.union(reached, fresh);
+            layers.push(fresh);
+            frontier = fresh;
+        }
+
+        // Per-event enabled sets over the whole reached set: the census
+        // behind transitions, never-enabled events and deadlocks.
+        let enb: Vec<Ldd> = (0..n)
+            .map(|ei| {
+                enabled(
+                    &mut store,
+                    &mut engine,
+                    &rels[ei],
+                    &self.universe[ei],
+                    event_ids[ei],
+                    reached,
+                )
+            })
+            .collect();
+        if store.over_limit() {
+            return None;
+        }
+        let mut any_enabled = EMPTY;
+        for &e in &enb {
+            any_enabled = store.union(any_enabled, e);
+        }
+        let dead = store.minus(reached, any_enabled);
+
+        let states = usize::try_from(store.satcount(reached)).expect("state count fits usize");
+        let transitions = enb
+            .iter()
+            .map(|&e| usize::try_from(store.satcount(e)).expect("transition count fits usize"))
+            .sum();
+        let deadlock_states =
+            usize::try_from(store.satcount(dead)).expect("deadlock count fits usize");
+        let never_enabled: Vec<AbstractEvent> = self
+            .universe
+            .iter()
+            .zip(&enb)
+            .filter(|(_, &e)| e == EMPTY)
+            .map(|(event, _)| event.clone())
+            .collect();
+
+        // Full-expansion histogram by partition refinement: after folding
+        // in event `e`, `parts[k]` holds the states with exactly `k`
+        // enabled events among those seen so far.
+        let mut parts: Vec<Ldd> = vec![reached];
+        for &e in &enb {
+            for k in (0..parts.len()).rev() {
+                let hit = store.intersect(parts[k], e);
+                if hit == EMPTY {
+                    continue;
+                }
+                parts[k] = store.minus(parts[k], hit);
+                if parts.len() == k + 1 {
+                    parts.push(EMPTY);
+                }
+                parts[k + 1] = store.union(parts[k + 1], hit);
+            }
+        }
+        let top = (1..parts.len()).rev().find(|&k| parts[k] != EMPTY);
+        let ample_hist: Vec<u64> = match top {
+            // Deadlock states are counted, never expanded: index 0 stays 0.
+            Some(top) => (0..=top)
+                .map(|k| if k == 0 { 0 } else { store.satcount(parts[k]) })
+                .collect(),
+            None => Vec::new(),
+        };
+
+        let inverse = build_inverse(&mut engine, &rels, &self.universe, &event_ids);
+
+        // Deadlock witnesses in explicit BFS discovery order: plies
+        // ascending, and within a ply by lexicographic trace order —
+        // extract the lex-min member, remove it, repeat up to the quota.
+        let mut deadlocks: Vec<Vec<AbstractEvent>> = Vec::new();
+        'plies: for d in 0..layers.len() {
+            let mut dd = store.intersect(layers[d], dead);
+            while dd != EMPTY {
+                if deadlocks.len() >= options.max_deadlock_witnesses {
+                    break 'plies;
+                }
+                let (steps, endpoint) = self.lex_min_trace(
+                    &mut store,
+                    &mut engine,
+                    &inverse,
+                    &rels,
+                    &event_ids,
+                    &layers,
+                    d,
+                    dd,
+                    &init_key,
+                );
+                deadlocks.push(
+                    steps
+                        .iter()
+                        .map(|&ei| self.universe[ei as usize].clone())
+                        .collect(),
+                );
+                let single = store.singleton(&endpoint);
+                dd = store.minus(dd, single);
+            }
+        }
+
+        // Livelock: greatest fixpoint of non-quiescent states with a
+        // non-progress successor staying inside the set. Non-empty ⟺ the
+        // full explicit graph has a reachable non-progress cycle through
+        // non-quiescent states.
+        let non_progress: Vec<usize> = (0..n)
+            .filter(|&ei| {
+                let primitive = &self.universe[ei].primitive;
+                !options.progress.iter().any(|p| p == primitive)
+            })
+            .collect();
+        let quiet = quiescent_subset(&mut store, &engine, width, reached);
+        let mut core = store.minus(reached, quiet);
+        while core != EMPTY {
+            let mut pre_any = EMPTY;
+            for &ei in &non_progress {
+                let pre = preimage(
+                    &mut store,
+                    &inverse[ei],
+                    event_ids[ei],
+                    rels[ei].max_depth,
+                    core,
+                );
+                pre_any = store.union(pre_any, pre);
+            }
+            let refined = store.intersect(core, pre_any);
+            if refined == core {
+                break;
+            }
+            core = refined;
+        }
+        if store.over_limit() {
+            return None;
+        }
+        let livelock = (core != EMPTY).then(|| {
+            let (d, entry_set) = layers
+                .iter()
+                .enumerate()
+                .find_map(|(d, &layer)| {
+                    let cut = store.intersect(layer, core);
+                    (cut != EMPTY).then_some((d, cut))
+                })
+                .expect("the livelock core is reachable");
+            let (prefix_steps, entry) = self.lex_min_trace(
+                &mut store,
+                &mut engine,
+                &inverse,
+                &rels,
+                &event_ids,
+                &layers,
+                d,
+                entry_set,
+                &init_key,
+            );
+            // Greedy concrete lasso inside the core: every core state has
+            // a non-progress successor in the core, so walking smallest
+            // indices first must eventually revisit a state.
+            let mut visited: Vec<Vec<u32>> = vec![entry.clone()];
+            let mut walk: Vec<u32> = Vec::new();
+            let mut key = entry;
+            let split = loop {
+                let mut landed: Option<Vec<u32>> = None;
+                for &ei in &non_progress {
+                    if let Ok(next) = engine.step_key(&key, &self.universe[ei], event_ids[ei]) {
+                        if store.contains(core, &next) {
+                            walk.push(u32::try_from(ei).expect("universe index fits u32"));
+                            landed = Some(next);
+                            break;
+                        }
+                    }
+                }
+                let next = landed.expect("core states keep a non-progress successor");
+                if let Some(pos) = visited.iter().position(|s| s == &next) {
+                    break pos;
+                }
+                visited.push(next.clone());
+                key = next;
+            };
+            let prefix: Vec<AbstractEvent> = prefix_steps
+                .iter()
+                .chain(&walk[..split])
+                .map(|&ei| self.universe[ei as usize].clone())
+                .collect();
+            let cycle: Vec<AbstractEvent> = walk[split..]
+                .iter()
+                .map(|&ei| self.universe[ei as usize].clone())
+                .collect();
+            LivelockWitness { prefix, cycle }
+        });
+        if store.over_limit() {
+            return None;
+        }
+
+        Some(ExploreReport {
+            states,
+            transitions,
+            truncated: false,
+            deadlock_states,
+            deadlocks,
+            never_enabled,
+            livelock,
+            ample_hist,
+            orbit_count: 0,
+            canon_hits: 0,
+            sym_states_saved: 0,
+            ldd_nodes: store.ldd_size(reached),
+            peak_nodes: store.inner_nodes(),
+            cache_hits: store.cache_hits(),
+        })
+    }
+
+    /// The lexicographically minimal trace of length `d` from the initial
+    /// state into `target ⊆ layers[d]`, and its concrete endpoint. Chains
+    /// preimages backward ply-by-ply (`chain[j]` = ply-`j` states that can
+    /// still reach `target` in exactly `d − j` steps), then walks forward
+    /// taking the smallest universe index that stays on the chain — the
+    /// same trace the explicit BFS tree records for its first-discovered
+    /// member of `target`.
+    #[allow(clippy::too_many_arguments)]
+    fn lex_min_trace(
+        &self,
+        store: &mut LddStore,
+        engine: &mut StepEngine<'_, 'a>,
+        inverse: &[EventInverse],
+        rels: &[EventRel],
+        event_ids: &[u32],
+        layers: &[Ldd],
+        d: usize,
+        target: Ldd,
+        init_key: &[u32],
+    ) -> (Vec<u32>, Vec<u32>) {
+        let mut chain: Vec<Ldd> = vec![EMPTY; d + 1];
+        chain[d] = target;
+        for j in (0..d).rev() {
+            let mut pre_any = EMPTY;
+            for ei in 0..self.universe.len() {
+                let pre = preimage(
+                    store,
+                    &inverse[ei],
+                    event_ids[ei],
+                    rels[ei].max_depth,
+                    chain[j + 1],
+                );
+                pre_any = store.union(pre_any, pre);
+            }
+            chain[j] = store.intersect(layers[j], pre_any);
+        }
+        debug_assert!(
+            store.contains(chain[0], init_key),
+            "backward chaining reaches the initial ply"
+        );
+        let mut key = init_key.to_vec();
+        let mut steps: Vec<u32> = Vec::with_capacity(d);
+        for next_set in chain.iter().skip(1) {
+            let advanced = (0..self.universe.len()).find_map(|ei| {
+                let next = engine
+                    .step_key(&key, &self.universe[ei], event_ids[ei])
+                    .ok()?;
+                store
+                    .contains(*next_set, &next)
+                    .then_some((u32::try_from(ei).expect("universe index fits u32"), next))
+            });
+            let (ei, next) = advanced.expect("every chained ply is forward-reachable");
+            steps.push(ei);
+            key = next;
+        }
+        (steps, key)
+    }
+}

@@ -59,4 +59,7 @@ pub use lts::{Act, Lts, LtsBuilder, StateId, TraceRefinementError};
 /// The constraint-evaluation engine knob (compiled DFA tables vs the
 /// reference interpreter), re-exported from `svckit-dfa`.
 pub use svckit_dfa::Engine;
+/// The reachability backend knob (explicit breadth-first search vs
+/// symbolic LDD fixpoints), re-exported from `svckit-ldd`.
+pub use svckit_ldd::Backend;
 pub use symmetry::{Symmetry, SymmetryGroups};

@@ -51,7 +51,7 @@ pub mod trace;
 pub use ctx::{absorb_into_current, active, sites_enabled, with_recorder};
 pub use json::{parse_flat_numbers, JsonWriter};
 pub use recorder::{chrome_trace, chrome_trace_canonical, Event, Hist, LinkStat, Recorder};
-pub use stats::{PorStats, SymStats};
+pub use stats::{LddStats, PorStats, SymStats};
 pub use trace::{
     mint_id, percentile_us, sample_keep, trace_trees, RequestBreakdown, SpanNode, TraceCtx,
     TraceTree,

@@ -144,9 +144,82 @@ impl SymStats {
     }
 }
 
+/// Symbolic-backend statistics for one (service, universe): the reached
+/// state/transition counts next to the size of the decision diagrams that
+/// carried them. Shares the artifact conventions of [`PorStats`] and
+/// [`SymStats`] — `svckit-analyze` reports one block per target under
+/// `--backend symbolic` and the explorer benchmarks reuse the same schema
+/// (`BENCH_hotpath.ldd.json`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LddStats {
+    /// Concrete states the symbolic search reached (never truncated).
+    pub states: u64,
+    /// Concrete transitions of the reached graph.
+    pub transitions: u64,
+    /// Nodes in the final reached-set diagram.
+    pub ldd_nodes: u64,
+    /// High-water unique-table size: every node interned over the search.
+    pub peak_nodes: u64,
+    /// Operation-cache hits (set ops, relational products, satcounts).
+    pub cache_hits: u64,
+}
+
+impl LddStats {
+    /// `states / ldd_nodes` — how many concrete states each diagram node
+    /// carried. 1.0 when either side is unknown.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.states == 0 || self.ldd_nodes == 0 {
+            1.0
+        } else {
+            self.states as f64 / self.ldd_nodes as f64
+        }
+    }
+
+    /// Writes the stats as one JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "states": ..., "transitions": ...,
+    ///   "ldd_nodes": ..., "peak_nodes": ..., "cache_hits": ...,
+    ///   "compression_ratio": ...
+    /// }
+    /// ```
+    pub fn write(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("states").uint(self.states);
+        w.key("transitions").uint(self.transitions);
+        w.key("ldd_nodes").uint(self.ldd_nodes);
+        w.key("peak_nodes").uint(self.peak_nodes);
+        w.key("cache_hits").uint(self.cache_hits);
+        w.key("compression_ratio")
+            .float(self.compression_ratio(), 3);
+        w.end_object();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ldd_ratio_and_schema() {
+        let stats = LddStats {
+            states: 20_000,
+            transitions: 95_000,
+            ldd_nodes: 400,
+            peak_nodes: 5_200,
+            cache_hits: 31_337,
+        };
+        assert!((stats.compression_ratio() - 50.0).abs() < 1e-9);
+        let mut w = JsonWriter::compact();
+        stats.write(&mut w);
+        assert_eq!(
+            w.finish(),
+            "{\"states\":20000,\"transitions\":95000,\"ldd_nodes\":400,\
+             \"peak_nodes\":5200,\"cache_hits\":31337,\"compression_ratio\":50.000}\n"
+        );
+        assert!((LddStats::default().compression_ratio() - 1.0).abs() < 1e-9);
+    }
 
     #[test]
     fn sym_ratio_and_schema() {

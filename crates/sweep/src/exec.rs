@@ -98,6 +98,9 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> RunOutcome {
     if let Some(symmetry) = spec.symmetry {
         params = params.symmetry(symmetry);
     }
+    if let Some(backend) = spec.backend {
+        params = params.backend(backend);
+    }
     let faults = match cell.campaign {
         Some(i) => spec.campaigns[i].events.clone(),
         None => Vec::new(),

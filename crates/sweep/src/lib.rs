@@ -48,9 +48,9 @@ pub use agg::{aggregate, GroupSummary};
 pub use exec::{default_threads, run_sweep, CellResult, SweepReport};
 pub use json::{parse_flat_numbers, write_outcome, JsonWriter};
 pub use report::{
-    engine_flag, flag_usize, flag_value, fmt_f, obs_flags, print_header, print_row,
+    backend_flag, engine_flag, flag_usize, flag_value, fmt_f, obs_flags, print_header, print_row,
     queue_backend_flag, shards_flag, symmetry_flag, trace_flags, verbosity, ObsFormat, TraceFlags,
     Verbosity,
 };
 pub use spec::{Cell, CellTarget, FaultCampaign, SweepSpec, Variation};
-pub use svckit_obs::{chrome_trace, PorStats, Recorder, SymStats};
+pub use svckit_obs::{chrome_trace, LddStats, PorStats, Recorder, SymStats};

@@ -586,6 +586,18 @@ pub fn symmetry_flag(args: &[String]) -> Option<svckit::lts::Symmetry> {
     Some(value.parse().unwrap_or_else(|e| panic!("{e}")))
 }
 
+/// Parses the shared `--backend` flag (`explicit` | `symbolic`); `None`
+/// when absent, leaving each consumer to its own default (the explicit
+/// breadth-first search).
+///
+/// # Panics
+///
+/// Panics (with a usage message) on an unknown backend name.
+pub fn backend_flag(args: &[String]) -> Option<svckit::lts::Backend> {
+    let value = flag_value(args, "backend")?;
+    Some(value.parse().unwrap_or_else(|e| panic!("{e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

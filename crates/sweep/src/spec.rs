@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use svckit::floorctl::{Engine, FaultEvent, RunParams, Solution, Symmetry};
+use svckit::floorctl::{Backend, Engine, FaultEvent, RunParams, Solution, Symmetry};
 use svckit::netsim::QueueBackend;
 use svckit::protocol::ReliabilityConfig;
 
@@ -94,6 +94,13 @@ pub struct SweepSpec {
     /// byte-identical across settings — the knob reaches the cells' run
     /// parameters for pre-run verification tooling (`floorctl --verify`).
     pub symmetry: Option<Symmetry>,
+    /// Optional reachability-backend override applied to every cell
+    /// (`--backend`). `None` keeps each variation's own setting. Like
+    /// [`SweepSpec::symmetry`], the simulation never explores state
+    /// spaces, so sweep JSON is byte-identical across settings — the knob
+    /// reaches the cells' run parameters for pre-run verification tooling
+    /// (`floorctl --verify`).
+    pub backend: Option<Backend>,
 }
 
 /// One expanded grid point, by index into the owning [`SweepSpec`].
@@ -126,6 +133,7 @@ impl SweepSpec {
             shards: None,
             engine: None,
             symmetry: None,
+            backend: None,
         }
     }
 
@@ -237,6 +245,14 @@ impl SweepSpec {
     #[must_use]
     pub fn symmetry(mut self, symmetry: Symmetry) -> Self {
         self.symmetry = Some(symmetry);
+        self
+    }
+
+    /// Forces every cell onto the given reachability backend
+    /// (builder-style). See [`SweepSpec::backend`].
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
         self
     }
 

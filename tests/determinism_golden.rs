@@ -7,10 +7,12 @@
 //! digest and say so in the changelog.
 
 use svckit::floorctl::{run_solution, RunParams, Solution};
+use svckit::lts::{Backend, Engine};
 use svckit::model::{Duration, PartId, Sap, Value};
 use svckit::netsim::{
     Context, LinkConfig, Payload, Process, QueueBackend, SimConfig, Simulator, TimerId,
 };
+use svckit_analyze::{all_targets, AnalysisReport, ServicePassOptions};
 
 /// 64-bit FNV-1a over a byte string.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -232,6 +234,49 @@ fn sharded_solutions_are_byte_identical_to_single() {
     );
 }
 
+/// One analyzer run over every repository target: the full report and the
+/// diagnostics-only report, as the analyzer CLI would write them.
+fn analyzer_reports(backend: Backend, engine: Engine) -> (String, String) {
+    let options = ServicePassOptions {
+        backend,
+        engine,
+        ..ServicePassOptions::default()
+    };
+    let report = AnalysisReport::run(&all_targets(), &options);
+    (report.to_json(), report.to_diag_json())
+}
+
+/// Backend-matrix golden: across backend {explicit, symbolic} × engine
+/// {dfa, interp}, the diagnostics JSON is byte-identical (one digest for
+/// all four cells), and the full `ANALYZE_report.json` is engine-invariant
+/// under the explicit backend. Under the symbolic backend the full report
+/// carries per-engine `ldd` blocks (node counts legitimately differ with
+/// the variable ordering), so each engine pins its own digest.
+#[test]
+fn analyzer_reports_match_golden_digests_across_backends() {
+    let mut diag_digests = Vec::new();
+    let mut full_digests = Vec::new();
+    for backend in [Backend::Explicit, Backend::Symbolic] {
+        for engine in [Engine::Dfa, Engine::Interp] {
+            let (full, diag) = analyzer_reports(backend, engine);
+            diag_digests.push(fnv1a(diag.as_bytes()));
+            full_digests.push(fnv1a(full.as_bytes()));
+        }
+    }
+    assert!(
+        diag_digests.iter().all(|&d| d == diag_digests[0]),
+        "diagnostics must be byte-identical across the backend × engine matrix"
+    );
+    assert_eq!(diag_digests[0], GOLDEN_ANALYZE_DIAG);
+    assert_eq!(
+        full_digests[0], full_digests[1],
+        "the explicit full report must be engine-invariant"
+    );
+    assert_eq!(full_digests[0], GOLDEN_ANALYZE_FULL_EXPLICIT);
+    assert_eq!(full_digests[2], GOLDEN_ANALYZE_FULL_SYMBOLIC_DFA);
+    assert_eq!(full_digests[3], GOLDEN_ANALYZE_FULL_SYMBOLIC_INTERP);
+}
+
 const GOLDEN_NETSIM_SEED42: u64 = 13_274_634_582_242_808_967;
 // Sharded-engine goldens: captured on the sequential engine
 // (`shards = 1`) over a deterministic link; every shard count must
@@ -244,3 +289,12 @@ const GOLDEN_SHARDED_MW_CALLBACK_SEED7: u64 = 2_345_727_650_575_110_908;
 // simulation semantics did not move). See CHANGELOG 0.5.0.
 const GOLDEN_MW_CALLBACK_SEED7: u64 = 2_203_843_261_686_461_361;
 const GOLDEN_PROTO_CALLBACK_SEED7: u64 = 16_702_283_514_672_870_395;
+// Analyzer backend-matrix goldens: captured with the 0.11.0 symbolic LDD
+// backend (full report gained the `backend` key, symbolic runs a
+// per-target `ldd` block). The diag digest is shared by all four
+// backend × engine cells; the full-report digests are per cell. See
+// CHANGELOG 0.11.0.
+const GOLDEN_ANALYZE_DIAG: u64 = 2_698_182_463_670_502_418;
+const GOLDEN_ANALYZE_FULL_EXPLICIT: u64 = 5_519_753_541_190_147_950;
+const GOLDEN_ANALYZE_FULL_SYMBOLIC_DFA: u64 = 12_271_147_205_866_525_074;
+const GOLDEN_ANALYZE_FULL_SYMBOLIC_INTERP: u64 = 18_432_330_835_466_162_988;
